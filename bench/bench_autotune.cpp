@@ -1,0 +1,87 @@
+// T-AUTOTUNE — hardware-aware optimization search (Sec. III: "novel
+// methods for hardware-aware optimization ... Utilizing the knowledge of
+// the target hardware leads to optimizations that translate to improved
+// execution metrics when deployed").
+//
+// Runs the (precision x structured-prune) grid for the same model on two
+// very different targets and shows that the best configuration is
+// target-dependent — the core argument for hardware-aware (rather than
+// purely model-side) optimization.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/autotune.hpp"
+#include "graph/zoo.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace vedliot;
+using namespace vedliot::core;
+
+namespace {
+
+Graph tuned_model() {
+  Graph g = zoo::micro_cnn("edge-classifier", 1, 1, 24, 6, 24);
+  Rng rng(2026);
+  g.materialize_weights(rng);
+  return g;
+}
+
+std::vector<Tensor> probes() {
+  std::vector<Tensor> out;
+  Rng rng(555);
+  for (int i = 0; i < 6; ++i) out.emplace_back(Shape{1, 1, 24, 24}, rng.normal_vector(576));
+  return out;
+}
+
+}  // namespace
+
+void print_artifact() {
+  bench::banner("T-AUTOTUNE", "precision x pruning grid on two different targets");
+
+  Graph model = tuned_model();
+  const auto probe_set = probes();
+  TuneBudget budget;
+  budget.latency_s = 0.02;
+  budget.max_output_rmse = 0.05;
+
+  for (const char* device : {"XavierNX", "ZynqZU3"}) {
+    const auto& dev = hw::find_device(device);
+    const auto r = autotune(model, dev, budget, probe_set);
+    std::printf("\ntarget %s (budget: %.0f ms, RMSE <= %.2f):\n\n", device,
+                budget.latency_s * 1e3, budget.max_output_rmse);
+    Table t({"configuration", "latency ms", "energy mJ", "output RMSE", "verdict"});
+    for (const auto& p : r.points) {
+      std::string verdict = "ok";
+      if (!p.meets_latency) verdict = "latency!";
+      else if (!p.meets_quality) verdict = "quality!";
+      t.add_row({p.option.name(), fmt_fixed(p.latency_s * 1e3, 3),
+                 fmt_fixed(p.energy_per_inference_j * 1e3, 3), fmt_fixed(p.output_rmse, 4),
+                 verdict});
+    }
+    t.print(std::cout);
+    if (r.feasible) {
+      std::printf("selected: %s (%.3f mJ/inference)\n", r.best.option.name().c_str(),
+                  r.best.energy_per_inference_j * 1e3);
+    } else {
+      std::printf("no configuration meets the budget on %s\n", device);
+    }
+  }
+  bench::note("shape: the winning configuration differs per target — e.g. the FPGA only");
+  bench::note("supports INT8, while the eGPU can trade precision against pruning freely;");
+  bench::note("the accuracy proxy (really executed) vetoes over-aggressive combinations.");
+}
+
+static void BM_AutotuneGrid(benchmark::State& state) {
+  Graph model = tuned_model();
+  const auto probe_set = probes();
+  const auto& dev = hw::find_device("XavierNX");
+  for (auto _ : state) {
+    auto r = autotune(model, dev, TuneBudget{}, probe_set);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_AutotuneGrid)->Unit(benchmark::kMillisecond);
+
+VEDLIOT_BENCH_MAIN()

@@ -1,0 +1,172 @@
+// T-CFU — Custom Function Units in the functional simulator (Sec. II-B:
+// "a CFU is an accelerator tightly coupled with the CPU ... used as an
+// input for Renode to extend simulated cores").
+//
+// Runs the same int8 dot-product kernel on the simulated RV32IM core with
+// (a) plain RV32IM mul/add, (b) the scalar MAC CFU, (c) the SIMD 4x-int8
+// CFU op — reporting instruction and cycle counts per configuration.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "sim/machine.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace vedliot;
+using namespace vedliot::sim;
+
+namespace {
+
+constexpr int kVectorLen = 256;  // int8 elements
+constexpr std::uint32_t kData = kRamBase + 0x10000;
+
+/// Store two int8 vectors (packed 4 per word) into simulated RAM.
+void load_vectors(Machine& m, Rng& rng) {
+  for (int i = 0; i < kVectorLen / 4; ++i) {
+    std::uint32_t xw = 0, ww = 0;
+    for (int b = 0; b < 4; ++b) {
+      xw |= (static_cast<std::uint32_t>(rng.uniform_int(-128, 127)) & 0xFF) << (8 * b);
+      ww |= (static_cast<std::uint32_t>(rng.uniform_int(-128, 127)) & 0xFF) << (8 * b);
+    }
+    m.bus().write32(kData + static_cast<std::uint32_t>(4 * i), xw);
+    m.bus().write32(kData + 0x1000 + static_cast<std::uint32_t>(4 * i), ww);
+  }
+}
+
+/// (a) pure RV32IM: byte loads, multiply-accumulate in registers.
+Assembler software_kernel() {
+  Assembler a(kRamBase);
+  a.li(s0, static_cast<std::int32_t>(kData));
+  a.li(s2, static_cast<std::int32_t>(kData + 0x1000));
+  a.li(s1, kVectorLen);
+  a.li(a0, 0);  // acc
+  const int loop = a.new_label();
+  const int done = a.new_label();
+  a.bind(loop);
+  a.beq(s1, x0, done);
+  a.lb(t1, s0, 0);  // sign-extended int8 load
+  a.lb(t2, s2, 0);
+  a.mul(t3, t1, t2);
+  a.add(a0, a0, t3);
+  a.addi(s0, s0, 1);
+  a.addi(s2, s2, 1);
+  a.addi(s1, s1, -1);
+  a.j(loop);
+  a.bind(done);
+  a.ecall();
+  return a;
+}
+
+/// (b) scalar MAC CFU: same byte loads, MAC in the CFU.
+Assembler scalar_cfu_kernel() {
+  Assembler a(kRamBase);
+  a.li(s0, static_cast<std::int32_t>(kData));
+  a.li(s2, static_cast<std::int32_t>(kData + 0x1000));
+  a.li(s1, kVectorLen);
+  a.cfu(1, 0, a0, x0, x0);  // reset acc
+  const int loop = a.new_label();
+  const int done = a.new_label();
+  a.bind(loop);
+  a.beq(s1, x0, done);
+  a.lb(t1, s0, 0);
+  a.lb(t2, s2, 0);
+  a.cfu(0, 0, x0, t1, t2);  // acc += t1*t2
+  a.addi(s0, s0, 1);
+  a.addi(s2, s2, 1);
+  a.addi(s1, s1, -1);
+  a.j(loop);
+  a.bind(done);
+  a.cfu(2, 0, a0, x0, x0);
+  a.ecall();
+  return a;
+}
+
+/// (c) SIMD CFU: word loads, 4 MACs per custom instruction.
+Assembler simd_cfu_kernel() {
+  Assembler a(kRamBase);
+  a.li(s0, static_cast<std::int32_t>(kData));
+  a.li(s2, static_cast<std::int32_t>(kData + 0x1000));
+  a.li(s1, kVectorLen / 4);
+  a.cfu(1, 0, a0, x0, x0);
+  const int loop = a.new_label();
+  const int done = a.new_label();
+  a.bind(loop);
+  a.beq(s1, x0, done);
+  a.lw(t1, s0, 0);
+  a.lw(t2, s2, 0);
+  a.cfu(4, 0, x0, t1, t2);  // 4x int8 dot product
+  a.addi(s0, s0, 4);
+  a.addi(s2, s2, 4);
+  a.addi(s1, s1, -1);
+  a.j(loop);
+  a.bind(done);
+  a.cfu(2, 0, a0, x0, x0);
+  a.ecall();
+  return a;
+}
+
+struct RunResult {
+  std::int32_t result;
+  std::uint64_t instructions;
+  std::uint64_t cycles;
+};
+
+RunResult run_kernel(Assembler kernel) {
+  Machine m;
+  m.attach_cfu(std::make_shared<MacCfu>());
+  Rng rng(4242);  // same data for every configuration
+  load_vectors(m, rng);
+  m.load_program(kernel);
+  const auto halt = m.run(10'000'000);
+  if (halt != HaltReason::kEcall) std::printf("kernel did not halt cleanly!\n");
+  return {static_cast<std::int32_t>(m.cpu().reg(a0)), m.cpu().instructions_retired(),
+          m.cpu().cycles()};
+}
+
+}  // namespace
+
+void print_artifact() {
+  bench::banner("T-CFU", "int8 dot product on the simulated core: RV32IM vs CFU variants");
+
+  const auto sw = run_kernel(software_kernel());
+  const auto scalar = run_kernel(scalar_cfu_kernel());
+  const auto simd = run_kernel(simd_cfu_kernel());
+
+  Table t({"kernel", "result", "instructions", "cycles", "speedup (cycles)"});
+  t.add_row({"RV32IM software", std::to_string(sw.result), std::to_string(sw.instructions),
+             std::to_string(sw.cycles), "1.0x"});
+  t.add_row({"scalar MAC CFU", std::to_string(scalar.result), std::to_string(scalar.instructions),
+             std::to_string(scalar.cycles),
+             fmt_ratio(static_cast<double>(sw.cycles) / static_cast<double>(scalar.cycles), 2)});
+  t.add_row({"SIMD 4x-int8 CFU", std::to_string(simd.result), std::to_string(simd.instructions),
+             std::to_string(simd.cycles),
+             fmt_ratio(static_cast<double>(sw.cycles) / static_cast<double>(simd.cycles), 2)});
+  t.print(std::cout);
+
+  if (sw.result != scalar.result || sw.result != simd.result) {
+    std::printf("RESULT MISMATCH across kernels!\n");
+  } else {
+    std::printf("all three kernels agree: %d\n", sw.result);
+  }
+  bench::note("shape: the scalar CFU removes the mul/add chain; the SIMD CFU additionally");
+  bench::note("amortizes loads 4x — the co-designed instruction wins where the memory");
+  bench::note("interface allows it, which is exactly what CFU prototyping is for.");
+}
+
+static void BM_SimSoftwareKernel(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_kernel(software_kernel()));
+  }
+}
+BENCHMARK(BM_SimSoftwareKernel)->Unit(benchmark::kMicrosecond);
+
+static void BM_SimSimdCfuKernel(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_kernel(simd_cfu_kernel()));
+  }
+}
+BENCHMARK(BM_SimSimdCfuKernel)->Unit(benchmark::kMicrosecond);
+
+VEDLIOT_BENCH_MAIN()

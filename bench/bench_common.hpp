@@ -1,0 +1,36 @@
+#pragma once
+/// \file bench_common.hpp
+/// \brief Shared helpers for the benchmark harnesses: every bench prints
+/// the paper artifact (the figure/table rows) first, then runs any
+/// google-benchmark microbenchmarks registered by the file.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace vedliot::bench {
+
+/// Print a banner identifying which paper artifact the output reproduces.
+inline void banner(const std::string& artifact_id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", artifact_id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) { std::printf("note: %s\n", text.c_str()); }
+
+}  // namespace vedliot::bench
+
+/// Each bench defines `void print_artifact();` and uses this main.
+#define VEDLIOT_BENCH_MAIN()                        \
+  int main(int argc, char** argv) {                 \
+    print_artifact();                               \
+    ::benchmark::Initialize(&argc, argv);           \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();          \
+    ::benchmark::Shutdown();                        \
+    return 0;                                       \
+  }

@@ -1,0 +1,68 @@
+// FIG2 — Computer-On-Module form factors supported by the VEDLIoT hardware
+// platforms (paper Fig. 2, reproduced as the compatibility matrix the
+// diagram encodes).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "platform/baseboard.hpp"
+#include "platform/microserver.hpp"
+#include "util/table.hpp"
+
+using namespace vedliot;
+using namespace vedliot::platform;
+
+void print_artifact() {
+  bench::banner("FIG2", "COM form factors supported per RECS platform");
+
+  const std::vector<BaseboardSpec> boards{recs_box(), t_recs(), u_recs()};
+  const std::vector<FormFactor> factors{
+      FormFactor::kCOMExpress, FormFactor::kCOMHPCServer, FormFactor::kCOMHPCClient,
+      FormFactor::kSMARC,      FormFactor::kJetsonNX,     FormFactor::kKriaSOM,
+      FormFactor::kRPiCM,      FormFactor::kPCIe,         FormFactor::kM2,
+      FormFactor::kUSB};
+
+  std::vector<std::string> header{"form factor"};
+  for (const auto& b : boards) header.push_back(b.name);
+  Table t(header);
+  for (FormFactor f : factors) {
+    std::vector<std::string> row{std::string(form_factor_name(f))};
+    for (const auto& b : boards) {
+      bool accepted = false;
+      for (const auto& slot : b.slots) accepted |= slot.accepts_form(f);
+      row.push_back(accepted ? "yes" : "-");
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout);
+
+  std::printf("\nboard envelopes: RECS|Box %g W, t.RECS %g W, uRECS %g W (paper: < 15 W)\n\n",
+              recs_box().total_power_budget_w, t_recs().total_power_budget_w,
+              u_recs().total_power_budget_w);
+
+  Table m({"module", "form factor", "device", "module power W"});
+  for (const auto& module : module_catalog()) {
+    m.add_row({module.name, std::string(form_factor_name(module.form)), module.device,
+               fmt_fixed(module.max_power_w, 0)});
+  }
+  m.print(std::cout);
+  bench::note("uRECS natively hosts SMARC and Jetson NX and integrates Kria/RPi CM via");
+  bench::note("adaptor PCBs; extension slots (M.2, USB) carry additional accelerators —");
+  bench::note("exactly the coverage Fig. 2 draws.");
+}
+
+static void BM_CompatibilityScan(benchmark::State& state) {
+  const auto board = u_recs();
+  for (auto _ : state) {
+    int accepted = 0;
+    for (const auto& module : module_catalog()) {
+      for (const auto& slot : board.slots) {
+        if (slot.accepts_form(module.form)) ++accepted;
+      }
+    }
+    benchmark::DoNotOptimize(accepted);
+  }
+}
+BENCHMARK(BM_CompatibilityScan);
+
+VEDLIOT_BENCH_MAIN()

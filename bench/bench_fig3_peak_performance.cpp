@@ -1,0 +1,61 @@
+// FIG3 — Peak Performance of DL Accelerators (paper Fig. 3).
+//
+// Reproduces the survey scatter: vendor peak performance (GOPS) against
+// power (W) across the accelerator landscape, from mW endpoint devices to
+// 400 W cloud parts, and the paper's headline observation that "most
+// architectures cluster around an energy efficiency of about 1 TOPS/W".
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "hw/device.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace vedliot;
+
+void print_artifact() {
+  bench::banner("FIG3", "Peak performance of DL accelerators (vendor datasheet peaks)");
+  bench::note("unnormalized vendor peaks, mixed precisions — exactly as the paper plots them");
+
+  Table t({"device", "class", "dtype", "peak GOPS", "TDP W", "TOPS/W"});
+  std::vector<double> efficiencies;
+  for (const auto& d : hw::survey_catalog()) {
+    const double eff = d.peak_tops_per_watt();
+    efficiencies.push_back(eff);
+    t.add_row({d.name, std::string(hw::device_class_name(d.cls)),
+               std::string(dtype_name(d.best_dtype)), fmt_eng(d.peak_gops * 1e9),
+               fmt_fixed(d.tdp_w, d.tdp_w < 1 ? 3 : 1), fmt_fixed(eff, 3)});
+  }
+  t.print(std::cout);
+
+  std::printf("\ndevices: %zu, power range: spans %0.0fx\n", efficiencies.size(),
+              400.0 / 0.02);
+  std::printf("efficiency cluster: geomean %.2f TOPS/W, median %.2f TOPS/W "
+              "(paper: ~1 TOPS/W independent of performance)\n",
+              stats::geomean(efficiencies), stats::median(efficiencies));
+
+  // The paper's secondary observation: efficiency is (roughly) independent
+  // of the performance level -> the log-log correlation of peak vs power is
+  // strong while efficiency shows no trend with peak.
+  std::vector<double> log_peak, log_power;
+  for (const auto& d : hw::survey_catalog()) {
+    log_peak.push_back(std::log10(d.peak_gops));
+    log_power.push_back(std::log10(d.tdp_w));
+  }
+  std::printf("log(peak) vs log(power) correlation: %.2f (clusters along the 1 TOPS/W diagonal)\n",
+              stats::pearson(log_peak, log_power));
+}
+
+static void BM_SurveyScan(benchmark::State& state) {
+  for (auto _ : state) {
+    double acc = 0;
+    for (const auto& d : hw::survey_catalog()) acc += d.peak_tops_per_watt();
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_SurveyScan);
+
+VEDLIOT_BENCH_MAIN()

@@ -1,0 +1,55 @@
+// FIG4 — YoloV4 performance evaluation of DL accelerators (paper Fig. 4).
+//
+// For each platform of the paper's evaluation set and batch sizes 1/4/8,
+// prints achieved GOPS and power — the two series Fig. 4 plots. Precision
+// per platform follows the paper ("INT8, FP16 or FP32 depending on the
+// supported quantization of the hardware").
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "graph/zoo.hpp"
+#include "hw/perf_model.hpp"
+#include "util/table.hpp"
+
+using namespace vedliot;
+
+void print_artifact() {
+  bench::banner("FIG4", "YoloV4 (416x416) performance and power per platform, B1/B4/B8");
+
+  Table t({"platform", "dtype", "batch", "GOPS", "power W", "GOPS/W", "ms/inf", "bound"});
+  for (const auto& dev : hw::yolo_eval_platforms()) {
+    for (int batch : {1, 4, 8}) {
+      Graph g = zoo::yolov4(batch);
+      const auto e = hw::estimate(dev, g, dev.best_dtype);
+      t.add_row({dev.name, std::string(dtype_name(dev.best_dtype)),
+                 "B" + std::to_string(batch), fmt_fixed(e.achieved_gops, 0),
+                 fmt_fixed(e.power_w, 1), fmt_fixed(e.efficiency_gops_w, 1),
+                 fmt_fixed(1e3 * e.latency_s / batch, 1),
+                 e.bound == hw::Bound::kCompute ? "compute" : "memory"});
+    }
+  }
+  t.print(std::cout);
+  bench::note("expected shape: GPUs/eGPUs gain strongly from batching; CPUs and FPGA");
+  bench::note("overlays stay flat; MyriadX draws the least power; FPGAs lead GOPS/W at B1.");
+}
+
+static void BM_EstimateYolo(benchmark::State& state) {
+  Graph g = zoo::yolov4(static_cast<std::int64_t>(state.range(0)));
+  const auto& dev = hw::find_device("XavierNX");
+  for (auto _ : state) {
+    auto e = hw::estimate(dev, g, DType::kINT8);
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_EstimateYolo)->Arg(1)->Arg(8);
+
+static void BM_BuildYoloGraph(benchmark::State& state) {
+  for (auto _ : state) {
+    Graph g = zoo::yolov4();
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_BuildYoloGraph);
+
+VEDLIOT_BENCH_MAIN()

@@ -1,0 +1,97 @@
+// T-MOTOR — Motor Condition Classification (Sec. V-B: "battery-powered
+// ultra-low energy deep learning-driven small box ... continuously
+// monitors the motor").
+//
+// Reports classification quality vs fault severity and the battery-life
+// trade-off of the duty-cycled monitoring box.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "apps/motor.hpp"
+#include "kenning/metrics.hpp"
+#include "util/table.hpp"
+
+using namespace vedliot;
+using namespace vedliot::apps;
+
+namespace {
+
+kenning::ConfusionMatrix evaluate(double severity, std::uint64_t seed) {
+  VibrationGenerator::Config cfg;
+  cfg.severity = severity;
+  VibrationGenerator train_gen(cfg, seed);
+  std::vector<std::pair<MotorFeatures, MotorCondition>> train;
+  for (std::size_t c = 0; c < kMotorConditionCount; ++c) {
+    for (int i = 0; i < 60; ++i) {
+      train.emplace_back(train_gen.sample(static_cast<MotorCondition>(c)),
+                         static_cast<MotorCondition>(c));
+    }
+  }
+  MotorClassifier clf;
+  clf.fit(train);
+
+  kenning::ConfusionMatrix cm(kMotorConditionCount);
+  VibrationGenerator test_gen(cfg, seed + 1);
+  for (std::size_t c = 0; c < kMotorConditionCount; ++c) {
+    for (int i = 0; i < 100; ++i) {
+      cm.add(c, static_cast<std::size_t>(clf.classify(test_gen.sample(static_cast<MotorCondition>(c)))));
+    }
+  }
+  return cm;
+}
+
+}  // namespace
+
+void print_artifact() {
+  bench::banner("T-MOTOR", "motor condition classification + battery life");
+
+  Table t({"fault severity", "accuracy", "macro F1", "bearing recall", "overheat recall"});
+  for (double severity : {0.25, 0.5, 1.0, 2.0}) {
+    const auto cm = evaluate(severity, 42);
+    t.add_row({fmt_fixed(severity, 2), fmt_percent(cm.accuracy()), fmt_fixed(cm.macro_f1(), 3),
+               fmt_percent(cm.recall(static_cast<std::size_t>(MotorCondition::kBearingFault))),
+               fmt_percent(cm.recall(static_cast<std::size_t>(MotorCondition::kOverheat)))});
+  }
+  t.print(std::cout);
+
+  std::printf("\nconfusion matrix at severity 1.0:\n%s\n", evaluate(1.0, 42).to_string().c_str());
+
+  Table b({"classification interval", "avg power mW", "battery life (10 Wh)"});
+  for (double interval : {1.0, 10.0, 60.0, 600.0, 3600.0}) {
+    MotorBoxEnergy box;
+    b.add_row({fmt_fixed(interval, 0) + " s", fmt_fixed(box.average_power_w(interval) * 1e3, 3),
+               fmt_fixed(box.battery_life_days(interval, 10.0) / 365.0, 2) + " years"});
+  }
+  b.print(std::cout);
+  bench::note("shape: accuracy degrades gracefully with milder faults; minute-scale duty");
+  bench::note("cycling puts the box in multi-year battery territory (ultra-low energy).");
+}
+
+static void BM_Classify(benchmark::State& state) {
+  VibrationGenerator gen({}, 1);
+  std::vector<std::pair<MotorFeatures, MotorCondition>> train;
+  for (std::size_t c = 0; c < kMotorConditionCount; ++c) {
+    for (int i = 0; i < 20; ++i) {
+      train.emplace_back(gen.sample(static_cast<MotorCondition>(c)),
+                         static_cast<MotorCondition>(c));
+    }
+  }
+  MotorClassifier clf;
+  clf.fit(train);
+  const auto sample = gen.sample(MotorCondition::kBearingFault);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clf.classify(sample));
+  }
+}
+BENCHMARK(BM_Classify);
+
+static void BM_GenerateSample(benchmark::State& state) {
+  VibrationGenerator gen({}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.sample(MotorCondition::kImbalance));
+  }
+}
+BENCHMARK(BM_GenerateSample);
+
+VEDLIOT_BENCH_MAIN()

@@ -1,0 +1,107 @@
+// T-RECONF — run-time reconfiguration (Sec. II-A: partial reconfiguration
+// "to adapt to changing application requirements at run-time, e.g., using
+// implementations with different power/performance footprints"; plus
+// network fabric reconfiguration).
+//
+// Reports the per-profile power/performance footprints, the cost of a
+// partial-reconfiguration switch, and the amortization break-even.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "graph/zoo.hpp"
+#include "hw/accel.hpp"
+#include "platform/fabric.hpp"
+#include "util/table.hpp"
+
+using namespace vedliot;
+using namespace vedliot::hw;
+
+namespace {
+
+ReconfigurableAccelerator make_accel() {
+  return ReconfigurableAccelerator(
+      find_device("ZynqZU15"),
+      {{"high-perf", 1.0, 1.0, 12.0},
+       {"balanced", 0.7, 0.55, 10.0},
+       {"low-power", 0.4, 0.28, 8.0}});
+}
+
+}  // namespace
+
+void print_artifact() {
+  bench::banner("T-RECONF", "partial reconfiguration: power/performance footprints");
+
+  auto accel = make_accel();
+  Graph g = zoo::resnet50();
+
+  Table t({"profile", "latency ms", "power W", "energy mJ/inf", "bitstream MiB", "switch ms"});
+  for (const auto& profile : accel.profiles()) {
+    accel.reconfigure(profile.name);
+    const auto e = accel.estimate_graph(g, DType::kINT8);
+    const double switch_s = profile.bitstream_mib * 1024 * 1024 / 0.4e9;
+    t.add_row({profile.name, fmt_fixed(e.latency_s * 1e3, 2), fmt_fixed(e.power_w, 2),
+               fmt_fixed(e.energy_per_inference_j * 1e3, 1), fmt_fixed(profile.bitstream_mib, 0),
+               fmt_fixed(switch_s * 1e3, 1)});
+  }
+  t.print(std::cout);
+
+  // Amortization: switching from high-perf to low-power pays a bitstream
+  // load; after how many inferences does the energy saving recoup it?
+  accel.reconfigure("high-perf");
+  const auto hp = accel.estimate_graph(g, DType::kINT8);
+  const double switch_s = accel.reconfigure("low-power");
+  const auto lp = accel.estimate_graph(g, DType::kINT8);
+  const double saving_per_inf = hp.energy_per_inference_j - lp.energy_per_inference_j;
+  const double switch_energy = 12.0 * switch_s;  // board draws ~12 W while configuring
+  std::printf("\nswitch high-perf -> low-power: %.1f ms, ~%.2f J; energy saving %.1f mJ/inf\n",
+              switch_s * 1e3, switch_energy, saving_per_inf * 1e3);
+  if (saving_per_inf > 0) {
+    std::printf("break-even after %.0f inferences — reconfigure for sustained low-rate phases,\n"
+                "stay on high-perf for bursts.\n", switch_energy / saving_per_inf);
+  }
+
+  // Latency-budget-driven profile selection.
+  std::printf("\nprofile auto-selection vs latency budget (resnet50, int8):\n\n");
+  Table sel({"latency budget ms", "selected profile"});
+  for (double budget_ms : {4.0, 6.0, 9.0, 15.0, 50.0}) {
+    try {
+      sel.add_row({fmt_fixed(budget_ms, 0),
+                   accel.best_profile_for(g, DType::kINT8, budget_ms * 1e-3)});
+    } catch (const Error&) {
+      sel.add_row({fmt_fixed(budget_ms, 0), "(none feasible)"});
+    }
+  }
+  sel.print(std::cout);
+
+  // Fabric reconfiguration (Sec. II-A communication level).
+  std::printf("\nfabric reconfiguration: 1G -> 10G uplink for a burst transfer:\n");
+  platform::Fabric fabric = platform::star_fabric({"nodeA", "nodeB"}, 1.0, {1.0, 10.0});
+  const double t_1g = fabric.transfer_time_s("nodeA", "nodeB", 512e6);
+  fabric.set_link_speed("switch0", "nodeA", 10.0);
+  fabric.set_link_speed("switch0", "nodeB", 10.0);
+  const double t_10g = fabric.transfer_time_s("nodeA", "nodeB", 512e6);
+  std::printf("512 MB model push: %.2f s at 1G -> %.2f s at 10G (%.1fx), %zu reconfig events\n",
+              t_1g, t_10g, t_1g / t_10g, fabric.reconfiguration_count());
+}
+
+static void BM_ReconfigureSwitch(benchmark::State& state) {
+  auto accel = make_accel();
+  bool flip = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(accel.reconfigure(flip ? "high-perf" : "low-power"));
+    flip = !flip;
+  }
+}
+BENCHMARK(BM_ReconfigureSwitch);
+
+static void BM_BestProfileSearch(benchmark::State& state) {
+  auto accel = make_accel();
+  Graph g = zoo::resnet50();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(accel.best_profile_for(g, DType::kINT8, 0.05));
+  }
+}
+BENCHMARK(BM_BestProfileSearch)->Unit(benchmark::kMillisecond);
+
+VEDLIOT_BENCH_MAIN()

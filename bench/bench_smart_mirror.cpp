@@ -1,0 +1,81 @@
+// T-MIRROR — Smart Mirror demonstrator (Sec. V-C / Fig. 5: four neural
+// networks — gesture, face, object, speech — all on-site for privacy on a
+// low-power uRECS node).
+//
+// Plans the four pipelines onto every uRECS-compatible module and reports
+// feasibility, utilization and average power against the < 15 W budget.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "apps/mirror.hpp"
+#include "graph/cost.hpp"
+#include "graph/zoo.hpp"
+#include "util/table.hpp"
+
+using namespace vedliot;
+using namespace vedliot::apps;
+
+void print_artifact() {
+  bench::banner("T-MIRROR", "smart mirror: 4 NNs on uRECS candidate modules");
+
+  // The per-network workloads (Fig. 5's four models).
+  Table nets({"network", "input", "MACs", "params", "rate Hz"});
+  const auto pipelines = default_pipelines();
+  for (const auto& p : pipelines) {
+    Graph g = p.name == "gesture"  ? zoo::gesture_net()
+              : p.name == "face"   ? zoo::face_net()
+              : p.name == "object" ? zoo::object_det_net()
+                                   : zoo::speech_net();
+    const auto c = graph_cost(g);
+    nets.add_row({p.name, g.node(g.inputs().front()).out_shape.to_string(), fmt_eng(static_cast<double>(c.macs)),
+                  fmt_eng(static_cast<double>(c.params)), fmt_fixed(p.rate_hz, 0)});
+  }
+  nets.print(std::cout);
+  std::printf("\n");
+
+  Table t({"module", "feasible", "avg power W", "within 15 W", "peak module util"});
+  for (const char* module : {"JetsonXavierNX", "SMARC-iMX8MPlus", "SMARC-ZU3", "Kria-K26",
+                             "JetsonTX2", "RPi-CM4"}) {
+    try {
+      const auto plan = plan_smart_mirror(module);
+      double max_util = 0;
+      for (const auto& p : plan.placements) max_util += p.utilization;
+      t.add_row({module, "yes", fmt_fixed(plan.average_power_w, 2),
+                 plan.within_power_budget ? "yes" : "NO", fmt_percent(max_util)});
+    } catch (const Error& e) {
+      t.add_row({module, "no", "-", "-", "-"});
+    }
+  }
+  t.print(std::cout);
+  bench::note("privacy: every feasible plan keeps all sensing on-site by construction.");
+  bench::note("shape: NPU/FPGA/eGPU modules host all four nets under 15 W; a plain CPU");
+  bench::note("module cannot (no supported low-precision path).");
+
+  // Headroom experiment: how far do rates scale on the best module?
+  std::printf("\nrate scaling on JetsonXavierNX:\n\n");
+  Table s({"rate multiplier", "feasible", "total utilization"});
+  for (double mult : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    auto scaled = default_pipelines();
+    for (auto& p : scaled) p.rate_hz *= mult;
+    try {
+      const auto plan = plan_smart_mirror("JetsonXavierNX", scaled);
+      double util = 0;
+      for (const auto& p : plan.placements) util += p.utilization;
+      s.add_row({fmt_ratio(mult, 0), "yes", fmt_percent(util)});
+    } catch (const Error&) {
+      s.add_row({fmt_ratio(mult, 0), "no", "-"});
+    }
+  }
+  s.print(std::cout);
+}
+
+static void BM_PlanMirror(benchmark::State& state) {
+  for (auto _ : state) {
+    auto plan = plan_smart_mirror("JetsonXavierNX");
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_PlanMirror)->Unit(benchmark::kMillisecond);
+
+VEDLIOT_BENCH_MAIN()

@@ -1,0 +1,74 @@
+// Industrial IoT (Sec. V-B): both use cases in one program.
+//
+//   A. Motor Condition Classification — battery-powered box monitoring a
+//      large asynchronous motor; nearest-centroid classifier on vibration
+//      spectra; duty-cycled energy model.
+//   B. Arc Detection — DC cabinet current monitoring with millisecond
+//      latency and an ultra-low false-negative target.
+//
+// Build & run:  ./build/examples/industrial_iot
+
+#include <cstdio>
+
+#include "apps/arc.hpp"
+#include "apps/motor.hpp"
+#include "kenning/metrics.hpp"
+
+using namespace vedliot;
+using namespace vedliot::apps;
+
+int main() {
+  std::printf("=== A. Motor Condition Classification ===\n\n");
+
+  VibrationGenerator gen({}, 2026);
+  std::vector<std::pair<MotorFeatures, MotorCondition>> train;
+  for (std::size_t c = 0; c < kMotorConditionCount; ++c) {
+    for (int i = 0; i < 50; ++i) {
+      train.emplace_back(gen.sample(static_cast<MotorCondition>(c)),
+                         static_cast<MotorCondition>(c));
+    }
+  }
+  MotorClassifier classifier;
+  classifier.fit(train);
+
+  // Live monitoring: the motor develops a bearing fault halfway through.
+  VibrationGenerator live({}, 4711);
+  std::printf("monitoring (1 sample/min):\n");
+  for (int minute = 0; minute < 10; ++minute) {
+    const auto condition = minute < 5 ? MotorCondition::kHealthy : MotorCondition::kBearingFault;
+    const auto pred = classifier.classify(live.sample(condition));
+    std::printf("  minute %2d: %-13s", minute,
+                std::string(motor_condition_name(pred)).c_str());
+    if (pred != MotorCondition::kHealthy) std::printf("  -> alert sent to operator");
+    std::printf("\n");
+  }
+
+  MotorBoxEnergy box;
+  std::printf("\nbattery-powered box at 1 sample/min: %.2f mW average -> %.1f years on 10 Wh\n",
+              box.average_power_w(60.0) * 1e3, box.battery_life_days(60.0, 10.0) / 365.0);
+
+  std::printf("\n=== B. Arc Detection in DC cabinets ===\n\n");
+
+  ArcDetector detector({});
+  ArcWaveformGenerator arcs({}, 555);
+  const auto eval = evaluate_arc_detector(detector, arcs, 500, 500);
+  std::printf("500 arc events + 500 benign traces (load steps included):\n");
+  std::printf("  detected %zu/%zu arcs  (FNR %.2f%%)\n", eval.detected, eval.arcs,
+              eval.fnr() * 100);
+  std::printf("  false alarms %zu/%zu   (FPR %.2f%%)\n", eval.false_alarms, eval.normals,
+              eval.fpr() * 100);
+  std::printf("  latency from first spark: mean %.2f ms, p99 %.2f ms\n", eval.mean_latency_ms,
+              eval.p99_latency_ms);
+
+  // One annotated trace end to end.
+  ArcWaveformGenerator one({}, 556);
+  const ArcTrace trace = one.arc_trace();
+  const auto hit = detector.detect(trace);
+  if (hit && trace.arc_onset) {
+    std::printf("\nexample trace: arc ignites at sample %zu, detector trips at sample %zu "
+                "(%.2f ms later) -> breaker trip + unit localization\n",
+                *trace.arc_onset, *hit,
+                static_cast<double>(*hit - *trace.arc_onset) / trace.sample_rate_hz * 1e3);
+  }
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Functional-simulation CI (Sec. II-B: Renode used "for interactive
+// development of accelerator prototypes and within a Continuous
+// Integration environment").
+//
+// A firmware image for the CFU-equipped core is exercised by the test
+// bench exactly like a CI job would: boot banner over UART, a DL kernel on
+// the SIMD CFU, a periodic timer interrupt heartbeat, memory watchpoints
+// on the result buffer, and a pass/fail report at the end.
+//
+// Build & run:  ./build/examples/renode_ci
+
+#include <cstdio>
+#include <memory>
+
+#include "sim/testbench.hpp"
+#include "util/rng.hpp"
+
+using namespace vedliot;
+using namespace vedliot::sim;
+
+namespace {
+
+/// Firmware: print "BOOT", arm a timer tick, run an int8 dot product on the
+/// SIMD CFU, store the result, print "DONE".
+Assembler firmware() {
+  Assembler a(kRamBase);
+  const int handler = a.new_label();
+  const int main_entry = a.new_label();
+  a.j(main_entry);
+
+  a.bind(handler);  // timer tick: bump the heartbeat counter in s11.
+  // The ISR runs without a stack, so it only touches registers reserved for
+  // it (s8/s9/s11) — clobbering the main loop's temporaries would corrupt
+  // the in-flight kernel.
+  a.addi(s11, s11, 1);
+  a.li(s8, static_cast<std::int32_t>(kTimerBase));
+  a.lw(s9, s8, 0);
+  a.addi(s9, s9, 500);
+  a.sw(s9, s8, 8);
+  a.sw(x0, s8, 12);
+  a.mret();
+
+  a.bind(main_entry);
+  // UART banner.
+  a.li(t0, static_cast<std::int32_t>(kUartBase));
+  for (char ch : std::string("BOOT\n")) {
+    a.li(t1, ch);
+    a.sw(t1, t0, 0);
+  }
+  // Timer interrupt setup.
+  a.li(s11, 0);
+  a.li(t0, static_cast<std::int32_t>(kTimerBase));
+  a.lw(t1, t0, 0);
+  a.addi(t1, t1, 500);
+  a.sw(t1, t0, 8);
+  a.sw(x0, t0, 12);
+  a.li(t1, static_cast<std::int32_t>(kRamBase + 4));
+  a.csrrw(x0, 0x305, t1);
+  a.li(t1, 0x80);
+  a.csrrw(x0, 0x304, t1);
+  a.li(t1, 0x8);
+  a.csrrw(x0, 0x300, t1);
+
+  // DL kernel: packed int8 dot product via the SIMD CFU over 64 words.
+  const std::uint32_t data = kRamBase + 0x8000;
+  a.li(s0, static_cast<std::int32_t>(data));
+  a.li(s2, static_cast<std::int32_t>(data + 0x1000));
+  a.li(s1, 64);
+  a.cfu(1, 0, a0, x0, x0);
+  const int loop = a.new_label();
+  const int done = a.new_label();
+  a.bind(loop);
+  a.beq(s1, x0, done);
+  a.lw(t1, s0, 0);
+  a.lw(t2, s2, 0);
+  a.cfu(4, 0, x0, t1, t2);
+  a.addi(s0, s0, 4);
+  a.addi(s2, s2, 4);
+  a.addi(s1, s1, -1);
+  a.j(loop);
+  a.bind(done);
+  a.cfu(2, 0, a0, x0, x0);
+  // Store the result where the host checks it.
+  a.li(t3, static_cast<std::int32_t>(kRamBase + 0xA000));
+  a.sw(a0, t3, 0);
+  a.li(t0, static_cast<std::int32_t>(kUartBase));
+  for (char ch : std::string("DONE\n")) {
+    a.li(t1, ch);
+    a.sw(t1, t0, 0);
+  }
+  a.ecall();
+  return a;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Renode-style CI run for the CFU firmware\n\n");
+
+  Machine machine;
+  machine.attach_cfu(std::make_shared<MacCfu>());
+
+  // Host side: load the input vectors and compute the expected result.
+  std::int32_t expected = 0;
+  Rng rng(77);
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t xw = 0, ww = 0;
+    for (int b = 0; b < 4; ++b) {
+      const auto xv = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+      const auto wv = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+      expected += static_cast<std::int32_t>(xv) * wv;
+      xw |= (static_cast<std::uint32_t>(xv) & 0xFF) << (8 * b);
+      ww |= (static_cast<std::uint32_t>(wv) & 0xFF) << (8 * b);
+    }
+    machine.bus().write32(kRamBase + 0x8000 + static_cast<std::uint32_t>(4 * i), xw);
+    machine.bus().write32(kRamBase + 0x9000 + static_cast<std::uint32_t>(4 * i), ww);
+  }
+
+  TestBench bench(machine);
+  bench.watch(kRamBase + 0xA000, 16);  // result buffer watchpoint
+
+  auto fw = firmware();
+  machine.load_program(fw);
+
+  const bool booted = bench.run_until_uart_contains("BOOT", 100'000);
+  std::printf("boot banner observed: %s\n", booted ? "yes" : "NO");
+  bench.run(1'000'000);
+
+  bench.expect_uart("DONE", "kernel completion banner");
+  bench.expect_halt(HaltReason::kEcall, "clean firmware exit");
+  bench.expect_reg(a0, static_cast<std::uint32_t>(expected), "CFU dot product result");
+  bench.expect_stores_to(kRamBase + 0xA000, 16, 1, "result written to the output buffer");
+  bench.expect_max_cycles(50'000, "cycle budget");
+
+  std::printf("\n%s", bench.report().c_str());
+  std::printf("timer heartbeats observed: %u\n", machine.cpu().reg(s11));
+  std::printf("instructions: %llu, cycles: %llu\n",
+              static_cast<unsigned long long>(machine.cpu().instructions_retired()),
+              static_cast<unsigned long long>(machine.cpu().cycles()));
+  return bench.all_passed() ? 0 : 1;
+}

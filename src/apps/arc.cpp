@@ -1,0 +1,144 @@
+#include "apps/arc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace vedliot::apps {
+
+ArcWaveformGenerator::ArcWaveformGenerator(Config config, std::uint64_t seed)
+    : cfg_(config), rng_(seed) {
+  VEDLIOT_CHECK(cfg_.trace_s > 0 && cfg_.sample_rate_hz > 0, "bad generator config");
+}
+
+void ArcWaveformGenerator::base_waveform(std::vector<float>& out) {
+  const auto n = static_cast<std::size_t>(cfg_.trace_s * cfg_.sample_rate_hz);
+  out.assign(n, 0.0f);
+  const double ripple_freq = 20000.0;  // converter switching frequency
+  const double phase = rng_.uniform(0.0, 2.0 * 3.141592653589793);
+  double level = cfg_.dc_level_a;
+
+  // Optional benign load step.
+  std::size_t step_at = n;  // none
+  double step_to = level;
+  if (rng_.chance(cfg_.load_step_prob)) {
+    step_at = static_cast<std::size_t>(rng_.uniform_int(static_cast<std::int64_t>(n / 5),
+                                                        static_cast<std::int64_t>(4 * n / 5)));
+    step_to = level * rng_.uniform(0.5, 1.6);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == step_at) level = step_to;
+    const double t = static_cast<double>(i) / cfg_.sample_rate_hz;
+    const double ripple = cfg_.ripple_a * std::sin(2.0 * 3.141592653589793 * ripple_freq * t + phase);
+    const double noise = rng_.normal(0.0, cfg_.ripple_a * 0.2);
+    out[i] = static_cast<float>(level + ripple + noise);
+  }
+}
+
+ArcTrace ArcWaveformGenerator::arc_trace() {
+  ArcTrace trace;
+  trace.sample_rate_hz = cfg_.sample_rate_hz;
+  base_waveform(trace.current);
+  const auto n = trace.current.size();
+  const auto onset = static_cast<std::size_t>(
+      rng_.uniform_int(static_cast<std::int64_t>(n / 5), static_cast<std::int64_t>(4 * n / 5)));
+  trace.arc_onset = onset;
+
+  // Arc physics proxy: the series arc drops the DC level slightly and
+  // superimposes heavy-tailed broadband noise with random extinction/
+  // re-ignition micro-gaps.
+  double envelope = 0.0;
+  for (std::size_t i = onset; i < n; ++i) {
+    envelope = std::min(1.0, envelope + 0.02);  // arc develops over ~50 samples
+    double burst = rng_.normal(0.0, cfg_.arc_noise_a * envelope);
+    // Heavy tail: occasional large excursions (chaotic re-ignition).
+    if (rng_.chance(0.05)) burst *= 3.0;
+    trace.current[i] += static_cast<float>(burst - 0.3 * envelope);
+  }
+  return trace;
+}
+
+ArcTrace ArcWaveformGenerator::normal_trace() {
+  ArcTrace trace;
+  trace.sample_rate_hz = cfg_.sample_rate_hz;
+  base_waveform(trace.current);
+  trace.arc_onset = std::nullopt;
+  return trace;
+}
+
+ArcDetector::ArcDetector(Config config) : cfg_(config) {
+  VEDLIOT_CHECK(cfg_.window >= 8, "window too small");
+  VEDLIOT_CHECK(cfg_.persistence >= 1, "persistence must be >= 1");
+}
+
+double ArcDetector::hf_energy(std::span<const float> w) {
+  double acc = 0.0;
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    const double d = static_cast<double>(w[i]) - w[i - 1];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(w.size() - 1);
+}
+
+double ArcDetector::lf_energy(std::span<const float> w) {
+  double mean = 0.0;
+  for (float v : w) mean += v;
+  mean /= static_cast<double>(w.size());
+  // Use the squared mean level as the low-band reference so a load step
+  // (level change, little HF) does not trip the ratio.
+  return std::max(mean * mean * 1e-4, 1e-9);
+}
+
+std::optional<std::size_t> ArcDetector::detect(const ArcTrace& trace) const {
+  const auto& x = trace.current;
+  std::size_t hits = 0;
+  for (std::size_t start = 0; start + cfg_.window <= x.size(); start += cfg_.window) {
+    std::span<const float> w(x.data() + start, cfg_.window);
+    const double ratio = hf_energy(w) / lf_energy(w);
+    if (ratio > cfg_.threshold) {
+      ++hits;
+      if (hits >= cfg_.persistence) return start + cfg_.window;  // decision point
+    } else {
+      hits = 0;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> ArcDetector::latency_s(const ArcTrace& trace) const {
+  VEDLIOT_CHECK(trace.arc_onset.has_value(), "latency needs a labelled onset");
+  const auto hit = detect(trace);
+  if (!hit) return std::nullopt;
+  if (*hit < *trace.arc_onset) return std::nullopt;  // tripped before the arc: a false alarm
+  return static_cast<double>(*hit - *trace.arc_onset) / trace.sample_rate_hz;
+}
+
+ArcEvalResult evaluate_arc_detector(const ArcDetector& detector, ArcWaveformGenerator& gen,
+                                    std::size_t arc_traces, std::size_t normal_traces) {
+  ArcEvalResult r;
+  std::vector<double> latencies;
+  for (std::size_t i = 0; i < arc_traces; ++i) {
+    const ArcTrace t = gen.arc_trace();
+    ++r.arcs;
+    const auto lat = detector.latency_s(t);
+    if (lat) {
+      ++r.detected;
+      latencies.push_back(*lat * 1e3);
+    }
+  }
+  for (std::size_t i = 0; i < normal_traces; ++i) {
+    const ArcTrace t = gen.normal_trace();
+    ++r.normals;
+    if (detector.detect(t)) ++r.false_alarms;
+  }
+  if (!latencies.empty()) {
+    r.mean_latency_ms = stats::mean(latencies);
+    r.p99_latency_ms = stats::percentile(latencies, 99.0);
+  }
+  return r;
+}
+
+}  // namespace vedliot::apps

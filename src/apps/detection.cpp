@@ -1,0 +1,88 @@
+#include "apps/detection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vedliot::apps {
+
+SceneGenerator::SceneGenerator(Config config, std::uint64_t seed) : cfg_(config), rng_(seed) {
+  VEDLIOT_CHECK(cfg_.max_box > cfg_.min_box && cfg_.min_box > 0, "bad box size range");
+}
+
+Scene SceneGenerator::next() {
+  Scene scene;
+  scene.image_id = next_id_++;
+  const auto count = rng_.uniform_int(0, cfg_.max_objects);
+  for (std::int64_t i = 0; i < count; ++i) {
+    kenning::GroundTruth gt;
+    gt.image_id = scene.image_id;
+    const double w = rng_.uniform(cfg_.min_box, cfg_.max_box);
+    const double h = std::min(w * cfg_.aspect, cfg_.image_size * 0.9);
+    gt.box.w = w;
+    gt.box.h = h;
+    gt.box.x = rng_.uniform(0.0, cfg_.image_size - w);
+    gt.box.y = rng_.uniform(0.0, cfg_.image_size - h);
+    scene.truths.push_back(gt);
+  }
+  return scene;
+}
+
+SimulatedDetector::SimulatedDetector(Config config, std::uint64_t seed)
+    : cfg_(config), rng_(seed) {}
+
+double SimulatedDetector::recall_for_height(double h) const {
+  // Logistic in log-size: tiny objects vanish, large ones approach max_recall.
+  const double x = std::log2(std::max(h, 1.0) / cfg_.size50);
+  return cfg_.max_recall / (1.0 + std::exp(-2.0 * x));
+}
+
+std::vector<kenning::Detection> SimulatedDetector::detect(const Scene& scene, double image_size) {
+  std::vector<kenning::Detection> out;
+  for (const auto& gt : scene.truths) {
+    const double p = recall_for_height(gt.box.h);
+    if (!rng_.chance(p)) continue;  // miss
+    kenning::Detection d;
+    d.image_id = scene.image_id;
+    d.box = gt.box;
+    // localisation jitter proportional to extent
+    d.box.x += rng_.normal(0.0, cfg_.loc_jitter * gt.box.w);
+    d.box.y += rng_.normal(0.0, cfg_.loc_jitter * gt.box.h);
+    d.box.w *= 1.0 + rng_.normal(0.0, cfg_.loc_jitter);
+    d.box.h *= 1.0 + rng_.normal(0.0, cfg_.loc_jitter);
+    d.box.w = std::max(d.box.w, 2.0);
+    d.box.h = std::max(d.box.h, 2.0);
+    // confidence correlates with size (and thus with true-positive-ness)
+    d.score = std::clamp(p + rng_.normal(0.0, cfg_.score_noise), 0.01, 0.999);
+    out.push_back(d);
+  }
+  // background false positives (low-ish confidence clutter)
+  const int fps = rng_.chance(cfg_.fp_per_image) ? 1 : 0;
+  for (int i = 0; i < fps; ++i) {
+    kenning::Detection d;
+    d.image_id = scene.image_id;
+    d.box.w = rng_.uniform(8.0, 60.0);
+    d.box.h = d.box.w * rng_.uniform(1.0, 3.0);
+    d.box.x = rng_.uniform(0.0, image_size - d.box.w);
+    d.box.y = rng_.uniform(0.0, std::max(1.0, image_size - d.box.h));
+    d.score = std::clamp(rng_.uniform(0.05, 0.6) + rng_.normal(0.0, cfg_.score_noise), 0.01, 0.9);
+    out.push_back(d);
+  }
+  return out;
+}
+
+kenning::DetectionEval run_detection_benchmark(SceneGenerator& scenes, SimulatedDetector& detector,
+                                               std::size_t num_scenes, double iou_threshold) {
+  std::vector<kenning::GroundTruth> truths;
+  std::vector<kenning::Detection> detections;
+  for (std::size_t i = 0; i < num_scenes; ++i) {
+    const Scene scene = scenes.next();
+    truths.insert(truths.end(), scene.truths.begin(), scene.truths.end());
+    const auto dets = detector.detect(scene);
+    detections.insert(detections.end(), dets.begin(), dets.end());
+  }
+  return kenning::evaluate_detections(std::move(detections), truths, iou_threshold);
+}
+
+}  // namespace vedliot::apps

@@ -1,0 +1,76 @@
+#pragma once
+/// \file detection.hpp
+/// \brief Synthetic detection workload for the Kenning quality pipeline
+/// (Sec. III: Kenning "can automatically benchmark the processing quality
+/// of a given neural network ... and [generate] recall/precision graphs
+/// for detection algorithms").
+///
+/// A seeded scene generator produces ground-truth pedestrian boxes; a
+/// parameterised detector model produces detections whose quality degrades
+/// realistically (small objects missed more often, localisation jitter,
+/// score-correlated confidence, background false positives). The
+/// kenning::evaluate_detections machinery then produces the PR curve / AP.
+
+#include <vector>
+
+#include "kenning/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace vedliot::apps {
+
+/// One generated scene: ground-truth boxes within an image.
+struct Scene {
+  int image_id = 0;
+  std::vector<kenning::GroundTruth> truths;
+};
+
+class SceneGenerator {
+ public:
+  struct Config {
+    double image_size = 320.0;
+    int max_objects = 4;           ///< uniform 0..max per scene
+    double min_box = 12.0;         ///< smallest pedestrian extent (px)
+    double max_box = 120.0;
+    double aspect = 2.4;           ///< pedestrians are tall: h = aspect * w
+  };
+
+  SceneGenerator(Config config, std::uint64_t seed);
+
+  Scene next();
+
+ private:
+  Config cfg_;
+  Rng rng_;
+  int next_id_ = 0;
+};
+
+/// Parameterised detector model.
+class SimulatedDetector {
+ public:
+  struct Config {
+    double max_recall = 0.98;      ///< detection probability for large objects
+    double size50 = 16.0;          ///< box height at which recall halves
+    double loc_jitter = 0.08;      ///< box jitter as a fraction of extent
+    double fp_per_image = 0.3;     ///< expected background false positives
+    double score_noise = 0.1;      ///< confidence noise
+  };
+
+  SimulatedDetector(Config config, std::uint64_t seed);
+
+  /// Detection probability for an object of the given box height.
+  double recall_for_height(double h) const;
+
+  std::vector<kenning::Detection> detect(const Scene& scene, double image_size = 320.0);
+
+ private:
+  Config cfg_;
+  Rng rng_;
+};
+
+/// Run `scenes` scenes through the detector and evaluate at the IoU
+/// threshold — the full Kenning detection-quality pipeline.
+kenning::DetectionEval run_detection_benchmark(SceneGenerator& scenes, SimulatedDetector& detector,
+                                               std::size_t num_scenes,
+                                               double iou_threshold = 0.5);
+
+}  // namespace vedliot::apps

@@ -1,0 +1,48 @@
+#include "apps/mirror.hpp"
+
+#include "util/error.hpp"
+
+namespace vedliot::apps {
+
+std::vector<MirrorPipeline> default_pipelines() {
+  return {
+      {"gesture", 15.0, 0.10},
+      {"face", 5.0, 0.25},
+      {"object", 5.0, 0.25},
+      {"speech", 20.0, 0.08},
+  };
+}
+
+platform::Workload mirror_workload(const MirrorPipeline& pipeline) {
+  Graph g = [&] {
+    if (pipeline.name == "gesture") return zoo::gesture_net();
+    if (pipeline.name == "face") return zoo::face_net();
+    if (pipeline.name == "object") return zoo::object_det_net();
+    if (pipeline.name == "speech") return zoo::speech_net();
+    throw InvalidArgument("unknown mirror pipeline: " + pipeline.name);
+  }();
+  return platform::Workload::from_graph(pipeline.name, g, DType::kINT8, pipeline.rate_hz,
+                                        pipeline.latency_budget_s);
+}
+
+MirrorPlan plan_smart_mirror(const std::string& main_module,
+                             const std::vector<MirrorPipeline>& pipelines) {
+  platform::Chassis chassis(platform::u_recs());
+  chassis.install("main", platform::find_module(main_module));
+
+  std::vector<platform::Workload> workloads;
+  workloads.reserve(pipelines.size());
+  for (const auto& p : pipelines) workloads.push_back(mirror_workload(p));
+
+  MirrorPlan plan;
+  platform::ResourceManager rm(chassis);
+  plan.placements = rm.place(workloads);  // throws if infeasible
+  plan.average_power_w = platform::ResourceManager::total_average_power_w(plan.placements) +
+                         chassis.module_at("main").device_spec().idle_w;
+  plan.realtime_ok = plan.placements.size() == pipelines.size();
+  plan.within_power_budget = plan.average_power_w <= chassis.spec().total_power_budget_w;
+  plan.privacy_preserved = true;  // by construction: no off-site target exists
+  return plan;
+}
+
+}  // namespace vedliot::apps

@@ -1,0 +1,265 @@
+#include "apps/motor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/fft.hpp"
+
+namespace vedliot::apps {
+
+std::string_view motor_condition_name(MotorCondition c) {
+  switch (c) {
+    case MotorCondition::kHealthy: return "healthy";
+    case MotorCondition::kImbalance: return "imbalance";
+    case MotorCondition::kBearingFault: return "bearing-fault";
+    case MotorCondition::kOverheat: return "overheat";
+  }
+  throw InvalidArgument("unknown MotorCondition");
+}
+
+VibrationGenerator::VibrationGenerator(Config config, std::uint64_t seed)
+    : cfg_(config), rng_(seed) {}
+
+void VibrationGenerator::add_tone(std::vector<float>& spectrum, double freq_hz, double amplitude) {
+  const double nyquist = cfg_.sample_rate_hz / 2.0;
+  const double bin_f = freq_hz / nyquist * static_cast<double>(kSpectrumBins);
+  const auto center = static_cast<std::int64_t>(bin_f);
+  // Spread over 3 bins (window leakage).
+  for (std::int64_t d = -1; d <= 1; ++d) {
+    const std::int64_t b = center + d;
+    if (b < 0 || b >= static_cast<std::int64_t>(kSpectrumBins)) continue;
+    const double w = d == 0 ? 1.0 : 0.35;
+    spectrum[static_cast<std::size_t>(b)] +=
+        static_cast<float>(amplitude * w * (1.0 + rng_.normal(0.0, 0.08)));
+  }
+}
+
+MotorFeatures VibrationGenerator::sample(MotorCondition condition) {
+  MotorFeatures f(kMotorFeatureDim, 0.0f);
+  std::vector<float> spectrum(kSpectrumBins, 0.0f);
+
+  for (auto& v : spectrum) v = static_cast<float>(std::abs(rng_.normal(0.0, cfg_.noise_floor)));
+
+  const double f_rot = cfg_.rpm / 60.0;        // rotation frequency
+  const double f_line = 50.0;                  // mains
+  // Every motor shows the rotation line and mains harmonics.
+  add_tone(spectrum, f_rot, 0.15);
+  add_tone(spectrum, 2 * f_line, 0.1);
+
+  double temp_stator = 55.0 + rng_.normal(0.0, 2.0);
+  double temp_bearing = 45.0 + rng_.normal(0.0, 2.0);
+  double rms_boost = 0.0;
+
+  switch (condition) {
+    case MotorCondition::kHealthy:
+      break;
+    case MotorCondition::kImbalance:
+      // Dominant 1x RPM component plus 2x harmonic.
+      add_tone(spectrum, f_rot, 0.9 * cfg_.severity);
+      add_tone(spectrum, 2 * f_rot, 0.3 * cfg_.severity);
+      rms_boost = 0.2 * cfg_.severity;
+      break;
+    case MotorCondition::kBearingFault: {
+      // Characteristic bearing tones (BPFO/BPFI-like) in the kHz region
+      // with raised broadband noise.
+      add_tone(spectrum, 37.0 * f_rot / 10.0 * 60.0, 0.5 * cfg_.severity);
+      add_tone(spectrum, 1600.0, 0.45 * cfg_.severity);
+      add_tone(spectrum, 2400.0, 0.35 * cfg_.severity);
+      for (std::size_t b = kSpectrumBins / 2; b < kSpectrumBins; ++b) {
+        spectrum[b] += static_cast<float>(std::abs(rng_.normal(0.0, 0.05 * cfg_.severity)));
+      }
+      temp_bearing += 12.0 * cfg_.severity;
+      rms_boost = 0.1 * cfg_.severity;
+      break;
+    }
+    case MotorCondition::kOverheat:
+      temp_stator += 35.0 * cfg_.severity;
+      temp_bearing += 15.0 * cfg_.severity;
+      // Slight electromagnetic signature shift.
+      add_tone(spectrum, 2 * f_line, 0.2 * cfg_.severity);
+      break;
+  }
+
+  std::copy(spectrum.begin(), spectrum.end(), f.begin());
+
+  // Aggregate features.
+  double rms = 0.0, peak = 0.0;
+  for (float v : spectrum) {
+    rms += static_cast<double>(v) * v;
+    peak = std::max(peak, static_cast<double>(v));
+  }
+  rms = std::sqrt(rms / kSpectrumBins) + rms_boost;
+  const double crest = peak / std::max(rms, 1e-9);
+
+  f[kSpectrumBins + 0] = static_cast<float>(temp_stator);
+  f[kSpectrumBins + 1] = static_cast<float>(temp_bearing);
+  f[kSpectrumBins + 2] = static_cast<float>(rms);
+  f[kSpectrumBins + 3] = static_cast<float>(crest);
+  f[kSpectrumBins + 4] = static_cast<float>(12.5 + rng_.normal(0.0, 0.3));  // line current (A)
+  f[kSpectrumBins + 5] = static_cast<float>(cfg_.rpm + rng_.normal(0.0, 5.0));
+  f[kSpectrumBins + 6] = static_cast<float>(0.82 + rng_.normal(0.0, 0.01)); // power factor
+  f[kSpectrumBins + 7] = static_cast<float>(rng_.normal(0.0, 1.0));         // aux noise channel
+  return f;
+}
+
+/// Tone list + context describing one condition's physical signature.
+struct VibrationGenerator::Signature {
+  std::vector<std::pair<double, double>> tones;  ///< (frequency Hz, amplitude)
+  double broadband = 0.0;                        ///< white-noise amplitude (bearing wear)
+  double temp_stator = 55.0;
+  double temp_bearing = 45.0;
+  double rms_boost = 0.0;
+};
+
+VibrationGenerator::Signature VibrationGenerator::signature_for(MotorCondition condition) {
+  const double f_rot = cfg_.rpm / 60.0;
+  const double f_line = 50.0;
+  Signature s;
+  s.tones = {{f_rot, 0.15}, {2 * f_line, 0.1}};
+  s.temp_stator = 55.0 + rng_.normal(0.0, 2.0);
+  s.temp_bearing = 45.0 + rng_.normal(0.0, 2.0);
+  switch (condition) {
+    case MotorCondition::kHealthy:
+      break;
+    case MotorCondition::kImbalance:
+      s.tones.emplace_back(f_rot, 0.9 * cfg_.severity);
+      s.tones.emplace_back(2 * f_rot, 0.3 * cfg_.severity);
+      s.rms_boost = 0.2 * cfg_.severity;
+      break;
+    case MotorCondition::kBearingFault:
+      s.tones.emplace_back(37.0 * f_rot / 10.0 * 60.0, 0.5 * cfg_.severity);
+      s.tones.emplace_back(1600.0, 0.45 * cfg_.severity);
+      s.tones.emplace_back(2400.0, 0.35 * cfg_.severity);
+      s.broadband = 0.08 * cfg_.severity;
+      s.temp_bearing += 12.0 * cfg_.severity;
+      s.rms_boost = 0.1 * cfg_.severity;
+      break;
+    case MotorCondition::kOverheat:
+      s.temp_stator += 35.0 * cfg_.severity;
+      s.temp_bearing += 15.0 * cfg_.severity;
+      s.tones.emplace_back(2 * f_line, 0.2 * cfg_.severity);
+      break;
+  }
+  return s;
+}
+
+VibrationGenerator::Observation VibrationGenerator::sample_observation(MotorCondition condition) {
+  const Signature sig = signature_for(condition);
+  Observation obs;
+  const std::size_t n = 2 * kSpectrumBins;
+  obs.waveform.resize(n);
+  std::vector<double> phases;
+  for (std::size_t t = 0; t < sig.tones.size(); ++t) {
+    phases.push_back(rng_.uniform(0.0, 2.0 * 3.14159265358979));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / cfg_.sample_rate_hz;
+    double x = rng_.normal(0.0, cfg_.noise_floor);
+    for (std::size_t k = 0; k < sig.tones.size(); ++k) {
+      x += sig.tones[k].second * std::sin(2.0 * 3.14159265358979 * sig.tones[k].first * t + phases[k]);
+    }
+    if (sig.broadband > 0) x += rng_.normal(0.0, sig.broadband);
+    obs.waveform[i] = static_cast<float>(x);
+  }
+  obs.temp_stator_c = sig.temp_stator;
+  obs.temp_bearing_c = sig.temp_bearing;
+  obs.line_current_a = 12.5 + rng_.normal(0.0, 0.3);
+  obs.rpm = cfg_.rpm + rng_.normal(0.0, 5.0);
+  obs.power_factor = 0.82 + rng_.normal(0.0, 0.01);
+  return obs;
+}
+
+MotorFeatures features_from_observation(const VibrationGenerator::Observation& obs,
+                                        double sample_rate_hz) {
+  (void)sample_rate_hz;  // the feature layout is bin-indexed, not Hz-indexed
+  VEDLIOT_CHECK(obs.waveform.size() >= 2 * kSpectrumBins,
+                "waveform too short for the FFT front-end");
+  MotorFeatures f(kMotorFeatureDim, 0.0f);
+  const auto spectrum = dsp::magnitude_spectrum(obs.waveform, 2 * kSpectrumBins);
+  for (std::size_t i = 0; i < kSpectrumBins; ++i) f[i] = static_cast<float>(spectrum[i]);
+
+  double rms = 0.0, peak = 0.0;
+  for (double v : spectrum) {
+    rms += v * v;
+    peak = std::max(peak, v);
+  }
+  rms = std::sqrt(rms / static_cast<double>(kSpectrumBins));
+  const double crest = peak / std::max(rms, 1e-9);
+
+  f[kSpectrumBins + 0] = static_cast<float>(obs.temp_stator_c);
+  f[kSpectrumBins + 1] = static_cast<float>(obs.temp_bearing_c);
+  f[kSpectrumBins + 2] = static_cast<float>(rms);
+  f[kSpectrumBins + 3] = static_cast<float>(crest);
+  f[kSpectrumBins + 4] = static_cast<float>(obs.line_current_a);
+  f[kSpectrumBins + 5] = static_cast<float>(obs.rpm);
+  f[kSpectrumBins + 6] = static_cast<float>(obs.power_factor);
+  f[kSpectrumBins + 7] = 0.0f;
+  return f;
+}
+
+void MotorClassifier::fit(const std::vector<std::pair<MotorFeatures, MotorCondition>>& samples) {
+  VEDLIOT_CHECK(!samples.empty(), "cannot fit on empty data");
+  // Standardize features so temperatures and spectrum bins are comparable.
+  mean_.assign(kMotorFeatureDim, 0.0);
+  scale_.assign(kMotorFeatureDim, 0.0);
+  for (const auto& [x, y] : samples) {
+    VEDLIOT_CHECK(x.size() == kMotorFeatureDim, "bad feature dimension");
+    for (std::size_t i = 0; i < kMotorFeatureDim; ++i) mean_[i] += x[i];
+  }
+  for (auto& m : mean_) m /= static_cast<double>(samples.size());
+  for (const auto& [x, y] : samples) {
+    for (std::size_t i = 0; i < kMotorFeatureDim; ++i) {
+      scale_[i] += (x[i] - mean_[i]) * (x[i] - mean_[i]);
+    }
+  }
+  for (auto& s : scale_) s = std::max(std::sqrt(s / static_cast<double>(samples.size())), 1e-6);
+
+  std::array<std::size_t, kMotorConditionCount> counts{};
+  for (auto& c : centroids_) c.assign(kMotorFeatureDim, 0.0);
+  for (const auto& [x, y] : samples) {
+    auto& c = centroids_[static_cast<std::size_t>(y)];
+    for (std::size_t i = 0; i < kMotorFeatureDim; ++i) c[i] += (x[i] - mean_[i]) / scale_[i];
+    ++counts[static_cast<std::size_t>(y)];
+  }
+  for (std::size_t k = 0; k < kMotorConditionCount; ++k) {
+    VEDLIOT_CHECK(counts[k] > 0, "fit requires samples of every condition");
+    for (auto& v : centroids_[k]) v /= static_cast<double>(counts[k]);
+  }
+  fitted_ = true;
+}
+
+MotorCondition MotorClassifier::classify(const MotorFeatures& features) const {
+  VEDLIOT_CHECK(fitted_, "classifier not fitted");
+  VEDLIOT_CHECK(features.size() == kMotorFeatureDim, "bad feature dimension");
+  double best = 0.0;
+  std::size_t best_k = 0;
+  for (std::size_t k = 0; k < kMotorConditionCount; ++k) {
+    double dist = 0.0;
+    for (std::size_t i = 0; i < kMotorFeatureDim; ++i) {
+      const double z = (features[i] - mean_[i]) / scale_[i] - centroids_[k][i];
+      dist += z * z;
+    }
+    if (k == 0 || dist < best) {
+      best = dist;
+      best_k = k;
+    }
+  }
+  return static_cast<MotorCondition>(best_k);
+}
+
+double MotorBoxEnergy::average_power_w(double interval_s) const {
+  VEDLIOT_CHECK(interval_s > 0, "interval must be positive");
+  const double active_s = sense_s + compute_s;
+  VEDLIOT_CHECK(interval_s >= active_s, "interval shorter than the active burst");
+  const double energy_per_cycle = sense_w * sense_s + compute_w * compute_s +
+                                  sleep_w * (interval_s - active_s);
+  return energy_per_cycle / interval_s;
+}
+
+double MotorBoxEnergy::battery_life_days(double interval_s, double battery_wh) const {
+  const double p = average_power_w(interval_s);
+  return battery_wh / p / 24.0;
+}
+
+}  // namespace vedliot::apps

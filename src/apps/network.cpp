@@ -1,0 +1,67 @@
+#include "apps/network.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vedliot::apps {
+
+std::string_view coverage_name(Coverage c) {
+  switch (c) {
+    case Coverage::kGood5G: return "5G";
+    case Coverage::kUrban4G: return "urban-4G";
+    case Coverage::kSuburban4G: return "suburban-4G";
+    case Coverage::kRural3G: return "rural-3G";
+    case Coverage::kDeadZone: return "dead-zone";
+  }
+  throw InvalidArgument("unknown Coverage");
+}
+
+LinkState nominal_state(Coverage c) {
+  switch (c) {
+    case Coverage::kGood5G: return {120.0, 12.0, 0.001};
+    case Coverage::kUrban4G: return {35.0, 35.0, 0.005};
+    case Coverage::kSuburban4G: return {12.0, 55.0, 0.01};
+    case Coverage::kRural3G: return {2.0, 140.0, 0.03};
+    case Coverage::kDeadZone: return {0.05, 800.0, 0.3};
+  }
+  throw InvalidArgument("unknown Coverage");
+}
+
+MobileNetwork::MobileNetwork(Coverage coverage, std::uint64_t seed)
+    : coverage_(coverage), state_(nominal_state(coverage)), rng_(seed) {}
+
+const LinkState& MobileNetwork::step(double dt_s) {
+  const LinkState nominal = nominal_state(coverage_);
+  // Mean-reverting random walk (fading), with occasional deep fades.
+  const double revert = std::min(1.0, dt_s / 2.0);
+  auto wander = [&](double cur, double nom, double rel_noise, double lo) {
+    double next = cur + (nom - cur) * revert + rng_.normal(0.0, nom * rel_noise * dt_s);
+    if (rng_.chance(0.02 * dt_s)) next *= 0.3;  // shadowing event
+    return std::max(lo, next);
+  };
+  state_.bandwidth_mbps = wander(state_.bandwidth_mbps, nominal.bandwidth_mbps, 0.15, 0.01);
+  state_.rtt_ms = std::max(1.0, state_.rtt_ms + (nominal.rtt_ms - state_.rtt_ms) * revert +
+                                    rng_.normal(0.0, nominal.rtt_ms * 0.1 * dt_s));
+  state_.loss = std::clamp(nominal.loss + rng_.normal(0.0, nominal.loss * 0.2), 0.0, 0.9);
+  return state_;
+}
+
+LinkState MobileNetwork::probe() {
+  LinkState est = state_;
+  est.bandwidth_mbps = std::max(0.01, est.bandwidth_mbps * (1.0 + rng_.normal(0.0, 0.1)));
+  est.rtt_ms = std::max(1.0, est.rtt_ms * (1.0 + rng_.normal(0.0, 0.08)));
+  return est;
+}
+
+double MobileNetwork::transfer_time_s(double payload_bytes, double response_bytes) const {
+  const double up = payload_bytes * 8.0 / (state_.bandwidth_mbps * 1e6);
+  // Downlink assumed 4x the uplink (typical asymmetry).
+  const double down = response_bytes * 8.0 / (state_.bandwidth_mbps * 4.0 * 1e6);
+  const double rtt = state_.rtt_ms * 1e-3;
+  // Expected retransmission inflation under iid loss.
+  const double inflation = 1.0 / std::max(1e-6, 1.0 - state_.loss);
+  return (up + down) * inflation + rtt;
+}
+
+}  // namespace vedliot::apps

@@ -1,0 +1,56 @@
+#pragma once
+/// \file network.hpp
+/// \brief Mobile network model for the automotive offload use case
+/// (Sec. V-A): bandwidth/latency vary with conditions; the offload manager
+/// must "quickly monitor available mobile networks, their speed and
+/// latency" — so the model exposes both the true state and a sampled,
+/// slightly stale estimate like a real probe would see.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vedliot::apps {
+
+/// One instantaneous link condition.
+struct LinkState {
+  double bandwidth_mbps = 10.0;  ///< uplink
+  double rtt_ms = 50.0;
+  double loss = 0.0;             ///< packet loss probability
+};
+
+/// Named coverage scenarios.
+enum class Coverage { kGood5G, kUrban4G, kSuburban4G, kRural3G, kDeadZone };
+
+std::string_view coverage_name(Coverage c);
+LinkState nominal_state(Coverage c);
+
+/// Markov-modulated link: wanders around the nominal state, occasionally
+/// dropping a tier (handover/shadowing events).
+class MobileNetwork {
+ public:
+  MobileNetwork(Coverage coverage, std::uint64_t seed);
+
+  /// Advance time by dt and return the true state.
+  const LinkState& step(double dt_s);
+
+  const LinkState& state() const { return state_; }
+  Coverage coverage() const { return coverage_; }
+
+  /// What a monitoring probe measures: the state convolved with measurement
+  /// noise (the decision logic never sees ground truth).
+  LinkState probe();
+
+  /// Expected time to push `payload_bytes` up and get `response_bytes`
+  /// back, including retransmissions at the current loss rate.
+  double transfer_time_s(double payload_bytes, double response_bytes) const;
+
+ private:
+  Coverage coverage_;
+  LinkState state_;
+  Rng rng_;
+};
+
+}  // namespace vedliot::apps

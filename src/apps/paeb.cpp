@@ -1,0 +1,82 @@
+#include "apps/paeb.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vedliot::apps {
+
+double PaebScenario::decision_budget_s() const {
+  const double v = vehicle_speed_kmh / 3.6;  // m/s
+  VEDLIOT_CHECK(v > 0, "vehicle must be moving");
+  const double braking_distance = v * v / (2.0 * brake_decel_ms2);
+  const double distance_budget = detection_distance_m - braking_distance;
+  const double t = distance_budget / v - system_margin_s;
+  return std::max(0.0, t);
+}
+
+OffloadManager::OffloadManager(PaebConfig config, PaebWorkload workload)
+    : cfg_(std::move(config)), work_(workload) {
+  VEDLIOT_CHECK(work_.ops > 0, "PAEB workload has no operations");
+}
+
+double OffloadManager::local_latency_s() const {
+  return hw::estimate_workload(cfg_.oncar_device, work_.ops, work_.traffic_bytes,
+                               work_.weight_bytes, 1, work_.dtype)
+      .latency_s;
+}
+
+double OffloadManager::local_energy_j() const {
+  return hw::estimate_workload(cfg_.oncar_device, work_.ops, work_.traffic_bytes,
+                               work_.weight_bytes, 1, work_.dtype)
+      .energy_j;
+}
+
+OffloadDecision OffloadManager::decide(const PaebScenario& scenario, const LinkState& link,
+                                       bool edge_attested) const {
+  const double budget = scenario.decision_budget_s();
+
+  // Local option.
+  const auto local = hw::estimate_workload(cfg_.oncar_device, work_.ops, work_.traffic_bytes,
+                                           work_.weight_bytes, 1, work_.dtype);
+  OffloadDecision local_choice;
+  local_choice.offloaded = false;
+  local_choice.latency_s = local.latency_s;
+  local_choice.oncar_energy_j = local.energy_j;
+  local_choice.total_energy_j = local.energy_j;
+  local_choice.deadline_met = local.latency_s <= budget;
+  local_choice.reason = "local inference";
+
+  // Remote option.
+  OffloadDecision remote_choice;
+  remote_choice.offloaded = true;
+  const double up_s = work_.frame_bytes * 8.0 / (link.bandwidth_mbps * 1e6) /
+                      std::max(1e-6, 1.0 - link.loss);
+  const double down_s = work_.result_bytes * 8.0 / (link.bandwidth_mbps * 4.0 * 1e6);
+  const auto edge = hw::estimate_workload(cfg_.edge_device, work_.ops, work_.traffic_bytes,
+                                          work_.weight_bytes, 1, work_.dtype);
+  double latency = up_s + link.rtt_ms * 1e-3 + edge.latency_s + down_s;
+  if (cfg_.require_attestation) latency += cfg_.attest_overhead_s;
+  remote_choice.latency_s = latency;
+  remote_choice.oncar_energy_j = cfg_.radio_tx_w * up_s + cfg_.radio_idle_w * (latency - up_s);
+  remote_choice.total_energy_j = remote_choice.oncar_energy_j + edge.energy_j;
+  remote_choice.deadline_met = latency <= budget;
+  remote_choice.reason = "edge offload";
+
+  if (cfg_.require_attestation && !edge_attested) {
+    remote_choice.deadline_met = false;
+    remote_choice.reason = "edge not attested: raw sensor data must stay on-car";
+  }
+
+  // Pick the choice that meets the deadline with lowest on-car energy;
+  // if neither meets it, run locally (never gamble safety on the network).
+  if (remote_choice.deadline_met &&
+      (!local_choice.deadline_met ||
+       remote_choice.oncar_energy_j < local_choice.oncar_energy_j)) {
+    return remote_choice;
+  }
+  return local_choice;
+}
+
+}  // namespace vedliot::apps

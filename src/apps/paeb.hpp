@@ -1,0 +1,80 @@
+#pragma once
+/// \file paeb.hpp
+/// \brief Pedestrian Automatic Emergency Braking (Sec. V-A): distribute the
+/// detection pipeline between the on-car computer and an edge station,
+/// minimizing on-car energy while always meeting the braking deadline.
+
+#include <optional>
+#include <string>
+
+#include "apps/network.hpp"
+#include "hw/device.hpp"
+#include "hw/perf_model.hpp"
+
+namespace vedliot::apps {
+
+/// The driving scenario that fixes the latency budget.
+struct PaebScenario {
+  double vehicle_speed_kmh = 50.0;
+  double detection_distance_m = 40.0;  ///< pedestrian first observable here
+  double brake_decel_ms2 = 8.0;        ///< emergency braking deceleration
+  double system_margin_s = 0.15;       ///< actuation + controller margin
+
+  /// Time available from frame capture to a braking decision: time until
+  /// braking must begin so the car stops short of the pedestrian.
+  double decision_budget_s() const;
+};
+
+/// The perception workload (per frame).
+struct PaebWorkload {
+  double ops = 0;              ///< detector ops per frame
+  double frame_bytes = 0;      ///< compressed frame for offload
+  double result_bytes = 256;   ///< detection list coming back
+  double traffic_bytes = 0;    ///< on-accelerator operand traffic
+  double weight_bytes = 0;
+  DType dtype = DType::kINT8;
+};
+
+/// Where a frame was processed and what it cost.
+struct OffloadDecision {
+  bool offloaded = false;
+  double latency_s = 0;
+  double oncar_energy_j = 0;   ///< what the battery pays
+  double total_energy_j = 0;   ///< including the edge station
+  bool deadline_met = false;
+  std::string reason;
+};
+
+/// Policy inputs: the on-car device, the edge device, radio power model.
+struct PaebConfig {
+  hw::DeviceSpec oncar_device;
+  hw::DeviceSpec edge_device;
+  double radio_tx_w = 2.5;     ///< uplink transmit power
+  double radio_idle_w = 0.3;
+  bool require_attestation = true;
+  double attest_overhead_s = 0.004;  ///< amortized re-attestation cost
+};
+
+/// Decide per frame: run locally, or ship to the edge.
+///
+/// The optimizer ("minimize the on-car energy consumption") offloads only
+/// when the network is good enough that (tx energy) < (local inference
+/// energy) AND the end-to-end latency still meets the braking deadline AND
+/// the edge is attested (raw sensor data never goes to unattested nodes).
+class OffloadManager {
+ public:
+  OffloadManager(PaebConfig config, PaebWorkload workload);
+
+  OffloadDecision decide(const PaebScenario& scenario, const LinkState& link,
+                         bool edge_attested) const;
+
+  /// Energy of pure-local operation (the baseline the paper compares with).
+  double local_energy_j() const;
+  double local_latency_s() const;
+
+ private:
+  PaebConfig cfg_;
+  PaebWorkload work_;
+};
+
+}  // namespace vedliot::apps

@@ -1,0 +1,97 @@
+#include "core/autotune.hpp"
+
+#include <limits>
+
+#include "graph/cost.hpp"
+#include "hw/perf_model.hpp"
+#include "opt/prune.hpp"
+#include "opt/quantize.hpp"
+#include "runtime/executor.hpp"
+#include "util/error.hpp"
+
+namespace vedliot::core {
+
+std::string TuneOption::name() const {
+  std::string out(dtype_name(dtype));
+  if (channel_prune > 0) {
+    out += "+prune" + std::to_string(static_cast<int>(channel_prune * 100)) + "%";
+  }
+  return out;
+}
+
+TuneResult autotune(const Graph& model, const hw::DeviceSpec& device, const TuneBudget& budget,
+                    std::span<const Tensor> probes) {
+  VEDLIOT_CHECK(model.weights_materialized(), "autotune requires materialized weights");
+  VEDLIOT_CHECK(!probes.empty(), "autotune requires probe inputs");
+
+  // FP32 reference outputs.
+  std::vector<Tensor> references;
+  {
+    Graph ref = model.clone();
+    Executor exec(ref);
+    for (const Tensor& p : probes) references.push_back(exec.run_single(p));
+  }
+
+  std::vector<TuneOption> options;
+  for (DType dt : {DType::kFP32, DType::kFP16, DType::kINT8}) {
+    if (!device.supports(dt)) continue;
+    for (double prune : {0.0, 0.25, 0.5}) options.push_back({dt, prune});
+  }
+  VEDLIOT_CHECK(!options.empty(), device.name + " supports none of fp32/fp16/int8");
+
+  TuneResult result;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (const TuneOption& option : options) {
+    Graph candidate = model.clone();
+    if (option.channel_prune > 0) {
+      opt::ChannelPrunePass pass(option.channel_prune);
+      pass.run(candidate);
+    }
+    if (option.dtype == DType::kINT8) {
+      opt::QuantizeWeightsPass pass(DType::kINT8);
+      pass.run(candidate);
+    } else if (option.dtype == DType::kFP16) {
+      opt::Fp16CastPass pass;
+      pass.run(candidate);
+    }
+
+    TunePoint point;
+    point.option = option;
+
+    // Accuracy proxy: really execute the transformed model.
+    Executor exec(candidate);
+    double rmse_sum = 0;
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      rmse_sum += rmse(exec.run_single(probes[i]), references[i]);
+    }
+    point.output_rmse = rmse_sum / static_cast<double>(probes.size());
+
+    // Hardware metrics: structured pruning credits effective MACs, the
+    // precision sets the compute roof and the traffic, both through the
+    // device model.
+    const double eff_ops = 2.0 * static_cast<double>(opt::effective_macs(candidate));
+    const double keep = 1.0 - option.channel_prune;
+    const double traffic = graph_traffic_bytes_with_locality(
+                               candidate, option.dtype, option.dtype,
+                               device.onchip_mib * 1024 * 1024) *
+                           keep;
+    const double wbytes = weight_bytes(candidate, option.dtype) * keep;
+    const auto estimate =
+        hw::estimate_workload(device, eff_ops, traffic, wbytes, 1, option.dtype);
+    point.latency_s = estimate.latency_s;
+    point.energy_per_inference_j = estimate.energy_per_inference_j;
+    point.meets_latency = point.latency_s <= budget.latency_s;
+    point.meets_quality = point.output_rmse <= budget.max_output_rmse;
+
+    if (point.meets_latency && point.meets_quality &&
+        point.energy_per_inference_j < best_energy) {
+      best_energy = point.energy_per_inference_j;
+      result.best = point;
+      result.feasible = true;
+    }
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+}  // namespace vedliot::core

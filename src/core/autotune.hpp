@@ -1,0 +1,57 @@
+#pragma once
+/// \file autotune.hpp
+/// \brief Hardware-aware model optimization search (Sec. III: "novel
+/// methods for hardware-aware optimization are developed ... Utilizing the
+/// knowledge of the target hardware leads to optimizations that translate
+/// to improved execution metrics when deployed").
+///
+/// Explores (precision x structured-pruning) configurations for a specific
+/// target device: latency/energy come from the device model (so a
+/// transformation the hardware cannot exploit earns nothing), accuracy
+/// impact is measured by really executing the transformed model against
+/// the FP32 reference on probe inputs.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hw/device.hpp"
+
+namespace vedliot::core {
+
+struct TuneOption {
+  DType dtype = DType::kFP32;
+  double channel_prune = 0.0;  ///< structured pruning fraction
+
+  std::string name() const;
+};
+
+struct TunePoint {
+  TuneOption option;
+  double latency_s = 0;
+  double energy_per_inference_j = 0;
+  double output_rmse = 0;      ///< vs the FP32 reference (softmax scale)
+  bool meets_latency = false;
+  bool meets_quality = false;
+};
+
+struct TuneResult {
+  std::vector<TunePoint> points;  ///< every evaluated configuration
+  TunePoint best;                 ///< min energy among feasible points
+  bool feasible = false;
+};
+
+struct TuneBudget {
+  double latency_s = 0.1;
+  double max_output_rmse = 0.05;  ///< quality floor (softmax-output scale)
+};
+
+/// Evaluate the option grid (device-supported precisions x prune levels
+/// {0, 0.25, 0.5}) for \p model on \p device. The model must be
+/// weights-materialized; it is not modified (each option works on a clone).
+/// \p probes are sample inputs for the accuracy proxy (>= 1 required).
+TuneResult autotune(const Graph& model, const hw::DeviceSpec& device, const TuneBudget& budget,
+                    std::span<const Tensor> probes);
+
+}  // namespace vedliot::core

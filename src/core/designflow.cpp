@@ -1,0 +1,151 @@
+#include "core/designflow.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "graph/cost.hpp"
+#include "opt/fusion.hpp"
+#include "opt/quantize.hpp"
+#include "platform/microserver.hpp"
+#include "util/table.hpp"
+
+namespace vedliot::core {
+
+namespace {
+
+platform::BaseboardSpec board_for(const std::string& name) {
+  if (name == "uRECS") return platform::u_recs();
+  if (name == "t.RECS") return platform::t_recs();
+  if (name == "RECS|Box") return platform::recs_box();
+  throw DesignFlowError("unknown platform: " + name);
+}
+
+/// Modules installable on the given board (form-factor compatible with any
+/// slot and within its power budget).
+std::vector<platform::MicroserverModule> compatible_modules(const platform::BaseboardSpec& board) {
+  std::vector<platform::MicroserverModule> out;
+  for (const auto& m : platform::module_catalog()) {
+    for (const auto& slot : board.slots) {
+      if (slot.accepts_form(m.form) && m.max_power_w <= slot.power_budget_w) {
+        out.push_back(m);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FlowReport run_design_flow(Graph& model, const DesignSpec& spec) {
+  FlowReport report;
+  report.application = spec.application;
+  report.model = model.name();
+  report.platform = spec.platform;
+
+  // --- Stage 1: toolchain optimization (Sec. III) ---
+  opt::PassManager pm;
+  if (spec.fuse_operators) {
+    pm.add(std::make_unique<opt::FuseBatchNormPass>());
+    pm.add(std::make_unique<opt::FuseActivationPass>());
+  }
+  if (spec.quantize_int8 && model.weights_materialized()) {
+    pm.add(std::make_unique<opt::QuantizeWeightsPass>(DType::kINT8));
+  }
+  report.optimization_log = pm.run(model);
+
+  // --- Stage 2: accelerator selection (Sec. II-B/C) ---
+  const auto board = board_for(spec.platform);
+  const auto modules = compatible_modules(board);
+  if (modules.empty()) throw DesignFlowError("no modules compatible with " + spec.platform);
+
+  const platform::MicroserverModule* best_module = nullptr;
+  std::optional<hw::PerfEstimate> best;
+  DType best_dtype = DType::kFP32;
+
+  for (const auto& module : modules) {
+    const hw::DeviceSpec& dev = module.device_spec();
+    // Prefer the lowest-precision dtype the device supports (most efficient),
+    // honoring the spec's quantization policy.
+    DType dt = DType::kFP32;
+    if (spec.quantize_int8 && dev.supports(DType::kINT8)) dt = DType::kINT8;
+    else if (dev.supports(DType::kFP16)) dt = DType::kFP16;
+    else if (!dev.supports(DType::kFP32)) dt = dev.best_dtype;
+
+    CandidateResult cand;
+    cand.device = dev.name;
+    cand.dtype = dt;
+    try {
+      const hw::PerfEstimate e = hw::estimate(dev, model, dt);
+      cand.latency_s = e.latency_s;
+      cand.power_w = e.power_w;
+      cand.energy_per_inference_j = e.energy_per_inference_j;
+      const double duty = std::min(1.0, e.latency_s * spec.rate_hz);
+      const double avg_power = dev.idle_w + (e.power_w - dev.idle_w) * duty;
+      if (e.latency_s > spec.latency_budget_s) {
+        cand.rejection = "latency over budget";
+      } else if (avg_power > spec.power_budget_w) {
+        cand.rejection = "power over budget";
+      } else if (e.latency_s * spec.rate_hz > 1.0) {
+        cand.rejection = "cannot sustain the inference rate";
+      } else {
+        cand.feasible = true;
+        if (!best || cand.energy_per_inference_j < best->energy_per_inference_j) {
+          best = e;
+          best_module = &platform::find_module(module.name);
+          best_dtype = dt;
+        }
+      }
+    } catch (const Unsupported& e) {
+      cand.rejection = e.what();
+    }
+    report.candidates.push_back(cand);
+  }
+
+  if (!best) {
+    throw DesignFlowError("no accelerator on " + spec.platform +
+                          " meets the latency/power budgets for " + model.name());
+  }
+
+  report.selected_device = best->device;
+  report.selected_module = best_module->name;
+  report.estimate = *best;
+  (void)best_dtype;
+  const hw::DeviceSpec& dev = best_module->device_spec();
+  const double duty = std::min(1.0, best->latency_s * spec.rate_hz);
+  report.duty_cycled_power_w = dev.idle_w + (best->power_w - dev.idle_w) * duty;
+
+  // --- Stage 3: safety & security wiring (Sec. IV) ---
+  report.attestation_configured = spec.require_attestation;
+  report.robustness_monitor_configured = spec.enable_robustness_monitor;
+
+  return report;
+}
+
+std::string FlowReport::to_markdown() const {
+  std::ostringstream os;
+  os << "# VEDLIoT design-flow report: " << application << "\n\n";
+  os << "- model: **" << model << "**\n";
+  os << "- platform: **" << platform << "**, module: **" << selected_module << "** (device "
+     << selected_device << ")\n";
+  os << "- latency: " << fmt_fixed(estimate.latency_s * 1e3, 2) << " ms, power "
+     << fmt_fixed(estimate.power_w, 2) << " W (duty-cycled " << fmt_fixed(duty_cycled_power_w, 2)
+     << " W), energy/inference " << fmt_fixed(estimate.energy_per_inference_j * 1e3, 2) << " mJ\n";
+  os << "- attestation: " << (attestation_configured ? "enabled" : "off")
+     << ", robustness monitor: " << (robustness_monitor_configured ? "enabled" : "off") << "\n\n";
+  os << "## Optimization passes\n\n";
+  for (const auto& p : optimization_log) {
+    os << "- " << p.pass_name << ": " << p.detail << "\n";
+  }
+  os << "\n## Candidate accelerators\n\n| device | dtype | latency ms | power W | mJ/inf | verdict |\n|---|---|---|---|---|---|\n";
+  for (const auto& c : candidates) {
+    os << "| " << c.device << " | " << dtype_name(c.dtype) << " | "
+       << fmt_fixed(c.latency_s * 1e3, 2) << " | " << fmt_fixed(c.power_w, 2) << " | "
+       << fmt_fixed(c.energy_per_inference_j * 1e3, 2) << " | "
+       << (c.feasible ? "ok" : c.rejection) << " |\n";
+  }
+  return os.str();
+}
+
+}  // namespace vedliot::core

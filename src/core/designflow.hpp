@@ -1,0 +1,74 @@
+#pragma once
+/// \file designflow.hpp
+/// \brief The VEDLIoT design flow façade (Fig. 1): given a model and the
+/// application's requirements, run the complete bottom-up pipeline —
+/// optimize the network (Sec. III), select an accelerator (Sec. II),
+/// place it on a RECS platform (Sec. II-A), wire in safety monitoring
+/// (Sec. IV-B) and attestation-backed security (Sec. IV-C) — and emit a
+/// single report. This is the "complete design flow for Next-Generation
+/// IoT devices" the abstract promises, as one API call.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hw/device.hpp"
+#include "hw/perf_model.hpp"
+#include "opt/pass.hpp"
+#include "platform/baseboard.hpp"
+
+namespace vedliot::core {
+
+/// What the application needs from the deployment.
+struct DesignSpec {
+  std::string application;          ///< for the report
+  double latency_budget_s = 0.1;    ///< per inference
+  double power_budget_w = 15.0;     ///< whole node (uRECS default)
+  double rate_hz = 10.0;            ///< sustained inference rate
+  bool quantize_int8 = true;        ///< allow INT8 when the target supports it
+  bool fuse_operators = true;
+  bool require_attestation = false; ///< Sec. IV-C
+  bool enable_robustness_monitor = false;  ///< Sec. IV-B
+  std::string platform = "uRECS";   ///< "uRECS" | "t.RECS" | "RECS|Box"
+};
+
+/// One candidate evaluated during device selection.
+struct CandidateResult {
+  std::string device;
+  DType dtype = DType::kFP32;
+  double latency_s = 0;
+  double power_w = 0;
+  double energy_per_inference_j = 0;
+  bool feasible = false;
+  std::string rejection;            ///< why it was rejected, if it was
+};
+
+/// The flow's output.
+struct FlowReport {
+  std::string application;
+  std::string model;
+  std::vector<opt::PassResult> optimization_log;
+  std::vector<CandidateResult> candidates;
+  std::string selected_device;
+  std::string selected_module;
+  std::string platform;
+  hw::PerfEstimate estimate;
+  double duty_cycled_power_w = 0;   ///< power at the requested rate
+  bool attestation_configured = false;
+  bool robustness_monitor_configured = false;
+
+  std::string to_markdown() const;
+};
+
+class DesignFlowError : public Error {
+ public:
+  explicit DesignFlowError(const std::string& message) : Error(message) {}
+};
+
+/// Run the flow. The graph is optimized in place (fusion/quantization).
+/// Throws DesignFlowError when no module on the chosen platform meets the
+/// latency and power budgets.
+FlowReport run_design_flow(Graph& model, const DesignSpec& spec);
+
+}  // namespace vedliot::core

@@ -1,0 +1,56 @@
+#include "graph/attr.hpp"
+
+#include "util/error.hpp"
+
+namespace vedliot {
+
+namespace {
+const AttrValue& lookup(const std::map<std::string, AttrValue>& values, const std::string& key) {
+  auto it = values.find(key);
+  if (it == values.end()) throw NotFound("attribute not found: " + key);
+  return it->second;
+}
+
+template <typename T>
+const T& typed(const AttrValue& v, const std::string& key) {
+  const T* p = std::get_if<T>(&v);
+  if (!p) throw InvalidArgument("attribute has wrong type: " + key);
+  return *p;
+}
+}  // namespace
+
+std::int64_t AttrMap::get_int(const std::string& key) const {
+  return typed<std::int64_t>(lookup(values_, key), key);
+}
+
+double AttrMap::get_float(const std::string& key) const {
+  return typed<double>(lookup(values_, key), key);
+}
+
+const std::string& AttrMap::get_str(const std::string& key) const {
+  return typed<std::string>(lookup(values_, key), key);
+}
+
+const std::vector<std::int64_t>& AttrMap::get_ints(const std::string& key) const {
+  return typed<std::vector<std::int64_t>>(lookup(values_, key), key);
+}
+
+std::int64_t AttrMap::get_int_or(const std::string& key, std::int64_t dflt) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return dflt;
+  return typed<std::int64_t>(it->second, key);
+}
+
+double AttrMap::get_float_or(const std::string& key, double dflt) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return dflt;
+  return typed<double>(it->second, key);
+}
+
+std::string AttrMap::get_str_or(const std::string& key, const std::string& dflt) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return dflt;
+  return typed<std::string>(it->second, key);
+}
+
+}  // namespace vedliot

@@ -1,0 +1,46 @@
+#pragma once
+/// \file attr.hpp
+/// \brief ONNX-style typed attribute map attached to graph nodes.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace vedliot {
+
+using AttrValue = std::variant<std::int64_t, double, std::string, std::vector<std::int64_t>>;
+
+/// Ordered map of named attributes with checked typed access.
+class AttrMap {
+ public:
+  void set_int(const std::string& key, std::int64_t v) { values_[key] = v; }
+  void set_float(const std::string& key, double v) { values_[key] = v; }
+  void set_str(const std::string& key, std::string v) { values_[key] = std::move(v); }
+  void set_ints(const std::string& key, std::vector<std::int64_t> v) { values_[key] = std::move(v); }
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  /// Typed getters throw NotFound / InvalidArgument on missing key or wrong type.
+  std::int64_t get_int(const std::string& key) const;
+  double get_float(const std::string& key) const;
+  const std::string& get_str(const std::string& key) const;
+  const std::vector<std::int64_t>& get_ints(const std::string& key) const;
+
+  /// Getters with defaults never throw on a missing key.
+  std::int64_t get_int_or(const std::string& key, std::int64_t dflt) const;
+  double get_float_or(const std::string& key, double dflt) const;
+  std::string get_str_or(const std::string& key, const std::string& dflt) const;
+
+  void erase(const std::string& key) { values_.erase(key); }
+
+  const std::map<std::string, AttrValue>& raw() const { return values_; }
+
+  bool operator==(const AttrMap& other) const { return values_ == other.values_; }
+
+ private:
+  std::map<std::string, AttrValue> values_;
+};
+
+}  // namespace vedliot

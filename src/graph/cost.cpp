@@ -1,0 +1,146 @@
+#include "graph/cost.hpp"
+
+#include <algorithm>
+
+namespace vedliot {
+
+NodeCost node_cost(const Graph& g, NodeId id) {
+  const Node& n = g.node(id);
+  NodeCost c;
+  c.params = g.param_count(id);
+  c.output_elems = n.out_shape.numel();
+  for (NodeId in : n.inputs) c.input_elems += g.node(in).out_shape.numel();
+
+  const std::int64_t out = c.output_elems;
+  switch (n.kind) {
+    case OpKind::kInput:
+    case OpKind::kIdentity:
+    case OpKind::kFlatten:
+    case OpKind::kUpsample:   // nearest-neighbour copy, no arithmetic
+    case OpKind::kConcat:     // pure data movement
+      break;
+
+    case OpKind::kConv2d: {
+      const Shape& in = g.node(n.inputs.at(0)).out_shape;
+      const auto k = n.attrs.get_int("kernel");
+      const auto groups = n.attrs.get_int_or("groups", 1);
+      const auto ic_per_group = in.c() / groups;
+      c.macs = out * ic_per_group * k * k;
+      c.ops = 2 * c.macs;
+      if (n.attrs.get_int_or("bias", 1)) c.ops += out;
+      break;
+    }
+
+    case OpKind::kDense: {
+      const Shape& in = g.node(n.inputs.at(0)).out_shape;
+      c.macs = out * in.dim(1);
+      c.ops = 2 * c.macs;
+      if (n.attrs.get_int_or("bias", 1)) c.ops += out;
+      break;
+    }
+
+    case OpKind::kBatchNorm:
+      c.ops = 2 * out;  // scale + shift per element (folded stats)
+      break;
+
+    case OpKind::kRelu:
+    case OpKind::kRelu6:
+      c.ops = out;
+      break;
+
+    case OpKind::kLeakyRelu:
+    case OpKind::kHSigmoid:
+      c.ops = 2 * out;
+      break;
+
+    case OpKind::kSigmoid:
+    case OpKind::kTanh:
+      c.ops = 4 * out;  // exp-based, conventional 4-op estimate
+      break;
+
+    case OpKind::kHSwish:
+      c.ops = 3 * out;
+      break;
+
+    case OpKind::kMish:
+      c.ops = 5 * out;  // softplus + tanh + mul
+      break;
+
+    case OpKind::kAdd:
+    case OpKind::kMul:
+      c.ops = out;
+      break;
+
+    case OpKind::kMaxPool:
+    case OpKind::kAvgPool: {
+      const auto k = n.attrs.get_int("kernel");
+      c.ops = out * k * k;
+      break;
+    }
+
+    case OpKind::kGlobalAvgPool:
+      c.ops = c.input_elems;
+      break;
+
+    case OpKind::kSoftmax:
+      c.ops = 5 * out;
+      break;
+  }
+  return c;
+}
+
+GraphCost graph_cost(const Graph& g) {
+  GraphCost total;
+  for (NodeId id : g.topo_order()) {
+    const NodeCost c = node_cost(g, id);
+    total.macs += c.macs;
+    total.ops += c.ops;
+    total.params += c.params;
+    total.activation_elems += c.output_elems;
+    total.peak_single_elems = std::max(total.peak_single_elems, c.output_elems);
+  }
+  return total;
+}
+
+double graph_traffic_bytes(const Graph& g, DType act_dtype, DType weight_dtype) {
+  double bytes = 0.0;
+  const double ab = dtype_bytes(act_dtype);
+  const double wb = dtype_bytes(weight_dtype);
+  for (NodeId id : g.topo_order()) {
+    const Node& n = g.node(id);
+    const NodeCost c = node_cost(g, id);
+    bytes += static_cast<double>(c.params) * wb;
+    if (n.kind != OpKind::kInput) {
+      bytes += static_cast<double>(c.input_elems) * ab;
+    }
+    bytes += static_cast<double>(c.output_elems) * ab;
+  }
+  return bytes;
+}
+
+double weight_bytes(const Graph& g, DType weight_dtype) {
+  return static_cast<double>(g.total_params()) * dtype_bytes(weight_dtype);
+}
+
+double graph_traffic_bytes_with_locality(const Graph& g, DType act_dtype, DType weight_dtype,
+                                         double onchip_bytes) {
+  const double ab = dtype_bytes(act_dtype);
+  const double threshold = onchip_bytes * 0.25;
+  double bytes = weight_bytes(g, weight_dtype);
+
+  const auto outputs = g.outputs();
+  for (NodeId id : g.topo_order()) {
+    const Node& n = g.node(id);
+    const double out_bytes = static_cast<double>(n.out_shape.numel()) * ab;
+    const bool is_io = n.kind == OpKind::kInput ||
+                       std::find(outputs.begin(), outputs.end(), id) != outputs.end();
+    if (is_io) {
+      bytes += out_bytes;  // crosses DRAM once
+    } else if (out_bytes > threshold) {
+      bytes += 2.0 * out_bytes;  // spilled: written and read back
+    }
+  }
+  return bytes;
+}
+
+}  // namespace vedliot

@@ -1,0 +1,57 @@
+#pragma once
+/// \file cost.hpp
+/// \brief Analytic operation/parameter/traffic accounting per node.
+///
+/// The accounting follows the paper's convention: "operations" counts both
+/// the multiply and the add of a MAC (ops = 2*MACs), which is how vendor
+/// peak-GOPS figures in Fig. 3/4 are quoted.
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "tensor/dtype.hpp"
+
+namespace vedliot {
+
+/// Cost of executing one node once (for the batch size baked into the
+/// graph's input shapes).
+struct NodeCost {
+  std::int64_t macs = 0;           ///< multiply-accumulate count
+  std::int64_t ops = 0;            ///< total arithmetic ops (2*macs for conv/dense)
+  std::int64_t params = 0;         ///< trainable parameter count
+  std::int64_t input_elems = 0;    ///< activation elements read
+  std::int64_t output_elems = 0;   ///< activation elements written
+};
+
+/// Compute the cost of one node.
+NodeCost node_cost(const Graph& g, NodeId id);
+
+/// Aggregate cost of the full (live) graph.
+struct GraphCost {
+  std::int64_t macs = 0;
+  std::int64_t ops = 0;
+  std::int64_t params = 0;
+  std::int64_t activation_elems = 0;  ///< sum of all node outputs
+  std::int64_t peak_single_elems = 0; ///< largest single activation tensor
+
+  double gops() const { return static_cast<double>(ops) / 1e9; }
+};
+GraphCost graph_cost(const Graph& g);
+
+/// Bytes moved to execute the graph once at the given activation/weight
+/// dtypes: weights read once + every activation written and read once.
+/// This is the operand traffic the roofline model (hw/perf_model) uses.
+double graph_traffic_bytes(const Graph& g, DType act_dtype, DType weight_dtype);
+
+/// Model weight storage in bytes at a given dtype.
+double weight_bytes(const Graph& g, DType weight_dtype);
+
+/// Locality-aware operand traffic: weights stream from DRAM once, but an
+/// activation only costs DRAM bandwidth when it is too large to stay in the
+/// on-chip buffer (a tensor is kept on chip when it fits in a quarter of
+/// the buffer, leaving room for double-buffering and weights). Graph inputs
+/// and outputs always cross DRAM.
+double graph_traffic_bytes_with_locality(const Graph& g, DType act_dtype, DType weight_dtype,
+                                         double onchip_bytes);
+
+}  // namespace vedliot

@@ -1,0 +1,403 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vedliot {
+
+Graph::Graph(std::string name) : name_(std::move(name)) {}
+
+NodeId Graph::add_input(const std::string& name, Shape shape) {
+  Node n;
+  n.id = static_cast<NodeId>(nodes_.size());
+  n.name = name;
+  n.kind = OpKind::kInput;
+  n.out_shape = std::move(shape);
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+NodeId Graph::add(OpKind kind, const std::string& name, std::vector<NodeId> inputs,
+                  AttrMap attrs) {
+  if (kind == OpKind::kInput) throw GraphError("use add_input for Input nodes");
+  for (NodeId in : inputs) check_live(in);
+  Node n;
+  n.id = static_cast<NodeId>(nodes_.size());
+  n.name = name;
+  n.kind = kind;
+  n.attrs = std::move(attrs);
+  n.inputs = std::move(inputs);
+  n.out_shape = infer_shape(n);
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+Node& Graph::node(NodeId id) {
+  VEDLIOT_CHECK(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(), "node id out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+const Node& Graph::node(NodeId id) const { return const_cast<Graph*>(this)->node(id); }
+
+NodeId Graph::find(const std::string& name) const {
+  for (const auto& n : nodes_) {
+    if (!n.dead && n.name == name) return n.id;
+  }
+  throw NotFound("no live node named " + name + " in graph " + name_);
+}
+
+std::size_t Graph::size() const {
+  return static_cast<std::size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(), [](const Node& n) { return !n.dead; }));
+}
+
+std::vector<NodeId> Graph::topo_order() const {
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    if (!n.dead) order.push_back(n.id);
+  }
+  return order;
+}
+
+std::vector<NodeId> Graph::outputs() const {
+  std::vector<bool> consumed(nodes_.size(), false);
+  for (const auto& n : nodes_) {
+    if (n.dead) continue;
+    for (NodeId in : n.inputs) consumed[static_cast<std::size_t>(in)] = true;
+  }
+  std::vector<NodeId> out;
+  for (const auto& n : nodes_) {
+    if (!n.dead && !consumed[static_cast<std::size_t>(n.id)]) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<NodeId> Graph::inputs() const {
+  std::vector<NodeId> out;
+  for (const auto& n : nodes_) {
+    if (!n.dead && n.kind == OpKind::kInput) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<NodeId> Graph::consumers(NodeId id) const {
+  check_live(id);
+  std::vector<NodeId> out;
+  for (const auto& n : nodes_) {
+    if (n.dead) continue;
+    if (std::find(n.inputs.begin(), n.inputs.end(), id) != n.inputs.end()) out.push_back(n.id);
+  }
+  return out;
+}
+
+void Graph::bypass(NodeId id) {
+  Node& n = node(id);
+  check_live(id);
+  if (n.kind == OpKind::kInput) throw GraphError("cannot bypass an Input node");
+  if (n.inputs.empty()) throw GraphError("cannot bypass a node without inputs: " + n.name);
+  const NodeId replacement = n.inputs.front();
+  for (auto& other : nodes_) {
+    if (other.dead || other.id == id) continue;
+    for (auto& in : other.inputs) {
+      if (in == id) in = replacement;
+    }
+  }
+  n.dead = true;
+}
+
+void Graph::replace_input(NodeId nid, NodeId old_input, NodeId new_input) {
+  check_live(nid);
+  check_live(new_input);
+  Node& n = node(nid);
+  bool replaced = false;
+  for (auto& in : n.inputs) {
+    if (in == old_input) {
+      in = new_input;
+      replaced = true;
+    }
+  }
+  if (!replaced) throw GraphError("replace_input: " + n.name + " does not consume the given node");
+}
+
+void Graph::infer_all() {
+  for (auto& n : nodes_) {
+    if (n.dead || n.kind == OpKind::kInput) continue;
+    n.out_shape = infer_shape(n);
+  }
+}
+
+void Graph::validate() const {
+  for (const auto& n : nodes_) {
+    if (n.dead) continue;
+    for (NodeId in : n.inputs) {
+      VEDLIOT_CHECK(in >= 0 && static_cast<std::size_t>(in) < nodes_.size(),
+                    "node " + n.name + " references out-of-range input");
+      VEDLIOT_CHECK(in < n.id, "node " + n.name + " violates topological id order");
+      VEDLIOT_CHECK(!nodes_[static_cast<std::size_t>(in)].dead,
+                    "node " + n.name + " consumes a dead node");
+    }
+    if (n.kind != OpKind::kInput) {
+      // Re-inference must agree with the stored shape.
+      const Shape s = infer_shape(n);
+      VEDLIOT_CHECK(s == n.out_shape, "stale shape on node " + n.name);
+    }
+  }
+  VEDLIOT_CHECK(!inputs().empty(), "graph " + name_ + " has no inputs");
+  VEDLIOT_CHECK(!outputs().empty(), "graph " + name_ + " has no outputs");
+}
+
+namespace {
+
+std::int64_t conv_out_extent(std::int64_t in, std::int64_t k, std::int64_t s, std::int64_t p) {
+  const std::int64_t out = (in + 2 * p - k) / s + 1;
+  if (out <= 0) {
+    throw GraphError("convolution/pool output extent is non-positive (in=" + std::to_string(in) +
+                     " k=" + std::to_string(k) + " s=" + std::to_string(s) +
+                     " p=" + std::to_string(p) + ")");
+  }
+  return out;
+}
+
+bool broadcast_compatible(const Shape& a, const Shape& b) {
+  if (a == b) return true;
+  if (a.rank() != 4 || b.rank() != 4) return false;
+  // channelwise broadcast: [N,C,1,1] against [N,C,H,W] (either side)
+  auto is_cvec = [](const Shape& s) { return s.h() == 1 && s.w() == 1; };
+  if (a.n() != b.n() || a.c() != b.c()) return false;
+  return is_cvec(a) || is_cvec(b);
+}
+
+}  // namespace
+
+Shape Graph::infer_shape(const Node& n) const {
+  auto in_shape = [&](std::size_t i) -> const Shape& {
+    if (i >= n.inputs.size()) {
+      throw GraphError("node " + n.name + " (" + std::string(op_name(n.kind)) +
+                       ") is missing input " + std::to_string(i));
+    }
+    return nodes_[static_cast<std::size_t>(n.inputs[i])].out_shape;
+  };
+  auto expect_inputs = [&](std::size_t k) {
+    if (n.inputs.size() != k) {
+      throw GraphError("node " + n.name + " (" + std::string(op_name(n.kind)) + ") expects " +
+                       std::to_string(k) + " inputs, got " + std::to_string(n.inputs.size()));
+    }
+  };
+
+  switch (n.kind) {
+    case OpKind::kInput:
+      return n.out_shape;
+
+    case OpKind::kConv2d: {
+      expect_inputs(1);
+      const Shape& s = in_shape(0);
+      if (s.rank() != 4) throw GraphError("Conv2d input must be rank-4: " + n.name);
+      const auto oc = n.attrs.get_int("out_channels");
+      const auto k = n.attrs.get_int("kernel");
+      const auto st = n.attrs.get_int_or("stride", 1);
+      const auto p = n.attrs.get_int_or("pad", 0);
+      const auto g = n.attrs.get_int_or("groups", 1);
+      if (s.c() % g != 0 || oc % g != 0) {
+        throw GraphError("Conv2d groups must divide channels: " + n.name);
+      }
+      return Shape{s.n(), oc, conv_out_extent(s.h(), k, st, p), conv_out_extent(s.w(), k, st, p)};
+    }
+
+    case OpKind::kDense: {
+      expect_inputs(1);
+      const Shape& s = in_shape(0);
+      if (s.rank() != 2) throw GraphError("Dense input must be rank-2 [N,F]: " + n.name);
+      return Shape{s.dim(0), n.attrs.get_int("units")};
+    }
+
+    case OpKind::kBatchNorm:
+    case OpKind::kRelu:
+    case OpKind::kRelu6:
+    case OpKind::kLeakyRelu:
+    case OpKind::kSigmoid:
+    case OpKind::kHSigmoid:
+    case OpKind::kHSwish:
+    case OpKind::kMish:
+    case OpKind::kTanh:
+    case OpKind::kSoftmax:
+    case OpKind::kIdentity:
+      expect_inputs(1);
+      return in_shape(0);
+
+    case OpKind::kAdd:
+    case OpKind::kMul: {
+      expect_inputs(2);
+      const Shape& a = in_shape(0);
+      const Shape& b = in_shape(1);
+      if (!broadcast_compatible(a, b)) {
+        throw GraphError("elementwise shape mismatch at " + n.name + ": " + a.to_string() +
+                         " vs " + b.to_string());
+      }
+      return a.numel() >= b.numel() ? a : b;
+    }
+
+    case OpKind::kConcat: {
+      if (n.inputs.size() < 2) throw GraphError("Concat needs >=2 inputs: " + n.name);
+      const auto axis = static_cast<std::size_t>(n.attrs.get_int_or("axis", 1));
+      const Shape& first = in_shape(0);
+      if (axis >= first.rank()) throw GraphError("Concat axis out of range: " + n.name);
+      std::vector<std::int64_t> dims(first.dims().begin(), first.dims().end());
+      for (std::size_t i = 1; i < n.inputs.size(); ++i) {
+        const Shape& s = in_shape(i);
+        if (s.rank() != first.rank()) throw GraphError("Concat rank mismatch: " + n.name);
+        for (std::size_t d = 0; d < s.rank(); ++d) {
+          if (d == axis) continue;
+          if (s.dim(d) != first.dim(d)) {
+            throw GraphError("Concat non-axis dim mismatch at " + n.name);
+          }
+        }
+        dims[axis] += s.dim(axis);
+      }
+      return Shape{std::move(dims)};
+    }
+
+    case OpKind::kMaxPool:
+    case OpKind::kAvgPool: {
+      expect_inputs(1);
+      const Shape& s = in_shape(0);
+      if (s.rank() != 4) throw GraphError("pooling input must be rank-4: " + n.name);
+      const auto k = n.attrs.get_int("kernel");
+      const auto st = n.attrs.get_int_or("stride", k);
+      const auto p = n.attrs.get_int_or("pad", 0);
+      return Shape{s.n(), s.c(), conv_out_extent(s.h(), k, st, p), conv_out_extent(s.w(), k, st, p)};
+    }
+
+    case OpKind::kGlobalAvgPool: {
+      expect_inputs(1);
+      const Shape& s = in_shape(0);
+      if (s.rank() != 4) throw GraphError("GlobalAvgPool input must be rank-4: " + n.name);
+      return Shape{s.n(), s.c(), 1, 1};
+    }
+
+    case OpKind::kUpsample: {
+      expect_inputs(1);
+      const Shape& s = in_shape(0);
+      if (s.rank() != 4) throw GraphError("Upsample input must be rank-4: " + n.name);
+      const auto scale = n.attrs.get_int("scale");
+      if (scale < 1) throw GraphError("Upsample scale must be >=1: " + n.name);
+      return Shape{s.n(), s.c(), s.h() * scale, s.w() * scale};
+    }
+
+    case OpKind::kFlatten: {
+      expect_inputs(1);
+      const Shape& s = in_shape(0);
+      if (s.rank() < 2) throw GraphError("Flatten input must be rank>=2: " + n.name);
+      std::int64_t rest = 1;
+      for (std::size_t d = 1; d < s.rank(); ++d) rest *= s.dim(d);
+      return Shape{s.dim(0), rest};
+    }
+  }
+  throw GraphError("shape inference not implemented for " + std::string(op_name(n.kind)));
+}
+
+void Graph::check_live(NodeId id) const {
+  VEDLIOT_CHECK(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(), "node id out of range");
+  if (nodes_[static_cast<std::size_t>(id)].dead) {
+    throw GraphError("node " + nodes_[static_cast<std::size_t>(id)].name + " is dead");
+  }
+}
+
+std::int64_t Graph::param_count(NodeId id) const {
+  const Node& n = node(id);
+  switch (n.kind) {
+    case OpKind::kConv2d: {
+      const Shape& s = node(n.inputs.at(0)).out_shape;
+      const auto oc = n.attrs.get_int("out_channels");
+      const auto k = n.attrs.get_int("kernel");
+      const auto g = n.attrs.get_int_or("groups", 1);
+      const auto bias = n.attrs.get_int_or("bias", 1);
+      return oc * (s.c() / g) * k * k + (bias ? oc : 0);
+    }
+    case OpKind::kDense: {
+      const Shape& s = node(n.inputs.at(0)).out_shape;
+      const auto units = n.attrs.get_int("units");
+      const auto bias = n.attrs.get_int_or("bias", 1);
+      return units * s.dim(1) + (bias ? units : 0);
+    }
+    case OpKind::kBatchNorm: {
+      const Shape& s = node(n.inputs.at(0)).out_shape;
+      const std::int64_t c = s.rank() == 4 ? s.c() : s.dim(1);
+      return 4 * c;
+    }
+    default:
+      return 0;
+  }
+}
+
+std::int64_t Graph::total_params() const {
+  std::int64_t total = 0;
+  for (const auto& n : nodes_) {
+    if (!n.dead) total += param_count(n.id);
+  }
+  return total;
+}
+
+void Graph::materialize_weights(Rng& rng) {
+  for (auto& n : nodes_) {
+    if (n.dead || !op_has_weights(n.kind)) continue;
+    if (!n.weights.empty()) continue;
+    const Shape& in = nodes_[static_cast<std::size_t>(n.inputs.at(0))].out_shape;
+    switch (n.kind) {
+      case OpKind::kConv2d: {
+        const auto oc = n.attrs.get_int("out_channels");
+        const auto k = n.attrs.get_int("kernel");
+        const auto g = n.attrs.get_int_or("groups", 1);
+        const auto ic = in.c() / g;
+        const double fan_in = static_cast<double>(ic * k * k);
+        const double std = std::sqrt(2.0 / fan_in);
+        n.weights.emplace_back(Shape{oc, ic, k, k},
+                               rng.normal_vector(static_cast<std::size_t>(oc * ic * k * k), 0.0, std));
+        if (n.attrs.get_int_or("bias", 1)) {
+          n.weights.emplace_back(Shape{oc}, rng.normal_vector(static_cast<std::size_t>(oc), 0.0, 0.01));
+        }
+        break;
+      }
+      case OpKind::kDense: {
+        const auto units = n.attrs.get_int("units");
+        const auto f = in.dim(1);
+        const double std = std::sqrt(2.0 / static_cast<double>(f));
+        n.weights.emplace_back(Shape{units, f},
+                               rng.normal_vector(static_cast<std::size_t>(units * f), 0.0, std));
+        if (n.attrs.get_int_or("bias", 1)) {
+          n.weights.emplace_back(Shape{units},
+                                 rng.normal_vector(static_cast<std::size_t>(units), 0.0, 0.01));
+        }
+        break;
+      }
+      case OpKind::kBatchNorm: {
+        const std::int64_t c = in.rank() == 4 ? in.c() : in.dim(1);
+        const auto cs = static_cast<std::size_t>(c);
+        n.weights.emplace_back(Shape{c}, rng.uniform_vector(cs, 0.8, 1.2));   // gamma
+        n.weights.emplace_back(Shape{c}, rng.normal_vector(cs, 0.0, 0.05));   // beta
+        n.weights.emplace_back(Shape{c}, rng.normal_vector(cs, 0.0, 0.1));    // running mean
+        n.weights.emplace_back(Shape{c}, rng.uniform_vector(cs, 0.5, 1.5));   // running var
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+bool Graph::weights_materialized() const {
+  for (const auto& n : nodes_) {
+    if (!n.dead && op_has_weights(n.kind) && n.weights.empty()) return false;
+  }
+  return true;
+}
+
+Graph Graph::clone() const {
+  Graph g(name_);
+  g.nodes_ = nodes_;
+  return g;
+}
+
+}  // namespace vedliot

@@ -1,0 +1,72 @@
+#include "graph/op.hpp"
+
+#include <array>
+#include <string>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace vedliot {
+
+namespace {
+constexpr std::array<std::pair<OpKind, std::string_view>, 22> kOpNames = {{
+    {OpKind::kInput, "Input"},
+    {OpKind::kConv2d, "Conv2d"},
+    {OpKind::kDense, "Dense"},
+    {OpKind::kBatchNorm, "BatchNorm"},
+    {OpKind::kRelu, "Relu"},
+    {OpKind::kRelu6, "Relu6"},
+    {OpKind::kLeakyRelu, "LeakyRelu"},
+    {OpKind::kSigmoid, "Sigmoid"},
+    {OpKind::kHSigmoid, "HSigmoid"},
+    {OpKind::kHSwish, "HSwish"},
+    {OpKind::kMish, "Mish"},
+    {OpKind::kTanh, "Tanh"},
+    {OpKind::kAdd, "Add"},
+    {OpKind::kMul, "Mul"},
+    {OpKind::kConcat, "Concat"},
+    {OpKind::kMaxPool, "MaxPool"},
+    {OpKind::kAvgPool, "AvgPool"},
+    {OpKind::kGlobalAvgPool, "GlobalAvgPool"},
+    {OpKind::kUpsample, "Upsample"},
+    {OpKind::kFlatten, "Flatten"},
+    {OpKind::kSoftmax, "Softmax"},
+    {OpKind::kIdentity, "Identity"},
+}};
+}  // namespace
+
+std::string_view op_name(OpKind kind) {
+  for (const auto& [k, n] : kOpNames) {
+    if (k == kind) return n;
+  }
+  throw InvalidArgument("unknown OpKind");
+}
+
+OpKind parse_op(std::string_view name) {
+  for (const auto& [k, n] : kOpNames) {
+    if (n == name) return k;
+  }
+  throw InvalidArgument("unknown op name: " + std::string(name));
+}
+
+bool op_is_activation(OpKind kind) {
+  switch (kind) {
+    case OpKind::kRelu:
+    case OpKind::kRelu6:
+    case OpKind::kLeakyRelu:
+    case OpKind::kSigmoid:
+    case OpKind::kHSigmoid:
+    case OpKind::kHSwish:
+    case OpKind::kMish:
+    case OpKind::kTanh:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool op_has_weights(OpKind kind) {
+  return kind == OpKind::kConv2d || kind == OpKind::kDense || kind == OpKind::kBatchNorm;
+}
+
+}  // namespace vedliot

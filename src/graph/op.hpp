@@ -1,0 +1,49 @@
+#pragma once
+/// \file op.hpp
+/// \brief Operator vocabulary of the VEDLIoT graph IR.
+///
+/// The set covers everything needed to express the paper's evaluation models
+/// (ResNet50, MobileNetV3-Large, YoloV4) plus the small use-case networks.
+
+#include <string_view>
+
+namespace vedliot {
+
+enum class OpKind {
+  kInput,
+  kConv2d,         ///< attrs: out_channels, kernel, stride, pad, groups, bias(0/1), fused_act?
+  kDense,          ///< attrs: units, bias(0/1), fused_act?
+  kBatchNorm,      ///< attrs: epsilon
+  kRelu,
+  kRelu6,
+  kLeakyRelu,      ///< attrs: alpha
+  kSigmoid,
+  kHSigmoid,
+  kHSwish,
+  kMish,
+  kTanh,
+  kAdd,            ///< elementwise, 2 inputs, broadcasting [N,C,1,1] vs [N,C,H,W]
+  kMul,            ///< elementwise, 2 inputs, broadcasting [N,C,1,1] vs [N,C,H,W]
+  kConcat,         ///< attrs: axis (channel concat, axis==1)
+  kMaxPool,        ///< attrs: kernel, stride, pad
+  kAvgPool,        ///< attrs: kernel, stride, pad
+  kGlobalAvgPool,  ///< output [N,C,1,1]
+  kUpsample,       ///< attrs: scale (nearest neighbour)
+  kFlatten,
+  kSoftmax,
+  kIdentity,
+};
+
+/// Canonical op name ("Conv2d", "Relu", ...).
+std::string_view op_name(OpKind kind);
+
+/// Parse a canonical name; throws InvalidArgument on unknown names.
+OpKind parse_op(std::string_view name);
+
+/// True for unary activation functions (fusable into a preceding conv/dense).
+bool op_is_activation(OpKind kind);
+
+/// True if the op owns trainable parameters.
+bool op_has_weights(OpKind kind);
+
+}  // namespace vedliot

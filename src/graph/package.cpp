@@ -1,0 +1,163 @@
+#include "graph/package.hpp"
+
+#include <cstring>
+#include <map>
+
+#include "graph/serialize.hpp"
+#include "util/error.hpp"
+
+namespace vedliot {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4C444D56;  // "VMDL"
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(static_cast<std::uint64_t>(v) >> (8 * i)));
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    check(1);
+    return data_[pos_++];
+  }
+  std::uint32_t u32() {
+    check(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::int64_t i64() {
+    check(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return static_cast<std::int64_t>(v);
+  }
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    check(n);
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  void check(std::size_t n) const {
+    if (pos_ + n > data_.size()) throw GraphError("model package truncated");
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> pack_model(const Graph& g) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, kMagic);
+  put_u32(out, kVersion);
+
+  const std::string text = to_text(g);
+  put_u32(out, static_cast<std::uint32_t>(text.size()));
+  out.insert(out.end(), text.begin(), text.end());
+
+  // Weight records keyed by dense topo index (matching to_text's remap).
+  std::vector<std::pair<std::uint32_t, const Node*>> with_weights;
+  std::uint32_t dense = 0;
+  for (NodeId id : g.topo_order()) {
+    const Node& n = g.node(id);
+    if (!n.weights.empty()) with_weights.emplace_back(dense, &n);
+    ++dense;
+  }
+  put_u32(out, static_cast<std::uint32_t>(with_weights.size()));
+  for (const auto& [index, node] : with_weights) {
+    put_u32(out, index);
+    out.push_back(static_cast<std::uint8_t>(node->weight_dtype));
+    out.push_back(static_cast<std::uint8_t>(node->weights.size()));
+    for (const Tensor& w : node->weights) {
+      out.push_back(static_cast<std::uint8_t>(w.shape().rank()));
+      for (std::size_t d = 0; d < w.shape().rank(); ++d) put_i64(out, w.shape().dim(d));
+      const auto data = w.data();
+      const auto* raw = reinterpret_cast<const std::uint8_t*>(data.data());
+      out.insert(out.end(), raw, raw + data.size() * sizeof(float));
+    }
+  }
+  return out;
+}
+
+Graph unpack_model(std::span<const std::uint8_t> package) {
+  Reader r(package);
+  if (r.u32() != kMagic) throw GraphError("not a model package (bad magic)");
+  if (r.u32() != kVersion) throw GraphError("unsupported package version");
+
+  const std::uint32_t text_len = r.u32();
+  const auto text_bytes = r.bytes(text_len);
+  Graph g = from_text(std::string(text_bytes.begin(), text_bytes.end()));
+
+  const auto order = g.topo_order();
+  const std::uint32_t records = r.u32();
+  for (std::uint32_t i = 0; i < records; ++i) {
+    const std::uint32_t index = r.u32();
+    if (index >= order.size()) throw GraphError("weight record references unknown node");
+    Node& n = g.node(order[index]);
+    n.weight_dtype = static_cast<DType>(r.u8());
+    const std::uint8_t tensors = r.u8();
+    for (std::uint8_t t = 0; t < tensors; ++t) {
+      const std::uint8_t rank = r.u8();
+      std::vector<std::int64_t> dims;
+      for (std::uint8_t d = 0; d < rank; ++d) dims.push_back(r.i64());
+      Shape shape(std::move(dims));
+      const auto n_elems = static_cast<std::size_t>(shape.numel());
+      const auto raw = r.bytes(n_elems * sizeof(float));
+      std::vector<float> data(n_elems);
+      std::memcpy(data.data(), raw.data(), raw.size());
+      n.weights.emplace_back(std::move(shape), std::move(data));
+    }
+  }
+  if (!r.done()) throw GraphError("trailing bytes in model package");
+  return g;
+}
+
+SealedModel seal_model(const Graph& g, const security::Key& device_key,
+                       std::uint32_t nonce_counter) {
+  const auto plain = pack_model(g);
+  SealedModel out;
+  out.model_measurement = security::sha256(plain);
+  std::memcpy(out.nonce.data(), &nonce_counter, sizeof(nonce_counter));
+  const security::Key enc_key = security::derive_key(device_key, "model-encrypt");
+  const security::Key mac_key = security::derive_key(device_key, "model-mac");
+  out.ciphertext = security::chacha20_xor(enc_key, out.nonce, 1, plain);
+
+  std::vector<std::uint8_t> mac_input(out.nonce.begin(), out.nonce.end());
+  mac_input.insert(mac_input.end(), out.ciphertext.begin(), out.ciphertext.end());
+  out.mac = security::hmac_sha256(mac_key, mac_input);
+  return out;
+}
+
+Graph unseal_model(const SealedModel& sealed, const security::Key& device_key) {
+  const security::Key enc_key = security::derive_key(device_key, "model-encrypt");
+  const security::Key mac_key = security::derive_key(device_key, "model-mac");
+
+  std::vector<std::uint8_t> mac_input(sealed.nonce.begin(), sealed.nonce.end());
+  mac_input.insert(mac_input.end(), sealed.ciphertext.begin(), sealed.ciphertext.end());
+  const security::Digest expected = security::hmac_sha256(mac_key, mac_input);
+  if (!security::digest_equal(expected, sealed.mac)) {
+    throw Error("sealed model MAC mismatch (wrong device key or tampered package)");
+  }
+  const auto plain = security::chacha20_xor(enc_key, sealed.nonce, 1, sealed.ciphertext);
+  if (!security::digest_equal(security::sha256(plain), sealed.model_measurement)) {
+    throw Error("sealed model measurement mismatch");
+  }
+  return unpack_model(plain);
+}
+
+}  // namespace vedliot

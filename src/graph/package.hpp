@@ -1,0 +1,47 @@
+#pragma once
+/// \file package.hpp
+/// \brief Deployable model packages (Sec. III steps 5-6: compile and ship
+/// the model to the target).
+///
+/// A package is a self-contained binary blob: the textual graph plus all
+/// weight tensors. For field deployment over untrusted links, packages can
+/// additionally be sealed (ChaCha20 + HMAC-SHA256 under a key derived from
+/// the device's provisioning secret), so only the target device — after
+/// remote attestation — can open them. This is the "model protection"
+/// half of the end-to-end trust story.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "security/crypto.hpp"
+
+namespace vedliot {
+
+/// Serialize the graph structure AND weights into one binary blob.
+std::vector<std::uint8_t> pack_model(const Graph& g);
+
+/// Reconstruct a graph (with weights) from a package. Throws GraphError on
+/// malformed input.
+Graph unpack_model(std::span<const std::uint8_t> package);
+
+/// An encrypted, authenticated package for field deployment.
+struct SealedModel {
+  std::array<std::uint8_t, 12> nonce{};
+  std::vector<std::uint8_t> ciphertext;
+  security::Digest mac{};
+  security::Digest model_measurement{};  ///< sha256 of the plaintext package
+};
+
+/// Encrypt a model package to a device key (from
+/// security::AttestationAuthority::provision). \p nonce_counter must be
+/// unique per (key, model) pair — callers typically use a version number.
+SealedModel seal_model(const Graph& g, const security::Key& device_key,
+                       std::uint32_t nonce_counter);
+
+/// Decrypt + authenticate + unpack; throws vedliot::Error if the MAC fails
+/// (wrong device, tampered package).
+Graph unseal_model(const SealedModel& sealed, const security::Key& device_key);
+
+}  // namespace vedliot

@@ -1,0 +1,24 @@
+#pragma once
+/// \file serialize.hpp
+/// \brief Text serialization of the graph IR (the project's interchange
+/// format, playing the role ONNX plays in the paper's toolchain).
+///
+/// The format is line-oriented and human-diffable; weights are not
+/// serialized (models are exchanged analytically, weights are materialized
+/// deterministically from a seed).
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace vedliot {
+
+/// Serialize a graph to the textual exchange format.
+std::string to_text(const Graph& g);
+
+/// Parse a graph from the textual exchange format; throws GraphError on
+/// malformed input. Dead nodes are not round-tripped (they are compacted
+/// away), so parse(to_text(g)) has only live nodes.
+Graph from_text(const std::string& text);
+
+}  // namespace vedliot

@@ -1,0 +1,56 @@
+#pragma once
+/// \file zoo.hpp
+/// \brief Model zoo: the evaluation networks from the paper.
+///
+/// Sec. II-C evaluates ResNet50, MobileNetV3 and YoloV4; Sec. V's use cases
+/// add small application networks (gesture/face/object/speech for the smart
+/// mirror, motor-condition and arc-detection classifiers). All builders
+/// reconstruct the published layer topology so that analytic MAC/parameter
+/// counts land within a few percent of the canonical numbers.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace vedliot::zoo {
+
+/// ResNet-50 (He et al.) — ~25.5 M params, ~4.1 GMACs at 224x224.
+Graph resnet50(std::int64_t batch = 1, std::int64_t classes = 1000, std::int64_t image = 224);
+
+/// MobileNetV3-Large (Howard et al.) — ~5.4 M params, ~219 MMACs at 224x224.
+Graph mobilenet_v3_large(std::int64_t batch = 1, std::int64_t classes = 1000,
+                         std::int64_t image = 224);
+
+/// YOLOv4 (Bochkovskiy et al.): CSPDarknet53 + SPP + PANet + 3 heads —
+/// ~64 M params, ~30 GMACs at 416x416.
+Graph yolov4(std::int64_t batch = 1, std::int64_t image = 416, std::int64_t classes = 80);
+
+/// EfficientNet-Lite0 (the mobile-friendly EfficientNet variant: no SE, no
+/// swish) — ~4.7 M params, ~400 MMACs at 224x224.
+Graph efficientnet_lite0(std::int64_t batch = 1, std::int64_t classes = 1000,
+                         std::int64_t image = 224);
+
+/// Generic small MLP: Dense/Relu stack + softmax classifier head.
+Graph micro_mlp(const std::string& name, std::int64_t batch, std::int64_t in_features,
+                std::vector<std::int64_t> hidden, std::int64_t classes);
+
+/// Generic small CNN (conv-bn-relu x3 + pool + dense head).
+Graph micro_cnn(const std::string& name, std::int64_t batch, std::int64_t in_channels,
+                std::int64_t image, std::int64_t classes, std::int64_t width = 16);
+
+// -- Smart-mirror networks (Fig. 5: gesture, face, object, speech) --------
+Graph gesture_net(std::int64_t batch = 1);   ///< 96x96 gray, 5 gestures
+Graph face_net(std::int64_t batch = 1);      ///< 112x112 RGB, 128-d embedding head
+Graph object_det_net(std::int64_t batch = 1);///< tiny single-scale detector, 160x160
+Graph speech_net(std::int64_t batch = 1);    ///< keyword spotting on 49x10 MFCC
+
+// -- Industrial IoT networks (Sec. V-B) ------------------------------------
+Graph motor_net(std::int64_t batch = 1);     ///< vibration-spectrum MLP, 4 states
+Graph arc_net(std::int64_t batch = 1);       ///< spectrogram CNN, arc / no-arc
+
+// -- Automotive (Sec. V-A) --------------------------------------------------
+Graph pedestrian_net(std::int64_t batch = 1, std::int64_t image = 320);  ///< PAEB detector
+
+}  // namespace vedliot::zoo

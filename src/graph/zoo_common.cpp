@@ -1,0 +1,79 @@
+#include "graph/zoo_common.hpp"
+
+#include "util/error.hpp"
+
+namespace vedliot::zoo::detail {
+
+std::string Builder::next_name(const std::string& stem) {
+  return stem + "_" + std::to_string(counter_++);
+}
+
+NodeId Builder::conv_bn_act(NodeId in, std::int64_t oc, std::int64_t kernel, std::int64_t stride,
+                            std::int64_t pad, OpKind act, std::int64_t groups, bool with_bn) {
+  AttrMap a;
+  a.set_int("out_channels", oc);
+  a.set_int("kernel", kernel);
+  a.set_int("stride", stride);
+  a.set_int("pad", pad);
+  a.set_int("groups", groups);
+  a.set_int("bias", with_bn ? 0 : 1);  // bn folds the bias
+  NodeId id = g_.add(OpKind::kConv2d, next_name("conv"), {in}, std::move(a));
+  if (with_bn) {
+    AttrMap bn;
+    bn.set_float("epsilon", 1e-5);
+    id = g_.add(OpKind::kBatchNorm, next_name("bn"), {id}, std::move(bn));
+  }
+  if (act != OpKind::kIdentity) {
+    VEDLIOT_ASSERT(op_is_activation(act));
+    id = this->act(id, act);
+  }
+  return id;
+}
+
+NodeId Builder::dw(NodeId in, std::int64_t kernel, std::int64_t stride, OpKind act) {
+  const auto c = g_.node(in).out_shape.c();
+  return conv_bn_act(in, c, kernel, stride, kernel / 2, act, /*groups=*/c);
+}
+
+NodeId Builder::se_block(NodeId in, std::int64_t channels, std::int64_t squeezed) {
+  const NodeId gap = g_.add(OpKind::kGlobalAvgPool, next_name("se_gap"), {in});
+  AttrMap r;
+  r.set_int("out_channels", squeezed);
+  r.set_int("kernel", 1);
+  r.set_int("stride", 1);
+  r.set_int("pad", 0);
+  r.set_int("groups", 1);
+  r.set_int("bias", 1);
+  NodeId fc1 = g_.add(OpKind::kConv2d, next_name("se_fc1"), {gap}, std::move(r));
+  fc1 = g_.add(OpKind::kRelu, next_name("se_relu"), {fc1});
+  AttrMap e;
+  e.set_int("out_channels", channels);
+  e.set_int("kernel", 1);
+  e.set_int("stride", 1);
+  e.set_int("pad", 0);
+  e.set_int("groups", 1);
+  e.set_int("bias", 1);
+  NodeId fc2 = g_.add(OpKind::kConv2d, next_name("se_fc2"), {fc1}, std::move(e));
+  fc2 = g_.add(OpKind::kHSigmoid, next_name("se_hsig"), {fc2});
+  return g_.add(OpKind::kMul, next_name("se_scale"), {in, fc2});
+}
+
+NodeId Builder::add(NodeId a, NodeId b) {
+  return g_.add(OpKind::kAdd, next_name("add"), {a, b});
+}
+
+NodeId Builder::act(NodeId in, OpKind kind) {
+  AttrMap a;
+  if (kind == OpKind::kLeakyRelu) a.set_float("alpha", 0.1);
+  return g_.add(kind, next_name("act"), {in}, std::move(a));
+}
+
+NodeId Builder::maxpool(NodeId in, std::int64_t kernel, std::int64_t stride, std::int64_t pad) {
+  AttrMap a;
+  a.set_int("kernel", kernel);
+  a.set_int("stride", stride);
+  a.set_int("pad", pad);
+  return g_.add(OpKind::kMaxPool, next_name("maxpool"), {in}, std::move(a));
+}
+
+}  // namespace vedliot::zoo::detail

@@ -1,0 +1,46 @@
+#pragma once
+/// \file zoo_common.hpp
+/// \brief Internal builder helpers shared by the model-zoo constructors.
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace vedliot::zoo::detail {
+
+/// Fluent helper around Graph for conv-bn-act idioms; generates unique
+/// layer names from a running counter.
+class Builder {
+ public:
+  explicit Builder(Graph& g) : g_(g) {}
+
+  /// conv (+ optional bn) (+ optional activation). act is an OpKind that
+  /// satisfies op_is_activation, or OpKind::kIdentity for linear output.
+  NodeId conv_bn_act(NodeId in, std::int64_t oc, std::int64_t kernel, std::int64_t stride,
+                     std::int64_t pad, OpKind act, std::int64_t groups = 1, bool with_bn = true);
+
+  /// 1x1 pointwise conv + bn + act.
+  NodeId pw(NodeId in, std::int64_t oc, OpKind act) {
+    return conv_bn_act(in, oc, 1, 1, 0, act);
+  }
+
+  /// kxk depthwise conv + bn + act (groups == channels).
+  NodeId dw(NodeId in, std::int64_t kernel, std::int64_t stride, OpKind act);
+
+  /// Squeeze-and-excitation block implemented with 1x1 convs so it stays
+  /// rank-4 (matches MobileNetV3 / EfficientNet practice).
+  NodeId se_block(NodeId in, std::int64_t channels, std::int64_t squeezed);
+
+  NodeId add(NodeId a, NodeId b);
+  NodeId act(NodeId in, OpKind kind);
+  NodeId maxpool(NodeId in, std::int64_t kernel, std::int64_t stride, std::int64_t pad);
+
+  Graph& graph() { return g_; }
+  std::string next_name(const std::string& stem);
+
+ private:
+  Graph& g_;
+  int counter_ = 0;
+};
+
+}  // namespace vedliot::zoo::detail

@@ -1,0 +1,58 @@
+#include "graph/zoo.hpp"
+#include "graph/zoo_common.hpp"
+
+namespace vedliot::zoo {
+
+namespace {
+
+using detail::Builder;
+
+/// MBConv block, Lite flavour: ReLU6 activations, no squeeze-excitation.
+NodeId mbconv(Builder& b, NodeId in, std::int64_t expand_ratio, std::int64_t out,
+              std::int64_t kernel, std::int64_t stride) {
+  Graph& g = b.graph();
+  const auto in_c = g.node(in).out_shape.c();
+  NodeId x = in;
+  if (expand_ratio != 1) x = b.pw(in, in_c * expand_ratio, OpKind::kRelu6);
+  x = b.dw(x, kernel, stride, OpKind::kRelu6);
+  x = b.pw(x, out, OpKind::kIdentity);
+  if (stride == 1 && in_c == out) x = b.add(x, in);
+  return x;
+}
+
+}  // namespace
+
+Graph efficientnet_lite0(std::int64_t batch, std::int64_t classes, std::int64_t image) {
+  Graph g("efficientnet_lite0");
+  Builder b(g);
+  NodeId x = g.add_input("image", Shape{batch, 3, image, image});
+
+  x = b.conv_bn_act(x, 32, 3, 2, 1, OpKind::kRelu6);
+
+  struct Stage {
+    std::int64_t expand, out, kernel, stride, repeats;
+  };
+  // EfficientNet-B0 table; Lite keeps the widths but fixes the stem/head.
+  const Stage stages[] = {
+      {1, 16, 3, 1, 1}, {6, 24, 3, 2, 2},  {6, 40, 5, 2, 2},  {6, 80, 3, 2, 3},
+      {6, 112, 5, 1, 3}, {6, 192, 5, 2, 4}, {6, 320, 3, 1, 1},
+  };
+  for (const auto& s : stages) {
+    for (std::int64_t r = 0; r < s.repeats; ++r) {
+      x = mbconv(b, x, s.expand, s.out, s.kernel, r == 0 ? s.stride : 1);
+    }
+  }
+
+  x = b.pw(x, 1280, OpKind::kRelu6);
+  x = g.add(OpKind::kGlobalAvgPool, "gap", {x});
+  x = g.add(OpKind::kFlatten, "flatten", {x});
+  AttrMap fc;
+  fc.set_int("units", classes);
+  fc.set_int("bias", 1);
+  x = g.add(OpKind::kDense, "fc", {x}, std::move(fc));
+  g.add(OpKind::kSoftmax, "prob", {x});
+  g.validate();
+  return g;
+}
+
+}  // namespace vedliot::zoo

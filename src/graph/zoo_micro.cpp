@@ -1,0 +1,168 @@
+#include "graph/zoo.hpp"
+#include "graph/zoo_common.hpp"
+
+namespace vedliot::zoo {
+
+namespace {
+using detail::Builder;
+
+AttrMap dense_attrs(std::int64_t units) {
+  AttrMap a;
+  a.set_int("units", units);
+  a.set_int("bias", 1);
+  return a;
+}
+}  // namespace
+
+Graph micro_mlp(const std::string& name, std::int64_t batch, std::int64_t in_features,
+                std::vector<std::int64_t> hidden, std::int64_t classes) {
+  Graph g(name);
+  NodeId x = g.add_input("features", Shape{batch, in_features});
+  int i = 0;
+  for (std::int64_t units : hidden) {
+    x = g.add(OpKind::kDense, "fc" + std::to_string(i), {x}, dense_attrs(units));
+    x = g.add(OpKind::kRelu, "relu" + std::to_string(i), {x});
+    ++i;
+  }
+  x = g.add(OpKind::kDense, "logits", {x}, dense_attrs(classes));
+  g.add(OpKind::kSoftmax, "prob", {x});
+  g.validate();
+  return g;
+}
+
+Graph micro_cnn(const std::string& name, std::int64_t batch, std::int64_t in_channels,
+                std::int64_t image, std::int64_t classes, std::int64_t width) {
+  Graph g(name);
+  Builder b(g);
+  NodeId x = g.add_input("image", Shape{batch, in_channels, image, image});
+  x = b.conv_bn_act(x, width, 3, 1, 1, OpKind::kRelu);
+  x = b.maxpool(x, 2, 2, 0);
+  x = b.conv_bn_act(x, 2 * width, 3, 1, 1, OpKind::kRelu);
+  x = b.maxpool(x, 2, 2, 0);
+  x = b.conv_bn_act(x, 4 * width, 3, 1, 1, OpKind::kRelu);
+  x = g.add(OpKind::kGlobalAvgPool, "gap", {x});
+  x = g.add(OpKind::kFlatten, "flatten", {x});
+  x = g.add(OpKind::kDense, "logits", {x}, dense_attrs(classes));
+  g.add(OpKind::kSoftmax, "prob", {x});
+  g.validate();
+  return g;
+}
+
+Graph gesture_net(std::int64_t batch) {
+  // Depthwise-separable CNN over 96x96 grayscale frames; 5 gesture classes.
+  Graph g("gesture_net");
+  Builder b(g);
+  NodeId x = g.add_input("frame", Shape{batch, 1, 96, 96});
+  x = b.conv_bn_act(x, 8, 3, 2, 1, OpKind::kRelu6);
+  for (std::int64_t c : {16, 32, 64}) {
+    x = b.dw(x, 3, 2, OpKind::kRelu6);
+    x = b.pw(x, c, OpKind::kRelu6);
+  }
+  x = g.add(OpKind::kGlobalAvgPool, "gap", {x});
+  x = g.add(OpKind::kFlatten, "flatten", {x});
+  x = g.add(OpKind::kDense, "logits", {x}, dense_attrs(5));
+  g.add(OpKind::kSoftmax, "prob", {x});
+  g.validate();
+  return g;
+}
+
+Graph face_net(std::int64_t batch) {
+  // Small embedding network: residual CNN -> 128-d L2-style embedding head.
+  Graph g("face_net");
+  Builder b(g);
+  NodeId x = g.add_input("face", Shape{batch, 3, 112, 112});
+  x = b.conv_bn_act(x, 16, 3, 2, 1, OpKind::kRelu);
+  for (std::int64_t c : {32, 64, 128}) {
+    NodeId y = b.conv_bn_act(x, c, 3, 2, 1, OpKind::kRelu);
+    NodeId z = b.conv_bn_act(y, c, 3, 1, 1, OpKind::kIdentity);
+    x = b.act(b.add(z, y), OpKind::kRelu);
+  }
+  x = g.add(OpKind::kGlobalAvgPool, "gap", {x});
+  x = g.add(OpKind::kFlatten, "flatten", {x});
+  x = g.add(OpKind::kDense, "embedding", {x}, dense_attrs(128));
+  g.add(OpKind::kTanh, "embed_norm", {x});
+  g.validate();
+  return g;
+}
+
+Graph object_det_net(std::int64_t batch) {
+  // Tiny single-scale detector (YOLO-style head on a small backbone).
+  Graph g("object_det_net");
+  Builder b(g);
+  NodeId x = g.add_input("frame", Shape{batch, 3, 160, 160});
+  std::int64_t c = 16;
+  for (int stage = 0; stage < 4; ++stage) {
+    x = b.conv_bn_act(x, c, 3, 1, 1, OpKind::kLeakyRelu);
+    x = b.maxpool(x, 2, 2, 0);
+    c *= 2;
+  }
+  x = b.conv_bn_act(x, 256, 3, 1, 1, OpKind::kLeakyRelu);
+  AttrMap head;
+  head.set_int("out_channels", 3 * (10 + 5));  // 10 household classes
+  head.set_int("kernel", 1);
+  head.set_int("stride", 1);
+  head.set_int("pad", 0);
+  head.set_int("groups", 1);
+  head.set_int("bias", 1);
+  g.add(OpKind::kConv2d, "det_head", {x}, std::move(head));
+  g.validate();
+  return g;
+}
+
+Graph speech_net(std::int64_t batch) {
+  // Keyword spotting on 49x10 MFCC patches (cnn-trad-pool style), 12 words.
+  Graph g("speech_net");
+  Builder b(g);
+  NodeId x = g.add_input("mfcc", Shape{batch, 1, 49, 10});
+  x = b.conv_bn_act(x, 28, 3, 1, 1, OpKind::kRelu);
+  x = b.maxpool(x, 2, 2, 0);
+  x = b.conv_bn_act(x, 30, 3, 1, 1, OpKind::kRelu);
+  x = g.add(OpKind::kGlobalAvgPool, "gap", {x});
+  x = g.add(OpKind::kFlatten, "flatten", {x});
+  x = g.add(OpKind::kDense, "fc1", {x}, dense_attrs(64));
+  x = g.add(OpKind::kRelu, "relu_fc1", {x});
+  x = g.add(OpKind::kDense, "logits", {x}, dense_attrs(12));
+  g.add(OpKind::kSoftmax, "prob", {x});
+  g.validate();
+  return g;
+}
+
+Graph motor_net(std::int64_t batch) {
+  // Vibration-spectrum classifier: 256-bin FFT magnitudes + 8 thermal/
+  // electrical features -> {healthy, imbalance, bearing, overheat}.
+  return micro_mlp("motor_net", batch, 264, {64, 32}, 4);
+}
+
+Graph arc_net(std::int64_t batch) {
+  // 32x32 current-spectrogram patches -> {no_arc, arc}.
+  return micro_cnn("arc_net", batch, 1, 32, 2, 8);
+}
+
+Graph pedestrian_net(std::int64_t batch, std::int64_t image) {
+  // PAEB pedestrian detector: downscaled single-class YOLO-style network.
+  Graph g("pedestrian_net");
+  Builder b(g);
+  NodeId x = g.add_input("frame", Shape{batch, 3, image, image});
+  x = b.conv_bn_act(x, 16, 3, 2, 1, OpKind::kLeakyRelu);
+  std::int64_t c = 32;
+  for (int stage = 0; stage < 4; ++stage) {
+    x = b.conv_bn_act(x, c, 3, 2, 1, OpKind::kLeakyRelu);
+    NodeId y = b.conv_bn_act(x, c / 2, 1, 1, 0, OpKind::kLeakyRelu);
+    y = b.conv_bn_act(y, c, 3, 1, 1, OpKind::kIdentity);
+    x = b.act(b.add(y, x), OpKind::kLeakyRelu);
+    c *= 2;
+  }
+  x = b.conv_bn_act(x, 256, 3, 1, 1, OpKind::kLeakyRelu);
+  AttrMap head;
+  head.set_int("out_channels", 3 * (1 + 5));  // single "pedestrian" class
+  head.set_int("kernel", 1);
+  head.set_int("stride", 1);
+  head.set_int("pad", 0);
+  head.set_int("groups", 1);
+  head.set_int("bias", 1);
+  g.add(OpKind::kConv2d, "det_head", {x}, std::move(head));
+  g.validate();
+  return g;
+}
+
+}  // namespace vedliot::zoo

@@ -1,0 +1,71 @@
+#include "graph/zoo.hpp"
+#include "graph/zoo_common.hpp"
+
+namespace vedliot::zoo {
+
+namespace {
+
+using detail::Builder;
+
+/// MobileNetV3 inverted-residual bottleneck ("bneck").
+NodeId bneck(Builder& b, NodeId in, std::int64_t kernel, std::int64_t expand, std::int64_t out,
+             bool se, OpKind act, std::int64_t stride) {
+  Graph& g = b.graph();
+  const auto in_c = g.node(in).out_shape.c();
+
+  NodeId x = in;
+  if (expand != in_c) x = b.pw(in, expand, act);
+  x = b.dw(x, kernel, stride, act);
+  if (se) {
+    // squeeze factor 4, rounded to a multiple of 8 as in the reference impl
+    std::int64_t squeezed = ((expand / 4) + 7) / 8 * 8;
+    x = b.se_block(x, expand, squeezed);
+  }
+  x = b.pw(x, out, OpKind::kIdentity);
+  if (stride == 1 && in_c == out) x = b.add(x, in);
+  return x;
+}
+
+}  // namespace
+
+Graph mobilenet_v3_large(std::int64_t batch, std::int64_t classes, std::int64_t image) {
+  Graph g("mobilenet_v3_large");
+  Builder b(g);
+  NodeId x = g.add_input("image", Shape{batch, 3, image, image});
+
+  constexpr OpKind RE = OpKind::kRelu;
+  constexpr OpKind HS = OpKind::kHSwish;
+
+  x = b.conv_bn_act(x, 16, 3, 2, 1, HS);
+
+  struct Row {
+    std::int64_t k, exp, out;
+    bool se;
+    OpKind act;
+    std::int64_t stride;
+  };
+  // Table 1 of the MobileNetV3 paper (Large).
+  const Row rows[] = {
+      {3, 16, 16, false, RE, 1},  {3, 64, 24, false, RE, 2},  {3, 72, 24, false, RE, 1},
+      {5, 72, 40, true, RE, 2},   {5, 120, 40, true, RE, 1},  {5, 120, 40, true, RE, 1},
+      {3, 240, 80, false, HS, 2}, {3, 200, 80, false, HS, 1}, {3, 184, 80, false, HS, 1},
+      {3, 184, 80, false, HS, 1}, {3, 480, 112, true, HS, 1}, {3, 672, 112, true, HS, 1},
+      {5, 672, 160, true, HS, 2}, {5, 960, 160, true, HS, 1}, {5, 960, 160, true, HS, 1},
+  };
+  for (const auto& r : rows) x = bneck(b, x, r.k, r.exp, r.out, r.se, r.act, r.stride);
+
+  x = b.pw(x, 960, HS);
+  x = g.add(OpKind::kGlobalAvgPool, "gap", {x});
+  // Head: 1x1 conv to 1280 (no bn), h-swish, classifier.
+  x = b.conv_bn_act(x, 1280, 1, 1, 0, HS, 1, /*with_bn=*/false);
+  x = g.add(OpKind::kFlatten, "flatten", {x});
+  AttrMap fc;
+  fc.set_int("units", classes);
+  fc.set_int("bias", 1);
+  x = g.add(OpKind::kDense, "fc", {x}, std::move(fc));
+  g.add(OpKind::kSoftmax, "prob", {x});
+  g.validate();
+  return g;
+}
+
+}  // namespace vedliot::zoo

@@ -1,0 +1,63 @@
+#include "graph/zoo.hpp"
+#include "graph/zoo_common.hpp"
+
+namespace vedliot::zoo {
+
+namespace {
+
+using detail::Builder;
+
+/// Standard ResNet bottleneck: 1x1 reduce, 3x3, 1x1 expand (+projection
+/// shortcut when the shape changes).
+NodeId bottleneck(Builder& b, NodeId in, std::int64_t mid, std::int64_t out, std::int64_t stride) {
+  Graph& g = b.graph();
+  const bool project = (stride != 1) || (g.node(in).out_shape.c() != out);
+
+  NodeId x = b.conv_bn_act(in, mid, 1, 1, 0, OpKind::kRelu);
+  x = b.conv_bn_act(x, mid, 3, stride, 1, OpKind::kRelu);
+  x = b.conv_bn_act(x, out, 1, 1, 0, OpKind::kIdentity);
+
+  NodeId shortcut = in;
+  if (project) shortcut = b.conv_bn_act(in, out, 1, stride, 0, OpKind::kIdentity);
+
+  NodeId sum = b.add(x, shortcut);
+  return b.act(sum, OpKind::kRelu);
+}
+
+}  // namespace
+
+Graph resnet50(std::int64_t batch, std::int64_t classes, std::int64_t image) {
+  Graph g("resnet50");
+  Builder b(g);
+  NodeId x = g.add_input("image", Shape{batch, 3, image, image});
+
+  x = b.conv_bn_act(x, 64, 7, 2, 3, OpKind::kRelu);
+  x = b.maxpool(x, 3, 2, 1);
+
+  struct Stage {
+    std::int64_t mid, out, blocks, stride;
+  };
+  const Stage stages[] = {
+      {64, 256, 3, 1},
+      {128, 512, 4, 2},
+      {256, 1024, 6, 2},
+      {512, 2048, 3, 2},
+  };
+  for (const auto& s : stages) {
+    for (std::int64_t i = 0; i < s.blocks; ++i) {
+      x = bottleneck(b, x, s.mid, s.out, i == 0 ? s.stride : 1);
+    }
+  }
+
+  x = g.add(OpKind::kGlobalAvgPool, "gap", {x});
+  x = g.add(OpKind::kFlatten, "flatten", {x});
+  AttrMap fc;
+  fc.set_int("units", classes);
+  fc.set_int("bias", 1);
+  x = g.add(OpKind::kDense, "fc", {x}, std::move(fc));
+  g.add(OpKind::kSoftmax, "prob", {x});
+  g.validate();
+  return g;
+}
+
+}  // namespace vedliot::zoo

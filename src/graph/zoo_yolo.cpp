@@ -1,0 +1,129 @@
+#include "graph/zoo.hpp"
+#include "graph/zoo_common.hpp"
+
+namespace vedliot::zoo {
+
+namespace {
+
+using detail::Builder;
+
+constexpr OpKind MISH = OpKind::kMish;
+constexpr OpKind LEAKY = OpKind::kLeakyRelu;
+
+/// Darknet residual unit: 1x1 reduce + 3x3, with skip connection.
+NodeId res_unit(Builder& b, NodeId in, std::int64_t mid, std::int64_t out) {
+  NodeId x = b.conv_bn_act(in, mid, 1, 1, 0, MISH);
+  x = b.conv_bn_act(x, out, 3, 1, 1, MISH);
+  return b.add(x, in);
+}
+
+/// CSPDarknet53 stage: strided downsample conv, cross-stage-partial split,
+/// n residual units on one branch, concat, 1x1 merge.
+NodeId csp_stage(Builder& b, NodeId in, std::int64_t out_c, std::int64_t n, bool first_stage) {
+  Graph& g = b.graph();
+  NodeId down = b.conv_bn_act(in, out_c, 3, 2, 1, MISH);
+
+  const std::int64_t split_c = first_stage ? out_c : out_c / 2;
+  NodeId route_a = b.conv_bn_act(down, split_c, 1, 1, 0, MISH);  // bypass branch
+  NodeId route_b = b.conv_bn_act(down, split_c, 1, 1, 0, MISH);  // residual branch
+
+  NodeId x = route_b;
+  const std::int64_t mid = first_stage ? out_c / 2 : split_c;
+  for (std::int64_t i = 0; i < n; ++i) x = res_unit(b, x, mid, split_c);
+  x = b.conv_bn_act(x, split_c, 1, 1, 0, MISH);
+
+  AttrMap cat;
+  cat.set_int("axis", 1);
+  NodeId merged = g.add(OpKind::kConcat, b.next_name("csp_cat"), {x, route_a}, std::move(cat));
+  return b.conv_bn_act(merged, out_c, 1, 1, 0, MISH);
+}
+
+/// Five alternating 1x1/3x3 convs used throughout the PANet neck.
+NodeId conv5(Builder& b, NodeId in, std::int64_t c) {
+  NodeId x = b.conv_bn_act(in, c, 1, 1, 0, LEAKY);
+  x = b.conv_bn_act(x, 2 * c, 3, 1, 1, LEAKY);
+  x = b.conv_bn_act(x, c, 1, 1, 0, LEAKY);
+  x = b.conv_bn_act(x, 2 * c, 3, 1, 1, LEAKY);
+  return b.conv_bn_act(x, c, 1, 1, 0, LEAKY);
+}
+
+NodeId concat2(Builder& b, NodeId a, NodeId c) {
+  AttrMap cat;
+  cat.set_int("axis", 1);
+  return b.graph().add(OpKind::kConcat, b.next_name("cat"), {a, c}, std::move(cat));
+}
+
+/// Detection head: 3x3 expand + linear 1x1 to 3*(classes+5) channels.
+NodeId yolo_head(Builder& b, NodeId in, std::int64_t c, std::int64_t classes,
+                 const std::string& name) {
+  NodeId x = b.conv_bn_act(in, c, 3, 1, 1, LEAKY);
+  AttrMap a;
+  a.set_int("out_channels", 3 * (classes + 5));
+  a.set_int("kernel", 1);
+  a.set_int("stride", 1);
+  a.set_int("pad", 0);
+  a.set_int("groups", 1);
+  a.set_int("bias", 1);
+  return b.graph().add(OpKind::kConv2d, name, {x}, std::move(a));
+}
+
+}  // namespace
+
+Graph yolov4(std::int64_t batch, std::int64_t image, std::int64_t classes) {
+  Graph g("yolov4");
+  Builder b(g);
+  NodeId x = g.add_input("image", Shape{batch, 3, image, image});
+
+  // --- CSPDarknet53 backbone ---
+  x = b.conv_bn_act(x, 32, 3, 1, 1, MISH);
+  x = csp_stage(b, x, 64, 1, /*first_stage=*/true);
+  x = csp_stage(b, x, 128, 2, false);
+  NodeId c3 = csp_stage(b, x, 256, 8, false);   // /8  (52x52 at 416)
+  NodeId c4 = csp_stage(b, c3, 512, 8, false);  // /16 (26x26)
+  NodeId c5 = csp_stage(b, c4, 1024, 4, false); // /32 (13x13)
+
+  // --- SPP ---
+  NodeId y = b.conv_bn_act(c5, 512, 1, 1, 0, LEAKY);
+  y = b.conv_bn_act(y, 1024, 3, 1, 1, LEAKY);
+  y = b.conv_bn_act(y, 512, 1, 1, 0, LEAKY);
+  NodeId p5 = b.maxpool(y, 5, 1, 2);
+  NodeId p9 = b.maxpool(y, 9, 1, 4);
+  NodeId p13 = b.maxpool(y, 13, 1, 6);
+  AttrMap cat;
+  cat.set_int("axis", 1);
+  y = g.add(OpKind::kConcat, "spp_cat", {p13, p9, p5, y}, std::move(cat));
+  y = b.conv_bn_act(y, 512, 1, 1, 0, LEAKY);
+  y = b.conv_bn_act(y, 1024, 3, 1, 1, LEAKY);
+  NodeId n5 = b.conv_bn_act(y, 512, 1, 1, 0, LEAKY);
+
+  // --- PANet top-down ---
+  NodeId up5 = b.conv_bn_act(n5, 256, 1, 1, 0, LEAKY);
+  AttrMap us1;
+  us1.set_int("scale", 2);
+  up5 = g.add(OpKind::kUpsample, "up5", {up5}, std::move(us1));
+  NodeId l4 = b.conv_bn_act(c4, 256, 1, 1, 0, LEAKY);
+  NodeId n4 = conv5(b, concat2(b, l4, up5), 256);
+
+  NodeId up4 = b.conv_bn_act(n4, 128, 1, 1, 0, LEAKY);
+  AttrMap us2;
+  us2.set_int("scale", 2);
+  up4 = g.add(OpKind::kUpsample, "up4", {up4}, std::move(us2));
+  NodeId l3 = b.conv_bn_act(c3, 128, 1, 1, 0, LEAKY);
+  NodeId n3 = conv5(b, concat2(b, l3, up4), 128);
+
+  // --- PANet bottom-up + heads ---
+  yolo_head(b, n3, 256, classes, "head_small");  // /8 scale
+
+  NodeId d3 = b.conv_bn_act(n3, 256, 3, 2, 1, LEAKY);
+  NodeId m4 = conv5(b, concat2(b, d3, n4), 256);
+  yolo_head(b, m4, 512, classes, "head_medium");  // /16 scale
+
+  NodeId d4 = b.conv_bn_act(m4, 512, 3, 2, 1, LEAKY);
+  NodeId m5 = conv5(b, concat2(b, d4, n5), 512);
+  yolo_head(b, m5, 1024, classes, "head_large");  // /32 scale
+
+  g.validate();
+  return g;
+}
+
+}  // namespace vedliot::zoo

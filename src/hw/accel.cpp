@@ -1,0 +1,222 @@
+#include "hw/accel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/cost.hpp"
+#include "util/error.hpp"
+
+namespace vedliot::hw {
+
+std::string_view accelerator_kind_name(AcceleratorKind k) {
+  switch (k) {
+    case AcceleratorKind::kOffTheShelf: return "off-the-shelf";
+    case AcceleratorKind::kStaticConfig: return "static-config";
+    case AcceleratorKind::kReconfigurable: return "reconfigurable";
+    case AcceleratorKind::kCoDesign: return "co-design";
+  }
+  throw InvalidArgument("unknown AcceleratorKind");
+}
+
+PerfEstimate OffTheShelfAccelerator::estimate_graph(const Graph& g, DType dt) const {
+  return estimate(spec_, g, dt);
+}
+
+StaticConfigAccelerator::StaticConfigAccelerator(DeviceSpec base, std::string configured_for_model,
+                                                 double matched_util_boost, double mismatch_penalty)
+    : base_(std::move(base)),
+      name_(base_.name + "+static[" + configured_for_model + "]"),
+      configured_for_(std::move(configured_for_model)),
+      boost_(matched_util_boost),
+      penalty_(mismatch_penalty) {}
+
+PerfEstimate StaticConfigAccelerator::estimate_graph(const Graph& g, DType dt) const {
+  DeviceSpec spec = base_;
+  const double factor = g.name() == configured_for_ ? boost_ : penalty_;
+  spec.util_b1 = std::min(0.95, spec.util_b1 * factor);
+  spec.util_sat = std::min(0.95, spec.util_sat * factor);
+  spec.name = name_;
+  return estimate(spec, g, dt);
+}
+
+ReconfigurableAccelerator::ReconfigurableAccelerator(DeviceSpec base,
+                                                     std::vector<ReconfigProfile> profiles,
+                                                     double config_bandwidth_gbs)
+    : base_(std::move(base)), profiles_(std::move(profiles)), config_bw_(config_bandwidth_gbs) {
+  VEDLIOT_CHECK(!profiles_.empty(), "ReconfigurableAccelerator needs at least one profile");
+}
+
+double ReconfigurableAccelerator::reconfigure(const std::string& profile_name) {
+  for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    if (profiles_[i].name == profile_name) {
+      if (i == active_) return 0.0;  // already loaded
+      active_ = i;
+      return profiles_[i].bitstream_mib * 1024.0 * 1024.0 / (config_bw_ * 1e9);
+    }
+  }
+  throw NotFound("no reconfiguration profile named " + profile_name);
+}
+
+DeviceSpec ReconfigurableAccelerator::effective_spec() const {
+  DeviceSpec spec = base_;
+  const auto& p = profiles_[active_];
+  spec.peak_gops *= p.peak_scale;
+  spec.tdp_w *= p.power_scale;
+  spec.idle_w *= p.power_scale;
+  spec.name = base_.name + "@" + p.name;
+  return spec;
+}
+
+PerfEstimate ReconfigurableAccelerator::estimate_graph(const Graph& g, DType dt) const {
+  return estimate(effective_spec(), g, dt);
+}
+
+std::string ReconfigurableAccelerator::best_profile_for(const Graph& g, DType dt,
+                                                        double latency_budget_s) const {
+  const ReconfigProfile* best = nullptr;
+  double best_energy = 0.0;
+  for (const auto& p : profiles_) {
+    DeviceSpec spec = base_;
+    spec.peak_gops *= p.peak_scale;
+    spec.tdp_w *= p.power_scale;
+    spec.idle_w *= p.power_scale;
+    const PerfEstimate e = estimate(spec, g, dt);
+    if (e.latency_s > latency_budget_s) continue;
+    if (!best || e.energy_j < best_energy) {
+      best = &p;
+      best_energy = e.energy_j;
+    }
+  }
+  if (!best) throw Unsupported("no profile meets the latency budget");
+  return best->name;
+}
+
+// ---------------------------------------------------------------------------
+// Co-design
+// ---------------------------------------------------------------------------
+
+double array_tiling_efficiency(const Graph& g, int pe_rows, int pe_cols) {
+  VEDLIOT_CHECK(pe_rows >= 1 && pe_cols >= 1, "PE array dims must be positive");
+  double weighted = 0.0, total_macs = 0.0;
+  for (NodeId id : g.topo_order()) {
+    const Node& n = g.node(id);
+    const NodeCost c = node_cost(g, id);
+    if (c.macs == 0) continue;
+    std::int64_t oc, icg;
+    if (n.kind == OpKind::kConv2d) {
+      oc = n.attrs.get_int("out_channels");
+      const auto groups = n.attrs.get_int_or("groups", 1);
+      icg = g.node(n.inputs.front()).out_shape.c() / groups;
+    } else {  // Dense
+      oc = n.attrs.get_int("units");
+      icg = g.node(n.inputs.front()).out_shape.dim(1);
+    }
+    auto tile_eff = [](std::int64_t dim, int pe) {
+      const auto tiles = (dim + pe - 1) / pe;
+      return static_cast<double>(dim) / static_cast<double>(tiles * pe);
+    };
+    const double eff = tile_eff(oc, pe_rows) * tile_eff(icg, pe_cols);
+    weighted += eff * static_cast<double>(c.macs);
+    total_macs += static_cast<double>(c.macs);
+  }
+  return total_macs > 0 ? weighted / total_macs : 1.0;
+}
+
+std::vector<DesignPoint> codesign_search(const Graph& g, const FabricBudget& budget) {
+  const GraphCost cost = graph_cost(g);
+  const double traffic = graph_traffic_bytes(g, DType::kINT8, DType::kINT8);
+  const double wbytes = weight_bytes(g, DType::kINT8);
+  constexpr double kDramGbs = 4.0;  // embedded LPDDR4 32-bit
+
+  std::vector<DesignPoint> points;
+  for (int rows = 8; rows <= budget.max_macs; rows *= 2) {
+    for (int cols = 8; cols <= budget.max_macs; cols *= 2) {
+      if (rows * cols > budget.max_macs) continue;
+      for (double sram = 1.0; sram <= budget.max_sram_mib; sram *= 2.0) {
+        DesignPoint p;
+        p.pe_rows = rows;
+        p.pe_cols = cols;
+        p.sram_mib = sram;
+        p.mean_pe_utilization = array_tiling_efficiency(g, rows, cols);
+
+        const double peak_macs_s = static_cast<double>(rows * cols) * budget.clock_ghz * 1e9;
+        const double compute_s =
+            static_cast<double>(cost.macs) / (peak_macs_s * p.mean_pe_utilization);
+        double eff_traffic = traffic;
+        if (wbytes > sram * 1024 * 1024) eff_traffic += wbytes;  // weights re-streamed
+        const double mem_s = eff_traffic / (kDramGbs * 1e9);
+        p.latency_s = std::max(compute_s, mem_s);
+
+        const double active_kmacs =
+            static_cast<double>(rows * cols) / 1000.0 * p.mean_pe_utilization;
+        p.power_w = budget.idle_w + budget.watts_per_kmac * active_kmacs + 0.2 * sram;
+        p.energy_j = p.power_w * p.latency_s;
+        points.push_back(p);
+      }
+    }
+  }
+  std::sort(points.begin(), points.end(),
+            [](const DesignPoint& a, const DesignPoint& b) { return a.energy_j < b.energy_j; });
+  return points;
+}
+
+namespace {
+/// True when a node's value reaches a graph output only through shape-
+/// preserving ops — widening such a node would change the model's API.
+bool reaches_output_unreshaped(const Graph& g, NodeId id) {
+  const auto consumers = g.consumers(id);
+  if (consumers.empty()) return true;
+  for (NodeId c : consumers) {
+    const Node& n = g.node(c);
+    const bool passthrough = op_is_activation(n.kind) || n.kind == OpKind::kSoftmax ||
+                             n.kind == OpKind::kFlatten || n.kind == OpKind::kIdentity ||
+                             n.kind == OpKind::kBatchNorm;
+    if (passthrough && reaches_output_unreshaped(g, c)) return true;
+  }
+  return false;
+}
+}  // namespace
+
+Graph apply_channel_rounding(const Graph& g, std::int64_t multiple) {
+  VEDLIOT_CHECK(multiple >= 1, "channel multiple must be >= 1");
+  Graph out = g.clone();
+  auto round_up = [&](std::int64_t v) { return (v + multiple - 1) / multiple * multiple; };
+
+  // Pass 1: widen regular convs and dense layers (never the heads — their
+  // width is the model's API).
+  for (NodeId id : out.topo_order()) {
+    Node& n = out.node(id);
+    const bool is_head = reaches_output_unreshaped(out, id);
+    if (is_head) continue;
+    if (n.kind == OpKind::kConv2d && n.attrs.get_int_or("groups", 1) == 1) {
+      n.attrs.set_int("out_channels", round_up(n.attrs.get_int("out_channels")));
+      n.weights.clear();  // shapes changed
+    } else if (n.kind == OpKind::kDense) {
+      n.attrs.set_int("units", round_up(n.attrs.get_int("units")));
+      n.weights.clear();
+    } else if (n.kind == OpKind::kBatchNorm) {
+      n.weights.clear();
+    }
+  }
+
+  // Pass 2: depthwise/grouped convs follow their (now wider) producer: a
+  // conv whose groups equalled its input channel count stays depthwise.
+  for (NodeId id : out.topo_order()) {
+    Node& n = out.node(id);
+    if (n.kind != OpKind::kConv2d) continue;
+    const auto groups = n.attrs.get_int_or("groups", 1);
+    if (groups == 1) continue;
+    const auto old_oc = n.attrs.get_int("out_channels");
+    VEDLIOT_CHECK(groups == old_oc, "only depthwise grouped convs are supported by rounding");
+    const std::int64_t new_c = round_up(old_oc);
+    n.attrs.set_int("out_channels", new_c);
+    n.attrs.set_int("groups", new_c);
+    n.weights.clear();
+  }
+
+  out.infer_all();
+  out.validate();
+  return out;
+}
+
+}  // namespace vedliot::hw

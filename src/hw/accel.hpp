@@ -1,0 +1,148 @@
+#pragma once
+/// \file accel.hpp
+/// \brief The four DL-accelerator classes explored in Sec. II-B:
+/// (1) off-the-shelf, (2) statically configured, (3) dynamically
+/// reconfigurable, (4) fully simultaneous co-design.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hw/device.hpp"
+#include "hw/perf_model.hpp"
+
+namespace vedliot::hw {
+
+enum class AcceleratorKind {
+  kOffTheShelf,
+  kStaticConfig,
+  kReconfigurable,
+  kCoDesign,
+};
+
+std::string_view accelerator_kind_name(AcceleratorKind k);
+
+/// Common interface: every accelerator can estimate a graph at a precision.
+class Accelerator {
+ public:
+  virtual ~Accelerator() = default;
+  virtual AcceleratorKind kind() const = 0;
+  virtual const std::string& name() const = 0;
+  virtual PerfEstimate estimate_graph(const Graph& g, DType dt) const = 0;
+};
+
+/// (1) Off-the-shelf: a catalog device used as-is.
+class OffTheShelfAccelerator : public Accelerator {
+ public:
+  explicit OffTheShelfAccelerator(DeviceSpec spec) : spec_(std::move(spec)) {}
+  AcceleratorKind kind() const override { return AcceleratorKind::kOffTheShelf; }
+  const std::string& name() const override { return spec_.name; }
+  PerfEstimate estimate_graph(const Graph& g, DType dt) const override;
+  const DeviceSpec& spec() const { return spec_; }
+
+ private:
+  DeviceSpec spec_;
+};
+
+/// (2) Statically configured: an FPGA overlay synthesized for ONE model.
+/// Utilization is boosted on the matched model and penalized elsewhere
+/// (the fabric's dataflow no longer matches the layer mix).
+class StaticConfigAccelerator : public Accelerator {
+ public:
+  StaticConfigAccelerator(DeviceSpec base, std::string configured_for_model,
+                          double matched_util_boost = 1.25, double mismatch_penalty = 0.6);
+  AcceleratorKind kind() const override { return AcceleratorKind::kStaticConfig; }
+  const std::string& name() const override { return name_; }
+  PerfEstimate estimate_graph(const Graph& g, DType dt) const override;
+
+ private:
+  DeviceSpec base_;
+  std::string name_;
+  std::string configured_for_;
+  double boost_;
+  double penalty_;
+};
+
+/// One partial-reconfiguration profile: a bitstream trading performance
+/// against power (Sec. II-A: "implementations with different
+/// power/performance footprints").
+struct ReconfigProfile {
+  std::string name;
+  double peak_scale = 1.0;   ///< multiplier on the base device peak
+  double power_scale = 1.0;  ///< multiplier on TDP/idle
+  double bitstream_mib = 8;  ///< partial bitstream size
+};
+
+/// (3) Dynamically reconfigurable: switch profiles at run time; switching
+/// costs bitstream_mib / config_port_bandwidth (ICAP-style, ~0.4 GB/s).
+class ReconfigurableAccelerator : public Accelerator {
+ public:
+  ReconfigurableAccelerator(DeviceSpec base, std::vector<ReconfigProfile> profiles,
+                            double config_bandwidth_gbs = 0.4);
+  AcceleratorKind kind() const override { return AcceleratorKind::kReconfigurable; }
+  const std::string& name() const override { return base_.name; }
+
+  const std::vector<ReconfigProfile>& profiles() const { return profiles_; }
+  const ReconfigProfile& active() const { return profiles_[active_]; }
+
+  /// Switch to the named profile; returns the reconfiguration latency (s).
+  double reconfigure(const std::string& profile_name);
+
+  /// Device spec as modified by the active profile.
+  DeviceSpec effective_spec() const;
+
+  PerfEstimate estimate_graph(const Graph& g, DType dt) const override;
+
+  /// Pick the most energy-efficient profile that still meets the latency
+  /// target; returns the profile name (does not switch).
+  std::string best_profile_for(const Graph& g, DType dt, double latency_budget_s) const;
+
+ private:
+  DeviceSpec base_;
+  std::vector<ReconfigProfile> profiles_;
+  double config_bw_;
+  std::size_t active_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// (4) Fully simultaneous co-design (Sec. II-B): search hardware parameters
+// (PE array, buffer) together with model feedback (channel rounding).
+// ---------------------------------------------------------------------------
+
+/// FPGA fabric constraints available to the co-design search.
+struct FabricBudget {
+  int max_macs = 2048;        ///< DSP-limited MAC units
+  double max_sram_mib = 8.0;
+  double clock_ghz = 0.3;
+  double watts_per_kmac = 4.0;   ///< dynamic power per 1000 active MACs
+  double idle_w = 2.0;
+};
+
+/// One evaluated hardware design point.
+struct DesignPoint {
+  int pe_rows = 16;        ///< output-channel parallelism
+  int pe_cols = 16;        ///< input-channel parallelism
+  double sram_mib = 4.0;
+  DType dtype = DType::kINT8;
+
+  double latency_s = 0;
+  double power_w = 0;
+  double energy_j = 0;
+  double mean_pe_utilization = 0;  ///< how well layer channels tile the array
+};
+
+/// Average efficiency with which the graph's conv/dense layers tile a
+/// pe_rows x pe_cols MAC array (1.0 = every cycle all PEs busy).
+double array_tiling_efficiency(const Graph& g, int pe_rows, int pe_cols);
+
+/// Exhaustive search over power-of-two PE arrays within the fabric budget;
+/// returns all evaluated points sorted by energy (best first).
+std::vector<DesignPoint> codesign_search(const Graph& g, const FabricBudget& budget);
+
+/// Model-side feedback (the "feedback to the models" loop): round every
+/// conv/dense channel count up to a multiple of \p multiple. Returns a new
+/// graph; the caller re-runs codesign_search to quantify the gain.
+Graph apply_channel_rounding(const Graph& g, std::int64_t multiple);
+
+}  // namespace vedliot::hw

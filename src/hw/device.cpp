@@ -1,0 +1,167 @@
+#include "hw/device.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vedliot::hw {
+
+std::string_view device_class_name(DeviceClass c) {
+  switch (c) {
+    case DeviceClass::kCPU: return "CPU";
+    case DeviceClass::kGPU: return "GPU";
+    case DeviceClass::kEmbeddedGPU: return "eGPU";
+    case DeviceClass::kFPGA: return "FPGA";
+    case DeviceClass::kASIC: return "ASIC";
+    case DeviceClass::kMCU: return "MCU";
+  }
+  throw InvalidArgument("unknown DeviceClass");
+}
+
+bool DeviceSpec::supports(DType dt) const {
+  for (DType d : supported) {
+    if (d == dt) return true;
+  }
+  return false;
+}
+
+double DeviceSpec::peak_gops_at(DType dt) const {
+  if (!supports(dt)) {
+    throw Unsupported(name + " does not support " + std::string(dtype_name(dt)));
+  }
+  return peak_gops * dtype_speedup_vs_fp32(dt) / dtype_speedup_vs_fp32(best_dtype);
+}
+
+double DeviceSpec::utilization(int batch) const {
+  VEDLIOT_CHECK(batch >= 1, "batch must be >= 1");
+  const double b = static_cast<double>(batch);
+  return util_sat - (util_sat - util_b1) * std::exp(-(b - 1.0) / batch_half);
+}
+
+namespace {
+
+DeviceSpec make(std::string name, DeviceClass cls, DType best, std::vector<DType> supported,
+                double peak_gops, double bw, double onchip_mib, double tdp, double idle,
+                double util_b1, double util_sat, double batch_half) {
+  DeviceSpec d;
+  d.name = std::move(name);
+  d.cls = cls;
+  d.best_dtype = best;
+  d.supported = std::move(supported);
+  d.peak_gops = peak_gops;
+  d.mem_bandwidth_gbs = bw;
+  d.onchip_mib = onchip_mib;
+  d.tdp_w = tdp;
+  d.idle_w = idle;
+  d.util_b1 = util_b1;
+  d.util_sat = util_sat;
+  d.batch_half = batch_half;
+  return d;
+}
+
+constexpr DType FP32 = DType::kFP32;
+constexpr DType FP16 = DType::kFP16;
+constexpr DType INT8 = DType::kINT8;
+constexpr DType BIN = DType::kBinary;
+
+std::vector<DeviceSpec> build_yolo_platforms() {
+  // The 11 platforms of Fig. 4. Peaks are datasheet values at the dtype the
+  // paper used per platform (INT8 where supported, else FP16/FP32).
+  std::vector<DeviceSpec> v;
+  // x86 CPUs (FP32, AVX2): flat utilization, batching barely helps.
+  v.push_back(make("Epyc3451", DeviceClass::kCPU, FP32, {FP32, FP16, INT8},
+                   550, 38, 16, 100, 32, 0.45, 0.55, 1.0));
+  v.push_back(make("D1577", DeviceClass::kCPU, FP32, {FP32, FP16, INT8},
+                   330, 30, 24, 45, 18, 0.45, 0.55, 1.0));
+  // Desktop GPU (TU116: 5 TFLOPS fp32, dp4a int8 ~20 TOPS).
+  v.push_back(make("GTX1660", DeviceClass::kGPU, INT8, {FP32, FP16, INT8},
+                   20000, 192, 1.5, 120, 11, 0.10, 0.45, 3.0));
+  // Embedded GPUs (Jetson family; INT8 via GPU+DLA).
+  v.push_back(make("XavierAGX-MAXN", DeviceClass::kEmbeddedGPU, INT8, {FP32, FP16, INT8},
+                   22000, 137, 4, 30, 9, 0.12, 0.40, 3.0));
+  v.push_back(make("XavierAGX-30W", DeviceClass::kEmbeddedGPU, INT8, {FP32, FP16, INT8},
+                   15000, 100, 4, 30, 8, 0.12, 0.40, 3.0));
+  v.push_back(make("XavierNX", DeviceClass::kEmbeddedGPU, INT8, {FP32, FP16, INT8},
+                   21000, 59, 2, 15, 5, 0.08, 0.30, 3.0));
+  v.push_back(make("JetsonTX2", DeviceClass::kEmbeddedGPU, FP16, {FP32, FP16},
+                   1330, 58, 2, 15, 5, 0.25, 0.45, 2.5));
+  // FPGAs with DPU overlays (INT8, high sustained utilization, batch-flat).
+  v.push_back(make("ZynqZU15", DeviceClass::kFPGA, INT8, {INT8, BIN},
+                   3600, 19, 9, 22, 8, 0.55, 0.65, 1.0));
+  v.push_back(make("ZynqZU3", DeviceClass::kFPGA, INT8, {INT8, BIN},
+                   1150, 4.3, 4, 7, 2.5, 0.55, 0.65, 1.0));
+  // VPU ASIC.
+  v.push_back(make("MyriadX", DeviceClass::kASIC, INT8, {FP16, INT8},
+                   1000, 6.4, 2.5, 2.5, 0.8, 0.45, 0.55, 1.5));
+  // Extra low-power mode requested by the automotive use case.
+  v.push_back(make("XavierAGX-10W", DeviceClass::kEmbeddedGPU, INT8, {FP32, FP16, INT8},
+                   7500, 68, 4, 10, 4, 0.12, 0.40, 3.0));
+  return v;
+}
+
+std::vector<DeviceSpec> build_survey() {
+  // Fig. 3 landscape: vendor peaks, mW-class endpoint devices to 400 W cloud
+  // accelerators. Peaks quoted at each device's marketing precision.
+  std::vector<DeviceSpec> v = build_yolo_platforms();
+  // Cloud / datacenter.
+  v.push_back(make("A100", DeviceClass::kGPU, INT8, {FP32, FP16, INT8},
+                   624000, 1555, 40, 400, 60, 0.15, 0.6, 4.0));
+  v.push_back(make("V100", DeviceClass::kGPU, FP16, {FP32, FP16, INT8},
+                   125000, 900, 34, 300, 50, 0.15, 0.6, 4.0));
+  v.push_back(make("T4", DeviceClass::kGPU, INT8, {FP32, FP16, INT8},
+                   130000, 320, 10, 70, 10, 0.12, 0.55, 4.0));
+  v.push_back(make("Goya", DeviceClass::kASIC, INT8, {FP16, INT8},
+                   100000, 40, 48, 200, 30, 0.3, 0.6, 2.0));
+  // Edge ASICs.
+  v.push_back(make("Hailo-8", DeviceClass::kASIC, INT8, {INT8},
+                   26000, 8, 16, 2.5, 0.5, 0.4, 0.6, 1.5));
+  v.push_back(make("EdgeTPU", DeviceClass::kASIC, INT8, {INT8},
+                   4000, 4, 8, 2.0, 0.5, 0.4, 0.6, 1.5));
+  v.push_back(make("MyriadX-2W", DeviceClass::kASIC, FP16, {FP16, INT8},
+                   1000, 6.4, 2.5, 2.0, 0.6, 0.45, 0.55, 1.5));
+  v.push_back(make("KendryteK210", DeviceClass::kASIC, INT8, {INT8},
+                   460, 2, 6, 0.4, 0.1, 0.4, 0.5, 1.0));
+  // MCU-class / TinyML (mW regime).
+  v.push_back(make("Ethos-U55", DeviceClass::kMCU, INT8, {INT8},
+                   512, 0.5, 0.5, 0.3, 0.05, 0.4, 0.5, 1.0));
+  v.push_back(make("GAP8", DeviceClass::kMCU, INT8, {INT8},
+                   22.6, 0.15, 0.5, 0.1, 0.02, 0.4, 0.5, 1.0));
+  v.push_back(make("SyntiantNDP120", DeviceClass::kMCU, INT8, {INT8, BIN},
+                   6.4, 0.01, 0.1, 0.02, 0.005, 0.4, 0.5, 1.0));
+  v.push_back(make("CortexM7-DSP", DeviceClass::kMCU, INT8, {INT8},
+                   1.6, 0.05, 0.3, 0.3, 0.1, 0.4, 0.5, 1.0));
+  // FPGA overlays beyond the Zynq boards.
+  v.push_back(make("AlveoU250-DPU", DeviceClass::kFPGA, INT8, {INT8, BIN},
+                   33000, 77, 54, 110, 40, 0.5, 0.65, 1.2));
+  v.push_back(make("FINN-BNN-ZU3", DeviceClass::kFPGA, BIN, {BIN},
+                   10000, 4.3, 4, 6, 2.5, 0.5, 0.6, 1.0));
+  // Modules carried by the uRECS baseboard (Sec. II-A).
+  v.push_back(make("iMX8MPlus-NPU", DeviceClass::kASIC, INT8, {INT8},
+                   2300, 12.8, 0.5, 5, 1.5, 0.35, 0.5, 1.5));
+  v.push_back(make("KriaK26-DPU", DeviceClass::kFPGA, INT8, {INT8, BIN},
+                   1400, 19.2, 4, 10, 3, 0.55, 0.65, 1.0));
+  v.push_back(make("RPiCM4", DeviceClass::kCPU, FP32, {FP32},
+                   32, 4, 1, 7, 2, 0.4, 0.5, 1.0));
+  return v;
+}
+
+}  // namespace
+
+const std::vector<DeviceSpec>& survey_catalog() {
+  static const std::vector<DeviceSpec> catalog = build_survey();
+  return catalog;
+}
+
+const std::vector<DeviceSpec>& yolo_eval_platforms() {
+  static const std::vector<DeviceSpec> catalog = build_yolo_platforms();
+  return catalog;
+}
+
+const DeviceSpec& find_device(const std::string& name) {
+  for (const auto& d : survey_catalog()) {
+    if (d.name == name) return d;
+  }
+  throw NotFound("unknown device: " + name);
+}
+
+}  // namespace vedliot::hw

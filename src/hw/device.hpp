@@ -1,0 +1,73 @@
+#pragma once
+/// \file device.hpp
+/// \brief DL accelerator descriptors and the device catalogs behind
+/// Fig. 3 (market survey) and Fig. 4 (YoloV4 evaluation platforms).
+///
+/// Peak numbers are vendor datasheet values (the paper states Fig. 3 uses
+/// unnormalized vendor peaks across mixed precisions); the utilization and
+/// power parameters are calibrated so the performance model reproduces the
+/// relative shapes of Fig. 4.
+
+#include <string>
+#include <vector>
+
+#include "tensor/dtype.hpp"
+
+namespace vedliot::hw {
+
+enum class DeviceClass {
+  kCPU,
+  kGPU,
+  kEmbeddedGPU,
+  kFPGA,
+  kASIC,
+  kMCU,
+};
+
+std::string_view device_class_name(DeviceClass c);
+
+struct DeviceSpec {
+  std::string name;
+  DeviceClass cls = DeviceClass::kCPU;
+
+  DType best_dtype = DType::kFP32;        ///< precision the peak is quoted at
+  std::vector<DType> supported;           ///< precisions the device can run
+
+  double peak_gops = 0;                   ///< vendor peak at best_dtype
+  double mem_bandwidth_gbs = 0;           ///< DRAM bandwidth
+  double onchip_mib = 0;                  ///< on-chip buffer (SRAM/cache)
+  double tdp_w = 0;                       ///< board power at full load
+  double idle_w = 0;
+
+  // Utilization model: fraction of peak actually achieved on a real DL graph
+  // rises from util_b1 at batch 1 towards util_sat with time-constant
+  // batch_half (GPUs gain a lot from batching; CPUs/FPGAs are flat).
+  double util_b1 = 0.3;
+  double util_sat = 0.5;
+  double batch_half = 2.0;
+
+  bool supports(DType dt) const;
+
+  /// Peak at an arbitrary supported precision: the quoted peak rescaled by
+  /// the relative throughput of the precisions. Throws Unsupported.
+  double peak_gops_at(DType dt) const;
+
+  /// Fraction of peak achievable at the given batch size.
+  double utilization(int batch) const;
+
+  /// Vendor-peak energy efficiency in TOPS/W (the Fig. 3 metric).
+  double peak_tops_per_watt() const { return peak_gops / 1000.0 / tdp_w; }
+};
+
+/// Fig. 3: the full surveyed accelerator landscape (embedded mW devices up
+/// to 400 W cloud parts). ~25 devices.
+const std::vector<DeviceSpec>& survey_catalog();
+
+/// Fig. 4: the 11 evaluation platforms (Epyc3451, D1577, GTX1660, Xavier
+/// AGX MAXN + 30W, Xavier NX, Jetson TX2, ZU15, ZU3, Myriad X ...).
+const std::vector<DeviceSpec>& yolo_eval_platforms();
+
+/// Look up any device from either catalog by name; throws NotFound.
+const DeviceSpec& find_device(const std::string& name);
+
+}  // namespace vedliot::hw

@@ -1,0 +1,66 @@
+#include "hw/perf_model.hpp"
+
+#include <algorithm>
+
+#include "graph/cost.hpp"
+#include "runtime/memory_planner.hpp"
+#include "util/error.hpp"
+
+namespace vedliot::hw {
+
+PerfEstimate estimate_workload(const DeviceSpec& dev, double ops, double traffic_bytes,
+                               double weight_bytes, int batch, DType dt) {
+  VEDLIOT_CHECK(ops > 0, "workload has no operations");
+  PerfEstimate e;
+  e.device = dev.name;
+  e.batch = batch;
+  e.dtype = dt;
+
+  const double peak_ops = dev.peak_gops_at(dt) * 1e9;
+  const double util = dev.utilization(batch);
+  e.compute_time_s = ops / (peak_ops * util);
+
+  // Memory roof: all operand traffic through DRAM. If the weights don't fit
+  // on chip they are streamed once per *inference* rather than once per
+  // batch (no reuse across batch elements), which is what makes batching
+  // ineffective on bandwidth-starved devices.
+  double effective_traffic = traffic_bytes;
+  if (weight_bytes > dev.onchip_mib * 1024.0 * 1024.0) {
+    effective_traffic += weight_bytes * static_cast<double>(batch - 1);
+  }
+  e.memory_time_s = effective_traffic / (dev.mem_bandwidth_gbs * 1e9);
+
+  e.latency_s = std::max(e.compute_time_s, e.memory_time_s);
+  e.bound = e.compute_time_s >= e.memory_time_s ? Bound::kCompute : Bound::kMemory;
+
+  e.achieved_gops = ops / e.latency_s / 1e9;
+
+  // Power: idle plus dynamic power proportional to how much of the peak
+  // compute fabric is actually busy (memory-bound runs burn less).
+  const double busy_fraction = std::min(1.0, ops / (peak_ops * e.latency_s));
+  e.power_w = dev.idle_w + (dev.tdp_w - dev.idle_w) * (0.25 + 0.75 * busy_fraction / dev.util_sat);
+  e.power_w = std::min(e.power_w, dev.tdp_w);
+
+  e.energy_j = e.power_w * e.latency_s;
+  e.energy_per_inference_j = e.energy_j / static_cast<double>(batch);
+  e.fps = static_cast<double>(batch) / e.latency_s;
+  e.efficiency_gops_w = e.achieved_gops / e.power_w;
+  return e;
+}
+
+PerfEstimate estimate(const DeviceSpec& dev, const Graph& g, DType dt) {
+  const GraphCost cost = graph_cost(g);
+  const int batch = static_cast<int>(g.node(g.inputs().front()).out_shape.dim(0));
+  const double traffic =
+      graph_traffic_bytes_with_locality(g, dt, dt, dev.onchip_mib * 1024.0 * 1024.0);
+  const double wbytes = weight_bytes(g, dt);
+
+  PerfEstimate e = estimate_workload(dev, static_cast<double>(cost.ops), traffic, wbytes, batch, dt);
+  e.model = g.name();
+  const MemoryPlan plan = plan_memory(g, dt);
+  e.arena_mib = static_cast<double>(plan.arena_bytes) / (1024.0 * 1024.0);
+  e.weight_mib = wbytes / (1024.0 * 1024.0);
+  return e;
+}
+
+}  // namespace vedliot::hw

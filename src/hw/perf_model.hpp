@@ -1,0 +1,52 @@
+#pragma once
+/// \file perf_model.hpp
+/// \brief Roofline + utilization performance/power/energy model.
+///
+/// Substitutes for the physical measurements behind Fig. 4: inference time
+/// is the max of the compute roof (peak * utilization at the batch size and
+/// precision) and the memory roof (operand traffic / DRAM bandwidth, with
+/// weight re-streaming when the model exceeds the on-chip buffer). Power
+/// interpolates between idle and TDP with the achieved compute utilization.
+
+#include <string>
+
+#include "graph/graph.hpp"
+#include "hw/device.hpp"
+
+namespace vedliot::hw {
+
+enum class Bound { kCompute, kMemory };
+
+struct PerfEstimate {
+  std::string device;
+  std::string model;
+  int batch = 1;
+  DType dtype = DType::kFP32;
+
+  double latency_s = 0;        ///< one full batch
+  double compute_time_s = 0;
+  double memory_time_s = 0;
+  Bound bound = Bound::kCompute;
+
+  double achieved_gops = 0;    ///< ops / latency
+  double power_w = 0;          ///< average board power while running
+  double energy_j = 0;         ///< per batch
+  double energy_per_inference_j = 0;
+  double fps = 0;              ///< inferences (not batches) per second
+  double efficiency_gops_w = 0;
+
+  double arena_mib = 0;        ///< activation arena (from the memory planner)
+  double weight_mib = 0;
+};
+
+/// Estimate executing \p g (whose input shapes already encode the batch
+/// size) on \p dev at precision \p dt. Throws Unsupported when the device
+/// cannot run the precision.
+PerfEstimate estimate(const DeviceSpec& dev, const Graph& g, DType dt);
+
+/// Low-level variant for callers that already know the op/traffic counts
+/// (used by the platform-level schedulers).
+PerfEstimate estimate_workload(const DeviceSpec& dev, double ops, double traffic_bytes,
+                               double weight_bytes, int batch, DType dt);
+
+}  // namespace vedliot::hw

@@ -1,0 +1,132 @@
+#include "kenning/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vedliot::kenning {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : n_(num_classes), cells_(num_classes * num_classes, 0) {
+  VEDLIOT_CHECK(num_classes >= 2, "confusion matrix needs >= 2 classes");
+}
+
+void ConfusionMatrix::add(std::size_t truth, std::size_t predicted) {
+  VEDLIOT_CHECK(truth < n_ && predicted < n_, "class index out of range");
+  ++cells_[truth * n_ + predicted];
+  ++total_;
+}
+
+std::uint64_t ConfusionMatrix::count(std::size_t truth, std::size_t predicted) const {
+  VEDLIOT_CHECK(truth < n_ && predicted < n_, "class index out of range");
+  return cells_[truth * n_ + predicted];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t correct = 0;
+  for (std::size_t i = 0; i < n_; ++i) correct += cells_[i * n_ + i];
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(std::size_t cls) const {
+  VEDLIOT_CHECK(cls < n_, "class index out of range");
+  std::uint64_t predicted = 0;
+  for (std::size_t t = 0; t < n_; ++t) predicted += cells_[t * n_ + cls];
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(cells_[cls * n_ + cls]) / static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(std::size_t cls) const {
+  VEDLIOT_CHECK(cls < n_, "class index out of range");
+  std::uint64_t actual = 0;
+  for (std::size_t p = 0; p < n_; ++p) actual += cells_[cls * n_ + p];
+  if (actual == 0) return 0.0;
+  return static_cast<double>(cells_[cls * n_ + cls]) / static_cast<double>(actual);
+}
+
+double ConfusionMatrix::f1(std::size_t cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double acc = 0.0;
+  for (std::size_t c = 0; c < n_; ++c) acc += f1(c);
+  return acc / static_cast<double>(n_);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream os;
+  os << "truth\\pred";
+  for (std::size_t p = 0; p < n_; ++p) os << '\t' << p;
+  os << '\n';
+  for (std::size_t t = 0; t < n_; ++t) {
+    os << t;
+    for (std::size_t p = 0; p < n_; ++p) os << '\t' << count(t, p);
+    os << '\n';
+  }
+  return os.str();
+}
+
+double iou(const Box& a, const Box& b) {
+  const double x1 = std::max(a.x, b.x);
+  const double y1 = std::max(a.y, b.y);
+  const double x2 = std::min(a.x + a.w, b.x + b.w);
+  const double y2 = std::min(a.y + a.h, b.y + b.h);
+  const double inter = std::max(0.0, x2 - x1) * std::max(0.0, y2 - y1);
+  const double uni = a.area() + b.area() - inter;
+  return uni > 0.0 ? inter / uni : 0.0;
+}
+
+DetectionEval evaluate_detections(std::vector<Detection> detections,
+                                  const std::vector<GroundTruth>& truths,
+                                  double iou_threshold) {
+  std::sort(detections.begin(), detections.end(),
+            [](const Detection& a, const Detection& b) { return a.score > b.score; });
+
+  std::vector<bool> gt_used(truths.size(), false);
+  std::vector<bool> is_tp(detections.size(), false);
+  for (std::size_t d = 0; d < detections.size(); ++d) {
+    double best = iou_threshold;
+    std::ptrdiff_t best_gt = -1;
+    for (std::size_t g = 0; g < truths.size(); ++g) {
+      if (gt_used[g] || truths[g].image_id != detections[d].image_id) continue;
+      const double ov = iou(detections[d].box, truths[g].box);
+      if (ov >= best) {
+        best = ov;
+        best_gt = static_cast<std::ptrdiff_t>(g);
+      }
+    }
+    if (best_gt >= 0) {
+      gt_used[static_cast<std::size_t>(best_gt)] = true;
+      is_tp[d] = true;
+    }
+  }
+
+  DetectionEval eval;
+  std::size_t tp = 0, fp = 0;
+  const double total_gt = static_cast<double>(truths.size());
+  double ap = 0.0;
+  double last_recall = 0.0;
+  for (std::size_t d = 0; d < detections.size(); ++d) {
+    if (is_tp[d]) ++tp;
+    else ++fp;
+    PrPoint pt;
+    pt.threshold = detections[d].score;
+    pt.precision = static_cast<double>(tp) / static_cast<double>(tp + fp);
+    pt.recall = total_gt > 0 ? static_cast<double>(tp) / total_gt : 0.0;
+    // all-point AP: rectangle between consecutive recall levels
+    ap += pt.precision * (pt.recall - last_recall);
+    last_recall = pt.recall;
+    eval.curve.push_back(pt);
+  }
+  eval.average_precision = ap;
+  eval.true_positives = tp;
+  eval.false_positives = fp;
+  eval.false_negatives = truths.size() - tp;
+  return eval;
+}
+
+}  // namespace vedliot::kenning

@@ -1,0 +1,81 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Quality metrics the Kenning-analogue reports: confusion matrix
+/// for classification models, precision/recall and AP for detectors
+/// (Sec. III: "generate a confusion matrix for classification models and
+/// recall/precision graphs for detection algorithms").
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace vedliot::kenning {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void add(std::size_t truth, std::size_t predicted);
+
+  std::size_t classes() const { return n_; }
+  std::uint64_t count(std::size_t truth, std::size_t predicted) const;
+  std::uint64_t total() const { return total_; }
+
+  double accuracy() const;
+  double precision(std::size_t cls) const;  ///< tp / (tp + fp); 0 if no predictions
+  double recall(std::size_t cls) const;     ///< tp / (tp + fn); 0 if no instances
+  double f1(std::size_t cls) const;
+  double macro_f1() const;
+
+  std::string to_string() const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::uint64_t> cells_;  // row = truth, col = predicted
+  std::uint64_t total_ = 0;
+};
+
+/// Axis-aligned box for detection metrics.
+struct Box {
+  double x = 0, y = 0, w = 0, h = 0;
+  double area() const { return w * h; }
+};
+
+/// Intersection-over-union of two boxes.
+double iou(const Box& a, const Box& b);
+
+struct Detection {
+  Box box;
+  double score = 0;
+  int image_id = 0;
+};
+
+struct GroundTruth {
+  Box box;
+  int image_id = 0;
+};
+
+struct PrPoint {
+  double threshold = 0;
+  double precision = 0;
+  double recall = 0;
+};
+
+/// Greedy score-ordered matching at the given IoU threshold; returns the
+/// precision/recall curve over score thresholds plus average precision
+/// (all-point interpolation).
+struct DetectionEval {
+  std::vector<PrPoint> curve;
+  double average_precision = 0;
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+};
+
+DetectionEval evaluate_detections(std::vector<Detection> detections,
+                                  const std::vector<GroundTruth>& truths,
+                                  double iou_threshold = 0.5);
+
+}  // namespace vedliot::kenning

@@ -1,0 +1,164 @@
+#include "opt/compress.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "opt/huffman.hpp"
+#include "opt/prune.hpp"
+#include "util/error.hpp"
+
+namespace vedliot::opt {
+
+std::vector<float> cluster_weights(Tensor& weights, int codebook_bits, int iterations,
+                                   bool apply) {
+  VEDLIOT_CHECK(codebook_bits >= 1 && codebook_bits <= 16, "codebook bits must be in [1,16]");
+  std::vector<float> nz;
+  for (float v : weights.data()) {
+    if (v != 0.0f) nz.push_back(v);
+  }
+  if (nz.empty()) return {};
+
+  const auto k = std::min<std::size_t>(std::size_t{1} << codebook_bits, nz.size());
+  auto [mn_it, mx_it] = std::minmax_element(nz.begin(), nz.end());
+  const float mn = *mn_it, mx = *mx_it;
+
+  // Linear initialisation over the weight range (Deep Compression's choice —
+  // density-based init loses the rare large weights that matter most).
+  std::vector<float> centroids(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    centroids[i] = mn + (mx - mn) * static_cast<float>(i) / static_cast<float>(std::max<std::size_t>(k - 1, 1));
+  }
+
+  auto nearest = [&](float v) {
+    // Centroids stay sorted: binary search then compare neighbours.
+    auto it = std::lower_bound(centroids.begin(), centroids.end(), v);
+    std::size_t idx = static_cast<std::size_t>(it - centroids.begin());
+    if (idx == centroids.size()) return centroids.size() - 1;
+    if (idx > 0 && std::abs(centroids[idx - 1] - v) <= std::abs(centroids[idx] - v)) return idx - 1;
+    return idx;
+  };
+
+  std::vector<double> sums(k);
+  std::vector<std::int64_t> counts(k);
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (float v : nz) {
+      const auto c = nearest(v);
+      sums[c] += v;
+      ++counts[c];
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      if (counts[i] > 0) centroids[i] = static_cast<float>(sums[i] / static_cast<double>(counts[i]));
+    }
+    std::sort(centroids.begin(), centroids.end());
+  }
+
+  if (apply) {
+    for (float& v : weights.data()) {
+      if (v != 0.0f) v = centroids[nearest(v)];
+    }
+  }
+  return centroids;
+}
+
+namespace {
+
+/// 4-bit run-length positions with escape symbols, exactly as in Deep
+/// Compression: a run of zeros longer than 15 emits (15, filler) pairs.
+std::vector<std::uint32_t> position_runs(const Tensor& w) {
+  std::vector<std::uint32_t> runs;
+  std::uint32_t gap = 0;
+  for (float v : w.data()) {
+    if (v == 0.0f) {
+      ++gap;
+      if (gap == 16) {
+        runs.push_back(15);  // escape: max gap, no weight consumed
+        gap = 0;
+      }
+    } else {
+      runs.push_back(gap);
+      gap = 0;
+    }
+  }
+  return runs;
+}
+
+std::map<std::uint32_t, std::uint64_t> histogram(const std::vector<std::uint32_t>& xs) {
+  std::map<std::uint32_t, std::uint64_t> h;
+  for (auto x : xs) ++h[x];
+  return h;
+}
+
+}  // namespace
+
+CompressionReport deep_compress(Graph& g, const CompressionOptions& options) {
+  VEDLIOT_CHECK(g.weights_materialized(), "deep_compress requires materialized weights");
+
+  CompressionReport report;
+  for (NodeId id : g.topo_order()) {
+    Node& n = g.node(id);
+    if ((n.kind != OpKind::kConv2d && n.kind != OpKind::kDense) || n.weights.empty()) continue;
+    const bool is_dense = n.kind == OpKind::kDense;
+    Tensor& w = n.weights[0];
+
+    // 1. Prune this layer at its class-specific sparsity.
+    const double sparsity = is_dense ? options.dense_sparsity : options.conv_sparsity;
+    {
+      std::vector<float> mags;
+      mags.reserve(static_cast<std::size_t>(w.numel()));
+      for (float v : w.data()) mags.push_back(std::abs(v));
+      const auto kcut = static_cast<std::size_t>(sparsity * static_cast<double>(mags.size()));
+      if (kcut > 0) {
+        std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(kcut - 1), mags.end());
+        const float threshold = mags[kcut - 1];
+        for (float& v : w.data()) {
+          if (std::abs(v) <= threshold) v = 0.0f;
+        }
+      }
+    }
+
+    // 2. Cluster the survivors.
+    const int bits = is_dense ? options.dense_codebook_bits : options.conv_codebook_bits;
+    const auto codebook = cluster_weights(w, bits, options.kmeans_iterations);
+
+    // 3. Entropy-code cluster indexes and positions.
+    LayerCompression lc;
+    lc.layer = n.name;
+    lc.params = w.numel();
+    lc.original_bits = static_cast<double>(w.numel()) * 32.0;
+
+    std::vector<std::uint32_t> indexes;
+    for (float v : w.data()) {
+      if (v == 0.0f) continue;
+      const auto it = std::lower_bound(codebook.begin(), codebook.end(), v);
+      std::size_t idx = static_cast<std::size_t>(it - codebook.begin());
+      if (idx == codebook.size() ||
+          (idx > 0 && std::abs(codebook[idx - 1] - v) < std::abs(codebook[idx] - v))) {
+        --idx;
+      }
+      indexes.push_back(static_cast<std::uint32_t>(idx));
+    }
+    lc.nonzeros = static_cast<std::int64_t>(indexes.size());
+
+    if (!indexes.empty()) {
+      const HuffmanCoder idx_coder(histogram(indexes));
+      lc.index_bits = static_cast<double>(idx_coder.encoded_bits(histogram(indexes)));
+      const auto runs = position_runs(w);
+      const HuffmanCoder run_coder(histogram(runs));
+      lc.position_bits = static_cast<double>(run_coder.encoded_bits(histogram(runs)));
+    }
+    lc.codebook_bits = static_cast<double>(codebook.size()) * 32.0;
+
+    report.original_bits += lc.original_bits;
+    report.after_prune_bits +=
+        static_cast<double>(lc.nonzeros) * 32.0 +                    // raw surviving weights
+        static_cast<double>(position_runs(w).size()) * 4.0;          // 4-bit positions
+    report.compressed_bits += lc.compressed_bits();
+    report.layers.push_back(std::move(lc));
+  }
+  return report;
+}
+
+}  // namespace vedliot::opt

@@ -1,0 +1,60 @@
+#pragma once
+/// \file compress.hpp
+/// \brief Deep-compression pipeline: prune -> cluster -> Huffman (Sec. III,
+/// reproducing the "compressed down to 49x" claim from Han et al. [7]).
+///
+/// Storage model after compression (per layer, following the paper):
+///  - surviving weights stored as cluster indexes (log2(k) bits each),
+///  - sparse positions as 4-bit run-lengths between non-zeros (with escape
+///    zero-symbols for runs > 15, exactly like Deep Compression),
+///  - a k-entry fp32 codebook,
+///  - both index streams entropy-coded with Huffman.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace vedliot::opt {
+
+/// 1-D k-means over the non-zero weights (linear codebook init, Lloyd
+/// iterations). Returns the codebook; assigns each non-zero weight to its
+/// nearest centroid in place when \p apply is true.
+std::vector<float> cluster_weights(Tensor& weights, int codebook_bits, int iterations = 10,
+                                   bool apply = true);
+
+struct LayerCompression {
+  std::string layer;
+  std::int64_t params = 0;
+  std::int64_t nonzeros = 0;
+  double index_bits = 0;      ///< Huffman-coded cluster indexes
+  double position_bits = 0;   ///< Huffman-coded 4-bit run lengths
+  double codebook_bits = 0;
+  double original_bits = 0;   ///< params * 32
+  double compressed_bits() const { return index_bits + position_bits + codebook_bits; }
+  double ratio() const { return compressed_bits() > 0 ? original_bits / compressed_bits() : 1.0; }
+};
+
+struct CompressionReport {
+  std::vector<LayerCompression> layers;
+  double original_bits = 0;
+  double after_prune_bits = 0;    ///< sparse storage before clustering/coding
+  double compressed_bits = 0;
+  double ratio() const { return compressed_bits > 0 ? original_bits / compressed_bits : 1.0; }
+};
+
+struct CompressionOptions {
+  double conv_sparsity = 0.65;   ///< Deep Compression prunes convs less...
+  double dense_sparsity = 0.9;   ///< ...and dense layers much harder
+  int conv_codebook_bits = 8;    ///< 256-entry codebook for convs
+  int dense_codebook_bits = 5;   ///< 32-entry codebook for dense layers
+  int kmeans_iterations = 10;
+};
+
+/// Run the full pipeline on a weights-materialized graph. Mutates weights
+/// (pruning + centroid snapping) and returns the storage accounting.
+CompressionReport deep_compress(Graph& g, const CompressionOptions& options = {});
+
+}  // namespace vedliot::opt

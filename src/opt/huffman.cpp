@@ -1,0 +1,129 @@
+#include "opt/huffman.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace vedliot::opt {
+
+void BitWriter::put(std::uint32_t bits, int count) {
+  VEDLIOT_CHECK(count >= 0 && count <= 32, "BitWriter count out of range");
+  for (int i = count - 1; i >= 0; --i) {
+    const int bit = (bits >> i) & 1;
+    if (bits_ % 8 == 0) bytes_.push_back(0);
+    if (bit) bytes_.back() |= static_cast<std::uint8_t>(1u << (7 - bits_ % 8));
+    ++bits_;
+  }
+}
+
+int BitReader::get() {
+  VEDLIOT_CHECK(pos_ / 8 < bytes_.size(), "BitReader read past end");
+  const int bit = (bytes_[pos_ / 8] >> (7 - pos_ % 8)) & 1;
+  ++pos_;
+  return bit;
+}
+
+HuffmanCoder::HuffmanCoder(const std::map<std::uint32_t, std::uint64_t>& freqs) {
+  VEDLIOT_CHECK(!freqs.empty(), "HuffmanCoder requires at least one symbol");
+
+  struct QEntry {
+    std::uint64_t freq;
+    std::int32_t node;
+    bool operator>(const QEntry& o) const {
+      return freq > o.freq || (freq == o.freq && node > o.node);
+    }
+  };
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> pq;
+
+  for (const auto& [sym, freq] : freqs) {
+    TreeNode leaf;
+    leaf.leaf = true;
+    leaf.symbol = sym;
+    tree_.push_back(leaf);
+    pq.push({freq, static_cast<std::int32_t>(tree_.size() - 1)});
+  }
+  if (tree_.size() == 1) {
+    // Degenerate single-symbol alphabet: use a 1-bit code.
+    root_ = 0;
+    codes_[tree_[0].symbol] = {0, 1};
+    return;
+  }
+  while (pq.size() > 1) {
+    const QEntry a = pq.top();
+    pq.pop();
+    const QEntry b = pq.top();
+    pq.pop();
+    TreeNode inner;
+    inner.left = a.node;
+    inner.right = b.node;
+    tree_.push_back(inner);
+    pq.push({a.freq + b.freq, static_cast<std::int32_t>(tree_.size() - 1)});
+  }
+  root_ = pq.top().node;
+
+  // DFS to assign codes.
+  struct Frame {
+    std::int32_t node;
+    std::uint32_t bits;
+    int depth;
+  };
+  std::vector<Frame> stack{{root_, 0, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const TreeNode& n = tree_[static_cast<std::size_t>(f.node)];
+    if (n.leaf) {
+      codes_[n.symbol] = {f.bits, std::max(f.depth, 1)};
+      continue;
+    }
+    stack.push_back({n.left, f.bits << 1, f.depth + 1});
+    stack.push_back({n.right, (f.bits << 1) | 1u, f.depth + 1});
+  }
+}
+
+std::vector<std::uint8_t> HuffmanCoder::encode(const std::vector<std::uint32_t>& symbols,
+                                               std::size_t* bit_count) const {
+  BitWriter w;
+  for (std::uint32_t s : symbols) {
+    auto it = codes_.find(s);
+    if (it == codes_.end()) throw NotFound("symbol not in Huffman alphabet");
+    w.put(it->second.bits, it->second.length);
+  }
+  if (bit_count) *bit_count = w.bit_count();
+  return w.bytes();
+}
+
+std::vector<std::uint32_t> HuffmanCoder::decode(const std::vector<std::uint8_t>& bytes,
+                                                std::size_t n) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(n);
+  BitReader r(bytes);
+  const bool degenerate = tree_.size() == 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (degenerate) {
+      r.get();
+      out.push_back(tree_[0].symbol);
+      continue;
+    }
+    std::int32_t node = root_;
+    while (!tree_[static_cast<std::size_t>(node)].leaf) {
+      node = r.get() ? tree_[static_cast<std::size_t>(node)].right
+                     : tree_[static_cast<std::size_t>(node)].left;
+    }
+    out.push_back(tree_[static_cast<std::size_t>(node)].symbol);
+  }
+  return out;
+}
+
+std::uint64_t HuffmanCoder::encoded_bits(const std::map<std::uint32_t, std::uint64_t>& freqs) const {
+  std::uint64_t bits = 0;
+  for (const auto& [sym, freq] : freqs) {
+    auto it = codes_.find(sym);
+    if (it == codes_.end()) throw NotFound("symbol not in Huffman alphabet");
+    bits += freq * static_cast<std::uint64_t>(it->second.length);
+  }
+  return bits;
+}
+
+}  // namespace vedliot::opt

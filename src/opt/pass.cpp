@@ -1,0 +1,20 @@
+#include "opt/pass.hpp"
+
+namespace vedliot::opt {
+
+PassManager& PassManager::add(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+std::vector<PassResult> PassManager::run(Graph& g) {
+  std::vector<PassResult> results;
+  results.reserve(passes_.size());
+  for (auto& pass : passes_) {
+    results.push_back(pass->run(g));
+    g.validate();
+  }
+  return results;
+}
+
+}  // namespace vedliot::opt

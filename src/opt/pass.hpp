@@ -1,0 +1,45 @@
+#pragma once
+/// \file pass.hpp
+/// \brief Optimization pass framework (Sec. III "model surgery").
+///
+/// Passes mutate a Graph in place and report what they changed. The
+/// PassManager runs a pipeline and collects a per-pass log, mirroring how
+/// the paper's toolchain applies operator fusion, quantization and pruning
+/// between the ONNX import and target compilation stages.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace vedliot::opt {
+
+struct PassResult {
+  std::string pass_name;
+  int nodes_changed = 0;     ///< nodes fused/rewritten/eliminated
+  std::string detail;        ///< human-readable summary
+};
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual std::string name() const = 0;
+  /// Apply the pass; must leave the graph valid (validate() passes).
+  virtual PassResult run(Graph& g) = 0;
+};
+
+class PassManager {
+ public:
+  PassManager& add(std::unique_ptr<Pass> pass);
+
+  /// Run all passes in order; validates the graph after each one.
+  std::vector<PassResult> run(Graph& g);
+
+  std::size_t size() const { return passes_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+}  // namespace vedliot::opt

@@ -1,0 +1,142 @@
+#include "opt/prune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/cost.hpp"
+#include "util/error.hpp"
+
+namespace vedliot::opt {
+
+MagnitudePrunePass::MagnitudePrunePass(double sparsity) : sparsity_(sparsity) {
+  VEDLIOT_CHECK(sparsity >= 0.0 && sparsity < 1.0, "sparsity must be in [0,1)");
+}
+
+PassResult MagnitudePrunePass::run(Graph& g) {
+  PassResult r;
+  r.pass_name = name();
+  std::int64_t zeroed = 0;
+  for (NodeId id : g.topo_order()) {
+    Node& n = g.node(id);
+    if ((n.kind != OpKind::kConv2d && n.kind != OpKind::kDense) || n.weights.empty()) continue;
+    Tensor& w = n.weights[0];
+    std::vector<float> mags;
+    mags.reserve(static_cast<std::size_t>(w.numel()));
+    for (float v : w.data()) mags.push_back(std::abs(v));
+    const auto k = static_cast<std::size_t>(sparsity_ * static_cast<double>(mags.size()));
+    if (k == 0) continue;
+    std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(k - 1), mags.end());
+    const float threshold = mags[k - 1];
+    for (float& v : w.data()) {
+      if (std::abs(v) <= threshold && v != 0.0f) {
+        v = 0.0f;
+        ++zeroed;
+      }
+    }
+    ++r.nodes_changed;
+  }
+  r.detail = std::to_string(zeroed) + " connections zeroed at sparsity " + std::to_string(sparsity_);
+  return r;
+}
+
+ChannelPrunePass::ChannelPrunePass(double fraction) : fraction_(fraction) {
+  VEDLIOT_CHECK(fraction >= 0.0 && fraction < 1.0, "fraction must be in [0,1)");
+}
+
+namespace {
+/// True if the node's value reaches a graph output only through
+/// shape-preserving ops (activations, softmax, flatten, identity): pruning
+/// its channels would change the model's output dimension/semantics.
+bool feeds_model_output(const Graph& g, NodeId id) {
+  const auto consumers = g.consumers(id);
+  if (consumers.empty()) return true;
+  for (NodeId c : consumers) {
+    const Node& n = g.node(c);
+    const bool passthrough = op_is_activation(n.kind) || n.kind == OpKind::kSoftmax ||
+                             n.kind == OpKind::kFlatten || n.kind == OpKind::kIdentity ||
+                             n.kind == OpKind::kBatchNorm;
+    if (passthrough && feeds_model_output(g, c)) return true;
+  }
+  return false;
+}
+}  // namespace
+
+PassResult ChannelPrunePass::run(Graph& g) {
+  PassResult r;
+  r.pass_name = name();
+  for (NodeId id : g.topo_order()) {
+    Node& n = g.node(id);
+    if ((n.kind != OpKind::kConv2d && n.kind != OpKind::kDense) || n.weights.empty()) continue;
+    // Don't prune channels from output heads — their width is the API.
+    if (feeds_model_output(g, id)) continue;
+    Tensor& w = n.weights[0];
+    const auto oc = w.shape().dim(0);
+    const auto per = static_cast<std::size_t>(w.numel() / oc);
+    const auto kill = static_cast<std::int64_t>(fraction_ * static_cast<double>(oc));
+    if (kill == 0) continue;
+
+    std::vector<std::pair<double, std::int64_t>> norms;
+    norms.reserve(static_cast<std::size_t>(oc));
+    for (std::int64_t c = 0; c < oc; ++c) {
+      auto chan = w.data().subspan(static_cast<std::size_t>(c) * per, per);
+      double l1 = 0.0;
+      for (float v : chan) l1 += std::abs(v);
+      norms.emplace_back(l1, c);
+    }
+    std::sort(norms.begin(), norms.end());
+    for (std::int64_t i = 0; i < kill; ++i) {
+      const auto c = static_cast<std::size_t>(norms[static_cast<std::size_t>(i)].second);
+      auto chan = w.data().subspan(c * per, per);
+      std::fill(chan.begin(), chan.end(), 0.0f);
+      if (n.weights.size() > 1) n.weights[1].at(c) = 0.0f;  // bias too
+    }
+    n.attrs.set_int("pruned_out_channels", kill);
+    ++r.nodes_changed;
+  }
+  r.detail = "structured pruning at fraction " + std::to_string(fraction_);
+  return r;
+}
+
+namespace {
+double pruned_fraction(const Node& n) {
+  if (n.kind != OpKind::kConv2d && n.kind != OpKind::kDense) return 0.0;
+  const auto pruned = n.attrs.get_int_or("pruned_out_channels", 0);
+  if (pruned == 0) return 0.0;
+  const auto total = n.kind == OpKind::kConv2d ? n.attrs.get_int("out_channels")
+                                               : n.attrs.get_int("units");
+  return static_cast<double>(pruned) / static_cast<double>(total);
+}
+}  // namespace
+
+std::int64_t effective_macs(const Graph& g) {
+  double total = 0.0;
+  for (NodeId id : g.topo_order()) {
+    const Node& n = g.node(id);
+    const auto c = node_cost(g, id);
+    if (c.macs == 0) continue;
+    double keep = 1.0 - pruned_fraction(n);
+    // Structured pruning of the producer shrinks this node's input channels.
+    if (!n.inputs.empty()) {
+      keep *= 1.0 - pruned_fraction(g.node(n.inputs.front()));
+    }
+    total += static_cast<double>(c.macs) * keep;
+  }
+  return static_cast<std::int64_t>(total);
+}
+
+double graph_sparsity(const Graph& g) {
+  std::int64_t zeros = 0, total = 0;
+  for (NodeId id : g.topo_order()) {
+    const Node& n = g.node(id);
+    if ((n.kind != OpKind::kConv2d && n.kind != OpKind::kDense) || n.weights.empty()) continue;
+    const Tensor& w = n.weights[0];
+    total += w.numel();
+    for (float v : w.data()) {
+      if (v == 0.0f) ++zeros;
+    }
+  }
+  return total > 0 ? static_cast<double>(zeros) / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace vedliot::opt

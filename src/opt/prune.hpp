@@ -1,0 +1,46 @@
+#pragma once
+/// \file prune.hpp
+/// \brief Pruning passes (Sec. III: "connection-wise or neuron-wise pruning").
+
+#include "opt/pass.hpp"
+
+namespace vedliot::opt {
+
+/// Connection-wise (unstructured) magnitude pruning: zero the smallest
+/// |w| fraction of each parametric node's weight tensor. Requires
+/// materialized weights.
+class MagnitudePrunePass : public Pass {
+ public:
+  /// \param sparsity fraction of weights to zero, in [0, 1).
+  explicit MagnitudePrunePass(double sparsity);
+  std::string name() const override { return "prune-magnitude"; }
+  PassResult run(Graph& g) override;
+
+ private:
+  double sparsity_;
+};
+
+/// Neuron-wise (structured) pruning: zero entire output channels/units with
+/// the smallest L1 norm and record `pruned_out_channels` on the node so the
+/// cost model can credit the structured savings (a real compiler would slice
+/// the tensors; zeroing keeps shapes stable while preserving the semantics).
+class ChannelPrunePass : public Pass {
+ public:
+  /// \param fraction fraction of output channels to remove per layer, [0, 1).
+  explicit ChannelPrunePass(double fraction);
+  std::string name() const override { return "prune-channel"; }
+  PassResult run(Graph& g) override;
+
+ private:
+  double fraction_;
+};
+
+/// Effective MAC count crediting structured channel pruning: each conv/dense
+/// contributes macs * (1 - pruned_out_fraction) * (1 - producer_pruned_fraction).
+std::int64_t effective_macs(const Graph& g);
+
+/// Overall weight sparsity of the graph (fraction of zero weights among all
+/// parametric tensors); 0 when no weights are materialized.
+double graph_sparsity(const Graph& g);
+
+}  // namespace vedliot::opt

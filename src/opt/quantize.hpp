@@ -1,0 +1,45 @@
+#pragma once
+/// \file quantize.hpp
+/// \brief Post-training quantization passes (Sec. III step 4).
+
+#include <map>
+
+#include "opt/pass.hpp"
+#include "tensor/quant.hpp"
+
+namespace vedliot::opt {
+
+/// Fake-quantize all conv/dense weights to the given integer dtype
+/// (per-output-channel symmetric scales, the industry default for INT8) and
+/// tag nodes with `weight_dtype`. Accuracy impact is measured by executing
+/// the mutated graph and comparing against the FP32 original.
+class QuantizeWeightsPass : public Pass {
+ public:
+  explicit QuantizeWeightsPass(DType dtype, bool per_channel = true);
+  std::string name() const override { return "quantize-weights"; }
+  PassResult run(Graph& g) override;
+
+ private:
+  DType dtype_;
+  bool per_channel_;
+};
+
+/// Round every weight through IEEE FP16 and tag `weight_dtype = fp16`.
+class Fp16CastPass : public Pass {
+ public:
+  std::string name() const override { return "cast-fp16"; }
+  PassResult run(Graph& g) override;
+};
+
+/// Observed activation ranges per node (by node name), collected by running
+/// calibration samples through the reference executor.
+using ActivationRanges = std::map<std::string, QuantParams>;
+
+/// Run \p samples through the graph and derive symmetric INT8 activation
+/// quantization parameters per node. Stores `act_scale` on each node and
+/// returns the table (the Kenning-analogue embeds it in deployment reports).
+ActivationRanges calibrate_activations(Graph& g, const std::vector<Tensor>& samples,
+                                       Calibration cal = Calibration::kPercentile,
+                                       double percentile = 0.1);
+
+}  // namespace vedliot::opt

@@ -1,0 +1,110 @@
+#include "platform/baseboard.hpp"
+
+#include <algorithm>
+
+namespace vedliot::platform {
+
+bool SlotSpec::accepts_form(FormFactor f) const {
+  return std::find(accepts.begin(), accepts.end(), f) != accepts.end();
+}
+
+BaseboardSpec recs_box() {
+  BaseboardSpec b;
+  b.name = "RECS|Box";
+  for (int i = 0; i < 4; ++i) {
+    b.slots.push_back({"come" + std::to_string(i), {FormFactor::kCOMExpress}, 130});
+  }
+  b.total_power_budget_w = 500;
+  b.ethernet_gbps = {1, 10};
+  b.has_low_latency_links = true;
+  return b;
+}
+
+BaseboardSpec t_recs() {
+  BaseboardSpec b;
+  b.name = "t.RECS";
+  for (int i = 0; i < 3; ++i) {
+    b.slots.push_back(
+        {"comhpc" + std::to_string(i), {FormFactor::kCOMHPCServer, FormFactor::kCOMHPCClient}, 200});
+  }
+  b.slots.push_back({"pcie0", {FormFactor::kPCIe}, 150});
+  b.total_power_budget_w = 700;
+  b.ethernet_gbps = {1, 10};
+  b.has_low_latency_links = true;
+  return b;
+}
+
+BaseboardSpec u_recs() {
+  BaseboardSpec b;
+  b.name = "uRECS";
+  // One main site accepting SMARC natively, Jetson NX natively, and Kria /
+  // RPi CM via adaptor PCBs (Sec. II-A).
+  b.slots.push_back({"main",
+                     {FormFactor::kSMARC, FormFactor::kJetsonNX, FormFactor::kKriaSOM,
+                      FormFactor::kRPiCM},
+                     15});
+  b.slots.push_back({"m2", {FormFactor::kM2}, 4});
+  b.slots.push_back({"usb", {FormFactor::kUSB}, 4});
+  b.total_power_budget_w = 15;
+  b.ethernet_gbps = {1};
+  b.has_low_latency_links = false;
+  return b;
+}
+
+Chassis::Chassis(BaseboardSpec spec) : spec_(std::move(spec)) {}
+
+const SlotSpec& Chassis::slot_spec(const std::string& slot) const {
+  for (const auto& s : spec_.slots) {
+    if (s.name == slot) return s;
+  }
+  throw NotFound("baseboard " + spec_.name + " has no slot " + slot);
+}
+
+void Chassis::install(const std::string& slot, const MicroserverModule& module) {
+  const SlotSpec& s = slot_spec(slot);
+  if (slots_.count(slot)) throw PlatformError("slot " + slot + " already occupied");
+  if (!s.accepts_form(module.form)) {
+    throw PlatformError("slot " + slot + " does not accept form factor " +
+                        std::string(form_factor_name(module.form)));
+  }
+  if (module.max_power_w > s.power_budget_w) {
+    throw PlatformError("module " + module.name + " exceeds slot power budget of " + slot);
+  }
+  if (provisioned_power_w() + module.max_power_w > spec_.total_power_budget_w) {
+    throw PlatformError("installing " + module.name + " exceeds the " + spec_.name +
+                        " board power budget");
+  }
+  slots_[slot] = module;
+}
+
+MicroserverModule Chassis::remove(const std::string& slot) {
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) throw PlatformError("slot " + slot + " is empty");
+  MicroserverModule m = it->second;
+  slots_.erase(it);
+  return m;
+}
+
+bool Chassis::occupied(const std::string& slot) const { return slots_.count(slot) > 0; }
+
+const MicroserverModule& Chassis::module_at(const std::string& slot) const {
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) throw PlatformError("slot " + slot + " is empty");
+  return it->second;
+}
+
+std::vector<std::pair<std::string, MicroserverModule>> Chassis::installed() const {
+  return {slots_.begin(), slots_.end()};
+}
+
+double Chassis::provisioned_power_w() const {
+  double total = 0;
+  for (const auto& [slot, m] : slots_) total += m.max_power_w;
+  return total;
+}
+
+double Chassis::power_headroom_w() const {
+  return spec_.total_power_budget_w - provisioned_power_w();
+}
+
+}  // namespace vedliot::platform

@@ -1,0 +1,82 @@
+#pragma once
+/// \file baseboard.hpp
+/// \brief RECS baseboards (RECS|Box, t.RECS, uRECS) and populated chassis.
+///
+/// Encodes Sec. II-A: each baseboard accepts specific COM form factors per
+/// slot, enforces per-slot and total power budgets (uRECS < 15 W), and
+/// carries the communication fabric microservers talk over.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "platform/microserver.hpp"
+#include "util/error.hpp"
+
+namespace vedliot::platform {
+
+using vedliot::Error;
+using vedliot::NotFound;
+
+class PlatformError : public Error {
+ public:
+  explicit PlatformError(const std::string& message) : Error(message) {}
+};
+
+struct SlotSpec {
+  std::string name;
+  std::vector<FormFactor> accepts;
+  double power_budget_w = 0;
+
+  bool accepts_form(FormFactor f) const;
+};
+
+struct BaseboardSpec {
+  std::string name;
+  std::vector<SlotSpec> slots;
+  double total_power_budget_w = 0;
+  std::vector<double> ethernet_gbps;   ///< selectable link speeds
+  bool has_low_latency_links = false;  ///< dedicated high-speed interconnect
+};
+
+/// RECS|Box: cloud/near-edge chassis, COM Express microservers.
+BaseboardSpec recs_box();
+/// t.RECS: COM-HPC Server/Client plus PCIe accelerators.
+BaseboardSpec t_recs();
+/// uRECS: embedded/far-edge, SMARC + Jetson NX + adaptor PCBs, < 15 W.
+BaseboardSpec u_recs();
+
+/// A baseboard with modules installed in slots.
+class Chassis {
+ public:
+  explicit Chassis(BaseboardSpec spec);
+
+  const BaseboardSpec& spec() const { return spec_; }
+
+  /// Install a module; throws PlatformError on form-factor or power
+  /// violations. Slot must be empty.
+  void install(const std::string& slot, const MicroserverModule& module);
+
+  /// Remove a module (models hot-swap / failure); throws if the slot is empty.
+  MicroserverModule remove(const std::string& slot);
+
+  bool occupied(const std::string& slot) const;
+  const MicroserverModule& module_at(const std::string& slot) const;
+
+  /// All currently installed modules.
+  std::vector<std::pair<std::string, MicroserverModule>> installed() const;
+
+  /// Sum of installed modules' max power.
+  double provisioned_power_w() const;
+
+  /// Remaining headroom against the board budget.
+  double power_headroom_w() const;
+
+ private:
+  const SlotSpec& slot_spec(const std::string& slot) const;
+  BaseboardSpec spec_;
+  std::map<std::string, MicroserverModule> slots_;
+};
+
+}  // namespace vedliot::platform

@@ -1,0 +1,161 @@
+#include "platform/distributed.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/cost.hpp"
+#include "hw/perf_model.hpp"
+
+namespace vedliot::platform {
+
+namespace {
+
+struct NodeInfo {
+  NodeId id;
+  double ops = 0;
+  double weight_bytes = 0;
+  double out_bytes = 0;
+};
+
+/// Activation bytes that are live across the cut after position `pos`
+/// (produced at <= pos, consumed at > pos; the graph output of the last
+/// stage is not a cut).
+double boundary_bytes_after(const Graph& g, const std::vector<NodeId>& order, std::size_t pos,
+                            double act_bytes_per_elem) {
+  double bytes = 0;
+  std::map<NodeId, std::size_t> index;
+  for (std::size_t i = 0; i < order.size(); ++i) index[order[i]] = i;
+  for (std::size_t i = 0; i <= pos; ++i) {
+    const Node& n = g.node(order[i]);
+    bool crosses = false;
+    for (NodeId consumer : g.consumers(order[i])) {
+      if (index.at(consumer) > pos) crosses = true;
+    }
+    if (crosses) bytes += static_cast<double>(n.out_shape.numel()) * act_bytes_per_elem;
+  }
+  return bytes;
+}
+
+}  // namespace
+
+double best_single_module_latency(const Graph& g, const Chassis& chassis, DType dtype) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& [slot, module] : chassis.installed()) {
+    const hw::DeviceSpec& dev = module.device_spec();
+    if (!dev.supports(dtype)) continue;
+    best = std::min(best, hw::estimate(dev, g, dtype).latency_s);
+  }
+  if (!std::isfinite(best)) {
+    throw PlatformError("no installed module supports " + std::string(dtype_name(dtype)));
+  }
+  return best;
+}
+
+DistributedPlan plan_distributed_inference(const Graph& g, const Chassis& chassis,
+                                           const Fabric& fabric,
+                                           const std::vector<std::string>& slots,
+                                           std::size_t num_stages, DType dtype) {
+  VEDLIOT_CHECK(num_stages >= 1, "need at least one stage");
+  if (slots.empty()) throw PlatformError("no slots given for distributed inference");
+  if (num_stages > slots.size() * 2) {
+    throw PlatformError("too many stages for the available modules");
+  }
+  for (const auto& slot : slots) {
+    if (!chassis.occupied(slot)) throw PlatformError("slot " + slot + " is empty");
+  }
+
+  const auto order = g.topo_order();
+  const double act_b = dtype_bytes(dtype);
+
+  std::vector<NodeInfo> nodes;
+  double total_ops = 0;
+  for (NodeId id : order) {
+    NodeInfo info;
+    info.id = id;
+    const NodeCost c = node_cost(g, id);
+    info.ops = static_cast<double>(c.ops);
+    info.weight_bytes = static_cast<double>(c.params) * act_b;
+    info.out_bytes = static_cast<double>(c.output_elems) * act_b;
+    total_ops += info.ops;
+    nodes.push_back(info);
+  }
+
+  // Choose cut positions: target equal cumulative ops per stage, then pick
+  // the thinnest boundary inside a +/-4% ops window around each target.
+  std::vector<std::size_t> cuts;  // last index of each stage except the final one
+  {
+    std::vector<double> prefix(nodes.size());
+    double acc = 0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      acc += nodes[i].ops;
+      prefix[i] = acc;
+    }
+    for (std::size_t s = 1; s < num_stages; ++s) {
+      const double target = total_ops * static_cast<double>(s) / static_cast<double>(num_stages);
+      const double window = total_ops * 0.04;
+      std::size_t best_pos = 0;
+      double best_score = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+        if (std::abs(prefix[i] - target) > window) continue;
+        const double bytes = boundary_bytes_after(g, order, i, act_b);
+        if (bytes < best_score) {
+          best_score = bytes;
+          best_pos = i;
+        }
+      }
+      if (best_score == std::numeric_limits<double>::infinity()) {
+        // window too narrow (e.g. one giant layer): take the closest index
+        std::size_t i = 0;
+        while (i + 1 < nodes.size() && prefix[i] < target) ++i;
+        best_pos = i;
+      }
+      if (!cuts.empty() && best_pos <= cuts.back()) best_pos = cuts.back() + 1;
+      cuts.push_back(std::min(best_pos, nodes.size() - 2));
+    }
+  }
+
+  DistributedPlan plan;
+  std::size_t start = 0;
+  for (std::size_t s = 0; s < num_stages; ++s) {
+    Stage stage;
+    stage.first = start;
+    stage.last = s < cuts.size() ? cuts[s] : nodes.size() - 1;
+    stage.slot = slots[s % slots.size()];
+    stage.module = chassis.module_at(stage.slot).name;
+
+    double stage_weight = 0, stage_act = 0;
+    for (std::size_t i = stage.first; i <= stage.last; ++i) {
+      stage.ops += nodes[i].ops;
+      stage_weight += nodes[i].weight_bytes;
+      stage_act += nodes[i].out_bytes;
+    }
+    const hw::DeviceSpec& dev = chassis.module_at(stage.slot).device_spec();
+    if (!dev.supports(dtype)) {
+      throw PlatformError("module " + stage.module + " does not support " +
+                          std::string(dtype_name(dtype)));
+    }
+    if (stage.ops > 0) {
+      stage.compute_s = hw::estimate_workload(dev, stage.ops, stage_weight + stage_act,
+                                              stage_weight, 1, dtype)
+                            .latency_s;
+    }
+    if (stage.last + 1 < nodes.size()) {
+      stage.boundary_bytes = boundary_bytes_after(g, order, stage.last, act_b);
+      const std::string& next_slot = slots[(s + 1) % slots.size()];
+      stage.transfer_s = fabric.transfer_time_s(stage.slot, next_slot, stage.boundary_bytes);
+    }
+    start = stage.last + 1;
+    plan.stages.push_back(stage);
+  }
+
+  for (const auto& stage : plan.stages) {
+    plan.latency_s += stage.compute_s + stage.transfer_s;
+    plan.pipeline_interval_s =
+        std::max({plan.pipeline_interval_s, stage.compute_s, stage.transfer_s});
+  }
+  plan.throughput_fps = plan.pipeline_interval_s > 0 ? 1.0 / plan.pipeline_interval_s : 0.0;
+  plan.single_device_latency_s = best_single_module_latency(g, chassis, dtype);
+  return plan;
+}
+
+}  // namespace vedliot::platform

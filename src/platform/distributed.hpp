@@ -1,0 +1,60 @@
+#pragma once
+/// \file distributed.hpp
+/// \brief Distributed DL inference across microservers (the abstract's
+/// "collaboratively solving complex Deep Learning applications across
+/// distributed systems").
+///
+/// Splits a model into contiguous layer stages, assigns each stage to an
+/// installed module, and accounts both compute (per-module roofline) and
+/// the activation tensors crossing the fabric between stages. Reports both
+/// the end-to-end latency of one inference and the pipelined throughput
+/// (stages overlap across consecutive frames).
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "platform/baseboard.hpp"
+#include "platform/fabric.hpp"
+
+namespace vedliot::platform {
+
+/// One pipeline stage: a contiguous range of the topological order.
+struct Stage {
+  std::size_t first = 0;          ///< index into topo order (inclusive)
+  std::size_t last = 0;           ///< inclusive
+  std::string slot;               ///< where it runs
+  std::string module;
+  double compute_s = 0;           ///< stage compute time per inference
+  double ops = 0;
+  double boundary_bytes = 0;      ///< activation bytes shipped to the next stage
+  double transfer_s = 0;          ///< fabric time to the next stage
+};
+
+struct DistributedPlan {
+  std::vector<Stage> stages;
+  double latency_s = 0;           ///< one frame end to end (compute + transfers)
+  double pipeline_interval_s = 0; ///< steady-state seconds/frame (max stage time)
+  double throughput_fps = 0;      ///< 1 / pipeline_interval
+  double single_device_latency_s = 0;  ///< best single installed module, for comparison
+  double speedup_vs_single() const {
+    return pipeline_interval_s > 0 ? single_device_latency_s / pipeline_interval_s : 0.0;
+  }
+};
+
+/// Partition \p g into \p num_stages contiguous stages balanced by ops,
+/// assign them round-robin to the given slots of \p chassis, and evaluate
+/// latency/throughput over \p fabric at the given precision.
+///
+/// Cut points are chosen by a sweep that balances per-stage compute while
+/// preferring thin boundary tensors (the classic pipeline-parallel split).
+/// Throws PlatformError when slots are empty or stages outnumber slots*2.
+DistributedPlan plan_distributed_inference(const Graph& g, const Chassis& chassis,
+                                           const Fabric& fabric,
+                                           const std::vector<std::string>& slots,
+                                           std::size_t num_stages, DType dtype);
+
+/// Convenience: evaluate the best single-module latency on the chassis.
+double best_single_module_latency(const Graph& g, const Chassis& chassis, DType dtype);
+
+}  // namespace vedliot::platform

@@ -1,0 +1,143 @@
+#include "platform/fabric.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace vedliot::platform {
+
+Fabric::Fabric(std::vector<double> allowed_ethernet_gbps)
+    : allowed_eth_(std::move(allowed_ethernet_gbps)) {
+  VEDLIOT_CHECK(!allowed_eth_.empty(), "fabric needs at least one allowed Ethernet speed");
+}
+
+void Fabric::add_endpoint(const std::string& name) {
+  if (has_endpoint(name)) throw InvalidArgument("duplicate endpoint: " + name);
+  endpoints_.push_back(name);
+}
+
+bool Fabric::has_endpoint(const std::string& name) const {
+  return std::find(endpoints_.begin(), endpoints_.end(), name) != endpoints_.end();
+}
+
+const Link* Fabric::find_link(const std::string& a, const std::string& b) const {
+  for (const auto& l : links_) {
+    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) return &l;
+  }
+  return nullptr;
+}
+
+Link* Fabric::find_link(const std::string& a, const std::string& b) {
+  return const_cast<Link*>(static_cast<const Fabric*>(this)->find_link(a, b));
+}
+
+void Fabric::add_link(Link link) {
+  VEDLIOT_CHECK(has_endpoint(link.a) && has_endpoint(link.b), "link endpoints must exist");
+  VEDLIOT_CHECK(link.a != link.b, "self-links are not allowed");
+  if (find_link(link.a, link.b)) throw InvalidArgument("link already exists");
+  if (link.kind == LinkKind::kEthernet &&
+      std::find(allowed_eth_.begin(), allowed_eth_.end(), link.bandwidth_gbps) ==
+          allowed_eth_.end()) {
+    throw InvalidArgument("Ethernet speed not supported by this baseboard");
+  }
+  links_.push_back(std::move(link));
+  ++reconfigs_;
+}
+
+void Fabric::remove_link(const std::string& a, const std::string& b) {
+  const auto before = links_.size();
+  links_.erase(std::remove_if(links_.begin(), links_.end(),
+                              [&](const Link& l) {
+                                return (l.a == a && l.b == b) || (l.a == b && l.b == a);
+                              }),
+               links_.end());
+  if (links_.size() == before) throw NotFound("no link between " + a + " and " + b);
+  ++reconfigs_;
+}
+
+void Fabric::set_link_speed(const std::string& a, const std::string& b, double gbps) {
+  Link* l = find_link(a, b);
+  if (!l) throw NotFound("no link between " + a + " and " + b);
+  if (l->kind == LinkKind::kEthernet &&
+      std::find(allowed_eth_.begin(), allowed_eth_.end(), gbps) == allowed_eth_.end()) {
+    throw InvalidArgument("Ethernet speed not supported by this baseboard");
+  }
+  l->bandwidth_gbps = gbps;
+  ++reconfigs_;
+}
+
+std::vector<std::string> Fabric::route(const std::string& from, const std::string& to) const {
+  VEDLIOT_CHECK(has_endpoint(from) && has_endpoint(to), "route endpoints must exist");
+  if (from == to) return {from};
+  // BFS by hops; among equal-hop parents prefer lower cumulative latency.
+  std::map<std::string, std::string> parent;
+  std::map<std::string, double> latency{{from, 0.0}};
+  std::map<std::string, int> hops{{from, 0}};
+  std::deque<std::string> queue{from};
+  while (!queue.empty()) {
+    const std::string cur = queue.front();
+    queue.pop_front();
+    for (const auto& l : links_) {
+      std::string next;
+      if (l.a == cur) next = l.b;
+      else if (l.b == cur) next = l.a;
+      else continue;
+      const int nh = hops[cur] + 1;
+      const double nl = latency[cur] + l.latency_us;
+      if (!hops.count(next) || nh < hops[next] || (nh == hops[next] && nl < latency[next])) {
+        hops[next] = nh;
+        latency[next] = nl;
+        parent[next] = cur;
+        queue.push_back(next);
+      }
+    }
+  }
+  if (!parent.count(to)) throw NotFound("no route from " + from + " to " + to);
+  std::vector<std::string> path{to};
+  while (path.back() != from) path.push_back(parent[path.back()]);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double Fabric::path_bandwidth_bytes_s(const std::string& from, const std::string& to) const {
+  const auto path = route(from, to);
+  double min_gbps = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const Link* l = find_link(path[i], path[i + 1]);
+    VEDLIOT_ASSERT(l != nullptr);
+    min_gbps = std::min(min_gbps, l->bandwidth_gbps);
+  }
+  if (path.size() < 2) return std::numeric_limits<double>::infinity();
+  return min_gbps * 1e9 / 8.0;
+}
+
+double Fabric::transfer_time_s(const std::string& from, const std::string& to,
+                               double payload_bytes) const {
+  const auto path = route(from, to);
+  double lat_us = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const Link* l = find_link(path[i], path[i + 1]);
+    VEDLIOT_ASSERT(l != nullptr);
+    lat_us += l->latency_us;
+  }
+  const double bw = path_bandwidth_bytes_s(from, to);
+  const double serialize = path.size() < 2 ? 0.0 : payload_bytes / bw;
+  return lat_us * 1e-6 + serialize;
+}
+
+Fabric star_fabric(const std::vector<std::string>& slots, double gbps,
+                   std::vector<double> allowed_speeds) {
+  Fabric f(std::move(allowed_speeds));
+  f.add_endpoint("switch0");
+  for (const auto& s : slots) {
+    f.add_endpoint(s);
+    Link l;
+    l.a = "switch0";
+    l.b = s;
+    l.bandwidth_gbps = gbps;
+    f.add_link(std::move(l));
+  }
+  return f;
+}
+
+}  // namespace vedliot::platform

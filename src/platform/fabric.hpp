@@ -1,0 +1,76 @@
+#pragma once
+/// \file fabric.hpp
+/// \brief Communication-driven infrastructure between microservers
+/// (Sec. II-A): 1G/10G Ethernet plus high-speed low-latency links,
+/// reconfigurable at run time (topology and protocol parameters).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace vedliot::platform {
+
+enum class LinkKind { kEthernet, kLowLatency };
+
+struct Link {
+  std::string a;
+  std::string b;
+  LinkKind kind = LinkKind::kEthernet;
+  double bandwidth_gbps = 1.0;
+  double latency_us = 50.0;   ///< per-hop base latency (switch + stack)
+};
+
+/// Switched fabric between named endpoints. Supports run-time
+/// reconfiguration: link speed changes and topology edits, with an audit
+/// counter so schedulers can reason about reconfiguration churn.
+class Fabric {
+ public:
+  /// \param allowed_ethernet_gbps the speeds the baseboard supports.
+  explicit Fabric(std::vector<double> allowed_ethernet_gbps);
+
+  void add_endpoint(const std::string& name);
+  bool has_endpoint(const std::string& name) const;
+
+  /// Add a link; endpoints must exist; Ethernet speed must be allowed.
+  void add_link(Link link);
+
+  /// Remove the link between a and b; throws NotFound if absent.
+  void remove_link(const std::string& a, const std::string& b);
+
+  /// Run-time reconfiguration of an existing Ethernet link's speed.
+  void set_link_speed(const std::string& a, const std::string& b, double gbps);
+
+  /// Shortest path (fewest hops, ties by total latency); throws NotFound
+  /// when no route exists.
+  std::vector<std::string> route(const std::string& from, const std::string& to) const;
+
+  /// End-to-end transfer time for a payload along route(from, to):
+  /// sum of hop latencies + bytes / bottleneck bandwidth.
+  double transfer_time_s(const std::string& from, const std::string& to,
+                         double payload_bytes) const;
+
+  /// Bottleneck bandwidth along the route, bytes/s.
+  double path_bandwidth_bytes_s(const std::string& from, const std::string& to) const;
+
+  std::size_t reconfiguration_count() const { return reconfigs_; }
+  std::size_t link_count() const { return links_.size(); }
+
+ private:
+  const Link* find_link(const std::string& a, const std::string& b) const;
+  Link* find_link(const std::string& a, const std::string& b);
+
+  std::vector<std::string> endpoints_;
+  std::vector<Link> links_;
+  std::vector<double> allowed_eth_;
+  std::size_t reconfigs_ = 0;
+};
+
+/// Build the default star fabric for a set of slots: every slot connected
+/// to a switch endpoint ("switch0") at the base Ethernet speed.
+Fabric star_fabric(const std::vector<std::string>& slots, double gbps,
+                   std::vector<double> allowed_speeds);
+
+}  // namespace vedliot::platform

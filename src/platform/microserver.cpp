@@ -1,0 +1,52 @@
+#include "platform/microserver.hpp"
+
+#include "util/error.hpp"
+
+namespace vedliot::platform {
+
+std::string_view form_factor_name(FormFactor f) {
+  switch (f) {
+    case FormFactor::kCOMExpress: return "COM Express";
+    case FormFactor::kCOMHPCServer: return "COM-HPC Server";
+    case FormFactor::kCOMHPCClient: return "COM-HPC Client";
+    case FormFactor::kSMARC: return "SMARC";
+    case FormFactor::kJetsonNX: return "Jetson NX";
+    case FormFactor::kKriaSOM: return "Kria SOM";
+    case FormFactor::kRPiCM: return "RPi CM";
+    case FormFactor::kPCIe: return "PCIe";
+    case FormFactor::kM2: return "M.2";
+    case FormFactor::kUSB: return "USB";
+  }
+  throw InvalidArgument("unknown FormFactor");
+}
+
+const std::vector<MicroserverModule>& module_catalog() {
+  static const std::vector<MicroserverModule> catalog = {
+      // Cloud / near-edge modules (RECS|Box, t.RECS).
+      {"COMh-Epyc3451", FormFactor::kCOMHPCServer, "Epyc3451", 110},
+      {"COMe-D1577", FormFactor::kCOMExpress, "D1577", 65},
+      {"PCIe-GTX1660", FormFactor::kPCIe, "GTX1660", 130},
+      {"COMe-XavierAGX", FormFactor::kCOMExpress, "XavierAGX-MAXN", 40},
+      {"COMh-AlveoDPU", FormFactor::kCOMHPCServer, "AlveoU250-DPU", 150},
+      // Embedded / far-edge modules (uRECS, < 15 W total budget).
+      {"SMARC-iMX8MPlus", FormFactor::kSMARC, "iMX8MPlus-NPU", 6},
+      {"SMARC-ZU3", FormFactor::kSMARC, "ZynqZU3", 8},
+      {"JetsonXavierNX", FormFactor::kJetsonNX, "XavierNX", 15},
+      {"JetsonTX2", FormFactor::kJetsonNX, "JetsonTX2", 15},
+      {"Kria-K26", FormFactor::kKriaSOM, "KriaK26-DPU", 12},
+      {"RPi-CM4", FormFactor::kRPiCM, "RPiCM4", 7},
+      // Extension-slot accelerators.
+      {"USB-MyriadX", FormFactor::kUSB, "MyriadX", 3},
+      {"M2-EdgeTPU", FormFactor::kM2, "EdgeTPU", 2},
+  };
+  return catalog;
+}
+
+const MicroserverModule& find_module(const std::string& name) {
+  for (const auto& m : module_catalog()) {
+    if (m.name == name) return m;
+  }
+  throw NotFound("unknown microserver module: " + name);
+}
+
+}  // namespace vedliot::platform

@@ -1,0 +1,45 @@
+#pragma once
+/// \file microserver.hpp
+/// \brief Computer-on-Module microservers and form factors (Fig. 2).
+
+#include <string>
+#include <vector>
+
+#include "hw/device.hpp"
+
+namespace vedliot::platform {
+
+/// COM form factors supported across the RECS family (Fig. 2) plus the
+/// extension-slot standards uRECS exposes.
+enum class FormFactor {
+  kCOMExpress,
+  kCOMHPCServer,
+  kCOMHPCClient,
+  kSMARC,
+  kJetsonNX,
+  kKriaSOM,     ///< via adaptor PCB on uRECS
+  kRPiCM,       ///< via adaptor PCB on uRECS
+  kPCIe,        ///< full-size add-in card (t.RECS)
+  kM2,          ///< uRECS extension slot
+  kUSB,         ///< uRECS extension slot
+};
+
+std::string_view form_factor_name(FormFactor f);
+
+/// A pluggable microserver/accelerator module.
+struct MicroserverModule {
+  std::string name;
+  FormFactor form = FormFactor::kCOMExpress;
+  std::string device;       ///< hw catalog entry providing the compute model
+  double max_power_w = 0;   ///< module power envelope
+
+  const hw::DeviceSpec& device_spec() const { return hw::find_device(device); }
+};
+
+/// Catalog of modules used throughout the project's examples and benches.
+const std::vector<MicroserverModule>& module_catalog();
+
+/// Look up a module by name; throws NotFound.
+const MicroserverModule& find_module(const std::string& name);
+
+}  // namespace vedliot::platform

@@ -1,0 +1,180 @@
+#include "reqs/framework.hpp"
+
+#include <deque>
+
+namespace vedliot::reqs {
+
+std::string_view concern_name(Concern c) {
+  switch (c) {
+    case Concern::kLogicalBehavior: return "logical-behavior";
+    case Concern::kProcessBehavior: return "process-behavior";
+    case Concern::kContextConstraints: return "context-constraints";
+    case Concern::kLearningSetting: return "learning-setting";
+    case Concern::kDeepLearningModel: return "deep-learning-model";
+    case Concern::kHardware: return "hardware";
+    case Concern::kInformation: return "information";
+    case Concern::kCommunication: return "communication";
+    case Concern::kEthics: return "ethics";
+    case Concern::kSafety: return "safety";
+    case Concern::kSecurity: return "security";
+    case Concern::kPrivacy: return "privacy";
+    case Concern::kEnergy: return "energy";
+  }
+  throw InvalidArgument("unknown Concern");
+}
+
+std::string_view level_name(Level l) {
+  switch (l) {
+    case Level::kKnowledge: return "knowledge";
+    case Level::kConceptual: return "conceptual";
+    case Level::kDesign: return "design";
+    case Level::kRuntime: return "runtime";
+  }
+  throw InvalidArgument("unknown Level");
+}
+
+ViewId ArchitecturalFramework::add_view(std::string name, Concern concern, Level level) {
+  View v;
+  v.id = static_cast<ViewId>(views_.size());
+  v.name = std::move(name);
+  v.concern = concern;
+  v.level = level;
+  views_.push_back(std::move(v));
+  return views_.back().id;
+}
+
+const View& ArchitecturalFramework::view(ViewId id) const {
+  VEDLIOT_CHECK(id >= 0 && static_cast<std::size_t>(id) < views_.size(), "view id out of range");
+  return views_[static_cast<std::size_t>(id)];
+}
+
+View& ArchitecturalFramework::view(ViewId id) {
+  return const_cast<View&>(static_cast<const ArchitecturalFramework*>(this)->view(id));
+}
+
+void ArchitecturalFramework::add_dependency(ViewId from, ViewId to) {
+  const View& a = view(from);
+  const View& b = view(to);
+  if (from == to) throw FrameworkError("a view cannot depend on itself");
+  const bool vertical = a.concern == b.concern;
+  const bool horizontal = a.level == b.level;
+  if (!vertical && !horizontal) {
+    throw FrameworkError(
+        "dependency violates the framework rule (neither same concern nor same level): " +
+        a.name + " -> " + b.name);
+  }
+  deps_.insert({from, to});
+}
+
+bool ArchitecturalFramework::depends(ViewId from, ViewId to) const {
+  return deps_.count({from, to}) > 0;
+}
+
+std::vector<ViewId> ArchitecturalFramework::dependencies_of(ViewId from) const {
+  std::vector<ViewId> out;
+  for (const auto& [a, b] : deps_) {
+    if (a == from) out.push_back(b);
+  }
+  return out;
+}
+
+bool ArchitecturalFramework::traceable(ViewId from, ViewId to) const {
+  view(from);
+  view(to);
+  std::set<ViewId> seen{from};
+  std::deque<ViewId> queue{from};
+  while (!queue.empty()) {
+    const ViewId cur = queue.front();
+    queue.pop_front();
+    if (cur == to) return true;
+    for (ViewId next : dependencies_of(cur)) {
+      if (seen.insert(next).second) queue.push_back(next);
+    }
+  }
+  return false;
+}
+
+bool ArchitecturalFramework::cell_covered(Concern c, Level l) const {
+  for (const auto& v : views_) {
+    if (v.concern == c && v.level == l) return true;
+  }
+  return false;
+}
+
+std::size_t ArchitecturalFramework::covered_cells() const {
+  std::set<std::pair<int, int>> cells;
+  for (const auto& v : views_) {
+    cells.insert({static_cast<int>(v.concern), static_cast<int>(v.level)});
+  }
+  return cells.size();
+}
+
+std::vector<std::pair<Concern, Level>> ArchitecturalFramework::missing_neighbors(ViewId id) const {
+  const View& v = view(id);
+  std::vector<std::pair<Concern, Level>> out;
+  const int li = static_cast<int>(v.level);
+  // Vertical neighbours: one level up and down in the same cluster.
+  for (int dl : {-1, +1}) {
+    const int nl = li + dl;
+    if (nl < 0 || nl >= static_cast<int>(kLevelCount)) continue;
+    const auto level = static_cast<Level>(nl);
+    if (!cell_covered(v.concern, level)) out.emplace_back(v.concern, level);
+  }
+  // Horizontal neighbours: every other cluster at the same level.
+  for (std::size_t c = 0; c < kConcernCount; ++c) {
+    const auto concern = static_cast<Concern>(c);
+    if (concern == v.concern) continue;
+    if (!cell_covered(concern, v.level)) out.emplace_back(concern, v.level);
+  }
+  return out;
+}
+
+std::string ArchitecturalFramework::to_markdown() const {
+  std::string out = "| cluster of concern |";
+  for (std::size_t l = 0; l < kLevelCount; ++l) {
+    out += " ";
+    out += level_name(static_cast<Level>(l));
+    out += " |";
+  }
+  out += "\n|---|";
+  for (std::size_t l = 0; l < kLevelCount; ++l) out += "---|";
+  out += "\n";
+  for (std::size_t c = 0; c < kConcernCount; ++c) {
+    out += "| ";
+    out += concern_name(static_cast<Concern>(c));
+    out += " |";
+    for (std::size_t l = 0; l < kLevelCount; ++l) {
+      std::size_t count = 0;
+      for (const auto& v : views_) {
+        if (v.concern == static_cast<Concern>(c) && v.level == static_cast<Level>(l)) ++count;
+      }
+      out += count ? " " + std::to_string(count) + " |" : " — |";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void RequirementsLedger::add(Requirement r) {
+  fw_.view(r.view);  // validates the id
+  for (const auto& existing : reqs_) {
+    if (existing.id == r.id) throw FrameworkError("duplicate requirement id: " + r.id);
+  }
+  reqs_.push_back(std::move(r));
+}
+
+std::vector<std::string> RequirementsLedger::unrealized() const {
+  std::vector<std::string> out;
+  for (const auto& r : reqs_) {
+    bool realized = false;
+    for (std::size_t i = 0; i < fw_.view_count() && !realized; ++i) {
+      const View& candidate = fw_.view(static_cast<ViewId>(i));
+      if (candidate.level != Level::kDesign && candidate.level != Level::kRuntime) continue;
+      if (fw_.traceable(r.view, candidate.id)) realized = true;
+    }
+    if (!realized) out.push_back(r.id);
+  }
+  return out;
+}
+
+}  // namespace vedliot::reqs

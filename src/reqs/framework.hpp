@@ -1,0 +1,129 @@
+#pragma once
+/// \file framework.hpp
+/// \brief The VEDLIoT architectural framework for AIoT (Sec. IV-A):
+/// a 2-D grid of architectural views — clusters of concerns x levels of
+/// abstraction — with the paper's central structural rule: dependencies may
+/// exist only *vertically* (same cluster, adjacent concerns through levels)
+/// or *horizontally* (same level across clusters). Enforcing the rule keeps
+/// the design traceable; the framework also supports middle-out engineering
+/// (start from a mid-level view and derive what's missing above/below).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace vedliot::reqs {
+
+/// The typical clusters of concern for a DL-bearing system (Sec. IV-A).
+enum class Concern {
+  kLogicalBehavior,
+  kProcessBehavior,
+  kContextConstraints,
+  kLearningSetting,
+  kDeepLearningModel,
+  kHardware,
+  kInformation,
+  kCommunication,
+  kEthics,
+  kSafety,
+  kSecurity,
+  kPrivacy,
+  kEnergy,
+};
+constexpr std::size_t kConcernCount = 13;
+
+enum class Level {
+  kKnowledge,
+  kConceptual,
+  kDesign,
+  kRuntime,
+};
+constexpr std::size_t kLevelCount = 4;
+
+std::string_view concern_name(Concern c);
+std::string_view level_name(Level l);
+
+using ViewId = std::int32_t;
+
+struct View {
+  ViewId id = -1;
+  std::string name;
+  Concern concern = Concern::kLogicalBehavior;
+  Level level = Level::kKnowledge;
+  std::vector<std::string> artifacts;  ///< documents/models/code realizing it
+};
+
+class FrameworkError : public Error {
+ public:
+  explicit FrameworkError(const std::string& message) : Error(message) {}
+};
+
+class ArchitecturalFramework {
+ public:
+  ViewId add_view(std::string name, Concern concern, Level level);
+
+  const View& view(ViewId id) const;
+  View& view(ViewId id);
+  std::size_t view_count() const { return views_.size(); }
+
+  /// Dependency `from` -> `to`. Throws FrameworkError unless vertical
+  /// (same concern) or horizontal (same level) — the paper's rule.
+  void add_dependency(ViewId from, ViewId to);
+
+  bool depends(ViewId from, ViewId to) const;
+  std::vector<ViewId> dependencies_of(ViewId from) const;
+
+  /// Transitive closure query: can `from` be traced to `to` through
+  /// rule-conforming dependencies?
+  bool traceable(ViewId from, ViewId to) const;
+
+  /// Which (concern, level) grid cells have at least one view.
+  bool cell_covered(Concern c, Level l) const;
+  std::size_t covered_cells() const;
+
+  /// Middle-out support: for a view, the neighbouring grid cells (same
+  /// concern one level up/down, same level other concerns) that have no
+  /// views yet — the candidates the team should elaborate next.
+  std::vector<std::pair<Concern, Level>> missing_neighbors(ViewId id) const;
+
+  /// Render the concern x level grid as a Markdown table (the architecture
+  /// documentation artifact teams review), one cell per (concern, level)
+  /// listing its view count.
+  std::string to_markdown() const;
+
+ private:
+  std::vector<View> views_;
+  std::set<std::pair<ViewId, ViewId>> deps_;
+};
+
+/// A stakeholder requirement attached to a view.
+struct Requirement {
+  std::string id;        ///< e.g. "REQ-SAF-004"
+  std::string text;
+  ViewId view = -1;
+};
+
+/// Requirements ledger with verification of downward traceability:
+/// every requirement's view must trace to at least one Design- or
+/// Runtime-level view (i.e. someone implements it).
+class RequirementsLedger {
+ public:
+  explicit RequirementsLedger(const ArchitecturalFramework& fw) : fw_(fw) {}
+
+  void add(Requirement r);
+  const std::vector<Requirement>& all() const { return reqs_; }
+
+  /// Requirements whose views do not reach any design/runtime view.
+  std::vector<std::string> unrealized() const;
+
+ private:
+  const ArchitecturalFramework& fw_;
+  std::vector<Requirement> reqs_;
+};
+
+}  // namespace vedliot::reqs

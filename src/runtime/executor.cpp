@@ -1,0 +1,393 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+namespace vedliot {
+
+namespace {
+
+float apply_act(float x, OpKind kind, double alpha) {
+  switch (kind) {
+    case OpKind::kRelu: return x > 0.0f ? x : 0.0f;
+    case OpKind::kRelu6: return std::clamp(x, 0.0f, 6.0f);
+    case OpKind::kLeakyRelu: return x > 0.0f ? x : static_cast<float>(alpha) * x;
+    case OpKind::kSigmoid: return 1.0f / (1.0f + std::exp(-x));
+    case OpKind::kHSigmoid: return std::clamp(x / 6.0f + 0.5f, 0.0f, 1.0f);
+    case OpKind::kHSwish: return x * std::clamp(x / 6.0f + 0.5f, 0.0f, 1.0f);
+    case OpKind::kTanh: return std::tanh(x);
+    case OpKind::kMish: {
+      const float sp = std::log1p(std::exp(x));  // softplus
+      return x * std::tanh(sp);
+    }
+    default: return x;
+  }
+}
+
+OpKind fused_act_kind(const Node& n) {
+  const std::string name = n.attrs.get_str_or("fused_act", "");
+  if (name.empty()) return OpKind::kIdentity;
+  return parse_op(name);
+}
+
+Tensor conv2d(const Node& n, const Tensor& in, const Tensor& w, const Tensor* bias,
+              const Shape& out_shape) {
+  const auto stride = n.attrs.get_int_or("stride", 1);
+  const auto pad = n.attrs.get_int_or("pad", 0);
+  const auto groups = n.attrs.get_int_or("groups", 1);
+  const auto k = n.attrs.get_int("kernel");
+
+  Tensor out(out_shape);
+  const auto N = out_shape.n(), OC = out_shape.c(), OH = out_shape.h(), OW = out_shape.w();
+  const auto IC = in.shape().c(), IH = in.shape().h(), IW = in.shape().w();
+  const auto icg = IC / groups;   // input channels per group
+  const auto ocg = OC / groups;   // output channels per group
+
+  for (std::int64_t b = 0; b < N; ++b) {
+    for (std::int64_t oc = 0; oc < OC; ++oc) {
+      const auto g = oc / ocg;
+      for (std::int64_t oh = 0; oh < OH; ++oh) {
+        for (std::int64_t ow = 0; ow < OW; ++ow) {
+          double acc = bias ? bias->at(static_cast<std::size_t>(oc)) : 0.0;
+          for (std::int64_t ic = 0; ic < icg; ++ic) {
+            const auto in_c = g * icg + ic;
+            for (std::int64_t kh = 0; kh < k; ++kh) {
+              const auto ih = oh * stride - pad + kh;
+              if (ih < 0 || ih >= IH) continue;
+              for (std::int64_t kw = 0; kw < k; ++kw) {
+                const auto iw = ow * stride - pad + kw;
+                if (iw < 0 || iw >= IW) continue;
+                acc += static_cast<double>(in.at4(b, in_c, ih, iw)) *
+                       static_cast<double>(w.at4(oc, ic, kh, kw));
+              }
+            }
+          }
+          out.at4(b, oc, oh, ow) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor dense(const Tensor& in, const Tensor& w, const Tensor* bias, const Shape& out_shape) {
+  Tensor out(out_shape);
+  const auto N = in.shape().dim(0);
+  const auto F = in.shape().dim(1);
+  const auto U = out_shape.dim(1);
+  for (std::int64_t b = 0; b < N; ++b) {
+    for (std::int64_t u = 0; u < U; ++u) {
+      double acc = bias ? bias->at(static_cast<std::size_t>(u)) : 0.0;
+      for (std::int64_t f = 0; f < F; ++f) {
+        acc += static_cast<double>(in.at(static_cast<std::size_t>(b * F + f))) *
+               static_cast<double>(w.at(static_cast<std::size_t>(u * F + f)));
+      }
+      out.at(static_cast<std::size_t>(b * U + u)) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor batchnorm(const Node& n, const Tensor& in) {
+  if (n.weights.size() != 4) throw ExecError("BatchNorm " + n.name + " needs 4 weight tensors");
+  const auto& gamma = n.weights[0];
+  const auto& beta = n.weights[1];
+  const auto& mean = n.weights[2];
+  const auto& var = n.weights[3];
+  const double eps = n.attrs.get_float_or("epsilon", 1e-5);
+
+  Tensor out(in.shape());
+  const auto& s = in.shape();
+  const std::int64_t C = s.rank() == 4 ? s.c() : s.dim(1);
+  const std::int64_t spatial = s.rank() == 4 ? s.h() * s.w() : 1;
+  const std::int64_t N = s.dim(0);
+  for (std::int64_t b = 0; b < N; ++b) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      const float scale = static_cast<float>(gamma.at(ci) / std::sqrt(var.at(ci) + eps));
+      const float shift = static_cast<float>(beta.at(ci) - mean.at(ci) * scale);
+      for (std::int64_t i = 0; i < spatial; ++i) {
+        const auto idx = static_cast<std::size_t>((b * C + c) * spatial + i);
+        out.at(idx) = in.at(idx) * scale + shift;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor elementwise(const Node& n, const Tensor& a, const Tensor& b, const Shape& out_shape) {
+  const bool mul = n.kind == OpKind::kMul;
+  Tensor out(out_shape);
+  if (a.shape() == b.shape()) {
+    for (std::int64_t i = 0; i < out.numel(); ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      out.at(idx) = mul ? a.at(idx) * b.at(idx) : a.at(idx) + b.at(idx);
+    }
+    return out;
+  }
+  // channelwise broadcast: one side is [N,C,1,1]
+  const Tensor& big = a.numel() >= b.numel() ? a : b;
+  const Tensor& vec = a.numel() >= b.numel() ? b : a;
+  const auto& s = big.shape();
+  for (std::int64_t bn = 0; bn < s.n(); ++bn) {
+    for (std::int64_t c = 0; c < s.c(); ++c) {
+      const float v = vec.at4(bn, c, 0, 0);
+      for (std::int64_t h = 0; h < s.h(); ++h) {
+        for (std::int64_t w = 0; w < s.w(); ++w) {
+          const float x = big.at4(bn, c, h, w);
+          out.at4(bn, c, h, w) = mul ? x * v : x + v;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor pool(const Node& n, const Tensor& in, const Shape& out_shape) {
+  const bool is_max = n.kind == OpKind::kMaxPool;
+  const auto k = n.attrs.get_int("kernel");
+  const auto stride = n.attrs.get_int_or("stride", k);
+  const auto pad = n.attrs.get_int_or("pad", 0);
+  Tensor out(out_shape);
+  const auto& s = in.shape();
+  for (std::int64_t b = 0; b < out_shape.n(); ++b) {
+    for (std::int64_t c = 0; c < out_shape.c(); ++c) {
+      for (std::int64_t oh = 0; oh < out_shape.h(); ++oh) {
+        for (std::int64_t ow = 0; ow < out_shape.w(); ++ow) {
+          double acc = is_max ? -std::numeric_limits<double>::infinity() : 0.0;
+          std::int64_t count = 0;
+          for (std::int64_t kh = 0; kh < k; ++kh) {
+            const auto ih = oh * stride - pad + kh;
+            if (ih < 0 || ih >= s.h()) continue;
+            for (std::int64_t kw = 0; kw < k; ++kw) {
+              const auto iw = ow * stride - pad + kw;
+              if (iw < 0 || iw >= s.w()) continue;
+              const double v = in.at4(b, c, ih, iw);
+              if (is_max) {
+                acc = std::max(acc, v);
+              } else {
+                acc += v;
+              }
+              ++count;
+            }
+          }
+          out.at4(b, c, oh, ow) =
+              static_cast<float>(is_max ? acc : (count > 0 ? acc / static_cast<double>(count) : 0.0));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor softmax(const Tensor& in) {
+  Tensor out(in.shape());
+  const auto& s = in.shape();
+  const std::int64_t N = s.dim(0);
+  const std::int64_t F = in.numel() / N;
+  for (std::int64_t b = 0; b < N; ++b) {
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::int64_t f = 0; f < F; ++f) mx = std::max(mx, in.at(static_cast<std::size_t>(b * F + f)));
+    double sum = 0.0;
+    for (std::int64_t f = 0; f < F; ++f) {
+      const double e = std::exp(static_cast<double>(in.at(static_cast<std::size_t>(b * F + f)) - mx));
+      out.at(static_cast<std::size_t>(b * F + f)) = static_cast<float>(e);
+      sum += e;
+    }
+    for (std::int64_t f = 0; f < F; ++f) {
+      auto& v = out.at(static_cast<std::size_t>(b * F + f));
+      v = static_cast<float>(v / sum);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Executor::Executor(const Graph& graph) : graph_(graph) {
+  if (!graph_.weights_materialized()) {
+    throw ExecError("graph " + graph.name() + " has unmaterialized weights; call materialize_weights()");
+  }
+}
+
+std::map<std::string, Tensor> Executor::run(const std::map<std::string, Tensor>& feeds) {
+  values_.clear();
+  nodes_executed_ = 0;
+
+  for (NodeId id : graph_.topo_order()) {
+    const Node& n = graph_.node(id);
+    if (n.kind == OpKind::kInput) {
+      auto it = feeds.find(n.name);
+      if (it == feeds.end()) throw ExecError("missing feed for input '" + n.name + "'");
+      if (it->second.shape() != n.out_shape) {
+        throw ExecError("feed shape mismatch for '" + n.name + "': expected " +
+                        n.out_shape.to_string() + " got " + it->second.shape().to_string());
+      }
+      values_[id] = it->second;
+      continue;
+    }
+    std::vector<const Tensor*> ins;
+    ins.reserve(n.inputs.size());
+    for (NodeId in : n.inputs) ins.push_back(&values_.at(in));
+    if (profiling_) {
+      const auto t0 = std::chrono::steady_clock::now();
+      values_[id] = execute_node(n, ins);
+      const auto t1 = std::chrono::steady_clock::now();
+      auto& entry = profile_[n.kind];
+      ++entry.invocations;
+      entry.total_seconds += std::chrono::duration<double>(t1 - t0).count();
+    } else {
+      values_[id] = execute_node(n, ins);
+    }
+    ++nodes_executed_;
+  }
+
+  std::map<std::string, Tensor> outs;
+  for (NodeId id : graph_.outputs()) outs[graph_.node(id).name] = values_.at(id);
+  return outs;
+}
+
+Tensor Executor::run_single(const Tensor& input) {
+  const auto ins = graph_.inputs();
+  VEDLIOT_CHECK(ins.size() == 1, "run_single requires exactly one graph input");
+  auto outs = run({{graph_.node(ins.front()).name, input}});
+  VEDLIOT_CHECK(outs.size() == 1, "run_single requires exactly one graph output");
+  return outs.begin()->second;
+}
+
+std::vector<std::pair<OpKind, Executor::OpProfile>> Executor::hotspots(std::size_t top_n) const {
+  std::vector<std::pair<OpKind, OpProfile>> out(profile_.begin(), profile_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second.total_seconds > b.second.total_seconds;
+  });
+  if (out.size() > top_n) out.resize(top_n);
+  return out;
+}
+
+const Tensor& Executor::activation(const std::string& node_name) const {
+  for (const auto& [id, t] : values_) {
+    if (graph_.node(id).name == node_name) return t;
+  }
+  throw NotFound("no recorded activation for node " + node_name);
+}
+
+Tensor Executor::execute_node(const Node& n, const std::vector<const Tensor*>& ins) const {
+  Tensor out;
+  switch (n.kind) {
+    case OpKind::kConv2d: {
+      if (n.weights.empty()) throw ExecError("Conv2d " + n.name + " has no weights");
+      const Tensor* bias = n.weights.size() > 1 ? &n.weights[1] : nullptr;
+      out = conv2d(n, *ins.at(0), n.weights[0], bias, n.out_shape);
+      break;
+    }
+    case OpKind::kDense: {
+      if (n.weights.empty()) throw ExecError("Dense " + n.name + " has no weights");
+      const Tensor* bias = n.weights.size() > 1 ? &n.weights[1] : nullptr;
+      out = dense(*ins.at(0), n.weights[0], bias, n.out_shape);
+      break;
+    }
+    case OpKind::kBatchNorm:
+      out = batchnorm(n, *ins.at(0));
+      break;
+    case OpKind::kRelu:
+    case OpKind::kRelu6:
+    case OpKind::kLeakyRelu:
+    case OpKind::kSigmoid:
+    case OpKind::kHSigmoid:
+    case OpKind::kHSwish:
+    case OpKind::kMish:
+    case OpKind::kTanh: {
+      out = *ins.at(0);
+      const double alpha = n.attrs.get_float_or("alpha", 0.01);
+      for (float& v : out.data()) v = apply_act(v, n.kind, alpha);
+      break;
+    }
+    case OpKind::kAdd:
+    case OpKind::kMul:
+      out = elementwise(n, *ins.at(0), *ins.at(1), n.out_shape);
+      break;
+    case OpKind::kConcat: {
+      // axis-1 (channel) concatenation for rank-4, axis-1 for rank-2.
+      out = Tensor(n.out_shape);
+      const auto& os = n.out_shape;
+      if (os.rank() == 4) {
+        std::int64_t c_off = 0;
+        for (const Tensor* t : ins) {
+          const auto& s = t->shape();
+          for (std::int64_t b = 0; b < s.n(); ++b)
+            for (std::int64_t c = 0; c < s.c(); ++c)
+              for (std::int64_t h = 0; h < s.h(); ++h)
+                for (std::int64_t w = 0; w < s.w(); ++w)
+                  out.at4(b, c_off + c, h, w) = t->at4(b, c, h, w);
+          c_off += s.c();
+        }
+      } else {
+        std::int64_t f_off = 0;
+        const auto F = os.dim(1);
+        for (const Tensor* t : ins) {
+          const auto& s = t->shape();
+          for (std::int64_t b = 0; b < s.dim(0); ++b)
+            for (std::int64_t f = 0; f < s.dim(1); ++f)
+              out.at(static_cast<std::size_t>(b * F + f_off + f)) =
+                  t->at(static_cast<std::size_t>(b * s.dim(1) + f));
+          f_off += s.dim(1);
+        }
+      }
+      break;
+    }
+    case OpKind::kMaxPool:
+    case OpKind::kAvgPool:
+      out = pool(n, *ins.at(0), n.out_shape);
+      break;
+    case OpKind::kGlobalAvgPool: {
+      out = Tensor(n.out_shape);
+      const auto& s = ins.at(0)->shape();
+      const double denom = static_cast<double>(s.h() * s.w());
+      for (std::int64_t b = 0; b < s.n(); ++b) {
+        for (std::int64_t c = 0; c < s.c(); ++c) {
+          double acc = 0.0;
+          for (std::int64_t h = 0; h < s.h(); ++h)
+            for (std::int64_t w = 0; w < s.w(); ++w) acc += ins.at(0)->at4(b, c, h, w);
+          out.at4(b, c, 0, 0) = static_cast<float>(acc / denom);
+        }
+      }
+      break;
+    }
+    case OpKind::kUpsample: {
+      out = Tensor(n.out_shape);
+      const auto scale = n.attrs.get_int("scale");
+      const auto& os = n.out_shape;
+      for (std::int64_t b = 0; b < os.n(); ++b)
+        for (std::int64_t c = 0; c < os.c(); ++c)
+          for (std::int64_t h = 0; h < os.h(); ++h)
+            for (std::int64_t w = 0; w < os.w(); ++w)
+              out.at4(b, c, h, w) = ins.at(0)->at4(b, c, h / scale, w / scale);
+      break;
+    }
+    case OpKind::kFlatten:
+      out = Tensor(n.out_shape, std::vector<float>(ins.at(0)->data().begin(), ins.at(0)->data().end()));
+      break;
+    case OpKind::kSoftmax:
+      out = softmax(*ins.at(0));
+      break;
+    case OpKind::kIdentity:
+      out = *ins.at(0);
+      break;
+    case OpKind::kInput:
+      throw ExecError("Input node reached execute_node");
+  }
+
+  // Fused activation (set by the fusion pass on conv/dense nodes).
+  if (n.kind == OpKind::kConv2d || n.kind == OpKind::kDense) {
+    const OpKind fa = fused_act_kind(n);
+    if (fa != OpKind::kIdentity) {
+      const double alpha = n.attrs.get_float_or("fused_alpha", 0.01);
+      for (float& v : out.data()) v = apply_act(v, fa, alpha);
+    }
+  }
+  return out;
+}
+
+}  // namespace vedliot

@@ -1,0 +1,67 @@
+#pragma once
+/// \file executor.hpp
+/// \brief Reference CPU executor: actually computes every op in the IR.
+///
+/// This is the runtime the Kenning-analogue deploys to when the target is
+/// "host CPU": a straightforward, numerically faithful interpreter. It is
+/// the ground truth the optimizer validates against (e.g. that BN folding
+/// preserves outputs bit-for-bit up to float associativity).
+
+#include <map>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "tensor/tensor.hpp"
+
+namespace vedliot {
+
+/// Exception for execution-time failures (missing weights, bad feeds).
+class ExecError : public Error {
+ public:
+  explicit ExecError(const std::string& message) : Error(message) {}
+};
+
+class Executor {
+ public:
+  /// The graph must outlive the executor and have materialized weights for
+  /// every parametric node.
+  explicit Executor(const Graph& graph);
+
+  /// Run the graph on the given feeds (one tensor per Input node, keyed by
+  /// node name). Returns the outputs of all graph output nodes by name.
+  std::map<std::string, Tensor> run(const std::map<std::string, Tensor>& feeds);
+
+  /// Convenience for single-input single-output graphs.
+  Tensor run_single(const Tensor& input);
+
+  /// After run(): number of nodes executed (profiling hook).
+  std::size_t nodes_executed() const { return nodes_executed_; }
+
+  /// Retrieve any intermediate activation from the last run() by node name
+  /// (used for quantization calibration). Throws NotFound if absent.
+  const Tensor& activation(const std::string& node_name) const;
+
+  /// Per-op-kind wall-clock accounting, accumulated across runs when
+  /// profiling is enabled (the Kenning "monitor inference time" hook).
+  struct OpProfile {
+    std::uint64_t invocations = 0;
+    double total_seconds = 0;
+  };
+  void enable_profiling(bool on = true) { profiling_ = on; }
+  const std::map<OpKind, OpProfile>& profile() const { return profile_; }
+  void reset_profile() { profile_.clear(); }
+
+  /// The heaviest op kinds by accumulated time, descending.
+  std::vector<std::pair<OpKind, OpProfile>> hotspots(std::size_t top_n = 3) const;
+
+ private:
+  Tensor execute_node(const Node& n, const std::vector<const Tensor*>& ins) const;
+
+  const Graph& graph_;
+  std::map<NodeId, Tensor> values_;
+  std::size_t nodes_executed_ = 0;
+  bool profiling_ = false;
+  std::map<OpKind, OpProfile> profile_;
+};
+
+}  // namespace vedliot

@@ -1,0 +1,371 @@
+#include "runtime/qexecutor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "runtime/executor.hpp"
+#include "util/error.hpp"
+
+namespace vedliot {
+
+namespace {
+
+std::int8_t saturate_i8(double v, std::uint64_t& saturations) {
+  const double r = std::nearbyint(v);
+  if (r > 127.0) {
+    ++saturations;
+    return 127;
+  }
+  if (r < -128.0) {
+    ++saturations;
+    return -128;
+  }
+  return static_cast<std::int8_t>(r);
+}
+
+double act_scale_of(const Graph& g, NodeId id) {
+  const Node& n = g.node(id);
+  if (!n.attrs.has("act_scale")) {
+    throw Unsupported("node " + n.name +
+                      " has no act_scale — run opt::calibrate_activations first");
+  }
+  const double s = n.attrs.get_float("act_scale");
+  return s > 0 ? s : 1e-9;
+}
+
+}  // namespace
+
+Tensor QTensor::dequantize() const {
+  Tensor t(shape);
+  auto out = t.data();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out[i] = static_cast<float>(static_cast<double>(data[i]) * scale);
+  }
+  return t;
+}
+
+QTensor quantize_fixed(const Tensor& t, double scale) {
+  QTensor q;
+  q.shape = t.shape();
+  q.scale = scale;
+  q.data.resize(static_cast<std::size_t>(t.numel()));
+  std::uint64_t dummy = 0;
+  for (std::size_t i = 0; i < q.data.size(); ++i) {
+    q.data[i] = saturate_i8(static_cast<double>(t.data()[i]) / scale, dummy);
+  }
+  return q;
+}
+
+QuantizedExecutor::QuantizedExecutor(const Graph& graph) : graph_(graph) {
+  VEDLIOT_CHECK(graph_.weights_materialized(),
+                "QuantizedExecutor requires materialized weights");
+  for (NodeId id : graph_.topo_order()) {
+    const Node& n = graph_.node(id);
+    if (n.kind == OpKind::kBatchNorm) {
+      throw Unsupported("fold BatchNorm (opt::FuseBatchNormPass) before integer execution");
+    }
+    out_scale_[id] = act_scale_of(graph_, id);
+
+    if ((n.kind != OpKind::kConv2d && n.kind != OpKind::kDense) || n.weights.empty()) continue;
+
+    const double in_scale = out_scale_.at(n.inputs.at(0));
+    const Tensor& w = n.weights[0];
+    const auto oc = w.shape().dim(0);
+    const auto per = static_cast<std::size_t>(w.numel() / oc);
+
+    PreparedLayer layer;
+    layer.weights.resize(static_cast<std::size_t>(w.numel()));
+    layer.weight_scales.resize(static_cast<std::size_t>(oc));
+    layer.bias.assign(static_cast<std::size_t>(oc), 0);
+
+    for (std::int64_t c = 0; c < oc; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      auto chan = w.data().subspan(ci * per, per);
+      double amax = 0;
+      for (float v : chan) amax = std::max(amax, std::abs(static_cast<double>(v)));
+      const double ws = amax > 0 ? amax / 127.0 : 1.0;
+      layer.weight_scales[ci] = ws;
+      std::uint64_t dummy = 0;
+      for (std::size_t i = 0; i < per; ++i) {
+        layer.weights[ci * per + i] = saturate_i8(chan[i] / ws, dummy);
+      }
+      if (n.weights.size() > 1) {
+        layer.bias[ci] = static_cast<std::int32_t>(
+            std::nearbyint(static_cast<double>(n.weights[1].at(ci)) / (in_scale * ws)));
+      }
+    }
+    prepared_[id] = std::move(layer);
+  }
+}
+
+std::int8_t QuantizedExecutor::requant(double acc_scaled) {
+  return saturate_i8(acc_scaled, saturations_);
+}
+
+QTensor QuantizedExecutor::run_single(const Tensor& input) {
+  const auto ins = graph_.inputs();
+  VEDLIOT_CHECK(ins.size() == 1, "run_single requires exactly one graph input");
+  const auto outs = graph_.outputs();
+  VEDLIOT_CHECK(outs.size() == 1, "run_single requires exactly one graph output");
+
+  std::map<NodeId, QTensor> values;
+  for (NodeId id : graph_.topo_order()) {
+    const Node& n = graph_.node(id);
+    if (n.kind == OpKind::kInput) {
+      VEDLIOT_CHECK(input.shape() == n.out_shape, "input shape mismatch");
+      values[id] = quantize_fixed(input, out_scale_.at(id));
+      continue;
+    }
+    std::vector<const QTensor*> node_ins;
+    for (NodeId in : n.inputs) node_ins.push_back(&values.at(in));
+    values[id] = execute_node(n, node_ins);
+  }
+  return values.at(outs.front());
+}
+
+Tensor QuantizedExecutor::run_single_dequant(const Tensor& input) {
+  return run_single(input).dequantize();
+}
+
+QTensor QuantizedExecutor::execute_node(const Node& n, const std::vector<const QTensor*>& ins) {
+  const double so = out_scale_.at(n.id);
+  QTensor out;
+  out.shape = n.out_shape;
+  out.scale = so;
+  out.data.resize(static_cast<std::size_t>(n.out_shape.numel()));
+
+  // Fused activation bounds in the *output* integer domain. Symmetric
+  // quantization keeps zero at q=0, so ReLU is max(q, 0).
+  const std::string fused = n.attrs.get_str_or("fused_act", "");
+  std::int32_t q_lo = -128, q_hi = 127;
+  if (fused == "Relu" || n.kind == OpKind::kRelu) q_lo = 0;
+  if (fused == "Relu6" || n.kind == OpKind::kRelu6) {
+    q_lo = 0;
+    q_hi = std::min<std::int32_t>(127, static_cast<std::int32_t>(std::nearbyint(6.0 / so)));
+  }
+  if (!fused.empty() && fused != "Relu" && fused != "Relu6") {
+    throw Unsupported("integer executor supports fused Relu/Relu6 only, got " + fused);
+  }
+  auto clamp_out = [&](double scaled) {
+    std::int8_t q = requant(scaled);
+    if (q < q_lo) q = static_cast<std::int8_t>(q_lo);
+    if (q > q_hi) q = static_cast<std::int8_t>(q_hi);
+    return q;
+  };
+
+  switch (n.kind) {
+    case OpKind::kConv2d: {
+      const QTensor& x = *ins.at(0);
+      const PreparedLayer& layer = prepared_.at(n.id);
+      const auto stride = n.attrs.get_int_or("stride", 1);
+      const auto pad = n.attrs.get_int_or("pad", 0);
+      const auto groups = n.attrs.get_int_or("groups", 1);
+      const auto k = n.attrs.get_int("kernel");
+      const Shape& in_shape = graph_.node(n.inputs[0]).out_shape;
+      const auto IC = in_shape.c(), IH = in_shape.h(), IW = in_shape.w();
+      const auto OC = n.out_shape.c(), OH = n.out_shape.h(), OW = n.out_shape.w();
+      const auto N = n.out_shape.n();
+      const auto icg = IC / groups;
+      const auto ocg = OC / groups;
+      const std::size_t per = static_cast<std::size_t>(icg * k * k);
+      const double si = x.scale;
+
+      for (std::int64_t b = 0; b < N; ++b) {
+        for (std::int64_t oc = 0; oc < OC; ++oc) {
+          const auto g = oc / ocg;
+          const double mult = si * layer.weight_scales[static_cast<std::size_t>(oc)] / so;
+          const std::int8_t* wrow = layer.weights.data() + static_cast<std::size_t>(oc) * per;
+          for (std::int64_t oh = 0; oh < OH; ++oh) {
+            for (std::int64_t ow = 0; ow < OW; ++ow) {
+              std::int32_t acc = layer.bias[static_cast<std::size_t>(oc)];
+              for (std::int64_t ic = 0; ic < icg; ++ic) {
+                const auto in_c = g * icg + ic;
+                for (std::int64_t kh = 0; kh < k; ++kh) {
+                  const auto ih = oh * stride - pad + kh;
+                  if (ih < 0 || ih >= IH) continue;
+                  for (std::int64_t kw = 0; kw < k; ++kw) {
+                    const auto iw = ow * stride - pad + kw;
+                    if (iw < 0 || iw >= IW) continue;
+                    const auto xi = static_cast<std::size_t>(((b * IC + in_c) * IH + ih) * IW + iw);
+                    const auto wi = static_cast<std::size_t>((ic * k + kh) * k + kw);
+                    acc += static_cast<std::int32_t>(x.data[xi]) *
+                           static_cast<std::int32_t>(wrow[wi]);
+                  }
+                }
+              }
+              const auto oi = static_cast<std::size_t>(((b * OC + oc) * OH + oh) * OW + ow);
+              out.data[oi] = clamp_out(static_cast<double>(acc) * mult);
+            }
+          }
+        }
+      }
+      break;
+    }
+
+    case OpKind::kDense: {
+      const QTensor& x = *ins.at(0);
+      const PreparedLayer& layer = prepared_.at(n.id);
+      const Shape& in_shape = graph_.node(n.inputs[0]).out_shape;
+      const auto N = in_shape.dim(0), F = in_shape.dim(1);
+      const auto U = n.out_shape.dim(1);
+      const double si = x.scale;
+      for (std::int64_t b = 0; b < N; ++b) {
+        for (std::int64_t u = 0; u < U; ++u) {
+          std::int32_t acc = layer.bias[static_cast<std::size_t>(u)];
+          const std::int8_t* wrow = layer.weights.data() + static_cast<std::size_t>(u * F);
+          for (std::int64_t f = 0; f < F; ++f) {
+            acc += static_cast<std::int32_t>(x.data[static_cast<std::size_t>(b * F + f)]) *
+                   static_cast<std::int32_t>(wrow[f]);
+          }
+          const double mult = si * layer.weight_scales[static_cast<std::size_t>(u)] / so;
+          out.data[static_cast<std::size_t>(b * U + u)] = clamp_out(static_cast<double>(acc) * mult);
+        }
+      }
+      break;
+    }
+
+    case OpKind::kRelu:
+    case OpKind::kRelu6:
+    case OpKind::kIdentity: {
+      const QTensor& x = *ins.at(0);
+      const double rescale = x.scale / so;
+      for (std::size_t i = 0; i < out.data.size(); ++i) {
+        out.data[i] = clamp_out(static_cast<double>(x.data[i]) * rescale);
+      }
+      break;
+    }
+
+    case OpKind::kMaxPool: {
+      const QTensor& x = *ins.at(0);
+      const auto k = n.attrs.get_int("kernel");
+      const auto stride = n.attrs.get_int_or("stride", k);
+      const auto pad = n.attrs.get_int_or("pad", 0);
+      const Shape& s = graph_.node(n.inputs[0]).out_shape;
+      const double rescale = x.scale / so;
+      for (std::int64_t b = 0; b < n.out_shape.n(); ++b)
+        for (std::int64_t c = 0; c < n.out_shape.c(); ++c)
+          for (std::int64_t oh = 0; oh < n.out_shape.h(); ++oh)
+            for (std::int64_t ow = 0; ow < n.out_shape.w(); ++ow) {
+              std::int32_t best = std::numeric_limits<std::int32_t>::min();
+              for (std::int64_t kh = 0; kh < k; ++kh) {
+                const auto ih = oh * stride - pad + kh;
+                if (ih < 0 || ih >= s.h()) continue;
+                for (std::int64_t kw = 0; kw < k; ++kw) {
+                  const auto iw = ow * stride - pad + kw;
+                  if (iw < 0 || iw >= s.w()) continue;
+                  const auto xi = static_cast<std::size_t>(((b * s.c() + c) * s.h() + ih) * s.w() + iw);
+                  best = std::max(best, static_cast<std::int32_t>(x.data[xi]));
+                }
+              }
+              const auto oi = static_cast<std::size_t>(
+                  ((b * n.out_shape.c() + c) * n.out_shape.h() + oh) * n.out_shape.w() + ow);
+              out.data[oi] = clamp_out(static_cast<double>(best) * rescale);
+            }
+      break;
+    }
+
+    case OpKind::kAvgPool:
+    case OpKind::kGlobalAvgPool: {
+      const QTensor& x = *ins.at(0);
+      const Shape& s = graph_.node(n.inputs[0]).out_shape;
+      const bool global = n.kind == OpKind::kGlobalAvgPool;
+      const auto k = global ? std::max(s.h(), s.w()) : n.attrs.get_int("kernel");
+      const auto stride = global ? 1 : n.attrs.get_int_or("stride", k);
+      const auto pad = global ? 0 : n.attrs.get_int_or("pad", 0);
+      const double rescale = x.scale / so;
+      for (std::int64_t b = 0; b < n.out_shape.n(); ++b)
+        for (std::int64_t c = 0; c < n.out_shape.c(); ++c)
+          for (std::int64_t oh = 0; oh < n.out_shape.h(); ++oh)
+            for (std::int64_t ow = 0; ow < n.out_shape.w(); ++ow) {
+              std::int64_t acc = 0;
+              std::int64_t count = 0;
+              for (std::int64_t kh = 0; kh < (global ? s.h() : k); ++kh) {
+                const auto ih = oh * stride - pad + kh;
+                if (ih < 0 || ih >= s.h()) continue;
+                for (std::int64_t kw = 0; kw < (global ? s.w() : k); ++kw) {
+                  const auto iw = ow * stride - pad + kw;
+                  if (iw < 0 || iw >= s.w()) continue;
+                  const auto xi = static_cast<std::size_t>(((b * s.c() + c) * s.h() + ih) * s.w() + iw);
+                  acc += x.data[xi];
+                  ++count;
+                }
+              }
+              const double mean = count > 0 ? static_cast<double>(acc) / static_cast<double>(count) : 0.0;
+              const auto oi = static_cast<std::size_t>(
+                  ((b * n.out_shape.c() + c) * n.out_shape.h() + oh) * n.out_shape.w() + ow);
+              out.data[oi] = clamp_out(mean * rescale);
+            }
+      break;
+    }
+
+    case OpKind::kFlatten: {
+      const QTensor& x = *ins.at(0);
+      const double rescale = x.scale / so;
+      for (std::size_t i = 0; i < out.data.size(); ++i) {
+        out.data[i] = clamp_out(static_cast<double>(x.data[i]) * rescale);
+      }
+      break;
+    }
+
+    case OpKind::kAdd: {
+      const QTensor& a = *ins.at(0);
+      const QTensor& b = *ins.at(1);
+      VEDLIOT_CHECK(a.shape == b.shape, "integer Add supports equal shapes only");
+      for (std::size_t i = 0; i < out.data.size(); ++i) {
+        const double v = static_cast<double>(a.data[i]) * a.scale +
+                         static_cast<double>(b.data[i]) * b.scale;
+        out.data[i] = clamp_out(v / so);
+      }
+      break;
+    }
+
+    case OpKind::kConcat: {
+      std::size_t off = 0;
+      // channel-major layouts append contiguously only for axis 0 of the
+      // flattened [N=1,...] case; restrict to batch 1 (deployment case).
+      VEDLIOT_CHECK(n.out_shape.dim(0) == 1, "integer Concat supports batch 1");
+      for (const QTensor* x : ins) {
+        const double rescale = x->scale / so;
+        for (std::size_t i = 0; i < x->data.size(); ++i) {
+          out.data[off + i] = clamp_out(static_cast<double>(x->data[i]) * rescale);
+        }
+        off += x->data.size();
+      }
+      break;
+    }
+
+    case OpKind::kSoftmax: {
+      // Dequantize, float softmax, requantize: how int8 runtimes typically
+      // treat the final softmax (TFLite uses a LUT; float is the reference).
+      const Tensor f = ins.at(0)->dequantize();
+      Tensor sm(f.shape());
+      const auto N = f.shape().dim(0);
+      const auto F = f.numel() / N;
+      for (std::int64_t b = 0; b < N; ++b) {
+        float mx = -std::numeric_limits<float>::infinity();
+        for (std::int64_t i = 0; i < F; ++i) mx = std::max(mx, f.at(static_cast<std::size_t>(b * F + i)));
+        double sum = 0;
+        for (std::int64_t i = 0; i < F; ++i) {
+          const double e = std::exp(static_cast<double>(f.at(static_cast<std::size_t>(b * F + i)) - mx));
+          sm.at(static_cast<std::size_t>(b * F + i)) = static_cast<float>(e);
+          sum += e;
+        }
+        for (std::int64_t i = 0; i < F; ++i) {
+          auto& v = sm.at(static_cast<std::size_t>(b * F + i));
+          v = static_cast<float>(v / sum);
+        }
+      }
+      for (std::size_t i = 0; i < out.data.size(); ++i) {
+        out.data[i] = clamp_out(static_cast<double>(sm.at(i)) / so);
+      }
+      break;
+    }
+
+    default:
+      throw Unsupported("integer executor does not support op " + std::string(op_name(n.kind)));
+  }
+  return out;
+}
+
+}  // namespace vedliot

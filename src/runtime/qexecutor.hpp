@@ -1,0 +1,71 @@
+#pragma once
+/// \file qexecutor.hpp
+/// \brief True integer INT8 executor (Sec. III steps 5-6: the kernels a
+/// deployment target actually runs after quantization).
+///
+/// Unlike the fake-quant modelling in opt/quantize.hpp (which measures
+/// accuracy impact in float), this executor performs integer arithmetic:
+/// int8 operands, int32 accumulation, per-output-channel weight scales and
+/// fixed activation scales from calibration, with requantization between
+/// layers — the TFLite-style reference semantics.
+///
+/// Requirements on the graph:
+///  - weights materialized (fp32 masters; quantization happens here),
+///  - BatchNorm folded away (run opt::FuseBatchNormPass first),
+///  - `act_scale` attributes present on every node (run
+///    opt::calibrate_activations first).
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "tensor/tensor.hpp"
+
+namespace vedliot {
+
+/// Quantized activation tensor: symmetric int8 with one scale.
+struct QTensor {
+  Shape shape;
+  std::vector<std::int8_t> data;
+  double scale = 1.0;
+
+  /// Dequantize to float for inspection / the final output.
+  Tensor dequantize() const;
+};
+
+/// Quantize a float tensor at a fixed scale (round-to-nearest, saturate).
+QTensor quantize_fixed(const Tensor& t, double scale);
+
+class QuantizedExecutor {
+ public:
+  explicit QuantizedExecutor(const Graph& graph);
+
+  /// Run on a float input (quantized at the input node's calibrated scale);
+  /// returns the quantized graph output.
+  QTensor run_single(const Tensor& input);
+
+  /// Convenience: run and dequantize.
+  Tensor run_single_dequant(const Tensor& input);
+
+  /// Accumulated int8 saturation events across all runs (requantization
+  /// clamps) — a deployment health metric.
+  std::uint64_t saturations() const { return saturations_; }
+
+ private:
+  struct PreparedLayer {
+    std::vector<std::int8_t> weights;       ///< quantized at per-channel scales
+    std::vector<double> weight_scales;      ///< one per output channel
+    std::vector<std::int32_t> bias;         ///< at in_scale * w_scale[c]
+  };
+
+  QTensor execute_node(const Node& n, const std::vector<const QTensor*>& ins);
+  std::int8_t requant(double acc_scaled);
+
+  const Graph& graph_;
+  std::map<NodeId, PreparedLayer> prepared_;
+  std::map<NodeId, double> out_scale_;
+  std::uint64_t saturations_ = 0;
+};
+
+}  // namespace vedliot

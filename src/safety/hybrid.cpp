@@ -1,0 +1,74 @@
+#include "safety/hybrid.hpp"
+
+namespace vedliot::safety {
+
+std::string_view system_state_name(SystemState s) {
+  switch (s) {
+    case SystemState::kNormal: return "normal";
+    case SystemState::kDegraded: return "degraded";
+    case SystemState::kSafeStop: return "safe-stop";
+  }
+  throw InvalidArgument("unknown SystemState");
+}
+
+void SafetyKernel::register_task(PayloadTask task) {
+  VEDLIOT_CHECK(task.deadline_s >= task.period_s, "deadline must be >= period");
+  const std::string name = task.name;
+  if (tasks_.count(name)) throw InvalidArgument("task already registered: " + name);
+  tasks_[name] = TaskState{std::move(task), 0.0, false, 0, 0};
+}
+
+void SafetyKernel::heartbeat(const std::string& task, double now_s) {
+  auto it = tasks_.find(task);
+  if (it == tasks_.end()) throw NotFound("unknown task: " + task);
+  TaskState& t = it->second;
+  // A timely heartbeat clears the consecutive-miss counter.
+  if (!t.seen || now_s - t.last_beat_s <= t.task.deadline_s) t.consecutive_misses = 0;
+  t.last_beat_s = now_s;
+  t.seen = true;
+}
+
+SystemState SafetyKernel::tick(double now_s) {
+  if (state_ == SystemState::kSafeStop) return state_;  // latched
+
+  bool any_degrade = false, any_stop = false;
+  for (auto& [name, t] : tasks_) {
+    const double reference = t.seen ? t.last_beat_s : 0.0;
+    if (now_s - reference > t.task.deadline_s) {
+      ++t.consecutive_misses;
+      ++t.total_misses;
+      // Count the miss from a fresh reference so one long gap isn't counted
+      // once per kernel tick.
+      t.last_beat_s = now_s;
+      t.seen = true;
+    }
+    if (t.consecutive_misses >= t.task.misses_to_stop) any_stop = true;
+    else if (t.consecutive_misses >= t.task.misses_to_degrade) any_degrade = true;
+  }
+
+  if (any_stop) {
+    state_ = SystemState::kSafeStop;
+    if (stop_cb_) stop_cb_();
+  } else if (any_degrade && state_ == SystemState::kNormal) {
+    state_ = SystemState::kDegraded;
+    if (degraded_cb_) degraded_cb_();
+  }
+  return state_;
+}
+
+void SafetyKernel::try_recover(double now_s) {
+  if (state_ != SystemState::kDegraded) return;
+  for (const auto& [name, t] : tasks_) {
+    if (t.consecutive_misses > 0) return;
+    if (!t.seen || now_s - t.last_beat_s > t.task.deadline_s) return;
+  }
+  state_ = SystemState::kNormal;
+}
+
+std::size_t SafetyKernel::missed_deadlines(const std::string& task) const {
+  auto it = tasks_.find(task);
+  if (it == tasks_.end()) throw NotFound("unknown task: " + task);
+  return it->second.total_misses;
+}
+
+}  // namespace vedliot::safety

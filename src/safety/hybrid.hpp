@@ -1,0 +1,69 @@
+#pragma once
+/// \file hybrid.hpp
+/// \brief Architectural hybridization (Sec. IV-B / [16]): a small, timing-
+/// predictable safety kernel supervises a complex, best-effort payload.
+/// The kernel enforces heartbeats and deadlines and drives the system
+/// through Normal -> Degraded -> SafeStop on violations.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace vedliot::safety {
+
+enum class SystemState { kNormal, kDegraded, kSafeStop };
+
+std::string_view system_state_name(SystemState s);
+
+/// A supervised payload task (e.g. a DL inference pipeline).
+struct PayloadTask {
+  std::string name;
+  double period_s = 0.1;        ///< expected heartbeat period
+  double deadline_s = 0.15;     ///< max tolerated heartbeat gap
+  std::size_t misses_to_degrade = 1;
+  std::size_t misses_to_stop = 3;
+};
+
+/// The hybridization kernel: simple synchronous logic, fed with a
+/// monotonic clock and heartbeats from payload tasks.
+class SafetyKernel {
+ public:
+  void register_task(PayloadTask task);
+
+  /// Payload signals liveness (called after every completed iteration).
+  void heartbeat(const std::string& task, double now_s);
+
+  /// Kernel tick: evaluate deadlines at time `now_s`; returns the state.
+  SystemState tick(double now_s);
+
+  SystemState state() const { return state_; }
+  std::size_t missed_deadlines(const std::string& task) const;
+
+  /// Degraded-mode hook (e.g. fall back to a conservative controller).
+  void on_degraded(std::function<void()> cb) { degraded_cb_ = std::move(cb); }
+  /// Safe-stop hook (e.g. Pedestrian AEB: full braking).
+  void on_safe_stop(std::function<void()> cb) { stop_cb_ = std::move(cb); }
+
+  /// A recovered task (heartbeats meeting deadlines again) lets the kernel
+  /// return from Degraded to Normal; SafeStop is latched.
+  void try_recover(double now_s);
+
+ private:
+  struct TaskState {
+    PayloadTask task;
+    double last_beat_s = 0.0;
+    bool seen = false;
+    std::size_t consecutive_misses = 0;
+    std::size_t total_misses = 0;
+  };
+  std::map<std::string, TaskState> tasks_;
+  SystemState state_ = SystemState::kNormal;
+  std::function<void()> degraded_cb_;
+  std::function<void()> stop_cb_;
+};
+
+}  // namespace vedliot::safety

@@ -1,0 +1,128 @@
+#include "safety/monitors.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace vedliot::safety {
+
+std::string_view verdict_name(DataVerdict v) {
+  switch (v) {
+    case DataVerdict::kOk: return "ok";
+    case DataVerdict::kOutlier: return "outlier";
+    case DataVerdict::kStuckAt: return "stuck-at";
+    case DataVerdict::kNoisy: return "noisy";
+    case DataVerdict::kMissing: return "missing";
+    case DataVerdict::kOutOfRange: return "out-of-range";
+  }
+  throw InvalidArgument("unknown DataVerdict");
+}
+
+TimeSeriesMonitor::TimeSeriesMonitor(Config config) : cfg_(config) {
+  VEDLIOT_CHECK(cfg_.window >= 8, "monitor window must be >= 8");
+}
+
+DataVerdict TimeSeriesMonitor::check(double x) {
+  ++seen_;
+  DataVerdict verdict = DataVerdict::kOk;
+
+  if (!std::isfinite(x)) {
+    verdict = DataVerdict::kMissing;
+  } else if (x < cfg_.range_lo || x > cfg_.range_hi) {
+    verdict = DataVerdict::kOutOfRange;
+  } else {
+    // Stuck-at detection.
+    if (seen_ > 1 && std::abs(x - prev_) <= cfg_.stuck_epsilon) {
+      ++stuck_count_;
+    } else {
+      stuck_count_ = 0;
+    }
+    if (stuck_count_ >= cfg_.stuck_run) verdict = DataVerdict::kStuckAt;
+
+    // Robust z-score against the window.
+    if (verdict == DataVerdict::kOk && window_.size() >= cfg_.window / 2) {
+      std::vector<double> w(window_.begin(), window_.end());
+      const double med = stats::median(w);
+      const double m = stats::mad(w);
+      const double scale = m > 1e-12 ? 1.4826 * m : 1e-12;  // MAD -> sigma
+      if (std::abs(x - med) / scale > cfg_.outlier_z) verdict = DataVerdict::kOutlier;
+    }
+  }
+
+  if (std::isfinite(x)) prev_ = x;
+
+  if (verdict == DataVerdict::kOk) {
+    last_good_ = x;
+    window_.push_back(x);
+    if (window_.size() > cfg_.window) window_.pop_front();
+  } else {
+    ++anomalies_;
+  }
+  return verdict;
+}
+
+ImageMonitor::ImageMonitor(Config config) : cfg_(config) {}
+
+double ImageMonitor::noise_level(const Tensor& frame) {
+  const Shape& s = frame.shape();
+  VEDLIOT_CHECK(s.rank() == 4, "ImageMonitor expects NCHW frames");
+  double acc = 0.0;
+  std::int64_t count = 0;
+  for (std::int64_t n = 0; n < s.n(); ++n) {
+    for (std::int64_t c = 0; c < s.c(); ++c) {
+      for (std::int64_t h = 1; h + 1 < s.h(); ++h) {
+        for (std::int64_t w = 1; w + 1 < s.w(); ++w) {
+          const double lap = 4.0 * frame.at4(n, c, h, w) - frame.at4(n, c, h - 1, w) -
+                             frame.at4(n, c, h + 1, w) - frame.at4(n, c, h, w - 1) -
+                             frame.at4(n, c, h, w + 1);
+          acc += std::abs(lap);
+          ++count;
+        }
+      }
+    }
+  }
+  return count > 0 ? acc / static_cast<double>(count) : 0.0;
+}
+
+double ImageMonitor::mean_brightness(const Tensor& frame) {
+  if (frame.numel() == 0) return 0.0;
+  double acc = 0.0;
+  for (float v : frame.data()) acc += v;
+  return acc / static_cast<double>(frame.numel());
+}
+
+double ImageMonitor::contrast(const Tensor& frame) {
+  if (frame.numel() == 0) return 0.0;
+  const double mean = mean_brightness(frame);
+  double acc = 0.0;
+  for (float v : frame.data()) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(frame.numel()));
+}
+
+DataVerdict ImageMonitor::check(const Tensor& frame) const {
+  for (float v : frame.data()) {
+    if (!std::isfinite(v)) return DataVerdict::kMissing;
+  }
+  const double mean = mean_brightness(frame);
+  if (mean < cfg_.min_mean || mean > cfg_.max_mean) return DataVerdict::kOutOfRange;
+  if (contrast(frame) < cfg_.min_contrast) return DataVerdict::kStuckAt;
+  if (noise_level(frame) > cfg_.max_noise) return DataVerdict::kNoisy;
+  return DataVerdict::kOk;
+}
+
+CorrectionAction correction_for(DataVerdict v) {
+  switch (v) {
+    case DataVerdict::kOk: return CorrectionAction::kPass;
+    case DataVerdict::kOutlier:
+    case DataVerdict::kMissing:
+    case DataVerdict::kOutOfRange:
+      return CorrectionAction::kReplace;  // easily identified and corrected
+    case DataVerdict::kStuckAt:
+    case DataVerdict::kNoisy:
+      return CorrectionAction::kDrop;  // unreliable; remove to stop propagation
+  }
+  return CorrectionAction::kDrop;
+}
+
+}  // namespace vedliot::safety

@@ -1,0 +1,97 @@
+#pragma once
+/// \file monitors.hpp
+/// \brief Input-data quality monitors (Sec. IV-B, first direction):
+/// "characterizing the quality of the input data, detecting situations in
+/// which these data may have been accidentally or even maliciously
+/// compromised", with per-kind detectors (time series, image) and error
+/// types (outliers, stuck-at, noise, exposure).
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace vedliot::safety {
+
+enum class DataVerdict {
+  kOk,
+  kOutlier,      ///< point anomaly (robust z-score)
+  kStuckAt,      ///< sensor frozen at a constant value
+  kNoisy,        ///< variance above the calibrated envelope
+  kMissing,      ///< NaN / inf
+  kOutOfRange,   ///< violates the physical range
+};
+
+std::string_view verdict_name(DataVerdict v);
+
+/// Sliding-window monitor for scalar sensor streams.
+///
+/// Uses median/MAD for outlier robustness (a single faulty spike must not
+/// poison the detector that is supposed to flag it).
+class TimeSeriesMonitor {
+ public:
+  struct Config {
+    std::size_t window = 64;          ///< history length
+    double outlier_z = 5.0;           ///< robust z-score threshold
+    double stuck_epsilon = 1e-9;      ///< |x - prev| below this counts as stuck
+    std::size_t stuck_run = 10;       ///< consecutive stuck samples to flag
+    double range_lo = -1e12;
+    double range_hi = 1e12;
+    double noise_factor = 8.0;        ///< flag when short-term MAD exceeds
+                                      ///< calibrated MAD by this factor
+  };
+
+  explicit TimeSeriesMonitor(Config config);
+
+  /// Feed one sample; returns the verdict for it.
+  DataVerdict check(double x);
+
+  /// Replacement value for a bad sample (last known-good, else median).
+  double corrected() const { return last_good_; }
+
+  std::size_t samples_seen() const { return seen_; }
+  std::size_t anomalies() const { return anomalies_; }
+
+ private:
+  Config cfg_;
+  std::deque<double> window_;
+  double last_good_ = 0.0;
+  double prev_ = 0.0;
+  std::size_t stuck_count_ = 0;
+  std::size_t seen_ = 0;
+  std::size_t anomalies_ = 0;
+};
+
+/// Frame-level monitor for camera inputs (rank-4 single-image tensors).
+class ImageMonitor {
+ public:
+  struct Config {
+    double min_mean = 0.02;     ///< under-exposure threshold (on [0,1] data)
+    double max_mean = 0.98;     ///< over-exposure threshold
+    double max_noise = 0.15;    ///< mean absolute Laplacian threshold
+    double min_contrast = 0.01; ///< stddev floor (stuck/covered lens)
+  };
+
+  ImageMonitor() : ImageMonitor(Config{}) {}
+  explicit ImageMonitor(Config config);
+
+  DataVerdict check(const Tensor& frame) const;
+
+  /// Mean absolute 4-neighbour Laplacian — the noise estimator.
+  static double noise_level(const Tensor& frame);
+  static double mean_brightness(const Tensor& frame);
+  static double contrast(const Tensor& frame);
+
+ private:
+  Config cfg_;
+};
+
+/// Correction policy applied on flagged data before it reaches the model
+/// ("may be corrected, or the affected data may be removed").
+enum class CorrectionAction { kPass, kReplace, kDrop };
+
+CorrectionAction correction_for(DataVerdict v);
+
+}  // namespace vedliot::safety

@@ -1,0 +1,80 @@
+#include "safety/robustness.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vedliot::safety {
+
+RobustnessService::RobustnessService(const Graph& golden_model, Config config)
+    : golden_(golden_model.clone()), cfg_(config) {
+  VEDLIOT_CHECK(cfg_.check_period >= 1, "check period must be >= 1");
+  exec_ = std::make_unique<Executor>(golden_);
+}
+
+bool RobustnessService::submit(const Tensor& input, const Tensor& output) {
+  ++submissions_;
+  if (submissions_ % cfg_.check_period != 0) return false;
+  ++checks_;
+  const Tensor golden = exec_->run_single(input);
+  VEDLIOT_CHECK(golden.shape() == output.shape(),
+                "robustness service: output shape mismatch");
+  const float diff = max_abs_diff(golden, output);
+  if (diff > cfg_.tolerance) {
+    ++faults_;
+    return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> FaultInjector::parametric_nodes(const Graph& g) const {
+  std::vector<NodeId> out;
+  for (NodeId id : g.topo_order()) {
+    const Node& n = g.node(id);
+    if ((n.kind == OpKind::kConv2d || n.kind == OpKind::kDense) && !n.weights.empty()) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+void FaultInjector::flip_weight_bits(Graph& g, std::size_t n_bits) {
+  const auto nodes = parametric_nodes(g);
+  VEDLIOT_CHECK(!nodes.empty(), "graph has no parametric nodes to fault");
+  for (std::size_t i = 0; i < n_bits; ++i) {
+    const auto nid = nodes[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(nodes.size()) - 1))];
+    Tensor& w = g.node(nid).weights[0];
+    const auto idx = static_cast<std::size_t>(rng_.uniform_int(0, w.numel() - 1));
+    // Flip within bits 20..29 (high mantissa / low exponent): visible but
+    // rarely produces inf/nan, like real SEUs in practice.
+    const int bit = static_cast<int>(rng_.uniform_int(20, 29));
+    auto u = std::bit_cast<std::uint32_t>(w.at(idx));
+    u ^= (1u << bit);
+    w.at(idx) = std::bit_cast<float>(u);
+  }
+}
+
+void FaultInjector::zero_random_channel(Graph& g) {
+  const auto nodes = parametric_nodes(g);
+  VEDLIOT_CHECK(!nodes.empty(), "graph has no parametric nodes to fault");
+  const auto nid = nodes[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(nodes.size()) - 1))];
+  Tensor& w = g.node(nid).weights[0];
+  const auto oc = w.shape().dim(0);
+  const auto per = static_cast<std::size_t>(w.numel() / oc);
+  const auto c = static_cast<std::size_t>(rng_.uniform_int(0, oc - 1));
+  auto chan = w.data().subspan(c * per, per);
+  std::fill(chan.begin(), chan.end(), 0.0f);
+}
+
+void FaultInjector::scale_random_layer(Graph& g, float factor) {
+  const auto nodes = parametric_nodes(g);
+  VEDLIOT_CHECK(!nodes.empty(), "graph has no parametric nodes to fault");
+  const auto nid = nodes[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(nodes.size()) - 1))];
+  for (float& v : g.node(nid).weights[0].data()) v *= factor;
+}
+
+}  // namespace vedliot::safety

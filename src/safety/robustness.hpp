@@ -1,0 +1,68 @@
+#pragma once
+/// \file robustness.hpp
+/// \brief Output robustness service (Sec. IV-B, second direction):
+/// "periodically submitting both the input and the output data to a
+/// robustness service, which holds a copy of the DL model and can verify
+/// the correctness of the output data" — catching systematic faults
+/// injected into the deployed model at run time (hardware faults, attacks).
+
+#include <cstdint>
+#include <memory>
+
+#include "graph/graph.hpp"
+#include "runtime/executor.hpp"
+#include "util/rng.hpp"
+
+namespace vedliot::safety {
+
+/// Holds a golden copy of the model and re-checks sampled (input, output)
+/// pairs against it.
+class RobustnessService {
+ public:
+  struct Config {
+    std::size_t check_period = 8;  ///< verify every n-th submission
+    double tolerance = 1e-4;       ///< max |golden - submitted| per element
+  };
+
+  /// Takes its own clone of the (weights-materialized) graph — the golden
+  /// reference is intentionally independent of the deployed instance.
+  RobustnessService(const Graph& golden_model, Config config);
+
+  /// Submit an observed pair; returns true if the pair was actually checked
+  /// this round (period-sampled) and found faulty.
+  bool submit(const Tensor& input, const Tensor& output);
+
+  std::size_t submissions() const { return submissions_; }
+  std::size_t checks_run() const { return checks_; }
+  std::size_t faults_detected() const { return faults_; }
+
+ private:
+  Graph golden_;
+  std::unique_ptr<Executor> exec_;
+  Config cfg_;
+  std::size_t submissions_ = 0;
+  std::size_t checks_ = 0;
+  std::size_t faults_ = 0;
+};
+
+/// Run-time fault injector: emulates the systematic faults the service must
+/// catch (bit flips in weights, zeroed channels, stuck activations).
+class FaultInjector {
+ public:
+  explicit FaultInjector(Rng& rng) : rng_(rng) {}
+
+  /// Flip one random mantissa/exponent bit in n random weights.
+  void flip_weight_bits(Graph& g, std::size_t n_bits);
+
+  /// Zero an entire randomly-chosen output channel of a random conv layer.
+  void zero_random_channel(Graph& g);
+
+  /// Scale all weights of one random layer (gain fault / attack).
+  void scale_random_layer(Graph& g, float factor);
+
+ private:
+  std::vector<NodeId> parametric_nodes(const Graph& g) const;
+  Rng& rng_;
+};
+
+}  // namespace vedliot::safety

@@ -1,0 +1,67 @@
+#include "security/attestation.hpp"
+
+namespace vedliot::security {
+
+std::vector<std::uint8_t> Quote::signed_payload() const {
+  std::vector<std::uint8_t> p(device_id.begin(), device_id.end());
+  p.push_back(0);  // separator so ids can't collide into measurements
+  p.insert(p.end(), measurement.begin(), measurement.end());
+  for (int i = 0; i < 8; ++i) p.push_back(static_cast<std::uint8_t>(nonce >> (8 * i)));
+  p.insert(p.end(), prev.begin(), prev.end());
+  return p;
+}
+
+Key AttestationAuthority::provision(const std::string& device_id) const {
+  return derive_key(root_, "device:" + device_id);
+}
+
+bool AttestationAuthority::verify(const Quote& q, std::uint64_t expected_nonce) const {
+  if (q.nonce != expected_nonce) return false;
+  const Key dk = provision(q.device_id);
+  const Digest expected = hmac_sha256(dk, q.signed_payload());
+  return digest_equal(expected, q.mac);
+}
+
+bool AttestationAuthority::verify_chain(const std::vector<Quote>& chain,
+                                        std::uint64_t expected_nonce) const {
+  if (chain.empty()) return false;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const Quote& q = chain[i];
+    // Inner quotes are fresh per-hop; only the outermost carries the
+    // verifier's nonce. Each MAC must hold regardless.
+    const Key dk = provision(q.device_id);
+    if (!digest_equal(hmac_sha256(dk, q.signed_payload()), q.mac)) return false;
+    if (i > 0) {
+      if (!digest_equal(q.prev, quote_hash(chain[i - 1]))) return false;
+    }
+  }
+  return chain.back().nonce == expected_nonce;
+}
+
+Quote DeviceAgent::quote(const Digest& measurement, std::uint64_t nonce) const {
+  Quote q;
+  q.device_id = id_;
+  q.measurement = measurement;
+  q.nonce = nonce;
+  q.mac = hmac_sha256(key_, q.signed_payload());
+  return q;
+}
+
+Quote DeviceAgent::quote_over(const Quote& previous, const Digest& own_measurement,
+                              std::uint64_t nonce) const {
+  Quote q;
+  q.device_id = id_;
+  q.measurement = own_measurement;
+  q.nonce = nonce;
+  q.prev = quote_hash(previous);
+  q.mac = hmac_sha256(key_, q.signed_payload());
+  return q;
+}
+
+Digest quote_hash(const Quote& q) {
+  auto payload = q.signed_payload();
+  payload.insert(payload.end(), q.mac.begin(), q.mac.end());
+  return sha256(payload);
+}
+
+}  // namespace vedliot::security

@@ -1,0 +1,72 @@
+#pragma once
+/// \file attestation.hpp
+/// \brief Distributed remote attestation (Sec. IV-C: "end-to-end trust
+/// through a distributed attestation mechanism").
+///
+/// Symmetric-key scheme: an AttestationAuthority provisions each device a
+/// key derived from its root secret; devices produce quotes binding
+/// (device id, enclave measurement, verifier nonce); chains of quotes let a
+/// cloud verifier attest an edge node that in turn attests leaf devices.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "security/crypto.hpp"
+
+namespace vedliot::security {
+
+struct Quote {
+  std::string device_id;
+  Digest measurement{};         ///< MRENCLAVE of the attested enclave
+  std::uint64_t nonce = 0;      ///< verifier freshness challenge
+  Digest prev{};                ///< hash of the previous quote in a chain
+  Digest mac{};                 ///< HMAC over all fields with the device key
+
+  std::vector<std::uint8_t> signed_payload() const;
+};
+
+/// The provisioning root (plays the role of the manufacturer / IAS).
+class AttestationAuthority {
+ public:
+  explicit AttestationAuthority(Key root) : root_(root) {}
+
+  /// Derive the per-device key (burned into the device at manufacture).
+  Key provision(const std::string& device_id) const;
+
+  /// Verify a single quote's MAC and freshness nonce.
+  bool verify(const Quote& q, std::uint64_t expected_nonce) const;
+
+  /// Verify a chain: quote[0] is the leaf; each quote[i>0] must embed the
+  /// hash of quote[i-1] in its `prev` field. All MACs must verify and the
+  /// outermost quote must carry the verifier's nonce.
+  bool verify_chain(const std::vector<Quote>& chain, std::uint64_t expected_nonce) const;
+
+ private:
+  Key root_;
+};
+
+/// Device-side agent holding the provisioned key.
+class DeviceAgent {
+ public:
+  DeviceAgent(std::string device_id, Key device_key)
+      : id_(std::move(device_id)), key_(device_key) {}
+
+  /// Produce a quote for an enclave measurement against a nonce.
+  Quote quote(const Digest& measurement, std::uint64_t nonce) const;
+
+  /// Produce a chained quote that vouches for a previous quote.
+  Quote quote_over(const Quote& previous, const Digest& own_measurement,
+                   std::uint64_t nonce) const;
+
+  const std::string& id() const { return id_; }
+
+ private:
+  std::string id_;
+  Key key_;
+};
+
+/// Hash of a quote (for chaining).
+Digest quote_hash(const Quote& q);
+
+}  // namespace vedliot::security

@@ -1,0 +1,235 @@
+#include "security/crypto.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace vedliot::security {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 64> kSha256K = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2};
+
+inline std::uint32_t rotr(std::uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+inline std::uint32_t rotl(std::uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+}  // namespace
+
+Sha256::Sha256()
+    : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+             0x5be0cd19} {}
+
+void Sha256::process_block(const std::uint8_t* block) {
+  std::uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 64; ++i) {
+    const std::uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  auto [a, b, c, d, e, f, g, h] = state_;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t t1 = h + s1 + ch + kSha256K[static_cast<std::size_t>(i)] + w[i];
+    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+void Sha256::update(std::span<const std::uint8_t> data) {
+  total_ += data.size();
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::size_t take = std::min<std::size_t>(64 - buffered_, data.size() - i);
+    std::memcpy(buffer_.data() + buffered_, data.data() + i, take);
+    buffered_ += take;
+    i += take;
+    if (buffered_ == 64) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+}
+
+void Sha256::update(std::string_view text) {
+  update(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(text.data()),
+                                       text.size()));
+}
+
+Digest Sha256::finish() {
+  const std::uint64_t bit_len = total_ * 8;
+  const std::uint8_t pad = 0x80;
+  update(std::span<const std::uint8_t>(&pad, 1));
+  const std::uint8_t zero = 0;
+  while (buffered_ != 56) update(std::span<const std::uint8_t>(&zero, 1));
+  std::array<std::uint8_t, 8> len;
+  for (int i = 0; i < 8; ++i) len[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  update(len);
+  VEDLIOT_ASSERT(buffered_ == 0);
+  Digest out;
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(4 * i)] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 24);
+    out[static_cast<std::size_t>(4 * i + 1)] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 16);
+    out[static_cast<std::size_t>(4 * i + 2)] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 8);
+    out[static_cast<std::size_t>(4 * i + 3)] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+Digest sha256(std::span<const std::uint8_t> data) {
+  Sha256 h;
+  h.update(data);
+  return h.finish();
+}
+
+Digest sha256(std::string_view text) {
+  Sha256 h;
+  h.update(text);
+  return h.finish();
+}
+
+Digest hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> message) {
+  std::array<std::uint8_t, 64> k{};
+  if (key.size() > 64) {
+    const Digest d = sha256(key);
+    std::memcpy(k.data(), d.data(), d.size());
+  } else {
+    std::memcpy(k.data(), key.data(), key.size());
+  }
+  std::array<std::uint8_t, 64> ipad, opad;
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  const Digest inner_d = inner.finish();
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_d);
+  return outer.finish();
+}
+
+namespace {
+void chacha_quarter(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c, std::uint32_t& d) {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+
+std::array<std::uint8_t, 64> chacha20_block(const Key& key, const std::array<std::uint8_t, 12>& nonce,
+                                            std::uint32_t counter) {
+  std::uint32_t s[16];
+  s[0] = 0x61707865; s[1] = 0x3320646e; s[2] = 0x79622d32; s[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) {
+    s[4 + i] = static_cast<std::uint32_t>(key[static_cast<std::size_t>(4 * i)]) |
+               (static_cast<std::uint32_t>(key[static_cast<std::size_t>(4 * i + 1)]) << 8) |
+               (static_cast<std::uint32_t>(key[static_cast<std::size_t>(4 * i + 2)]) << 16) |
+               (static_cast<std::uint32_t>(key[static_cast<std::size_t>(4 * i + 3)]) << 24);
+  }
+  s[12] = counter;
+  for (int i = 0; i < 3; ++i) {
+    s[13 + i] = static_cast<std::uint32_t>(nonce[static_cast<std::size_t>(4 * i)]) |
+                (static_cast<std::uint32_t>(nonce[static_cast<std::size_t>(4 * i + 1)]) << 8) |
+                (static_cast<std::uint32_t>(nonce[static_cast<std::size_t>(4 * i + 2)]) << 16) |
+                (static_cast<std::uint32_t>(nonce[static_cast<std::size_t>(4 * i + 3)]) << 24);
+  }
+  std::uint32_t x[16];
+  std::memcpy(x, s, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    chacha_quarter(x[0], x[4], x[8], x[12]);
+    chacha_quarter(x[1], x[5], x[9], x[13]);
+    chacha_quarter(x[2], x[6], x[10], x[14]);
+    chacha_quarter(x[3], x[7], x[11], x[15]);
+    chacha_quarter(x[0], x[5], x[10], x[15]);
+    chacha_quarter(x[1], x[6], x[11], x[12]);
+    chacha_quarter(x[2], x[7], x[8], x[13]);
+    chacha_quarter(x[3], x[4], x[9], x[14]);
+  }
+  std::array<std::uint8_t, 64> out;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = x[i] + s[i];
+    out[static_cast<std::size_t>(4 * i)] = static_cast<std::uint8_t>(v);
+    out[static_cast<std::size_t>(4 * i + 1)] = static_cast<std::uint8_t>(v >> 8);
+    out[static_cast<std::size_t>(4 * i + 2)] = static_cast<std::uint8_t>(v >> 16);
+    out[static_cast<std::size_t>(4 * i + 3)] = static_cast<std::uint8_t>(v >> 24);
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<std::uint8_t> chacha20_xor(const Key& key, const std::array<std::uint8_t, 12>& nonce,
+                                       std::uint32_t counter, std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> out(data.begin(), data.end());
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const auto ks = chacha20_block(key, nonce, counter++);
+    const std::size_t take = std::min<std::size_t>(64, out.size() - off);
+    for (std::size_t i = 0; i < take; ++i) out[off + i] ^= ks[i];
+    off += take;
+  }
+  return out;
+}
+
+Key derive_key(const Key& parent, std::string_view label) {
+  const Digest d = hmac_sha256(
+      parent, std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(label.data()),
+                                            label.size()));
+  Key k;
+  std::memcpy(k.data(), d.data(), k.size());
+  return k;
+}
+
+bool digest_equal(const Digest& a, const Digest& b) {
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return diff == 0;
+}
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace vedliot::security

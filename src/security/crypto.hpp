@@ -1,0 +1,55 @@
+#pragma once
+/// \file crypto.hpp
+/// \brief Minimal cryptographic primitives for the trusted-computing stack
+/// (Sec. IV-C): SHA-256 measurements, HMAC-SHA256 attestation MACs and
+/// ChaCha20 sealing. Implemented from scratch (no external deps); SHA-256
+/// and ChaCha20 are validated against published test vectors in the tests.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vedliot::security {
+
+using Digest = std::array<std::uint8_t, 32>;
+using Key = std::array<std::uint8_t, 32>;
+
+/// SHA-256 of a byte span.
+Digest sha256(std::span<const std::uint8_t> data);
+Digest sha256(std::string_view text);
+
+/// Incremental SHA-256 (for measuring multi-part enclave images).
+class Sha256 {
+ public:
+  Sha256();
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view text);
+  Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// HMAC-SHA256.
+Digest hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> message);
+
+/// ChaCha20 stream cipher (RFC 8439 block function); encrypt == decrypt.
+std::vector<std::uint8_t> chacha20_xor(const Key& key, const std::array<std::uint8_t, 12>& nonce,
+                                       std::uint32_t counter, std::span<const std::uint8_t> data);
+
+/// HKDF-style key derivation: HMAC(key, label) truncated to a Key.
+Key derive_key(const Key& parent, std::string_view label);
+
+/// Constant-time comparison.
+bool digest_equal(const Digest& a, const Digest& b);
+
+/// Lowercase hex rendering (for logs/reports).
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+}  // namespace vedliot::security

@@ -1,0 +1,78 @@
+#include "security/enclave.hpp"
+
+#include <cstring>
+
+namespace vedliot::security {
+
+Enclave::Enclave(EnclaveConfig config, WModule module, Key platform_root)
+    : config_(config),
+      measurement_(sha256(module.serialize())),
+      platform_root_(platform_root),
+      vm_(std::move(module)) {}
+
+void Enclave::add_host(HostImport import) {
+  // Wrap the import so every invocation is accounted as an OCALL.
+  HostFn inner = std::move(import.fn);
+  import.fn = [this, inner](HostContext& ctx, const std::vector<std::int32_t>& args) {
+    ++ledger_.ocalls;
+    ledger_.simulated_ns += config_.ocall_ns;
+    return inner(ctx, args);
+  };
+  vm_.add_host(std::move(import));
+}
+
+std::int32_t Enclave::ecall(const std::string& fn, const std::vector<std::int32_t>& args) {
+  ++ledger_.ecalls;
+  ledger_.simulated_ns += config_.ecall_ns;
+  const std::uint64_t before = vm_.instructions_retired();
+  const std::int32_t result = vm_.invoke(fn, args);
+  const std::uint64_t executed = vm_.instructions_retired() - before;
+  ledger_.vm_instructions += executed;
+  ledger_.simulated_ns += static_cast<double>(executed) * config_.vm_ns_per_instr;
+
+  // EPC paging: if the module's linear memory exceeds the usable EPC, every
+  // ecall pays eviction traffic proportional to the overflow.
+  const double mem_kib = static_cast<double>(vm_.memory().size()) / 1024.0;
+  if (mem_kib > config_.epc_kib) {
+    ledger_.simulated_ns += (mem_kib - config_.epc_kib) * config_.paging_ns_per_kib;
+  }
+  return result;
+}
+
+Key Enclave::sealing_key() const {
+  // KDF over the hardware root and MRENCLAVE, as in SGX's EGETKEY with the
+  // MRENCLAVE policy.
+  Key k = derive_key(platform_root_, "vedliot-seal");
+  Digest d = hmac_sha256(k, measurement_);
+  Key out;
+  std::memcpy(out.data(), d.data(), out.size());
+  return out;
+}
+
+SealedBlob Enclave::seal(std::span<const std::uint8_t> data) {
+  SealedBlob blob;
+  // Deterministic per-enclave nonce counter (a real implementation uses a
+  // hardware RNG; a counter keeps tests reproducible and is still unique).
+  ++seal_counter_;
+  std::memcpy(blob.nonce.data(), &seal_counter_, sizeof(seal_counter_));
+  const Key k = sealing_key();
+  blob.ciphertext = chacha20_xor(k, blob.nonce, 1, data);
+
+  std::vector<std::uint8_t> mac_input(blob.nonce.begin(), blob.nonce.end());
+  mac_input.insert(mac_input.end(), blob.ciphertext.begin(), blob.ciphertext.end());
+  blob.mac = hmac_sha256(k, mac_input);
+  return blob;
+}
+
+std::vector<std::uint8_t> Enclave::unseal(const SealedBlob& blob) {
+  const Key k = sealing_key();
+  std::vector<std::uint8_t> mac_input(blob.nonce.begin(), blob.nonce.end());
+  mac_input.insert(mac_input.end(), blob.ciphertext.begin(), blob.ciphertext.end());
+  const Digest expected = hmac_sha256(k, mac_input);
+  if (!digest_equal(expected, blob.mac)) {
+    throw EnclaveError("sealed blob MAC mismatch (tampered or wrong enclave identity)");
+  }
+  return chacha20_xor(k, blob.nonce, 1, blob.ciphertext);
+}
+
+}  // namespace vedliot::security

@@ -1,0 +1,84 @@
+#pragma once
+/// \file enclave.hpp
+/// \brief SGX-style trusted execution environment model (Sec. IV-C).
+///
+/// Reproduces the mechanics that determine Twine's measured overheads [17]:
+/// expensive ECALL/OCALL world transitions, interpreter execution of the
+/// sandboxed module, EPC paging penalties when the working set exceeds the
+/// protected memory, measurement-based sealing and a cost ledger so
+/// benchmarks can report native vs VM vs VM+enclave ratios.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "security/crypto.hpp"
+#include "security/wasm.hpp"
+
+namespace vedliot::security {
+
+struct EnclaveConfig {
+  double ecall_ns = 8000;          ///< world entry (measured ~8 us on SGX1)
+  double ocall_ns = 8500;          ///< world exit + return
+  double epc_kib = 93 * 1024;      ///< usable EPC before paging
+  double paging_ns_per_kib = 3500; ///< EPC eviction cost
+  double vm_ns_per_instr = 2.0;    ///< interpreter cost inside the enclave
+};
+
+struct CostLedger {
+  std::uint64_t ecalls = 0;
+  std::uint64_t ocalls = 0;
+  std::uint64_t vm_instructions = 0;
+  double simulated_ns = 0;
+};
+
+struct SealedBlob {
+  std::array<std::uint8_t, 12> nonce{};
+  std::vector<std::uint8_t> ciphertext;
+  Digest mac{};
+};
+
+class EnclaveError : public Error {
+ public:
+  explicit EnclaveError(const std::string& message) : Error(message) {}
+};
+
+/// A loaded enclave hosting one WASM-like module.
+class Enclave {
+ public:
+  /// \param platform_root the device's hardware root key (fused).
+  Enclave(EnclaveConfig config, WModule module, Key platform_root);
+
+  /// MRENCLAVE: SHA-256 over the module image.
+  const Digest& measurement() const { return measurement_; }
+
+  /// Register a host import. Calls made by the module to host imports are
+  /// OCALLs and accrue transition cost.
+  void add_host(HostImport import);
+
+  /// Enter the enclave and run a module function (an ECALL).
+  std::int32_t ecall(const std::string& fn, const std::vector<std::int32_t>& args);
+
+  /// Seal data to this enclave identity (MRENCLAVE policy): only an enclave
+  /// with the same measurement on the same platform can unseal.
+  SealedBlob seal(std::span<const std::uint8_t> data);
+
+  /// Unseal; throws EnclaveError on MAC mismatch (wrong enclave/platform or
+  /// tampered blob).
+  std::vector<std::uint8_t> unseal(const SealedBlob& blob);
+
+  const CostLedger& ledger() const { return ledger_; }
+  WasmVm& vm() { return vm_; }
+
+ private:
+  Key sealing_key() const;
+
+  EnclaveConfig config_;
+  Digest measurement_;
+  Key platform_root_;
+  WasmVm vm_;
+  CostLedger ledger_;
+  std::uint32_t seal_counter_ = 0;
+};
+
+}  // namespace vedliot::security

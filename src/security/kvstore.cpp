@@ -1,0 +1,249 @@
+#include "security/kvstore.hpp"
+
+#include <map>
+
+#include "util/error.hpp"
+
+namespace vedliot::security {
+
+NativeKvStore::NativeKvStore(std::uint32_t capacity) : capacity_(capacity), slots_(capacity) {
+  VEDLIOT_CHECK(capacity > 0, "KV store capacity must be positive");
+}
+
+bool NativeKvStore::put(std::uint32_t key, std::int32_t value) {
+  std::uint32_t idx = key % capacity_;
+  for (std::uint32_t probes = 0; probes < capacity_; ++probes) {
+    Slot& s = slots_[idx];
+    if (s.state == 0) {
+      s.state = 1;
+      s.key = key;
+      s.value = value;
+      ++size_;
+      return true;
+    }
+    if (s.key == key) {
+      s.value = value;
+      return true;
+    }
+    idx = (idx + 1) % capacity_;
+  }
+  return false;
+}
+
+std::optional<std::int32_t> NativeKvStore::get(std::uint32_t key) const {
+  std::uint32_t idx = key % capacity_;
+  for (std::uint32_t probes = 0; probes < capacity_; ++probes) {
+    const Slot& s = slots_[idx];
+    if (s.state == 0) return std::nullopt;
+    if (s.key == key) return s.value;
+    idx = (idx + 1) % capacity_;
+  }
+  return std::nullopt;
+}
+
+std::int64_t NativeKvStore::sum() const {
+  std::int64_t acc = 0;
+  for (const Slot& s : slots_) {
+    if (s.state != 0) acc += s.value;
+  }
+  return acc;
+}
+
+namespace {
+
+/// Tiny flat-bytecode assembler with label patching.
+class Asm {
+ public:
+  std::uint32_t here() const { return static_cast<std::uint32_t>(code_.size()); }
+
+  void emit(WOp op, std::int32_t imm = 0) { code_.push_back({op, imm}); }
+
+  int new_label() {
+    labels_.push_back(-1);
+    return static_cast<int>(labels_.size() - 1);
+  }
+
+  void bind(int label) { labels_[static_cast<std::size_t>(label)] = static_cast<std::int32_t>(here()); }
+
+  void emit_jump(WOp op, int label) {
+    fixups_.emplace_back(here(), label);
+    code_.push_back({op, -1});
+  }
+
+  std::vector<WInstr> finish() {
+    for (const auto& [at, label] : fixups_) {
+      const std::int32_t target = labels_[static_cast<std::size_t>(label)];
+      VEDLIOT_ASSERT(target >= 0);
+      code_[at].imm = target;
+    }
+    return std::move(code_);
+  }
+
+ private:
+  std::vector<WInstr> code_;
+  std::vector<std::int32_t> labels_;
+  std::vector<std::pair<std::size_t, int>> fixups_;
+};
+
+}  // namespace
+
+WModule build_kv_module(std::uint32_t capacity) {
+  VEDLIOT_CHECK(capacity > 0, "KV module capacity must be positive");
+  const auto cap = static_cast<std::int32_t>(capacity);
+  WModule m;
+  m.memory_bytes = capacity * 12 + 64;
+
+  Asm a;
+
+  // ---- kv_put(key, value): locals 0=key 1=value 2=idx 3=probes 4=addr ----
+  const std::uint32_t put_entry = a.here();
+  {
+    const int loop = a.new_label(), fail = a.new_label(), write_new = a.new_label(),
+              write_val = a.new_label(), next = a.new_label();
+    a.emit(WOp::kLocalGet, 0);
+    a.emit(WOp::kConst, cap);
+    a.emit(WOp::kRemS);
+    a.emit(WOp::kLocalSet, 2);
+    a.emit(WOp::kConst, 0);
+    a.emit(WOp::kLocalSet, 3);
+    a.bind(loop);
+    a.emit(WOp::kLocalGet, 3);
+    a.emit(WOp::kConst, cap);
+    a.emit(WOp::kLtS);
+    a.emit_jump(WOp::kJmpIfZ, fail);
+    a.emit(WOp::kLocalGet, 2);
+    a.emit(WOp::kConst, 12);
+    a.emit(WOp::kMul);
+    a.emit(WOp::kLocalSet, 4);
+    a.emit(WOp::kLocalGet, 4);
+    a.emit(WOp::kLoad, 0);                 // state
+    a.emit_jump(WOp::kJmpIfZ, write_new);  // empty -> claim
+    a.emit(WOp::kLocalGet, 4);
+    a.emit(WOp::kLoad, 4);                 // stored key
+    a.emit(WOp::kLocalGet, 0);
+    a.emit(WOp::kEq);
+    a.emit_jump(WOp::kJmpIfZ, next);       // different key -> probe on
+    a.emit_jump(WOp::kJmp, write_val);     // match -> update value
+    a.bind(write_new);
+    a.emit(WOp::kLocalGet, 4);
+    a.emit(WOp::kConst, 1);
+    a.emit(WOp::kStore, 0);                // state = 1
+    a.emit(WOp::kLocalGet, 4);
+    a.emit(WOp::kLocalGet, 0);
+    a.emit(WOp::kStore, 4);                // key
+    a.bind(write_val);
+    a.emit(WOp::kLocalGet, 4);
+    a.emit(WOp::kLocalGet, 1);
+    a.emit(WOp::kStore, 8);                // value
+    a.emit(WOp::kConst, 1);
+    a.emit(WOp::kRet);
+    a.bind(next);
+    a.emit(WOp::kLocalGet, 2);
+    a.emit(WOp::kConst, 1);
+    a.emit(WOp::kAdd);
+    a.emit(WOp::kConst, cap);
+    a.emit(WOp::kRemS);
+    a.emit(WOp::kLocalSet, 2);
+    a.emit(WOp::kLocalGet, 3);
+    a.emit(WOp::kConst, 1);
+    a.emit(WOp::kAdd);
+    a.emit(WOp::kLocalSet, 3);
+    a.emit_jump(WOp::kJmp, loop);
+    a.bind(fail);
+    a.emit(WOp::kConst, 0);
+    a.emit(WOp::kRet);
+  }
+
+  // ---- kv_get(key): locals 0=key 2=idx 3=probes 4=addr ----
+  const std::uint32_t get_entry = a.here();
+  {
+    const int loop = a.new_label(), absent = a.new_label(), next = a.new_label();
+    a.emit(WOp::kLocalGet, 0);
+    a.emit(WOp::kConst, cap);
+    a.emit(WOp::kRemS);
+    a.emit(WOp::kLocalSet, 2);
+    a.emit(WOp::kConst, 0);
+    a.emit(WOp::kLocalSet, 3);
+    a.bind(loop);
+    a.emit(WOp::kLocalGet, 3);
+    a.emit(WOp::kConst, cap);
+    a.emit(WOp::kLtS);
+    a.emit_jump(WOp::kJmpIfZ, absent);
+    a.emit(WOp::kLocalGet, 2);
+    a.emit(WOp::kConst, 12);
+    a.emit(WOp::kMul);
+    a.emit(WOp::kLocalSet, 4);
+    a.emit(WOp::kLocalGet, 4);
+    a.emit(WOp::kLoad, 0);
+    a.emit_jump(WOp::kJmpIfZ, absent);    // empty slot: key cannot be later
+    a.emit(WOp::kLocalGet, 4);
+    a.emit(WOp::kLoad, 4);
+    a.emit(WOp::kLocalGet, 0);
+    a.emit(WOp::kEq);
+    a.emit_jump(WOp::kJmpIfZ, next);
+    a.emit(WOp::kLocalGet, 4);
+    a.emit(WOp::kLoad, 8);
+    a.emit(WOp::kRet);
+    a.bind(next);
+    a.emit(WOp::kLocalGet, 2);
+    a.emit(WOp::kConst, 1);
+    a.emit(WOp::kAdd);
+    a.emit(WOp::kConst, cap);
+    a.emit(WOp::kRemS);
+    a.emit(WOp::kLocalSet, 2);
+    a.emit(WOp::kLocalGet, 3);
+    a.emit(WOp::kConst, 1);
+    a.emit(WOp::kAdd);
+    a.emit(WOp::kLocalSet, 3);
+    a.emit_jump(WOp::kJmp, loop);
+    a.bind(absent);
+    a.emit(WOp::kConst, -1);
+    a.emit(WOp::kRet);
+  }
+
+  // ---- kv_sum(): locals 0=i 1=acc 2=addr ----
+  const std::uint32_t sum_entry = a.here();
+  {
+    const int loop = a.new_label(), done = a.new_label(), skip = a.new_label();
+    a.emit(WOp::kConst, 0);
+    a.emit(WOp::kLocalSet, 0);
+    a.emit(WOp::kConst, 0);
+    a.emit(WOp::kLocalSet, 1);
+    a.bind(loop);
+    a.emit(WOp::kLocalGet, 0);
+    a.emit(WOp::kConst, cap);
+    a.emit(WOp::kLtS);
+    a.emit_jump(WOp::kJmpIfZ, done);
+    a.emit(WOp::kLocalGet, 0);
+    a.emit(WOp::kConst, 12);
+    a.emit(WOp::kMul);
+    a.emit(WOp::kLocalSet, 2);
+    a.emit(WOp::kLocalGet, 2);
+    a.emit(WOp::kLoad, 0);
+    a.emit_jump(WOp::kJmpIfZ, skip);
+    a.emit(WOp::kLocalGet, 1);
+    a.emit(WOp::kLocalGet, 2);
+    a.emit(WOp::kLoad, 8);
+    a.emit(WOp::kAdd);
+    a.emit(WOp::kLocalSet, 1);
+    a.bind(skip);
+    a.emit(WOp::kLocalGet, 0);
+    a.emit(WOp::kConst, 1);
+    a.emit(WOp::kAdd);
+    a.emit(WOp::kLocalSet, 0);
+    a.emit_jump(WOp::kJmp, loop);
+    a.bind(done);
+    a.emit(WOp::kLocalGet, 1);
+    a.emit(WOp::kRet);
+  }
+
+  m.code = a.finish();
+  m.functions = {
+      {"kv_put", put_entry, 2, 5, true},
+      {"kv_get", get_entry, 1, 5, true},
+      {"kv_sum", sum_entry, 0, 3, true},
+  };
+  return m;
+}
+
+}  // namespace vedliot::security

@@ -1,0 +1,53 @@
+#pragma once
+/// \file kvstore.hpp
+/// \brief Embedded key-value store workload for the Twine reproduction.
+///
+/// Ref [17] runs SQLite natively, inside a WASM runtime, and inside
+/// WASM + SGX, and reports small overheads. We reproduce the *mechanics*
+/// with an embedded KV store (open-addressing hash table): the identical
+/// data structure implemented (a) in C++ and (b) in the sandbox bytecode
+/// operating on linear memory, so the native / VM / VM+enclave ratios come
+/// from real interpreted execution, not from assumed constants.
+
+#include <cstdint>
+#include <optional>
+
+#include "security/wasm.hpp"
+
+namespace vedliot::security {
+
+/// Native reference: open-addressing (linear probing) u32 -> i32 table with
+/// the same slot layout the bytecode uses (12 bytes: state, key, value).
+class NativeKvStore {
+ public:
+  explicit NativeKvStore(std::uint32_t capacity);
+
+  /// Insert or update; returns false when the table is full.
+  bool put(std::uint32_t key, std::int32_t value);
+
+  /// Lookup; nullopt when absent.
+  std::optional<std::int32_t> get(std::uint32_t key) const;
+
+  /// Full scan: sum of all stored values (the "aggregate query").
+  std::int64_t sum() const;
+
+  std::uint32_t size() const { return size_; }
+  std::uint32_t capacity() const { return capacity_; }
+
+ private:
+  struct Slot {
+    std::uint32_t state = 0;
+    std::uint32_t key = 0;
+    std::int32_t value = 0;
+  };
+  std::uint32_t capacity_;
+  std::uint32_t size_ = 0;
+  std::vector<Slot> slots_;
+};
+
+/// Build the bytecode module implementing the same table in linear memory.
+/// Exports: kv_put(key, value) -> 1/0, kv_get(key) -> value or -1,
+/// kv_sum() -> sum of values (i32 wrap-around semantics).
+WModule build_kv_module(std::uint32_t capacity);
+
+}  // namespace vedliot::security

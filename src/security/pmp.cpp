@@ -1,0 +1,89 @@
+#include "security/pmp.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace vedliot::security {
+
+PmpUnit::PmpUnit(std::size_t entries) : entries_(entries) {
+  VEDLIOT_CHECK(entries <= 64, "PMP supports at most 64 entries");
+}
+
+void PmpUnit::configure(std::size_t index, const PmpEntry& entry) {
+  VEDLIOT_CHECK(index < entries_.size(), "PMP entry index out of range");
+  if (entries_[index].locked) {
+    throw InvalidArgument("PMP entry " + std::to_string(index) + " is locked");
+  }
+  // A locked TOR entry also locks the preceding address register (spec).
+  entries_[index] = entry;
+}
+
+const PmpEntry& PmpUnit::entry(std::size_t index) const {
+  VEDLIOT_CHECK(index < entries_.size(), "PMP entry index out of range");
+  return entries_[index];
+}
+
+void PmpUnit::reset() {
+  for (auto& e : entries_) e = PmpEntry{};
+}
+
+bool PmpUnit::entry_matches(std::size_t i, std::uint32_t word_addr) const {
+  const PmpEntry& e = entries_[i];
+  switch (e.mode) {
+    case AddressMatch::kOff:
+      return false;
+    case AddressMatch::kTor: {
+      const std::uint32_t lo = i == 0 ? 0 : entries_[i - 1].addr;
+      return word_addr >= lo && word_addr < e.addr;
+    }
+    case AddressMatch::kNapot: {
+      // pmpaddr = base_words | (size_words/2 - 1): the trailing-ones run t
+      // encodes size_words = 2^(t+1); the base has the low t+1 bits clear.
+      std::uint32_t t = 0;
+      std::uint32_t a = e.addr;
+      while (a & 1u) {
+        a >>= 1;
+        ++t;
+      }
+      const std::uint32_t size_words = 1u << (t + 1);
+      const std::uint32_t base_words = e.addr & ~(size_words - 1u);
+      return word_addr >= base_words && word_addr < base_words + size_words;
+    }
+  }
+  return false;
+}
+
+std::optional<std::size_t> PmpUnit::match(std::uint32_t byte_addr) const {
+  const std::uint32_t word = byte_addr >> 2;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entry_matches(i, word)) return i;
+  }
+  return std::nullopt;
+}
+
+bool PmpUnit::check(std::uint32_t byte_addr, Access access, Privilege priv) const {
+  const auto m = match(byte_addr);
+  if (!m) {
+    // No matching entry: M-mode succeeds, U-mode fails (when PMP present).
+    return priv == Privilege::kMachine;
+  }
+  const PmpEntry& e = entries_[*m];
+  if (priv == Privilege::kMachine && !e.locked) return true;
+  switch (access) {
+    case Access::kRead: return e.r;
+    case Access::kWrite: return e.w;
+    case Access::kExecute: return e.x;
+  }
+  return false;
+}
+
+std::uint32_t napot_encode(std::uint32_t base, std::uint32_t size) {
+  VEDLIOT_CHECK(size >= 8 && (size & (size - 1)) == 0, "NAPOT size must be a power of two >= 8");
+  VEDLIOT_CHECK(base % size == 0, "NAPOT base must be size-aligned");
+  const std::uint32_t word_base = base >> 2;
+  const std::uint32_t word_size = size >> 2;
+  return word_base | ((word_size >> 1) - 1);
+}
+
+}  // namespace vedliot::security

@@ -1,0 +1,65 @@
+#pragma once
+/// \file pmp.hpp
+/// \brief RISC-V Physical Memory Protection unit (Sec. IV-C): the VexRiscv
+/// TEE contribution. Models the standard pmpcfg/pmpaddr semantics for
+/// TOR (top-of-range) and NAPOT regions with M-mode/U-mode privilege
+/// handling and the lock bit.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace vedliot::security {
+
+enum class Privilege { kMachine, kUser };
+
+enum class Access { kRead, kWrite, kExecute };
+
+enum class AddressMatch : std::uint8_t {
+  kOff = 0,
+  kTor = 1,    ///< region is [previous pmpaddr, this pmpaddr)
+  kNapot = 3,  ///< naturally aligned power-of-two, encoded in the address
+};
+
+struct PmpEntry {
+  AddressMatch mode = AddressMatch::kOff;
+  bool r = false, w = false, x = false;
+  bool locked = false;          ///< also enforces the entry against M-mode
+  std::uint32_t addr = 0;       ///< pmpaddr register (word-granular, as in the spec)
+};
+
+/// PMP with a configurable number of entries (VexRiscv builds 0..16).
+class PmpUnit {
+ public:
+  explicit PmpUnit(std::size_t entries = 16);
+
+  std::size_t entry_count() const { return entries_.size(); }
+
+  /// Program one entry; throws InvalidArgument on bad index or when trying
+  /// to modify a locked entry (locked entries are immutable until reset).
+  void configure(std::size_t index, const PmpEntry& entry);
+
+  const PmpEntry& entry(std::size_t index) const;
+
+  /// Clear all entries (hardware reset).
+  void reset();
+
+  /// The architectural check: first matching entry (lowest index) decides.
+  /// M-mode accesses are allowed when no matching entry is locked; U-mode
+  /// accesses with no matching entry are denied (spec behaviour when any
+  /// PMP entry is implemented).
+  bool check(std::uint32_t byte_addr, Access access, Privilege priv) const;
+
+  /// Index of the matching entry, if any (introspection/debug).
+  std::optional<std::size_t> match(std::uint32_t byte_addr) const;
+
+ private:
+  bool entry_matches(std::size_t index, std::uint32_t word_addr) const;
+  std::vector<PmpEntry> entries_;
+};
+
+/// Helper: encode a NAPOT region (base, size) into a pmpaddr value.
+/// size must be a power of two >= 8 bytes and base size-aligned.
+std::uint32_t napot_encode(std::uint32_t base, std::uint32_t size);
+
+}  // namespace vedliot::security

@@ -1,0 +1,52 @@
+#include "security/trustzone.hpp"
+
+namespace vedliot::security {
+
+Digest sign_boot_image(const Key& root, const std::string& name,
+                       std::span<const std::uint8_t> image) {
+  const Digest h = sha256(image);
+  std::vector<std::uint8_t> payload(h.begin(), h.end());
+  payload.insert(payload.end(), name.begin(), name.end());
+  return hmac_sha256(root, payload);
+}
+
+TrustZoneSoC::TrustZoneSoC(Key root_of_trust, double smc_roundtrip_ns)
+    : root_(root_of_trust), smc_ns_(smc_roundtrip_ns) {}
+
+void TrustZoneSoC::secure_boot(const std::vector<BootImage>& chain) {
+  if (chain.empty()) throw TrustZoneError("empty boot chain");
+  Sha256 rolling;
+  for (const auto& stage : chain) {
+    const Digest expected = sign_boot_image(root_, stage.name, stage.image);
+    if (!digest_equal(expected, stage.signed_hash)) {
+      throw TrustZoneError("secure boot failed at stage '" + stage.name +
+                           "': image signature mismatch");
+    }
+    const Digest h = sha256(stage.image);
+    rolling.update(h);
+  }
+  boot_measurement_ = rolling.finish();
+  booted_ = true;
+}
+
+void TrustZoneSoC::install_ta(const std::string& name, TrustedApp app) {
+  if (!booted_) throw TrustZoneError("cannot install TA before secure boot");
+  if (tas_.count(name)) throw TrustZoneError("TA already installed: " + name);
+  tas_[name] = std::move(app);
+}
+
+std::int32_t TrustZoneSoC::smc(const std::string& ta, const std::vector<std::int32_t>& args) {
+  if (!booted_) throw TrustZoneError("secure world not available (no secure boot)");
+  auto it = tas_.find(ta);
+  if (it == tas_.end()) throw TrustZoneError("no trusted application named " + ta);
+  ++switches_;
+  simulated_ns_ += smc_ns_;
+  return it->second(args);
+}
+
+const Digest& TrustZoneSoC::boot_measurement() const {
+  if (!booted_) throw TrustZoneError("no boot measurement before secure boot");
+  return boot_measurement_;
+}
+
+}  // namespace vedliot::security

@@ -1,0 +1,74 @@
+#pragma once
+/// \file trustzone.hpp
+/// \brief ARM TrustZone dual-world model with OP-TEE-style trusted
+/// applications and a measured secure-boot chain (Sec. IV-C).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "security/crypto.hpp"
+#include "util/error.hpp"
+
+namespace vedliot::security {
+
+class TrustZoneError : public Error {
+ public:
+  explicit TrustZoneError(const std::string& message) : Error(message) {}
+};
+
+/// One stage of the boot chain (BL1 -> BL2 -> secure OS -> normal OS ...).
+/// The expected hash of each image is authenticated with the root-of-trust
+/// key, preventing an attacker from substituting the trusted software.
+struct BootImage {
+  std::string name;
+  std::vector<std::uint8_t> image;
+  Digest signed_hash{};  ///< HMAC(root_key, sha256(image) || name)
+};
+
+/// Sign a boot image with the platform root-of-trust key.
+Digest sign_boot_image(const Key& root, const std::string& name,
+                       std::span<const std::uint8_t> image);
+
+/// A trusted application living in the secure world.
+using TrustedApp = std::function<std::int32_t(const std::vector<std::int32_t>&)>;
+
+/// TrustZone SoC: a normal world and a secure world separated by the
+/// secure monitor. TAs are callable only through SMC, only after a verified
+/// secure boot, and every call accounts the (expensive) world switch.
+class TrustZoneSoC {
+ public:
+  explicit TrustZoneSoC(Key root_of_trust, double smc_roundtrip_ns = 4000);
+
+  /// Verify the boot chain; on success the secure world comes up. Throws
+  /// TrustZoneError with the offending stage name on failure.
+  void secure_boot(const std::vector<BootImage>& chain);
+
+  bool booted_secure() const { return booted_; }
+
+  /// Install a TA (only allowed in the secure world post-boot).
+  void install_ta(const std::string& name, TrustedApp app);
+
+  /// Normal-world entry point: SMC into the secure world.
+  std::int32_t smc(const std::string& ta, const std::vector<std::int32_t>& args);
+
+  std::uint64_t world_switches() const { return switches_; }
+  double simulated_ns() const { return simulated_ns_; }
+
+  /// Device root measurement after boot: hash over all verified stage
+  /// hashes, used for remote attestation of the whole software stack.
+  const Digest& boot_measurement() const;
+
+ private:
+  Key root_;
+  double smc_ns_;
+  bool booted_ = false;
+  Digest boot_measurement_{};
+  std::map<std::string, TrustedApp> tas_;
+  std::uint64_t switches_ = 0;
+  double simulated_ns_ = 0;
+};
+
+}  // namespace vedliot::security

@@ -1,0 +1,113 @@
+#pragma once
+/// \file wasm.hpp
+/// \brief WebAssembly-style sandboxed bytecode VM — the Twine analogue
+/// (Sec. IV-C / [17]): a stack machine with its own linear memory and a
+/// WASI-like host interface, runnable either natively or inside the enclave
+/// model (enclave.hpp) to reproduce the native / VM / VM+enclave overhead
+/// comparison.
+///
+/// The instruction set is a flat-bytecode subset of wasm's integer core
+/// (i32 arithmetic, locals, linear-memory loads/stores, conditional jumps,
+/// calls, host calls); structured control flow is lowered to jumps by the
+/// module builder, as a real wasm compiler would.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace vedliot::security {
+
+class WasmTrap : public Error {
+ public:
+  explicit WasmTrap(const std::string& message) : Error(message) {}
+};
+
+enum class WOp : std::uint8_t {
+  kConst,     ///< push imm
+  kLocalGet,  ///< push locals[imm]
+  kLocalSet,  ///< locals[imm] = pop
+  kAdd, kSub, kMul, kDivS, kRemS,
+  kAnd, kOr, kXor, kShl, kShrS,
+  kEq, kNe, kLtS, kGtS, kLeS, kGeS,
+  kLoad,      ///< addr = pop; push mem[addr+imm]
+  kStore,     ///< value = pop; addr = pop; mem[addr+imm] = value
+  kJmp,       ///< pc = imm
+  kJmpIfZ,    ///< if (pop == 0) pc = imm
+  kCall,      ///< call function imm
+  kHostCall,  ///< call host function imm; pops per its signature
+  kRet,       ///< return (top of stack is the value if the fn returns one)
+  kDrop,
+  kHalt,
+};
+
+struct WInstr {
+  WOp op;
+  std::int32_t imm = 0;
+};
+
+struct WFunction {
+  std::string name;
+  std::uint32_t entry = 0;   ///< index into the module code
+  std::uint32_t nargs = 0;
+  std::uint32_t nlocals = 0; ///< including args
+  bool returns_value = true;
+};
+
+struct WModule {
+  std::vector<WInstr> code;
+  std::vector<WFunction> functions;
+  std::uint32_t memory_bytes = 64 * 1024;
+  std::vector<std::uint8_t> data;   ///< initial memory image (data segment)
+
+  /// Deterministic module measurement (code + data), for attestation.
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Find a function index by name; throws NotFound.
+  std::uint32_t find_function(const std::string& name) const;
+};
+
+/// Host function: receives arg values and VM memory access.
+struct HostContext {
+  std::vector<std::uint8_t>& memory;
+};
+using HostFn = std::function<std::int32_t(HostContext&, const std::vector<std::int32_t>&)>;
+
+struct HostImport {
+  std::string name;
+  std::uint32_t nargs = 0;
+  HostFn fn;
+};
+
+/// Interpreter instance with gas metering (instruction count) so the
+/// enclave model can convert work into simulated time.
+class WasmVm {
+ public:
+  explicit WasmVm(WModule module);
+
+  /// Register a host import at index `imports().size()`.
+  void add_host(HostImport import);
+
+  /// Invoke a function by name; returns the result (0 for void functions).
+  std::int32_t invoke(const std::string& fn, const std::vector<std::int32_t>& args);
+
+  std::uint64_t instructions_retired() const { return retired_; }
+  std::vector<std::uint8_t>& memory() { return memory_; }
+  const WModule& module() const { return module_; }
+
+  /// Hard cap on instructions per invoke (runaway protection).
+  void set_fuel_limit(std::uint64_t fuel) { fuel_limit_ = fuel; }
+
+ private:
+  std::int32_t call(std::uint32_t fn_index, const std::vector<std::int32_t>& args, int depth);
+
+  WModule module_;
+  std::vector<HostImport> hosts_;
+  std::vector<std::uint8_t> memory_;
+  std::uint64_t retired_ = 0;
+  std::uint64_t fuel_limit_ = 100'000'000;
+};
+
+}  // namespace vedliot::security

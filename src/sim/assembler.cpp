@@ -1,0 +1,146 @@
+#include "sim/assembler.hpp"
+
+namespace vedliot::sim {
+
+namespace {
+std::uint32_t rtype(std::uint32_t funct7, std::uint32_t rs2, std::uint32_t rs1,
+                    std::uint32_t funct3, std::uint32_t rd, std::uint32_t opcode) {
+  return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode;
+}
+
+std::uint32_t itype(std::int32_t imm, std::uint32_t rs1, std::uint32_t funct3, std::uint32_t rd,
+                    std::uint32_t opcode) {
+  VEDLIOT_CHECK(imm >= -2048 && imm <= 2047, "I-type immediate out of range");
+  return (static_cast<std::uint32_t>(imm & 0xFFF) << 20) | (rs1 << 15) | (funct3 << 12) |
+         (rd << 7) | opcode;
+}
+
+std::uint32_t stype(std::int32_t imm, std::uint32_t rs2, std::uint32_t rs1,
+                    std::uint32_t funct3) {
+  VEDLIOT_CHECK(imm >= -2048 && imm <= 2047, "S-type immediate out of range");
+  const std::uint32_t u = static_cast<std::uint32_t>(imm & 0xFFF);
+  return ((u >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | ((u & 0x1F) << 7) | 0x23;
+}
+}  // namespace
+
+int Assembler::new_label() {
+  labels_.push_back(-1);
+  return static_cast<int>(labels_.size() - 1);
+}
+
+void Assembler::bind(int label) {
+  labels_[static_cast<std::size_t>(label)] = static_cast<std::int64_t>(4 * code_.size());
+}
+
+void Assembler::lui(Reg rd, std::uint32_t imm20) { emit((imm20 << 12) | (rd << 7) | 0x37); }
+void Assembler::auipc(Reg rd, std::uint32_t imm20) { emit((imm20 << 12) | (rd << 7) | 0x17); }
+
+void Assembler::jal(Reg rd, int label) {
+  fixups_.push_back({code_.size(), label, Fixup::Kind::kJal});
+  emit((rd << 7) | 0x6F);
+}
+
+void Assembler::jalr(Reg rd, Reg rs1, std::int32_t imm) { emit(itype(imm, rs1, 0, rd, 0x67)); }
+
+void Assembler::branch(std::uint32_t funct3, Reg rs1, Reg rs2, int label) {
+  fixups_.push_back({code_.size(), label, Fixup::Kind::kBranch});
+  emit((rs2 << 20) | (rs1 << 15) | (funct3 << 12) | 0x63);
+}
+
+void Assembler::beq(Reg rs1, Reg rs2, int label) { branch(0, rs1, rs2, label); }
+void Assembler::bne(Reg rs1, Reg rs2, int label) { branch(1, rs1, rs2, label); }
+void Assembler::blt(Reg rs1, Reg rs2, int label) { branch(4, rs1, rs2, label); }
+void Assembler::bge(Reg rs1, Reg rs2, int label) { branch(5, rs1, rs2, label); }
+void Assembler::bltu(Reg rs1, Reg rs2, int label) { branch(6, rs1, rs2, label); }
+void Assembler::bgeu(Reg rs1, Reg rs2, int label) { branch(7, rs1, rs2, label); }
+
+void Assembler::lb(Reg rd, Reg rs1, std::int32_t imm) { emit(itype(imm, rs1, 0, rd, 0x03)); }
+void Assembler::lh(Reg rd, Reg rs1, std::int32_t imm) { emit(itype(imm, rs1, 1, rd, 0x03)); }
+void Assembler::lhu(Reg rd, Reg rs1, std::int32_t imm) { emit(itype(imm, rs1, 5, rd, 0x03)); }
+void Assembler::lw(Reg rd, Reg rs1, std::int32_t imm) { emit(itype(imm, rs1, 2, rd, 0x03)); }
+void Assembler::lbu(Reg rd, Reg rs1, std::int32_t imm) { emit(itype(imm, rs1, 4, rd, 0x03)); }
+void Assembler::sb(Reg rs2, Reg rs1, std::int32_t imm) { emit(stype(imm, rs2, rs1, 0)); }
+void Assembler::sh(Reg rs2, Reg rs1, std::int32_t imm) { emit(stype(imm, rs2, rs1, 1)); }
+void Assembler::sw(Reg rs2, Reg rs1, std::int32_t imm) { emit(stype(imm, rs2, rs1, 2)); }
+
+void Assembler::addi(Reg rd, Reg rs1, std::int32_t imm) { emit(itype(imm, rs1, 0, rd, 0x13)); }
+void Assembler::slti(Reg rd, Reg rs1, std::int32_t imm) { emit(itype(imm, rs1, 2, rd, 0x13)); }
+void Assembler::xori(Reg rd, Reg rs1, std::int32_t imm) { emit(itype(imm, rs1, 4, rd, 0x13)); }
+void Assembler::ori(Reg rd, Reg rs1, std::int32_t imm) { emit(itype(imm, rs1, 6, rd, 0x13)); }
+void Assembler::andi(Reg rd, Reg rs1, std::int32_t imm) { emit(itype(imm, rs1, 7, rd, 0x13)); }
+void Assembler::slli(Reg rd, Reg rs1, std::uint32_t shamt) { emit(rtype(0, shamt, rs1, 1, rd, 0x13)); }
+void Assembler::srli(Reg rd, Reg rs1, std::uint32_t shamt) { emit(rtype(0, shamt, rs1, 5, rd, 0x13)); }
+void Assembler::srai(Reg rd, Reg rs1, std::uint32_t shamt) { emit(rtype(0x20, shamt, rs1, 5, rd, 0x13)); }
+
+void Assembler::add(Reg rd, Reg rs1, Reg rs2) { emit(rtype(0, rs2, rs1, 0, rd, 0x33)); }
+void Assembler::sub(Reg rd, Reg rs1, Reg rs2) { emit(rtype(0x20, rs2, rs1, 0, rd, 0x33)); }
+void Assembler::sll(Reg rd, Reg rs1, Reg rs2) { emit(rtype(0, rs2, rs1, 1, rd, 0x33)); }
+void Assembler::slt(Reg rd, Reg rs1, Reg rs2) { emit(rtype(0, rs2, rs1, 2, rd, 0x33)); }
+void Assembler::sltu(Reg rd, Reg rs1, Reg rs2) { emit(rtype(0, rs2, rs1, 3, rd, 0x33)); }
+void Assembler::xor_(Reg rd, Reg rs1, Reg rs2) { emit(rtype(0, rs2, rs1, 4, rd, 0x33)); }
+void Assembler::srl(Reg rd, Reg rs1, Reg rs2) { emit(rtype(0, rs2, rs1, 5, rd, 0x33)); }
+void Assembler::sra(Reg rd, Reg rs1, Reg rs2) { emit(rtype(0x20, rs2, rs1, 5, rd, 0x33)); }
+void Assembler::or_(Reg rd, Reg rs1, Reg rs2) { emit(rtype(0, rs2, rs1, 6, rd, 0x33)); }
+void Assembler::and_(Reg rd, Reg rs1, Reg rs2) { emit(rtype(0, rs2, rs1, 7, rd, 0x33)); }
+
+void Assembler::ecall() { emit(0x00000073); }
+void Assembler::ebreak() { emit(0x00100073); }
+void Assembler::mret() { emit(0x30200073); }
+void Assembler::csrrw(Reg rd, std::uint32_t csr, Reg rs1) {
+  emit((csr << 20) | (rs1 << 15) | (1u << 12) | (rd << 7) | 0x73);
+}
+void Assembler::csrrs(Reg rd, std::uint32_t csr, Reg rs1) {
+  emit((csr << 20) | (rs1 << 15) | (2u << 12) | (rd << 7) | 0x73);
+}
+
+void Assembler::mul(Reg rd, Reg rs1, Reg rs2) { emit(rtype(1, rs2, rs1, 0, rd, 0x33)); }
+void Assembler::div(Reg rd, Reg rs1, Reg rs2) { emit(rtype(1, rs2, rs1, 4, rd, 0x33)); }
+void Assembler::rem(Reg rd, Reg rs1, Reg rs2) { emit(rtype(1, rs2, rs1, 6, rd, 0x33)); }
+
+void Assembler::cfu(std::uint32_t funct3, std::uint32_t funct7, Reg rd, Reg rs1, Reg rs2) {
+  emit(rtype(funct7, rs2, rs1, funct3, rd, 0x0B));
+}
+
+void Assembler::li(Reg rd, std::int32_t value) {
+  if (value >= -2048 && value <= 2047) {
+    addi(rd, static_cast<Reg>(0), value);
+    return;
+  }
+  // lui + addi with sign-correction for the low 12 bits.
+  std::uint32_t hi = static_cast<std::uint32_t>(value) >> 12;
+  const std::int32_t lo = static_cast<std::int32_t>(static_cast<std::uint32_t>(value) & 0xFFF);
+  std::int32_t lo_signed = lo;
+  if (lo >= 2048) {
+    lo_signed = lo - 4096;
+    hi = (hi + 1) & 0xFFFFF;
+  }
+  lui(rd, hi);
+  if (lo_signed != 0) addi(rd, rd, lo_signed);
+}
+
+std::vector<std::uint32_t> Assembler::finish() {
+  for (const auto& f : fixups_) {
+    const std::int64_t target = labels_[static_cast<std::size_t>(f.label)];
+    VEDLIOT_CHECK(target >= 0, "unbound label in assembler");
+    const std::int64_t off = target - static_cast<std::int64_t>(4 * f.index);
+    std::uint32_t& word = code_[f.index];
+    if (f.kind == Fixup::Kind::kBranch) {
+      VEDLIOT_CHECK(off >= -4096 && off <= 4094, "branch target out of range");
+      const std::uint32_t u = static_cast<std::uint32_t>(off);
+      word |= ((u >> 12) & 1u) << 31;
+      word |= ((u >> 5) & 0x3Fu) << 25;
+      word |= ((u >> 1) & 0xFu) << 8;
+      word |= ((u >> 11) & 1u) << 7;
+    } else {
+      VEDLIOT_CHECK(off >= -(1 << 20) && off < (1 << 20), "jal target out of range");
+      const std::uint32_t u = static_cast<std::uint32_t>(off);
+      word |= ((u >> 20) & 1u) << 31;
+      word |= ((u >> 1) & 0x3FFu) << 21;
+      word |= ((u >> 11) & 1u) << 20;
+      word |= ((u >> 12) & 0xFFu) << 12;
+    }
+  }
+  return code_;
+}
+
+}  // namespace vedliot::sim

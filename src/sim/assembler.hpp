@@ -1,0 +1,113 @@
+#pragma once
+/// \file assembler.hpp
+/// \brief Programmatic RV32IM assembler with label support, used to author
+/// the simulated firmware in tests, benches and examples.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace vedliot::sim {
+
+/// Register aliases for readability.
+enum Reg : std::uint32_t {
+  x0 = 0, ra = 1, sp = 2, gp = 3, tp = 4,
+  t0 = 5, t1 = 6, t2 = 7,
+  s0 = 8, s1 = 9,
+  a0 = 10, a1 = 11, a2 = 12, a3 = 13, a4 = 14, a5 = 15, a6 = 16, a7 = 17,
+  s2 = 18, s3 = 19, s4 = 20, s5 = 21, s6 = 22, s7 = 23, s8 = 24, s9 = 25,
+  s10 = 26, s11 = 27,
+  t3 = 28, t4 = 29, t5 = 30, t6 = 31,
+};
+
+class Assembler {
+ public:
+  /// \param base address the program will be loaded at (for label math).
+  explicit Assembler(std::uint32_t base = 0) : base_(base) {}
+
+  // -- labels ---------------------------------------------------------------
+  int new_label();
+  void bind(int label);
+
+  // -- RV32I ----------------------------------------------------------------
+  void lui(Reg rd, std::uint32_t imm20);
+  void auipc(Reg rd, std::uint32_t imm20);
+  void jal(Reg rd, int label);
+  void jalr(Reg rd, Reg rs1, std::int32_t imm);
+  void beq(Reg rs1, Reg rs2, int label);
+  void bne(Reg rs1, Reg rs2, int label);
+  void blt(Reg rs1, Reg rs2, int label);
+  void bge(Reg rs1, Reg rs2, int label);
+  void bltu(Reg rs1, Reg rs2, int label);
+  void bgeu(Reg rs1, Reg rs2, int label);
+  void lb(Reg rd, Reg rs1, std::int32_t imm);
+  void lh(Reg rd, Reg rs1, std::int32_t imm);
+  void lw(Reg rd, Reg rs1, std::int32_t imm);
+  void lbu(Reg rd, Reg rs1, std::int32_t imm);
+  void lhu(Reg rd, Reg rs1, std::int32_t imm);
+  void sb(Reg rs2, Reg rs1, std::int32_t imm);
+  void sh(Reg rs2, Reg rs1, std::int32_t imm);
+  void sw(Reg rs2, Reg rs1, std::int32_t imm);
+  void addi(Reg rd, Reg rs1, std::int32_t imm);
+  void slti(Reg rd, Reg rs1, std::int32_t imm);
+  void xori(Reg rd, Reg rs1, std::int32_t imm);
+  void ori(Reg rd, Reg rs1, std::int32_t imm);
+  void andi(Reg rd, Reg rs1, std::int32_t imm);
+  void slli(Reg rd, Reg rs1, std::uint32_t shamt);
+  void srli(Reg rd, Reg rs1, std::uint32_t shamt);
+  void srai(Reg rd, Reg rs1, std::uint32_t shamt);
+  void add(Reg rd, Reg rs1, Reg rs2);
+  void sub(Reg rd, Reg rs1, Reg rs2);
+  void sll(Reg rd, Reg rs1, Reg rs2);
+  void slt(Reg rd, Reg rs1, Reg rs2);
+  void sltu(Reg rd, Reg rs1, Reg rs2);
+  void xor_(Reg rd, Reg rs1, Reg rs2);
+  void srl(Reg rd, Reg rs1, Reg rs2);
+  void sra(Reg rd, Reg rs1, Reg rs2);
+  void or_(Reg rd, Reg rs1, Reg rs2);
+  void and_(Reg rd, Reg rs1, Reg rs2);
+  void ecall();
+  void ebreak();
+  void mret();
+  void csrrw(Reg rd, std::uint32_t csr, Reg rs1);
+  void csrrs(Reg rd, std::uint32_t csr, Reg rs1);
+
+  // -- RV32M ----------------------------------------------------------------
+  void mul(Reg rd, Reg rs1, Reg rs2);
+  void div(Reg rd, Reg rs1, Reg rs2);
+  void rem(Reg rd, Reg rs1, Reg rs2);
+
+  // -- custom-0 (CFU) ---------------------------------------------------------
+  void cfu(std::uint32_t funct3, std::uint32_t funct7, Reg rd, Reg rs1, Reg rs2);
+
+  // -- pseudo-instructions ----------------------------------------------------
+  void li(Reg rd, std::int32_t value);     ///< lui+addi as needed
+  void mv(Reg rd, Reg rs) { addi(rd, rs, 0); }
+  void nop() { addi(static_cast<Reg>(0), static_cast<Reg>(0), 0); }
+  void j(int label) { jal(static_cast<Reg>(0), label); }
+  void ret() { jalr(static_cast<Reg>(0), static_cast<Reg>(1), 0); }
+
+  /// Resolve labels and return the program image. Throws on unbound labels
+  /// or out-of-range branches.
+  std::vector<std::uint32_t> finish();
+
+  std::uint32_t pc() const { return base_ + 4 * static_cast<std::uint32_t>(code_.size()); }
+
+ private:
+  void emit(std::uint32_t word) { code_.push_back(word); }
+  void branch(std::uint32_t funct3, Reg rs1, Reg rs2, int label);
+
+  std::uint32_t base_;
+  std::vector<std::uint32_t> code_;
+  std::vector<std::int64_t> labels_;  // byte offset from base, -1 unbound
+  struct Fixup {
+    std::size_t index;
+    int label;
+    enum class Kind { kBranch, kJal } kind;
+  };
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace vedliot::sim

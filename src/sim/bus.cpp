@@ -1,0 +1,122 @@
+#include "sim/bus.hpp"
+
+#include <cstring>
+
+namespace vedliot::sim {
+
+Bus::Bus(std::uint32_t ram_base, std::uint32_t ram_size) : ram_base_(ram_base), ram_(ram_size, 0) {
+  VEDLIOT_CHECK(ram_size > 0, "RAM size must be positive");
+}
+
+bool Bus::in_ram(std::uint32_t addr, std::uint32_t len) const {
+  return addr >= ram_base_ && addr + len <= ram_base_ + ram_.size() && addr + len > addr;
+}
+
+Peripheral* Bus::find_peripheral(std::uint32_t addr) {
+  for (auto& p : peripherals_) {
+    if (addr >= p->base() && addr < p->base() + p->size()) return p.get();
+  }
+  return nullptr;
+}
+
+void Bus::attach(std::shared_ptr<Peripheral> p) {
+  VEDLIOT_CHECK(p != nullptr, "null peripheral");
+  const std::uint32_t lo = p->base();
+  const std::uint32_t hi = p->base() + p->size();
+  if (in_ram(lo, 1) || in_ram(hi - 1, 1)) throw SimError("peripheral overlaps RAM: " + p->name());
+  for (const auto& other : peripherals_) {
+    const std::uint32_t olo = other->base();
+    const std::uint32_t ohi = other->base() + other->size();
+    if (lo < ohi && olo < hi) {
+      throw SimError("peripheral overlap: " + p->name() + " vs " + other->name());
+    }
+  }
+  peripherals_.push_back(std::move(p));
+}
+
+std::uint8_t Bus::read8(std::uint32_t addr) {
+  if (in_ram(addr, 1)) return ram_[addr - ram_base_];
+  if (Peripheral* p = find_peripheral(addr)) {
+    const std::uint32_t word = p->read32((addr - p->base()) & ~3u);
+    return static_cast<std::uint8_t>(word >> (8 * (addr & 3u)));
+  }
+  throw SimError("bus fault: byte read at 0x" + std::to_string(addr));
+}
+
+std::uint16_t Bus::read16(std::uint32_t addr) {
+  return static_cast<std::uint16_t>(read8(addr) | (read8(addr + 1) << 8));
+}
+
+std::uint32_t Bus::read32(std::uint32_t addr) {
+  if (in_ram(addr, 4)) {
+    std::uint32_t v;
+    std::memcpy(&v, ram_.data() + (addr - ram_base_), 4);
+    return v;
+  }
+  if (Peripheral* p = find_peripheral(addr)) return p->read32(addr - p->base());
+  throw SimError("bus fault: word read at 0x" + std::to_string(addr));
+}
+
+void Bus::write8(std::uint32_t addr, std::uint8_t v) {
+  if (write_hook_) write_hook_(addr, v, 1);
+  if (in_ram(addr, 1)) {
+    ram_[addr - ram_base_] = v;
+    return;
+  }
+  if (Peripheral* p = find_peripheral(addr)) {
+    p->write32(addr - p->base(), v);
+    return;
+  }
+  throw SimError("bus fault: byte write at 0x" + std::to_string(addr));
+}
+
+void Bus::write16(std::uint32_t addr, std::uint16_t v) {
+  write8(addr, static_cast<std::uint8_t>(v));
+  write8(addr + 1, static_cast<std::uint8_t>(v >> 8));
+}
+
+void Bus::write32(std::uint32_t addr, std::uint32_t v) {
+  if (write_hook_) write_hook_(addr, v, 4);
+  if (in_ram(addr, 4)) {
+    std::memcpy(ram_.data() + (addr - ram_base_), &v, 4);
+    return;
+  }
+  if (Peripheral* p = find_peripheral(addr)) {
+    p->write32(addr - p->base(), v);
+    return;
+  }
+  throw SimError("bus fault: word write at 0x" + std::to_string(addr));
+}
+
+void Bus::load(std::uint32_t addr, std::span<const std::uint8_t> bytes) {
+  VEDLIOT_CHECK(in_ram(addr, static_cast<std::uint32_t>(bytes.size())), "program does not fit in RAM");
+  std::memcpy(ram_.data() + (addr - ram_base_), bytes.data(), bytes.size());
+}
+
+void Bus::load_words(std::uint32_t addr, std::span<const std::uint32_t> words) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    write32(addr + static_cast<std::uint32_t>(4 * i), words[i]);
+  }
+}
+
+void Uart::write32(std::uint32_t offset, std::uint32_t value) {
+  if (offset == 0) out_.push_back(static_cast<char>(value & 0xFF));
+}
+
+std::uint32_t Timer::read32(std::uint32_t offset) {
+  if (offset == 0) return static_cast<std::uint32_t>(mtime());
+  if (offset == 4) return static_cast<std::uint32_t>(mtime() >> 32);
+  if (offset == 8) return static_cast<std::uint32_t>(mtimecmp_);
+  if (offset == 12) return static_cast<std::uint32_t>(mtimecmp_ >> 32);
+  return 0;
+}
+
+void Timer::write32(std::uint32_t offset, std::uint32_t value) {
+  if (offset == 8) {
+    mtimecmp_ = (mtimecmp_ & 0xFFFFFFFF00000000ull) | value;
+  } else if (offset == 12) {
+    mtimecmp_ = (mtimecmp_ & 0xFFFFFFFFull) | (static_cast<std::uint64_t>(value) << 32);
+  }
+}
+
+}  // namespace vedliot::sim

@@ -1,0 +1,117 @@
+#pragma once
+/// \file bus.hpp
+/// \brief System bus: flat RAM plus memory-mapped peripherals.
+///
+/// Part of the Renode-analogue functional simulator (Sec. II-B): the same
+/// software binary runs against simulated RAM/MMIO as it would on hardware.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace vedliot::sim {
+
+class SimError : public Error {
+ public:
+  explicit SimError(const std::string& message) : Error(message) {}
+};
+
+/// Memory-mapped peripheral occupying [base, base+size).
+class Peripheral {
+ public:
+  virtual ~Peripheral() = default;
+  virtual std::string name() const = 0;
+  virtual std::uint32_t base() const = 0;
+  virtual std::uint32_t size() const = 0;
+  virtual std::uint32_t read32(std::uint32_t offset) = 0;
+  virtual void write32(std::uint32_t offset, std::uint32_t value) = 0;
+};
+
+class Bus {
+ public:
+  /// RAM occupies [ram_base, ram_base + ram_size).
+  Bus(std::uint32_t ram_base, std::uint32_t ram_size);
+
+  std::uint32_t ram_base() const { return ram_base_; }
+  std::uint32_t ram_size() const { return static_cast<std::uint32_t>(ram_.size()); }
+
+  /// Register a peripheral; regions must not overlap RAM or each other.
+  void attach(std::shared_ptr<Peripheral> p);
+
+  std::uint8_t read8(std::uint32_t addr);
+  std::uint16_t read16(std::uint32_t addr);
+  std::uint32_t read32(std::uint32_t addr);
+  void write8(std::uint32_t addr, std::uint8_t v);
+  void write16(std::uint32_t addr, std::uint16_t v);
+  void write32(std::uint32_t addr, std::uint32_t v);
+
+  /// Bulk program load into RAM.
+  void load(std::uint32_t addr, std::span<const std::uint8_t> bytes);
+  void load_words(std::uint32_t addr, std::span<const std::uint32_t> words);
+
+  /// Introspection hook (Renode-style): called on every store with
+  /// (address, value, byte width). Loads are not hooked (they dominate and
+  /// rarely matter for CI assertions).
+  using WriteHook = std::function<void(std::uint32_t, std::uint32_t, int)>;
+  void set_write_hook(WriteHook hook) { write_hook_ = std::move(hook); }
+
+ private:
+  bool in_ram(std::uint32_t addr, std::uint32_t len) const;
+  Peripheral* find_peripheral(std::uint32_t addr);
+
+  std::uint32_t ram_base_;
+  std::vector<std::uint8_t> ram_;
+  std::vector<std::shared_ptr<Peripheral>> peripherals_;
+  WriteHook write_hook_;
+};
+
+/// UART capturing written bytes (console output of the simulated program).
+class Uart : public Peripheral {
+ public:
+  explicit Uart(std::uint32_t base) : base_(base) {}
+  std::string name() const override { return "uart"; }
+  std::uint32_t base() const override { return base_; }
+  std::uint32_t size() const override { return 16; }
+  std::uint32_t read32(std::uint32_t) override { return 0; }  // always ready
+  void write32(std::uint32_t offset, std::uint32_t value) override;
+
+  const std::string& output() const { return out_; }
+
+ private:
+  std::uint32_t base_;
+  std::string out_;
+};
+
+/// CLINT-style machine timer: mtime (the core's cycle counter) at offsets
+/// 0/4, mtimecmp at offsets 8/12. A machine-timer interrupt is pending
+/// while mtime >= mtimecmp.
+class Timer : public Peripheral {
+ public:
+  explicit Timer(std::uint32_t base) : base_(base) {}
+  std::string name() const override { return "timer"; }
+  std::uint32_t base() const override { return base_; }
+  std::uint32_t size() const override { return 16; }
+  std::uint32_t read32(std::uint32_t offset) override;
+  void write32(std::uint32_t offset, std::uint32_t value) override;
+  void tick(std::uint64_t cycles) { cycles_ = cycles; }
+
+  /// Bind mtime to a live cycle source (the CPU); overrides tick().
+  void bind_clock(std::function<std::uint64_t()> now) { now_ = std::move(now); }
+
+  std::uint64_t mtime() const { return now_ ? now_() : cycles_; }
+  std::uint64_t mtimecmp() const { return mtimecmp_; }
+  bool interrupt_pending() const { return mtime() >= mtimecmp_; }
+
+ private:
+  std::uint32_t base_;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t mtimecmp_ = ~0ull;
+  std::function<std::uint64_t()> now_;
+};
+
+}  // namespace vedliot::sim

@@ -1,0 +1,40 @@
+#include "sim/cfu.hpp"
+
+#include <algorithm>
+
+namespace vedliot::sim {
+
+std::uint32_t MacCfu::execute(std::uint32_t funct3, std::uint32_t funct7, std::uint32_t rs1,
+                              std::uint32_t rs2) {
+  (void)funct7;
+  switch (funct3) {
+    case 0:
+      acc_ += static_cast<std::int64_t>(static_cast<std::int32_t>(rs1)) *
+              static_cast<std::int64_t>(static_cast<std::int32_t>(rs2));
+      return static_cast<std::uint32_t>(acc_);
+    case 1:
+      acc_ = 0;
+      return 0;
+    case 2:
+      return static_cast<std::uint32_t>(acc_);
+    case 3: {
+      const std::int64_t shifted = acc_ >> (rs1 & 31u);
+      const std::int64_t clamped = std::clamp<std::int64_t>(shifted, 0, 127);  // ReLU + int8 clamp
+      return static_cast<std::uint32_t>(clamped);
+    }
+    case 4: {
+      std::int64_t dot = 0;
+      for (int i = 0; i < 4; ++i) {
+        const auto a = static_cast<std::int8_t>(rs1 >> (8 * i));
+        const auto b = static_cast<std::int8_t>(rs2 >> (8 * i));
+        dot += static_cast<std::int64_t>(a) * b;
+      }
+      acc_ += dot;
+      return static_cast<std::uint32_t>(acc_);
+    }
+    default:
+      return 0;
+  }
+}
+
+}  // namespace vedliot::sim

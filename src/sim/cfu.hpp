@@ -1,0 +1,45 @@
+#pragma once
+/// \file cfu.hpp
+/// \brief Custom Function Units (Sec. II-B): accelerators tightly coupled
+/// with the CPU, dispatched through the RISC-V custom-0 opcode. Renode is
+/// "enhanced with capabilities of simulating CFUs"; this is that mechanism.
+
+#include <cstdint>
+#include <string>
+
+namespace vedliot::sim {
+
+/// CFU interface: receives the funct3/funct7 fields and both source
+/// registers, returns the result written to rd. State (e.g. accumulators)
+/// lives in the CFU, exactly like the CFU-Playground model.
+class Cfu {
+ public:
+  virtual ~Cfu() = default;
+  virtual std::string name() const = 0;
+  virtual std::uint32_t execute(std::uint32_t funct3, std::uint32_t funct7, std::uint32_t rs1,
+                                std::uint32_t rs2) = 0;
+  /// Extra simulated cycles the op costs beyond the base instruction.
+  virtual std::uint32_t latency_cycles(std::uint32_t funct3) const {
+    (void)funct3;
+    return 0;
+  }
+};
+
+/// Multiply-accumulate CFU for DL kernels:
+///  funct3 = 0: acc += sext(rs1) * sext(rs2); returns low 32 bits of acc
+///  funct3 = 1: acc = 0
+///  funct3 = 2: read acc (low 32 bits)
+///  funct3 = 3: ReLU(clamp(acc >> rs1, int8)) — the requantization step
+///  funct3 = 4: SIMD 4x int8 dot product of rs1/rs2 bytes, accumulated
+class MacCfu : public Cfu {
+ public:
+  std::string name() const override { return "mac-cfu"; }
+  std::uint32_t execute(std::uint32_t funct3, std::uint32_t funct7, std::uint32_t rs1,
+                        std::uint32_t rs2) override;
+  std::int64_t accumulator() const { return acc_; }
+
+ private:
+  std::int64_t acc_ = 0;
+};
+
+}  // namespace vedliot::sim

@@ -1,0 +1,307 @@
+#include "sim/cpu.hpp"
+
+namespace vedliot::sim {
+
+namespace {
+inline std::int32_t sext(std::uint32_t v, int bits) {
+  const int shift = 32 - bits;
+  return static_cast<std::int32_t>(v << shift) >> shift;
+}
+}  // namespace
+
+Cpu::Cpu(Bus& bus) : bus_(bus) {}
+
+std::uint32_t Cpu::reg(std::size_t i) const {
+  VEDLIOT_CHECK(i < 32, "register index out of range");
+  return regs_[i];
+}
+
+void Cpu::set_reg(std::size_t i, std::uint32_t v) {
+  VEDLIOT_CHECK(i < 32, "register index out of range");
+  if (i != 0) regs_[i] = v;
+}
+
+std::uint32_t Cpu::csr(std::uint32_t addr) const {
+  switch (addr) {
+    case 0x300: return mstatus_;
+    case 0x304: return mie_;
+    case 0x305: return mtvec_;
+    case 0x341: return mepc_;
+    case 0x342: return mcause_;
+    case 0xB00: return static_cast<std::uint32_t>(cycles_);
+    case 0xB02: return static_cast<std::uint32_t>(instret_);
+    default: return 0;
+  }
+}
+
+void Cpu::set_csr(std::uint32_t addr, std::uint32_t v) {
+  switch (addr) {
+    case 0x300: mstatus_ = v; break;
+    case 0x304: mie_ = v; break;
+    case 0x305: mtvec_ = v; break;
+    case 0x341: mepc_ = v; break;
+    case 0x342: mcause_ = v; break;
+    default: break;
+  }
+}
+
+bool Cpu::pmp_ok(std::uint32_t addr, security::Access access) const {
+  if (!pmp_) return true;
+  return pmp_->check(addr, access, priv_);
+}
+
+bool Cpu::trap(std::uint32_t cause) {
+  ++traps_;
+  if (mtvec_ == 0) return false;
+  mepc_ = pc_;
+  mcause_ = cause;
+  // Save the interrupted privilege into mstatus.MPP (bits 11:12).
+  const std::uint32_t mpp = priv_ == security::Privilege::kMachine ? 3u : 0u;
+  mstatus_ = (mstatus_ & ~(3u << 11)) | (mpp << 11);
+  priv_ = security::Privilege::kMachine;
+  pc_ = mtvec_;
+  return true;
+}
+
+HaltReason Cpu::run(std::uint64_t max_instructions) {
+  for (std::uint64_t i = 0; i < max_instructions; ++i) {
+    const HaltReason r = step();
+    if (r != HaltReason::kRunning) return r;
+  }
+  return HaltReason::kMaxInstructions;
+}
+
+HaltReason Cpu::step() {
+  // Machine-timer interrupt: taken between instructions when globally
+  // enabled (mstatus.MIE) and individually enabled (mie.MTIE).
+  if (timer_irq_ && mtvec_ != 0 && (mstatus_ & 0x8u) && (mie_ & 0x80u) && timer_irq_()) {
+    ++traps_;
+    mepc_ = pc_;
+    mcause_ = kCauseMachineTimerIrq;
+    const std::uint32_t mpp = priv_ == security::Privilege::kMachine ? 3u : 0u;
+    // save MIE into MPIE (bit 7), clear MIE, record the privilege
+    mstatus_ = (mstatus_ & ~(3u << 11)) | (mpp << 11);
+    mstatus_ = (mstatus_ & ~0x80u) | ((mstatus_ & 0x8u) << 4);
+    mstatus_ &= ~0x8u;
+    priv_ = security::Privilege::kMachine;
+    pc_ = mtvec_;
+  }
+  if (!pmp_ok(pc_, security::Access::kExecute)) {
+    return trap(kCauseInstrAccessFault) ? HaltReason::kRunning : HaltReason::kUnhandledTrap;
+  }
+  std::uint32_t inst;
+  try {
+    inst = bus_.read32(pc_);
+  } catch (const SimError&) {
+    return trap(kCauseInstrAccessFault) ? HaltReason::kRunning : HaltReason::kUnhandledTrap;
+  }
+  if (trace_) trace_(pc_, inst);
+
+  const std::uint32_t opcode = inst & 0x7F;
+  const std::uint32_t rd = (inst >> 7) & 0x1F;
+  const std::uint32_t funct3 = (inst >> 12) & 0x7;
+  const std::uint32_t rs1 = (inst >> 15) & 0x1F;
+  const std::uint32_t rs2 = (inst >> 20) & 0x1F;
+  const std::uint32_t funct7 = inst >> 25;
+
+  std::uint32_t next_pc = pc_ + 4;
+  ++instret_;
+  ++cycles_;
+
+  auto v1 = regs_[rs1];
+  auto v2 = regs_[rs2];
+
+  switch (opcode) {
+    case 0x37:  // LUI
+      set_reg(rd, inst & 0xFFFFF000u);
+      break;
+    case 0x17:  // AUIPC
+      set_reg(rd, pc_ + (inst & 0xFFFFF000u));
+      break;
+    case 0x6F: {  // JAL
+      const std::uint32_t imm = ((inst >> 31) << 20) | (((inst >> 12) & 0xFF) << 12) |
+                                (((inst >> 20) & 1) << 11) | (((inst >> 21) & 0x3FF) << 1);
+      set_reg(rd, pc_ + 4);
+      next_pc = pc_ + static_cast<std::uint32_t>(sext(imm, 21));
+      break;
+    }
+    case 0x67: {  // JALR
+      const std::int32_t imm = sext(inst >> 20, 12);
+      const std::uint32_t target = (v1 + static_cast<std::uint32_t>(imm)) & ~1u;
+      set_reg(rd, pc_ + 4);
+      next_pc = target;
+      break;
+    }
+    case 0x63: {  // branches
+      const std::uint32_t imm = ((inst >> 31) << 12) | (((inst >> 7) & 1) << 11) |
+                                (((inst >> 25) & 0x3F) << 5) | (((inst >> 8) & 0xF) << 1);
+      const std::int32_t off = sext(imm, 13);
+      bool take = false;
+      switch (funct3) {
+        case 0: take = v1 == v2; break;                                           // BEQ
+        case 1: take = v1 != v2; break;                                           // BNE
+        case 4: take = static_cast<std::int32_t>(v1) < static_cast<std::int32_t>(v2); break;   // BLT
+        case 5: take = static_cast<std::int32_t>(v1) >= static_cast<std::int32_t>(v2); break;  // BGE
+        case 6: take = v1 < v2; break;                                            // BLTU
+        case 7: take = v1 >= v2; break;                                           // BGEU
+        default: return trap(kCauseIllegalInstr) ? HaltReason::kRunning : HaltReason::kUnhandledTrap;
+      }
+      if (take) next_pc = pc_ + static_cast<std::uint32_t>(off);
+      break;
+    }
+    case 0x03: {  // loads
+      const std::uint32_t addr = v1 + static_cast<std::uint32_t>(sext(inst >> 20, 12));
+      if (!pmp_ok(addr, security::Access::kRead)) {
+        return trap(kCauseLoadAccessFault) ? HaltReason::kRunning : HaltReason::kUnhandledTrap;
+      }
+      try {
+        switch (funct3) {
+          case 0: set_reg(rd, static_cast<std::uint32_t>(sext(bus_.read8(addr), 8))); break;   // LB
+          case 1: set_reg(rd, static_cast<std::uint32_t>(sext(bus_.read16(addr), 16))); break; // LH
+          case 2: set_reg(rd, bus_.read32(addr)); break;                                       // LW
+          case 4: set_reg(rd, bus_.read8(addr)); break;                                        // LBU
+          case 5: set_reg(rd, bus_.read16(addr)); break;                                       // LHU
+          default: return trap(kCauseIllegalInstr) ? HaltReason::kRunning : HaltReason::kUnhandledTrap;
+        }
+      } catch (const SimError&) {
+        return trap(kCauseLoadAccessFault) ? HaltReason::kRunning : HaltReason::kUnhandledTrap;
+      }
+      ++cycles_;  // memory access costs an extra cycle
+      break;
+    }
+    case 0x23: {  // stores
+      const std::uint32_t imm = ((inst >> 25) << 5) | ((inst >> 7) & 0x1F);
+      const std::uint32_t addr = v1 + static_cast<std::uint32_t>(sext(imm, 12));
+      if (!pmp_ok(addr, security::Access::kWrite)) {
+        return trap(kCauseStoreAccessFault) ? HaltReason::kRunning : HaltReason::kUnhandledTrap;
+      }
+      try {
+        switch (funct3) {
+          case 0: bus_.write8(addr, static_cast<std::uint8_t>(v2)); break;
+          case 1: bus_.write16(addr, static_cast<std::uint16_t>(v2)); break;
+          case 2: bus_.write32(addr, v2); break;
+          default: return trap(kCauseIllegalInstr) ? HaltReason::kRunning : HaltReason::kUnhandledTrap;
+        }
+      } catch (const SimError&) {
+        return trap(kCauseStoreAccessFault) ? HaltReason::kRunning : HaltReason::kUnhandledTrap;
+      }
+      ++cycles_;
+      break;
+    }
+    case 0x13: {  // ALU immediate
+      const std::int32_t imm = sext(inst >> 20, 12);
+      const std::uint32_t ui = static_cast<std::uint32_t>(imm);
+      switch (funct3) {
+        case 0: set_reg(rd, v1 + ui); break;                                                  // ADDI
+        case 2: set_reg(rd, static_cast<std::int32_t>(v1) < imm ? 1 : 0); break;              // SLTI
+        case 3: set_reg(rd, v1 < ui ? 1 : 0); break;                                          // SLTIU
+        case 4: set_reg(rd, v1 ^ ui); break;                                                  // XORI
+        case 6: set_reg(rd, v1 | ui); break;                                                  // ORI
+        case 7: set_reg(rd, v1 & ui); break;                                                  // ANDI
+        case 1: set_reg(rd, v1 << (rs2)); break;                                              // SLLI
+        case 5:
+          if (funct7 & 0x20) {
+            set_reg(rd, static_cast<std::uint32_t>(static_cast<std::int32_t>(v1) >> rs2));    // SRAI
+          } else {
+            set_reg(rd, v1 >> rs2);                                                           // SRLI
+          }
+          break;
+      }
+      break;
+    }
+    case 0x33: {  // ALU register / M extension
+      if (funct7 == 1) {
+        const std::int64_t s1 = static_cast<std::int32_t>(v1);
+        const std::int64_t s2 = static_cast<std::int32_t>(v2);
+        const std::uint64_t u1 = v1, u2 = v2;
+        switch (funct3) {
+          case 0: set_reg(rd, static_cast<std::uint32_t>(s1 * s2)); break;                    // MUL
+          case 1: set_reg(rd, static_cast<std::uint32_t>((s1 * s2) >> 32)); break;            // MULH
+          case 2: set_reg(rd, static_cast<std::uint32_t>((s1 * static_cast<std::int64_t>(u2)) >> 32)); break;  // MULHSU
+          case 3: set_reg(rd, static_cast<std::uint32_t>((u1 * u2) >> 32)); break;            // MULHU
+          case 4:  // DIV
+            if (v2 == 0) set_reg(rd, 0xFFFFFFFFu);
+            else if (s1 == INT32_MIN && s2 == -1) set_reg(rd, static_cast<std::uint32_t>(INT32_MIN));
+            else set_reg(rd, static_cast<std::uint32_t>(static_cast<std::int32_t>(s1 / s2)));
+            break;
+          case 5: set_reg(rd, v2 == 0 ? 0xFFFFFFFFu : v1 / v2); break;                        // DIVU
+          case 6:  // REM
+            if (v2 == 0) set_reg(rd, v1);
+            else if (s1 == INT32_MIN && s2 == -1) set_reg(rd, 0);
+            else set_reg(rd, static_cast<std::uint32_t>(static_cast<std::int32_t>(s1 % s2)));
+            break;
+          case 7: set_reg(rd, v2 == 0 ? v1 : v1 % v2); break;                                 // REMU
+        }
+        cycles_ += funct3 >= 4 ? 16 : 3;  // div slower than mul
+      } else {
+        switch (funct3) {
+          case 0: set_reg(rd, funct7 & 0x20 ? v1 - v2 : v1 + v2); break;                      // ADD/SUB
+          case 1: set_reg(rd, v1 << (v2 & 31)); break;                                        // SLL
+          case 2: set_reg(rd, static_cast<std::int32_t>(v1) < static_cast<std::int32_t>(v2) ? 1 : 0); break;
+          case 3: set_reg(rd, v1 < v2 ? 1 : 0); break;                                        // SLTU
+          case 4: set_reg(rd, v1 ^ v2); break;
+          case 5:
+            if (funct7 & 0x20) set_reg(rd, static_cast<std::uint32_t>(static_cast<std::int32_t>(v1) >> (v2 & 31)));
+            else set_reg(rd, v1 >> (v2 & 31));
+            break;
+          case 6: set_reg(rd, v1 | v2); break;
+          case 7: set_reg(rd, v1 & v2); break;
+        }
+      }
+      break;
+    }
+    case 0x0B: {  // custom-0: CFU dispatch
+      if (!cfu_) {
+        return trap(kCauseIllegalInstr) ? HaltReason::kRunning : HaltReason::kUnhandledTrap;
+      }
+      set_reg(rd, cfu_->execute(funct3, funct7, v1, v2));
+      cycles_ += cfu_->latency_cycles(funct3);
+      break;
+    }
+    case 0x73: {  // SYSTEM
+      if (funct3 == 0) {
+        const std::uint32_t imm12 = inst >> 20;
+        if (imm12 == 0) {  // ECALL
+          if (priv_ == security::Privilege::kUser) {
+            return trap(kCauseEcallU) ? HaltReason::kRunning : HaltReason::kUnhandledTrap;
+          }
+          return HaltReason::kEcall;
+        }
+        if (imm12 == 1) return HaltReason::kEbreak;  // EBREAK
+        if (imm12 == 0x302) {  // MRET
+          if (priv_ != security::Privilege::kMachine) {
+            return trap(kCauseIllegalInstr) ? HaltReason::kRunning : HaltReason::kUnhandledTrap;
+          }
+          const std::uint32_t mpp = (mstatus_ >> 11) & 3u;
+          priv_ = mpp == 3u ? security::Privilege::kMachine : security::Privilege::kUser;
+          // restore MIE from MPIE
+          mstatus_ = (mstatus_ & ~0x8u) | ((mstatus_ >> 4) & 0x8u);
+          next_pc = mepc_;
+          break;
+        }
+        return trap(kCauseIllegalInstr) ? HaltReason::kRunning : HaltReason::kUnhandledTrap;
+      }
+      // CSR instructions (M-mode only in this core).
+      if (priv_ != security::Privilege::kMachine) {
+        return trap(kCauseIllegalInstr) ? HaltReason::kRunning : HaltReason::kUnhandledTrap;
+      }
+      const std::uint32_t addr = inst >> 20;
+      const std::uint32_t old = csr(addr);
+      switch (funct3) {
+        case 1: set_csr(addr, v1); break;                 // CSRRW
+        case 2: if (rs1 != 0) set_csr(addr, old | v1); break;   // CSRRS
+        case 3: if (rs1 != 0) set_csr(addr, old & ~v1); break;  // CSRRC
+        default: return trap(kCauseIllegalInstr) ? HaltReason::kRunning : HaltReason::kUnhandledTrap;
+      }
+      set_reg(rd, old);
+      break;
+    }
+    default:
+      return trap(kCauseIllegalInstr) ? HaltReason::kRunning : HaltReason::kUnhandledTrap;
+  }
+
+  pc_ = next_pc;
+  return HaltReason::kRunning;
+}
+
+}  // namespace vedliot::sim

@@ -1,0 +1,101 @@
+#pragma once
+/// \file cpu.hpp
+/// \brief RV32IM functional interpreter with M/U privilege modes, PMP
+/// enforcement and a CFU port (the simulated VexRiscv-class core).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "security/pmp.hpp"
+#include "sim/bus.hpp"
+#include "sim/cfu.hpp"
+
+namespace vedliot::sim {
+
+enum class HaltReason {
+  kRunning,
+  kEcall,            ///< environment call from M-mode (program exit)
+  kEbreak,
+  kMaxInstructions,
+  kUnhandledTrap,    ///< trap with no handler installed (mtvec == 0)
+};
+
+/// Trap causes (mcause values, RISC-V encoding).
+constexpr std::uint32_t kCauseInstrAccessFault = 1;
+constexpr std::uint32_t kCauseIllegalInstr = 2;
+constexpr std::uint32_t kCauseLoadAccessFault = 5;
+constexpr std::uint32_t kCauseStoreAccessFault = 7;
+constexpr std::uint32_t kCauseEcallU = 8;
+constexpr std::uint32_t kCauseMachineTimerIrq = 0x80000007u;  // interrupt bit | 7
+
+class Cpu {
+ public:
+  explicit Cpu(Bus& bus);
+
+  /// Attach a CFU served by the custom-0 opcode (0x0B).
+  void attach_cfu(std::shared_ptr<Cfu> cfu) { cfu_ = std::move(cfu); }
+
+  /// Attach a PMP unit checked on every fetch/load/store.
+  void attach_pmp(security::PmpUnit* pmp) { pmp_ = pmp; }
+
+  /// Attach a machine-timer interrupt source (polled before each step).
+  /// The interrupt is taken when the source is pending, mstatus.MIE is set
+  /// and mie.MTIE is set.
+  void attach_timer_irq(std::function<bool()> pending) { timer_irq_ = std::move(pending); }
+
+  void set_pc(std::uint32_t pc) { pc_ = pc; }
+  std::uint32_t pc() const { return pc_; }
+
+  std::uint32_t reg(std::size_t i) const;
+  void set_reg(std::size_t i, std::uint32_t v);
+
+  security::Privilege privilege() const { return priv_; }
+
+  /// CSR access (subset: mstatus, mtvec, mepc, mcause, mcycle, minstret).
+  std::uint32_t csr(std::uint32_t addr) const;
+  void set_csr(std::uint32_t addr, std::uint32_t v);
+
+  /// Execute until halt or the instruction budget runs out.
+  HaltReason run(std::uint64_t max_instructions);
+
+  /// Single step; returns kRunning unless the core halted.
+  HaltReason step();
+
+  std::uint64_t instructions_retired() const { return instret_; }
+  std::uint64_t cycles() const { return cycles_; }
+  std::uint64_t trap_count() const { return traps_; }
+
+  /// Renode-style introspection hook, called before each instruction with
+  /// (pc, raw instruction).
+  void set_trace(std::function<void(std::uint32_t, std::uint32_t)> hook) {
+    trace_ = std::move(hook);
+  }
+
+ private:
+  bool pmp_ok(std::uint32_t addr, security::Access access) const;
+  /// Raise a trap; returns true if a handler took it, false to halt.
+  bool trap(std::uint32_t cause);
+
+  Bus& bus_;
+  std::shared_ptr<Cfu> cfu_;
+  security::PmpUnit* pmp_ = nullptr;
+
+  std::array<std::uint32_t, 32> regs_{};
+  std::uint32_t pc_ = 0;
+  security::Privilege priv_ = security::Privilege::kMachine;
+
+  std::uint32_t mstatus_ = 0;
+  std::uint32_t mtvec_ = 0;
+  std::uint32_t mepc_ = 0;
+  std::uint32_t mcause_ = 0;
+  std::uint32_t mie_ = 0;
+  std::function<bool()> timer_irq_;
+
+  std::uint64_t instret_ = 0;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t traps_ = 0;
+  std::function<void(std::uint32_t, std::uint32_t)> trace_;
+};
+
+}  // namespace vedliot::sim

@@ -1,0 +1,39 @@
+#include "sim/machine.hpp"
+
+namespace vedliot::sim {
+
+Machine::Machine()
+    : bus_(kRamBase, kRamSize),
+      cpu_(bus_),
+      uart_(std::make_shared<Uart>(kUartBase)),
+      timer_(std::make_shared<Timer>(kTimerBase)) {
+  bus_.attach(uart_);
+  bus_.attach(timer_);
+  timer_->bind_clock([this] { return cpu_.cycles(); });
+  cpu_.attach_timer_irq([this] { return timer_->interrupt_pending(); });
+  cpu_.set_pc(kRamBase);
+}
+
+security::PmpUnit& Machine::enable_pmp(std::size_t entries) {
+  pmp_ = std::make_unique<security::PmpUnit>(entries);
+  cpu_.attach_pmp(pmp_.get());
+  return *pmp_;
+}
+
+void Machine::load_program(std::span<const std::uint32_t> words) {
+  bus_.load_words(kRamBase, words);
+  cpu_.set_pc(kRamBase);
+}
+
+void Machine::load_program(Assembler& assembler) {
+  const auto words = assembler.finish();
+  load_program(words);
+}
+
+HaltReason Machine::run(std::uint64_t max_instructions) {
+  const HaltReason r = cpu_.run(max_instructions);
+  timer_->tick(cpu_.cycles());
+  return r;
+}
+
+}  // namespace vedliot::sim

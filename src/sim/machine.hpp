@@ -1,0 +1,54 @@
+#pragma once
+/// \file machine.hpp
+/// \brief Complete simulated SoC (the Renode "machine"): CPU + RAM + UART +
+/// timer, optional CFU and PMP, with load/run/introspect workflow usable
+/// interactively and in CI (Sec. II-B).
+
+#include <memory>
+
+#include "security/pmp.hpp"
+#include "sim/assembler.hpp"
+#include "sim/bus.hpp"
+#include "sim/cfu.hpp"
+#include "sim/cpu.hpp"
+
+namespace vedliot::sim {
+
+/// Default memory map.
+constexpr std::uint32_t kRamBase = 0x8000'0000;
+constexpr std::uint32_t kRamSize = 4 * 1024 * 1024;
+constexpr std::uint32_t kUartBase = 0x1000'0000;
+constexpr std::uint32_t kTimerBase = 0x1001'0000;
+
+class Machine {
+ public:
+  Machine();
+
+  Bus& bus() { return bus_; }
+  Cpu& cpu() { return cpu_; }
+  Uart& uart() { return *uart_; }
+
+  /// Attach a CFU to the core's custom-0 opcode.
+  void attach_cfu(std::shared_ptr<Cfu> cfu) { cpu_.attach_cfu(std::move(cfu)); }
+
+  /// Enable the PMP unit (returns it for configuration).
+  security::PmpUnit& enable_pmp(std::size_t entries = 16);
+
+  /// Load a program image at kRamBase and point the PC at it.
+  void load_program(std::span<const std::uint32_t> words);
+
+  /// Assemble-and-load convenience.
+  void load_program(Assembler& assembler);
+
+  /// Run until halt or budget; keeps the timer peripheral in sync.
+  HaltReason run(std::uint64_t max_instructions = 10'000'000);
+
+ private:
+  Bus bus_;
+  Cpu cpu_;
+  std::shared_ptr<Uart> uart_;
+  std::shared_ptr<Timer> timer_;
+  std::unique_ptr<security::PmpUnit> pmp_;
+};
+
+}  // namespace vedliot::sim

@@ -1,0 +1,98 @@
+#include "sim/testbench.hpp"
+
+#include <sstream>
+
+namespace vedliot::sim {
+
+TestBench::TestBench(Machine& machine) : machine_(machine) {
+  machine_.bus().set_write_hook([this](std::uint32_t addr, std::uint32_t value, int width) {
+    for (const auto& [base, size] : watched_) {
+      if (addr >= base && addr < base + size) {
+        events_.push_back({addr, value, width, machine_.cpu().instructions_retired()});
+        break;
+      }
+    }
+  });
+}
+
+void TestBench::watch(std::uint32_t base, std::uint32_t size) {
+  watched_.emplace_back(base, size);
+}
+
+bool TestBench::run_until_uart_contains(const std::string& text,
+                                        std::uint64_t max_instructions) {
+  for (std::uint64_t i = 0; i < max_instructions; ++i) {
+    if (machine_.uart().output().find(text) != std::string::npos) return true;
+    const HaltReason r = machine_.cpu().step();
+    if (r != HaltReason::kRunning) {
+      last_halt_ = r;
+      break;
+    }
+  }
+  return machine_.uart().output().find(text) != std::string::npos;
+}
+
+HaltReason TestBench::run(std::uint64_t max_instructions) {
+  const HaltReason r = machine_.run(max_instructions);
+  last_halt_ = r;
+  return r;
+}
+
+void TestBench::record(bool passed, const std::string& what, const std::string& detail) {
+  results_.push_back({passed, what, detail});
+}
+
+void TestBench::expect_reg(Reg reg, std::uint32_t expected, const std::string& what) {
+  const std::uint32_t actual = machine_.cpu().reg(reg);
+  std::ostringstream os;
+  os << "reg x" << static_cast<int>(reg) << " = " << actual << ", expected " << expected;
+  record(actual == expected, what, os.str());
+}
+
+void TestBench::expect_uart(const std::string& expected_substring, const std::string& what) {
+  const bool ok = machine_.uart().output().find(expected_substring) != std::string::npos;
+  record(ok, what, ok ? "found \"" + expected_substring + "\"" :
+                        "uart output was \"" + machine_.uart().output() + "\"");
+}
+
+void TestBench::expect_halt(HaltReason expected, const std::string& what) {
+  const bool ok = last_halt_.has_value() && *last_halt_ == expected;
+  record(ok, what, ok ? "halted as expected" : "halt reason differed or machine still running");
+}
+
+void TestBench::expect_max_cycles(std::uint64_t budget, const std::string& what) {
+  const auto cycles = machine_.cpu().cycles();
+  std::ostringstream os;
+  os << cycles << " cycles, budget " << budget;
+  record(cycles <= budget, what, os.str());
+}
+
+void TestBench::expect_stores_to(std::uint32_t base, std::uint32_t size, std::size_t min_count,
+                                 const std::string& what) {
+  std::size_t count = 0;
+  for (const auto& e : events_) {
+    if (e.addr >= base && e.addr < base + size) ++count;
+  }
+  std::ostringstream os;
+  os << count << " stores observed, expected >= " << min_count;
+  record(count >= min_count, what, os.str());
+}
+
+bool TestBench::all_passed() const {
+  for (const auto& r : results_) {
+    if (!r.passed) return false;
+  }
+  return true;
+}
+
+std::string TestBench::report() const {
+  std::ostringstream os;
+  for (const auto& r : results_) {
+    os << (r.passed ? "[PASS] " : "[FAIL] ") << r.what << " — " << r.detail << '\n';
+  }
+  os << (all_passed() ? "ALL PASSED" : "FAILURES PRESENT") << " (" << results_.size()
+     << " checks)\n";
+  return os.str();
+}
+
+}  // namespace vedliot::sim

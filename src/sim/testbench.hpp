@@ -1,0 +1,74 @@
+#pragma once
+/// \file testbench.hpp
+/// \brief Renode-style CI test bench (Sec. II-B: "VEDLIoT benefits from
+/// Renode's testing and introspection capabilities, using it both for
+/// interactive development of accelerator prototypes and within a
+/// Continuous Integration environment").
+///
+/// Wraps a Machine with declarative expectations: run until the UART
+/// printed a string, watch memory regions, assert registers and cycle
+/// budgets, and collect a pass/fail report suitable for CI logs.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace vedliot::sim {
+
+/// One recorded store into a watched region.
+struct WatchEvent {
+  std::uint32_t addr = 0;
+  std::uint32_t value = 0;
+  int width = 0;
+  std::uint64_t instret = 0;  ///< retired instructions at the time of the store
+};
+
+class TestBench {
+ public:
+  explicit TestBench(Machine& machine);
+
+  /// Record every store into [base, base+size).
+  void watch(std::uint32_t base, std::uint32_t size);
+
+  const std::vector<WatchEvent>& events() const { return events_; }
+
+  /// Run until the UART output contains \p text or the instruction budget
+  /// runs out; returns true if the text appeared.
+  bool run_until_uart_contains(const std::string& text, std::uint64_t max_instructions = 1'000'000);
+
+  /// Step until the halt reason; returns it.
+  HaltReason run(std::uint64_t max_instructions = 1'000'000);
+
+  // -- declarative expectations (collected into the report) -----------------
+  void expect_reg(Reg reg, std::uint32_t expected, const std::string& what);
+  void expect_uart(const std::string& expected_substring, const std::string& what);
+  void expect_halt(HaltReason expected, const std::string& what);
+  void expect_max_cycles(std::uint64_t budget, const std::string& what);
+  void expect_stores_to(std::uint32_t base, std::uint32_t size, std::size_t min_count,
+                        const std::string& what);
+
+  bool all_passed() const;
+  std::size_t checks() const { return results_.size(); }
+
+  /// CI-style report: one line per expectation.
+  std::string report() const;
+
+ private:
+  struct CheckResult {
+    bool passed = false;
+    std::string what;
+    std::string detail;
+  };
+  void record(bool passed, const std::string& what, const std::string& detail);
+
+  Machine& machine_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> watched_;
+  std::vector<WatchEvent> events_;
+  std::optional<HaltReason> last_halt_;
+  std::vector<CheckResult> results_;
+};
+
+}  // namespace vedliot::sim

@@ -1,0 +1,55 @@
+#include "tensor/dtype.hpp"
+
+#include "util/error.hpp"
+
+namespace vedliot {
+
+int dtype_bits(DType dt) {
+  switch (dt) {
+    case DType::kFP32: return 32;
+    case DType::kFP16: return 16;
+    case DType::kINT8: return 8;
+    case DType::kINT4: return 4;
+    case DType::kBinary: return 1;
+  }
+  throw InvalidArgument("unknown DType");
+}
+
+double dtype_bytes(DType dt) { return static_cast<double>(dtype_bits(dt)) / 8.0; }
+
+std::string_view dtype_name(DType dt) {
+  switch (dt) {
+    case DType::kFP32: return "fp32";
+    case DType::kFP16: return "fp16";
+    case DType::kINT8: return "int8";
+    case DType::kINT4: return "int4";
+    case DType::kBinary: return "binary";
+  }
+  throw InvalidArgument("unknown DType");
+}
+
+DType parse_dtype(std::string_view name) {
+  if (name == "fp32") return DType::kFP32;
+  if (name == "fp16") return DType::kFP16;
+  if (name == "int8") return DType::kINT8;
+  if (name == "int4") return DType::kINT4;
+  if (name == "binary") return DType::kBinary;
+  throw InvalidArgument("unknown dtype name: " + std::string(name));
+}
+
+bool dtype_is_integer(DType dt) {
+  return dt == DType::kINT8 || dt == DType::kINT4 || dt == DType::kBinary;
+}
+
+double dtype_speedup_vs_fp32(DType dt) {
+  switch (dt) {
+    case DType::kFP32: return 1.0;
+    case DType::kFP16: return 2.0;
+    case DType::kINT8: return 4.0;
+    case DType::kINT4: return 8.0;
+    case DType::kBinary: return 16.0;
+  }
+  throw InvalidArgument("unknown DType");
+}
+
+}  // namespace vedliot

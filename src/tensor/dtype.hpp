@@ -1,0 +1,44 @@
+#pragma once
+/// \file dtype.hpp
+/// \brief Numeric datatypes supported across the VEDLIoT stack.
+///
+/// The accelerator survey in the paper (Fig. 3) spans FP32 down to binary
+/// weights; the toolchain (Sec. III) quantizes to INT8/FP16. DType is the
+/// common currency between the graph IR, the optimizer and the hardware
+/// models.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vedliot {
+
+enum class DType : std::uint8_t {
+  kFP32,
+  kFP16,
+  kINT8,
+  kINT4,
+  kBinary,
+};
+
+/// Width of one element in bits (1 for binary).
+int dtype_bits(DType dt);
+
+/// Width of one element in bytes, fractional for sub-byte types.
+double dtype_bytes(DType dt);
+
+/// Canonical lower-case name ("fp32", "int8", ...).
+std::string_view dtype_name(DType dt);
+
+/// Parse a name produced by dtype_name; throws InvalidArgument otherwise.
+DType parse_dtype(std::string_view name);
+
+/// True if the type is an integer (quantized) type.
+bool dtype_is_integer(DType dt);
+
+/// Relative compute throughput multiplier vs FP32 on typical DL hardware
+/// (vendors quote ~2x for FP16, ~4x for INT8 dense math; used by the
+/// performance model when a device supports multiple precisions).
+double dtype_speedup_vs_fp32(DType dt);
+
+}  // namespace vedliot

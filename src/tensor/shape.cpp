@@ -1,0 +1,48 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vedliot {
+
+namespace {
+void validate(std::span<const std::int64_t> dims) {
+  for (auto d : dims) {
+    if (d <= 0) throw InvalidArgument("Shape extents must be positive, got " + std::to_string(d));
+  }
+}
+}  // namespace
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) { validate(dims_); }
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) { validate(dims_); }
+
+std::int64_t Shape::dim(std::size_t i) const {
+  VEDLIOT_CHECK(i < dims_.size(), "Shape dim index out of range");
+  return dims_[i];
+}
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (auto d : dims_) n *= d;
+  return n;
+}
+
+std::int64_t Shape::dim4(std::size_t i) const {
+  VEDLIOT_CHECK(dims_.size() == 4, "NCHW accessor requires rank-4 shape, got " + to_string());
+  return dims_[i];
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace vedliot

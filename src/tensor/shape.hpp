@@ -1,0 +1,44 @@
+#pragma once
+/// \file shape.hpp
+/// \brief Tensor shape (row-major, NCHW convention for 4-D activations).
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vedliot {
+
+/// Immutable-ish shape: a short vector of positive extents.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+  explicit Shape(std::vector<std::int64_t> dims);
+
+  std::size_t rank() const { return dims_.size(); }
+  std::int64_t dim(std::size_t i) const;
+  std::span<const std::int64_t> dims() const { return dims_; }
+
+  /// Product of all extents (1 for rank-0).
+  std::int64_t numel() const;
+
+  /// NCHW accessors; throw unless rank()==4.
+  std::int64_t n() const { return dim4(0); }
+  std::int64_t c() const { return dim4(1); }
+  std::int64_t h() const { return dim4(2); }
+  std::int64_t w() const { return dim4(3); }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// e.g. "[1, 3, 224, 224]"
+  std::string to_string() const;
+
+ private:
+  std::int64_t dim4(std::size_t i) const;
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace vedliot

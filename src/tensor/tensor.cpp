@@ -1,0 +1,89 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vedliot {
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)), data_(static_cast<std::size_t>(shape_.numel()), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data) : shape_(std::move(shape)), data_(std::move(data)) {
+  VEDLIOT_CHECK(static_cast<std::int64_t>(data_.size()) == shape_.numel(),
+                "Tensor data size does not match shape " + shape_.to_string());
+}
+
+float& Tensor::at(std::size_t i) {
+  VEDLIOT_CHECK(i < data_.size(), "Tensor index out of range");
+  return data_[i];
+}
+
+float Tensor::at(std::size_t i) const {
+  VEDLIOT_CHECK(i < data_.size(), "Tensor index out of range");
+  return data_[i];
+}
+
+float& Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+  const auto& s = shape_;
+  VEDLIOT_CHECK(n >= 0 && n < s.n() && c >= 0 && c < s.c() && h >= 0 && h < s.h() && w >= 0 && w < s.w(),
+                "Tensor 4-D index out of range for " + s.to_string());
+  const std::size_t idx =
+      static_cast<std::size_t>(((n * s.c() + c) * s.h() + h) * s.w() + w);
+  return data_[idx];
+}
+
+float Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const {
+  return const_cast<Tensor*>(this)->at4(n, c, h, w);
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+float Tensor::min() const {
+  if (data_.empty()) return 0.0f;
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  if (data_.empty()) return 0.0f;
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Tensor::abs_sum() const {
+  double s = 0.0;
+  for (float v : data_) s += std::abs(v);
+  return s;
+}
+
+double Tensor::sparsity() const {
+  if (data_.empty()) return 0.0;
+  std::size_t zeros = 0;
+  for (float v : data_) {
+    if (v == 0.0f) ++zeros;
+  }
+  return static_cast<double>(zeros) / static_cast<double>(data_.size());
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  VEDLIOT_CHECK(a.shape() == b.shape(), "max_abs_diff shape mismatch");
+  float m = 0.0f;
+  auto da = a.data();
+  auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) m = std::max(m, std::abs(da[i] - db[i]));
+  return m;
+}
+
+double rmse(const Tensor& a, const Tensor& b) {
+  VEDLIOT_CHECK(a.shape() == b.shape(), "rmse shape mismatch");
+  if (a.numel() == 0) return 0.0;
+  double s = 0.0;
+  auto da = a.data();
+  auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    const double d = static_cast<double>(da[i]) - static_cast<double>(db[i]);
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(da.size()));
+}
+
+}  // namespace vedliot

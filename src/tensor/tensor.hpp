@@ -1,0 +1,66 @@
+#pragma once
+/// \file tensor.hpp
+/// \brief Dense FP32 tensor used by the reference executor and optimizer.
+///
+/// Storage is always float; quantized execution is modelled by
+/// quantize-dequantize ("fake quant", see quant.hpp), which is how
+/// post-training-quantization accuracy is normally evaluated before
+/// deploying real integer kernels.
+
+#include <span>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace vedliot {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialised tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor with explicit data; data.size() must equal shape.numel().
+  Tensor(Shape shape, std::vector<float> data);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return shape_.numel(); }
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+
+  float& at(std::size_t i);
+  float at(std::size_t i) const;
+
+  /// 4-D NCHW element access; throws unless rank-4 and in range.
+  float& at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w);
+  float at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const;
+
+  /// Fill with a constant.
+  void fill(float v);
+
+  /// Elementwise min/max over the data (0,0 for empty).
+  float min() const;
+  float max() const;
+
+  /// Sum of absolute values.
+  double abs_sum() const;
+
+  /// Fraction of exact zeros (sparsity after pruning).
+  double sparsity() const;
+
+  bool empty() const { return data_.empty(); }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Max absolute elementwise difference; shapes must match.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+/// Root-mean-square error between two tensors; shapes must match.
+double rmse(const Tensor& a, const Tensor& b);
+
+}  // namespace vedliot

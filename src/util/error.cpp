@@ -1,0 +1,22 @@
+#include "util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace vedliot::detail {
+
+void throw_check_failure(std::string_view expr, std::string_view file, int line,
+                         const std::string& message) {
+  std::ostringstream os;
+  os << message << " [check `" << expr << "` failed at " << file << ":" << line << "]";
+  throw Error(os.str());
+}
+
+void assert_failure(std::string_view expr, std::string_view file, int line) {
+  std::fprintf(stderr, "VEDLIOT_ASSERT failed: %.*s at %.*s:%d\n", static_cast<int>(expr.size()),
+               expr.data(), static_cast<int>(file.size()), file.data(), line);
+  std::abort();
+}
+
+}  // namespace vedliot::detail

@@ -1,0 +1,66 @@
+#pragma once
+/// \file error.hpp
+/// \brief Error handling primitives used across all VEDLIoT libraries.
+///
+/// The project follows the C++ Core Guidelines error model: exceptions for
+/// runtime errors that callers may want to handle, assertions (via
+/// VEDLIOT_ASSERT) for programming-logic invariants that indicate a bug.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace vedliot {
+
+/// Base exception for every error thrown by VEDLIoT libraries.
+///
+/// Carries a human-readable message; modules derive more specific types
+/// (e.g. GraphError, SimError) so callers can discriminate when needed.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// Invalid argument passed to a public API function.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& message) : Error(message) {}
+};
+
+/// A lookup (by name, id, index) failed.
+class NotFound : public Error {
+ public:
+  explicit NotFound(const std::string& message) : Error(message) {}
+};
+
+/// An operation is not supported by the chosen target/configuration.
+class Unsupported : public Error {
+ public:
+  explicit Unsupported(const std::string& message) : Error(message) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(std::string_view expr, std::string_view file, int line,
+                                      const std::string& message);
+[[noreturn]] void assert_failure(std::string_view expr, std::string_view file, int line);
+}  // namespace detail
+
+}  // namespace vedliot
+
+/// Runtime check that throws vedliot::Error on failure. Use for conditions
+/// that depend on external input (files, models, configs).
+#define VEDLIOT_CHECK(cond, message)                                                  \
+  do {                                                                                \
+    if (!(cond)) {                                                                    \
+      ::vedliot::detail::throw_check_failure(#cond, __FILE__, __LINE__, (message));   \
+    }                                                                                 \
+  } while (false)
+
+/// Invariant assertion: aborts (via std::terminate through an uncaught
+/// logic_error) on failure. Use for internal bugs, never for input checks.
+#define VEDLIOT_ASSERT(cond)                                             \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::vedliot::detail::assert_failure(#cond, __FILE__, __LINE__);      \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,92 @@
+#include "util/fft.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vedliot::dsp {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+}  // namespace
+
+void fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  VEDLIOT_CHECK(is_pow2(n), "FFT size must be a power of two");
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = 2.0 * kPi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const std::complex<double> wn(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wn;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+std::vector<double> magnitude_spectrum(std::span<const float> signal, std::size_t n_fft) {
+  VEDLIOT_CHECK(is_pow2(n_fft), "FFT size must be a power of two");
+  std::vector<std::complex<double>> buf(n_fft, {0.0, 0.0});
+  const std::size_t take = std::min(signal.size(), n_fft);
+  for (std::size_t i = 0; i < take; ++i) buf[i] = {static_cast<double>(signal[i]), 0.0};
+  fft(buf);
+  std::vector<double> mags(n_fft / 2);
+  const double norm = static_cast<double>(n_fft) / 2.0;
+  for (std::size_t k = 0; k < mags.size(); ++k) mags[k] = std::abs(buf[k]) / norm;
+  return mags;
+}
+
+void hann_window(std::span<double> frame) {
+  const std::size_t n = frame.size();
+  if (n < 2) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    frame[i] *= 0.5 * (1.0 - std::cos(2.0 * kPi * static_cast<double>(i) /
+                                      static_cast<double>(n - 1)));
+  }
+}
+
+std::vector<std::vector<double>> spectrogram(std::span<const float> signal, std::size_t n_fft,
+                                             std::size_t hop) {
+  VEDLIOT_CHECK(is_pow2(n_fft), "FFT size must be a power of two");
+  VEDLIOT_CHECK(hop > 0, "hop must be positive");
+  std::vector<std::vector<double>> frames;
+  for (std::size_t start = 0; start + n_fft <= signal.size(); start += hop) {
+    std::vector<std::complex<double>> buf(n_fft);
+    std::vector<double> windowed(n_fft);
+    for (std::size_t i = 0; i < n_fft; ++i) windowed[i] = signal[start + i];
+    hann_window(windowed);
+    for (std::size_t i = 0; i < n_fft; ++i) buf[i] = {windowed[i], 0.0};
+    fft(buf);
+    std::vector<double> mags(n_fft / 2);
+    const double norm = static_cast<double>(n_fft) / 4.0;  // Hann coherent gain 0.5
+    for (std::size_t k = 0; k < mags.size(); ++k) mags[k] = std::abs(buf[k]) / norm;
+    frames.push_back(std::move(mags));
+  }
+  return frames;
+}
+
+double bin_frequency_hz(std::size_t k, double sample_rate_hz, std::size_t n_fft) {
+  return static_cast<double>(k) * sample_rate_hz / static_cast<double>(n_fft);
+}
+
+}  // namespace vedliot::dsp

@@ -1,0 +1,34 @@
+#pragma once
+/// \file fft.hpp
+/// \brief Radix-2 FFT and spectrum helpers for the signal-processing
+/// pre-processing stages of the industrial use cases (Sec. III step 1:
+/// "preparation of data pre-processing ... routines").
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace vedliot::dsp {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. Size must be a power of
+/// two; throws InvalidArgument otherwise. Set \p inverse for the inverse
+/// transform (includes the 1/N normalisation).
+void fft(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// Magnitude spectrum of a real signal: |FFT(x)| for bins [0, N/2),
+/// normalised by N/2 so a unit-amplitude sinusoid lands at ~1.0 in its bin.
+/// The input is zero-padded or truncated to \p n_fft (power of two).
+std::vector<double> magnitude_spectrum(std::span<const float> signal, std::size_t n_fft);
+
+/// Von-Hann window applied in place.
+void hann_window(std::span<double> frame);
+
+/// Short-time energy spectrogram: frames of \p n_fft samples hopped by
+/// \p hop, Hann-windowed, magnitude per bin. Returns frames x (n_fft/2).
+std::vector<std::vector<double>> spectrogram(std::span<const float> signal, std::size_t n_fft,
+                                             std::size_t hop);
+
+/// Frequency of bin \p k at the given sample rate and FFT size.
+double bin_frequency_hz(std::size_t k, double sample_rate_hz, std::size_t n_fft);
+
+}  // namespace vedliot::dsp

@@ -1,0 +1,19 @@
+#include "util/rng.hpp"
+
+namespace vedliot {
+
+std::vector<float> Rng::normal_vector(std::size_t n, double mean, double stddev) {
+  std::vector<float> out(n);
+  std::normal_distribution<double> dist(mean, stddev);
+  for (auto& v : out) v = static_cast<float>(dist(engine_));
+  return out;
+}
+
+std::vector<float> Rng::uniform_vector(std::size_t n, double lo, double hi) {
+  std::vector<float> out(n);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  for (auto& v : out) v = static_cast<float>(dist(engine_));
+  return out;
+}
+
+}  // namespace vedliot

@@ -1,0 +1,51 @@
+#pragma once
+/// \file rng.hpp
+/// \brief Deterministic random number generation.
+///
+/// All stochastic behaviour in the project (synthetic workloads, fault
+/// injection, weight initialisation) flows through Rng so that every test,
+/// example and benchmark is reproducible from a single seed.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace vedliot {
+
+/// Seeded Mersenne-Twister wrapper with convenience samplers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5EEDu) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Normal with given mean/stddev.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  /// Vector of n normal samples.
+  std::vector<float> normal_vector(std::size_t n, double mean = 0.0, double stddev = 1.0);
+
+  /// Vector of n uniform samples in [lo, hi).
+  std::vector<float> uniform_vector(std::size_t n, double lo = 0.0, double hi = 1.0);
+
+  /// Access the raw engine (for std::shuffle etc.).
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace vedliot

@@ -1,0 +1,89 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Small statistics toolkit used by monitors, benchmarks and reports.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vedliot::stats {
+
+/// Arithmetic mean; returns 0 for empty input.
+double mean(std::span<const double> xs);
+
+/// Population variance; returns 0 for fewer than 2 samples.
+double variance(std::span<const double> xs);
+
+/// Population standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Geometric mean of strictly-positive values; throws InvalidArgument otherwise.
+double geomean(std::span<const double> xs);
+
+/// Median (interpolated for even sizes); throws InvalidArgument for empty input.
+double median(std::span<const double> xs);
+
+/// p-th percentile with linear interpolation, p in [0,100].
+double percentile(std::span<const double> xs, double p);
+
+/// Median absolute deviation (robust scale estimator).
+double mad(std::span<const double> xs);
+
+/// Pearson correlation coefficient; returns 0 when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Simple linear regression y = a + b*x. Returns {a, b}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Exponentially-weighted moving average tracker.
+class Ewma {
+ public:
+  /// \param alpha smoothing factor in (0, 1]; larger reacts faster.
+  explicit Ewma(double alpha);
+  void add(double x);
+  double value() const { return value_; }
+  bool primed() const { return primed_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+/// Streaming mean/variance (Welford).
+class Running {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Histogram with fixed uniform bins over [lo, hi); out-of-range clamps.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const;
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace vedliot::stats

@@ -1,0 +1,101 @@
+#include "util/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vedliot {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  VEDLIOT_CHECK(!header_.empty(), "Table requires at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  VEDLIOT_CHECK(row.size() == header_.size(), "Table row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) os << std::string(widths[c] - row[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+std::string fmt_fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_eng(double v) {
+  const char* suffix = "";
+  double scaled = v;
+  const double a = std::abs(v);
+  if (a >= 1e12) {
+    scaled = v / 1e12;
+    suffix = "T";
+  } else if (a >= 1e9) {
+    scaled = v / 1e9;
+    suffix = "G";
+  } else if (a >= 1e6) {
+    scaled = v / 1e6;
+    suffix = "M";
+  } else if (a >= 1e3) {
+    scaled = v / 1e3;
+    suffix = "k";
+  }
+  char buf[64];
+  const double sa = std::abs(scaled);
+  int prec = sa >= 100 ? 0 : (sa >= 10 ? 1 : 2);
+  std::snprintf(buf, sizeof(buf), "%.*f%s", prec, scaled, suffix);
+  return buf;
+}
+
+std::string fmt_ratio(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*fx", precision, v);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace vedliot

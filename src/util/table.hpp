@@ -1,0 +1,51 @@
+#pragma once
+/// \file table.hpp
+/// \brief Fixed-width console table used by benchmark harnesses to print the
+/// rows/series corresponding to the paper's tables and figures.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vedliot {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+///
+/// Numeric cells should be pre-formatted by the caller (see fmt_* helpers);
+/// the table only handles layout.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+
+  /// Render with a separator under the header, columns padded to content.
+  std::string to_string() const;
+
+  /// Render as comma-separated values (no padding).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision.
+std::string fmt_fixed(double v, int precision = 2);
+
+/// Format with engineering suffix (k, M, G, T) and 3 significant digits.
+std::string fmt_eng(double v);
+
+/// Format a ratio as e.g. "3.2x".
+std::string fmt_ratio(double v, int precision = 1);
+
+/// Format a fraction as a percentage, e.g. 0.031 -> "3.1%".
+std::string fmt_percent(double fraction, int precision = 1);
+
+}  // namespace vedliot

@@ -1,0 +1,45 @@
+#pragma once
+/// \file units.hpp
+/// \brief Unit conventions and conversion helpers.
+///
+/// Conventions used across the project:
+///  - operations are counted as individual MACs*2 (one multiply + one add),
+///    matching how vendors quote "OPS" in Fig. 3 of the paper;
+///  - time in seconds, power in watts, energy in joules, memory in bytes;
+///  - rates in ops/second (so 1 GOPS == 1e9).
+
+#include <cstdint>
+
+namespace vedliot::units {
+
+constexpr double kKilo = 1e3;
+constexpr double kMega = 1e6;
+constexpr double kGiga = 1e9;
+constexpr double kTera = 1e12;
+
+constexpr double kMilli = 1e-3;
+constexpr double kMicro = 1e-6;
+constexpr double kNano = 1e-9;
+
+/// ops/s -> GOPS
+constexpr double to_gops(double ops_per_second) { return ops_per_second / kGiga; }
+/// GOPS -> ops/s
+constexpr double from_gops(double gops) { return gops * kGiga; }
+
+/// ops/s per watt -> TOPS/W
+constexpr double to_tops_per_watt(double ops_per_second, double watts) {
+  return ops_per_second / kTera / watts;
+}
+
+/// bytes -> MiB
+constexpr double to_mib(double bytes) { return bytes / (1024.0 * 1024.0); }
+
+/// seconds -> milliseconds
+constexpr double to_ms(double seconds) { return seconds * 1e3; }
+/// seconds -> microseconds
+constexpr double to_us(double seconds) { return seconds * 1e6; }
+
+/// Bits per second for a link speed given in Mbit/s.
+constexpr double mbit_per_s(double mbit) { return mbit * 1e6; }
+
+}  // namespace vedliot::units

@@ -1,0 +1,353 @@
+// Tests for the four use cases (Sec. V): PAEB offload, motor condition,
+// arc detection, smart mirror — plus the mobile network model.
+
+#include <gtest/gtest.h>
+
+#include "apps/arc.hpp"
+#include "apps/mirror.hpp"
+#include "apps/motor.hpp"
+#include "apps/network.hpp"
+#include "apps/paeb.hpp"
+#include "graph/cost.hpp"
+#include "graph/zoo.hpp"
+#include "kenning/metrics.hpp"
+#include "platform/baseboard.hpp"
+
+namespace vedliot::apps {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Mobile network
+// ---------------------------------------------------------------------------
+
+TEST(Network, NominalStatesOrdered) {
+  EXPECT_GT(nominal_state(Coverage::kGood5G).bandwidth_mbps,
+            nominal_state(Coverage::kUrban4G).bandwidth_mbps);
+  EXPECT_GT(nominal_state(Coverage::kRural3G).rtt_ms, nominal_state(Coverage::kGood5G).rtt_ms);
+  EXPECT_GT(nominal_state(Coverage::kDeadZone).loss, 0.1);
+}
+
+TEST(Network, StepStaysNearNominal) {
+  MobileNetwork net(Coverage::kUrban4G, 42);
+  double min_bw = 1e9, max_bw = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto& s = net.step(0.1);
+    min_bw = std::min(min_bw, s.bandwidth_mbps);
+    max_bw = std::max(max_bw, s.bandwidth_mbps);
+    EXPECT_GT(s.bandwidth_mbps, 0.0);
+    EXPECT_GE(s.loss, 0.0);
+    EXPECT_LE(s.loss, 0.9);
+  }
+  const double nominal = nominal_state(Coverage::kUrban4G).bandwidth_mbps;
+  EXPECT_LT(min_bw, nominal);       // fading happens
+  EXPECT_LT(max_bw, nominal * 3);   // but stays bounded
+}
+
+TEST(Network, ProbeIsNoisyEstimate) {
+  MobileNetwork net(Coverage::kGood5G, 7);
+  net.step(0.1);
+  bool differs = false;
+  for (int i = 0; i < 16; ++i) {
+    if (std::abs(net.probe().bandwidth_mbps - net.state().bandwidth_mbps) > 1e-9) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Network, TransferTimePhysics) {
+  MobileNetwork net(Coverage::kUrban4G, 9);
+  const double small = net.transfer_time_s(1e3, 100);
+  const double large = net.transfer_time_s(1e6, 100);
+  EXPECT_GT(large, small);
+  EXPECT_GE(small, net.state().rtt_ms * 1e-3);  // at least one RTT
+}
+
+TEST(Network, CoverageNames) {
+  EXPECT_EQ(coverage_name(Coverage::kDeadZone), "dead-zone");
+}
+
+// ---------------------------------------------------------------------------
+// PAEB (Sec. V-A)
+// ---------------------------------------------------------------------------
+
+PaebConfig paeb_config(bool attest = true) {
+  PaebConfig cfg;
+  // The interesting regime: a modest on-car computer running a heavy
+  // detector vs a GPU-equipped edge station.
+  cfg.oncar_device = hw::find_device("JetsonTX2");
+  cfg.edge_device = hw::find_device("GTX1660");
+  cfg.require_attestation = attest;
+  return cfg;
+}
+
+PaebWorkload paeb_workload() {
+  const Graph g = zoo::yolov4();  // full-size detector for PAEB
+  PaebWorkload w;
+  const auto c = graph_cost(g);
+  w.ops = static_cast<double>(c.ops);
+  w.traffic_bytes = graph_traffic_bytes(g, DType::kFP16, DType::kFP16);
+  w.weight_bytes = weight_bytes(g, DType::kFP16);
+  w.dtype = DType::kFP16;  // TX2 has no INT8 path
+  w.frame_bytes = 20e3;    // compressed camera frame
+  return w;
+}
+
+TEST(Paeb, DecisionBudgetPhysics) {
+  PaebScenario s;
+  s.vehicle_speed_kmh = 50;
+  s.detection_distance_m = 40;
+  s.brake_decel_ms2 = 8;
+  // v = 13.9 m/s, braking distance = 12.05 m, budget = 27.95/13.9 - 0.15
+  EXPECT_NEAR(s.decision_budget_s(), (40 - 13.89 * 13.89 / 16.0) / 13.89 - 0.15, 0.01);
+  // faster vehicle -> smaller budget
+  PaebScenario fast = s;
+  fast.vehicle_speed_kmh = 70;
+  EXPECT_LT(fast.decision_budget_s(), s.decision_budget_s());
+}
+
+TEST(Paeb, GoodNetworkOffloadsToSaveEnergy) {
+  OffloadManager manager(paeb_config(), paeb_workload());
+  PaebScenario scenario;
+  const auto d = manager.decide(scenario, nominal_state(Coverage::kGood5G), true);
+  EXPECT_TRUE(d.offloaded);
+  EXPECT_TRUE(d.deadline_met);
+  EXPECT_LT(d.oncar_energy_j, manager.local_energy_j());
+}
+
+TEST(Paeb, DeadZoneForcesLocal) {
+  OffloadManager manager(paeb_config(), paeb_workload());
+  PaebScenario scenario;
+  const auto d = manager.decide(scenario, nominal_state(Coverage::kDeadZone), true);
+  EXPECT_FALSE(d.offloaded);
+  EXPECT_TRUE(d.deadline_met);  // the on-car path must still make it
+}
+
+TEST(Paeb, UnattestedEdgeNeverGetsRawData) {
+  OffloadManager manager(paeb_config(true), paeb_workload());
+  PaebScenario scenario;
+  const auto d = manager.decide(scenario, nominal_state(Coverage::kGood5G), false);
+  EXPECT_FALSE(d.offloaded);
+  // without the attestation requirement the same link offloads
+  OffloadManager relaxed(paeb_config(false), paeb_workload());
+  EXPECT_TRUE(relaxed.decide(scenario, nominal_state(Coverage::kGood5G), false).offloaded);
+}
+
+TEST(Paeb, HighSpeedShrinksOffloadWindow) {
+  OffloadManager manager(paeb_config(), paeb_workload());
+  // A mediocre network that's fine at 30 km/h becomes unusable at 70 km/h.
+  LinkState marginal{0.25, 200.0, 0.01};
+  PaebScenario slow;
+  slow.vehicle_speed_kmh = 30;
+  PaebScenario fast;
+  fast.vehicle_speed_kmh = 70;
+  const auto d_slow = manager.decide(slow, marginal, true);
+  const auto d_fast = manager.decide(fast, marginal, true);
+  EXPECT_TRUE(d_slow.offloaded);
+  EXPECT_FALSE(d_fast.offloaded);
+}
+
+TEST(Paeb, CrossoverMovesWithBandwidth) {
+  // Sweep bandwidth: offloading must win above some threshold and only
+  // above it (monotone decision in link quality).
+  OffloadManager manager(paeb_config(), paeb_workload());
+  PaebScenario scenario;
+  bool seen_local = false, seen_offload = false;
+  bool last_offloaded = false;
+  for (double mbps : {0.02, 0.05, 0.2, 1.0, 5.0, 10.0, 30.0, 100.0}) {
+    LinkState link{mbps, 40.0, 0.005};
+    const auto d = manager.decide(scenario, link, true);
+    if (d.offloaded) seen_offload = true;
+    else seen_local = true;
+    if (last_offloaded) EXPECT_TRUE(d.offloaded) << mbps;  // once on, stays on
+    last_offloaded = d.offloaded;
+  }
+  EXPECT_TRUE(seen_local);
+  EXPECT_TRUE(seen_offload);
+}
+
+// ---------------------------------------------------------------------------
+// Motor condition (Sec. V-B)
+// ---------------------------------------------------------------------------
+
+TEST(Motor, GeneratorProducesDistinguishableConditions) {
+  VibrationGenerator gen({}, 11);
+  const auto healthy = gen.sample(MotorCondition::kHealthy);
+  const auto overheated = gen.sample(MotorCondition::kOverheat);
+  // stator temperature feature separates overheat clearly
+  EXPECT_GT(overheated[kSpectrumBins + 0], healthy[kSpectrumBins + 0] + 15.0);
+}
+
+TEST(Motor, ClassifierLearnsAllFourConditions) {
+  VibrationGenerator gen({}, 21);
+  std::vector<std::pair<MotorFeatures, MotorCondition>> train;
+  for (std::size_t c = 0; c < kMotorConditionCount; ++c) {
+    for (int i = 0; i < 40; ++i) {
+      train.emplace_back(gen.sample(static_cast<MotorCondition>(c)),
+                         static_cast<MotorCondition>(c));
+    }
+  }
+  MotorClassifier clf;
+  clf.fit(train);
+
+  kenning::ConfusionMatrix cm(kMotorConditionCount);
+  VibrationGenerator test_gen({}, 22);
+  for (std::size_t c = 0; c < kMotorConditionCount; ++c) {
+    for (int i = 0; i < 50; ++i) {
+      const auto pred = clf.classify(test_gen.sample(static_cast<MotorCondition>(c)));
+      cm.add(c, static_cast<std::size_t>(pred));
+    }
+  }
+  EXPECT_GT(cm.accuracy(), 0.9);
+  for (std::size_t c = 0; c < kMotorConditionCount; ++c) {
+    EXPECT_GT(cm.recall(c), 0.7) << motor_condition_name(static_cast<MotorCondition>(c));
+  }
+}
+
+TEST(Motor, MildFaultsHarderThanSevere) {
+  VibrationGenerator::Config mild_cfg;
+  mild_cfg.severity = 0.25;
+  VibrationGenerator mild(mild_cfg, 31);
+  VibrationGenerator severe({}, 31);
+  // Imbalance signature amplitude scales with severity.
+  const auto m = mild.sample(MotorCondition::kImbalance);
+  const auto s = severe.sample(MotorCondition::kImbalance);
+  double m_peak = 0, s_peak = 0;
+  for (std::size_t i = 0; i < kSpectrumBins; ++i) {
+    m_peak = std::max(m_peak, static_cast<double>(m[i]));
+    s_peak = std::max(s_peak, static_cast<double>(s[i]));
+  }
+  EXPECT_GT(s_peak, m_peak);
+}
+
+TEST(Motor, ClassifierValidation) {
+  MotorClassifier clf;
+  EXPECT_THROW((void)clf.classify(MotorFeatures(kMotorFeatureDim, 0.0f)), Error);
+  VibrationGenerator gen({}, 1);
+  std::vector<std::pair<MotorFeatures, MotorCondition>> only_one{
+      {gen.sample(MotorCondition::kHealthy), MotorCondition::kHealthy}};
+  EXPECT_THROW(clf.fit(only_one), Error);  // needs every condition
+}
+
+TEST(Motor, BatteryLifeModel) {
+  MotorBoxEnergy box;
+  // longer interval -> lower average power -> longer life
+  EXPECT_LT(box.average_power_w(600.0), box.average_power_w(10.0));
+  // 10 Wh battery, 1 sample/min: multi-year operation (ultra-low energy)
+  EXPECT_GT(box.battery_life_days(60.0, 10.0), 365.0);
+  EXPECT_THROW((void)box.average_power_w(0.1), Error);  // shorter than burst
+}
+
+// ---------------------------------------------------------------------------
+// Arc detection (Sec. V-B)
+// ---------------------------------------------------------------------------
+
+ArcDetector::Config default_detector() {
+  ArcDetector::Config cfg;
+  cfg.window = 64;
+  cfg.threshold = 3.0;
+  cfg.persistence = 2;
+  return cfg;
+}
+
+TEST(Arc, DetectsArcsWithUltraLowFnr) {
+  ArcWaveformGenerator gen({}, 101);
+  ArcDetector detector(default_detector());
+  const auto result = evaluate_arc_detector(detector, gen, 200, 200);
+  EXPECT_EQ(result.arcs, 200u);
+  // "ultra-low false-negative error rate"
+  EXPECT_LE(result.fnr(), 0.01);
+  EXPECT_LE(result.fpr(), 0.05);
+}
+
+TEST(Arc, LatencyWellUnderTenMilliseconds) {
+  ArcWaveformGenerator gen({}, 102);
+  ArcDetector detector(default_detector());
+  const auto result = evaluate_arc_detector(detector, gen, 100, 0);
+  EXPECT_GT(result.detected, 95u);
+  EXPECT_LT(result.mean_latency_ms, 5.0);   // "very low latency from the first spark"
+  EXPECT_LT(result.p99_latency_ms, 10.0);
+}
+
+TEST(Arc, LoadStepsDoNotTrip) {
+  // The hard negative: a benign load transient has an edge but no
+  // sustained broadband noise.
+  ArcWaveformGenerator::Config cfg;
+  cfg.load_step_prob = 1.0;  // every trace has a step
+  ArcWaveformGenerator gen(cfg, 103);
+  ArcDetector detector(default_detector());
+  std::size_t false_alarms = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (detector.detect(gen.normal_trace())) ++false_alarms;
+  }
+  EXPECT_LE(false_alarms, 5u);
+}
+
+TEST(Arc, ThresholdTradesFnrForFpr) {
+  ArcWaveformGenerator gen_a({}, 104);
+  ArcWaveformGenerator gen_b({}, 104);
+  auto loose = default_detector();
+  loose.threshold = 1.2;
+  auto strict = default_detector();
+  strict.threshold = 30.0;
+  const auto r_loose = evaluate_arc_detector(ArcDetector(loose), gen_a, 100, 100);
+  const auto r_strict = evaluate_arc_detector(ArcDetector(strict), gen_b, 100, 100);
+  EXPECT_LE(r_loose.fnr(), r_strict.fnr());
+  EXPECT_GE(r_loose.fpr(), r_strict.fpr());
+}
+
+TEST(Arc, LatencyRequiresLabelledOnset) {
+  ArcWaveformGenerator gen({}, 105);
+  ArcDetector detector(default_detector());
+  const ArcTrace normal = gen.normal_trace();
+  EXPECT_THROW((void)detector.latency_s(normal), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Smart mirror (Sec. V-C / Fig. 5)
+// ---------------------------------------------------------------------------
+
+TEST(Mirror, DefaultPipelinesMatchFig5) {
+  const auto pipelines = default_pipelines();
+  ASSERT_EQ(pipelines.size(), 4u);
+  std::set<std::string> names;
+  for (const auto& p : pipelines) names.insert(p.name);
+  EXPECT_EQ(names, std::set<std::string>({"gesture", "face", "object", "speech"}));
+}
+
+TEST(Mirror, PlansOnJetsonNxWithinBudget) {
+  const auto plan = plan_smart_mirror("JetsonXavierNX");
+  EXPECT_TRUE(plan.realtime_ok);
+  EXPECT_TRUE(plan.within_power_budget);
+  EXPECT_TRUE(plan.privacy_preserved);
+  EXPECT_EQ(plan.placements.size(), 4u);
+  EXPECT_LT(plan.average_power_w, 15.0);
+}
+
+TEST(Mirror, PlansOnNpuModule) {
+  const auto plan = plan_smart_mirror("SMARC-iMX8MPlus");
+  EXPECT_TRUE(plan.realtime_ok);
+  EXPECT_LT(plan.average_power_w, 10.0);
+}
+
+TEST(Mirror, RaspberryPiCannotKeepUp) {
+  // A plain CPU module misses the real-time budgets for four nets.
+  EXPECT_THROW((void)plan_smart_mirror("RPi-CM4"), platform::PlatformError);
+}
+
+TEST(Mirror, WorkloadMappingRejectsUnknownPipeline) {
+  MirrorPipeline bogus{"telepathy", 1.0, 1.0};
+  EXPECT_THROW((void)mirror_workload(bogus), InvalidArgument);
+}
+
+TEST(Mirror, TighterRatesIncreaseUtilization) {
+  auto fast = default_pipelines();
+  for (auto& p : fast) p.rate_hz *= 2.0;
+  const auto base = plan_smart_mirror("JetsonXavierNX");
+  const auto doubled = plan_smart_mirror("JetsonXavierNX", fast);
+  double u_base = 0, u_fast = 0;
+  for (const auto& p : base.placements) u_base += p.utilization;
+  for (const auto& p : doubled.placements) u_fast += p.utilization;
+  EXPECT_GT(u_fast, u_base * 1.5);
+}
+
+}  // namespace
+}  // namespace vedliot::apps

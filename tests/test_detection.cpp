@@ -1,0 +1,112 @@
+// Tests for the synthetic detection workload and the Kenning detection-
+// quality pipeline built on it.
+
+#include <gtest/gtest.h>
+
+#include "apps/detection.hpp"
+
+namespace vedliot::apps {
+namespace {
+
+SceneGenerator::Config scene_cfg() { return {}; }
+
+TEST(SceneGenerator, BoxesWithinImage) {
+  SceneGenerator gen(scene_cfg(), 1);
+  for (int i = 0; i < 200; ++i) {
+    const Scene s = gen.next();
+    EXPECT_EQ(s.image_id, i);
+    for (const auto& gt : s.truths) {
+      EXPECT_GE(gt.box.x, 0.0);
+      EXPECT_GE(gt.box.y, 0.0);
+      EXPECT_LE(gt.box.x + gt.box.w, 320.0 + 1e-9);
+      EXPECT_LE(gt.box.y + gt.box.h, 320.0 + 1e-9);
+      EXPECT_GT(gt.box.h, gt.box.w * 0.9);  // pedestrians are tall
+    }
+  }
+}
+
+TEST(SceneGenerator, ObjectCountBounded) {
+  SceneGenerator gen(scene_cfg(), 2);
+  std::size_t max_seen = 0, total = 0;
+  for (int i = 0; i < 300; ++i) {
+    const Scene s = gen.next();
+    max_seen = std::max(max_seen, s.truths.size());
+    total += s.truths.size();
+  }
+  EXPECT_LE(max_seen, 4u);
+  EXPECT_GT(total, 0u);
+}
+
+TEST(SimulatedDetector, RecallIncreasesWithSize) {
+  SimulatedDetector det({}, 3);
+  EXPECT_LT(det.recall_for_height(8), det.recall_for_height(32));
+  EXPECT_LT(det.recall_for_height(32), det.recall_for_height(128));
+  EXPECT_LE(det.recall_for_height(1000), 0.98 + 1e-9);
+}
+
+TEST(SimulatedDetector, PerfectConfigFindsEverything) {
+  SimulatedDetector::Config ideal;
+  ideal.max_recall = 1.0;
+  ideal.size50 = 0.5;     // everything is "large"
+  ideal.loc_jitter = 0.0;
+  ideal.fp_per_image = 0.0;
+  ideal.score_noise = 0.0;
+  SceneGenerator gen(scene_cfg(), 4);
+  SimulatedDetector det(ideal, 5);
+  const auto eval = run_detection_benchmark(gen, det, 100);
+  EXPECT_EQ(eval.false_negatives, 0u);
+  EXPECT_EQ(eval.false_positives, 0u);
+  EXPECT_NEAR(eval.average_precision, 1.0, 1e-9);
+}
+
+TEST(DetectionPipeline, RealisticDetectorProducesReasonableAp) {
+  SceneGenerator gen(scene_cfg(), 6);
+  SimulatedDetector det({}, 7);
+  const auto eval = run_detection_benchmark(gen, det, 400);
+  EXPECT_GT(eval.average_precision, 0.6);
+  EXPECT_LT(eval.average_precision, 1.0);
+  EXPECT_GT(eval.true_positives, 0u);
+  EXPECT_GT(eval.false_negatives, 0u);  // small pedestrians get missed
+  EXPECT_FALSE(eval.curve.empty());
+}
+
+TEST(DetectionPipeline, JitterLowersApAtStrictIou) {
+  SimulatedDetector::Config sloppy;
+  sloppy.loc_jitter = 0.25;
+  SceneGenerator gen_a(scene_cfg(), 8);
+  SceneGenerator gen_b(scene_cfg(), 8);
+  SimulatedDetector tight({}, 9);
+  SimulatedDetector loose(sloppy, 9);
+  const auto a = run_detection_benchmark(gen_a, tight, 300, 0.7);
+  const auto b = run_detection_benchmark(gen_b, loose, 300, 0.7);
+  EXPECT_GT(a.average_precision, b.average_precision);
+}
+
+TEST(DetectionPipeline, PrCurveIsMonotoneInRecall) {
+  SceneGenerator gen(scene_cfg(), 10);
+  SimulatedDetector det({}, 11);
+  const auto eval = run_detection_benchmark(gen, det, 200);
+  double prev_recall = 0.0;
+  for (const auto& pt : eval.curve) {
+    EXPECT_GE(pt.recall, prev_recall - 1e-12);  // recall only grows down the ranking
+    prev_recall = pt.recall;
+    EXPECT_GE(pt.precision, 0.0);
+    EXPECT_LE(pt.precision, 1.0);
+  }
+}
+
+TEST(DetectionPipeline, FalsePositivesDepressTailPrecision) {
+  SimulatedDetector::Config noisy;
+  noisy.fp_per_image = 1.0;  // a false positive in (almost) every image
+  SceneGenerator gen_a(scene_cfg(), 12);
+  SceneGenerator gen_b(scene_cfg(), 12);
+  SimulatedDetector clean({}, 13);
+  SimulatedDetector cluttered(noisy, 13);
+  const auto a = run_detection_benchmark(gen_a, clean, 300);
+  const auto b = run_detection_benchmark(gen_b, cluttered, 300);
+  EXPECT_GT(b.false_positives, a.false_positives);
+  EXPECT_GT(a.average_precision, b.average_precision);
+}
+
+}  // namespace
+}  // namespace vedliot::apps

@@ -1,0 +1,154 @@
+// Tests for distributed inference across microservers (pipeline-parallel
+// partitioning over the RECS fabric).
+
+#include <gtest/gtest.h>
+
+#include "graph/cost.hpp"
+#include "graph/zoo.hpp"
+#include "hw/perf_model.hpp"
+#include "platform/distributed.hpp"
+
+namespace vedliot::platform {
+namespace {
+
+struct TestRig {
+  Chassis chassis;
+  Fabric fabric;
+  std::vector<std::string> slots;
+};
+
+TestRig recs_box_with_modules(int count) {
+  TestRig s{Chassis(recs_box()), star_fabric({}, 10.0, {1.0, 10.0}), {}};
+  s.fabric = star_fabric({"come0", "come1", "come2", "come3"}, 10.0, {1.0, 10.0});
+  for (int i = 0; i < count; ++i) {
+    const std::string slot = "come" + std::to_string(i);
+    s.chassis.install(slot, find_module(i % 2 == 0 ? "COMe-XavierAGX" : "COMe-D1577"));
+    s.slots.push_back(slot);
+  }
+  return s;
+}
+
+TEST(Distributed, SingleStageEqualsWholeModelOnOneModule) {
+  TestRig s = recs_box_with_modules(1);
+  Graph g = zoo::resnet50();
+  const auto plan =
+      plan_distributed_inference(g, s.chassis, s.fabric, s.slots, 1, DType::kINT8);
+  ASSERT_EQ(plan.stages.size(), 1u);
+  EXPECT_EQ(plan.stages[0].first, 0u);
+  EXPECT_EQ(plan.stages[0].last, g.size() - 1);
+  EXPECT_DOUBLE_EQ(plan.stages[0].transfer_s, 0.0);
+  EXPECT_GT(plan.latency_s, 0.0);
+}
+
+TEST(Distributed, StagesPartitionEveryNode) {
+  TestRig s = recs_box_with_modules(3);
+  Graph g = zoo::yolov4();
+  const auto plan =
+      plan_distributed_inference(g, s.chassis, s.fabric, s.slots, 3, DType::kINT8);
+  ASSERT_EQ(plan.stages.size(), 3u);
+  std::size_t covered = 0;
+  std::size_t expected_start = 0;
+  for (const auto& st : plan.stages) {
+    EXPECT_EQ(st.first, expected_start);
+    EXPECT_GE(st.last, st.first);
+    covered += st.last - st.first + 1;
+    expected_start = st.last + 1;
+  }
+  EXPECT_EQ(covered, g.size());
+}
+
+TEST(Distributed, OpsConserved) {
+  TestRig s = recs_box_with_modules(2);
+  Graph g = zoo::resnet50();
+  const auto plan =
+      plan_distributed_inference(g, s.chassis, s.fabric, s.slots, 2, DType::kINT8);
+  double total = 0;
+  for (const auto& st : plan.stages) total += st.ops;
+  EXPECT_NEAR(total, static_cast<double>(graph_cost(g).ops), 1.0);
+}
+
+TEST(Distributed, StagesRoughlyBalanced) {
+  TestRig s = recs_box_with_modules(4);
+  Graph g = zoo::resnet50();
+  const auto plan =
+      plan_distributed_inference(g, s.chassis, s.fabric, s.slots, 4, DType::kINT8);
+  const double total = static_cast<double>(graph_cost(g).ops);
+  for (const auto& st : plan.stages) {
+    EXPECT_GT(st.ops, total * 0.10) << "stage too small";
+    EXPECT_LT(st.ops, total * 0.45) << "stage too large";
+  }
+}
+
+TEST(Distributed, PipeliningImprovesThroughputOverSingleDevice) {
+  // Identical modules: steady-state interval ~ 1/k of the single-device
+  // latency (minus transfer overheads) -> throughput speedup > 1.
+  TestRig s{Chassis(recs_box()), star_fabric({"come0", "come1", "come2", "come3"}, 10.0, {1.0, 10.0}),
+          {"come0", "come1", "come2"}};
+  for (const auto& slot : s.slots) s.chassis.install(slot, find_module("COMe-XavierAGX"));
+  Graph g = zoo::yolov4();
+  const auto plan =
+      plan_distributed_inference(g, s.chassis, s.fabric, s.slots, 3, DType::kINT8);
+  EXPECT_GT(plan.speedup_vs_single(), 1.5);
+  EXPECT_LT(plan.speedup_vs_single(), 3.5);
+}
+
+TEST(Distributed, LatencyIncludesTransfers) {
+  TestRig s = recs_box_with_modules(2);
+  Graph g = zoo::resnet50();
+  const auto plan =
+      plan_distributed_inference(g, s.chassis, s.fabric, s.slots, 2, DType::kINT8);
+  double compute = 0, transfers = 0;
+  for (const auto& st : plan.stages) {
+    compute += st.compute_s;
+    transfers += st.transfer_s;
+  }
+  EXPECT_GT(transfers, 0.0);  // something crosses the fabric
+  EXPECT_NEAR(plan.latency_s, compute + transfers, 1e-12);
+  EXPECT_GT(plan.stages.front().boundary_bytes, 0.0);
+}
+
+TEST(Distributed, SlowFabricHurtsThroughput) {
+  TestRig fast = recs_box_with_modules(2);
+  TestRig slow = recs_box_with_modules(2);
+  slow.fabric.set_link_speed("switch0", "come0", 1.0);
+  slow.fabric.set_link_speed("switch0", "come1", 1.0);
+  Graph g = zoo::yolov4();
+  const auto pf =
+      plan_distributed_inference(g, fast.chassis, fast.fabric, fast.slots, 2, DType::kINT8);
+  const auto ps =
+      plan_distributed_inference(g, slow.chassis, slow.fabric, slow.slots, 2, DType::kINT8);
+  EXPECT_LE(pf.latency_s, ps.latency_s);
+}
+
+TEST(Distributed, Validation) {
+  TestRig s = recs_box_with_modules(1);
+  Graph g = zoo::resnet50();
+  EXPECT_THROW((void)plan_distributed_inference(g, s.chassis, s.fabric, {}, 1, DType::kINT8),
+               PlatformError);
+  EXPECT_THROW((void)plan_distributed_inference(g, s.chassis, s.fabric, s.slots, 5, DType::kINT8),
+               PlatformError);
+  EXPECT_THROW(
+      (void)plan_distributed_inference(g, s.chassis, s.fabric, {"come3"}, 1, DType::kINT8),
+      PlatformError);
+}
+
+TEST(Distributed, UnsupportedDtypeRejected) {
+  TestRig s{Chassis(recs_box()), star_fabric({"come0"}, 10.0, {1.0, 10.0}), {"come0"}};
+  s.chassis.install("come0", find_module("COMe-D1577"));
+  Graph g = zoo::resnet50();
+  // D1577 supports int8 in this catalog; binary is not supported.
+  EXPECT_THROW(
+      (void)plan_distributed_inference(g, s.chassis, s.fabric, s.slots, 1, DType::kBinary),
+      Error);
+}
+
+TEST(Distributed, BestSingleModulePicksFastest) {
+  TestRig s = recs_box_with_modules(2);  // AGX + D1577
+  Graph g = zoo::resnet50();
+  const double best = best_single_module_latency(g, s.chassis, DType::kINT8);
+  const double agx = hw::estimate(hw::find_device("XavierAGX-MAXN"), g, DType::kINT8).latency_s;
+  EXPECT_DOUBLE_EQ(best, agx);
+}
+
+}  // namespace
+}  // namespace vedliot::platform

@@ -1,0 +1,180 @@
+// Tests for the DSP utilities (FFT, spectrogram) and the FFT-based
+// vibration front-end of the motor use case.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/motor.hpp"
+#include "kenning/metrics.hpp"
+#include "util/error.hpp"
+#include "util/fft.hpp"
+#include "util/rng.hpp"
+
+namespace vedliot {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<std::complex<double>> x(8, {0, 0});
+  x[0] = {1, 0};
+  dsp::fft(x);
+  for (const auto& v : x) EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+}
+
+TEST(Fft, SinusoidLandsInItsBin) {
+  constexpr std::size_t n = 256;
+  std::vector<float> signal(n);
+  const double f_bin = 17.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    signal[i] = static_cast<float>(std::sin(2.0 * kPi * f_bin * static_cast<double>(i) / n));
+  }
+  const auto mags = dsp::magnitude_spectrum(signal, n);
+  std::size_t peak = 0;
+  for (std::size_t k = 1; k < mags.size(); ++k) {
+    if (mags[k] > mags[peak]) peak = k;
+  }
+  EXPECT_EQ(peak, 17u);
+  EXPECT_NEAR(mags[17], 1.0, 1e-7);  // unit amplitude with the chosen norm
+  // other bins near zero (exact bin frequency -> no leakage)
+  EXPECT_LT(mags[5], 1e-7);
+}
+
+TEST(Fft, InverseRoundTrip) {
+  Rng rng(4);
+  std::vector<std::complex<double>> x(64);
+  for (auto& v : x) v = {rng.normal(), rng.normal()};
+  auto orig = x;
+  dsp::fft(x);
+  dsp::fft(x, /*inverse=*/true);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i].real(), orig[i].real(), 1e-9);
+    EXPECT_NEAR(x[i].imag(), orig[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(5);
+  std::vector<std::complex<double>> x(128);
+  double time_energy = 0;
+  for (auto& v : x) {
+    v = {rng.normal(), 0.0};
+    time_energy += std::norm(v);
+  }
+  dsp::fft(x);
+  double freq_energy = 0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / 128.0, time_energy, 1e-6);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> x(12);
+  EXPECT_THROW(dsp::fft(x), Error);
+  std::vector<float> s(12);
+  EXPECT_THROW((void)dsp::magnitude_spectrum(s, 12), Error);
+}
+
+TEST(Fft, BinFrequencyMapping) {
+  EXPECT_DOUBLE_EQ(dsp::bin_frequency_hz(0, 8000, 256), 0.0);
+  EXPECT_DOUBLE_EQ(dsp::bin_frequency_hz(128, 8000, 256), 4000.0);  // Nyquist
+  EXPECT_DOUBLE_EQ(dsp::bin_frequency_hz(32, 8192, 512), 512.0);
+}
+
+TEST(Spectrogram, FrameCountAndTonePersistence) {
+  constexpr std::size_t n = 2048;
+  std::vector<float> signal(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    signal[i] = static_cast<float>(std::sin(2.0 * kPi * 32.0 * static_cast<double>(i) / 256.0));
+  }
+  const auto frames = dsp::spectrogram(signal, 256, 128);
+  EXPECT_EQ(frames.size(), (n - 256) / 128 + 1);
+  for (const auto& frame : frames) {
+    std::size_t peak = 0;
+    for (std::size_t k = 1; k < frame.size(); ++k) {
+      if (frame[k] > frame[peak]) peak = k;
+    }
+    EXPECT_EQ(peak, 32u);
+  }
+}
+
+TEST(Spectrogram, HannWindowEndpoints) {
+  std::vector<double> frame(8, 1.0);
+  dsp::hann_window(frame);
+  EXPECT_NEAR(frame.front(), 0.0, 1e-12);
+  EXPECT_NEAR(frame.back(), 0.0, 1e-12);
+  EXPECT_GT(frame[4], 0.9);
+}
+
+// ---------------------------------------------------------------------------
+// FFT-based motor front-end
+// ---------------------------------------------------------------------------
+
+TEST(MotorWaveform, ObservationHasExpectedLength) {
+  apps::VibrationGenerator gen({}, 9);
+  const auto obs = gen.sample_observation(apps::MotorCondition::kHealthy);
+  EXPECT_EQ(obs.waveform.size(), 2 * apps::kSpectrumBins);
+  EXPECT_GT(obs.temp_stator_c, 40.0);
+}
+
+TEST(MotorWaveform, ImbalanceToneVisibleInFftSpectrum) {
+  apps::VibrationGenerator gen({}, 10);
+  const auto obs = gen.sample_observation(apps::MotorCondition::kImbalance);
+  const auto f = apps::features_from_observation(obs, gen.sample_rate_hz());
+  // 1x RPM = 24.7 Hz at 1480 rpm; bin width = 8192/512 = 16 Hz -> bin 1..2.
+  double low = 0;
+  for (std::size_t k = 0; k <= 4; ++k) low = std::max(low, static_cast<double>(f[k]));
+  EXPECT_GT(low, 0.3);  // strong rotational component
+}
+
+TEST(MotorWaveform, BearingFaultRaisesHighBand) {
+  apps::VibrationGenerator gen({}, 11);
+  const auto healthy = apps::features_from_observation(
+      gen.sample_observation(apps::MotorCondition::kHealthy), gen.sample_rate_hz());
+  const auto bearing = apps::features_from_observation(
+      gen.sample_observation(apps::MotorCondition::kBearingFault), gen.sample_rate_hz());
+  double healthy_high = 0, bearing_high = 0;
+  for (std::size_t k = apps::kSpectrumBins / 2; k < apps::kSpectrumBins; ++k) {
+    healthy_high += healthy[k];
+    bearing_high += bearing[k];
+  }
+  EXPECT_GT(bearing_high, healthy_high * 2.0);
+}
+
+TEST(MotorWaveform, FftPipelineClassifiesAllConditions) {
+  // The full deployed pipeline: raw waveform -> FFT front-end -> classifier.
+  apps::VibrationGenerator train_gen({}, 21);
+  std::vector<std::pair<apps::MotorFeatures, apps::MotorCondition>> train;
+  for (std::size_t c = 0; c < apps::kMotorConditionCount; ++c) {
+    for (int i = 0; i < 40; ++i) {
+      const auto cond = static_cast<apps::MotorCondition>(c);
+      train.emplace_back(
+          apps::features_from_observation(train_gen.sample_observation(cond),
+                                          train_gen.sample_rate_hz()),
+          cond);
+    }
+  }
+  apps::MotorClassifier clf;
+  clf.fit(train);
+
+  kenning::ConfusionMatrix cm(apps::kMotorConditionCount);
+  apps::VibrationGenerator test_gen({}, 22);
+  for (std::size_t c = 0; c < apps::kMotorConditionCount; ++c) {
+    for (int i = 0; i < 40; ++i) {
+      const auto cond = static_cast<apps::MotorCondition>(c);
+      const auto pred = clf.classify(apps::features_from_observation(
+          test_gen.sample_observation(cond), test_gen.sample_rate_hz()));
+      cm.add(c, static_cast<std::size_t>(pred));
+    }
+  }
+  EXPECT_GT(cm.accuracy(), 0.85);
+}
+
+TEST(MotorWaveform, ShortWaveformRejected) {
+  apps::VibrationGenerator::Observation obs;
+  obs.waveform.resize(10);
+  EXPECT_THROW((void)apps::features_from_observation(obs, 8192.0), Error);
+}
+
+}  // namespace
+}  // namespace vedliot

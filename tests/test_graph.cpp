@@ -1,0 +1,376 @@
+// Tests for the graph IR: attributes, ops, shape inference, surgery, cost
+// accounting, serialization and the model zoo.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/cost.hpp"
+#include "graph/graph.hpp"
+#include "graph/serialize.hpp"
+#include "graph/zoo.hpp"
+#include "util/rng.hpp"
+
+namespace vedliot {
+namespace {
+
+AttrMap conv_attrs(std::int64_t oc, std::int64_t k, std::int64_t s, std::int64_t p,
+                   std::int64_t groups = 1, std::int64_t bias = 1) {
+  AttrMap a;
+  a.set_int("out_channels", oc);
+  a.set_int("kernel", k);
+  a.set_int("stride", s);
+  a.set_int("pad", p);
+  a.set_int("groups", groups);
+  a.set_int("bias", bias);
+  return a;
+}
+
+TEST(AttrMap, TypedAccess) {
+  AttrMap a;
+  a.set_int("k", 3);
+  a.set_float("alpha", 0.1);
+  a.set_str("act", "relu");
+  a.set_ints("axes", {1, 2});
+  EXPECT_EQ(a.get_int("k"), 3);
+  EXPECT_DOUBLE_EQ(a.get_float("alpha"), 0.1);
+  EXPECT_EQ(a.get_str("act"), "relu");
+  EXPECT_EQ(a.get_ints("axes").size(), 2u);
+}
+
+TEST(AttrMap, MissingKeyThrows) {
+  AttrMap a;
+  EXPECT_THROW((void)a.get_int("absent"), NotFound);
+  EXPECT_EQ(a.get_int_or("absent", 7), 7);
+}
+
+TEST(AttrMap, WrongTypeThrows) {
+  AttrMap a;
+  a.set_int("k", 3);
+  EXPECT_THROW((void)a.get_str("k"), InvalidArgument);
+}
+
+TEST(Op, NameRoundTrip) {
+  for (auto kind : {OpKind::kConv2d, OpKind::kDense, OpKind::kMish, OpKind::kConcat,
+                    OpKind::kGlobalAvgPool, OpKind::kUpsample, OpKind::kSoftmax}) {
+    EXPECT_EQ(parse_op(op_name(kind)), kind);
+  }
+  EXPECT_THROW((void)parse_op("Gemm"), InvalidArgument);
+}
+
+TEST(Op, Predicates) {
+  EXPECT_TRUE(op_is_activation(OpKind::kHSwish));
+  EXPECT_FALSE(op_is_activation(OpKind::kConv2d));
+  EXPECT_TRUE(op_has_weights(OpKind::kBatchNorm));
+  EXPECT_FALSE(op_has_weights(OpKind::kAdd));
+}
+
+TEST(Graph, ConvShapeInference) {
+  Graph g("t");
+  const NodeId in = g.add_input("x", Shape{1, 3, 224, 224});
+  const NodeId c = g.add(OpKind::kConv2d, "conv", {in}, conv_attrs(64, 7, 2, 3));
+  EXPECT_EQ(g.node(c).out_shape, Shape({1, 64, 112, 112}));
+}
+
+class ConvShapeSweep
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t, std::int64_t>> {};
+
+TEST_P(ConvShapeSweep, MatchesFormula) {
+  const auto [k, s, p] = GetParam();
+  Graph g("t");
+  const NodeId in = g.add_input("x", Shape{1, 8, 32, 32});
+  const NodeId c = g.add(OpKind::kConv2d, "conv", {in}, conv_attrs(16, k, s, p));
+  const std::int64_t expected = (32 + 2 * p - k) / s + 1;
+  EXPECT_EQ(g.node(c).out_shape.h(), expected);
+  EXPECT_EQ(g.node(c).out_shape.w(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, ConvShapeSweep,
+                         ::testing::Values(std::tuple{1, 1, 0}, std::tuple{3, 1, 1},
+                                           std::tuple{3, 2, 1}, std::tuple{5, 1, 2},
+                                           std::tuple{5, 2, 2}, std::tuple{7, 2, 3},
+                                           std::tuple{3, 2, 0}, std::tuple{11, 4, 2}));
+
+TEST(Graph, ConvGroupsMustDivide) {
+  Graph g("t");
+  const NodeId in = g.add_input("x", Shape{1, 6, 8, 8});
+  EXPECT_THROW(g.add(OpKind::kConv2d, "c", {in}, conv_attrs(8, 3, 1, 1, 4)), GraphError);
+}
+
+TEST(Graph, NonPositiveOutputExtentRejected) {
+  Graph g("t");
+  const NodeId in = g.add_input("x", Shape{1, 3, 4, 4});
+  EXPECT_THROW(g.add(OpKind::kConv2d, "c", {in}, conv_attrs(8, 7, 1, 0)), GraphError);
+}
+
+TEST(Graph, DenseRequiresRank2) {
+  Graph g("t");
+  const NodeId in = g.add_input("x", Shape{1, 3, 8, 8});
+  AttrMap a;
+  a.set_int("units", 10);
+  EXPECT_THROW(g.add(OpKind::kDense, "fc", {in}, a), GraphError);
+  const NodeId flat = g.add(OpKind::kFlatten, "flat", {in});
+  const NodeId fc = g.add(OpKind::kDense, "fc2", {flat}, a);
+  EXPECT_EQ(g.node(fc).out_shape, Shape({1, 10}));
+}
+
+TEST(Graph, AddBroadcastChannelwise) {
+  Graph g("t");
+  const NodeId a = g.add_input("a", Shape{1, 8, 4, 4});
+  const NodeId gap = g.add(OpKind::kGlobalAvgPool, "gap", {a});
+  const NodeId m = g.add(OpKind::kMul, "scale", {a, gap});
+  EXPECT_EQ(g.node(m).out_shape, Shape({1, 8, 4, 4}));
+}
+
+TEST(Graph, AddShapeMismatchRejected) {
+  Graph g("t");
+  const NodeId a = g.add_input("a", Shape{1, 8, 4, 4});
+  const NodeId b = g.add_input("b", Shape{1, 4, 4, 4});
+  EXPECT_THROW(g.add(OpKind::kAdd, "add", {a, b}), GraphError);
+}
+
+TEST(Graph, ConcatSumsAxis) {
+  Graph g("t");
+  const NodeId a = g.add_input("a", Shape{1, 8, 4, 4});
+  const NodeId b = g.add_input("b", Shape{1, 24, 4, 4});
+  AttrMap attrs;
+  attrs.set_int("axis", 1);
+  const NodeId c = g.add(OpKind::kConcat, "cat", {a, b}, attrs);
+  EXPECT_EQ(g.node(c).out_shape.c(), 32);
+}
+
+TEST(Graph, ConcatMismatchedSpatialRejected) {
+  Graph g("t");
+  const NodeId a = g.add_input("a", Shape{1, 8, 4, 4});
+  const NodeId b = g.add_input("b", Shape{1, 8, 8, 8});
+  AttrMap attrs;
+  attrs.set_int("axis", 1);
+  EXPECT_THROW(g.add(OpKind::kConcat, "cat", {a, b}, attrs), GraphError);
+}
+
+TEST(Graph, UpsampleAndFlattenShapes) {
+  Graph g("t");
+  const NodeId in = g.add_input("x", Shape{2, 8, 13, 13});
+  AttrMap up;
+  up.set_int("scale", 2);
+  const NodeId u = g.add(OpKind::kUpsample, "up", {in}, up);
+  EXPECT_EQ(g.node(u).out_shape, Shape({2, 8, 26, 26}));
+  const NodeId f = g.add(OpKind::kFlatten, "flat", {u});
+  EXPECT_EQ(g.node(f).out_shape, Shape({2, 8 * 26 * 26}));
+}
+
+TEST(Graph, GlobalAvgPoolShape) {
+  Graph g("t");
+  const NodeId in = g.add_input("x", Shape{4, 100, 7, 7});
+  const NodeId p = g.add(OpKind::kGlobalAvgPool, "gap", {in});
+  EXPECT_EQ(g.node(p).out_shape, Shape({4, 100, 1, 1}));
+}
+
+TEST(Graph, TopoOrderRespectsIds) {
+  Graph g = zoo::micro_cnn("m", 1, 1, 16, 4);
+  const auto order = g.topo_order();
+  for (NodeId id : order) {
+    for (NodeId in : g.node(id).inputs) EXPECT_LT(in, id);
+  }
+}
+
+TEST(Graph, OutputsAndInputs) {
+  Graph g = zoo::micro_mlp("m", 1, 10, {8}, 3);
+  EXPECT_EQ(g.inputs().size(), 1u);
+  EXPECT_EQ(g.outputs().size(), 1u);
+  EXPECT_EQ(g.node(g.outputs().front()).kind, OpKind::kSoftmax);
+}
+
+TEST(Graph, BypassRewiresConsumers) {
+  Graph g("t");
+  const NodeId in = g.add_input("x", Shape{1, 4, 8, 8});
+  const NodeId r = g.add(OpKind::kRelu, "relu", {in});
+  const NodeId p = g.add(OpKind::kGlobalAvgPool, "gap", {r});
+  g.bypass(r);
+  EXPECT_TRUE(g.node(r).dead);
+  EXPECT_EQ(g.node(p).inputs.front(), in);
+  g.validate();
+  EXPECT_EQ(g.size(), 2u);
+}
+
+TEST(Graph, BypassInputRejected) {
+  Graph g("t");
+  const NodeId in = g.add_input("x", Shape{1, 4, 8, 8});
+  EXPECT_THROW(g.bypass(in), GraphError);
+}
+
+TEST(Graph, ConsumingDeadNodeRejected) {
+  Graph g("t");
+  const NodeId in = g.add_input("x", Shape{1, 4, 8, 8});
+  const NodeId r = g.add(OpKind::kRelu, "relu", {in});
+  g.add(OpKind::kSigmoid, "sig", {r});
+  g.bypass(r);
+  EXPECT_THROW(g.add(OpKind::kTanh, "tanh", {r}), GraphError);
+}
+
+TEST(Graph, FindByName) {
+  Graph g = zoo::motor_net();
+  EXPECT_NO_THROW((void)g.find("logits"));
+  EXPECT_THROW((void)g.find("nonexistent"), NotFound);
+}
+
+TEST(Graph, MaterializeWeightsShapes) {
+  Graph g("t");
+  const NodeId in = g.add_input("x", Shape{1, 3, 8, 8});
+  const NodeId c = g.add(OpKind::kConv2d, "conv", {in}, conv_attrs(16, 3, 1, 1));
+  AttrMap bn;
+  bn.set_float("epsilon", 1e-5);
+  const NodeId b = g.add(OpKind::kBatchNorm, "bn", {c}, bn);
+  Rng rng(1);
+  g.materialize_weights(rng);
+  EXPECT_TRUE(g.weights_materialized());
+  EXPECT_EQ(g.node(c).weights[0].shape(), Shape({16, 3, 3, 3}));
+  EXPECT_EQ(g.node(c).weights[1].shape(), Shape({16}));
+  EXPECT_EQ(g.node(b).weights.size(), 4u);
+}
+
+TEST(Graph, ParamCountMatchesMaterializedWeights) {
+  Graph g = zoo::micro_cnn("m", 1, 3, 32, 10);
+  Rng rng(2);
+  g.materialize_weights(rng);
+  for (NodeId id : g.topo_order()) {
+    const Node& n = g.node(id);
+    std::int64_t actual = 0;
+    for (const auto& w : n.weights) actual += w.numel();
+    EXPECT_EQ(actual, g.param_count(id)) << n.name;
+  }
+}
+
+TEST(Cost, ConvMacFormula) {
+  Graph g("t");
+  const NodeId in = g.add_input("x", Shape{1, 8, 16, 16});
+  const NodeId c = g.add(OpKind::kConv2d, "conv", {in}, conv_attrs(32, 3, 1, 1, 1, 0));
+  const auto cost = node_cost(g, c);
+  // 16*16*32 outputs * 8 in-channels * 9 taps
+  EXPECT_EQ(cost.macs, 16 * 16 * 32 * 8 * 9);
+  EXPECT_EQ(cost.ops, 2 * cost.macs);
+}
+
+TEST(Cost, DepthwiseConvUsesGroupChannels) {
+  Graph g("t");
+  const NodeId in = g.add_input("x", Shape{1, 8, 16, 16});
+  const NodeId c = g.add(OpKind::kConv2d, "dw", {in}, conv_attrs(8, 3, 1, 1, 8, 0));
+  EXPECT_EQ(node_cost(g, c).macs, 16 * 16 * 8 * 1 * 9);
+}
+
+TEST(Cost, BatchScalesLinearly) {
+  const auto c1 = graph_cost(zoo::mobilenet_v3_large(1));
+  const auto c4 = graph_cost(zoo::mobilenet_v3_large(4));
+  EXPECT_EQ(c4.macs, 4 * c1.macs);
+  EXPECT_EQ(c4.params, c1.params);  // params don't scale with batch
+}
+
+TEST(Zoo, ResNet50CanonicalNumbers) {
+  const auto cost = graph_cost(zoo::resnet50());
+  EXPECT_NEAR(static_cast<double>(cost.params), 25.6e6, 0.5e6);
+  EXPECT_NEAR(static_cast<double>(cost.macs), 4.1e9, 0.2e9);
+}
+
+TEST(Zoo, MobileNetV3CanonicalNumbers) {
+  const auto cost = graph_cost(zoo::mobilenet_v3_large());
+  EXPECT_NEAR(static_cast<double>(cost.params), 5.4e6, 0.4e6);
+  EXPECT_NEAR(static_cast<double>(cost.macs), 219e6, 25e6);
+}
+
+TEST(Zoo, YoloV4CanonicalNumbers) {
+  const auto cost = graph_cost(zoo::yolov4());
+  EXPECT_NEAR(static_cast<double>(cost.params), 64e6, 4e6);
+  EXPECT_NEAR(static_cast<double>(cost.macs), 30e9, 3e9);
+}
+
+TEST(Zoo, YoloV4HasThreeHeads) {
+  Graph g = zoo::yolov4();
+  const auto outs = g.outputs();
+  EXPECT_EQ(outs.size(), 3u);
+  std::set<std::int64_t> strides;
+  for (NodeId id : outs) {
+    EXPECT_EQ(g.node(id).out_shape.c(), 3 * 85);
+    strides.insert(416 / g.node(id).out_shape.h());
+  }
+  EXPECT_EQ(strides, std::set<std::int64_t>({8, 16, 32}));
+}
+
+TEST(Zoo, AllUseCaseNetsValidate) {
+  for (Graph g : {zoo::gesture_net(), zoo::face_net(), zoo::object_det_net(), zoo::speech_net(),
+                  zoo::motor_net(), zoo::arc_net(), zoo::pedestrian_net()}) {
+    EXPECT_NO_THROW(g.validate());
+    EXPECT_GT(graph_cost(g).macs, 0);
+  }
+}
+
+TEST(Zoo, UseCaseNetsAreSmall) {
+  // The use-case nets target embedded deployment: all under 5M params.
+  for (Graph g : {zoo::gesture_net(), zoo::face_net(), zoo::object_det_net(), zoo::speech_net(),
+                  zoo::motor_net(), zoo::arc_net(), zoo::pedestrian_net()}) {
+    EXPECT_LT(g.total_params(), 5'000'000) << g.name();
+  }
+}
+
+TEST(Serialize, RoundTripPreservesStructureAndCost) {
+  Graph g = zoo::mobilenet_v3_large();
+  const std::string text = to_text(g);
+  Graph back = from_text(text);
+  EXPECT_EQ(back.size(), g.size());
+  const auto c0 = graph_cost(g);
+  const auto c1 = graph_cost(back);
+  EXPECT_EQ(c0.macs, c1.macs);
+  EXPECT_EQ(c0.params, c1.params);
+}
+
+TEST(Serialize, RoundTripAfterSurgery) {
+  Graph g = zoo::micro_cnn("m", 1, 3, 16, 4);
+  // Kill one activation, then round trip: dead nodes must be compacted.
+  for (NodeId id : g.topo_order()) {
+    if (g.node(id).kind == OpKind::kRelu) {
+      g.bypass(id);
+      break;
+    }
+  }
+  Graph back = from_text(to_text(g));
+  EXPECT_EQ(back.size(), g.size());
+  EXPECT_EQ(back.total_nodes(), back.size());  // compacted
+}
+
+TEST(Serialize, RejectsGarbage) {
+  EXPECT_THROW((void)from_text("not a graph"), GraphError);
+  EXPECT_THROW((void)from_text("graph g\nnode Bogus \"x\" in= attrs{}"), Error);
+}
+
+TEST(Graph, CloneIsDeep) {
+  Graph g = zoo::micro_mlp("m", 1, 4, {8}, 2);
+  Rng rng(3);
+  g.materialize_weights(rng);
+  Graph copy = g.clone();
+  copy.node(copy.find("fc0")).weights[0].fill(0.0f);
+  EXPECT_NE(g.node(g.find("fc0")).weights[0].abs_sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace vedliot
+// appended: EfficientNet-Lite0 canonical numbers
+namespace vedliot {
+namespace {
+
+TEST(Zoo, EfficientNetLite0CanonicalNumbers) {
+  const auto cost = graph_cost(zoo::efficientnet_lite0());
+  EXPECT_NEAR(static_cast<double>(cost.params), 4.7e6, 0.5e6);
+  EXPECT_NEAR(static_cast<double>(cost.macs), 400e6, 50e6);
+}
+
+TEST(Zoo, EfficientNetLite0HasNoSqueezeExcite) {
+  // The "lite" fixes: no SE blocks (no Mul nodes), ReLU6 only.
+  Graph g = zoo::efficientnet_lite0();
+  for (NodeId id : g.topo_order()) {
+    EXPECT_NE(g.node(id).kind, OpKind::kMul);
+    EXPECT_NE(g.node(id).kind, OpKind::kHSwish);
+    EXPECT_NE(g.node(id).kind, OpKind::kSigmoid);
+  }
+}
+
+}  // namespace
+}  // namespace vedliot

@@ -1,0 +1,331 @@
+// Tests for the hardware models: device catalogs, roofline performance
+// model, the four accelerator classes and the co-design search.
+
+#include <gtest/gtest.h>
+
+#include "graph/cost.hpp"
+#include "graph/zoo.hpp"
+#include "hw/accel.hpp"
+#include "hw/device.hpp"
+#include "hw/perf_model.hpp"
+#include "util/stats.hpp"
+
+namespace vedliot::hw {
+namespace {
+
+TEST(Catalog, SurveyHasBroadPowerRange) {
+  const auto& devices = survey_catalog();
+  EXPECT_GE(devices.size(), 25u);
+  double min_w = 1e9, max_w = 0;
+  for (const auto& d : devices) {
+    min_w = std::min(min_w, d.tdp_w);
+    max_w = std::max(max_w, d.tdp_w);
+  }
+  // Fig. 3: from milliwatt-class endpoints to 400 W cloud parts.
+  EXPECT_LT(min_w, 0.05);
+  EXPECT_GE(max_w, 400.0);
+}
+
+TEST(Catalog, Fig3EfficiencyClustersAroundOneTopsPerWatt) {
+  // The paper: "most architectures cluster around ... 1 TOPS/W".
+  std::vector<double> eff;
+  for (const auto& d : survey_catalog()) eff.push_back(d.peak_tops_per_watt());
+  const double gm = stats::geomean(eff);
+  EXPECT_GT(gm, 0.2);
+  EXPECT_LT(gm, 3.0);
+  // The bulk of the distribution sits within an order of magnitude of
+  // 1 TOPS/W (plain CPUs legitimately fall well below the cluster).
+  EXPECT_GT(stats::median(eff), 0.1);
+  EXPECT_LT(stats::median(eff), 3.0);
+  const double lo = stats::percentile(eff, 25);
+  const double hi = stats::percentile(eff, 75);
+  EXPECT_LT(hi / lo, 100.0);
+}
+
+TEST(Catalog, YoloPlatformsMatchFig4List) {
+  const auto& v = yolo_eval_platforms();
+  EXPECT_GE(v.size(), 10u);
+  for (const char* name : {"Epyc3451", "D1577", "GTX1660", "XavierAGX-MAXN", "XavierNX",
+                           "JetsonTX2", "ZynqZU15", "ZynqZU3", "MyriadX"}) {
+    EXPECT_NO_THROW((void)find_device(name)) << name;
+  }
+}
+
+TEST(Catalog, UnknownDeviceThrows) {
+  EXPECT_THROW((void)find_device("TPU-v9"), NotFound);
+}
+
+TEST(Catalog, AllDevicesInternallyConsistent) {
+  for (const auto& d : survey_catalog()) {
+    EXPECT_GT(d.peak_gops, 0) << d.name;
+    EXPECT_GT(d.mem_bandwidth_gbs, 0) << d.name;
+    EXPECT_GT(d.tdp_w, d.idle_w) << d.name;
+    EXPECT_TRUE(d.supports(d.best_dtype)) << d.name;
+    EXPECT_GT(d.util_b1, 0) << d.name;
+    EXPECT_LE(d.util_b1, d.util_sat) << d.name;
+    EXPECT_LE(d.util_sat, 1.0) << d.name;
+  }
+}
+
+TEST(Device, PeakScalesWithDtype) {
+  const auto& gpu = find_device("GTX1660");  // int8 peak 20 TOPS
+  EXPECT_DOUBLE_EQ(gpu.peak_gops_at(DType::kINT8), 20000);
+  EXPECT_DOUBLE_EQ(gpu.peak_gops_at(DType::kFP16), 10000);
+  EXPECT_DOUBLE_EQ(gpu.peak_gops_at(DType::kFP32), 5000);
+}
+
+TEST(Device, UnsupportedDtypeThrows) {
+  const auto& fpga = find_device("ZynqZU15");
+  EXPECT_THROW((void)fpga.peak_gops_at(DType::kFP32), Unsupported);
+}
+
+TEST(Device, UtilizationMonotoneInBatch) {
+  for (const auto& d : yolo_eval_platforms()) {
+    double prev = 0;
+    for (int b = 1; b <= 16; b *= 2) {
+      const double u = d.utilization(b);
+      EXPECT_GE(u, prev) << d.name;
+      EXPECT_LE(u, d.util_sat + 1e-12) << d.name;
+      prev = u;
+    }
+  }
+  EXPECT_THROW((void)find_device("GTX1660").utilization(0), Error);
+}
+
+TEST(PerfModel, LatencyPositiveAndBoundsConsistent) {
+  Graph g = zoo::yolov4();
+  for (const auto& d : yolo_eval_platforms()) {
+    const auto e = estimate(d, g, d.best_dtype);
+    EXPECT_GT(e.latency_s, 0) << d.name;
+    EXPECT_GE(e.latency_s, e.compute_time_s - 1e-12) << d.name;
+    EXPECT_GE(e.latency_s, e.memory_time_s - 1e-12) << d.name;
+    EXPECT_GE(e.power_w, d.idle_w) << d.name;
+    EXPECT_LE(e.power_w, d.tdp_w + 1e-9) << d.name;
+    EXPECT_GT(e.efficiency_gops_w, 0) << d.name;
+  }
+}
+
+TEST(PerfModel, AchievedNeverExceedsPeak) {
+  Graph g = zoo::resnet50(8);
+  for (const auto& d : yolo_eval_platforms()) {
+    const auto e = estimate(d, g, d.best_dtype);
+    EXPECT_LE(e.achieved_gops, d.peak_gops_at(d.best_dtype) + 1e-9) << d.name;
+  }
+}
+
+TEST(PerfModel, BatchingHelpsGpusMoreThanCpus) {
+  // The central Fig. 4 shape: B8/B1 throughput gain is large on GPUs and
+  // nearly 1 on CPUs/FPGAs.
+  auto gain = [](const char* dev) {
+    const auto& d = find_device(dev);
+    const auto e1 = estimate(d, zoo::yolov4(1), d.best_dtype);
+    const auto e8 = estimate(d, zoo::yolov4(8), d.best_dtype);
+    return e8.fps / e1.fps;
+  };
+  EXPECT_GT(gain("GTX1660"), 2.0);
+  EXPECT_GT(gain("XavierAGX-MAXN"), 2.0);
+  EXPECT_LT(gain("Epyc3451"), 1.5);
+  EXPECT_LT(gain("ZynqZU15"), 1.4);
+}
+
+TEST(PerfModel, MemoryBoundDeviceDetected) {
+  // MobileNetV3 is ops-light but weight-heavy relative to ZU3's 4.3 GB/s:
+  // weight streaming dominates -> memory bound.
+  const auto e = estimate(find_device("ZynqZU3"), zoo::mobilenet_v3_large(1), DType::kINT8);
+  EXPECT_EQ(e.bound, Bound::kMemory);
+}
+
+TEST(PerfModel, ComputeHeavyModelComputeBoundOnFpga) {
+  // ResNet50 is compute-heavy (8.2 Gops vs ~26 MB of operands): on the
+  // larger FPGA it must hit the compute roof.
+  const auto e = estimate(find_device("ZynqZU15"), zoo::resnet50(1), DType::kINT8);
+  EXPECT_EQ(e.bound, Bound::kCompute);
+}
+
+TEST(PerfModel, OnChipBufferReducesLatency) {
+  // Same device, but with the activation buffer removed, must be slower
+  // (every intermediate spills to DRAM).
+  DeviceSpec cramped = find_device("ZynqZU3");
+  cramped.onchip_mib = 0.001;
+  const auto with_buffer = estimate(find_device("ZynqZU3"), zoo::yolov4(1), DType::kINT8);
+  const auto without = estimate(cramped, zoo::yolov4(1), DType::kINT8);
+  EXPECT_GT(without.latency_s, with_buffer.latency_s);
+}
+
+TEST(PerfModel, EnergyPerInferenceDropsWithBatchOnGpu) {
+  const auto& d = find_device("GTX1660");
+  const auto e1 = estimate(d, zoo::yolov4(1), DType::kINT8);
+  const auto e8 = estimate(d, zoo::yolov4(8), DType::kINT8);
+  EXPECT_LT(e8.energy_per_inference_j, e1.energy_per_inference_j);
+}
+
+TEST(PerfModel, Int8FasterThanFp32OnSameDevice) {
+  const auto& d = find_device("GTX1660");
+  Graph g = zoo::resnet50();
+  const auto e8 = estimate(d, g, DType::kINT8);
+  const auto e32 = estimate(d, g, DType::kFP32);
+  EXPECT_LT(e8.latency_s, e32.latency_s);
+}
+
+TEST(PerfModel, WorkloadValidation) {
+  const auto& d = find_device("MyriadX");
+  EXPECT_THROW((void)estimate_workload(d, 0, 1e6, 1e6, 1, DType::kINT8), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Accelerator classes (Sec. II-B)
+// ---------------------------------------------------------------------------
+
+TEST(Accel, KindNames) {
+  EXPECT_EQ(accelerator_kind_name(AcceleratorKind::kOffTheShelf), "off-the-shelf");
+  EXPECT_EQ(accelerator_kind_name(AcceleratorKind::kCoDesign), "co-design");
+}
+
+TEST(Accel, OffTheShelfMatchesPerfModel) {
+  OffTheShelfAccelerator acc(find_device("MyriadX"));
+  Graph g = zoo::mobilenet_v3_large();
+  const auto a = acc.estimate_graph(g, DType::kINT8);
+  const auto b = estimate(find_device("MyriadX"), g, DType::kINT8);
+  EXPECT_DOUBLE_EQ(a.latency_s, b.latency_s);
+}
+
+TEST(Accel, StaticConfigBoostsMatchedModelOnly) {
+  StaticConfigAccelerator acc(find_device("ZynqZU15"), "resnet50");
+  Graph matched = zoo::resnet50();
+  Graph other = zoo::yolov4();
+  const auto base = estimate(find_device("ZynqZU15"), matched, DType::kINT8);
+  const auto boosted = acc.estimate_graph(matched, DType::kINT8);
+  EXPECT_LT(boosted.latency_s, base.latency_s);
+
+  const auto base_other = estimate(find_device("ZynqZU15"), other, DType::kINT8);
+  const auto penalized = acc.estimate_graph(other, DType::kINT8);
+  EXPECT_GT(penalized.latency_s, base_other.latency_s);
+}
+
+ReconfigurableAccelerator make_reconfig() {
+  return ReconfigurableAccelerator(
+      find_device("ZynqZU15"),
+      {{"high-perf", 1.0, 1.0, 12.0}, {"low-power", 0.4, 0.28, 8.0}, {"balanced", 0.7, 0.6, 10.0}});
+}
+
+TEST(Accel, ReconfigurationCostsBitstreamTime) {
+  auto acc = make_reconfig();
+  EXPECT_DOUBLE_EQ(acc.reconfigure("high-perf"), 0.0);  // already active
+  const double t = acc.reconfigure("low-power");
+  // 8 MiB at 0.4 GB/s ~ 21 ms
+  EXPECT_NEAR(t, 8.0 * 1024 * 1024 / 0.4e9, 1e-6);
+  EXPECT_EQ(acc.active().name, "low-power");
+  EXPECT_THROW((void)acc.reconfigure("bogus"), NotFound);
+}
+
+TEST(Accel, ProfilesTradePerformanceForPower) {
+  auto acc = make_reconfig();
+  Graph g = zoo::resnet50();
+  acc.reconfigure("high-perf");
+  const auto hp = acc.estimate_graph(g, DType::kINT8);
+  acc.reconfigure("low-power");
+  const auto lp = acc.estimate_graph(g, DType::kINT8);
+  EXPECT_GT(lp.latency_s, hp.latency_s);
+  EXPECT_LT(lp.power_w, hp.power_w);
+}
+
+TEST(Accel, BestProfileMeetsLatencyWithLeastEnergy) {
+  auto acc = make_reconfig();
+  Graph g = zoo::resnet50();
+  // generous budget -> the most energy-efficient (low-power) profile wins
+  const auto relaxed = acc.best_profile_for(g, DType::kINT8, 1.0);
+  EXPECT_EQ(relaxed, "low-power");
+  // tight budget -> must pick a faster profile
+  acc.reconfigure("high-perf");
+  const double fast_latency = acc.estimate_graph(g, DType::kINT8).latency_s;
+  const auto tight = acc.best_profile_for(g, DType::kINT8, fast_latency * 1.05);
+  EXPECT_EQ(tight, "high-perf");
+  EXPECT_THROW((void)acc.best_profile_for(g, DType::kINT8, fast_latency * 0.5), Unsupported);
+}
+
+// ---------------------------------------------------------------------------
+// Co-design (Sec. II-B class 4)
+// ---------------------------------------------------------------------------
+
+TEST(CoDesign, TilingEfficiencyPerfectWhenChannelsDivide) {
+  Graph g("t");
+  const NodeId in = g.add_input("x", Shape{1, 16, 8, 8});
+  AttrMap a;
+  a.set_int("out_channels", 32);
+  a.set_int("kernel", 3);
+  a.set_int("stride", 1);
+  a.set_int("pad", 1);
+  a.set_int("groups", 1);
+  a.set_int("bias", 0);
+  g.add(OpKind::kConv2d, "c", {in}, a);
+  EXPECT_DOUBLE_EQ(array_tiling_efficiency(g, 16, 16), 1.0);
+  EXPECT_DOUBLE_EQ(array_tiling_efficiency(g, 32, 16), 1.0);
+}
+
+TEST(CoDesign, TilingEfficiencyDropsOnMisalignedChannels) {
+  Graph g("t");
+  const NodeId in = g.add_input("x", Shape{1, 17, 8, 8});
+  AttrMap a;
+  a.set_int("out_channels", 33);
+  a.set_int("kernel", 1);
+  a.set_int("stride", 1);
+  a.set_int("pad", 0);
+  a.set_int("groups", 1);
+  a.set_int("bias", 0);
+  g.add(OpKind::kConv2d, "c", {in}, a);
+  const double eff = array_tiling_efficiency(g, 16, 16);
+  // 33/48 * 17/32
+  EXPECT_NEAR(eff, 33.0 / 48.0 * 17.0 / 32.0, 1e-9);
+}
+
+TEST(CoDesign, SearchRespectsFabricBudget) {
+  Graph g = zoo::mobilenet_v3_large();
+  FabricBudget budget;
+  budget.max_macs = 1024;
+  const auto points = codesign_search(g, budget);
+  EXPECT_FALSE(points.empty());
+  for (const auto& p : points) {
+    EXPECT_LE(p.pe_rows * p.pe_cols, budget.max_macs);
+    EXPECT_LE(p.sram_mib, budget.max_sram_mib);
+    EXPECT_GT(p.latency_s, 0);
+  }
+  // sorted by energy ascending
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i - 1].energy_j, points[i].energy_j);
+  }
+}
+
+TEST(CoDesign, ChannelRoundingImprovesTiling) {
+  // The "feedback to the models" loop: rounding channels to the PE array
+  // multiple must raise tiling efficiency.
+  Graph g = zoo::mobilenet_v3_large();
+  Graph rounded = apply_channel_rounding(g, 16);
+  const double before = array_tiling_efficiency(g, 16, 16);
+  const double after = array_tiling_efficiency(rounded, 16, 16);
+  EXPECT_GT(after, before);
+  // Depthwise layers (1 input channel per group) keep the average below a
+  // perfect 1.0, but the dense/pointwise bulk must now tile cleanly.
+  EXPECT_GT(after, 0.85);
+}
+
+TEST(CoDesign, ChannelRoundingPreservesHeads) {
+  Graph g = zoo::micro_cnn("m", 1, 3, 32, 10);
+  Graph rounded = apply_channel_rounding(g, 16);
+  const auto outs = rounded.outputs();
+  // the softmax head still produces 10 classes
+  EXPECT_EQ(rounded.node(outs.front()).out_shape.dim(1), 10);
+  rounded.validate();
+}
+
+TEST(CoDesign, DepthwiseLayersLimitColUtilization) {
+  // Depthwise convs have 1 input channel per group: a wide pe_cols array
+  // must show poor efficiency on MobileNet, pushing the search to narrow
+  // arrays — the co-design insight the paper alludes to.
+  Graph g = zoo::mobilenet_v3_large();
+  const double wide = array_tiling_efficiency(g, 8, 64);
+  const double narrow = array_tiling_efficiency(g, 64, 8);
+  EXPECT_GT(narrow, wide);
+}
+
+}  // namespace
+}  // namespace vedliot::hw

@@ -1,0 +1,190 @@
+// Tests for model packaging: binary round trip with weights, sealed
+// (encrypted + authenticated) deployment bundles, and the memory-aware
+// execution order.
+
+#include <gtest/gtest.h>
+
+#include "graph/cost.hpp"
+#include "graph/package.hpp"
+#include "graph/zoo.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/memory_planner.hpp"
+#include "security/attestation.hpp"
+#include "util/rng.hpp"
+
+namespace vedliot {
+namespace {
+
+Graph materialized(Graph g, std::uint64_t seed = 5) {
+  Rng rng(seed);
+  g.materialize_weights(rng);
+  return g;
+}
+
+TEST(Package, RoundTripPreservesStructureAndWeights) {
+  Graph g = materialized(zoo::micro_cnn("m", 1, 1, 16, 4));
+  const auto blob = pack_model(g);
+  Graph back = unpack_model(blob);
+  EXPECT_EQ(back.size(), g.size());
+  EXPECT_TRUE(back.weights_materialized());
+  // identical outputs on identical inputs: the strongest round-trip check
+  Rng rng(9);
+  Tensor x(Shape{1, 1, 16, 16}, rng.normal_vector(256));
+  const Tensor a = Executor(g).run_single(x);
+  const Tensor b = Executor(back).run_single(x);
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.0f);
+}
+
+TEST(Package, AnalyticModelRoundTrips) {
+  Graph g = zoo::mobilenet_v3_large();  // no weights
+  Graph back = unpack_model(pack_model(g));
+  EXPECT_EQ(graph_cost(back).macs, graph_cost(g).macs);
+  EXPECT_FALSE(back.weights_materialized());
+}
+
+TEST(Package, WeightDtypeTagSurvives) {
+  Graph g = materialized(zoo::micro_mlp("m", 1, 8, {8}, 3));
+  for (NodeId id : g.topo_order()) {
+    Node& n = g.node(id);
+    if (n.kind == OpKind::kDense) n.weight_dtype = DType::kINT8;
+  }
+  Graph back = unpack_model(pack_model(g));
+  for (NodeId id : back.topo_order()) {
+    const Node& n = back.node(id);
+    if (n.kind == OpKind::kDense) EXPECT_EQ(n.weight_dtype, DType::kINT8);
+  }
+}
+
+TEST(Package, RejectsGarbage) {
+  std::vector<std::uint8_t> junk{1, 2, 3, 4, 5};
+  EXPECT_THROW((void)unpack_model(junk), GraphError);
+  Graph g = materialized(zoo::micro_mlp("m", 1, 4, {4}, 2));
+  auto blob = pack_model(g);
+  blob.resize(blob.size() / 2);  // truncate
+  EXPECT_THROW((void)unpack_model(blob), GraphError);
+  auto trailing = pack_model(g);
+  trailing.push_back(0);
+  EXPECT_THROW((void)unpack_model(trailing), GraphError);
+}
+
+TEST(Package, SealedDeploymentRoundTrip) {
+  security::Key root{};
+  root[1] = 0x77;
+  security::AttestationAuthority authority(root);
+  const security::Key device_key = authority.provision("edge-3");
+
+  Graph g = materialized(zoo::micro_mlp("kws", 1, 16, {12}, 4));
+  const SealedModel sealed = seal_model(g, device_key, 1);
+  EXPECT_NE(sealed.ciphertext, pack_model(g));  // actually encrypted
+
+  Graph back = unseal_model(sealed, device_key);
+  Rng rng(3);
+  Tensor x(Shape{1, 16}, rng.normal_vector(16));
+  EXPECT_FLOAT_EQ(max_abs_diff(Executor(g).run_single(x), Executor(back).run_single(x)), 0.0f);
+}
+
+TEST(Package, SealedModelBoundToDevice) {
+  security::Key root{};
+  security::AttestationAuthority authority(root);
+  Graph g = materialized(zoo::micro_mlp("m", 1, 4, {4}, 2));
+  const SealedModel sealed = seal_model(g, authority.provision("edge-a"), 1);
+  EXPECT_THROW((void)unseal_model(sealed, authority.provision("edge-b")), Error);
+}
+
+TEST(Package, SealedModelTamperDetected) {
+  security::Key root{};
+  security::AttestationAuthority authority(root);
+  const auto key = authority.provision("edge-a");
+  Graph g = materialized(zoo::micro_mlp("m", 1, 4, {4}, 2));
+  SealedModel sealed = seal_model(g, key, 1);
+  sealed.ciphertext[10] ^= 0x40;  // flip one weight bit in transit
+  EXPECT_THROW((void)unseal_model(sealed, key), Error);
+}
+
+TEST(Package, MeasurementIdentifiesModelVersion) {
+  security::Key root{};
+  security::AttestationAuthority authority(root);
+  const auto key = authority.provision("edge-a");
+  Graph g1 = materialized(zoo::micro_mlp("m", 1, 4, {4}, 2), 1);
+  Graph g2 = materialized(zoo::micro_mlp("m", 1, 4, {4}, 2), 2);  // different weights
+  const auto s1 = seal_model(g1, key, 1);
+  const auto s2 = seal_model(g2, key, 2);
+  EXPECT_FALSE(security::digest_equal(s1.model_measurement, s2.model_measurement));
+}
+
+// ---------------------------------------------------------------------------
+// Memory-aware execution order
+// ---------------------------------------------------------------------------
+
+TEST(MemoryOrder, IsValidTopologicalOrder) {
+  Graph g = zoo::yolov4();
+  const auto order = memory_aware_order(g, DType::kINT8);
+  EXPECT_EQ(order.size(), g.size());
+  std::map<NodeId, std::size_t> pos;
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (NodeId id : order) {
+    for (NodeId in : g.node(id).inputs) EXPECT_LT(pos.at(in), pos.at(id));
+  }
+}
+
+TEST(MemoryOrder, PlanWithCustomOrderIsValid) {
+  Graph g = zoo::mobilenet_v3_large();
+  const auto order = memory_aware_order(g, DType::kFP32);
+  const auto plan = plan_memory_with_order(g, order, DType::kFP32);
+  EXPECT_TRUE(plan_is_valid(plan));
+}
+
+TEST(MemoryOrder, HelpsOnWideFanout) {
+  // A graph with two parallel wide branches: naive id-order keeps both
+  // branches' tensors alive simultaneously; the memory-aware order finishes
+  // one branch before starting the other.
+  Graph g("wide");
+  const NodeId in = g.add_input("x", Shape{1, 8, 32, 32});
+  auto branch = [&](const std::string& name) {
+    NodeId cur = in;
+    for (int i = 0; i < 3; ++i) {
+      cur = g.add(OpKind::kRelu, name + std::to_string(i), {cur});
+    }
+    return g.add(OpKind::kGlobalAvgPool, name + "_gap", {cur});
+  };
+  // Interleave the branch construction so id-order alternates branches.
+  NodeId a0 = g.add(OpKind::kRelu, "a0", {in});
+  NodeId b0 = g.add(OpKind::kRelu, "b0", {in});
+  NodeId a1 = g.add(OpKind::kRelu, "a1", {a0});
+  NodeId b1 = g.add(OpKind::kRelu, "b1", {b0});
+  NodeId a2 = g.add(OpKind::kGlobalAvgPool, "a2", {a1});
+  NodeId b2 = g.add(OpKind::kGlobalAvgPool, "b2", {b1});
+  g.add(OpKind::kAdd, "merge", {a2, b2});
+  (void)branch;
+
+  const auto id_plan = plan_memory(g, DType::kFP32);
+  const auto smart = memory_aware_order(g, DType::kFP32);
+  const auto smart_plan = plan_memory_with_order(g, smart, DType::kFP32);
+  EXPECT_TRUE(plan_is_valid(smart_plan));
+  EXPECT_LE(smart_plan.arena_bytes, id_plan.arena_bytes);
+}
+
+TEST(MemoryOrder, NeverWorseOnZooModels) {
+  for (Graph g : {zoo::resnet50(), zoo::mobilenet_v3_large(), zoo::gesture_net()}) {
+    const auto base = plan_memory(g, DType::kINT8);
+    const auto smart = plan_memory_with_order(g, memory_aware_order(g, DType::kINT8), DType::kINT8);
+    EXPECT_TRUE(plan_is_valid(smart));
+    // allow tiny regressions from the greedy heuristic, never > 10%
+    EXPECT_LE(static_cast<double>(smart.arena_bytes),
+              static_cast<double>(base.arena_bytes) * 1.10)
+        << g.name();
+  }
+}
+
+TEST(MemoryOrder, RejectsBadOrders) {
+  Graph g = zoo::micro_mlp("m", 1, 4, {4}, 2);
+  auto order = g.topo_order();
+  std::swap(order.front(), order.back());  // breaks topology
+  EXPECT_THROW((void)plan_memory_with_order(g, order, DType::kFP32), Error);
+  order = g.topo_order();
+  order.pop_back();  // misses a node
+  EXPECT_THROW((void)plan_memory_with_order(g, order, DType::kFP32), Error);
+}
+
+}  // namespace
+}  // namespace vedliot

@@ -1,0 +1,250 @@
+// Tests for the RECS platform layer: modules, baseboards, fabric,
+// resource management.
+
+#include <gtest/gtest.h>
+
+#include "graph/zoo.hpp"
+#include "platform/baseboard.hpp"
+#include "platform/fabric.hpp"
+#include "platform/microserver.hpp"
+#include "platform/resource_manager.hpp"
+
+namespace vedliot::platform {
+namespace {
+
+TEST(Modules, CatalogResolvesDevices) {
+  for (const auto& m : module_catalog()) {
+    EXPECT_NO_THROW((void)m.device_spec()) << m.name;
+    EXPECT_GT(m.max_power_w, 0) << m.name;
+  }
+  EXPECT_THROW((void)find_module("COMe-Pentium3"), NotFound);
+}
+
+TEST(Modules, FormFactorNames) {
+  EXPECT_EQ(form_factor_name(FormFactor::kSMARC), "SMARC");
+  EXPECT_EQ(form_factor_name(FormFactor::kCOMHPCServer), "COM-HPC Server");
+}
+
+TEST(Baseboard, SpecsMatchPaper) {
+  // uRECS: < 15 W total (Sec. II-A).
+  EXPECT_LE(u_recs().total_power_budget_w, 15.0);
+  // t.RECS accepts COM-HPC, RECS|Box accepts COM Express.
+  EXPECT_TRUE(t_recs().slots.front().accepts_form(FormFactor::kCOMHPCServer));
+  EXPECT_TRUE(recs_box().slots.front().accepts_form(FormFactor::kCOMExpress));
+  // uRECS natively supports SMARC and Jetson NX plus adaptor PCBs.
+  const auto urecs = u_recs();
+  const auto& main_slot = urecs.slots.front();
+  for (auto f : {FormFactor::kSMARC, FormFactor::kJetsonNX, FormFactor::kKriaSOM,
+                 FormFactor::kRPiCM}) {
+    EXPECT_TRUE(main_slot.accepts_form(f));
+  }
+}
+
+TEST(Chassis, InstallAndRemove) {
+  Chassis c(u_recs());
+  c.install("main", find_module("SMARC-iMX8MPlus"));
+  EXPECT_TRUE(c.occupied("main"));
+  EXPECT_EQ(c.module_at("main").name, "SMARC-iMX8MPlus");
+  const auto removed = c.remove("main");
+  EXPECT_EQ(removed.name, "SMARC-iMX8MPlus");
+  EXPECT_FALSE(c.occupied("main"));
+  EXPECT_THROW((void)c.remove("main"), PlatformError);
+}
+
+TEST(Chassis, RejectsWrongFormFactor) {
+  Chassis c(u_recs());
+  EXPECT_THROW(c.install("main", find_module("COMe-D1577")), PlatformError);
+  EXPECT_THROW(c.install("m2", find_module("USB-MyriadX")), PlatformError);
+}
+
+TEST(Chassis, RejectsUnknownSlotAndDoubleInstall) {
+  Chassis c(u_recs());
+  EXPECT_THROW(c.install("slot9", find_module("SMARC-ZU3")), NotFound);
+  c.install("main", find_module("SMARC-ZU3"));
+  EXPECT_THROW(c.install("main", find_module("SMARC-iMX8MPlus")), PlatformError);
+}
+
+TEST(Chassis, EnforcesBoardPowerBudget) {
+  // Jetson NX (15 W) fills the whole uRECS budget: adding a USB accelerator
+  // afterwards must fail on the board budget.
+  Chassis c(u_recs());
+  c.install("main", find_module("JetsonXavierNX"));
+  EXPECT_NEAR(c.power_headroom_w(), 0.0, 1e-9);
+  EXPECT_THROW(c.install("usb", find_module("USB-MyriadX")), PlatformError);
+}
+
+TEST(Chassis, LowPowerComboFitsUrecs) {
+  Chassis c(u_recs());
+  c.install("main", find_module("SMARC-iMX8MPlus"));  // 6 W
+  c.install("usb", find_module("USB-MyriadX"));       // 3 W
+  c.install("m2", find_module("M2-EdgeTPU"));         // 2 W
+  EXPECT_LE(c.provisioned_power_w(), 15.0);
+  EXPECT_EQ(c.installed().size(), 3u);
+}
+
+TEST(Chassis, TRecsHostsBigModules) {
+  Chassis c(t_recs());
+  c.install("comhpc0", find_module("COMh-Epyc3451"));
+  c.install("comhpc1", find_module("COMh-AlveoDPU"));
+  c.install("pcie0", find_module("PCIe-GTX1660"));
+  EXPECT_EQ(c.installed().size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Fabric
+// ---------------------------------------------------------------------------
+
+TEST(Fabric, StarTopologyRoutes) {
+  Fabric f = star_fabric({"a", "b", "c"}, 1.0, {1.0, 10.0});
+  const auto path = f.route("a", "c");
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[1], "switch0");
+}
+
+TEST(Fabric, TransferTimeScalesWithPayloadAndBandwidth) {
+  Fabric f = star_fabric({"a", "b"}, 1.0, {1.0, 10.0});
+  const double t1 = f.transfer_time_s("a", "b", 1e6);
+  f.set_link_speed("switch0", "a", 10.0);
+  f.set_link_speed("switch0", "b", 10.0);
+  const double t10 = f.transfer_time_s("a", "b", 1e6);
+  EXPECT_GT(t1, t10);
+  // 1 MB over 1 Gb/s through 2 hops: ~8 ms serialization + 100 us latency
+  EXPECT_NEAR(t1, 8e-3 + 100e-6, 1e-3);
+}
+
+TEST(Fabric, RuntimeReconfigurationTracked) {
+  Fabric f = star_fabric({"a", "b"}, 1.0, {1.0, 10.0});
+  const auto before = f.reconfiguration_count();
+  f.set_link_speed("switch0", "a", 10.0);
+  Link extra;
+  extra.a = "a";
+  extra.b = "b";
+  extra.kind = LinkKind::kLowLatency;
+  extra.bandwidth_gbps = 40.0;
+  extra.latency_us = 2.0;
+  f.add_link(extra);
+  EXPECT_EQ(f.reconfiguration_count(), before + 2);
+}
+
+TEST(Fabric, LowLatencyLinkPreferredViaLatencyTieBreak) {
+  Fabric f({1.0, 10.0});
+  for (const char* e : {"a", "b"}) f.add_endpoint(e);
+  Link eth{"a", "b", LinkKind::kEthernet, 1.0, 50.0};
+  f.add_link(eth);
+  // direct link exists -> single-hop route
+  const auto path = f.route("a", "b");
+  EXPECT_EQ(path.size(), 2u);
+  EXPECT_NEAR(f.transfer_time_s("a", "b", 0.0), 50e-6, 1e-9);
+}
+
+TEST(Fabric, DisallowedEthernetSpeedRejected) {
+  Fabric f({1.0, 10.0});
+  f.add_endpoint("a");
+  f.add_endpoint("b");
+  Link l{"a", "b", LinkKind::kEthernet, 25.0, 10.0};
+  EXPECT_THROW(f.add_link(l), InvalidArgument);
+  Link ok{"a", "b", LinkKind::kEthernet, 10.0, 10.0};
+  f.add_link(ok);
+  EXPECT_THROW(f.set_link_speed("a", "b", 2.5), InvalidArgument);
+}
+
+TEST(Fabric, NoRouteThrows) {
+  Fabric f({1.0});
+  f.add_endpoint("a");
+  f.add_endpoint("b");
+  EXPECT_THROW((void)f.route("a", "b"), NotFound);
+}
+
+TEST(Fabric, RemoveLinkPartitions) {
+  Fabric f = star_fabric({"a", "b"}, 1.0, {1.0});
+  f.remove_link("switch0", "b");
+  EXPECT_THROW((void)f.route("a", "b"), NotFound);
+  EXPECT_THROW(f.remove_link("switch0", "b"), NotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Resource manager
+// ---------------------------------------------------------------------------
+
+Chassis mirror_chassis() {
+  Chassis c(u_recs());
+  c.install("main", find_module("JetsonXavierNX"));
+  return c;
+}
+
+std::vector<Workload> small_workloads() {
+  return {
+      Workload::from_graph("gesture", zoo::gesture_net(), DType::kINT8, 15.0, 0.1),
+      Workload::from_graph("speech", zoo::speech_net(), DType::kINT8, 20.0, 0.08),
+  };
+}
+
+TEST(ResourceManager, PlacesFeasibleWorkloads) {
+  Chassis c = mirror_chassis();
+  ResourceManager rm(c);
+  const auto placements = rm.place(small_workloads());
+  EXPECT_EQ(placements.size(), 2u);
+  for (const auto& p : placements) {
+    EXPECT_EQ(p.slot, "main");
+    EXPECT_GT(p.utilization, 0.0);
+    EXPECT_LE(p.utilization, 1.0);
+  }
+}
+
+TEST(ResourceManager, RejectsImpossibleLatency) {
+  Chassis c(u_recs());
+  c.install("main", find_module("RPi-CM4"));
+  ResourceManager rm(c);
+  // YoloV4 at 30 fps on a Raspberry Pi CM4: no chance.
+  const auto w = Workload::from_graph("yolo", zoo::yolov4(), DType::kINT8, 30.0, 0.033);
+  EXPECT_THROW((void)rm.place({w}), PlatformError);
+}
+
+TEST(ResourceManager, RespectsUtilizationCapacity) {
+  Chassis c(u_recs());
+  c.install("main", find_module("SMARC-iMX8MPlus"));
+  ResourceManager rm(c);
+  // Pile on heavy detectors at high rate until capacity must burst.
+  std::vector<Workload> many;
+  const Graph heavy = zoo::resnet50();
+  for (int i = 0; i < 40; ++i) {
+    many.push_back(
+        Workload::from_graph("p" + std::to_string(i), heavy, DType::kINT8, 20.0, 0.5));
+  }
+  EXPECT_THROW((void)rm.place(many), PlatformError);
+}
+
+TEST(ResourceManager, MigrationMovesDisplacedOnly) {
+  Chassis c(u_recs());
+  c.install("main", find_module("SMARC-iMX8MPlus"));
+  c.install("usb", find_module("USB-MyriadX"));
+  ResourceManager rm(c);
+  const auto workloads = small_workloads();
+  const auto placements = rm.place(workloads);
+
+  // Fail whichever slot holds the first workload; it must move to the other.
+  const std::string failed = placements.front().slot;
+  const auto after = rm.migrate(placements, workloads, failed);
+  EXPECT_EQ(after.size(), workloads.size());
+  for (const auto& p : after) EXPECT_NE(p.slot, failed);
+}
+
+TEST(ResourceManager, PowerAccountingPositive) {
+  Chassis c = mirror_chassis();
+  ResourceManager rm(c);
+  const auto placements = rm.place(small_workloads());
+  const double power = ResourceManager::total_average_power_w(placements);
+  EXPECT_GT(power, 0.0);
+  EXPECT_LT(power, 15.0);
+}
+
+TEST(Workload, FromGraphFillsNumbers) {
+  const auto w = Workload::from_graph("g", zoo::gesture_net(), DType::kINT8, 10.0, 0.1);
+  EXPECT_GT(w.ops, 0);
+  EXPECT_GT(w.traffic_bytes, 0);
+  EXPECT_GT(w.weight_bytes, 0);
+  EXPECT_EQ(w.rate_hz, 10.0);
+}
+
+}  // namespace
+}  // namespace vedliot::platform

@@ -1,0 +1,209 @@
+// Tests for the true-integer INT8 executor: agreement with the float
+// reference, integer-domain invariants, and its preconditions.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/zoo.hpp"
+#include "opt/fusion.hpp"
+#include "opt/quantize.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/qexecutor.hpp"
+#include "util/rng.hpp"
+
+namespace vedliot {
+namespace {
+
+/// Build, materialize, fold BN, fuse activations and calibrate — the full
+/// pre-deployment pipeline the integer executor expects.
+Graph deploy_ready(Graph g, std::uint64_t seed, const Shape& input_shape,
+                   std::size_t calib_samples = 8) {
+  Rng rng(seed);
+  g.materialize_weights(rng);
+  opt::FuseBatchNormPass bn;
+  bn.run(g);
+  opt::FuseActivationPass act;
+  act.run(g);
+  std::vector<Tensor> samples;
+  Rng data_rng(seed + 1);
+  for (std::size_t i = 0; i < calib_samples; ++i) {
+    samples.emplace_back(input_shape,
+                         data_rng.normal_vector(static_cast<std::size_t>(input_shape.numel())));
+  }
+  opt::calibrate_activations(g, samples, Calibration::kMinMax);
+  return g;
+}
+
+TEST(QTensor, QuantizeDequantizeRoundTrip) {
+  Tensor t(Shape{4}, {0.5f, -0.25f, 1.0f, 0.0f});
+  const QTensor q = quantize_fixed(t, 0.01);
+  EXPECT_EQ(q.data[0], 50);
+  EXPECT_EQ(q.data[1], -25);
+  EXPECT_EQ(q.data[3], 0);
+  const Tensor back = q.dequantize();
+  EXPECT_LT(max_abs_diff(t, back), 0.01f);
+}
+
+TEST(QTensor, QuantizeSaturates) {
+  Tensor t(Shape{2}, {100.0f, -100.0f});
+  const QTensor q = quantize_fixed(t, 0.1);
+  EXPECT_EQ(q.data[0], 127);
+  EXPECT_EQ(q.data[1], -128);
+}
+
+TEST(QuantizedExecutor, MatchesFloatOnMicroMlp) {
+  const Shape in_shape{1, 16};
+  Graph g = deploy_ready(zoo::micro_mlp("m", 1, 16, {24, 12}, 4), 11, in_shape, 32);
+  Executor fexec(g);
+  QuantizedExecutor qexec(g);
+
+  Rng rng(99);
+  int agree = 0;
+  double worst = 0;
+  for (int i = 0; i < 32; ++i) {
+    Tensor x(in_shape, rng.normal_vector(16));
+    const Tensor fy = fexec.run_single(x);
+    const Tensor qy = qexec.run_single_dequant(x);
+    worst = std::max(worst, static_cast<double>(max_abs_diff(fy, qy)));
+    // argmax agreement
+    std::size_t fa = 0, qa = 0;
+    for (std::int64_t j = 1; j < fy.numel(); ++j) {
+      if (fy.at(static_cast<std::size_t>(j)) > fy.at(fa)) fa = static_cast<std::size_t>(j);
+      if (qy.at(static_cast<std::size_t>(j)) > qy.at(qa)) qa = static_cast<std::size_t>(j);
+    }
+    if (fa == qa) ++agree;
+  }
+  EXPECT_GE(agree, 29);      // >=90% top-1 agreement
+  EXPECT_LT(worst, 0.30);    // softmax outputs reasonably close (PTQ saturation
+                             // on samples outside the calibration range is expected)
+}
+
+TEST(QuantizedExecutor, MatchesFloatOnMicroCnn) {
+  const Shape in_shape{1, 1, 16, 16};
+  Graph g = deploy_ready(zoo::micro_cnn("m", 1, 1, 16, 4), 21, in_shape);
+  Executor fexec(g);
+  QuantizedExecutor qexec(g);
+
+  Rng rng(7);
+  int agree = 0;
+  for (int i = 0; i < 16; ++i) {
+    Tensor x(in_shape, rng.normal_vector(256));
+    const Tensor fy = fexec.run_single(x);
+    const Tensor qy = qexec.run_single_dequant(x);
+    std::size_t fa = 0, qa = 0;
+    for (std::int64_t j = 1; j < fy.numel(); ++j) {
+      if (fy.at(static_cast<std::size_t>(j)) > fy.at(fa)) fa = static_cast<std::size_t>(j);
+      if (qy.at(static_cast<std::size_t>(j)) > qy.at(qa)) qa = static_cast<std::size_t>(j);
+    }
+    if (fa == qa) ++agree;
+  }
+  EXPECT_GE(agree, 14);
+}
+
+TEST(QuantizedExecutor, OutputScaleIsCalibrated) {
+  const Shape in_shape{1, 8};
+  Graph g = deploy_ready(zoo::micro_mlp("m", 1, 8, {8}, 3), 31, in_shape);
+  QuantizedExecutor qexec(g);
+  Rng rng(5);
+  const QTensor q = qexec.run_single(Tensor(in_shape, rng.normal_vector(8)));
+  // softmax outputs in [0,1] -> scale must be <= ~1/127
+  EXPECT_LE(q.scale, 1.0 / 127.0 + 1e-9);
+  for (std::int8_t v : q.data) EXPECT_GE(v, 0);  // probabilities are non-negative
+}
+
+TEST(QuantizedExecutor, FusedReluClampsNegative) {
+  // Single conv with fused relu: a strongly negative accumulation must
+  // land exactly at q=0.
+  Graph g("t");
+  const NodeId in = g.add_input("x", Shape{1, 1, 1, 1});
+  AttrMap a;
+  a.set_int("out_channels", 1);
+  a.set_int("kernel", 1);
+  a.set_int("stride", 1);
+  a.set_int("pad", 0);
+  a.set_int("groups", 1);
+  a.set_int("bias", 0);
+  a.set_str("fused_act", "Relu");
+  const NodeId c = g.add(OpKind::kConv2d, "conv", {in}, a);
+  g.node(c).weights = {Tensor(Shape{1, 1, 1, 1}, {-1.0f})};
+  g.node(in).attrs.set_float("act_scale", 0.01);
+  g.node(c).attrs.set_float("act_scale", 0.01);
+
+  QuantizedExecutor qexec(g);
+  const QTensor q = qexec.run_single(Tensor(Shape{1, 1, 1, 1}, {1.0f}));
+  EXPECT_EQ(q.data[0], 0);  // relu(-1.0) == 0 in the integer domain
+}
+
+TEST(QuantizedExecutor, UnfoldedBatchNormRejected) {
+  Graph g = zoo::micro_cnn("m", 1, 1, 16, 4);  // contains BN
+  Rng rng(1);
+  g.materialize_weights(rng);
+  EXPECT_THROW(QuantizedExecutor{g}, Unsupported);
+}
+
+TEST(QuantizedExecutor, MissingCalibrationRejected) {
+  Graph g = zoo::micro_mlp("m", 1, 8, {8}, 3);  // no BN, but no act_scale either
+  Rng rng(1);
+  g.materialize_weights(rng);
+  EXPECT_THROW(QuantizedExecutor{g}, Unsupported);
+}
+
+TEST(QuantizedExecutor, SaturationCounterTracksClipping) {
+  // Force saturation: tiny output scale cannot represent the accumulation.
+  Graph g("t");
+  const NodeId in = g.add_input("x", Shape{1, 4});
+  AttrMap a;
+  a.set_int("units", 2);
+  a.set_int("bias", 0);
+  const NodeId fc = g.add(OpKind::kDense, "fc", {in}, a);
+  g.node(fc).weights = {Tensor(Shape{2, 4}, {1, 1, 1, 1, 1, 1, 1, 1})};
+  g.node(in).attrs.set_float("act_scale", 0.05);
+  g.node(fc).attrs.set_float("act_scale", 1e-4);  // absurdly small
+  QuantizedExecutor qexec(g);
+  qexec.run_single(Tensor(Shape{1, 4}, {5, 5, 5, 5}));
+  EXPECT_GT(qexec.saturations(), 0u);
+}
+
+TEST(QuantizedExecutor, DepthwiseConvSupported) {
+  Graph g("t");
+  const NodeId in = g.add_input("x", Shape{1, 2, 4, 4});
+  AttrMap a;
+  a.set_int("out_channels", 2);
+  a.set_int("kernel", 3);
+  a.set_int("stride", 1);
+  a.set_int("pad", 1);
+  a.set_int("groups", 2);
+  a.set_int("bias", 1);
+  const NodeId c = g.add(OpKind::kConv2d, "dw", {in}, a);
+  Rng rng(3);
+  g.materialize_weights(rng);
+  std::vector<Tensor> samples;
+  Rng data_rng(4);
+  for (int i = 0; i < 4; ++i) samples.emplace_back(Shape{1, 2, 4, 4}, data_rng.normal_vector(32));
+  opt::calibrate_activations(g, samples);
+
+  Executor fexec(g);
+  QuantizedExecutor qexec(g);
+  Tensor x(Shape{1, 2, 4, 4}, data_rng.normal_vector(32));
+  const Tensor fy = fexec.run_single(x);
+  const Tensor qy = qexec.run_single_dequant(x);
+  EXPECT_LT(rmse(fy, qy), 0.25);
+  (void)c;
+}
+
+TEST(QuantizedExecutor, UnsupportedOpRejectedAtRun) {
+  Graph g("t");
+  const NodeId in = g.add_input("x", Shape{1, 2, 2, 2});
+  g.add(OpKind::kMish, "mish", {in});
+  Rng rng(1);
+  g.materialize_weights(rng);
+  std::vector<Tensor> samples{Tensor(Shape{1, 2, 2, 2}, rng.normal_vector(8))};
+  opt::calibrate_activations(g, samples);
+  QuantizedExecutor qexec(g);
+  EXPECT_THROW((void)qexec.run_single(Tensor(Shape{1, 2, 2, 2}, rng.normal_vector(8))),
+               Unsupported);
+}
+
+}  // namespace
+}  // namespace vedliot

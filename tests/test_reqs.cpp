@@ -1,0 +1,177 @@
+// Tests for the Sec. IV-A architectural framework: the concern/level grid,
+// the vertical-or-horizontal dependency rule, traceability and middle-out
+// gap analysis.
+
+#include <gtest/gtest.h>
+
+#include "reqs/framework.hpp"
+
+namespace vedliot::reqs {
+namespace {
+
+TEST(Framework, Names) {
+  EXPECT_EQ(concern_name(Concern::kDeepLearningModel), "deep-learning-model");
+  EXPECT_EQ(level_name(Level::kRuntime), "runtime");
+}
+
+TEST(Framework, VerticalDependencyAllowed) {
+  ArchitecturalFramework fw;
+  const ViewId a = fw.add_view("safety-goals", Concern::kSafety, Level::kKnowledge);
+  const ViewId b = fw.add_view("safety-design", Concern::kSafety, Level::kDesign);
+  EXPECT_NO_THROW(fw.add_dependency(a, b));
+  EXPECT_TRUE(fw.depends(a, b));
+  EXPECT_FALSE(fw.depends(b, a));
+}
+
+TEST(Framework, HorizontalDependencyAllowed) {
+  ArchitecturalFramework fw;
+  const ViewId a = fw.add_view("dl-model-design", Concern::kDeepLearningModel, Level::kDesign);
+  const ViewId b = fw.add_view("hw-design", Concern::kHardware, Level::kDesign);
+  EXPECT_NO_THROW(fw.add_dependency(a, b));
+}
+
+TEST(Framework, DiagonalDependencyRejected) {
+  // The paper's key rule: dependencies exist ONLY vertically (same cluster)
+  // or horizontally (same level). A diagonal edge is a design smell.
+  ArchitecturalFramework fw;
+  const ViewId a = fw.add_view("ethics-knowledge", Concern::kEthics, Level::kKnowledge);
+  const ViewId b = fw.add_view("hw-design", Concern::kHardware, Level::kDesign);
+  EXPECT_THROW(fw.add_dependency(a, b), FrameworkError);
+  EXPECT_THROW(fw.add_dependency(a, a), FrameworkError);
+}
+
+TEST(Framework, TraceabilityThroughChain) {
+  ArchitecturalFramework fw;
+  const ViewId k = fw.add_view("energy-goal", Concern::kEnergy, Level::kKnowledge);
+  const ViewId c = fw.add_view("energy-concept_view", Concern::kEnergy, Level::kConceptual);
+  const ViewId d = fw.add_view("energy-budget-design", Concern::kEnergy, Level::kDesign);
+  const ViewId hw = fw.add_view("hw-power-design", Concern::kHardware, Level::kDesign);
+  fw.add_dependency(k, c);
+  fw.add_dependency(c, d);
+  fw.add_dependency(d, hw);  // horizontal at the design level
+  EXPECT_TRUE(fw.traceable(k, hw));
+  EXPECT_FALSE(fw.traceable(hw, k));  // direction matters
+}
+
+TEST(Framework, CoverageCounting) {
+  ArchitecturalFramework fw;
+  EXPECT_EQ(fw.covered_cells(), 0u);
+  fw.add_view("a", Concern::kSafety, Level::kDesign);
+  fw.add_view("b", Concern::kSafety, Level::kDesign);  // same cell
+  fw.add_view("c", Concern::kSecurity, Level::kDesign);
+  EXPECT_EQ(fw.covered_cells(), 2u);
+  EXPECT_TRUE(fw.cell_covered(Concern::kSafety, Level::kDesign));
+  EXPECT_FALSE(fw.cell_covered(Concern::kSafety, Level::kRuntime));
+}
+
+TEST(Framework, MiddleOutNeighborsListGaps) {
+  // Middle-out engineering: start from a mid-level view and ask what to
+  // elaborate next — the uncovered vertical and horizontal neighbours.
+  ArchitecturalFramework fw;
+  const ViewId v = fw.add_view("dl-concept_view", Concern::kDeepLearningModel, Level::kConceptual);
+  const auto gaps = fw.missing_neighbors(v);
+  // vertical: knowledge + design in the same cluster; horizontal: the other
+  // 12 clusters at conceptual level -> 14 gaps total on an empty grid.
+  EXPECT_EQ(gaps.size(), 2u + (kConcernCount - 1));
+
+  fw.add_view("dl-design", Concern::kDeepLearningModel, Level::kDesign);
+  const auto fewer = fw.missing_neighbors(v);
+  EXPECT_EQ(fewer.size(), gaps.size() - 1);
+}
+
+TEST(Framework, MissingNeighborsRespectGridEdges) {
+  ArchitecturalFramework fw;
+  const ViewId v = fw.add_view("k", Concern::kSafety, Level::kKnowledge);
+  // knowledge is the top level: only one vertical neighbour (conceptual)
+  const auto gaps = fw.missing_neighbors(v);
+  std::size_t vertical = 0;
+  for (const auto& [c, l] : gaps) {
+    if (c == Concern::kSafety) ++vertical;
+  }
+  EXPECT_EQ(vertical, 1u);
+}
+
+TEST(Requirements, UnrealizedDetection) {
+  ArchitecturalFramework fw;
+  const ViewId know = fw.add_view("privacy-goal", Concern::kPrivacy, Level::kKnowledge);
+  const ViewId concept_view = fw.add_view("privacy-concept_view", Concern::kPrivacy, Level::kConceptual);
+  const ViewId design = fw.add_view("privacy-design", Concern::kPrivacy, Level::kDesign);
+  fw.add_dependency(know, concept_view);
+
+  RequirementsLedger ledger(fw);
+  ledger.add({"REQ-PRV-001", "all inference stays on-site", know});
+  // know -> concept_view exists, but nothing reaches a design/runtime view yet.
+  EXPECT_EQ(ledger.unrealized(), std::vector<std::string>{"REQ-PRV-001"});
+
+  fw.add_dependency(concept_view, design);
+  EXPECT_TRUE(ledger.unrealized().empty());
+}
+
+TEST(Requirements, DirectDesignRequirementIsRealized) {
+  ArchitecturalFramework fw;
+  const ViewId design = fw.add_view("arc-latency-design", Concern::kSafety, Level::kDesign);
+  RequirementsLedger ledger(fw);
+  ledger.add({"REQ-ARC-001", "detection within 5 ms of first spark", design});
+  EXPECT_TRUE(ledger.unrealized().empty());  // trivially traceable to itself
+}
+
+TEST(Requirements, DuplicateIdRejected) {
+  ArchitecturalFramework fw;
+  const ViewId v = fw.add_view("x", Concern::kSafety, Level::kDesign);
+  RequirementsLedger ledger(fw);
+  ledger.add({"REQ-1", "a", v});
+  EXPECT_THROW(ledger.add({"REQ-1", "b", v}), FrameworkError);
+}
+
+TEST(Requirements, UnknownViewRejected) {
+  ArchitecturalFramework fw;
+  RequirementsLedger ledger(fw);
+  EXPECT_THROW(ledger.add({"REQ-1", "a", 99}), Error);
+}
+
+TEST(Framework, VedliotExampleGrid) {
+  // Build a miniature of the paper's own concern grid for the smart mirror
+  // and check traceability of the privacy requirement end-to-end.
+  ArchitecturalFramework fw;
+  const ViewId privacy_k = fw.add_view("residents-privacy", Concern::kPrivacy, Level::kKnowledge);
+  const ViewId privacy_c = fw.add_view("onsite-processing", Concern::kPrivacy, Level::kConceptual);
+  const ViewId privacy_d = fw.add_view("no-cloud-dataflow", Concern::kPrivacy, Level::kDesign);
+  const ViewId comm_d = fw.add_view("local-fabric-only", Concern::kCommunication, Level::kDesign);
+  const ViewId hw_d = fw.add_view("urecs-node", Concern::kHardware, Level::kDesign);
+  const ViewId energy_d = fw.add_view("15w-budget", Concern::kEnergy, Level::kDesign);
+  const ViewId hw_r = fw.add_view("deployed-node", Concern::kHardware, Level::kRuntime);
+
+  fw.add_dependency(privacy_k, privacy_c);
+  fw.add_dependency(privacy_c, privacy_d);
+  fw.add_dependency(privacy_d, comm_d);
+  fw.add_dependency(comm_d, hw_d);
+  fw.add_dependency(hw_d, energy_d);
+  fw.add_dependency(hw_d, hw_r);
+
+  RequirementsLedger ledger(fw);
+  ledger.add({"REQ-PRV-001", "no resident data leaves the home", privacy_k});
+  ledger.add({"REQ-NRG-001", "node under 15 W", energy_d});
+  EXPECT_TRUE(ledger.unrealized().empty());
+  EXPECT_TRUE(fw.traceable(privacy_k, hw_r));
+}
+
+}  // namespace
+}  // namespace vedliot::reqs
+// appended: markdown grid rendering
+namespace vedliot::reqs {
+namespace {
+
+TEST(Framework, MarkdownGridRenders) {
+  ArchitecturalFramework fw;
+  fw.add_view("a", Concern::kSafety, Level::kDesign);
+  fw.add_view("b", Concern::kSafety, Level::kDesign);
+  const std::string md = fw.to_markdown();
+  EXPECT_NE(md.find("| safety |"), std::string::npos);
+  EXPECT_NE(md.find(" 2 |"), std::string::npos);
+  EXPECT_NE(md.find("knowledge"), std::string::npos);
+  // uncovered cells render as em-dashes
+  EXPECT_NE(md.find(" — |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vedliot::reqs

@@ -1,0 +1,348 @@
+// Tests for the safety stack: input monitors, output robustness service,
+// fault injection, architectural hybridization kernel.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "graph/zoo.hpp"
+#include "runtime/executor.hpp"
+#include "safety/hybrid.hpp"
+#include "safety/monitors.hpp"
+#include "safety/robustness.hpp"
+#include "util/rng.hpp"
+
+namespace vedliot::safety {
+namespace {
+
+TimeSeriesMonitor::Config default_ts_config() {
+  TimeSeriesMonitor::Config cfg;
+  cfg.window = 32;
+  cfg.range_lo = -100.0;
+  cfg.range_hi = 100.0;
+  return cfg;
+}
+
+TEST(TimeSeriesMonitor, CleanSignalPasses) {
+  TimeSeriesMonitor mon(default_ts_config());
+  Rng rng(1);
+  std::size_t bad = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (mon.check(std::sin(i * 0.1) + rng.normal(0.0, 0.1)) != DataVerdict::kOk) ++bad;
+  }
+  // a robust monitor tolerates a noisy sine with near-zero false alarms
+  EXPECT_LE(bad, 5u);
+}
+
+TEST(TimeSeriesMonitor, DetectsSpikeOutlier) {
+  TimeSeriesMonitor mon(default_ts_config());
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) mon.check(rng.normal(0.0, 0.5));
+  EXPECT_EQ(mon.check(50.0), DataVerdict::kOutlier);
+  // the corrected value is the last known-good sample, not the spike
+  EXPECT_LT(std::abs(mon.corrected()), 5.0);
+}
+
+TEST(TimeSeriesMonitor, OutlierDoesNotPoisonWindow) {
+  // After one spike, normal samples must keep passing (median/MAD, not
+  // mean/stddev, and rejected samples stay out of the window).
+  TimeSeriesMonitor mon(default_ts_config());
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) mon.check(rng.normal(0.0, 0.5));
+  mon.check(80.0);
+  std::size_t bad = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (mon.check(rng.normal(0.0, 0.5)) != DataVerdict::kOk) ++bad;
+  }
+  EXPECT_LE(bad, 2u);
+}
+
+TEST(TimeSeriesMonitor, DetectsStuckSensor) {
+  auto cfg = default_ts_config();
+  cfg.stuck_run = 5;
+  TimeSeriesMonitor mon(cfg);
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) mon.check(rng.normal(0.0, 1.0));
+  DataVerdict v = DataVerdict::kOk;
+  for (int i = 0; i < 10; ++i) v = mon.check(3.25);
+  EXPECT_EQ(v, DataVerdict::kStuckAt);
+}
+
+TEST(TimeSeriesMonitor, DetectsMissingAndRange) {
+  TimeSeriesMonitor mon(default_ts_config());
+  EXPECT_EQ(mon.check(std::numeric_limits<double>::quiet_NaN()), DataVerdict::kMissing);
+  EXPECT_EQ(mon.check(std::numeric_limits<double>::infinity()), DataVerdict::kMissing);
+  EXPECT_EQ(mon.check(1000.0), DataVerdict::kOutOfRange);
+  EXPECT_EQ(mon.check(-101.0), DataVerdict::kOutOfRange);
+}
+
+TEST(TimeSeriesMonitor, CountsAnomalies) {
+  TimeSeriesMonitor mon(default_ts_config());
+  Rng rng(5);
+  for (int i = 0; i < 64; ++i) mon.check(rng.normal(0.0, 1.0));
+  mon.check(1e6);
+  mon.check(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(mon.anomalies(), 2u);
+  EXPECT_EQ(mon.samples_seen(), 66u);
+}
+
+Tensor synthetic_frame(double mean, double noise, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(Shape{1, 1, 24, 24});
+  for (float& v : t.data()) {
+    v = static_cast<float>(std::clamp(mean + rng.normal(0.0, noise), 0.0, 1.0));
+  }
+  return t;
+}
+
+TEST(ImageMonitor, GoodFramePasses) {
+  ImageMonitor mon;
+  EXPECT_EQ(mon.check(synthetic_frame(0.5, 0.02, 1)), DataVerdict::kOk);
+}
+
+TEST(ImageMonitor, DetectsExposureProblems) {
+  ImageMonitor mon;
+  EXPECT_EQ(mon.check(synthetic_frame(0.005, 0.001, 2)), DataVerdict::kOutOfRange);  // dark
+  Tensor bright(Shape{1, 1, 24, 24});
+  bright.fill(0.999f);
+  EXPECT_EQ(mon.check(bright), DataVerdict::kOutOfRange);
+}
+
+TEST(ImageMonitor, DetectsCoveredLens) {
+  ImageMonitor mon;
+  Tensor flat(Shape{1, 1, 24, 24});
+  flat.fill(0.5f);
+  EXPECT_EQ(mon.check(flat), DataVerdict::kStuckAt);
+}
+
+TEST(ImageMonitor, DetectsHeavyNoise) {
+  ImageMonitor mon;
+  EXPECT_EQ(mon.check(synthetic_frame(0.5, 0.5, 3)), DataVerdict::kNoisy);
+}
+
+TEST(ImageMonitor, DetectsNanPixels) {
+  ImageMonitor mon;
+  Tensor t = synthetic_frame(0.5, 0.02, 4);
+  t.at(10) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(mon.check(t), DataVerdict::kMissing);
+}
+
+TEST(ImageMonitor, NoiseEstimatorOrdersFrames) {
+  const double clean = ImageMonitor::noise_level(synthetic_frame(0.5, 0.01, 5));
+  const double noisy = ImageMonitor::noise_level(synthetic_frame(0.5, 0.3, 6));
+  EXPECT_LT(clean, noisy);
+}
+
+TEST(Correction, PolicyMapping) {
+  EXPECT_EQ(correction_for(DataVerdict::kOk), CorrectionAction::kPass);
+  EXPECT_EQ(correction_for(DataVerdict::kOutlier), CorrectionAction::kReplace);
+  EXPECT_EQ(correction_for(DataVerdict::kMissing), CorrectionAction::kReplace);
+  EXPECT_EQ(correction_for(DataVerdict::kNoisy), CorrectionAction::kDrop);
+  EXPECT_EQ(correction_for(DataVerdict::kStuckAt), CorrectionAction::kDrop);
+}
+
+// ---------------------------------------------------------------------------
+// Robustness service
+// ---------------------------------------------------------------------------
+
+struct Deployment {
+  Graph graph;
+  std::unique_ptr<Executor> exec;
+};
+
+Deployment deploy_micro(std::uint64_t seed = 7) {
+  Deployment d{zoo::micro_mlp("m", 1, 16, {24, 16}, 4), nullptr};
+  Rng rng(seed);
+  d.graph.materialize_weights(rng);
+  d.exec = std::make_unique<Executor>(d.graph);
+  return d;
+}
+
+Tensor sample_input(std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor(Shape{1, 16}, rng.normal_vector(16));
+}
+
+TEST(Robustness, HealthyDeploymentProducesNoFaults) {
+  Deployment d = deploy_micro();
+  RobustnessService service(d.graph, {4, 1e-4});
+  for (int i = 0; i < 32; ++i) {
+    const Tensor in = sample_input(static_cast<std::uint64_t>(i));
+    service.submit(in, d.exec->run_single(in));
+  }
+  EXPECT_EQ(service.faults_detected(), 0u);
+  EXPECT_EQ(service.checks_run(), 8u);  // every 4th of 32
+}
+
+TEST(Robustness, DetectsBitFlippedModel) {
+  Deployment d = deploy_micro();
+  RobustnessService service(d.graph, {1, 1e-5});  // check everything
+
+  Rng rng(55);
+  FaultInjector injector(rng);
+  injector.flip_weight_bits(d.graph, 16);
+  Executor faulty(d.graph);
+
+  std::size_t detected = 0;
+  for (int i = 0; i < 16; ++i) {
+    const Tensor in = sample_input(static_cast<std::uint64_t>(i));
+    if (service.submit(in, faulty.run_single(in))) ++detected;
+  }
+  EXPECT_GT(detected, 0u);
+}
+
+TEST(Robustness, DetectsZeroedChannel) {
+  Deployment d = deploy_micro();
+  RobustnessService service(d.graph, {1, 1e-5});
+  Rng rng(56);
+  FaultInjector injector(rng);
+  injector.zero_random_channel(d.graph);
+  Executor faulty(d.graph);
+  std::size_t detected = 0;
+  for (int i = 0; i < 16; ++i) {
+    const Tensor in = sample_input(static_cast<std::uint64_t>(i));
+    if (service.submit(in, faulty.run_single(in))) ++detected;
+  }
+  EXPECT_GT(detected, 0u);
+}
+
+TEST(Robustness, DetectsScaledLayerAttack) {
+  Deployment d = deploy_micro();
+  RobustnessService service(d.graph, {1, 1e-5});
+  Rng rng(57);
+  FaultInjector injector(rng);
+  injector.scale_random_layer(d.graph, 1.5f);
+  Executor faulty(d.graph);
+  std::size_t detected = 0;
+  for (int i = 0; i < 16; ++i) {
+    const Tensor in = sample_input(static_cast<std::uint64_t>(i));
+    if (service.submit(in, faulty.run_single(in))) ++detected;
+  }
+  EXPECT_GT(detected, 0u);
+}
+
+TEST(Robustness, PeriodSamplingSkipsChecks) {
+  Deployment d = deploy_micro();
+  RobustnessService service(d.graph, {8, 1e-4});
+  for (int i = 0; i < 16; ++i) {
+    const Tensor in = sample_input(static_cast<std::uint64_t>(i));
+    service.submit(in, d.exec->run_single(in));
+  }
+  EXPECT_EQ(service.submissions(), 16u);
+  EXPECT_EQ(service.checks_run(), 2u);
+}
+
+TEST(Robustness, GoldenCopyIndependentOfDeployedGraph) {
+  Deployment d = deploy_micro();
+  RobustnessService service(d.graph, {1, 1e-5});
+  const Tensor in = sample_input(0);
+  const Tensor good = d.exec->run_single(in);
+  // Corrupt the deployed graph AFTER the service took its copy.
+  Rng rng(58);
+  FaultInjector(rng).scale_random_layer(d.graph, 10.0f);
+  // The service still validates against the original behaviour.
+  EXPECT_FALSE(service.submit(in, good));
+}
+
+// ---------------------------------------------------------------------------
+// Hybridization kernel
+// ---------------------------------------------------------------------------
+
+PayloadTask perception_task() {
+  PayloadTask t;
+  t.name = "perception";
+  t.period_s = 0.1;
+  t.deadline_s = 0.15;
+  t.misses_to_degrade = 1;
+  t.misses_to_stop = 3;
+  return t;
+}
+
+TEST(Hybrid, StaysNormalWithTimelyHeartbeats) {
+  SafetyKernel kernel;
+  kernel.register_task(perception_task());
+  double now = 0;
+  for (int i = 0; i < 50; ++i) {
+    now += 0.1;
+    kernel.heartbeat("perception", now);
+    EXPECT_EQ(kernel.tick(now), SystemState::kNormal);
+  }
+  EXPECT_EQ(kernel.missed_deadlines("perception"), 0u);
+}
+
+TEST(Hybrid, DegradesOnMissedDeadline) {
+  SafetyKernel kernel;
+  kernel.register_task(perception_task());
+  bool degraded_cb = false;
+  kernel.on_degraded([&] { degraded_cb = true; });
+  kernel.heartbeat("perception", 0.1);
+  EXPECT_EQ(kernel.tick(0.3), SystemState::kDegraded);  // >0.15 gap
+  EXPECT_TRUE(degraded_cb);
+}
+
+TEST(Hybrid, SafeStopLatchesAfterRepeatedMisses) {
+  SafetyKernel kernel;
+  kernel.register_task(perception_task());
+  bool stopped = false;
+  kernel.on_safe_stop([&] { stopped = true; });
+  kernel.heartbeat("perception", 0.1);
+  double now = 0.3;
+  SystemState s = SystemState::kNormal;
+  for (int i = 0; i < 5; ++i) {
+    s = kernel.tick(now);
+    now += 0.2;
+  }
+  EXPECT_EQ(s, SystemState::kSafeStop);
+  EXPECT_TRUE(stopped);
+  // latched: even a resumed heartbeat cannot clear SafeStop
+  kernel.heartbeat("perception", now);
+  kernel.try_recover(now);
+  EXPECT_EQ(kernel.tick(now), SystemState::kSafeStop);
+}
+
+TEST(Hybrid, RecoversFromDegraded) {
+  SafetyKernel kernel;
+  kernel.register_task(perception_task());
+  kernel.heartbeat("perception", 0.1);
+  EXPECT_EQ(kernel.tick(0.3), SystemState::kDegraded);
+  // heartbeats resume within deadline
+  kernel.heartbeat("perception", 0.35);
+  kernel.heartbeat("perception", 0.45);
+  kernel.try_recover(0.5);
+  EXPECT_EQ(kernel.tick(0.5), SystemState::kNormal);
+}
+
+TEST(Hybrid, MultipleTasksWorstCaseGoverns) {
+  SafetyKernel kernel;
+  kernel.register_task(perception_task());
+  PayloadTask planner = perception_task();
+  planner.name = "planner";
+  kernel.register_task(planner);
+  double now = 0.1;
+  kernel.heartbeat("perception", now);
+  kernel.heartbeat("planner", now);
+  // only the planner stalls
+  for (int i = 0; i < 5; ++i) {
+    now += 0.1;
+    kernel.heartbeat("perception", now);
+    kernel.tick(now);
+  }
+  EXPECT_GT(kernel.missed_deadlines("planner"), 0u);
+  EXPECT_EQ(kernel.missed_deadlines("perception"), 0u);
+  EXPECT_NE(kernel.state(), SystemState::kNormal);
+}
+
+TEST(Hybrid, ValidationErrors) {
+  SafetyKernel kernel;
+  PayloadTask bad = perception_task();
+  bad.deadline_s = 0.01;  // < period
+  EXPECT_THROW(kernel.register_task(bad), Error);
+  kernel.register_task(perception_task());
+  EXPECT_THROW(kernel.register_task(perception_task()), Error);
+  EXPECT_THROW(kernel.heartbeat("ghost", 0.0), NotFound);
+  EXPECT_THROW((void)kernel.missed_deadlines("ghost"), NotFound);
+}
+
+}  // namespace
+}  // namespace vedliot::safety

@@ -1,0 +1,545 @@
+// Tests for the trusted-computing stack: crypto vectors, PMP unit,
+// WASM-like VM, KV workload, enclave model, attestation, TrustZone.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "security/attestation.hpp"
+#include "security/crypto.hpp"
+#include "security/enclave.hpp"
+#include "security/kvstore.hpp"
+#include "security/pmp.hpp"
+#include "security/trustzone.hpp"
+#include "security/wasm.hpp"
+#include "util/rng.hpp"
+
+namespace vedliot::security {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+// ---------------------------------------------------------------------------
+// Crypto (validated against published vectors)
+// ---------------------------------------------------------------------------
+
+TEST(Sha256, EmptyStringVector) {
+  EXPECT_EQ(to_hex(sha256(std::string_view(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, AbcVector) {
+  EXPECT_EQ(to_hex(sha256(std::string_view("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockVector) {
+  EXPECT_EQ(to_hex(sha256(std::string_view(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Sha256 h;
+  h.update(std::string_view("hello "));
+  h.update(std::string_view("world"));
+  EXPECT_EQ(h.finish(), sha256(std::string_view("hello world")));
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  // key = "Jefe", data = "what do ya want for nothing?"
+  const auto key = bytes_of("Jefe");
+  const auto data = bytes_of("what do ya want for nothing?");
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  const auto data = bytes_of("Hi There");
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, LongKeyHashedFirst) {
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const auto data = bytes_of("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(ChaCha20, Rfc8439BlockKeystream) {
+  // RFC 8439 2.4.2 test vector: encrypting the "sunscreen" plaintext.
+  Key key;
+  for (std::size_t i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  std::array<std::uint8_t, 12> nonce{0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0};
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  const auto ct = chacha20_xor(key, nonce, 1, bytes_of(plaintext));
+  EXPECT_EQ(to_hex(std::span<const std::uint8_t>(ct.data(), 16)),
+            "6e2e359a2568f98041ba0728dd0d6981");
+}
+
+TEST(ChaCha20, EncryptDecryptRoundTrip) {
+  Key key{};
+  key[0] = 1;
+  std::array<std::uint8_t, 12> nonce{};
+  const auto msg = bytes_of("secret model weights");
+  const auto ct = chacha20_xor(key, nonce, 0, msg);
+  EXPECT_NE(ct, msg);
+  EXPECT_EQ(chacha20_xor(key, nonce, 0, ct), msg);
+}
+
+TEST(Crypto, DeriveKeyDeterministicAndLabelled) {
+  Key root{};
+  root[5] = 42;
+  EXPECT_EQ(derive_key(root, "a"), derive_key(root, "a"));
+  EXPECT_NE(derive_key(root, "a"), derive_key(root, "b"));
+}
+
+TEST(Crypto, DigestEqualConstantTimeSemantics) {
+  Digest a{}, b{};
+  EXPECT_TRUE(digest_equal(a, b));
+  b[31] = 1;
+  EXPECT_FALSE(digest_equal(a, b));
+}
+
+// ---------------------------------------------------------------------------
+// PMP unit
+// ---------------------------------------------------------------------------
+
+TEST(Pmp, TorRegionSemantics) {
+  PmpUnit pmp(4);
+  PmpEntry e;
+  e.mode = AddressMatch::kTor;
+  e.addr = 0x1000 >> 2;  // [0, 0x1000)
+  e.r = true;
+  pmp.configure(0, e);
+  EXPECT_TRUE(pmp.check(0x0FFC, Access::kRead, Privilege::kUser));
+  EXPECT_FALSE(pmp.check(0x0FFC, Access::kWrite, Privilege::kUser));
+  EXPECT_FALSE(pmp.check(0x1000, Access::kRead, Privilege::kUser));  // no match -> deny U
+}
+
+TEST(Pmp, NapotEncodeAndMatch) {
+  const std::uint32_t addr = napot_encode(0x2000, 0x1000);
+  PmpUnit pmp(4);
+  PmpEntry e;
+  e.mode = AddressMatch::kNapot;
+  e.addr = addr;
+  e.r = e.w = true;
+  pmp.configure(0, e);
+  EXPECT_TRUE(pmp.check(0x2000, Access::kRead, Privilege::kUser));
+  EXPECT_TRUE(pmp.check(0x2FFC, Access::kWrite, Privilege::kUser));
+  EXPECT_FALSE(pmp.check(0x1FFC, Access::kRead, Privilege::kUser));
+  EXPECT_FALSE(pmp.check(0x3000, Access::kRead, Privilege::kUser));
+}
+
+TEST(Pmp, NapotEncodeValidation) {
+  EXPECT_THROW((void)napot_encode(0x2000, 12), Error);     // not a power of 2
+  EXPECT_THROW((void)napot_encode(0x2004, 0x1000), Error); // misaligned
+  EXPECT_THROW((void)napot_encode(0, 4), Error);           // < 8 bytes
+}
+
+TEST(Pmp, LowestIndexWins) {
+  PmpUnit pmp(4);
+  PmpEntry deny;
+  deny.mode = AddressMatch::kTor;
+  deny.addr = 0x1000 >> 2;
+  pmp.configure(0, deny);  // no permissions
+  PmpEntry allow;
+  allow.mode = AddressMatch::kTor;
+  allow.addr = 0x2000 >> 2;
+  allow.r = true;
+  pmp.configure(1, allow);
+  // 0x500 matches entry 0 first: denied even though entry 1 would allow.
+  EXPECT_FALSE(pmp.check(0x500, Access::kRead, Privilege::kUser));
+  EXPECT_EQ(pmp.match(0x500).value(), 0u);
+  EXPECT_TRUE(pmp.check(0x1500, Access::kRead, Privilege::kUser));
+}
+
+TEST(Pmp, MachineModeBypassUnlessLocked) {
+  PmpUnit pmp(2);
+  PmpEntry e;
+  e.mode = AddressMatch::kTor;
+  e.addr = 0x1000 >> 2;
+  pmp.configure(0, e);
+  EXPECT_TRUE(pmp.check(0x100, Access::kWrite, Privilege::kMachine));
+  PmpEntry locked = e;
+  locked.locked = true;
+  pmp.reset();
+  pmp.configure(0, locked);
+  EXPECT_FALSE(pmp.check(0x100, Access::kWrite, Privilege::kMachine));
+}
+
+TEST(Pmp, LockedEntryImmutable) {
+  PmpUnit pmp(2);
+  PmpEntry e;
+  e.mode = AddressMatch::kTor;
+  e.addr = 16;
+  e.locked = true;
+  pmp.configure(0, e);
+  EXPECT_THROW(pmp.configure(0, PmpEntry{}), InvalidArgument);
+  pmp.reset();  // hardware reset clears the lock
+  EXPECT_NO_THROW(pmp.configure(0, PmpEntry{}));
+}
+
+TEST(Pmp, NoEntriesMeansMachineOnly) {
+  PmpUnit pmp(4);  // all off
+  EXPECT_TRUE(pmp.check(0x42, Access::kExecute, Privilege::kMachine));
+  EXPECT_FALSE(pmp.check(0x42, Access::kExecute, Privilege::kUser));
+}
+
+// ---------------------------------------------------------------------------
+// WASM-like VM
+// ---------------------------------------------------------------------------
+
+WModule add_module() {
+  WModule m;
+  m.code = {
+      {WOp::kLocalGet, 0}, {WOp::kLocalGet, 1}, {WOp::kAdd, 0}, {WOp::kRet, 0},
+  };
+  m.functions = {{"add", 0, 2, 2, true}};
+  return m;
+}
+
+TEST(Wasm, AddFunction) {
+  WasmVm vm(add_module());
+  EXPECT_EQ(vm.invoke("add", {2, 40}), 42);
+  EXPECT_EQ(vm.invoke("add", {-5, 3}), -2);
+}
+
+TEST(Wasm, WrongArityTraps) {
+  WasmVm vm(add_module());
+  EXPECT_THROW((void)vm.invoke("add", {1}), WasmTrap);
+  EXPECT_THROW((void)vm.invoke("bogus", {}), NotFound);
+}
+
+TEST(Wasm, DivByZeroTraps) {
+  WModule m;
+  m.code = {{WOp::kLocalGet, 0}, {WOp::kConst, 0}, {WOp::kDivS, 0}, {WOp::kRet, 0}};
+  m.functions = {{"div0", 0, 1, 1, true}};
+  WasmVm vm(std::move(m));
+  EXPECT_THROW((void)vm.invoke("div0", {7}), WasmTrap);
+}
+
+TEST(Wasm, OutOfBoundsMemoryTraps) {
+  WModule m;
+  m.memory_bytes = 64;
+  m.code = {{WOp::kLocalGet, 0}, {WOp::kLoad, 0}, {WOp::kRet, 0}};
+  m.functions = {{"peek", 0, 1, 1, true}};
+  WasmVm vm(std::move(m));
+  EXPECT_THROW((void)vm.invoke("peek", {64}), WasmTrap);
+  EXPECT_THROW((void)vm.invoke("peek", {-4}), WasmTrap);
+  EXPECT_NO_THROW((void)vm.invoke("peek", {60}));
+}
+
+TEST(Wasm, FuelLimitStopsRunaway) {
+  WModule m;
+  m.code = {{WOp::kJmp, 0}};
+  m.functions = {{"spin", 0, 0, 0, false}};
+  WasmVm vm(std::move(m));
+  vm.set_fuel_limit(1000);
+  EXPECT_THROW((void)vm.invoke("spin", {}), WasmTrap);
+  EXPECT_LE(vm.instructions_retired(), 1001u);
+}
+
+TEST(Wasm, HostCallReceivesArgsAndMemory) {
+  WModule m;
+  m.memory_bytes = 64;
+  m.code = {{WOp::kConst, 5}, {WOp::kConst, 7}, {WOp::kHostCall, 0}, {WOp::kRet, 0}};
+  m.functions = {{"go", 0, 0, 0, true}};
+  WasmVm vm(std::move(m));
+  vm.add_host({"mul", 2, [](HostContext& ctx, const std::vector<std::int32_t>& args) {
+                 ctx.memory[0] = 0xAB;
+                 return args[0] * args[1];
+               }});
+  EXPECT_EQ(vm.invoke("go", {}), 35);
+  EXPECT_EQ(vm.memory()[0], 0xAB);
+}
+
+TEST(Wasm, CallBetweenFunctions) {
+  WModule m;
+  // f(x) = x+1 at entry 0; main() = f(41) at entry 4.
+  m.code = {
+      {WOp::kLocalGet, 0}, {WOp::kConst, 1}, {WOp::kAdd, 0}, {WOp::kRet, 0},
+      {WOp::kConst, 41}, {WOp::kCall, 0}, {WOp::kRet, 0},
+  };
+  m.functions = {{"inc", 0, 1, 1, true}, {"main", 4, 0, 0, true}};
+  WasmVm vm(std::move(m));
+  EXPECT_EQ(vm.invoke("main", {}), 42);
+}
+
+TEST(Wasm, DataSegmentLoaded) {
+  WModule m;
+  m.memory_bytes = 64;
+  m.data = {0x2A, 0, 0, 0};
+  m.code = {{WOp::kConst, 0}, {WOp::kLoad, 0}, {WOp::kRet, 0}};
+  m.functions = {{"first", 0, 0, 0, true}};
+  WasmVm vm(std::move(m));
+  EXPECT_EQ(vm.invoke("first", {}), 42);
+}
+
+TEST(Wasm, SerializeDeterministic) {
+  EXPECT_EQ(add_module().serialize(), add_module().serialize());
+  auto other = add_module();
+  other.code[0].imm = 1;
+  EXPECT_NE(other.serialize(), add_module().serialize());
+}
+
+// ---------------------------------------------------------------------------
+// KV store: native vs bytecode equivalence
+// ---------------------------------------------------------------------------
+
+TEST(KvStore, NativePutGetSum) {
+  NativeKvStore kv(64);
+  EXPECT_TRUE(kv.put(1, 10));
+  EXPECT_TRUE(kv.put(65, 20));  // collides with 1 (mod 64)
+  EXPECT_EQ(kv.get(1).value(), 10);
+  EXPECT_EQ(kv.get(65).value(), 20);
+  EXPECT_FALSE(kv.get(2).has_value());
+  EXPECT_EQ(kv.sum(), 30);
+  EXPECT_TRUE(kv.put(1, 11));  // update
+  EXPECT_EQ(kv.get(1).value(), 11);
+  EXPECT_EQ(kv.size(), 2u);
+}
+
+TEST(KvStore, NativeFullTableRejects) {
+  NativeKvStore kv(4);
+  for (std::uint32_t k = 0; k < 4; ++k) EXPECT_TRUE(kv.put(k, 1));
+  EXPECT_FALSE(kv.put(100, 1));
+}
+
+TEST(KvStore, WasmMatchesNativeOnRandomOps) {
+  constexpr std::uint32_t kCap = 128;
+  NativeKvStore native(kCap);
+  WasmVm vm(build_kv_module(kCap));
+  Rng rng(2024);
+  for (int i = 0; i < 2000; ++i) {
+    const auto key = static_cast<std::uint32_t>(rng.uniform_int(0, 200));
+    if (rng.chance(0.6)) {
+      const auto value = static_cast<std::int32_t>(rng.uniform_int(-1000, 1000));
+      const bool native_ok = native.put(key, value);
+      const bool vm_ok = vm.invoke("kv_put", {static_cast<std::int32_t>(key), value}) == 1;
+      ASSERT_EQ(native_ok, vm_ok) << "op " << i;
+    } else {
+      const auto native_got = native.get(key);
+      const auto vm_got = vm.invoke("kv_get", {static_cast<std::int32_t>(key)});
+      ASSERT_EQ(native_got.value_or(-1), vm_got) << "op " << i;
+    }
+  }
+  EXPECT_EQ(static_cast<std::int32_t>(native.sum()), vm.invoke("kv_sum", {}));
+}
+
+// ---------------------------------------------------------------------------
+// Enclave
+// ---------------------------------------------------------------------------
+
+Key test_root() {
+  Key k{};
+  k[0] = 0x11;
+  k[31] = 0x99;
+  return k;
+}
+
+TEST(Enclave, EcallRunsModuleAndAccounts) {
+  Enclave enc(EnclaveConfig{}, add_module(), test_root());
+  EXPECT_EQ(enc.ecall("add", {20, 22}), 42);
+  EXPECT_EQ(enc.ledger().ecalls, 1u);
+  EXPECT_GT(enc.ledger().vm_instructions, 0u);
+  EXPECT_GT(enc.ledger().simulated_ns, 0.0);
+}
+
+TEST(Enclave, OcallsAccountedViaHostImports) {
+  WModule m;
+  m.code = {{WOp::kHostCall, 0}, {WOp::kHostCall, 0}, {WOp::kAdd, 0}, {WOp::kRet, 0}};
+  m.functions = {{"two_ocalls", 0, 0, 0, true}};
+  Enclave enc(EnclaveConfig{}, std::move(m), test_root());
+  enc.add_host({"time", 0, [](HostContext&, const std::vector<std::int32_t>&) { return 21; }});
+  EXPECT_EQ(enc.ecall("two_ocalls", {}), 42);
+  EXPECT_EQ(enc.ledger().ocalls, 2u);
+}
+
+TEST(Enclave, MeasurementBindsCode) {
+  Enclave a(EnclaveConfig{}, add_module(), test_root());
+  auto tampered = add_module();
+  tampered.code[1].imm = 99;
+  Enclave b(EnclaveConfig{}, std::move(tampered), test_root());
+  EXPECT_FALSE(digest_equal(a.measurement(), b.measurement()));
+}
+
+TEST(Enclave, SealUnsealRoundTrip) {
+  Enclave enc(EnclaveConfig{}, add_module(), test_root());
+  const auto secret = bytes_of("api-key-123");
+  const auto blob = enc.seal(secret);
+  EXPECT_NE(blob.ciphertext, secret);  // actually encrypted
+  EXPECT_EQ(enc.unseal(blob), secret);
+}
+
+TEST(Enclave, UnsealRejectsTamperAndWrongIdentity) {
+  Enclave enc(EnclaveConfig{}, add_module(), test_root());
+  auto blob = enc.seal(bytes_of("secret"));
+  auto tampered = blob;
+  tampered.ciphertext[0] ^= 1;
+  EXPECT_THROW((void)enc.unseal(tampered), EnclaveError);
+
+  // Different code -> different measurement -> cannot unseal.
+  auto other_module = add_module();
+  other_module.code[1].imm = 7;
+  Enclave other(EnclaveConfig{}, std::move(other_module), test_root());
+  EXPECT_THROW((void)other.unseal(blob), EnclaveError);
+
+  // Same code, different platform root -> cannot unseal.
+  Key other_root{};
+  Enclave other_platform(EnclaveConfig{}, add_module(), other_root);
+  EXPECT_THROW((void)other_platform.unseal(blob), EnclaveError);
+}
+
+TEST(Enclave, PagingPenaltyWhenExceedingEpc) {
+  EnclaveConfig small;
+  small.epc_kib = 1.0;  // absurdly small EPC
+  auto m = add_module();
+  m.memory_bytes = 256 * 1024;
+  Enclave enc(small, std::move(m), test_root());
+  EnclaveConfig big;
+  Enclave enc_big(big, add_module(), test_root());
+  enc.ecall("add", {1, 2});
+  enc_big.ecall("add", {1, 2});
+  EXPECT_GT(enc.ledger().simulated_ns, enc_big.ledger().simulated_ns);
+}
+
+// ---------------------------------------------------------------------------
+// Attestation
+// ---------------------------------------------------------------------------
+
+TEST(Attestation, QuoteVerifies) {
+  AttestationAuthority authority(test_root());
+  DeviceAgent device("edge-7", authority.provision("edge-7"));
+  const Digest m = sha256(std::string_view("enclave-image"));
+  const Quote q = device.quote(m, 12345);
+  EXPECT_TRUE(authority.verify(q, 12345));
+}
+
+TEST(Attestation, WrongNonceRejected) {
+  AttestationAuthority authority(test_root());
+  DeviceAgent device("edge-7", authority.provision("edge-7"));
+  const Quote q = device.quote(sha256(std::string_view("x")), 1);
+  EXPECT_FALSE(authority.verify(q, 2));  // replay with stale nonce
+}
+
+TEST(Attestation, TamperedMeasurementRejected) {
+  AttestationAuthority authority(test_root());
+  DeviceAgent device("edge-7", authority.provision("edge-7"));
+  Quote q = device.quote(sha256(std::string_view("x")), 1);
+  q.measurement[0] ^= 1;
+  EXPECT_FALSE(authority.verify(q, 1));
+}
+
+TEST(Attestation, ImpersonationRejected) {
+  AttestationAuthority authority(test_root());
+  // Device provisions with the wrong root: MAC cannot verify.
+  Key rogue{};
+  DeviceAgent fake("edge-7", rogue);
+  const Quote q = fake.quote(sha256(std::string_view("x")), 1);
+  EXPECT_FALSE(authority.verify(q, 1));
+}
+
+TEST(Attestation, ChainVerifies) {
+  AttestationAuthority authority(test_root());
+  DeviceAgent leaf("sensor-1", authority.provision("sensor-1"));
+  DeviceAgent edge("edge-7", authority.provision("edge-7"));
+  DeviceAgent cloud("gw-0", authority.provision("gw-0"));
+
+  const Quote q1 = leaf.quote(sha256(std::string_view("leaf-fw")), 7);
+  const Quote q2 = edge.quote_over(q1, sha256(std::string_view("edge-fw")), 8);
+  const Quote q3 = cloud.quote_over(q2, sha256(std::string_view("gw-fw")), 99);
+  EXPECT_TRUE(authority.verify_chain({q1, q2, q3}, 99));
+}
+
+TEST(Attestation, BrokenChainRejected) {
+  AttestationAuthority authority(test_root());
+  DeviceAgent leaf("sensor-1", authority.provision("sensor-1"));
+  DeviceAgent edge("edge-7", authority.provision("edge-7"));
+  const Quote q1 = leaf.quote(sha256(std::string_view("leaf-fw")), 7);
+  Quote q2 = edge.quote_over(q1, sha256(std::string_view("edge-fw")), 99);
+
+  // Substitute a different leaf quote after the chain was built.
+  const Quote q1_other = leaf.quote(sha256(std::string_view("malicious-fw")), 7);
+  EXPECT_FALSE(authority.verify_chain({q1_other, q2}, 99));
+  EXPECT_TRUE(authority.verify_chain({q1, q2}, 99));
+  EXPECT_FALSE(authority.verify_chain({}, 99));
+}
+
+// ---------------------------------------------------------------------------
+// TrustZone
+// ---------------------------------------------------------------------------
+
+std::vector<BootImage> good_chain(const Key& root) {
+  std::vector<BootImage> chain;
+  for (const char* name : {"bl1", "bl2", "optee", "linux"}) {
+    BootImage img;
+    img.name = name;
+    img.image = bytes_of(std::string("firmware:") + name);
+    img.signed_hash = sign_boot_image(root, name, img.image);
+    chain.push_back(std::move(img));
+  }
+  return chain;
+}
+
+TEST(TrustZone, SecureBootAcceptsSignedChain) {
+  TrustZoneSoC soc(test_root());
+  EXPECT_FALSE(soc.booted_secure());
+  soc.secure_boot(good_chain(test_root()));
+  EXPECT_TRUE(soc.booted_secure());
+  EXPECT_NO_THROW((void)soc.boot_measurement());
+}
+
+TEST(TrustZone, SecureBootRejectsTamperedStage) {
+  TrustZoneSoC soc(test_root());
+  auto chain = good_chain(test_root());
+  chain[2].image.push_back(0xEE);  // modify OP-TEE after signing
+  try {
+    soc.secure_boot(chain);
+    FAIL() << "expected TrustZoneError";
+  } catch (const TrustZoneError& e) {
+    EXPECT_NE(std::string(e.what()).find("optee"), std::string::npos);
+  }
+  EXPECT_FALSE(soc.booted_secure());
+}
+
+TEST(TrustZone, TaCallsOnlyAfterBootAndViaSmc) {
+  TrustZoneSoC soc(test_root());
+  EXPECT_THROW(soc.install_ta("keystore", [](const auto&) { return 0; }), TrustZoneError);
+  soc.secure_boot(good_chain(test_root()));
+  soc.install_ta("keystore", [](const std::vector<std::int32_t>& args) {
+    return args.empty() ? 0 : args[0] * 2;
+  });
+  EXPECT_EQ(soc.smc("keystore", {21}), 42);
+  EXPECT_EQ(soc.world_switches(), 1u);
+  EXPECT_GT(soc.simulated_ns(), 0.0);
+  EXPECT_THROW((void)soc.smc("missing", {}), TrustZoneError);
+  EXPECT_THROW(soc.install_ta("keystore", [](const auto&) { return 0; }), TrustZoneError);
+}
+
+TEST(TrustZone, BootMeasurementChangesWithFirmware) {
+  TrustZoneSoC a(test_root()), b(test_root());
+  a.secure_boot(good_chain(test_root()));
+  auto chain = good_chain(test_root());
+  chain[3].image = bytes_of("firmware:linux-v2");
+  chain[3].signed_hash = sign_boot_image(test_root(), "linux", chain[3].image);
+  b.secure_boot(chain);
+  EXPECT_FALSE(digest_equal(a.boot_measurement(), b.boot_measurement()));
+}
+
+}  // namespace
+}  // namespace vedliot::security

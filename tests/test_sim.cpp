@@ -1,0 +1,449 @@
+// Tests for the Renode-analogue functional simulator: bus, RV32IM core,
+// assembler, CFU dispatch, PMP enforcement, peripherals.
+
+#include <gtest/gtest.h>
+
+#include "sim/assembler.hpp"
+#include "sim/bus.hpp"
+#include "sim/cfu.hpp"
+#include "sim/cpu.hpp"
+#include "sim/machine.hpp"
+
+namespace vedliot::sim {
+namespace {
+
+using security::AddressMatch;
+using security::PmpEntry;
+
+TEST(Bus, RamReadWriteAllWidths) {
+  Bus bus(0x80000000, 1024);
+  bus.write32(0x80000000, 0xDEADBEEF);
+  EXPECT_EQ(bus.read32(0x80000000), 0xDEADBEEFu);
+  EXPECT_EQ(bus.read8(0x80000000), 0xEFu);   // little endian
+  EXPECT_EQ(bus.read8(0x80000003), 0xDEu);
+  EXPECT_EQ(bus.read16(0x80000002), 0xDEADu);
+  bus.write8(0x80000001, 0x42);
+  EXPECT_EQ(bus.read32(0x80000000), 0xDEAD42EFu);
+}
+
+TEST(Bus, FaultOutsideMappedRegions) {
+  Bus bus(0x80000000, 1024);
+  EXPECT_THROW((void)bus.read32(0x00000000), SimError);
+  EXPECT_THROW(bus.write32(0x80000000 + 1024, 1), SimError);
+}
+
+TEST(Bus, PeripheralOverlapRejected) {
+  Bus bus(0x80000000, 1024);
+  bus.attach(std::make_shared<Uart>(0x10000000));
+  EXPECT_THROW(bus.attach(std::make_shared<Uart>(0x10000008)), SimError);
+  EXPECT_THROW(bus.attach(std::make_shared<Uart>(0x80000000)), SimError);
+}
+
+TEST(Assembler, KnownEncodings) {
+  Assembler a;
+  a.addi(a0, x0, 1);   // addi a0, zero, 1 = 0x00100513
+  a.add(a1, a0, a0);   // add a1, a0, a0  = 0x00A505B3
+  a.ecall();
+  const auto code = a.finish();
+  EXPECT_EQ(code[0], 0x00100513u);
+  EXPECT_EQ(code[1], 0x00A505B3u);
+  EXPECT_EQ(code[2], 0x00000073u);
+}
+
+TEST(Assembler, ImmediateRangeChecked) {
+  Assembler a;
+  EXPECT_THROW(a.addi(a0, x0, 5000), Error);
+  EXPECT_THROW(a.addi(a0, x0, -3000), Error);
+}
+
+TEST(Assembler, UnboundLabelRejected) {
+  Assembler a;
+  const int l = a.new_label();
+  a.j(l);
+  EXPECT_THROW((void)a.finish(), Error);
+}
+
+TEST(Machine, ArithmeticProgram) {
+  Machine m;
+  Assembler a(kRamBase);
+  a.li(a0, 21);
+  a.li(a1, 2);
+  a.mul(a2, a0, a1);
+  a.ecall();
+  m.load_program(a);
+  EXPECT_EQ(m.run(), HaltReason::kEcall);
+  EXPECT_EQ(m.cpu().reg(a2), 42u);
+}
+
+TEST(Machine, LiLargeConstants) {
+  Machine m;
+  Assembler a(kRamBase);
+  a.li(a0, 0x12345678);
+  a.li(a1, -123456);
+  a.ecall();
+  m.load_program(a);
+  m.run();
+  EXPECT_EQ(m.cpu().reg(a0), 0x12345678u);
+  EXPECT_EQ(static_cast<std::int32_t>(m.cpu().reg(a1)), -123456);
+}
+
+TEST(Machine, FibonacciLoop) {
+  // Compute fib(10) = 55 with a branch loop.
+  Machine m;
+  Assembler a(kRamBase);
+  a.li(a0, 0);   // f0
+  a.li(a1, 1);   // f1
+  a.li(t0, 10);  // counter
+  const int loop = a.new_label();
+  const int done = a.new_label();
+  a.bind(loop);
+  a.beq(t0, x0, done);
+  a.add(t1, a0, a1);
+  a.mv(a0, a1);
+  a.mv(a1, t1);
+  a.addi(t0, t0, -1);
+  a.j(loop);
+  a.bind(done);
+  a.ecall();
+  m.load_program(a);
+  EXPECT_EQ(m.run(), HaltReason::kEcall);
+  EXPECT_EQ(m.cpu().reg(a0), 55u);
+}
+
+TEST(Machine, LoadStoreRoundTrip) {
+  Machine m;
+  Assembler a(kRamBase);
+  a.li(t0, static_cast<std::int32_t>(kRamBase + 0x1000));
+  a.li(t1, 0x55AA);
+  a.sw(t1, t0, 0);
+  a.lw(a0, t0, 0);
+  a.lbu(a1, t0, 1);
+  a.ecall();
+  m.load_program(a);
+  m.run();
+  EXPECT_EQ(m.cpu().reg(a0), 0x55AAu);
+  EXPECT_EQ(m.cpu().reg(a1), 0x55u);
+}
+
+TEST(Machine, DivisionSemantics) {
+  // RISC-V: div by zero = -1, rem by zero = dividend; INT_MIN/-1 = INT_MIN.
+  Machine m;
+  Assembler a(kRamBase);
+  a.li(a0, 7);
+  a.li(a1, 0);
+  a.div(a2, a0, a1);
+  a.rem(a3, a0, a1);
+  a.li(t0, 1);
+  a.slli(t0, t0, 31);  // INT_MIN
+  a.li(t1, -1);
+  a.div(a4, t0, t1);
+  a.ecall();
+  m.load_program(a);
+  m.run();
+  EXPECT_EQ(m.cpu().reg(a2), 0xFFFFFFFFu);
+  EXPECT_EQ(m.cpu().reg(a3), 7u);
+  EXPECT_EQ(m.cpu().reg(a4), 0x80000000u);
+}
+
+TEST(Machine, X0AlwaysZero) {
+  Machine m;
+  Assembler a(kRamBase);
+  a.li(t0, 99);
+  a.add(x0, t0, t0);
+  a.mv(a0, x0);
+  a.ecall();
+  m.load_program(a);
+  m.run();
+  EXPECT_EQ(m.cpu().reg(a0), 0u);
+}
+
+TEST(Machine, UartHelloWorld) {
+  // The same software you'd run on hardware: write bytes to the UART MMIO.
+  Machine m;
+  Assembler a(kRamBase);
+  a.li(t0, static_cast<std::int32_t>(kUartBase));
+  for (char ch : std::string("HELLO")) {
+    a.li(t1, ch);
+    a.sw(t1, t0, 0);
+  }
+  a.ecall();
+  m.load_program(a);
+  EXPECT_EQ(m.run(), HaltReason::kEcall);
+  EXPECT_EQ(m.uart().output(), "HELLO");
+}
+
+TEST(Machine, EbreakHalts) {
+  Machine m;
+  Assembler a(kRamBase);
+  a.ebreak();
+  m.load_program(a);
+  EXPECT_EQ(m.run(), HaltReason::kEbreak);
+}
+
+TEST(Machine, InstructionBudgetEnforced) {
+  Machine m;
+  Assembler a(kRamBase);
+  const int spin = a.new_label();
+  a.bind(spin);
+  a.j(spin);
+  m.load_program(a);
+  EXPECT_EQ(m.run(1000), HaltReason::kMaxInstructions);
+  EXPECT_EQ(m.cpu().instructions_retired(), 1000u);
+}
+
+TEST(Machine, JalAndRet) {
+  Machine m;
+  Assembler a(kRamBase);
+  const int fn = a.new_label();
+  a.jal(ra, fn);    // call
+  a.ecall();        // after return
+  a.bind(fn);
+  a.li(a0, 77);
+  a.ret();
+  m.load_program(a);
+  EXPECT_EQ(m.run(), HaltReason::kEcall);
+  EXPECT_EQ(m.cpu().reg(a0), 77u);
+}
+
+TEST(Machine, TraceHookSeesInstructions) {
+  Machine m;
+  Assembler a(kRamBase);
+  a.li(a0, 1);
+  a.li(a1, 2);
+  a.ecall();
+  m.load_program(a);
+  std::vector<std::uint32_t> pcs;
+  m.cpu().set_trace([&](std::uint32_t pc, std::uint32_t) { pcs.push_back(pc); });
+  m.run();
+  ASSERT_EQ(pcs.size(), 3u);
+  EXPECT_EQ(pcs[0], kRamBase);
+  EXPECT_EQ(pcs[1], kRamBase + 4);
+}
+
+// ---------------------------------------------------------------------------
+// CFU (custom function unit)
+// ---------------------------------------------------------------------------
+
+TEST(Cfu, MacAccumulates) {
+  MacCfu cfu;
+  cfu.execute(1, 0, 0, 0);  // reset
+  cfu.execute(0, 0, 3, 4);
+  cfu.execute(0, 0, 5, 6);
+  EXPECT_EQ(cfu.accumulator(), 42);
+  EXPECT_EQ(cfu.execute(2, 0, 0, 0), 42u);
+}
+
+TEST(Cfu, SignedOperands) {
+  MacCfu cfu;
+  cfu.execute(1, 0, 0, 0);
+  cfu.execute(0, 0, static_cast<std::uint32_t>(-3), 4);
+  EXPECT_EQ(cfu.accumulator(), -12);
+}
+
+TEST(Cfu, ReluRequantize) {
+  MacCfu cfu;
+  cfu.execute(1, 0, 0, 0);
+  cfu.execute(0, 0, 1000, 1000);  // acc = 1e6
+  EXPECT_EQ(cfu.execute(3, 8, 8, 0), 127u);  // >>8 then clamp to int8 max
+  cfu.execute(1, 0, 0, 0);
+  cfu.execute(0, 0, static_cast<std::uint32_t>(-10), 10);
+  EXPECT_EQ(cfu.execute(3, 0, 0, 0), 0u);  // negative -> relu 0
+}
+
+TEST(Cfu, SimdDotProduct) {
+  MacCfu cfu;
+  cfu.execute(1, 0, 0, 0);
+  // bytes [1,2,3,4] . [1,1,1,1] = 10
+  const std::uint32_t a = 0x04030201;
+  const std::uint32_t b = 0x01010101;
+  cfu.execute(4, 0, a, b);
+  EXPECT_EQ(cfu.accumulator(), 10);
+}
+
+TEST(Machine, CfuDotProductProgram) {
+  // The CI workflow from Sec. II-B: run a DL kernel on the simulated core
+  // with the MAC CFU via the custom-0 opcode.
+  Machine m;
+  m.attach_cfu(std::make_shared<MacCfu>());
+  Assembler a(kRamBase);
+  const std::uint32_t data = kRamBase + 0x2000;
+  // store vectors x = [1..4], w = [2,2,2,2]
+  a.li(t0, static_cast<std::int32_t>(data));
+  for (int i = 0; i < 4; ++i) {
+    a.li(t1, i + 1);
+    a.sw(t1, t0, 4 * i);
+    a.li(t1, 2);
+    a.sw(t1, t0, 16 + 4 * i);
+  }
+  a.cfu(1, 0, a0, x0, x0);  // reset acc
+  for (int i = 0; i < 4; ++i) {
+    a.lw(a1, t0, 4 * i);
+    a.lw(a2, t0, 16 + 4 * i);
+    a.cfu(0, 0, a0, a1, a2);  // mac
+  }
+  a.cfu(2, 0, a0, x0, x0);  // read acc: 2*(1+2+3+4) = 20
+  a.ecall();
+  m.load_program(a);
+  EXPECT_EQ(m.run(), HaltReason::kEcall);
+  EXPECT_EQ(m.cpu().reg(a0), 20u);
+}
+
+TEST(Machine, CfuWithoutUnitTraps) {
+  Machine m;  // no CFU attached
+  Assembler a(kRamBase);
+  a.cfu(0, 0, a0, a1, a2);
+  m.load_program(a);
+  EXPECT_EQ(m.run(), HaltReason::kUnhandledTrap);
+}
+
+// ---------------------------------------------------------------------------
+// PMP integration (the VexRiscv TEE demo)
+// ---------------------------------------------------------------------------
+
+TEST(Machine, PmpBlocksUserModeStore) {
+  Machine m;
+  auto& pmp = m.enable_pmp(4);
+
+  // Region 0: all of RAM readable/executable for U-mode, not writable.
+  PmpEntry exec_region;
+  exec_region.mode = AddressMatch::kTor;
+  exec_region.addr = 0xFFFFFFFF >> 2;
+  exec_region.r = true;
+  exec_region.x = true;
+  exec_region.w = false;
+  pmp.configure(0, exec_region);
+
+  // Layout: jump over the trap handler, configure CSRs, mret into U-mode
+  // code padded to a fixed address (kRamBase + 0x100).
+  constexpr std::uint32_t kUserCode = kRamBase + 0x100;
+  Assembler a(kRamBase);
+  const int handler = a.new_label();
+  const int setup = a.new_label();
+  a.j(setup);
+  a.bind(handler);                 // at kRamBase + 4
+  a.li(a0, 0x600D);                // marks that the M-mode handler ran
+  a.ecall();
+  a.bind(setup);
+  a.li(t1, static_cast<std::int32_t>(kRamBase + 4));
+  a.csrrw(x0, 0x305, t1);          // mtvec = handler
+  a.li(t2, 0);
+  a.csrrw(x0, 0x300, t2);          // mstatus.MPP = U
+  a.li(t3, static_cast<std::int32_t>(kUserCode));
+  a.csrrw(x0, 0x341, t3);          // mepc = user code
+  a.mret();
+  while (a.pc() < kUserCode) a.nop();
+  // U-mode: try to write RAM -> PMP store fault -> trap to the handler.
+  a.li(t4, static_cast<std::int32_t>(kRamBase + 0x3000));
+  a.sw(t4, t4, 0);
+  a.ecall();  // unreachable
+  m.load_program(a);
+  EXPECT_EQ(m.run(), HaltReason::kEcall);
+  EXPECT_EQ(m.cpu().reg(a0), 0x600Du);          // the M-mode handler ran
+  EXPECT_EQ(m.cpu().csr(0x342), kCauseStoreAccessFault);
+  EXPECT_EQ(m.cpu().trap_count(), 1u);
+}
+
+TEST(Machine, MachineModeUnaffectedByUnlockedPmp) {
+  Machine m;
+  auto& pmp = m.enable_pmp(4);
+  PmpEntry no_access;
+  no_access.mode = AddressMatch::kTor;
+  no_access.addr = 0xFFFFFFFF >> 2;
+  pmp.configure(0, no_access);  // r=w=x=false, unlocked
+
+  Assembler a(kRamBase);
+  a.li(t0, static_cast<std::int32_t>(kRamBase + 0x3000));
+  a.li(t1, 123);
+  a.sw(t1, t0, 0);
+  a.lw(a0, t0, 0);
+  a.ecall();
+  m.load_program(a);
+  // Unlocked entries don't bind M-mode: program runs fine.
+  EXPECT_EQ(m.run(), HaltReason::kEcall);
+  EXPECT_EQ(m.cpu().reg(a0), 123u);
+}
+
+TEST(Machine, LockedPmpBindsMachineMode) {
+  Machine m;
+  auto& pmp = m.enable_pmp(4);
+  // Lock a small no-write region over [kRamBase+0x3000, +0x3400).
+  PmpEntry lo;
+  lo.mode = AddressMatch::kTor;
+  lo.addr = (kRamBase + 0x3000) >> 2;
+  lo.r = true;
+  lo.w = true;
+  lo.x = true;
+  pmp.configure(0, lo);
+  PmpEntry locked;
+  locked.mode = AddressMatch::kTor;
+  locked.addr = (kRamBase + 0x3400) >> 2;
+  locked.r = true;
+  locked.w = false;
+  locked.x = false;
+  locked.locked = true;
+  pmp.configure(1, locked);
+
+  Assembler a(kRamBase);
+  a.li(t0, static_cast<std::int32_t>(kRamBase + 0x3000));
+  a.li(t1, 7);
+  a.sw(t1, t0, 0);  // M-mode write into the locked region -> fault, no handler
+  a.ecall();
+  m.load_program(a);
+  EXPECT_EQ(m.run(), HaltReason::kUnhandledTrap);
+}
+
+}  // namespace
+}  // namespace vedliot::sim
+// appended: halfword memory ops + misc coverage
+namespace vedliot::sim {
+namespace {
+
+TEST(Machine, HalfwordLoadStore) {
+  Machine m;
+  Assembler a(kRamBase);
+  a.li(t0, static_cast<std::int32_t>(kRamBase + 0x2000));
+  a.li(t1, -2);          // 0xFFFFFFFE
+  a.sh(t1, t0, 0);       // store halfword 0xFFFE
+  a.lh(a0, t0, 0);       // sign-extended: -2
+  a.lhu(a1, t0, 0);      // zero-extended: 0xFFFE
+  a.lw(a2, t0, 0);       // upper half untouched (RAM zero-initialised)
+  a.ecall();
+  m.load_program(a);
+  EXPECT_EQ(m.run(), HaltReason::kEcall);
+  EXPECT_EQ(static_cast<std::int32_t>(m.cpu().reg(a0)), -2);
+  EXPECT_EQ(m.cpu().reg(a1), 0xFFFEu);
+  EXPECT_EQ(m.cpu().reg(a2), 0x0000FFFEu);
+}
+
+TEST(Machine, ByteStorePreservesNeighbors) {
+  Machine m;
+  Assembler a(kRamBase);
+  a.li(t0, static_cast<std::int32_t>(kRamBase + 0x2000));
+  a.li(t1, 0x11223344 >> 16);  // build 0x11223344 via lui/addi path
+  a.li(t1, 0x11223344);
+  a.sw(t1, t0, 0);
+  a.li(t2, 0xAA - 256);  // 0xAA as signed byte
+  a.sb(t2, t0, 1);
+  a.lw(a0, t0, 0);
+  a.ecall();
+  m.load_program(a);
+  m.run();
+  EXPECT_EQ(m.cpu().reg(a0), 0x1122AA44u);
+}
+
+TEST(Machine, SrlVsSraOnNegative) {
+  Machine m;
+  Assembler a(kRamBase);
+  a.li(t0, -16);
+  a.li(t1, 2);
+  a.srl(a0, t0, t1);
+  a.sra(a1, t0, t1);
+  a.ecall();
+  m.load_program(a);
+  m.run();
+  EXPECT_EQ(m.cpu().reg(a0), 0x3FFFFFFCu);                     // logical
+  EXPECT_EQ(static_cast<std::int32_t>(m.cpu().reg(a1)), -4);   // arithmetic
+}
+
+}  // namespace
+}  // namespace vedliot::sim

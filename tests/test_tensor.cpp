@@ -1,0 +1,250 @@
+// Tests for tensor, shape, dtype and quantization primitives.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/quant.hpp"
+#include "tensor/tensor.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace vedliot {
+namespace {
+
+TEST(Shape, BasicProperties) {
+  Shape s{1, 3, 224, 224};
+  EXPECT_EQ(s.rank(), 4u);
+  EXPECT_EQ(s.numel(), 1 * 3 * 224 * 224);
+  EXPECT_EQ(s.n(), 1);
+  EXPECT_EQ(s.c(), 3);
+  EXPECT_EQ(s.h(), 224);
+  EXPECT_EQ(s.w(), 224);
+  EXPECT_EQ(s.to_string(), "[1, 3, 224, 224]");
+}
+
+TEST(Shape, RejectsNonPositiveExtents) {
+  EXPECT_THROW(Shape({1, 0, 3}), InvalidArgument);
+  EXPECT_THROW(Shape({-1}), InvalidArgument);
+}
+
+TEST(Shape, NchwAccessorRequiresRank4) {
+  Shape s{2, 3};
+  EXPECT_THROW((void)s.c(), Error);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({1, 2}), Shape({1, 2}));
+  EXPECT_NE(Shape({1, 2}), Shape({2, 1}));
+}
+
+TEST(Tensor, ZeroInitialised) {
+  Tensor t(Shape{2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, DataSizeMustMatchShape) {
+  EXPECT_THROW(Tensor(Shape{2, 2}, {1.0f, 2.0f}), Error);
+}
+
+TEST(Tensor, At4RowMajorLayout) {
+  Tensor t(Shape{1, 2, 2, 2});
+  t.at4(0, 1, 1, 0) = 5.0f;
+  // index = ((0*2+1)*2+1)*2+0 = 6
+  EXPECT_EQ(t.at(6), 5.0f);
+}
+
+TEST(Tensor, At4BoundsChecked) {
+  Tensor t(Shape{1, 1, 2, 2});
+  EXPECT_THROW((void)t.at4(0, 0, 2, 0), Error);
+  EXPECT_THROW((void)t.at4(0, 1, 0, 0), Error);
+}
+
+TEST(Tensor, MinMaxSparsity) {
+  Tensor t(Shape{4}, {0.0f, -2.0f, 3.0f, 0.0f});
+  EXPECT_EQ(t.min(), -2.0f);
+  EXPECT_EQ(t.max(), 3.0f);
+  EXPECT_DOUBLE_EQ(t.sparsity(), 0.5);
+  EXPECT_DOUBLE_EQ(t.abs_sum(), 5.0);
+}
+
+TEST(Tensor, MaxAbsDiffAndRmse) {
+  Tensor a(Shape{2}, {1.0f, 2.0f});
+  Tensor b(Shape{2}, {1.5f, 2.0f});
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.5f);
+  EXPECT_NEAR(rmse(a, b), 0.5 / std::sqrt(2.0), 1e-7);
+  Tensor c(Shape{3});
+  EXPECT_THROW((void)max_abs_diff(a, c), Error);
+}
+
+TEST(DType, BitsAndNames) {
+  EXPECT_EQ(dtype_bits(DType::kFP32), 32);
+  EXPECT_EQ(dtype_bits(DType::kINT4), 4);
+  EXPECT_EQ(dtype_bits(DType::kBinary), 1);
+  EXPECT_EQ(dtype_name(DType::kINT8), "int8");
+  EXPECT_EQ(parse_dtype("fp16"), DType::kFP16);
+  EXPECT_THROW((void)parse_dtype("float64"), InvalidArgument);
+}
+
+TEST(DType, RoundTripAllNames) {
+  for (DType dt : {DType::kFP32, DType::kFP16, DType::kINT8, DType::kINT4, DType::kBinary}) {
+    EXPECT_EQ(parse_dtype(dtype_name(dt)), dt);
+  }
+}
+
+TEST(DType, IntegerPredicate) {
+  EXPECT_TRUE(dtype_is_integer(DType::kINT8));
+  EXPECT_TRUE(dtype_is_integer(DType::kBinary));
+  EXPECT_FALSE(dtype_is_integer(DType::kFP16));
+}
+
+TEST(DType, SpeedupMonotone) {
+  EXPECT_LT(dtype_speedup_vs_fp32(DType::kFP32), dtype_speedup_vs_fp32(DType::kFP16));
+  EXPECT_LT(dtype_speedup_vs_fp32(DType::kFP16), dtype_speedup_vs_fp32(DType::kINT8));
+}
+
+TEST(Quant, SymmetricZeroPointIsZero) {
+  const std::vector<float> data{-1.0f, 0.5f, 0.9f};
+  const auto qp = choose_symmetric(data, DType::kINT8);
+  EXPECT_EQ(qp.zero_point, 0);
+  EXPECT_NEAR(qp.scale, 1.0 / 127.0, 1e-9);
+}
+
+TEST(Quant, SymmetricRoundTripBound) {
+  Rng rng(3);
+  const auto data = rng.uniform_vector(4096, -2.0, 2.0);
+  const auto qp = choose_symmetric(data, DType::kINT8);
+  for (float v : data) {
+    const float back = qp.dequantize(qp.quantize(v));
+    EXPECT_LE(std::abs(v - back), qp.scale / 2.0 + 1e-6);
+  }
+}
+
+TEST(Quant, AffineCoversAsymmetricRange) {
+  const std::vector<float> data{0.0f, 10.0f};
+  const auto qp = choose_affine(data, DType::kINT8);
+  // zero must be exactly representable
+  const float zero_back = qp.dequantize(qp.quantize(0.0f));
+  EXPECT_NEAR(zero_back, 0.0f, 1e-6);
+  EXPECT_NEAR(qp.dequantize(qp.quantize(10.0f)), 10.0f, qp.scale);
+}
+
+TEST(Quant, QuantizeSaturates) {
+  QuantParams qp;
+  qp.scale = 0.1;
+  EXPECT_EQ(qp.quantize(1000.0f), 127);
+  EXPECT_EQ(qp.quantize(-1000.0f), -128);
+}
+
+TEST(Quant, Int4HasCoarserStepThanInt8) {
+  const std::vector<float> data{-1.0f, 1.0f};
+  EXPECT_GT(quant_step(data, DType::kINT4), quant_step(data, DType::kINT8));
+}
+
+TEST(Quant, PercentileCalibrationIgnoresOutliers) {
+  Rng rng(17);
+  auto data = rng.uniform_vector(10000, -1.0, 1.0);
+  data.push_back(1000.0f);  // a single spike
+  const auto minmax = choose_symmetric(data, DType::kINT8, Calibration::kMinMax);
+  const auto pct = choose_symmetric(data, DType::kINT8, Calibration::kPercentile, 0.5);
+  EXPECT_GT(minmax.scale, 1.0);   // poisoned by the outlier
+  EXPECT_LT(pct.scale, 0.05);     // robust
+}
+
+TEST(Quant, FakeQuantizeReducesDistinctValues) {
+  Rng rng(5);
+  Tensor t(Shape{1, 1, 16, 16}, rng.normal_vector(256));
+  fake_quantize(t, DType::kINT4);
+  std::set<float> distinct(t.data().begin(), t.data().end());
+  EXPECT_LE(distinct.size(), 16u);  // int4 has at most 16 levels
+}
+
+TEST(Quant, PerChannelScalesIndependent) {
+  // Channel 0 has tiny weights, channel 1 has huge ones; per-channel must
+  // quantize the small channel much more precisely than per-tensor would.
+  std::vector<float> data(2 * 4);
+  for (int i = 0; i < 4; ++i) data[static_cast<std::size_t>(i)] = 0.01f * static_cast<float>(i - 2);
+  for (int i = 0; i < 4; ++i) data[static_cast<std::size_t>(4 + i)] = 100.0f * static_cast<float>(i - 2);
+  Tensor w(Shape{2, 1, 2, 2}, data);
+  Tensor per_tensor = w;
+
+  const auto params = fake_quantize_per_channel(w, DType::kINT8);
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_LT(params[0].scale, params[1].scale / 100.0);
+
+  fake_quantize(per_tensor, DType::kINT8);
+  // per-channel error on the small channel is much lower
+  double err_pc = 0, err_pt = 0;
+  for (int i = 0; i < 4; ++i) {
+    err_pc += std::abs(w.at(static_cast<std::size_t>(i)) - data[static_cast<std::size_t>(i)]);
+    err_pt += std::abs(per_tensor.at(static_cast<std::size_t>(i)) - data[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_LT(err_pc, err_pt);
+}
+
+TEST(Quant, CalibrationRejectsEmpty) {
+  std::vector<float> empty;
+  EXPECT_THROW((void)choose_symmetric(empty, DType::kINT8), Error);
+}
+
+TEST(Fp16, ExactValuesSurvive) {
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f}) {
+    EXPECT_EQ(fp16_round_trip(v), v) << v;
+  }
+}
+
+TEST(Fp16, InfinityAndNanHandling) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(fp16_round_trip(inf), inf);
+  EXPECT_EQ(fp16_round_trip(-inf), -inf);
+  EXPECT_TRUE(std::isnan(fp16_round_trip(std::numeric_limits<float>::quiet_NaN())));
+}
+
+TEST(Fp16, OverflowBecomesInfinity) {
+  EXPECT_TRUE(std::isinf(fp16_round_trip(1e20f)));
+  EXPECT_TRUE(std::isinf(fp16_round_trip(70000.0f)));  // > 65504 (fp16 max)
+}
+
+TEST(Fp16, MaxFiniteValuePreserved) {
+  EXPECT_EQ(fp16_round_trip(65504.0f), 65504.0f);
+}
+
+TEST(Fp16, SubnormalsRepresentable) {
+  const float tiny = 6.0e-8f;  // within fp16 subnormal range
+  const float back = fp16_round_trip(tiny);
+  EXPECT_GT(back, 0.0f);
+  EXPECT_NEAR(back, tiny, 6e-8);
+}
+
+TEST(Fp16, UnderflowToZero) {
+  EXPECT_EQ(fp16_round_trip(1e-12f), 0.0f);
+}
+
+class Fp16RelativeError : public ::testing::TestWithParam<float> {};
+
+TEST_P(Fp16RelativeError, WithinHalfUlp) {
+  const float v = GetParam();
+  const float back = fp16_round_trip(v);
+  // fp16 has 10 mantissa bits: relative error <= 2^-11.
+  EXPECT_LE(std::abs(back - v), std::abs(v) * (1.0 / 2048.0) + 1e-12) << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepValues, Fp16RelativeError,
+                         ::testing::Values(0.1f, -0.3f, 3.14159f, 123.456f, -9876.5f, 1e-3f,
+                                           6.1e-5f, 42.42f, 0.9999f, -2.7182f));
+
+TEST(Fp16, CastTensorInPlace) {
+  Rng rng(21);
+  Tensor t(Shape{64}, rng.normal_vector(64));
+  Tensor orig = t;
+  cast_fp16_inplace(t);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    EXPECT_EQ(t.at(idx), fp16_round_trip(orig.at(idx)));
+  }
+}
+
+}  // namespace
+}  // namespace vedliot

@@ -1,0 +1,293 @@
+// Tests for the Renode-style CI test bench: watchpoints, run-until-UART,
+// declarative expectations, plus a differential fuzz of the RV32IM
+// interpreter against a host-side golden model.
+
+#include <gtest/gtest.h>
+
+#include "sim/testbench.hpp"
+#include "util/rng.hpp"
+
+namespace vedliot::sim {
+namespace {
+
+TEST(TestBench, RunUntilUartContains) {
+  Machine m;
+  Assembler a(kRamBase);
+  a.li(t0, static_cast<std::int32_t>(kUartBase));
+  for (char ch : std::string("BOOT OK")) {
+    a.li(t1, ch);
+    a.sw(t1, t0, 0);
+  }
+  const int spin = a.new_label();
+  a.bind(spin);
+  a.j(spin);  // firmware keeps running after banner (like a real main loop)
+  m.load_program(a);
+
+  TestBench bench(m);
+  EXPECT_TRUE(bench.run_until_uart_contains("BOOT OK", 100'000));
+  EXPECT_FALSE(bench.run_until_uart_contains("PANIC", 1'000));
+}
+
+TEST(TestBench, WatchpointsRecordStores) {
+  Machine m;
+  Assembler a(kRamBase);
+  a.li(t0, static_cast<std::int32_t>(kRamBase + 0x4000));
+  for (int i = 0; i < 3; ++i) {
+    a.li(t1, 10 + i);
+    a.sw(t1, t0, 4 * i);
+  }
+  a.li(t2, static_cast<std::int32_t>(kRamBase + 0x8000));
+  a.li(t1, 99);
+  a.sw(t1, t2, 0);  // outside the watched window
+  a.ecall();
+  m.load_program(a);
+
+  TestBench bench(m);
+  bench.watch(kRamBase + 0x4000, 0x100);
+  bench.run();
+  ASSERT_EQ(bench.events().size(), 3u);
+  EXPECT_EQ(bench.events()[0].value, 10u);
+  EXPECT_EQ(bench.events()[2].value, 12u);
+  EXPECT_EQ(bench.events()[0].width, 4);
+  EXPECT_LT(bench.events()[0].instret, bench.events()[2].instret);
+}
+
+TEST(TestBench, DeclarativeReportAllPass) {
+  Machine m;
+  Assembler a(kRamBase);
+  a.li(a0, 42);
+  a.li(t0, static_cast<std::int32_t>(kUartBase));
+  a.li(t1, 'X');
+  a.sw(t1, t0, 0);
+  a.ecall();
+  m.load_program(a);
+
+  TestBench bench(m);
+  bench.run();
+  bench.expect_reg(a0, 42, "result register");
+  bench.expect_uart("X", "status byte printed");
+  bench.expect_halt(HaltReason::kEcall, "clean exit");
+  bench.expect_max_cycles(100, "cycle budget");
+  EXPECT_TRUE(bench.all_passed());
+  EXPECT_EQ(bench.checks(), 4u);
+  EXPECT_NE(bench.report().find("ALL PASSED"), std::string::npos);
+}
+
+TEST(TestBench, FailuresAreReported) {
+  Machine m;
+  Assembler a(kRamBase);
+  a.li(a0, 1);
+  a.ecall();
+  m.load_program(a);
+
+  TestBench bench(m);
+  bench.run();
+  bench.expect_reg(a0, 2, "wrong expectation");
+  bench.expect_uart("hello", "nothing was printed");
+  EXPECT_FALSE(bench.all_passed());
+  EXPECT_NE(bench.report().find("[FAIL]"), std::string::npos);
+  EXPECT_NE(bench.report().find("FAILURES PRESENT"), std::string::npos);
+}
+
+TEST(TestBench, ExpectStoresTo) {
+  Machine m;
+  Assembler a(kRamBase);
+  a.li(t0, static_cast<std::int32_t>(kRamBase + 0x5000));
+  for (int i = 0; i < 4; ++i) {
+    a.sw(x0, t0, 4 * i);
+  }
+  a.ecall();
+  m.load_program(a);
+  TestBench bench(m);
+  bench.watch(kRamBase + 0x5000, 0x100);
+  bench.run();
+  bench.expect_stores_to(kRamBase + 0x5000, 0x100, 4, "dma buffer filled");
+  bench.expect_stores_to(kRamBase + 0x5000, 0x100, 5, "too many expected");
+  EXPECT_FALSE(bench.all_passed());
+}
+
+// ---------------------------------------------------------------------------
+// Differential fuzz: random arithmetic programs vs a golden host model.
+// ---------------------------------------------------------------------------
+
+struct GoldenCpu {
+  std::array<std::uint32_t, 32> regs{};
+
+  void apply(int op, std::size_t rd, std::size_t rs1, std::size_t rs2) {
+    const std::uint32_t a = regs[rs1];
+    const std::uint32_t b = regs[rs2];
+    const auto sa = static_cast<std::int32_t>(a);
+    const auto sb = static_cast<std::int32_t>(b);
+    std::uint32_t r = 0;
+    switch (op) {
+      case 0: r = a + b; break;
+      case 1: r = a - b; break;
+      case 2: r = a & b; break;
+      case 3: r = a | b; break;
+      case 4: r = a ^ b; break;
+      case 5: r = a << (b & 31); break;
+      case 6: r = a >> (b & 31); break;
+      case 7: r = static_cast<std::uint32_t>(sa >> (b & 31)); break;
+      case 8: r = sa < sb ? 1 : 0; break;
+      case 9: r = a < b ? 1 : 0; break;
+      case 10: r = static_cast<std::uint32_t>(sa * sb); break;
+      case 11:  // div
+        if (b == 0) r = 0xFFFFFFFFu;
+        else if (sa == INT32_MIN && sb == -1) r = static_cast<std::uint32_t>(INT32_MIN);
+        else r = static_cast<std::uint32_t>(sa / sb);
+        break;
+      case 12:  // rem
+        if (b == 0) r = a;
+        else if (sa == INT32_MIN && sb == -1) r = 0;
+        else r = static_cast<std::uint32_t>(sa % sb);
+        break;
+      default: break;
+    }
+    if (rd != 0) regs[rd] = r;
+  }
+};
+
+class CpuFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpuFuzz, RandomArithmeticAgreesWithGolden) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  Machine m;
+  Assembler a(kRamBase);
+  GoldenCpu golden;
+
+  // Seed registers x5..x15 with random values through li (golden mirrors).
+  for (std::size_t reg = 5; reg <= 15; ++reg) {
+    const auto v = static_cast<std::int32_t>(rng.uniform_int(INT32_MIN / 2, INT32_MAX / 2));
+    a.li(static_cast<Reg>(reg), v);
+    golden.regs[reg] = static_cast<std::uint32_t>(v);
+  }
+
+  for (int i = 0; i < 300; ++i) {
+    const int op = static_cast<int>(rng.uniform_int(0, 12));
+    const auto rd = static_cast<std::size_t>(rng.uniform_int(5, 15));
+    const auto rs1 = static_cast<std::size_t>(rng.uniform_int(5, 15));
+    const auto rs2 = static_cast<std::size_t>(rng.uniform_int(5, 15));
+    const Reg rrd = static_cast<Reg>(rd);
+    const Reg r1 = static_cast<Reg>(rs1);
+    const Reg r2 = static_cast<Reg>(rs2);
+    switch (op) {
+      case 0: a.add(rrd, r1, r2); break;
+      case 1: a.sub(rrd, r1, r2); break;
+      case 2: a.and_(rrd, r1, r2); break;
+      case 3: a.or_(rrd, r1, r2); break;
+      case 4: a.xor_(rrd, r1, r2); break;
+      case 5: a.sll(rrd, r1, r2); break;
+      case 6: a.srl(rrd, r1, r2); break;
+      case 7: a.sra(rrd, r1, r2); break;
+      case 8: a.slt(rrd, r1, r2); break;
+      case 9: a.sltu(rrd, r1, r2); break;
+      case 10: a.mul(rrd, r1, r2); break;
+      case 11: a.div(rrd, r1, r2); break;
+      case 12: a.rem(rrd, r1, r2); break;
+      default: break;
+    }
+    golden.apply(op, rd, rs1, rs2);
+  }
+  a.ecall();
+  m.load_program(a);
+  ASSERT_EQ(m.run(100'000), HaltReason::kEcall);
+  for (std::size_t reg = 5; reg <= 15; ++reg) {
+    EXPECT_EQ(m.cpu().reg(reg), golden.regs[reg]) << "x" << reg << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpuFuzz, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace vedliot::sim
+// appended: machine-timer interrupt tests
+namespace vedliot::sim {
+namespace {
+
+/// Firmware: set up a timer interrupt handler, spin; the handler bumps a0,
+/// pushes mtimecmp into the future, and returns with mret.
+Assembler timer_firmware(std::int32_t rearm_delta, int fires_wanted) {
+  Assembler a(kRamBase);
+  const int handler = a.new_label();
+  const int setup = a.new_label();
+  a.j(setup);
+  a.bind(handler);  // at kRamBase + 4
+  a.addi(a0, a0, 1);                 // count the tick
+  a.li(t0, static_cast<std::int32_t>(kTimerBase));
+  a.lw(t1, t0, 0);                   // mtime (lo)
+  a.addi(t1, t1, rearm_delta);
+  a.sw(t1, t0, 8);                   // mtimecmp lo = mtime + delta
+  a.li(t2, 0);
+  a.sw(t2, t0, 12);                  // mtimecmp hi = 0
+  a.mret();
+  a.bind(setup);
+  a.li(a0, 0);
+  a.li(t0, static_cast<std::int32_t>(kTimerBase));
+  a.lw(t1, t0, 0);
+  a.addi(t1, t1, 50);
+  a.sw(t1, t0, 8);                   // first deadline: now + 50 cycles
+  a.li(t2, 0);
+  a.sw(t2, t0, 12);
+  a.li(t1, static_cast<std::int32_t>(kRamBase + 4));
+  a.csrrw(x0, 0x305, t1);            // mtvec = handler
+  a.li(t1, 0x80);
+  a.csrrw(x0, 0x304, t1);            // mie.MTIE
+  a.li(t1, 0x8);
+  a.csrrw(x0, 0x300, t1);            // mstatus.MIE
+  const int spin = a.new_label();
+  a.bind(spin);
+  a.li(t3, fires_wanted);
+  a.blt(a0, t3, spin);
+  a.ecall();
+  return a;
+}
+
+TEST(TimerIrq, HandlerFiresAndReturns) {
+  Machine m;
+  auto fw = timer_firmware(/*rearm_delta=*/2000, /*fires_wanted=*/1);
+  m.load_program(fw);
+  EXPECT_EQ(m.run(100'000), HaltReason::kEcall);
+  EXPECT_EQ(m.cpu().reg(a0), 1u);
+  EXPECT_EQ(m.cpu().csr(0x342), kCauseMachineTimerIrq);
+}
+
+TEST(TimerIrq, PeriodicTicksAccumulate) {
+  Machine m;
+  auto fw = timer_firmware(/*rearm_delta=*/200, /*fires_wanted=*/5);
+  m.load_program(fw);
+  EXPECT_EQ(m.run(1'000'000), HaltReason::kEcall);
+  EXPECT_EQ(m.cpu().reg(a0), 5u);
+  EXPECT_GE(m.cpu().trap_count(), 5u);
+}
+
+TEST(TimerIrq, MaskedWhenMieClear) {
+  Machine m;
+  Assembler a(kRamBase);
+  // Arm the timer to fire immediately but never enable mstatus.MIE.
+  a.li(t0, static_cast<std::int32_t>(kTimerBase));
+  a.sw(x0, t0, 8);   // mtimecmp = 0 -> pending right away
+  a.sw(x0, t0, 12);
+  a.li(t1, static_cast<std::int32_t>(kRamBase + 4));
+  a.csrrw(x0, 0x305, t1);
+  a.li(t1, 0x80);
+  a.csrrw(x0, 0x304, t1);  // mie.MTIE set, but mstatus.MIE stays clear
+  for (int i = 0; i < 50; ++i) a.nop();
+  a.li(a0, 0x0C);
+  a.ecall();
+  m.load_program(a);
+  EXPECT_EQ(m.run(10'000), HaltReason::kEcall);
+  EXPECT_EQ(m.cpu().trap_count(), 0u);
+}
+
+TEST(TimerIrq, MretRestoresInterruptEnable) {
+  // After the handler mrets, MIE must be restored so a second tick can fire
+  // (verified implicitly by PeriodicTicksAccumulate; here check mstatus).
+  Machine m;
+  auto fw = timer_firmware(2000, 1);
+  m.load_program(fw);
+  m.run(100'000);
+  EXPECT_EQ(m.cpu().csr(0x300) & 0x8u, 0x8u);  // MIE restored by mret
+}
+
+}  // namespace
+}  // namespace vedliot::sim

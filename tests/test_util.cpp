@@ -1,0 +1,263 @@
+// Tests for the util substrate: statistics, tables, RNG, error handling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace vedliot {
+namespace {
+
+using stats::Ewma;
+using stats::Histogram;
+using stats::Running;
+
+TEST(Stats, MeanOfKnownValues) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(stats::mean(xs), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(stats::mean({}), 0.0);
+}
+
+TEST(Stats, VarianceAndStddev) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(stats::variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stats::stddev(xs), 2.0);
+}
+
+TEST(Stats, VarianceOfSingletonIsZero) {
+  const std::vector<double> xs{42.0};
+  EXPECT_DOUBLE_EQ(stats::variance(xs), 0.0);
+}
+
+TEST(Stats, GeomeanOfPowers) {
+  const std::vector<double> xs{1, 10, 100};
+  EXPECT_NEAR(stats::geomean(xs), 10.0, 1e-9);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  const std::vector<double> xs{1.0, 0.0};
+  EXPECT_THROW((void)stats::geomean(xs), InvalidArgument);
+}
+
+TEST(Stats, GeomeanRejectsEmpty) {
+  EXPECT_THROW((void)stats::geomean({}), Error);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  const std::vector<double> odd{3, 1, 2};
+  EXPECT_DOUBLE_EQ(stats::median(odd), 2.0);
+  const std::vector<double> even{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(stats::median(even), 2.5);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 50), 30.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{0, 10};
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 25), 2.5);
+}
+
+TEST(Stats, PercentileRejectsOutOfRange) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW((void)stats::percentile(xs, 101), Error);
+}
+
+TEST(Stats, MadIsRobustToOneOutlier) {
+  const std::vector<double> xs{1, 1, 1, 1, 1, 1, 1, 1000};
+  EXPECT_DOUBLE_EQ(stats::mad(xs), 0.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(stats::pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonAntiCorrelation) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{3, 2, 1};
+  EXPECT_NEAR(stats::pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSideIsZero) {
+  const std::vector<double> xs{1, 1, 1};
+  const std::vector<double> ys{1, 2, 3};
+  EXPECT_DOUBLE_EQ(stats::pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  const std::vector<double> xs{0, 1, 2, 3};
+  const std::vector<double> ys{1, 3, 5, 7};  // y = 1 + 2x
+  const auto fit = stats::linear_fit(xs, ys);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+}
+
+TEST(Stats, EwmaConvergesToConstantInput) {
+  Ewma e(0.5);
+  for (int i = 0; i < 64; ++i) e.add(10.0);
+  EXPECT_NEAR(e.value(), 10.0, 1e-9);
+}
+
+TEST(Stats, EwmaFirstSamplePrimes) {
+  Ewma e(0.1);
+  EXPECT_FALSE(e.primed());
+  e.add(7.0);
+  EXPECT_TRUE(e.primed());
+  EXPECT_DOUBLE_EQ(e.value(), 7.0);
+}
+
+TEST(Stats, EwmaRejectsBadAlpha) {
+  EXPECT_THROW(Ewma(0.0), Error);
+  EXPECT_THROW(Ewma(1.5), Error);
+}
+
+TEST(Stats, RunningMatchesBatch) {
+  Rng rng(7);
+  std::vector<double> xs;
+  Running run;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    xs.push_back(x);
+    run.add(x);
+  }
+  EXPECT_NEAR(run.mean(), stats::mean(xs), 1e-9);
+  EXPECT_NEAR(run.variance(), stats::variance(xs), 1e-6);
+}
+
+TEST(Stats, HistogramBinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100.0);  // clamps into bin 0
+  h.add(100.0);   // clamps into bin 9
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(9), 10.0);
+}
+
+TEST(Stats, HistogramRejectsBadRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    if (a.uniform() != b.uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformIntWithinBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(Rng, NormalVectorMoments) {
+  Rng rng(9);
+  const auto v = rng.normal_vector(20000, 1.0, 2.0);
+  std::vector<double> d(v.begin(), v.end());
+  EXPECT_NEAR(stats::mean(d), 1.0, 0.1);
+  EXPECT_NEAR(stats::stddev(d), 2.0, 0.1);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), Error);
+}
+
+TEST(Fmt, FixedAndRatioAndPercent) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_ratio(2.5, 1), "2.5x");
+  EXPECT_EQ(fmt_percent(0.0312, 1), "3.1%");
+}
+
+TEST(Fmt, EngineeringSuffixes) {
+  EXPECT_EQ(fmt_eng(1.5e12), "1.50T");
+  EXPECT_EQ(fmt_eng(2.0e9), "2.00G");
+  EXPECT_EQ(fmt_eng(450e6), "450M");
+  EXPECT_EQ(fmt_eng(1234), "1.23k");
+  EXPECT_EQ(fmt_eng(9.5), "9.50");
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(units::to_gops(2e9), 2.0);
+  EXPECT_DOUBLE_EQ(units::from_gops(3.0), 3e9);
+  EXPECT_DOUBLE_EQ(units::to_tops_per_watt(1e12, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(units::to_mib(1024.0 * 1024.0), 1.0);
+  EXPECT_DOUBLE_EQ(units::to_ms(0.25), 250.0);
+  EXPECT_DOUBLE_EQ(units::mbit_per_s(10), 1e7);
+}
+
+TEST(ErrorHandling, CheckThrowsWithContext) {
+  try {
+    VEDLIOT_CHECK(false, "something bad");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("something bad"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("false"), std::string::npos);
+  }
+}
+
+TEST(ErrorHandling, HierarchyIsCatchable) {
+  EXPECT_THROW(throw NotFound("x"), Error);
+  EXPECT_THROW(throw InvalidArgument("x"), Error);
+  EXPECT_THROW(throw Unsupported("x"), Error);
+}
+
+}  // namespace
+}  // namespace vedliot
