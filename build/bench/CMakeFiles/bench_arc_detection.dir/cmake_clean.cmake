@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_arc_detection.dir/bench_arc_detection.cpp.o"
+  "CMakeFiles/bench_arc_detection.dir/bench_arc_detection.cpp.o.d"
+  "bench_arc_detection"
+  "bench_arc_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arc_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

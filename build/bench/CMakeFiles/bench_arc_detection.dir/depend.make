@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_arc_detection.
+# This may be replaced when dependencies are built.

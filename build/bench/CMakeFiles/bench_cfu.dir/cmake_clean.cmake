@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cfu.dir/bench_cfu.cpp.o"
+  "CMakeFiles/bench_cfu.dir/bench_cfu.cpp.o.d"
+  "bench_cfu"
+  "bench_cfu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cfu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

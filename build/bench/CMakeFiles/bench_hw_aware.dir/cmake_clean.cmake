@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hw_aware.dir/bench_hw_aware.cpp.o"
+  "CMakeFiles/bench_hw_aware.dir/bench_hw_aware.cpp.o.d"
+  "bench_hw_aware"
+  "bench_hw_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hw_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

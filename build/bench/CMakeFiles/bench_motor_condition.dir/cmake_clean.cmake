@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_motor_condition.dir/bench_motor_condition.cpp.o"
+  "CMakeFiles/bench_motor_condition.dir/bench_motor_condition.cpp.o.d"
+  "bench_motor_condition"
+  "bench_motor_condition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motor_condition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paeb_offload.dir/bench_paeb_offload.cpp.o"
+  "CMakeFiles/bench_paeb_offload.dir/bench_paeb_offload.cpp.o.d"
+  "bench_paeb_offload"
+  "bench_paeb_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paeb_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

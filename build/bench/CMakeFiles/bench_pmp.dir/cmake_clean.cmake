@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pmp.dir/bench_pmp.cpp.o"
+  "CMakeFiles/bench_pmp.dir/bench_pmp.cpp.o.d"
+  "bench_pmp"
+  "bench_pmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

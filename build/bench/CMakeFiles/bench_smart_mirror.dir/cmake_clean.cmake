@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smart_mirror.dir/bench_smart_mirror.cpp.o"
+  "CMakeFiles/bench_smart_mirror.dir/bench_smart_mirror.cpp.o.d"
+  "bench_smart_mirror"
+  "bench_smart_mirror.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smart_mirror.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

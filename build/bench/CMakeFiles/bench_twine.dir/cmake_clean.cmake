@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_twine.dir/bench_twine.cpp.o"
+  "CMakeFiles/bench_twine.dir/bench_twine.cpp.o.d"
+  "bench_twine"
+  "bench_twine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_twine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/industrial_iot.dir/industrial_iot.cpp.o"
+  "CMakeFiles/industrial_iot.dir/industrial_iot.cpp.o.d"
+  "industrial_iot"
+  "industrial_iot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/industrial_iot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

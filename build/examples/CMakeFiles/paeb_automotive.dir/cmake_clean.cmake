@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paeb_automotive.dir/paeb_automotive.cpp.o"
+  "CMakeFiles/paeb_automotive.dir/paeb_automotive.cpp.o.d"
+  "paeb_automotive"
+  "paeb_automotive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paeb_automotive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

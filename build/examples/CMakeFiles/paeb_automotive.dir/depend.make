@@ -1,0 +1,2 @@
+# Empty dependencies file for paeb_automotive.
+# This may be replaced when dependencies are built.

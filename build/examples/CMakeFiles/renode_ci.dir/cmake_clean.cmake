@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renode_ci.dir/renode_ci.cpp.o"
+  "CMakeFiles/renode_ci.dir/renode_ci.cpp.o.d"
+  "renode_ci"
+  "renode_ci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renode_ci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

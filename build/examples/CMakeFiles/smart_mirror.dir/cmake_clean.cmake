@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_mirror.dir/smart_mirror.cpp.o"
+  "CMakeFiles/smart_mirror.dir/smart_mirror.cpp.o.d"
+  "smart_mirror"
+  "smart_mirror.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_mirror.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("tensor")
+subdirs("graph")
+subdirs("opt")
+subdirs("runtime")
+subdirs("hw")
+subdirs("platform")
+subdirs("sim")
+subdirs("security")
+subdirs("safety")
+subdirs("kenning")
+subdirs("reqs")
+subdirs("apps")
+subdirs("core")

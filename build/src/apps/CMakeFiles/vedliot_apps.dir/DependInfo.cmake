@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/arc.cpp" "src/apps/CMakeFiles/vedliot_apps.dir/arc.cpp.o" "gcc" "src/apps/CMakeFiles/vedliot_apps.dir/arc.cpp.o.d"
+  "/root/repo/src/apps/detection.cpp" "src/apps/CMakeFiles/vedliot_apps.dir/detection.cpp.o" "gcc" "src/apps/CMakeFiles/vedliot_apps.dir/detection.cpp.o.d"
+  "/root/repo/src/apps/mirror.cpp" "src/apps/CMakeFiles/vedliot_apps.dir/mirror.cpp.o" "gcc" "src/apps/CMakeFiles/vedliot_apps.dir/mirror.cpp.o.d"
+  "/root/repo/src/apps/motor.cpp" "src/apps/CMakeFiles/vedliot_apps.dir/motor.cpp.o" "gcc" "src/apps/CMakeFiles/vedliot_apps.dir/motor.cpp.o.d"
+  "/root/repo/src/apps/network.cpp" "src/apps/CMakeFiles/vedliot_apps.dir/network.cpp.o" "gcc" "src/apps/CMakeFiles/vedliot_apps.dir/network.cpp.o.d"
+  "/root/repo/src/apps/paeb.cpp" "src/apps/CMakeFiles/vedliot_apps.dir/paeb.cpp.o" "gcc" "src/apps/CMakeFiles/vedliot_apps.dir/paeb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/vedliot_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/vedliot_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vedliot_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/kenning/CMakeFiles/vedliot_kenning.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/vedliot_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/vedliot_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/vedliot_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/vedliot_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vedliot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

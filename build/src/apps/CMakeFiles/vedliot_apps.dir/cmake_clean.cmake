@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedliot_apps.dir/arc.cpp.o"
+  "CMakeFiles/vedliot_apps.dir/arc.cpp.o.d"
+  "CMakeFiles/vedliot_apps.dir/detection.cpp.o"
+  "CMakeFiles/vedliot_apps.dir/detection.cpp.o.d"
+  "CMakeFiles/vedliot_apps.dir/mirror.cpp.o"
+  "CMakeFiles/vedliot_apps.dir/mirror.cpp.o.d"
+  "CMakeFiles/vedliot_apps.dir/motor.cpp.o"
+  "CMakeFiles/vedliot_apps.dir/motor.cpp.o.d"
+  "CMakeFiles/vedliot_apps.dir/network.cpp.o"
+  "CMakeFiles/vedliot_apps.dir/network.cpp.o.d"
+  "CMakeFiles/vedliot_apps.dir/paeb.cpp.o"
+  "CMakeFiles/vedliot_apps.dir/paeb.cpp.o.d"
+  "libvedliot_apps.a"
+  "libvedliot_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedliot_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedliot_core.dir/autotune.cpp.o"
+  "CMakeFiles/vedliot_core.dir/autotune.cpp.o.d"
+  "CMakeFiles/vedliot_core.dir/designflow.cpp.o"
+  "CMakeFiles/vedliot_core.dir/designflow.cpp.o.d"
+  "libvedliot_core.a"
+  "libvedliot_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedliot_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvedliot_core.a"
+)

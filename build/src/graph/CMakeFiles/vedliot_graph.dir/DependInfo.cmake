@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/attr.cpp" "src/graph/CMakeFiles/vedliot_graph.dir/attr.cpp.o" "gcc" "src/graph/CMakeFiles/vedliot_graph.dir/attr.cpp.o.d"
+  "/root/repo/src/graph/cost.cpp" "src/graph/CMakeFiles/vedliot_graph.dir/cost.cpp.o" "gcc" "src/graph/CMakeFiles/vedliot_graph.dir/cost.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/vedliot_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/vedliot_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/op.cpp" "src/graph/CMakeFiles/vedliot_graph.dir/op.cpp.o" "gcc" "src/graph/CMakeFiles/vedliot_graph.dir/op.cpp.o.d"
+  "/root/repo/src/graph/package.cpp" "src/graph/CMakeFiles/vedliot_graph.dir/package.cpp.o" "gcc" "src/graph/CMakeFiles/vedliot_graph.dir/package.cpp.o.d"
+  "/root/repo/src/graph/serialize.cpp" "src/graph/CMakeFiles/vedliot_graph.dir/serialize.cpp.o" "gcc" "src/graph/CMakeFiles/vedliot_graph.dir/serialize.cpp.o.d"
+  "/root/repo/src/graph/zoo_common.cpp" "src/graph/CMakeFiles/vedliot_graph.dir/zoo_common.cpp.o" "gcc" "src/graph/CMakeFiles/vedliot_graph.dir/zoo_common.cpp.o.d"
+  "/root/repo/src/graph/zoo_efficientnet.cpp" "src/graph/CMakeFiles/vedliot_graph.dir/zoo_efficientnet.cpp.o" "gcc" "src/graph/CMakeFiles/vedliot_graph.dir/zoo_efficientnet.cpp.o.d"
+  "/root/repo/src/graph/zoo_micro.cpp" "src/graph/CMakeFiles/vedliot_graph.dir/zoo_micro.cpp.o" "gcc" "src/graph/CMakeFiles/vedliot_graph.dir/zoo_micro.cpp.o.d"
+  "/root/repo/src/graph/zoo_mobilenet.cpp" "src/graph/CMakeFiles/vedliot_graph.dir/zoo_mobilenet.cpp.o" "gcc" "src/graph/CMakeFiles/vedliot_graph.dir/zoo_mobilenet.cpp.o.d"
+  "/root/repo/src/graph/zoo_resnet.cpp" "src/graph/CMakeFiles/vedliot_graph.dir/zoo_resnet.cpp.o" "gcc" "src/graph/CMakeFiles/vedliot_graph.dir/zoo_resnet.cpp.o.d"
+  "/root/repo/src/graph/zoo_yolo.cpp" "src/graph/CMakeFiles/vedliot_graph.dir/zoo_yolo.cpp.o" "gcc" "src/graph/CMakeFiles/vedliot_graph.dir/zoo_yolo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/vedliot_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/vedliot_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vedliot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedliot_graph.dir/attr.cpp.o"
+  "CMakeFiles/vedliot_graph.dir/attr.cpp.o.d"
+  "CMakeFiles/vedliot_graph.dir/cost.cpp.o"
+  "CMakeFiles/vedliot_graph.dir/cost.cpp.o.d"
+  "CMakeFiles/vedliot_graph.dir/graph.cpp.o"
+  "CMakeFiles/vedliot_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/vedliot_graph.dir/op.cpp.o"
+  "CMakeFiles/vedliot_graph.dir/op.cpp.o.d"
+  "CMakeFiles/vedliot_graph.dir/package.cpp.o"
+  "CMakeFiles/vedliot_graph.dir/package.cpp.o.d"
+  "CMakeFiles/vedliot_graph.dir/serialize.cpp.o"
+  "CMakeFiles/vedliot_graph.dir/serialize.cpp.o.d"
+  "CMakeFiles/vedliot_graph.dir/zoo_common.cpp.o"
+  "CMakeFiles/vedliot_graph.dir/zoo_common.cpp.o.d"
+  "CMakeFiles/vedliot_graph.dir/zoo_efficientnet.cpp.o"
+  "CMakeFiles/vedliot_graph.dir/zoo_efficientnet.cpp.o.d"
+  "CMakeFiles/vedliot_graph.dir/zoo_micro.cpp.o"
+  "CMakeFiles/vedliot_graph.dir/zoo_micro.cpp.o.d"
+  "CMakeFiles/vedliot_graph.dir/zoo_mobilenet.cpp.o"
+  "CMakeFiles/vedliot_graph.dir/zoo_mobilenet.cpp.o.d"
+  "CMakeFiles/vedliot_graph.dir/zoo_resnet.cpp.o"
+  "CMakeFiles/vedliot_graph.dir/zoo_resnet.cpp.o.d"
+  "CMakeFiles/vedliot_graph.dir/zoo_yolo.cpp.o"
+  "CMakeFiles/vedliot_graph.dir/zoo_yolo.cpp.o.d"
+  "libvedliot_graph.a"
+  "libvedliot_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedliot_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

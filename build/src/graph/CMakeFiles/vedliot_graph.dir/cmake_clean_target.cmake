@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvedliot_graph.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedliot_hw.dir/accel.cpp.o"
+  "CMakeFiles/vedliot_hw.dir/accel.cpp.o.d"
+  "CMakeFiles/vedliot_hw.dir/device.cpp.o"
+  "CMakeFiles/vedliot_hw.dir/device.cpp.o.d"
+  "CMakeFiles/vedliot_hw.dir/perf_model.cpp.o"
+  "CMakeFiles/vedliot_hw.dir/perf_model.cpp.o.d"
+  "libvedliot_hw.a"
+  "libvedliot_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedliot_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedliot_kenning.dir/flow.cpp.o"
+  "CMakeFiles/vedliot_kenning.dir/flow.cpp.o.d"
+  "CMakeFiles/vedliot_kenning.dir/metrics.cpp.o"
+  "CMakeFiles/vedliot_kenning.dir/metrics.cpp.o.d"
+  "libvedliot_kenning.a"
+  "libvedliot_kenning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedliot_kenning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/compress.cpp" "src/opt/CMakeFiles/vedliot_opt.dir/compress.cpp.o" "gcc" "src/opt/CMakeFiles/vedliot_opt.dir/compress.cpp.o.d"
+  "/root/repo/src/opt/fusion.cpp" "src/opt/CMakeFiles/vedliot_opt.dir/fusion.cpp.o" "gcc" "src/opt/CMakeFiles/vedliot_opt.dir/fusion.cpp.o.d"
+  "/root/repo/src/opt/huffman.cpp" "src/opt/CMakeFiles/vedliot_opt.dir/huffman.cpp.o" "gcc" "src/opt/CMakeFiles/vedliot_opt.dir/huffman.cpp.o.d"
+  "/root/repo/src/opt/pass.cpp" "src/opt/CMakeFiles/vedliot_opt.dir/pass.cpp.o" "gcc" "src/opt/CMakeFiles/vedliot_opt.dir/pass.cpp.o.d"
+  "/root/repo/src/opt/prune.cpp" "src/opt/CMakeFiles/vedliot_opt.dir/prune.cpp.o" "gcc" "src/opt/CMakeFiles/vedliot_opt.dir/prune.cpp.o.d"
+  "/root/repo/src/opt/quantize.cpp" "src/opt/CMakeFiles/vedliot_opt.dir/quantize.cpp.o" "gcc" "src/opt/CMakeFiles/vedliot_opt.dir/quantize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/vedliot_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/vedliot_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/vedliot_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/vedliot_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vedliot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

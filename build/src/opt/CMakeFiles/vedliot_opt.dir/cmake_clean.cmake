@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedliot_opt.dir/compress.cpp.o"
+  "CMakeFiles/vedliot_opt.dir/compress.cpp.o.d"
+  "CMakeFiles/vedliot_opt.dir/fusion.cpp.o"
+  "CMakeFiles/vedliot_opt.dir/fusion.cpp.o.d"
+  "CMakeFiles/vedliot_opt.dir/huffman.cpp.o"
+  "CMakeFiles/vedliot_opt.dir/huffman.cpp.o.d"
+  "CMakeFiles/vedliot_opt.dir/pass.cpp.o"
+  "CMakeFiles/vedliot_opt.dir/pass.cpp.o.d"
+  "CMakeFiles/vedliot_opt.dir/prune.cpp.o"
+  "CMakeFiles/vedliot_opt.dir/prune.cpp.o.d"
+  "CMakeFiles/vedliot_opt.dir/quantize.cpp.o"
+  "CMakeFiles/vedliot_opt.dir/quantize.cpp.o.d"
+  "libvedliot_opt.a"
+  "libvedliot_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedliot_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/baseboard.cpp" "src/platform/CMakeFiles/vedliot_platform.dir/baseboard.cpp.o" "gcc" "src/platform/CMakeFiles/vedliot_platform.dir/baseboard.cpp.o.d"
+  "/root/repo/src/platform/distributed.cpp" "src/platform/CMakeFiles/vedliot_platform.dir/distributed.cpp.o" "gcc" "src/platform/CMakeFiles/vedliot_platform.dir/distributed.cpp.o.d"
+  "/root/repo/src/platform/fabric.cpp" "src/platform/CMakeFiles/vedliot_platform.dir/fabric.cpp.o" "gcc" "src/platform/CMakeFiles/vedliot_platform.dir/fabric.cpp.o.d"
+  "/root/repo/src/platform/microserver.cpp" "src/platform/CMakeFiles/vedliot_platform.dir/microserver.cpp.o" "gcc" "src/platform/CMakeFiles/vedliot_platform.dir/microserver.cpp.o.d"
+  "/root/repo/src/platform/resource_manager.cpp" "src/platform/CMakeFiles/vedliot_platform.dir/resource_manager.cpp.o" "gcc" "src/platform/CMakeFiles/vedliot_platform.dir/resource_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/vedliot_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/vedliot_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vedliot_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/vedliot_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/vedliot_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vedliot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

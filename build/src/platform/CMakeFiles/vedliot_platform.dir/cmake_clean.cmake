@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedliot_platform.dir/baseboard.cpp.o"
+  "CMakeFiles/vedliot_platform.dir/baseboard.cpp.o.d"
+  "CMakeFiles/vedliot_platform.dir/distributed.cpp.o"
+  "CMakeFiles/vedliot_platform.dir/distributed.cpp.o.d"
+  "CMakeFiles/vedliot_platform.dir/fabric.cpp.o"
+  "CMakeFiles/vedliot_platform.dir/fabric.cpp.o.d"
+  "CMakeFiles/vedliot_platform.dir/microserver.cpp.o"
+  "CMakeFiles/vedliot_platform.dir/microserver.cpp.o.d"
+  "CMakeFiles/vedliot_platform.dir/resource_manager.cpp.o"
+  "CMakeFiles/vedliot_platform.dir/resource_manager.cpp.o.d"
+  "libvedliot_platform.a"
+  "libvedliot_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedliot_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedliot_reqs.dir/framework.cpp.o"
+  "CMakeFiles/vedliot_reqs.dir/framework.cpp.o.d"
+  "libvedliot_reqs.a"
+  "libvedliot_reqs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedliot_reqs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedliot_runtime.dir/executor.cpp.o"
+  "CMakeFiles/vedliot_runtime.dir/executor.cpp.o.d"
+  "CMakeFiles/vedliot_runtime.dir/memory_planner.cpp.o"
+  "CMakeFiles/vedliot_runtime.dir/memory_planner.cpp.o.d"
+  "CMakeFiles/vedliot_runtime.dir/qexecutor.cpp.o"
+  "CMakeFiles/vedliot_runtime.dir/qexecutor.cpp.o.d"
+  "libvedliot_runtime.a"
+  "libvedliot_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedliot_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

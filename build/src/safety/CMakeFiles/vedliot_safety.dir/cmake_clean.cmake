@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedliot_safety.dir/hybrid.cpp.o"
+  "CMakeFiles/vedliot_safety.dir/hybrid.cpp.o.d"
+  "CMakeFiles/vedliot_safety.dir/monitors.cpp.o"
+  "CMakeFiles/vedliot_safety.dir/monitors.cpp.o.d"
+  "CMakeFiles/vedliot_safety.dir/robustness.cpp.o"
+  "CMakeFiles/vedliot_safety.dir/robustness.cpp.o.d"
+  "libvedliot_safety.a"
+  "libvedliot_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedliot_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/security/attestation.cpp" "src/security/CMakeFiles/vedliot_security.dir/attestation.cpp.o" "gcc" "src/security/CMakeFiles/vedliot_security.dir/attestation.cpp.o.d"
+  "/root/repo/src/security/crypto.cpp" "src/security/CMakeFiles/vedliot_security.dir/crypto.cpp.o" "gcc" "src/security/CMakeFiles/vedliot_security.dir/crypto.cpp.o.d"
+  "/root/repo/src/security/enclave.cpp" "src/security/CMakeFiles/vedliot_security.dir/enclave.cpp.o" "gcc" "src/security/CMakeFiles/vedliot_security.dir/enclave.cpp.o.d"
+  "/root/repo/src/security/kvstore.cpp" "src/security/CMakeFiles/vedliot_security.dir/kvstore.cpp.o" "gcc" "src/security/CMakeFiles/vedliot_security.dir/kvstore.cpp.o.d"
+  "/root/repo/src/security/pmp.cpp" "src/security/CMakeFiles/vedliot_security.dir/pmp.cpp.o" "gcc" "src/security/CMakeFiles/vedliot_security.dir/pmp.cpp.o.d"
+  "/root/repo/src/security/trustzone.cpp" "src/security/CMakeFiles/vedliot_security.dir/trustzone.cpp.o" "gcc" "src/security/CMakeFiles/vedliot_security.dir/trustzone.cpp.o.d"
+  "/root/repo/src/security/wasm.cpp" "src/security/CMakeFiles/vedliot_security.dir/wasm.cpp.o" "gcc" "src/security/CMakeFiles/vedliot_security.dir/wasm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vedliot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

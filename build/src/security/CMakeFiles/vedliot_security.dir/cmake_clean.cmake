@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedliot_security.dir/attestation.cpp.o"
+  "CMakeFiles/vedliot_security.dir/attestation.cpp.o.d"
+  "CMakeFiles/vedliot_security.dir/crypto.cpp.o"
+  "CMakeFiles/vedliot_security.dir/crypto.cpp.o.d"
+  "CMakeFiles/vedliot_security.dir/enclave.cpp.o"
+  "CMakeFiles/vedliot_security.dir/enclave.cpp.o.d"
+  "CMakeFiles/vedliot_security.dir/kvstore.cpp.o"
+  "CMakeFiles/vedliot_security.dir/kvstore.cpp.o.d"
+  "CMakeFiles/vedliot_security.dir/pmp.cpp.o"
+  "CMakeFiles/vedliot_security.dir/pmp.cpp.o.d"
+  "CMakeFiles/vedliot_security.dir/trustzone.cpp.o"
+  "CMakeFiles/vedliot_security.dir/trustzone.cpp.o.d"
+  "CMakeFiles/vedliot_security.dir/wasm.cpp.o"
+  "CMakeFiles/vedliot_security.dir/wasm.cpp.o.d"
+  "libvedliot_security.a"
+  "libvedliot_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedliot_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

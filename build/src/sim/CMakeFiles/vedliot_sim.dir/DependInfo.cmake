@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/assembler.cpp" "src/sim/CMakeFiles/vedliot_sim.dir/assembler.cpp.o" "gcc" "src/sim/CMakeFiles/vedliot_sim.dir/assembler.cpp.o.d"
+  "/root/repo/src/sim/bus.cpp" "src/sim/CMakeFiles/vedliot_sim.dir/bus.cpp.o" "gcc" "src/sim/CMakeFiles/vedliot_sim.dir/bus.cpp.o.d"
+  "/root/repo/src/sim/cfu.cpp" "src/sim/CMakeFiles/vedliot_sim.dir/cfu.cpp.o" "gcc" "src/sim/CMakeFiles/vedliot_sim.dir/cfu.cpp.o.d"
+  "/root/repo/src/sim/cpu.cpp" "src/sim/CMakeFiles/vedliot_sim.dir/cpu.cpp.o" "gcc" "src/sim/CMakeFiles/vedliot_sim.dir/cpu.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/vedliot_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/vedliot_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/testbench.cpp" "src/sim/CMakeFiles/vedliot_sim.dir/testbench.cpp.o" "gcc" "src/sim/CMakeFiles/vedliot_sim.dir/testbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/security/CMakeFiles/vedliot_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vedliot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

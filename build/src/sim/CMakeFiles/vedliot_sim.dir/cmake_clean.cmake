@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedliot_sim.dir/assembler.cpp.o"
+  "CMakeFiles/vedliot_sim.dir/assembler.cpp.o.d"
+  "CMakeFiles/vedliot_sim.dir/bus.cpp.o"
+  "CMakeFiles/vedliot_sim.dir/bus.cpp.o.d"
+  "CMakeFiles/vedliot_sim.dir/cfu.cpp.o"
+  "CMakeFiles/vedliot_sim.dir/cfu.cpp.o.d"
+  "CMakeFiles/vedliot_sim.dir/cpu.cpp.o"
+  "CMakeFiles/vedliot_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/vedliot_sim.dir/machine.cpp.o"
+  "CMakeFiles/vedliot_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/vedliot_sim.dir/testbench.cpp.o"
+  "CMakeFiles/vedliot_sim.dir/testbench.cpp.o.d"
+  "libvedliot_sim.a"
+  "libvedliot_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedliot_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedliot_tensor.dir/dtype.cpp.o"
+  "CMakeFiles/vedliot_tensor.dir/dtype.cpp.o.d"
+  "CMakeFiles/vedliot_tensor.dir/quant.cpp.o"
+  "CMakeFiles/vedliot_tensor.dir/quant.cpp.o.d"
+  "CMakeFiles/vedliot_tensor.dir/shape.cpp.o"
+  "CMakeFiles/vedliot_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/vedliot_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/vedliot_tensor.dir/tensor.cpp.o.d"
+  "libvedliot_tensor.a"
+  "libvedliot_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedliot_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedliot_util.dir/error.cpp.o"
+  "CMakeFiles/vedliot_util.dir/error.cpp.o.d"
+  "CMakeFiles/vedliot_util.dir/fft.cpp.o"
+  "CMakeFiles/vedliot_util.dir/fft.cpp.o.d"
+  "CMakeFiles/vedliot_util.dir/rng.cpp.o"
+  "CMakeFiles/vedliot_util.dir/rng.cpp.o.d"
+  "CMakeFiles/vedliot_util.dir/stats.cpp.o"
+  "CMakeFiles/vedliot_util.dir/stats.cpp.o.d"
+  "CMakeFiles/vedliot_util.dir/table.cpp.o"
+  "CMakeFiles/vedliot_util.dir/table.cpp.o.d"
+  "libvedliot_util.a"
+  "libvedliot_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedliot_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps.cpp" "tests/CMakeFiles/test_apps.dir/test_apps.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/test_apps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vedliot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/safety/CMakeFiles/vedliot_safety.dir/DependInfo.cmake"
+  "/root/repo/build/src/reqs/CMakeFiles/vedliot_reqs.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/vedliot_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/vedliot_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/kenning/CMakeFiles/vedliot_kenning.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/vedliot_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/vedliot_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/vedliot_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vedliot_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/vedliot_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vedliot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/vedliot_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vedliot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kenning.dir/test_kenning.cpp.o"
+  "CMakeFiles/test_kenning.dir/test_kenning.cpp.o.d"
+  "test_kenning"
+  "test_kenning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kenning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

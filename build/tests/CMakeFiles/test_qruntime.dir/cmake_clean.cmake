@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qruntime.dir/test_qruntime.cpp.o"
+  "CMakeFiles/test_qruntime.dir/test_qruntime.cpp.o.d"
+  "test_qruntime"
+  "test_qruntime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qruntime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reqs.dir/test_reqs.cpp.o"
+  "CMakeFiles/test_reqs.dir/test_reqs.cpp.o.d"
+  "test_reqs"
+  "test_reqs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reqs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
