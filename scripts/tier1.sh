@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + complete test suite from a clean tree,
+# then an AddressSanitizer+UBSan build of the resilience-critical tests.
+#
+# Usage: scripts/tier1.sh [-jN]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:--j$(nproc)}"
+
+echo "== tier-1: build + full ctest =="
+cmake -B build -S . > /dev/null
+cmake --build build "${JOBS}" > /dev/null
+ctest --test-dir build --output-on-failure "${JOBS}"
+
+echo
+echo "== tier-1: ASan+UBSan on the resilience/platform tests =="
+cmake -B build-asan -S . -DVEDLIOT_SANITIZE=ON > /dev/null
+cmake --build build-asan "${JOBS}" --target test_resilience test_platform test_distributed test_util > /dev/null
+ctest --test-dir build-asan --output-on-failure "${JOBS}" \
+  -R 'test_resilience|test_platform|test_distributed|test_util'
+
+echo
+echo "tier-1 OK"

@@ -55,6 +55,14 @@ DistributedPlan plan_distributed_inference(const Graph& g, const Chassis& chassi
                                            const Fabric& fabric,
                                            const std::vector<std::string>& slots,
                                            std::size_t num_stages, DType dtype) {
+  return plan_distributed_inference(g, chassis, fabric, slots, num_stages, dtype, PlanOptions{});
+}
+
+DistributedPlan plan_distributed_inference(const Graph& g, const Chassis& chassis,
+                                           const Fabric& fabric,
+                                           const std::vector<std::string>& slots,
+                                           std::size_t num_stages, DType dtype,
+                                           const PlanOptions& options) {
   VEDLIOT_CHECK(num_stages >= 1, "need at least one stage");
   if (slots.empty()) throw PlatformError("no slots given for distributed inference");
   if (num_stages > slots.size() * 2) {
@@ -129,10 +137,18 @@ DistributedPlan plan_distributed_inference(const Graph& g, const Chassis& chassi
       stage_weight += nodes[i].weight_bytes;
       stage_act += nodes[i].out_bytes;
     }
-    const hw::DeviceSpec& dev = chassis.module_at(stage.slot).device_spec();
+    stage.weight_bytes = stage_weight;
+    hw::DeviceSpec dev = chassis.module_at(stage.slot).device_spec();
     if (!dev.supports(dtype)) {
       throw PlatformError("module " + stage.module + " does not support " +
                           std::string(dtype_name(dtype)));
+    }
+    // Effective capacity: a throttled slot achieves a fraction of its peak.
+    if (const auto it = options.slot_gops_scale.find(stage.slot);
+        it != options.slot_gops_scale.end()) {
+      VEDLIOT_CHECK(it->second > 0.0 && it->second <= 1.0,
+                    "slot GOPS scale must be in (0, 1]");
+      dev.peak_gops *= it->second;
     }
     if (stage.ops > 0) {
       stage.compute_s = hw::estimate_workload(dev, stage.ops, stage_weight + stage_act,
@@ -142,16 +158,29 @@ DistributedPlan plan_distributed_inference(const Graph& g, const Chassis& chassi
     if (stage.last + 1 < nodes.size()) {
       stage.boundary_bytes = boundary_bytes_after(g, order, stage.last, act_b);
       const std::string& next_slot = slots[(s + 1) % slots.size()];
-      stage.transfer_s = fabric.transfer_time_s(stage.slot, next_slot, stage.boundary_bytes);
+      try {
+        stage.transfer_s = fabric.transfer_time_s(stage.slot, next_slot, stage.boundary_bytes);
+      } catch (const NotFound& e) {
+        throw PlatformError("fabric partition: no route to ship stage " + std::to_string(s) +
+                            " boundary from " + stage.slot + " to " + next_slot + " (" +
+                            e.what() + ")");
+      }
     }
     start = stage.last + 1;
     plan.stages.push_back(stage);
   }
 
+  // Steady-state interval: a slot hosting several stages time-multiplexes
+  // them, so its contribution is the SUM of its stages' compute times (this
+  // matters when failover packs more stages than surviving slots).
+  std::map<std::string, double> slot_compute;
   for (const auto& stage : plan.stages) {
     plan.latency_s += stage.compute_s + stage.transfer_s;
-    plan.pipeline_interval_s =
-        std::max({plan.pipeline_interval_s, stage.compute_s, stage.transfer_s});
+    slot_compute[stage.slot] += stage.compute_s;
+    plan.pipeline_interval_s = std::max(plan.pipeline_interval_s, stage.transfer_s);
+  }
+  for (const auto& [slot, compute] : slot_compute) {
+    plan.pipeline_interval_s = std::max(plan.pipeline_interval_s, compute);
   }
   plan.throughput_fps = plan.pipeline_interval_s > 0 ? 1.0 / plan.pipeline_interval_s : 0.0;
   plan.single_device_latency_s = best_single_module_latency(g, chassis, dtype);

@@ -10,6 +10,7 @@
 /// the end-to-end latency of one inference and the pipelined throughput
 /// (stages overlap across consecutive frames).
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,7 @@ struct Stage {
   std::string module;
   double compute_s = 0;           ///< stage compute time per inference
   double ops = 0;
+  double weight_bytes = 0;        ///< stage parameter footprint (redeploy cost)
   double boundary_bytes = 0;      ///< activation bytes shipped to the next stage
   double transfer_s = 0;          ///< fabric time to the next stage
 };
@@ -42,13 +44,28 @@ struct DistributedPlan {
   }
 };
 
+/// Planner knobs beyond the topology itself.
+struct PlanOptions {
+  /// Effective-capacity multipliers per slot (thermal throttling, shared
+  /// tenancy): a slot's achievable GOPS is scaled by its entry; absent
+  /// slots run at full capacity.
+  std::map<std::string, double> slot_gops_scale;
+};
+
 /// Partition \p g into \p num_stages contiguous stages balanced by ops,
 /// assign them round-robin to the given slots of \p chassis, and evaluate
 /// latency/throughput over \p fabric at the given precision.
 ///
 /// Cut points are chosen by a sweep that balances per-stage compute while
 /// preferring thin boundary tensors (the classic pipeline-parallel split).
-/// Throws PlatformError when slots are empty or stages outnumber slots*2.
+/// Throws PlatformError when slots are empty, stages outnumber slots*2, or
+/// the fabric has no route between consecutive stage slots (partition).
+DistributedPlan plan_distributed_inference(const Graph& g, const Chassis& chassis,
+                                           const Fabric& fabric,
+                                           const std::vector<std::string>& slots,
+                                           std::size_t num_stages, DType dtype,
+                                           const PlanOptions& options);
+
 DistributedPlan plan_distributed_inference(const Graph& g, const Chassis& chassis,
                                            const Fabric& fabric,
                                            const std::vector<std::string>& slots,

@@ -66,6 +66,19 @@ void Fabric::set_link_speed(const std::string& a, const std::string& b, double g
   ++reconfigs_;
 }
 
+void Fabric::set_link_degradation(const std::string& a, const std::string& b, double factor) {
+  VEDLIOT_CHECK(factor > 0.0 && factor <= 1.0, "link degradation factor must be in (0, 1]");
+  Link* l = find_link(a, b);
+  if (!l) throw NotFound("no link between " + a + " and " + b);
+  l->degradation = factor;
+}
+
+std::optional<Link> Fabric::link_between(const std::string& a, const std::string& b) const {
+  const Link* l = find_link(a, b);
+  if (!l) return std::nullopt;
+  return *l;
+}
+
 std::vector<std::string> Fabric::route(const std::string& from, const std::string& to) const {
   VEDLIOT_CHECK(has_endpoint(from) && has_endpoint(to), "route endpoints must exist");
   if (from == to) return {from};
@@ -105,7 +118,7 @@ double Fabric::path_bandwidth_bytes_s(const std::string& from, const std::string
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
     const Link* l = find_link(path[i], path[i + 1]);
     VEDLIOT_ASSERT(l != nullptr);
-    min_gbps = std::min(min_gbps, l->bandwidth_gbps);
+    min_gbps = std::min(min_gbps, l->effective_gbps());
   }
   if (path.size() < 2) return std::numeric_limits<double>::infinity();
   return min_gbps * 1e9 / 8.0;

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,11 @@ struct Link {
   LinkKind kind = LinkKind::kEthernet;
   double bandwidth_gbps = 1.0;
   double latency_us = 50.0;   ///< per-hop base latency (switch + stack)
+  double degradation = 1.0;   ///< health factor in (0, 1]: effective bandwidth
+                              ///< is bandwidth_gbps * degradation (fault, not
+                              ///< a configuration change)
+
+  double effective_gbps() const { return bandwidth_gbps * degradation; }
 };
 
 /// Switched fabric between named endpoints. Supports run-time
@@ -42,6 +48,15 @@ class Fabric {
 
   /// Run-time reconfiguration of an existing Ethernet link's speed.
   void set_link_speed(const std::string& a, const std::string& b, double gbps);
+
+  /// Mark the link as degraded to \p factor (in (0, 1]) of its configured
+  /// bandwidth — a health condition (congestion, partial failure), not a
+  /// reconfiguration, so it bypasses the allowed-speed list and does not
+  /// count towards reconfiguration churn. Factor 1.0 restores full health.
+  void set_link_degradation(const std::string& a, const std::string& b, double factor);
+
+  /// The link between a and b, if any (either direction).
+  std::optional<Link> link_between(const std::string& a, const std::string& b) const;
 
   /// Shortest path (fewest hops, ties by total latency); throws NotFound
   /// when no route exists.

@@ -1,0 +1,196 @@
+#include "platform/faults.hpp"
+
+#include <algorithm>
+
+namespace vedliot::platform {
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kModuleCrash: return "module-crash";
+    case FaultKind::kModuleRestart: return "module-restart";
+    case FaultKind::kLinkDrop: return "link-drop";
+    case FaultKind::kLinkRestore: return "link-restore";
+    case FaultKind::kLinkDegrade: return "link-degrade";
+    case FaultKind::kThermalThrottle: return "thermal-throttle";
+    case FaultKind::kThermalRecover: return "thermal-recover";
+  }
+  throw InvalidArgument("unknown fault kind");
+}
+
+std::string FaultEvent::subject() const {
+  switch (kind) {
+    case FaultKind::kModuleCrash:
+    case FaultKind::kModuleRestart:
+    case FaultKind::kThermalThrottle:
+    case FaultKind::kThermalRecover:
+      return "slot " + slot;
+    default:
+      return "link " + a + "<->" + b;
+  }
+}
+
+void FaultTimeline::push(FaultEvent e) {
+  const auto pos = std::upper_bound(
+      events_.begin(), events_.end(), e.time_s,
+      [](double t, const FaultEvent& ev) { return t < ev.time_s; });
+  events_.insert(pos, std::move(e));
+}
+
+FaultTimeline FaultTimeline::random_campaign(const std::vector<std::string>& slots,
+                                             std::size_t n_faults, double duration_s,
+                                             Rng& rng) {
+  VEDLIOT_CHECK(!slots.empty(), "random campaign needs at least one slot");
+  VEDLIOT_CHECK(duration_s > 0, "random campaign needs a positive duration");
+  FaultTimeline t;
+  for (std::size_t i = 0; i < n_faults; ++i) {
+    FaultEvent inject;
+    inject.time_s = rng.uniform(0.0, duration_s * 0.5);
+    const std::string slot =
+        slots[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(slots.size()) - 1))];
+    FaultEvent recover;
+    recover.time_s = inject.time_s + rng.uniform(0.1, 0.4) * duration_s;
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        inject.kind = FaultKind::kModuleCrash;
+        recover.kind = FaultKind::kModuleRestart;
+        inject.slot = recover.slot = slot;
+        break;
+      case 1:
+        inject.kind = FaultKind::kThermalThrottle;
+        inject.magnitude = rng.uniform(0.3, 0.8);
+        recover.kind = FaultKind::kThermalRecover;
+        inject.slot = recover.slot = slot;
+        break;
+      default:
+        inject.kind = FaultKind::kLinkDegrade;
+        inject.magnitude = rng.uniform(0.1, 0.5);
+        recover.kind = FaultKind::kLinkDegrade;
+        recover.magnitude = 1.0;
+        inject.a = recover.a = "switch0";
+        inject.b = recover.b = slot;
+        break;
+    }
+    t.push(inject);
+    t.push(recover);
+  }
+  return t;
+}
+
+PlatformSimulator::PlatformSimulator(Chassis chassis, Fabric fabric)
+    : PlatformSimulator(std::move(chassis), std::move(fabric), Config{}) {}
+
+PlatformSimulator::PlatformSimulator(Chassis chassis, Fabric fabric, Config config)
+    : chassis_(std::move(chassis)), fabric_(std::move(fabric)), cfg_(config), rng_(config.seed) {
+  VEDLIOT_CHECK(cfg_.transient_transfer_prob >= 0.0 && cfg_.transient_transfer_prob < 1.0,
+                "transient transfer probability must be in [0, 1)");
+}
+
+void PlatformSimulator::schedule(const FaultTimeline& timeline) {
+  for (const auto& e : timeline.events()) schedule(e);
+}
+
+void PlatformSimulator::schedule(FaultEvent event) {
+  if (event.time_s < now_) {
+    throw InvalidArgument("cannot schedule a fault at t=" + std::to_string(event.time_s) +
+                          " in the simulated past (now=" + std::to_string(now_) + ")");
+  }
+  const auto pos = std::upper_bound(
+      pending_.begin() + static_cast<std::ptrdiff_t>(next_), pending_.end(), event.time_s,
+      [](double t, const FaultEvent& ev) { return t < ev.time_s; });
+  pending_.insert(pos, std::move(event));
+}
+
+std::vector<FaultEvent> PlatformSimulator::advance_to(double t) {
+  VEDLIOT_CHECK(t >= now_, "simulated time cannot go backwards");
+  std::vector<FaultEvent> taken;
+  while (next_ < pending_.size() && pending_[next_].time_s <= t) {
+    const FaultEvent& e = pending_[next_];
+    if (apply(e)) {
+      ++applied_;
+      taken.push_back(e);
+    } else {
+      ++skipped_;
+    }
+    ++next_;
+  }
+  now_ = t;
+  return taken;
+}
+
+bool PlatformSimulator::apply(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::kModuleCrash: {
+      if (!chassis_.occupied(e.slot)) return false;
+      crashed_.emplace(e.slot, chassis_.remove(e.slot));
+      throttle_.erase(e.slot);
+      return true;
+    }
+    case FaultKind::kModuleRestart: {
+      const auto it = crashed_.find(e.slot);
+      if (it == crashed_.end()) return false;
+      chassis_.install(e.slot, it->second);
+      crashed_.erase(it);
+      return true;
+    }
+    case FaultKind::kLinkDrop: {
+      const auto link = fabric_.link_between(e.a, e.b);
+      if (!link) return false;
+      dropped_.push_back(*link);
+      fabric_.remove_link(e.a, e.b);
+      return true;
+    }
+    case FaultKind::kLinkRestore: {
+      const auto it = std::find_if(dropped_.begin(), dropped_.end(), [&](const Link& l) {
+        return (l.a == e.a && l.b == e.b) || (l.a == e.b && l.b == e.a);
+      });
+      if (it == dropped_.end()) return false;
+      Link restored = *it;
+      restored.degradation = 1.0;
+      dropped_.erase(it);
+      fabric_.add_link(std::move(restored));
+      return true;
+    }
+    case FaultKind::kLinkDegrade: {
+      if (!fabric_.link_between(e.a, e.b)) return false;
+      fabric_.set_link_degradation(e.a, e.b, e.magnitude);
+      return true;
+    }
+    case FaultKind::kThermalThrottle: {
+      VEDLIOT_CHECK(e.magnitude > 0.0 && e.magnitude <= 1.0,
+                    "thermal throttle magnitude must be in (0, 1]");
+      if (!chassis_.occupied(e.slot)) return false;
+      throttle_[e.slot] = e.magnitude;
+      return true;
+    }
+    case FaultKind::kThermalRecover: {
+      return throttle_.erase(e.slot) > 0;
+    }
+  }
+  throw InvalidArgument("unknown fault kind");
+}
+
+bool PlatformSimulator::alive(const std::string& slot) const {
+  return chassis_.occupied(slot);
+}
+
+std::vector<std::string> PlatformSimulator::alive_of(const std::vector<std::string>& slots) const {
+  std::vector<std::string> out;
+  for (const auto& s : slots) {
+    if (alive(s)) out.push_back(s);
+  }
+  return out;
+}
+
+double PlatformSimulator::gops_scale(const std::string& slot) const {
+  const auto it = throttle_.find(slot);
+  return it == throttle_.end() ? 1.0 : it->second;
+}
+
+std::map<std::string, double> PlatformSimulator::gops_scales() const { return throttle_; }
+
+bool PlatformSimulator::try_transfer(const std::string& from, const std::string& to) {
+  (void)fabric_.route(from, to);  // throws NotFound on partition
+  return !rng_.chance(cfg_.transient_transfer_prob);
+}
+
+}  // namespace vedliot::platform

@@ -1,0 +1,135 @@
+#pragma once
+/// \file faults.hpp
+/// \brief Deterministic platform-level fault injection (Sec. II-A + IV-B):
+/// module crashes/restarts, link drops and bandwidth degradation, thermal
+/// throttling, and seeded transient transfer errors, applied to a
+/// Chassis + Fabric pair from a time-ordered event schedule.
+///
+/// This is the adversary side of the resilience story: safety's
+/// FaultInjector corrupts *model weights*; PlatformSimulator breaks the
+/// *platform under the model* over simulated time, so the
+/// ResilienceController (resilience.hpp) has something to detect, retry
+/// against, and recover from.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "platform/baseboard.hpp"
+#include "platform/fabric.hpp"
+#include "util/rng.hpp"
+
+namespace vedliot::platform {
+
+enum class FaultKind {
+  kModuleCrash,      ///< module in `slot` stops responding (hot-removed)
+  kModuleRestart,    ///< previously crashed module in `slot` comes back
+  kLinkDrop,         ///< link a<->b removed from the fabric
+  kLinkRestore,      ///< previously dropped link a<->b reinstated
+  kLinkDegrade,      ///< link a<->b degraded to `magnitude` of its bandwidth
+  kThermalThrottle,  ///< module GOPS scaled by `magnitude` in (0, 1]
+  kThermalRecover,   ///< throttle on `slot` cleared
+};
+
+std::string_view fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  double time_s = 0;
+  FaultKind kind = FaultKind::kModuleCrash;
+  std::string slot;        ///< module faults
+  std::string a, b;        ///< link faults
+  double magnitude = 1.0;  ///< degradation / throttle factor in (0, 1]
+
+  /// "slot come1" or "link come0<->switch0" — the faulted entity.
+  std::string subject() const;
+};
+
+/// A time-ordered fault schedule. Events can be scripted one by one or
+/// drawn as a seeded random campaign; either way the sequence applied to a
+/// PlatformSimulator is fully deterministic.
+class FaultTimeline {
+ public:
+  /// Insert keeping the schedule sorted by time (stable for ties).
+  void push(FaultEvent e);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// Seeded random campaign over [0, duration): \p n_faults events drawn
+  /// uniformly in time, alternating crash/restart, throttle/recover and
+  /// link degrade/restore pairs over the given slots so the platform keeps
+  /// oscillating between healthy and degraded states.
+  static FaultTimeline random_campaign(const std::vector<std::string>& slots,
+                                       std::size_t n_faults, double duration_s, Rng& rng);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// A chassis + fabric under fault injection. Owns private copies of both,
+/// applies scheduled events as simulated time advances, and answers the
+/// health / effective-capacity queries the resilience layer plans against.
+class PlatformSimulator {
+ public:
+  struct Config {
+    double transient_transfer_prob = 0.0;  ///< per transfer attempt
+    std::uint64_t seed = 0x5EEDu;
+  };
+
+  PlatformSimulator(Chassis chassis, Fabric fabric);
+  PlatformSimulator(Chassis chassis, Fabric fabric, Config config);
+
+  void schedule(const FaultTimeline& timeline);
+  /// Throws InvalidArgument when the event lies in the simulated past.
+  void schedule(FaultEvent event);
+
+  /// Apply every scheduled event with time <= t (in order) and move the
+  /// clock to t. Returns the events that actually took effect; events that
+  /// no longer apply (crash of an already-dead module, restore of a live
+  /// link) are counted as skipped instead of throwing, so random campaigns
+  /// cannot wedge the simulation.
+  std::vector<FaultEvent> advance_to(double t);
+
+  double now() const { return now_; }
+  const Chassis& chassis() const { return chassis_; }
+  const Fabric& fabric() const { return fabric_; }
+
+  /// Health query: is the module in \p slot installed and responding?
+  bool alive(const std::string& slot) const;
+  /// The subset of \p slots currently alive, original order preserved.
+  std::vector<std::string> alive_of(const std::vector<std::string>& slots) const;
+
+  /// Effective capacity of a slot: 1.0 healthy, <1 thermally throttled.
+  double gops_scale(const std::string& slot) const;
+  /// All current throttles, keyed by slot (healthy slots omitted).
+  std::map<std::string, double> gops_scales() const;
+
+  /// One transfer attempt over the current fabric: returns false on a
+  /// seeded transient error, throws NotFound when no route exists
+  /// (partition). Deterministic given the construction seed and call order.
+  bool try_transfer(const std::string& from, const std::string& to);
+
+  std::size_t faults_applied() const { return applied_; }
+  std::size_t faults_skipped() const { return skipped_; }
+
+ private:
+  bool apply(const FaultEvent& e);
+
+  Chassis chassis_;
+  Fabric fabric_;
+  Config cfg_;
+  Rng rng_;
+  double now_ = 0;
+  std::vector<FaultEvent> pending_;  ///< sorted by time; consumed from next_
+  std::size_t next_ = 0;
+  std::map<std::string, MicroserverModule> crashed_;
+  std::map<std::string, double> throttle_;
+  std::vector<Link> dropped_;
+  std::size_t applied_ = 0;
+  std::size_t skipped_ = 0;
+};
+
+}  // namespace vedliot::platform

@@ -26,9 +26,43 @@ ResourceManager::ResourceManager(const Chassis& chassis) {
   }
 }
 
+const ResourceManager::Candidate& ResourceManager::candidate(const std::string& slot) const {
+  for (const auto& c : candidates_) {
+    if (c.slot == slot) return c;
+  }
+  throw NotFound("no candidate slot " + slot);
+}
+
+void ResourceManager::set_capacity_scale(const std::string& slot, double scale) {
+  VEDLIOT_CHECK(scale > 0.0 && scale <= 1.0, "capacity scale must be in (0, 1]");
+  for (auto& c : candidates_) {
+    if (c.slot == slot) {
+      c.scale = scale;
+      return;
+    }
+  }
+  throw NotFound("no candidate slot " + slot);
+}
+
+double ResourceManager::capacity_scale(const std::string& slot) const {
+  return candidate(slot).scale;
+}
+
+double ResourceManager::utilization_headroom(const std::string& slot) const {
+  const Candidate& c = candidate(slot);
+  return std::max(0.0, 1.0 - c.busy);
+}
+
+std::vector<std::string> ResourceManager::slots() const {
+  std::vector<std::string> out;
+  for (const auto& c : candidates_) out.push_back(c.slot);
+  return out;
+}
+
 std::optional<Placement> ResourceManager::try_place(const Workload& w, Candidate& c) const {
-  const hw::DeviceSpec& dev = c.module.device_spec();
+  hw::DeviceSpec dev = c.module.device_spec();
   if (!dev.supports(w.dtype)) return std::nullopt;
+  dev.peak_gops *= c.scale;
   const hw::PerfEstimate e =
       hw::estimate_workload(dev, w.ops, w.traffic_bytes, w.weight_bytes, 1, w.dtype);
   if (e.latency_s > w.latency_budget_s) return std::nullopt;

@@ -58,13 +58,29 @@ class ResourceManager {
   /// Total duty-cycled power of a placement set (modules idle when unused).
   static double total_average_power_w(const std::vector<Placement>& placements);
 
+  /// Effective-capacity adjustment (thermal throttle / shared tenancy):
+  /// scale the slot's achievable GOPS by \p scale in (0, 1]. Scale 1.0
+  /// restores full capacity. Throws NotFound for unknown slots.
+  void set_capacity_scale(const std::string& slot, double scale);
+
+  /// Current effective-capacity multiplier of a slot (1.0 = healthy).
+  double capacity_scale(const std::string& slot) const;
+
+  /// Remaining utilization headroom of a slot in [0, 1].
+  double utilization_headroom(const std::string& slot) const;
+
+  /// Slots this manager can still place onto (surviving candidate set).
+  std::vector<std::string> slots() const;
+
  private:
   struct Candidate {
     std::string slot;
     MicroserverModule module;
-    double busy = 0;  ///< accumulated utilization
+    double busy = 0;   ///< accumulated utilization
+    double scale = 1;  ///< effective-capacity multiplier (thermal throttle)
   };
   std::optional<Placement> try_place(const Workload& w, Candidate& c) const;
+  const Candidate& candidate(const std::string& slot) const;
 
   std::vector<Candidate> candidates_;
 };

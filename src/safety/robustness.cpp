@@ -13,9 +13,18 @@ RobustnessService::RobustnessService(const Graph& golden_model, Config config)
   exec_ = std::make_unique<Executor>(golden_);
 }
 
-bool RobustnessService::submit(const Tensor& input, const Tensor& output) {
+std::string_view check_result_name(CheckResult r) {
+  switch (r) {
+    case CheckResult::kNotChecked: return "not-checked";
+    case CheckResult::kCheckedOk: return "checked-ok";
+    case CheckResult::kCheckedFaulty: return "checked-faulty";
+  }
+  throw InvalidArgument("unknown check result");
+}
+
+CheckResult RobustnessService::submit(const Tensor& input, const Tensor& output) {
   ++submissions_;
-  if (submissions_ % cfg_.check_period != 0) return false;
+  if (submissions_ % cfg_.check_period != 0) return CheckResult::kNotChecked;
   ++checks_;
   const Tensor golden = exec_->run_single(input);
   VEDLIOT_CHECK(golden.shape() == output.shape(),
@@ -23,9 +32,9 @@ bool RobustnessService::submit(const Tensor& input, const Tensor& output) {
   const float diff = max_abs_diff(golden, output);
   if (diff > cfg_.tolerance) {
     ++faults_;
-    return true;
+    return CheckResult::kCheckedFaulty;
   }
-  return false;
+  return CheckResult::kCheckedOk;
 }
 
 std::vector<NodeId> FaultInjector::parametric_nodes(const Graph& g) const {

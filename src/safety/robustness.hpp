@@ -15,6 +15,17 @@
 
 namespace vedliot::safety {
 
+/// Outcome of one submission to the robustness service. Submissions are
+/// period-sampled, so "no fault flagged" comes in two distinct flavours:
+/// the pair was never looked at vs. the pair was verified clean.
+enum class CheckResult {
+  kNotChecked,     ///< skipped by period sampling
+  kCheckedOk,      ///< verified against the golden model, within tolerance
+  kCheckedFaulty,  ///< verified and found divergent — systematic fault
+};
+
+std::string_view check_result_name(CheckResult r);
+
 /// Holds a golden copy of the model and re-checks sampled (input, output)
 /// pairs against it.
 class RobustnessService {
@@ -28,9 +39,9 @@ class RobustnessService {
   /// reference is intentionally independent of the deployed instance.
   RobustnessService(const Graph& golden_model, Config config);
 
-  /// Submit an observed pair; returns true if the pair was actually checked
-  /// this round (period-sampled) and found faulty.
-  bool submit(const Tensor& input, const Tensor& output);
+  /// Submit an observed pair; period sampling decides whether it is
+  /// actually verified this round, and the result says what happened.
+  CheckResult submit(const Tensor& input, const Tensor& output);
 
   std::size_t submissions() const { return submissions_; }
   std::size_t checks_run() const { return checks_; }

@@ -1,6 +1,18 @@
 #include "util/rng.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace vedliot {
+
+double Rng::backoff_s(double base_s, double cap_s, int attempt) {
+  const double ceiling = std::min(cap_s, base_s * std::exp2(static_cast<double>(attempt)));
+  return uniform(0.0, ceiling);
+}
+
+double Rng::jittered(double value, double frac) {
+  return value * uniform(1.0 - frac, 1.0 + frac);
+}
 
 std::vector<float> Rng::normal_vector(std::size_t n, double mean, double stddev) {
   std::vector<float> out(n);

@@ -35,6 +35,14 @@ class Rng {
   /// Bernoulli trial with success probability p.
   bool chance(double p) { return std::bernoulli_distribution(p)(engine_); }
 
+  /// Exponential backoff with full jitter (the classic retry policy):
+  /// uniform in [0, min(cap_s, base_s * 2^attempt)]. \p attempt counts
+  /// from 0 for the first retry.
+  double backoff_s(double base_s, double cap_s, int attempt);
+
+  /// \p value scaled by a uniform factor in [1 - frac, 1 + frac].
+  double jittered(double value, double frac);
+
   /// Vector of n normal samples.
   std::vector<float> normal_vector(std::size_t n, double mean = 0.0, double stddev = 1.0);
 

@@ -142,6 +142,58 @@ TEST(Distributed, UnsupportedDtypeRejected) {
       Error);
 }
 
+TEST(Distributed, FabricPartitionSurfacesClearError) {
+  // A partition between assigned slots must not leak a bare NotFound from
+  // deep inside the fabric: the planner says which stage boundary failed.
+  TestRig s = recs_box_with_modules(2);
+  s.fabric.remove_link("switch0", "come1");
+  Graph g = zoo::resnet50();
+  try {
+    (void)plan_distributed_inference(g, s.chassis, s.fabric, s.slots, 2, DType::kINT8);
+    FAIL() << "expected PlatformError on a partitioned fabric";
+  } catch (const PlatformError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("fabric partition"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("come1"), std::string::npos) << msg;
+  }
+  // A single stage on the still-reachable module is unaffected.
+  const auto plan =
+      plan_distributed_inference(g, s.chassis, s.fabric, {"come0"}, 1, DType::kINT8);
+  EXPECT_EQ(plan.stages.size(), 1u);
+}
+
+TEST(Distributed, ThrottledSlotSlowsThePlan) {
+  TestRig s = recs_box_with_modules(2);
+  Graph g = zoo::resnet50();
+  const auto healthy =
+      plan_distributed_inference(g, s.chassis, s.fabric, s.slots, 2, DType::kINT8);
+  PlanOptions opts;
+  opts.slot_gops_scale["come0"] = 0.25;
+  const auto throttled =
+      plan_distributed_inference(g, s.chassis, s.fabric, s.slots, 2, DType::kINT8, opts);
+  EXPECT_GT(throttled.latency_s, healthy.latency_s);
+  EXPECT_LT(throttled.throughput_fps, healthy.throughput_fps);
+
+  PlanOptions bad;
+  bad.slot_gops_scale["come0"] = 0.0;
+  EXPECT_THROW(
+      (void)plan_distributed_inference(g, s.chassis, s.fabric, s.slots, 2, DType::kINT8, bad),
+      Error);
+}
+
+TEST(Distributed, StagesCarryWeightBytes) {
+  TestRig s = recs_box_with_modules(2);
+  Graph g = zoo::resnet50();
+  const auto plan =
+      plan_distributed_inference(g, s.chassis, s.fabric, s.slots, 2, DType::kINT8);
+  double total = 0;
+  for (const auto& st : plan.stages) {
+    EXPECT_GT(st.weight_bytes, 0.0);
+    total += st.weight_bytes;
+  }
+  EXPECT_GT(total, 0.0);
+}
+
 TEST(Distributed, BestSingleModulePicksFastest) {
   TestRig s = recs_box_with_modules(2);  // AGX + D1577
   Graph g = zoo::resnet50();

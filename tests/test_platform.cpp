@@ -159,7 +159,34 @@ TEST(Fabric, RemoveLinkPartitions) {
   Fabric f = star_fabric({"a", "b"}, 1.0, {1.0});
   f.remove_link("switch0", "b");
   EXPECT_THROW((void)f.route("a", "b"), NotFound);
+  EXPECT_THROW((void)f.transfer_time_s("a", "b", 4096.0), NotFound);
+  EXPECT_THROW((void)f.path_bandwidth_bytes_s("a", "b"), NotFound);
   EXPECT_THROW(f.remove_link("switch0", "b"), NotFound);
+  // The other leg of the star is unaffected.
+  EXPECT_EQ(f.route("a", "switch0").size(), 2u);
+}
+
+TEST(Fabric, LinkDegradationScalesEffectiveBandwidthOnly) {
+  Fabric f = star_fabric({"a", "b"}, 10.0, {1.0, 10.0});
+  const double healthy = f.transfer_time_s("a", "b", 1e6);
+  const std::size_t reconfigs = f.reconfiguration_count();
+
+  f.set_link_degradation("switch0", "b", 0.25);
+  const auto link = f.link_between("switch0", "b");
+  ASSERT_TRUE(link.has_value());
+  EXPECT_DOUBLE_EQ(link->bandwidth_gbps, 10.0);      // configured speed intact
+  EXPECT_DOUBLE_EQ(link->effective_gbps(), 2.5);
+  EXPECT_GT(f.transfer_time_s("a", "b", 1e6), healthy);
+  // A health condition, not a reconfiguration.
+  EXPECT_EQ(f.reconfiguration_count(), reconfigs);
+
+  // Factor 1.0 restores full health.
+  f.set_link_degradation("switch0", "b", 1.0);
+  EXPECT_DOUBLE_EQ(f.transfer_time_s("a", "b", 1e6), healthy);
+
+  EXPECT_THROW(f.set_link_degradation("switch0", "b", 0.0), Error);
+  EXPECT_THROW(f.set_link_degradation("switch0", "b", 1.5), Error);
+  EXPECT_THROW(f.set_link_degradation("a", "b", 0.5), NotFound);
 }
 
 // ---------------------------------------------------------------------------
@@ -236,6 +263,39 @@ TEST(ResourceManager, PowerAccountingPositive) {
   const double power = ResourceManager::total_average_power_w(placements);
   EXPECT_GT(power, 0.0);
   EXPECT_LT(power, 15.0);
+}
+
+TEST(ResourceManager, CapacityScaleShrinksWhatFits) {
+  // At full capacity the workload places; at a heavy thermal throttle the
+  // same workload no longer meets its latency budget.
+  const auto w = Workload::from_graph("det", zoo::resnet50(), DType::kINT8, 10.0, 0.04);
+  Chassis c = mirror_chassis();
+  {
+    ResourceManager rm(c);
+    EXPECT_DOUBLE_EQ(rm.capacity_scale("main"), 1.0);
+    EXPECT_EQ(rm.place({w}).size(), 1u);
+  }
+  {
+    ResourceManager rm(c);
+    rm.set_capacity_scale("main", 0.05);
+    EXPECT_DOUBLE_EQ(rm.capacity_scale("main"), 0.05);
+    EXPECT_THROW((void)rm.place({w}), PlatformError);
+  }
+  ResourceManager rm(c);
+  EXPECT_THROW(rm.set_capacity_scale("nope", 0.5), NotFound);
+  EXPECT_THROW(rm.set_capacity_scale("main", 0.0), Error);
+  EXPECT_THROW((void)rm.capacity_scale("nope"), NotFound);
+}
+
+TEST(ResourceManager, HeadroomDropsAsWorkIsPlaced) {
+  Chassis c = mirror_chassis();
+  ResourceManager rm(c);
+  EXPECT_DOUBLE_EQ(rm.utilization_headroom("main"), 1.0);
+  (void)rm.place(small_workloads());
+  const double after = rm.utilization_headroom("main");
+  EXPECT_LT(after, 1.0);
+  EXPECT_GE(after, 0.0);
+  EXPECT_EQ(rm.slots(), std::vector<std::string>{"main"});
 }
 
 TEST(Workload, FromGraphFillsNumbers) {

@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "graph/zoo.hpp"
 #include "runtime/executor.hpp"
@@ -187,7 +190,7 @@ TEST(Robustness, DetectsBitFlippedModel) {
   std::size_t detected = 0;
   for (int i = 0; i < 16; ++i) {
     const Tensor in = sample_input(static_cast<std::uint64_t>(i));
-    if (service.submit(in, faulty.run_single(in))) ++detected;
+    if (service.submit(in, faulty.run_single(in)) == CheckResult::kCheckedFaulty) ++detected;
   }
   EXPECT_GT(detected, 0u);
 }
@@ -202,7 +205,7 @@ TEST(Robustness, DetectsZeroedChannel) {
   std::size_t detected = 0;
   for (int i = 0; i < 16; ++i) {
     const Tensor in = sample_input(static_cast<std::uint64_t>(i));
-    if (service.submit(in, faulty.run_single(in))) ++detected;
+    if (service.submit(in, faulty.run_single(in)) == CheckResult::kCheckedFaulty) ++detected;
   }
   EXPECT_GT(detected, 0u);
 }
@@ -217,7 +220,7 @@ TEST(Robustness, DetectsScaledLayerAttack) {
   std::size_t detected = 0;
   for (int i = 0; i < 16; ++i) {
     const Tensor in = sample_input(static_cast<std::uint64_t>(i));
-    if (service.submit(in, faulty.run_single(in))) ++detected;
+    if (service.submit(in, faulty.run_single(in)) == CheckResult::kCheckedFaulty) ++detected;
   }
   EXPECT_GT(detected, 0u);
 }
@@ -242,7 +245,149 @@ TEST(Robustness, GoldenCopyIndependentOfDeployedGraph) {
   Rng rng(58);
   FaultInjector(rng).scale_random_layer(d.graph, 10.0f);
   // The service still validates against the original behaviour.
-  EXPECT_FALSE(service.submit(in, good));
+  EXPECT_EQ(service.submit(in, good), CheckResult::kCheckedOk);
+}
+
+TEST(Robustness, SubmitDistinguishesSkippedFromVerified) {
+  // The conflated bool return used to make "skipped by sampling" look like
+  // "verified clean"; the CheckResult enum keeps the three outcomes apart.
+  Deployment d = deploy_micro();
+  RobustnessService service(d.graph, {2, 1e-4});
+  const Tensor in = sample_input(0);
+  const Tensor good = d.exec->run_single(in);
+  EXPECT_EQ(service.submit(in, good), CheckResult::kNotChecked);  // 1st of period 2
+  EXPECT_EQ(service.submit(in, good), CheckResult::kCheckedOk);
+
+  Tensor bad = good;
+  bad.at(0) += 1.0f;
+  EXPECT_EQ(service.submit(in, bad), CheckResult::kNotChecked);
+  EXPECT_EQ(service.submit(in, bad), CheckResult::kCheckedFaulty);
+  EXPECT_EQ(service.faults_detected(), 1u);
+
+  EXPECT_EQ(check_result_name(CheckResult::kNotChecked), "not-checked");
+  EXPECT_EQ(check_result_name(CheckResult::kCheckedOk), "checked-ok");
+  EXPECT_EQ(check_result_name(CheckResult::kCheckedFaulty), "checked-faulty");
+}
+
+// ---------------------------------------------------------------------------
+// Fault injector structure: each fault class does exactly what it claims,
+// deterministically under a fixed seed, and the golden-model service flags
+// it (beyond the detection-rate tests above).
+// ---------------------------------------------------------------------------
+
+std::vector<Tensor> snapshot_weights(const Graph& g) {
+  std::vector<Tensor> out;
+  for (NodeId id : g.topo_order()) {
+    const Node& n = g.node(id);
+    if (!n.weights.empty()) out.push_back(n.weights[0]);
+  }
+  return out;
+}
+
+TEST(FaultInjector, ZeroRandomChannelZeroesExactlyOneChannel) {
+  Deployment d = deploy_micro();
+  const auto before = snapshot_weights(d.graph);
+  Rng rng(77);
+  FaultInjector(rng).zero_random_channel(d.graph);
+  const auto after = snapshot_weights(d.graph);
+  ASSERT_EQ(before.size(), after.size());
+
+  std::size_t changed_layers = 0;
+  for (std::size_t l = 0; l < before.size(); ++l) {
+    if (std::equal(before[l].data().begin(), before[l].data().end(),
+                   after[l].data().begin())) {
+      continue;
+    }
+    ++changed_layers;
+    // Exactly one output channel went to zero; the rest are untouched.
+    const auto oc = after[l].shape().dim(0);
+    const auto per = static_cast<std::size_t>(after[l].numel() / oc);
+    std::size_t zeroed = 0;
+    for (std::int64_t c = 0; c < oc; ++c) {
+      const auto chan = after[l].data().subspan(static_cast<std::size_t>(c) * per, per);
+      const bool all_zero =
+          std::all_of(chan.begin(), chan.end(), [](float v) { return v == 0.0f; });
+      const auto prev = before[l].data().subspan(static_cast<std::size_t>(c) * per, per);
+      if (all_zero) {
+        ++zeroed;
+      } else {
+        EXPECT_TRUE(std::equal(prev.begin(), prev.end(), chan.begin()));
+      }
+    }
+    EXPECT_EQ(zeroed, 1u);
+  }
+  EXPECT_EQ(changed_layers, 1u);
+}
+
+TEST(FaultInjector, ScaleRandomLayerScalesExactlyOneLayer) {
+  Deployment d = deploy_micro();
+  const auto before = snapshot_weights(d.graph);
+  Rng rng(78);
+  FaultInjector(rng).scale_random_layer(d.graph, 2.0f);
+  const auto after = snapshot_weights(d.graph);
+  ASSERT_EQ(before.size(), after.size());
+
+  std::size_t changed_layers = 0;
+  for (std::size_t l = 0; l < before.size(); ++l) {
+    bool same = true, scaled = true;
+    for (std::int64_t i = 0; i < before[l].numel(); ++i) {
+      const float b = before[l].at(static_cast<std::size_t>(i));
+      const float a = after[l].at(static_cast<std::size_t>(i));
+      if (a != b) same = false;
+      if (a != 2.0f * b) scaled = false;
+    }
+    if (!same) {
+      ++changed_layers;
+      EXPECT_TRUE(scaled) << "layer " << l << " changed but not by the gain factor";
+    }
+  }
+  EXPECT_EQ(changed_layers, 1u);
+}
+
+TEST(FaultInjector, DeterministicUnderFixedSeed) {
+  Deployment a = deploy_micro();
+  Deployment b = deploy_micro();
+  Rng ra(99), rb(99);
+  FaultInjector(ra).zero_random_channel(a.graph);
+  FaultInjector(rb).zero_random_channel(b.graph);
+  const auto wa = snapshot_weights(a.graph);
+  const auto wb = snapshot_weights(b.graph);
+  ASSERT_EQ(wa.size(), wb.size());
+  for (std::size_t l = 0; l < wa.size(); ++l) {
+    EXPECT_TRUE(std::equal(wa[l].data().begin(), wa[l].data().end(), wb[l].data().begin()));
+  }
+}
+
+TEST(FaultInjector, RequiresParametricNodes) {
+  Graph g("no-params");
+  const NodeId in = g.add_input("x", Shape{1, 8});
+  g.add(OpKind::kRelu, "relu", {in});
+  Rng rng(5);
+  FaultInjector injector(rng);
+  EXPECT_THROW(injector.zero_random_channel(g), Error);
+  EXPECT_THROW(injector.scale_random_layer(g, 2.0f), Error);
+  EXPECT_THROW(injector.flip_weight_bits(g, 1), Error);
+}
+
+TEST(FaultInjector, ServiceFlagsEachFaultClass) {
+  // The golden-model service must flag every injected fault class on at
+  // least one probe input (period 1, tight tolerance).
+  const auto detect = [](void (*inject)(Graph&, Rng&)) {
+    Deployment d = deploy_micro();
+    RobustnessService service(d.graph, {1, 1e-5});
+    Rng rng(101);
+    inject(d.graph, rng);
+    Executor faulty(d.graph);
+    std::size_t hits = 0;
+    for (int i = 0; i < 24; ++i) {
+      const Tensor in = sample_input(static_cast<std::uint64_t>(1000 + i));
+      if (service.submit(in, faulty.run_single(in)) == CheckResult::kCheckedFaulty) ++hits;
+    }
+    return hits;
+  };
+  EXPECT_GT(detect([](Graph& g, Rng& r) { FaultInjector(r).zero_random_channel(g); }), 0u);
+  EXPECT_GT(detect([](Graph& g, Rng& r) { FaultInjector(r).scale_random_layer(g, 1.5f); }), 0u);
+  EXPECT_GT(detect([](Graph& g, Rng& r) { FaultInjector(r).flip_weight_bits(g, 16); }), 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/error.hpp"
@@ -257,6 +258,53 @@ TEST(ErrorHandling, HierarchyIsCatchable) {
   EXPECT_THROW(throw NotFound("x"), Error);
   EXPECT_THROW(throw InvalidArgument("x"), Error);
   EXPECT_THROW(throw Unsupported("x"), Error);
+}
+
+TEST(Rng, BackoffStaysUnderExponentialCeiling) {
+  Rng rng(11);
+  // Attempt k draws uniformly from [0, min(cap, base * 2^k)].
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    const double ceiling = std::min(0.032, 0.001 * std::exp2(attempt));
+    for (int i = 0; i < 200; ++i) {
+      const double w = rng.backoff_s(0.001, 0.032, attempt);
+      EXPECT_GE(w, 0.0);
+      EXPECT_LE(w, ceiling);
+    }
+  }
+}
+
+TEST(Rng, BackoffGrowsWithAttemptOnAverageThenCaps) {
+  Rng rng(12);
+  const auto mean_wait = [&](int attempt) {
+    double s = 0;
+    for (int i = 0; i < 2000; ++i) s += rng.backoff_s(0.001, 0.032, attempt);
+    return s / 2000;
+  };
+  const double a0 = mean_wait(0);
+  const double a3 = mean_wait(3);
+  const double a8 = mean_wait(8);   // 2^8 * base = 0.256 -> capped at 0.032
+  const double a9 = mean_wait(9);
+  EXPECT_GT(a3, a0 * 4);            // exponential region
+  EXPECT_NEAR(a8, 0.016, 0.002);    // uniform over [0, cap]
+  EXPECT_NEAR(a9, a8, 0.002);       // cap reached: no further growth
+}
+
+TEST(Rng, BackoffIsDeterministicPerSeed) {
+  Rng a(5), b(5);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_DOUBLE_EQ(a.backoff_s(1e-3, 32e-3, i % 6), b.backoff_s(1e-3, 32e-3, i % 6));
+  }
+}
+
+TEST(Rng, JitteredStaysWithinFraction) {
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.jittered(10.0, 0.2);
+    EXPECT_GE(v, 8.0);
+    EXPECT_LE(v, 12.0);
+  }
+  // Zero fraction is the identity.
+  EXPECT_DOUBLE_EQ(rng.jittered(10.0, 0.0), 10.0);
 }
 
 }  // namespace
