@@ -6,9 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 
+#include "obs/json.hpp"
 #include "util/table.hpp"
 
 namespace vedliot::bench {
@@ -22,12 +24,56 @@ inline void banner(const std::string& artifact_id, const std::string& title) {
 
 inline void note(const std::string& text) { std::printf("note: %s\n", text.c_str()); }
 
+/// RAII wall-clock timer for one artifact section: on destruction emits a
+/// single JSON-lines record so bench output can be scraped into dashboards
+/// alongside the obs exporters' records:
+///
+///   {"record":"bench-section","bench":"bench_runtime","section":"resnet50","seconds":1.23}
+class Section {
+ public:
+  Section(std::string bench, std::string section)
+      : bench_(std::move(bench)),
+        section_(std::move(section)),
+        start_(std::chrono::steady_clock::now()) {}
+  Section(const Section&) = delete;
+  Section& operator=(const Section&) = delete;
+  ~Section() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const double seconds =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
+        1e9;
+    std::printf("{\"record\":\"bench-section\",\"bench\":\"%s\",\"section\":\"%s\","
+                "\"seconds\":%s}\n",
+                obs::json_escape(bench_).c_str(), obs::json_escape(section_).c_str(),
+                obs::json_number(seconds).c_str());
+  }
+
+ private:
+  std::string bench_;
+  std::string section_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Basename of argv[0], used to label the artifact's bench-section record.
+inline std::string bench_name(const char* argv0) {
+  std::string name(argv0 ? argv0 : "bench");
+  const auto slash = name.find_last_of('/');
+  return slash == std::string::npos ? name : name.substr(slash + 1);
+}
+
 }  // namespace vedliot::bench
 
-/// Each bench defines `void print_artifact();` and uses this main.
+/// Each bench defines `void print_artifact();` and uses this main. The
+/// artifact pass is wall-clock timed and reported as one bench-section
+/// JSON-lines record.
 #define VEDLIOT_BENCH_MAIN()                        \
   int main(int argc, char** argv) {                 \
-    print_artifact();                               \
+    {                                               \
+      ::vedliot::bench::Section timed_artifact(     \
+          ::vedliot::bench::bench_name(argv[0]), "artifact"); \
+      print_artifact();                             \
+    }                                               \
     ::benchmark::Initialize(&argc, argv);           \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     ::benchmark::RunSpecifiedBenchmarks();          \

@@ -9,9 +9,8 @@
 #include "graph/zoo.hpp"
 #include "opt/fusion.hpp"
 #include "opt/quantize.hpp"
-#include "runtime/executor.hpp"
 #include "runtime/memory_planner.hpp"
-#include "runtime/qexecutor.hpp"
+#include "runtime/session.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -19,6 +18,7 @@ using namespace vedliot;
 
 void print_artifact() {
   bench::banner("T-EXEC", "memory planner: arena reuse vs naive allocation");
+  bench::Section section("bench_runtime", "memory-planner");
 
   Table t({"model", "activations (naive)", "arena (planned)", "reuse", "weights fp32"});
   struct Entry {
@@ -69,14 +69,17 @@ void print_artifact() {
   for (int i = 0; i < 16; ++i) calib.emplace_back(Shape{1, 1, 16, 16}, data_rng.normal_vector(256));
   opt::calibrate_activations(g, calib, Calibration::kMinMax);
 
-  Executor fexec(g);
-  QuantizedExecutor qexec(g);
+  auto fsession = runtime::make_session(g);
+  auto qsession = runtime::make_quantized_session(g);
+  std::uint64_t saturations = 0;
   int agree = 0;
   double total_rmse = 0;
   for (int i = 0; i < 32; ++i) {
     Tensor x(Shape{1, 1, 16, 16}, data_rng.normal_vector(256));
-    const Tensor fy = fexec.run_single(x);
-    const Tensor qy = qexec.run_single_dequant(x);
+    const Tensor fy = fsession->run_single(x);
+    const auto qr = qsession->run({{g.node(g.inputs().front()).name, x}});
+    const Tensor& qy = qr.single();
+    saturations = qr.saturations;
     total_rmse += rmse(fy, qy);
     std::size_t fa = 0, qa = 0;
     for (std::int64_t j = 1; j < fy.numel(); ++j) {
@@ -86,7 +89,7 @@ void print_artifact() {
     if (fa == qa) ++agree;
   }
   std::printf("top-1 agreement %d/32, mean softmax RMSE %.4f, int8 saturations %llu\n", agree,
-              total_rmse / 32.0, static_cast<unsigned long long>(qexec.saturations()));
+              total_rmse / 32.0, static_cast<unsigned long long>(saturations));
 }
 
 static void BM_PlanMemoryMobileNet(benchmark::State& state) {
@@ -102,11 +105,11 @@ static void BM_ExecutorMicroCnn(benchmark::State& state) {
   Graph g = zoo::micro_cnn("m", 1, 1, 32, 10);
   Rng rng(1);
   g.materialize_weights(rng);
-  Executor exec(g);
+  auto session = runtime::make_session(g);
   Rng data_rng(2);
   Tensor input(Shape{1, 1, 32, 32}, data_rng.normal_vector(1024));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(exec.run_single(input));
+    benchmark::DoNotOptimize(session->run_single(input));
   }
   const auto c = graph_cost(g);
   state.counters["MACs/s"] = benchmark::Counter(
@@ -119,11 +122,11 @@ static void BM_ExecutorDense(benchmark::State& state) {
   Graph g = zoo::micro_mlp("m", 1, 1024, {1024}, 256);
   Rng rng(1);
   g.materialize_weights(rng);
-  Executor exec(g);
+  auto session = runtime::make_session(g);
   Rng data_rng(2);
   Tensor input(Shape{1, 1024}, data_rng.normal_vector(1024));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(exec.run_single(input));
+    benchmark::DoNotOptimize(session->run_single(input));
   }
 }
 BENCHMARK(BM_ExecutorDense)->Unit(benchmark::kMicrosecond);

@@ -5,8 +5,10 @@
 //   3. Let the design flow select an accelerator on a uRECS node that
 //      meets the latency / power / rate budgets.
 //   4. Print the full report, including every rejected candidate and why.
+//   5. Serve one frame through a traced runtime::Session and (optionally)
+//      write the Chrome trace:  ./build/examples/quickstart trace.json
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/examples/quickstart [trace.json]
 
 #include <cstdio>
 #include <iostream>
@@ -14,11 +16,13 @@
 #include "core/designflow.hpp"
 #include "graph/cost.hpp"
 #include "graph/zoo.hpp"
+#include "obs/export.hpp"
+#include "runtime/session.hpp"
 #include "util/rng.hpp"
 
 using namespace vedliot;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("VEDLIoT quickstart: deploy MobileNetV3-Large to a uRECS edge node\n\n");
 
   // 1. Model.
@@ -53,6 +57,33 @@ int main() {
   } catch (const core::DesignFlowError& e) {
     std::printf("design flow failed: %s\n", e.what());
     return 1;
+  }
+
+  // 5. Observability: serve one frame through a traced Session. A smaller
+  // classifier keeps the reference interpreter quick here; the span/metric
+  // taxonomy is identical for any zoo model.
+  Graph served = zoo::micro_cnn("quickstart-served", 1, 1, 24, 6);
+  served.materialize_weights(rng);
+  const Shape in_shape{1, 1, 24, 24};
+  Rng data_rng(3);
+  Tensor frame(in_shape, data_rng.normal_vector(static_cast<std::size_t>(in_shape.numel())));
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  runtime::RunOptions run_opts;
+  run_opts.trace = &tracer;
+  run_opts.metrics = &metrics;
+  auto session = runtime::make_session(served, run_opts);
+  const runtime::RunResult rr =
+      session->run({{served.node(served.inputs().front()).name, frame}});
+
+  std::printf("\ntraced serve on %s (%s backend): %zu nodes -> %zu spans\n",
+              served.name().c_str(), session->backend().c_str(), rr.nodes_executed,
+              tracer.spans().size());
+  std::printf("%s\n", obs::metrics_table(metrics).c_str());
+  if (argc > 1) {
+    obs::write_chrome_trace(argv[1], tracer.spans());
+    std::printf("wrote Chrome trace to %s (open in chrome://tracing)\n", argv[1]);
   }
   return 0;
 }

@@ -9,18 +9,22 @@
 // reports detection latency, recovery time and degraded-mode throughput
 // against the healthy plan.
 //
-// Build & run:  ./build/examples/resilient_pipeline
+// The whole run is traced through vedliot::obs; pass a path to also dump
+// the Chrome trace:  ./build/examples/resilient_pipeline trace.json
+//
+// Build & run:  ./build/examples/resilient_pipeline [trace.json]
 
 #include <cstdio>
 
 #include "graph/zoo.hpp"
+#include "obs/export.hpp"
 #include "platform/faults.hpp"
 #include "platform/resilience.hpp"
 
 using namespace vedliot;
 using namespace vedliot::platform;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Resilient ResNet-50 pipeline on RECS|Box (INT8, 10G fabric)\n\n");
 
   Chassis chassis(recs_box());
@@ -51,16 +55,19 @@ int main() {
   sim.schedule(crash);
 
   Graph g = zoo::resnet50();
+  obs::Tracer tracer;
   ResilienceConfig cfg;
   cfg.heartbeat_period_s = 10e-3;
   cfg.heartbeat_miss_threshold = 3;
   cfg.precision_ladder = {DType::kINT8, DType::kFP16};
   cfg.seed = 7;
+  cfg.trace = &tracer;
   ResilienceController controller(g, sim, slots, 3, DType::kINT8, cfg);
   const ResilienceReport r = controller.run(1.0);
 
-  std::printf("event log:\n");
-  for (const auto& e : r.events) std::printf("  %s\n", format_event(e).c_str());
+  std::printf("event log (%zu events, mirrored into %zu trace spans):\n",
+              controller.events().size(), tracer.spans().size());
+  for (const auto& e : controller.events()) std::printf("  %s\n", format_event(e).c_str());
 
   std::printf("\nhealthy plan : %zu stages, %6.1f fps\n", r.healthy_plan.stages.size(),
               r.healthy_plan.throughput_fps);
@@ -74,5 +81,9 @@ int main() {
   std::printf("frames       : %zu completed, %zu dropped, %zu transfer retries\n",
               r.frames_completed, r.frames_dropped, r.transfer_retries);
   std::printf("pipeline     : %s\n", r.pipeline_alive ? "alive" : "down");
+  if (argc > 1) {
+    obs::write_chrome_trace(argv[1], tracer.spans());
+    std::printf("wrote Chrome trace to %s\n", argv[1]);
+  }
   return r.pipeline_alive ? 0 : 1;
 }

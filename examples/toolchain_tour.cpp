@@ -20,8 +20,7 @@
 #include "opt/fusion.hpp"
 #include "opt/prune.hpp"
 #include "opt/quantize.hpp"
-#include "runtime/executor.hpp"
-#include "runtime/qexecutor.hpp"
+#include "runtime/session.hpp"
 #include "security/attestation.hpp"
 #include "util/rng.hpp"
 
@@ -42,7 +41,12 @@ int main() {
   Rng data_rng(7);
   const Shape in_shape{1, 1, 24, 24};
   Tensor probe(in_shape, data_rng.normal_vector(static_cast<std::size_t>(in_shape.numel())));
-  const Tensor reference = Executor(model).run_single(probe);
+  // The graph mutates between stages, so each measurement opens a fresh
+  // session on its current state.
+  const auto run_float = [](const Graph& g, const Tensor& x) {
+    return runtime::make_session(g)->run_single(x);
+  };
+  const Tensor reference = run_float(model, probe);
 
   // 2. Fusion.
   opt::PassManager pm;
@@ -50,14 +54,14 @@ int main() {
   pm.add(std::make_unique<opt::FuseActivationPass>());
   for (const auto& r : pm.run(model)) std::printf("2. %s: %s\n", r.pass_name.c_str(), r.detail.c_str());
   std::printf("   nodes after fusion: %zu, output drift %.2e\n", model.size(),
-              max_abs_diff(reference, Executor(model).run_single(probe)));
+              max_abs_diff(reference, run_float(model, probe)));
 
   // 3. Pruning.
   opt::MagnitudePrunePass prune(0.6);
   prune.run(model);
   std::printf("3. 60%% magnitude pruning -> sparsity %.1f%%, output drift %.3f\n",
               opt::graph_sparsity(model) * 100,
-              max_abs_diff(reference, Executor(model).run_single(probe)));
+              max_abs_diff(reference, run_float(model, probe)));
 
   // 4. Storage compression (on a copy; deployment keeps dense weights).
   Graph storage = model.clone();
@@ -71,11 +75,12 @@ int main() {
     calib.emplace_back(in_shape, data_rng.normal_vector(static_cast<std::size_t>(in_shape.numel())));
   }
   opt::calibrate_activations(model, calib, Calibration::kMinMax);
-  QuantizedExecutor qexec(model);
-  const Tensor qy = qexec.run_single_dequant(probe);
+  auto qsession = runtime::make_quantized_session(model);
+  const runtime::RunResult qr =
+      qsession->run({{model.node(model.inputs().front()).name, probe}});
   std::printf("5. int8 integer executor: output drift vs float %.3f (saturations: %llu)\n",
-              max_abs_diff(Executor(model).run_single(probe), qy),
-              static_cast<unsigned long long>(qexec.saturations()));
+              max_abs_diff(run_float(model, probe), qr.single()),
+              static_cast<unsigned long long>(qr.saturations));
 
   // 6. Deployment bundle.
   security::Key root{};
@@ -90,8 +95,7 @@ int main() {
 
   // The target device unseals and serves identical results.
   Graph deployed = unseal_model(bundle, device_key);
-  const float diff = max_abs_diff(Executor(model).run_single(probe),
-                                  Executor(deployed).run_single(probe));
+  const float diff = max_abs_diff(run_float(model, probe), run_float(deployed, probe));
   std::printf("   device-side unseal: outputs identical to shipped model: %s\n",
               diff == 0.0f ? "yes" : "NO");
   return 0;

@@ -15,11 +15,11 @@ cmake --build build "${JOBS}" > /dev/null
 ctest --test-dir build --output-on-failure "${JOBS}"
 
 echo
-echo "== tier-1: ASan+UBSan on the resilience/platform tests =="
+echo "== tier-1: ASan+UBSan on the resilience/platform/observability tests =="
 cmake -B build-asan -S . -DVEDLIOT_SANITIZE=ON > /dev/null
-cmake --build build-asan "${JOBS}" --target test_resilience test_platform test_distributed test_util > /dev/null
+cmake --build build-asan "${JOBS}" --target test_resilience test_platform test_distributed test_util test_obs > /dev/null
 ctest --test-dir build-asan --output-on-failure "${JOBS}" \
-  -R 'test_resilience|test_platform|test_distributed|test_util'
+  -R 'test_resilience|test_platform|test_distributed|test_util|test_obs'
 
 echo
 echo "tier-1 OK"

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Trace demo: build the examples, run the quickstart with tracing enabled,
+# and leave a Chrome trace_event file behind.
+#
+# Usage: scripts/trace_demo.sh [out.json]
+# Open the result in chrome://tracing or https://ui.perfetto.dev.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-trace.json}"
+
+cmake -B build -S . > /dev/null
+cmake --build build -j"$(nproc)" --target quickstart > /dev/null
+
+./build/examples/quickstart "${OUT}"
+echo
+echo "trace written to ${OUT}"

@@ -1,0 +1,60 @@
+#pragma once
+/// \file clock.hpp
+/// \brief Monotonic time sources for the observability subsystem.
+///
+/// Every obs component that stamps time goes through the Clock interface so
+/// that tests can inject a FakeClock and get bit-identical traces run after
+/// run (the determinism requirement the resilience tests already impose on
+/// the event log).
+
+#include <chrono>
+#include <cstdint>
+
+namespace vedliot::obs {
+
+/// Nanosecond monotonic clock interface.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic nanoseconds since an arbitrary epoch.
+  virtual std::uint64_t now_ns() = 0;
+};
+
+/// Wall-clock implementation backed by std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+ public:
+  std::uint64_t now_ns() override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+/// Deterministic clock for tests: time only moves when told to, plus an
+/// optional fixed auto-tick per reading so nested spans get distinct,
+/// reproducible timestamps without manual advancing between every call.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(std::uint64_t start_ns = 0) : now_(start_ns) {}
+
+  std::uint64_t now_ns() override {
+    const std::uint64_t t = now_;
+    now_ += auto_tick_ns_;
+    return t;
+  }
+
+  void advance_ns(std::uint64_t delta) { now_ += delta; }
+  void advance_us(std::uint64_t delta) { now_ += delta * 1000; }
+  void advance_ms(std::uint64_t delta) { now_ += delta * 1000000; }
+
+  /// Every now_ns() call advances time by \p tick after reading.
+  void set_auto_tick_ns(std::uint64_t tick) { auto_tick_ns_ = tick; }
+
+ private:
+  std::uint64_t now_ = 0;
+  std::uint64_t auto_tick_ns_ = 0;
+};
+
+}  // namespace vedliot::obs

@@ -1,0 +1,133 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace vedliot::obs {
+
+namespace {
+
+void append_attr_members(std::string& out, const Span& s) {
+  for (const auto& [k, v] : s.attrs) {
+    out += ",\"" + json_escape(k) + "\":\"" + json_escape(v) + "\"";
+  }
+  for (const auto& [k, v] : s.num_attrs) {
+    out += ",\"" + json_escape(k) + "\":" + json_number(v);
+  }
+}
+
+}  // namespace
+
+std::string metrics_table(const MetricsRegistry& registry) {
+  Table t({"metric", "type", "count", "value", "p50", "p95", "p99"});
+  for (const auto& [name, c] : registry.counters()) {
+    t.add_row({name, "counter", "", std::to_string(c.value()), "", "", ""});
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    t.add_row({name, "gauge", "", fmt_fixed(g.value(), 3), "", "", ""});
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    t.add_row({name, "histogram", std::to_string(h.total()), fmt_fixed(h.mean(), 3),
+               fmt_fixed(h.p50(), 3), fmt_fixed(h.p95(), 3), fmt_fixed(h.p99(), 3)});
+  }
+  return t.to_string();
+}
+
+std::string spans_table(std::span<const Span> spans) {
+  Table t({"span", "category", "start us", "dur us"});
+  for (const Span& s : spans) {
+    t.add_row({std::string(2 * s.depth, ' ') + s.name, s.category,
+               fmt_fixed(static_cast<double>(s.start_ns) / 1e3, 1),
+               fmt_fixed(s.duration_us(), 1)});
+  }
+  return t.to_string();
+}
+
+std::string metrics_jsonl(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& [name, c] : registry.counters()) {
+    out += "{\"record\":\"metric\",\"name\":\"" + json_escape(name) +
+           "\",\"type\":\"counter\",\"value\":" + std::to_string(c.value()) + "}\n";
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    out += "{\"record\":\"metric\",\"name\":\"" + json_escape(name) +
+           "\",\"type\":\"gauge\",\"value\":" + json_number(g.value()) + "}\n";
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    out += "{\"record\":\"metric\",\"name\":\"" + json_escape(name) +
+           "\",\"type\":\"histogram\",\"count\":" + std::to_string(h.total()) +
+           ",\"sum\":" + json_number(h.sum()) + ",\"mean\":" + json_number(h.mean()) +
+           ",\"min\":" + json_number(h.min()) + ",\"max\":" + json_number(h.max()) +
+           ",\"p50\":" + json_number(h.p50()) + ",\"p95\":" + json_number(h.p95()) +
+           ",\"p99\":" + json_number(h.p99()) + "}\n";
+  }
+  return out;
+}
+
+std::string spans_jsonl(std::span<const Span> spans) {
+  std::string out;
+  for (const Span& s : spans) {
+    std::string line = "{\"record\":\"span\",\"name\":\"" + json_escape(s.name) +
+                       "\",\"cat\":\"" + json_escape(s.category) +
+                       "\",\"ts_us\":" + json_number(static_cast<double>(s.start_ns) / 1e3) +
+                       ",\"dur_us\":" + json_number(s.duration_us()) +
+                       ",\"depth\":" + std::to_string(s.depth);
+    if (s.parent != Span::kNoParent) {
+      line += ",\"parent\":" + std::to_string(s.parent);
+    }
+    append_attr_members(line, s);
+    line += "}\n";
+    out += line;
+  }
+  return out;
+}
+
+std::string chrome_trace_json(std::span<const Span> spans, int pid, int tid) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Span& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"" + json_escape(s.name) + "\",\"cat\":\"" +
+           json_escape(s.category.empty() ? "vedliot" : s.category) +
+           "\",\"ph\":\"X\",\"ts\":" + json_number(static_cast<double>(s.start_ns) / 1e3) +
+           ",\"dur\":" + json_number(s.duration_us()) + ",\"pid\":" + std::to_string(pid) +
+           ",\"tid\":" + std::to_string(tid);
+    if (!s.attrs.empty() || !s.num_attrs.empty()) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [k, v] : s.attrs) {
+        if (!first_arg) out += ",";
+        first_arg = false;
+        out += "\"" + json_escape(k) + "\":\"" + json_escape(v) + "\"";
+      }
+      for (const auto& [k, v] : s.num_attrs) {
+        if (!first_arg) out += ",";
+        first_arg = false;
+        out += "\"" + json_escape(k) + "\":" + json_number(v);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path, std::span<const Span> spans, int pid,
+                        int tid) {
+  const std::string doc = chrome_trace_json(spans, pid, tid);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw Error("cannot open trace output file " + path);
+  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  const int rc = std::fclose(f);
+  if (written != doc.size() || rc != 0) {
+    throw Error("short write to trace output file " + path);
+  }
+}
+
+}  // namespace vedliot::obs

@@ -1,0 +1,49 @@
+#pragma once
+/// \file export.hpp
+/// \brief Exporters for vedliot::obs traces and metrics.
+///
+/// Three sinks, matching the three consumers of the telemetry layer:
+///  - human-readable tables (util/table) for examples and interactive runs,
+///  - JSON-lines records for mechanical BENCH_*.json trajectory ingestion,
+///  - Chrome trace_event JSON (load in chrome://tracing or Perfetto).
+
+#include <span>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace vedliot::obs {
+
+// -- human tables -----------------------------------------------------------
+
+/// One row per metric: name, type, count, value/mean, p50/p95/p99.
+std::string metrics_table(const MetricsRegistry& registry);
+
+/// One row per span (start order): depth-indented name, category, duration.
+std::string spans_table(std::span<const Span> spans);
+
+// -- JSON lines -------------------------------------------------------------
+
+/// One JSON object per line, one line per metric:
+///   {"record":"metric","name":...,"type":"counter","value":...}
+///   {"record":"metric","name":...,"type":"histogram","count":...,"mean":...,
+///    "p50":...,"p95":...,"p99":...}
+std::string metrics_jsonl(const MetricsRegistry& registry);
+
+/// One JSON object per line, one line per span (start order):
+///   {"record":"span","name":...,"cat":...,"ts_us":...,"dur_us":...,
+///    "depth":...,"parent":...}  (+ one member per attribute)
+std::string spans_jsonl(std::span<const Span> spans);
+
+// -- Chrome trace_event -----------------------------------------------------
+
+/// Full Chrome trace JSON document: {"traceEvents":[...]} with one complete
+/// ("ph":"X") event per span; attributes become the event's "args".
+std::string chrome_trace_json(std::span<const Span> spans, int pid = 1, int tid = 1);
+
+/// Write chrome_trace_json to \p path; throws Error on I/O failure.
+void write_chrome_trace(const std::string& path, std::span<const Span> spans, int pid = 1,
+                        int tid = 1);
+
+}  // namespace vedliot::obs

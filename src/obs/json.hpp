@@ -1,0 +1,60 @@
+#pragma once
+/// \file json.hpp
+/// \brief Minimal JSON writer helpers + parser for the obs exporters.
+///
+/// The exporters emit Chrome trace_event JSON and JSON-lines records; the
+/// parser exists so tests (and bench tooling) can round-trip what was
+/// emitted without an external dependency. It supports the full JSON value
+/// grammar but is tuned for small documents, not bulk ingestion.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace vedliot::obs {
+
+/// Error thrown by json_parse on malformed input.
+class JsonError : public Error {
+ public:
+  explicit JsonError(const std::string& message) : Error(message) {}
+};
+
+/// A parsed JSON value (tagged union over the JSON grammar).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  ///< insertion order
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// Object member lookup; throws NotFound when absent or not an object.
+  const JsonValue& at(std::string_view key) const;
+  bool has(std::string_view key) const;
+
+  /// Typed accessors; throw JsonError on kind mismatch.
+  double as_number() const;
+  const std::string& as_string() const;
+};
+
+/// Parse one JSON document (object, array, or scalar). Trailing
+/// non-whitespace is an error.
+JsonValue json_parse(std::string_view text);
+
+/// Escape a string for embedding between double quotes in JSON output.
+std::string json_escape(std::string_view s);
+
+/// Format a double the way the exporters do: integral values without a
+/// decimal point, otherwise shortest round-trip via %.17g trimmed.
+std::string json_number(double v);
+
+}  // namespace vedliot::obs

@@ -1,0 +1,72 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vedliot::obs {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets) : lo_(lo), hi_(hi) {
+  VEDLIOT_CHECK(hi > lo, "histogram needs hi > lo");
+  VEDLIOT_CHECK(buckets >= 1, "histogram needs at least one bucket");
+  counts_.assign(buckets, 0);
+}
+
+void Histogram::add(double x) {
+  const double w = bucket_width();
+  auto idx = static_cast<std::int64_t>(std::floor((x - lo_) / w));
+  idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+  sum_ += x;
+  if (total_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+double Histogram::percentile(double p) const {
+  VEDLIOT_CHECK(p >= 0.0 && p <= 100.0, "percentile p must be in [0, 100]");
+  if (total_ == 0) return 0.0;
+  // Target rank in [0, total-1] with linear interpolation, matching
+  // stats::percentile's convention on raw samples.
+  const double rank = p / 100.0 * static_cast<double>(total_ - 1);
+  double seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double first = seen;                                 // rank of first sample here
+    const double last = seen + static_cast<double>(counts_[i]) - 1;  // rank of last
+    if (rank <= last) {
+      const double bucket_lo = lo_ + static_cast<double>(i) * bucket_width();
+      const double frac = counts_[i] > 1
+                              ? (rank - first) / static_cast<double>(counts_[i] - 1)
+                              : 0.5;
+      const double v = bucket_lo + frac * bucket_width();
+      return std::clamp(v, min_, max_);
+    }
+    seen += static_cast<double>(counts_[i]);
+  }
+  return max_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) { return counters_[name]; }
+
+Gauge& MetricsRegistry::gauge(const std::string& name) { return gauges_[name]; }
+
+Histogram& MetricsRegistry::histogram(const std::string& name, double lo, double hi,
+                                      std::size_t buckets) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(lo, hi, buckets)).first->second;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace vedliot::obs

@@ -1,0 +1,106 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Counters, gauges and fixed-bucket histograms — the metrics half of
+/// vedliot::obs.
+///
+/// Metric names follow `vedliot.<subsystem>.<name>` (see DESIGN.md,
+/// "Observability"). Registries are plain maps: cheap to create per run,
+/// mergeable by re-reporting, and deterministic to iterate (names sort).
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vedliot::obs {
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins floating point metric.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed uniform-bucket histogram over [lo, hi); out-of-range samples clamp
+/// into the first/last bucket. Tracks exact min/max/sum alongside the
+/// buckets so mean is exact and percentile interpolation can clamp to the
+/// observed range.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+
+  std::size_t total() const { return total_; }
+  double sum() const { return sum_; }
+  double mean() const { return total_ > 0 ? sum_ / static_cast<double>(total_) : 0.0; }
+  double min() const { return total_ > 0 ? min_ : 0.0; }
+  double max() const { return total_ > 0 ? max_ : 0.0; }
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t buckets() const { return counts_.size(); }
+  std::size_t bucket_count(std::size_t i) const { return counts_.at(i); }
+  double bucket_width() const { return (hi_ - lo_) / static_cast<double>(counts_.size()); }
+
+  /// p-th percentile, p in [0, 100], linearly interpolated inside the
+  /// bucket that crosses the target rank; clamped to [min(), max()].
+  /// Returns 0 for an empty histogram.
+  double percentile(double p) const;
+  double p50() const { return percentile(50.0); }
+  double p95() const { return percentile(95.0); }
+  double p99() const { return percentile(99.0); }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Name -> metric registry. First access creates the metric; later accesses
+/// return the same instance (histogram bounds from the first call win).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, double lo = 0.0, double hi = 1.0,
+                       std::size_t buckets = 64);
+
+  bool has_counter(const std::string& name) const { return counters_.count(name) > 0; }
+  bool has_gauge(const std::string& name) const { return gauges_.count(name) > 0; }
+  bool has_histogram(const std::string& name) const { return histograms_.count(name) > 0; }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  void clear();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace vedliot::obs

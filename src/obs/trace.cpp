@@ -1,0 +1,76 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vedliot::obs {
+
+ScopedSpan& ScopedSpan::operator=(ScopedSpan&& other) noexcept {
+  if (this != &other) {
+    close();
+    tracer_ = other.tracer_;
+    index_ = other.index_;
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void ScopedSpan::attr(std::string key, std::string value) {
+  if (tracer_ == nullptr) return;
+  tracer_->spans_[index_].attrs.emplace_back(std::move(key), std::move(value));
+}
+
+void ScopedSpan::attr(std::string key, double value) {
+  if (tracer_ == nullptr) return;
+  tracer_->spans_[index_].num_attrs.emplace_back(std::move(key), value);
+}
+
+void ScopedSpan::close() {
+  if (tracer_ == nullptr) return;
+  tracer_->close_span(index_);
+  tracer_ = nullptr;
+}
+
+Tracer::Tracer(Clock* clock) : clock_(clock != nullptr ? clock : &default_clock_) {}
+
+ScopedSpan Tracer::span(std::string name, std::string category) {
+  Span s;
+  s.name = std::move(name);
+  s.category = std::move(category);
+  s.start_ns = clock_->now_ns();
+  s.parent = stack_.empty() ? Span::kNoParent : stack_.back();
+  s.depth = stack_.size();
+  const std::size_t index = spans_.size();
+  spans_.push_back(std::move(s));
+  stack_.push_back(index);
+  return ScopedSpan(this, index);
+}
+
+Span& Tracer::instant(std::string name, std::string category) {
+  Span s;
+  s.name = std::move(name);
+  s.category = std::move(category);
+  s.start_ns = clock_->now_ns();
+  s.end_ns = s.start_ns;
+  s.parent = stack_.empty() ? Span::kNoParent : stack_.back();
+  s.depth = stack_.size();
+  spans_.push_back(std::move(s));
+  return spans_.back();
+}
+
+void Tracer::close_span(std::size_t index) {
+  VEDLIOT_ASSERT(index < spans_.size());
+  spans_[index].end_ns = clock_->now_ns();
+  // Spans close in LIFO order under RAII; tolerate out-of-order closes from
+  // moved handles by erasing wherever the index sits on the stack.
+  const auto it = std::find(stack_.rbegin(), stack_.rend(), index);
+  if (it != stack_.rend()) stack_.erase(std::next(it).base());
+}
+
+void Tracer::clear() {
+  spans_.clear();
+  stack_.clear();
+}
+
+}  // namespace vedliot::obs

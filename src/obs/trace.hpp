@@ -1,0 +1,111 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Nested timed spans with key/value attributes — the tracing half of
+/// vedliot::obs.
+///
+/// A Tracer records spans in START order into a flat vector, with parent
+/// indices and depths, so exporters can reconstruct the tree and tests can
+/// compare trace *structure* independently of timestamps. Span names follow
+/// the subsystem taxonomy documented in DESIGN.md ("Observability"); metric
+/// and category names use the `vedliot.<subsystem>.<name>` convention.
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace vedliot::obs {
+
+/// One recorded span. start_ns/end_ns come from the tracer's Clock; an
+/// instant event has end_ns == start_ns.
+struct Span {
+  static constexpr std::size_t kNoParent = std::numeric_limits<std::size_t>::max();
+
+  std::string name;
+  std::string category;            ///< e.g. "vedliot.runtime" or an op class
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::size_t parent = kNoParent;  ///< index into the tracer's span list
+  std::size_t depth = 0;           ///< root spans have depth 0
+
+  /// String attributes, in insertion order.
+  std::vector<std::pair<std::string, std::string>> attrs;
+  /// Numeric attributes, in insertion order.
+  std::vector<std::pair<std::string, double>> num_attrs;
+
+  double duration_us() const {
+    return static_cast<double>(end_ns - start_ns) / 1e3;
+  }
+};
+
+class Tracer;
+
+/// RAII handle for an open span: closes it (stamping end time) on
+/// destruction. Move-only; attributes may be added while the span is open.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(Tracer* tracer, std::size_t index) : tracer_(tracer), index_(index) {}
+  ScopedSpan(ScopedSpan&& other) noexcept { *this = std::move(other); }
+  ScopedSpan& operator=(ScopedSpan&& other) noexcept;
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() { close(); }
+
+  void attr(std::string key, std::string value);
+  void attr(std::string key, double value);
+
+  /// Close early (idempotent); the destructor is then a no-op.
+  void close();
+
+  /// Index of the span in the owning tracer's list (valid after close too).
+  std::size_t index() const { return index_; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  std::size_t index_ = 0;
+};
+
+/// Collects spans. Not thread-safe: one tracer per run/thread, merge via
+/// the exporters if needed.
+class Tracer {
+ public:
+  /// \param clock injectable time source; nullptr uses an internal
+  /// SteadyClock. The clock must outlive the tracer.
+  explicit Tracer(Clock* clock = nullptr);
+
+  /// Open a nested span; it becomes the parent of spans opened before the
+  /// returned handle closes.
+  ScopedSpan span(std::string name, std::string category = "");
+
+  /// Record a zero-duration event at the current time under the currently
+  /// open span.
+  Span& instant(std::string name, std::string category = "");
+
+  /// All spans recorded so far, in START order. Open spans have end_ns == 0
+  /// (and end_ns < start_ns only if the clock started at 0 — use
+  /// open_spans() to detect them).
+  std::span<const Span> spans() const { return spans_; }
+
+  /// Number of spans opened but not yet closed.
+  std::size_t open_spans() const { return stack_.size(); }
+
+  /// Drop all recorded spans (open handles become dangling; close them
+  /// first).
+  void clear();
+
+ private:
+  friend class ScopedSpan;
+  void close_span(std::size_t index);
+
+  SteadyClock default_clock_;
+  Clock* clock_;
+  std::vector<Span> spans_;
+  std::vector<std::size_t> stack_;  ///< indices of open spans, root first
+};
+
+}  // namespace vedliot::obs

@@ -63,6 +63,15 @@ DistributedPlan plan_distributed_inference(const Graph& g, const Chassis& chassi
                                            const std::vector<std::string>& slots,
                                            std::size_t num_stages, DType dtype,
                                            const PlanOptions& options) {
+  obs::ScopedSpan span;
+  if (options.trace) {
+    span = options.trace->span("plan_distributed_inference", "vedliot.platform");
+    span.attr("dtype", std::string(dtype_name(dtype)));
+    span.attr("stages", static_cast<double>(num_stages));
+    span.attr("slots", static_cast<double>(slots.size()));
+  }
+  if (options.metrics) options.metrics->counter("vedliot.platform.plans").inc();
+
   VEDLIOT_CHECK(num_stages >= 1, "need at least one stage");
   if (slots.empty()) throw PlatformError("no slots given for distributed inference");
   if (num_stages > slots.size() * 2) {
@@ -184,6 +193,20 @@ DistributedPlan plan_distributed_inference(const Graph& g, const Chassis& chassi
   }
   plan.throughput_fps = plan.pipeline_interval_s > 0 ? 1.0 / plan.pipeline_interval_s : 0.0;
   plan.single_device_latency_s = best_single_module_latency(g, chassis, dtype);
+  if (options.trace) {
+    for (std::size_t s = 0; s < plan.stages.size(); ++s) {
+      const Stage& stage = plan.stages[s];
+      obs::ScopedSpan child =
+          options.trace->span("stage." + std::to_string(s), "vedliot.platform");
+      child.attr("slot", stage.slot);
+      child.attr("module", stage.module);
+      child.attr("ops", stage.ops);
+      child.attr("compute_s", stage.compute_s);
+      child.attr("boundary_bytes", stage.boundary_bytes);
+    }
+    span.attr("latency_s", plan.latency_s);
+    span.attr("throughput_fps", plan.throughput_fps);
+  }
   return plan;
 }
 

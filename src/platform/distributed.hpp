@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "platform/baseboard.hpp"
 #include "platform/fabric.hpp"
 
@@ -50,6 +52,12 @@ struct PlanOptions {
   /// tenancy): a slot's achievable GOPS is scaled by its entry; absent
   /// slots run at full capacity.
   std::map<std::string, double> slot_gops_scale;
+
+  /// Optional observability sinks: when set, each planning call emits one
+  /// `plan_distributed_inference` span (with per-stage child spans) and
+  /// bumps `vedliot.platform.plans`. Must outlive the call.
+  obs::Tracer* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Partition \p g into \p num_stages contiguous stages balanced by ops,

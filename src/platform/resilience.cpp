@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <optional>
 
+#include "obs/json.hpp"
 #include "platform/resource_manager.hpp"
 
 namespace vedliot::platform {
@@ -59,6 +60,33 @@ double ResilienceReport::degraded_throughput_ratio() const {
   return final_plan.throughput_fps / healthy_plan.throughput_fps;
 }
 
+std::string ResilienceReport::to_json() const {
+  std::string out = "{\"record\":\"resilience-report\"";
+  out += ",\"pipeline_alive\":" + std::string(pipeline_alive ? "true" : "false");
+  out += ",\"final_dtype\":\"" + obs::json_escape(dtype_name(final_dtype)) + "\"";
+  out += ",\"final_stages\":" + obs::json_number(static_cast<double>(final_stages));
+  out += ",\"frames_completed\":" + obs::json_number(static_cast<double>(frames_completed));
+  out += ",\"frames_dropped\":" + obs::json_number(static_cast<double>(frames_dropped));
+  out += ",\"transfer_retries\":" + obs::json_number(static_cast<double>(transfer_retries));
+  out += ",\"failovers\":" + obs::json_number(static_cast<double>(failovers));
+  out += ",\"degradations\":" + obs::json_number(static_cast<double>(degradations));
+  out += ",\"mean_detection_latency_s\":" + obs::json_number(mean_detection_latency_s());
+  out += ",\"mean_recovery_time_s\":" + obs::json_number(mean_recovery_time_s());
+  out += ",\"degraded_throughput_ratio\":" + obs::json_number(degraded_throughput_ratio());
+  out += ",\"events\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const ResilienceEvent& e = events[i];
+    if (i) out += ",";
+    out += "{\"time_s\":" + obs::json_number(e.time_s);
+    out += ",\"kind\":\"" + obs::json_escape(resilience_event_name(e.kind)) + "\"";
+    out += ",\"subject\":\"" + obs::json_escape(e.subject) + "\"";
+    out += ",\"detail\":\"" + obs::json_escape(e.detail) + "\"";
+    out += ",\"value\":" + obs::json_number(e.value) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
 ResilienceController::ResilienceController(const Graph& g, PlatformSimulator& sim,
                                            std::vector<std::string> slots,
                                            std::size_t num_stages, DType dtype,
@@ -93,6 +121,14 @@ void ResilienceController::report_verdict(const std::string& slot,
 void ResilienceController::log(double t, ResilienceEventKind kind, const std::string& subject,
                                const std::string& detail, double value) {
   report_.events.push_back(ResilienceEvent{t, kind, subject, detail, value});
+  if (cfg_.trace) {
+    obs::Span& sp = cfg_.trace->instant(std::string(resilience_event_name(kind)),
+                                        "vedliot.platform.resilience");
+    sp.attrs.emplace_back("subject", subject);
+    if (!detail.empty()) sp.attrs.emplace_back("detail", detail);
+    sp.num_attrs.emplace_back("time_s", t);
+    sp.num_attrs.emplace_back("value", value);
+  }
 }
 
 void ResilienceController::note_injected(double t, const std::vector<FaultEvent>& applied) {
@@ -276,6 +312,7 @@ void ResilienceController::recover(double t, const std::string& reason) {
 
   PlanOptions opts;
   opts.slot_gops_scale = sim_.gops_scales();
+  opts.trace = cfg_.trace;
 
   struct Choice {
     DistributedPlan plan;
@@ -473,11 +510,19 @@ ResilienceReport ResilienceController::run(double duration_s) {
   VEDLIOT_CHECK(duration_s > 0, "run duration must be positive");
   ran_ = true;
 
+  obs::ScopedSpan run_span;
+  if (cfg_.trace) {
+    run_span = cfg_.trace->span("resilience.run", "vedliot.platform.resilience");
+    run_span.attr("duration_s", duration_s);
+    run_span.attr("slots", static_cast<double>(slots_.size()));
+  }
+
   // Baseline plan on the (presumably healthy) platform as it stands now.
   const auto avail = sim_.alive_of(slots_);
   if (avail.empty()) throw PlatformError("no alive slot to start the pipeline on");
   PlanOptions opts;
   opts.slot_gops_scale = sim_.gops_scales();
+  opts.trace = cfg_.trace;
   plan_ = plan_distributed_inference(graph_, sim_.chassis(), sim_.fabric(), avail,
                                      std::min(preferred_stages_, avail.size() * 2),
                                      preferred_dtype_, opts);
@@ -498,6 +543,11 @@ ResilienceReport ResilienceController::run(double duration_s) {
   report_.final_plan = plan_valid_ ? plan_ : DistributedPlan{};
   report_.final_dtype = dtype_;
   report_.final_stages = plan_valid_ ? stages_ : 0;
+  if (cfg_.trace) {
+    run_span.attr("events", static_cast<double>(report_.events.size()));
+    run_span.attr("frames_completed", static_cast<double>(report_.frames_completed));
+    run_span.attr("frames_dropped", static_cast<double>(report_.frames_dropped));
+  }
   return report_;
 }
 

@@ -18,10 +18,12 @@
 #include <deque>
 #include <map>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "obs/trace.hpp"
 #include "platform/distributed.hpp"
 #include "platform/faults.hpp"
 #include "safety/robustness.hpp"
@@ -74,6 +76,13 @@ struct ResilienceConfig {
   double restart_latency_s = 50e-3;   ///< per moved stage (load + warmup)
 
   std::uint64_t seed = 0x5EEDu;       ///< backoff jitter determinism
+
+  /// Optional span sink: every structured event is mirrored as an instant
+  /// span (category "vedliot.platform.resilience"), replans emit planner
+  /// spans, and the whole run is wrapped in a "resilience.run" span. The
+  /// report's own event vector is unchanged, so determinism under a fixed
+  /// seed is unaffected. Must outlive the controller when set.
+  obs::Tracer* trace = nullptr;
 };
 
 struct ResilienceReport {
@@ -98,6 +107,10 @@ struct ResilienceReport {
   double mean_recovery_time_s() const;
   /// final vs healthy steady-state throughput (1.0 = fully recovered).
   double degraded_throughput_ratio() const;
+
+  /// Machine-readable summary (one JSON object, events included) for log
+  /// pipelines; round-trips through obs::json_parse.
+  std::string to_json() const;
 };
 
 /// Orchestrates one distributed pipeline over a PlatformSimulator.
@@ -118,6 +131,10 @@ class ResilienceController {
   /// simulator's fault schedule, detect, retry, fail over, degrade, and
   /// account per-frame progress. One-shot per controller.
   ResilienceReport run(double duration_s);
+
+  /// The structured event log recorded so far (valid during and after
+  /// run(); grows as the run progresses).
+  std::span<const ResilienceEvent> events() const { return report_.events; }
 
  private:
   struct PendingVerdict {

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "runtime/instrument.hpp"
+
 namespace vedliot {
 
 namespace {
@@ -212,9 +214,21 @@ Executor::Executor(const Graph& graph) : graph_(graph) {
   }
 }
 
+void Executor::instrument(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+}
+
 std::map<std::string, Tensor> Executor::run(const std::map<std::string, Tensor>& feeds) {
   values_.clear();
   nodes_executed_ = 0;
+
+  obs::ScopedSpan run_span;
+  if (tracer_ != nullptr) {
+    run_span = tracer_->span("session.run", "vedliot.runtime");
+    run_span.attr("graph", graph_.name());
+    run_span.attr("backend", "float-reference");
+  }
 
   for (NodeId id : graph_.topo_order()) {
     const Node& n = graph_.node(id);
@@ -231,21 +245,47 @@ std::map<std::string, Tensor> Executor::run(const std::map<std::string, Tensor>&
     std::vector<const Tensor*> ins;
     ins.reserve(n.inputs.size());
     for (NodeId in : n.inputs) ins.push_back(&values_.at(in));
-    if (profiling_) {
+
+    obs::ScopedSpan node_span;
+    if (tracer_ != nullptr) {
+      node_span = tracer_->span(n.name, std::string(op_name(n.kind)));
+    }
+    const bool timed = profiling_ || metrics_ != nullptr;
+    if (timed) {
       const auto t0 = std::chrono::steady_clock::now();
       values_[id] = execute_node(n, ins);
       const auto t1 = std::chrono::steady_clock::now();
-      auto& entry = profile_[n.kind];
-      ++entry.invocations;
-      entry.total_seconds += std::chrono::duration<double>(t1 - t0).count();
+      const double seconds = std::chrono::duration<double>(t1 - t0).count();
+      if (profiling_) {
+        auto& entry = profile_[n.kind];
+        ++entry.invocations;
+        entry.total_seconds += seconds;
+      }
+      if (metrics_ != nullptr) {
+        runtime_detail::op_histogram(*metrics_, n.kind).add(seconds * 1e6);
+      }
     } else {
       values_[id] = execute_node(n, ins);
+    }
+    if (tracer_ != nullptr) {
+      node_span.attr("out_elems", static_cast<double>(n.out_shape.numel()));
+      node_span.close();
     }
     ++nodes_executed_;
   }
 
   std::map<std::string, Tensor> outs;
   for (NodeId id : graph_.outputs()) outs[graph_.node(id).name] = values_.at(id);
+
+  if (metrics_ != nullptr) {
+    metrics_->counter(runtime_detail::kRunsCounter).inc();
+    metrics_->counter(runtime_detail::kNodesCounter).inc(nodes_executed_);
+  }
+  if (tracer_ != nullptr) {
+    run_span.attr("nodes_executed", static_cast<double>(nodes_executed_));
+    run_span.close();
+  }
+  if (!keep_activations_) values_.clear();
   return outs;
 }
 

@@ -11,6 +11,8 @@
 #include <string>
 
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/tensor.hpp"
 
 namespace vedliot {
@@ -29,10 +31,25 @@ class Executor {
 
   /// Run the graph on the given feeds (one tensor per Input node, keyed by
   /// node name). Returns the outputs of all graph output nodes by name.
+  ///
+  /// \deprecated New call sites should go through runtime::Session
+  /// (runtime/session.hpp), which adds tracing/metrics and run options.
   std::map<std::string, Tensor> run(const std::map<std::string, Tensor>& feeds);
 
   /// Convenience for single-input single-output graphs.
+  /// \deprecated Prefer runtime::Session::run_single.
   Tensor run_single(const Tensor& input);
+
+  /// Attach observability sinks (either may be null). When a tracer is set,
+  /// run() emits one root span plus one child span per executed (non-input)
+  /// node; when a registry is set, per-op-class latency histograms
+  /// (`vedliot.runtime.op.<Op>`, microseconds) and run/node counters are
+  /// recorded. The sinks must outlive the executor.
+  void instrument(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
+  /// When false, intermediate activations are released at the end of run()
+  /// (activation() then throws NotFound). Default true.
+  void set_keep_activations(bool keep) { keep_activations_ = keep; }
 
   /// After run(): number of nodes executed (profiling hook).
   std::size_t nodes_executed() const { return nodes_executed_; }
@@ -62,6 +79,9 @@ class Executor {
   std::size_t nodes_executed_ = 0;
   bool profiling_ = false;
   std::map<OpKind, OpProfile> profile_;
+  bool keep_activations_ = true;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace vedliot

@@ -1,0 +1,26 @@
+#pragma once
+/// \file instrument.hpp
+/// \brief Shared observability conventions of the runtime executors: both
+/// the float reference and the integer executor report through the same
+/// metric names so dashboards and tests can compare backends directly.
+
+#include <string>
+
+#include "graph/op.hpp"
+#include "obs/metrics.hpp"
+
+namespace vedliot::runtime_detail {
+
+/// Per-op-class node latency histogram, microseconds over [0, 10 ms).
+/// One sample is added per executed (non-input) node, so the sample counts
+/// across all op-class histograms sum to nodes_executed.
+inline obs::Histogram& op_histogram(obs::MetricsRegistry& registry, OpKind kind) {
+  return registry.histogram("vedliot.runtime.op." + std::string(op_name(kind)),
+                            /*lo=*/0.0, /*hi=*/1e4, /*buckets=*/50);
+}
+
+inline constexpr const char* kRunsCounter = "vedliot.runtime.runs";
+inline constexpr const char* kNodesCounter = "vedliot.runtime.nodes_executed";
+inline constexpr const char* kSaturationsGauge = "vedliot.runtime.saturations";
+
+}  // namespace vedliot::runtime_detail

@@ -1,10 +1,12 @@
 #include "runtime/qexecutor.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
 #include "runtime/executor.hpp"
+#include "runtime/instrument.hpp"
 #include "util/error.hpp"
 
 namespace vedliot {
@@ -103,11 +105,24 @@ std::int8_t QuantizedExecutor::requant(double acc_scaled) {
   return saturate_i8(acc_scaled, saturations_);
 }
 
+void QuantizedExecutor::instrument(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+}
+
 QTensor QuantizedExecutor::run_single(const Tensor& input) {
   const auto ins = graph_.inputs();
   VEDLIOT_CHECK(ins.size() == 1, "run_single requires exactly one graph input");
   const auto outs = graph_.outputs();
   VEDLIOT_CHECK(outs.size() == 1, "run_single requires exactly one graph output");
+  nodes_executed_ = 0;
+
+  obs::ScopedSpan run_span;
+  if (tracer_ != nullptr) {
+    run_span = tracer_->span("session.run", "vedliot.runtime");
+    run_span.attr("graph", graph_.name());
+    run_span.attr("backend", "int8");
+  }
 
   std::map<NodeId, QTensor> values;
   for (NodeId id : graph_.topo_order()) {
@@ -119,7 +134,36 @@ QTensor QuantizedExecutor::run_single(const Tensor& input) {
     }
     std::vector<const QTensor*> node_ins;
     for (NodeId in : n.inputs) node_ins.push_back(&values.at(in));
-    values[id] = execute_node(n, node_ins);
+
+    obs::ScopedSpan node_span;
+    if (tracer_ != nullptr) {
+      node_span = tracer_->span(n.name, std::string(op_name(n.kind)));
+    }
+    if (metrics_ != nullptr) {
+      const auto t0 = std::chrono::steady_clock::now();
+      values[id] = execute_node(n, node_ins);
+      const auto t1 = std::chrono::steady_clock::now();
+      runtime_detail::op_histogram(*metrics_, n.kind)
+          .add(std::chrono::duration<double>(t1 - t0).count() * 1e6);
+    } else {
+      values[id] = execute_node(n, node_ins);
+    }
+    if (tracer_ != nullptr) {
+      node_span.attr("out_elems", static_cast<double>(n.out_shape.numel()));
+      node_span.close();
+    }
+    ++nodes_executed_;
+  }
+
+  if (metrics_ != nullptr) {
+    metrics_->counter(runtime_detail::kRunsCounter).inc();
+    metrics_->counter(runtime_detail::kNodesCounter).inc(nodes_executed_);
+    metrics_->gauge(runtime_detail::kSaturationsGauge)
+        .set(static_cast<double>(saturations_));
+  }
+  if (tracer_ != nullptr) {
+    run_span.attr("nodes_executed", static_cast<double>(nodes_executed_));
+    run_span.close();
   }
   return values.at(outs.front());
 }

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/tensor.hpp"
 
 namespace vedliot {
@@ -43,10 +45,22 @@ class QuantizedExecutor {
 
   /// Run on a float input (quantized at the input node's calibrated scale);
   /// returns the quantized graph output.
+  ///
+  /// \deprecated New call sites should go through runtime::Session
+  /// (runtime/session.hpp), which unifies the float and integer backends.
   QTensor run_single(const Tensor& input);
 
   /// Convenience: run and dequantize.
+  /// \deprecated Prefer runtime::Session::run_single.
   Tensor run_single_dequant(const Tensor& input);
+
+  /// Attach observability sinks (either may be null); same span/metric
+  /// taxonomy as Executor::instrument, with backend "int8". The sinks must
+  /// outlive the executor.
+  void instrument(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
+  /// After run_single(): number of non-input nodes executed.
+  std::size_t nodes_executed() const { return nodes_executed_; }
 
   /// Accumulated int8 saturation events across all runs (requantization
   /// clamps) — a deployment health metric.
@@ -66,6 +80,9 @@ class QuantizedExecutor {
   std::map<NodeId, PreparedLayer> prepared_;
   std::map<NodeId, double> out_scale_;
   std::uint64_t saturations_ = 0;
+  std::size_t nodes_executed_ = 0;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace vedliot

@@ -1,0 +1,105 @@
+#include "runtime/session.hpp"
+
+#include "runtime/executor.hpp"
+#include "runtime/qexecutor.hpp"
+
+namespace vedliot::runtime {
+
+namespace {
+
+void check_batch(const std::map<std::string, Tensor>& feeds, std::int64_t max_batch) {
+  if (max_batch <= 0) return;
+  for (const auto& [name, t] : feeds) {
+    if (t.shape().rank() >= 1 && t.shape().dim(0) > max_batch) {
+      throw ExecError("feed '" + name + "' batch " + std::to_string(t.shape().dim(0)) +
+                      " exceeds session max_batch " + std::to_string(max_batch));
+    }
+  }
+}
+
+class FloatSession final : public Session {
+ public:
+  FloatSession(const Graph& graph, const RunOptions& options)
+      : graph_(graph), options_(options), exec_(graph) {
+    exec_.instrument(options_.trace, options_.metrics);
+    exec_.set_keep_activations(options_.keep_activations);
+  }
+
+  RunResult run(const std::map<std::string, Tensor>& feeds) override {
+    check_batch(feeds, options_.max_batch);
+    RunResult result;
+    result.outputs = exec_.run(feeds);
+    result.nodes_executed = exec_.nodes_executed();
+    return result;
+  }
+
+  const Graph& graph() const override { return graph_; }
+  std::string backend() const override { return "float-reference"; }
+
+ private:
+  const Graph& graph_;
+  RunOptions options_;
+  Executor exec_;
+};
+
+class QuantizedSession final : public Session {
+ public:
+  QuantizedSession(const Graph& graph, const RunOptions& options)
+      : graph_(graph), options_(options), exec_(graph) {
+    exec_.instrument(options_.trace, options_.metrics);
+  }
+
+  RunResult run(const std::map<std::string, Tensor>& feeds) override {
+    check_batch(feeds, options_.max_batch);
+    const auto inputs = graph_.inputs();
+    VEDLIOT_CHECK(inputs.size() == 1, "int8 session requires exactly one graph input");
+    const std::string& input_name = graph_.node(inputs.front()).name;
+    const auto it = feeds.find(input_name);
+    if (it == feeds.end()) throw ExecError("missing feed for input '" + input_name + "'");
+    if (feeds.size() != 1) {
+      throw ExecError("int8 session takes exactly one feed, got " +
+                      std::to_string(feeds.size()));
+    }
+
+    RunResult result;
+    const QTensor q = exec_.run_single(it->second);
+    result.outputs.emplace(graph_.node(graph_.outputs().front()).name, q.dequantize());
+    result.nodes_executed = exec_.nodes_executed();
+    result.saturations = exec_.saturations();
+    return result;
+  }
+
+  const Graph& graph() const override { return graph_; }
+  std::string backend() const override { return "int8"; }
+
+ private:
+  const Graph& graph_;
+  RunOptions options_;
+  QuantizedExecutor exec_;
+};
+
+}  // namespace
+
+const Tensor& RunResult::single() const {
+  VEDLIOT_CHECK(outputs.size() == 1, "RunResult::single requires exactly one output");
+  return outputs.begin()->second;
+}
+
+Tensor Session::run_single(const Tensor& input) {
+  const auto inputs = graph().inputs();
+  VEDLIOT_CHECK(inputs.size() == 1, "run_single requires exactly one graph input");
+  RunResult result = run({{graph().node(inputs.front()).name, input}});
+  VEDLIOT_CHECK(result.outputs.size() == 1, "run_single requires exactly one graph output");
+  return std::move(result.outputs.begin()->second);
+}
+
+std::unique_ptr<Session> make_session(const Graph& graph, const RunOptions& options) {
+  return std::make_unique<FloatSession>(graph, options);
+}
+
+std::unique_ptr<Session> make_quantized_session(const Graph& graph,
+                                                const RunOptions& options) {
+  return std::make_unique<QuantizedSession>(graph, options);
+}
+
+}  // namespace vedliot::runtime

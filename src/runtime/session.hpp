@@ -1,0 +1,89 @@
+#pragma once
+/// \file session.hpp
+/// \brief Unified run-session API over the runtime backends.
+///
+/// A Session is the one way application code runs inference: the float
+/// reference executor and the true-integer INT8 executor sit behind the
+/// same interface, and every run can be observed through the vedliot::obs
+/// tracing/metrics sinks passed in RunOptions. The legacy Executor /
+/// QuantizedExecutor entry points remain as thin deprecated shims for
+/// calibration-style introspection.
+///
+///   obs::Tracer tracer;
+///   obs::MetricsRegistry metrics;
+///   runtime::RunOptions opts;
+///   opts.trace = &tracer;
+///   opts.metrics = &metrics;
+///   auto session = runtime::make_session(graph, opts);
+///   Tensor y = session->run_single(x);
+///   obs::write_chrome_trace("trace.json", tracer.spans());
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "tensor/tensor.hpp"
+
+namespace vedliot::runtime {
+
+/// Per-session knobs; the sink pointers may be null and must outlive the
+/// session when set.
+struct RunOptions {
+  obs::Tracer* trace = nullptr;            ///< span sink for run/node spans
+  obs::MetricsRegistry* metrics = nullptr; ///< counter/histogram sink
+
+  /// Keep intermediate activations addressable after run() (float backend
+  /// only; needed for quantization calibration). Off by default: serving
+  /// sessions should not retain a full activation set per run.
+  bool keep_activations = false;
+
+  /// Reject feeds whose leading (batch) dimension exceeds this; 0 = no
+  /// limit. The admission check a serving deployment puts in front of the
+  /// interpreter.
+  std::int64_t max_batch = 0;
+};
+
+/// What one Session::run produced.
+struct RunResult {
+  std::map<std::string, Tensor> outputs;  ///< keyed by output node name
+  std::size_t nodes_executed = 0;
+  std::uint64_t saturations = 0;          ///< int8 backend only, cumulative
+
+  /// The single output; throws Error unless exactly one output exists.
+  const Tensor& single() const;
+};
+
+/// One deployed model instance, ready to serve. Implementations are not
+/// thread-safe; use one session per worker.
+class Session {
+ public:
+  virtual ~Session() = default;
+
+  /// Run the graph on the given feeds (one tensor per Input node, keyed by
+  /// node name).
+  virtual RunResult run(const std::map<std::string, Tensor>& feeds) = 0;
+
+  /// Convenience for single-input single-output graphs.
+  Tensor run_single(const Tensor& input);
+
+  virtual const Graph& graph() const = 0;
+
+  /// Backend identifier: "float-reference" or "int8".
+  virtual std::string backend() const = 0;
+};
+
+/// Float reference session (wraps Executor). The graph must outlive the
+/// session and have materialized weights.
+std::unique_ptr<Session> make_session(const Graph& graph, const RunOptions& options = {});
+
+/// True-integer INT8 session (wraps QuantizedExecutor). The graph must be
+/// deployment-ready: weights materialized, BatchNorm folded, activations
+/// calibrated. Throws Unsupported otherwise.
+std::unique_ptr<Session> make_quantized_session(const Graph& graph,
+                                                const RunOptions& options = {});
+
+}  // namespace vedliot::runtime

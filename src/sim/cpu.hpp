@@ -6,7 +6,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
+#include "obs/metrics.hpp"
 #include "security/pmp.hpp"
 #include "sim/bus.hpp"
 #include "sim/cfu.hpp"
@@ -65,6 +67,16 @@ class Cpu {
   std::uint64_t instructions_retired() const { return instret_; }
   std::uint64_t cycles() const { return cycles_; }
   std::uint64_t trap_count() const { return traps_; }
+
+  /// Publish the retirement/cycle/trap counters as gauges named
+  /// `<prefix>.{instret,cycles,traps}` (the perf-counter surface a board
+  /// agent would scrape).
+  void publish_metrics(obs::MetricsRegistry& registry,
+                       const std::string& prefix = "vedliot.sim.cpu") const {
+    registry.gauge(prefix + ".instret").set(static_cast<double>(instret_));
+    registry.gauge(prefix + ".cycles").set(static_cast<double>(cycles_));
+    registry.gauge(prefix + ".traps").set(static_cast<double>(traps_));
+  }
 
   /// Renode-style introspection hook, called before each instruction with
   /// (pc, raw instruction).

@@ -1,5 +1,7 @@
 // Tests for the true-integer INT8 executor: agreement with the float
-// reference, integer-domain invariants, and its preconditions.
+// reference (through the unified runtime::Session API), integer-domain
+// invariants (through the executor directly, which exposes QTensor), and
+// its preconditions.
 
 #include <gtest/gtest.h>
 
@@ -8,8 +10,8 @@
 #include "graph/zoo.hpp"
 #include "opt/fusion.hpp"
 #include "opt/quantize.hpp"
-#include "runtime/executor.hpp"
 #include "runtime/qexecutor.hpp"
+#include "runtime/session.hpp"
 #include "util/rng.hpp"
 
 namespace vedliot {
@@ -55,16 +57,18 @@ TEST(QTensor, QuantizeSaturates) {
 TEST(QuantizedExecutor, MatchesFloatOnMicroMlp) {
   const Shape in_shape{1, 16};
   Graph g = deploy_ready(zoo::micro_mlp("m", 1, 16, {24, 12}, 4), 11, in_shape, 32);
-  Executor fexec(g);
-  QuantizedExecutor qexec(g);
+  auto fsession = runtime::make_session(g);
+  auto qsession = runtime::make_quantized_session(g);
+  EXPECT_EQ(fsession->backend(), "float-reference");
+  EXPECT_EQ(qsession->backend(), "int8");
 
   Rng rng(99);
   int agree = 0;
   double worst = 0;
   for (int i = 0; i < 32; ++i) {
     Tensor x(in_shape, rng.normal_vector(16));
-    const Tensor fy = fexec.run_single(x);
-    const Tensor qy = qexec.run_single_dequant(x);
+    const Tensor fy = fsession->run_single(x);
+    const Tensor qy = qsession->run_single(x);
     worst = std::max(worst, static_cast<double>(max_abs_diff(fy, qy)));
     // argmax agreement
     std::size_t fa = 0, qa = 0;
@@ -82,15 +86,15 @@ TEST(QuantizedExecutor, MatchesFloatOnMicroMlp) {
 TEST(QuantizedExecutor, MatchesFloatOnMicroCnn) {
   const Shape in_shape{1, 1, 16, 16};
   Graph g = deploy_ready(zoo::micro_cnn("m", 1, 1, 16, 4), 21, in_shape);
-  Executor fexec(g);
-  QuantizedExecutor qexec(g);
+  auto fsession = runtime::make_session(g);
+  auto qsession = runtime::make_quantized_session(g);
 
   Rng rng(7);
   int agree = 0;
   for (int i = 0; i < 16; ++i) {
     Tensor x(in_shape, rng.normal_vector(256));
-    const Tensor fy = fexec.run_single(x);
-    const Tensor qy = qexec.run_single_dequant(x);
+    const Tensor fy = fsession->run_single(x);
+    const Tensor qy = qsession->run_single(x);
     std::size_t fa = 0, qa = 0;
     for (std::int64_t j = 1; j < fy.numel(); ++j) {
       if (fy.at(static_cast<std::size_t>(j)) > fy.at(fa)) fa = static_cast<std::size_t>(j);
@@ -183,11 +187,11 @@ TEST(QuantizedExecutor, DepthwiseConvSupported) {
   for (int i = 0; i < 4; ++i) samples.emplace_back(Shape{1, 2, 4, 4}, data_rng.normal_vector(32));
   opt::calibrate_activations(g, samples);
 
-  Executor fexec(g);
-  QuantizedExecutor qexec(g);
+  auto fsession = runtime::make_session(g);
+  auto qsession = runtime::make_quantized_session(g);
   Tensor x(Shape{1, 2, 4, 4}, data_rng.normal_vector(32));
-  const Tensor fy = fexec.run_single(x);
-  const Tensor qy = qexec.run_single_dequant(x);
+  const Tensor fy = fsession->run_single(x);
+  const Tensor qy = qsession->run_single(x);
   EXPECT_LT(rmse(fy, qy), 0.25);
   (void)c;
 }

@@ -9,6 +9,8 @@
 #include <set>
 
 #include "graph/zoo.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "platform/faults.hpp"
 #include "platform/resilience.hpp"
 
@@ -211,7 +213,7 @@ ResilienceConfig scenario_config() {
   return cfg;
 }
 
-ResilienceReport run_crash_scenario(std::uint64_t sim_seed) {
+ResilienceReport run_crash_scenario(std::uint64_t sim_seed, obs::Tracer* tracer = nullptr) {
   TestRig s = recs_box_with_modules(3);
   PlatformSimulator::Config pc;
   pc.transient_transfer_prob = 0.05;
@@ -220,7 +222,9 @@ ResilienceReport run_crash_scenario(std::uint64_t sim_seed) {
   sim.schedule(crash(0.205, "come1"));  // mid-run, between heartbeats
 
   Graph g = zoo::resnet50();
-  ResilienceController ctl(g, sim, s.slots, 3, DType::kINT8, scenario_config());
+  ResilienceConfig cfg = scenario_config();
+  cfg.trace = tracer;
+  ResilienceController ctl(g, sim, s.slots, 3, DType::kINT8, cfg);
   return ctl.run(1.0);
 }
 
@@ -361,6 +365,89 @@ TEST(Resilience, UnrecoverableWhenAllSlotsDieThenHealsOnRestart) {
   EXPECT_TRUE(r.pipeline_alive);
   ASSERT_FALSE(r.final_plan.stages.empty());
   for (const auto& st : r.final_plan.stages) EXPECT_EQ(st.slot, "come0");
+}
+
+TEST(Resilience, TracerMirrorsEventLogWithoutChangingIt) {
+  // Routing the event log through vedliot::obs must be a pure mirror: the
+  // structured report is bit-identical with and without a tracer attached,
+  // and every event appears as one instant span in log order.
+  const ResilienceReport plain = run_crash_scenario(99);
+  obs::Tracer tracer;
+  const ResilienceReport traced = run_crash_scenario(99, &tracer);
+
+  ASSERT_EQ(plain.events.size(), traced.events.size());
+  for (std::size_t i = 0; i < plain.events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plain.events[i].time_s, traced.events[i].time_s);
+    EXPECT_EQ(plain.events[i].kind, traced.events[i].kind);
+    EXPECT_EQ(plain.events[i].subject, traced.events[i].subject);
+    EXPECT_EQ(plain.events[i].detail, traced.events[i].detail);
+    EXPECT_DOUBLE_EQ(plain.events[i].value, traced.events[i].value);
+  }
+  EXPECT_EQ(plain.frames_completed, traced.frames_completed);
+  EXPECT_EQ(plain.transfer_retries, traced.transfer_retries);
+
+  // Every logged event has exactly one instant span in the resilience
+  // category, in log order, carrying the event fields as attributes.
+  std::vector<const obs::Span*> instants;
+  for (const obs::Span& sp : tracer.spans()) {
+    if (sp.category == "vedliot.platform.resilience" && sp.name != "resilience.run") {
+      instants.push_back(&sp);
+    }
+  }
+  ASSERT_EQ(instants.size(), traced.events.size());
+  for (std::size_t i = 0; i < instants.size(); ++i) {
+    const ResilienceEvent& e = traced.events[i];
+    EXPECT_EQ(instants[i]->name, resilience_event_name(e.kind));
+    ASSERT_FALSE(instants[i]->attrs.empty());
+    EXPECT_EQ(instants[i]->attrs.front().first, "subject");
+    EXPECT_EQ(instants[i]->attrs.front().second, e.subject);
+    ASSERT_GE(instants[i]->num_attrs.size(), 2u);
+    EXPECT_DOUBLE_EQ(instants[i]->num_attrs[0].second, e.time_s);
+    EXPECT_DOUBLE_EQ(instants[i]->num_attrs[1].second, e.value);
+  }
+
+  // The whole run sits under one closed "resilience.run" span, and the
+  // replans show up as planner spans.
+  ASSERT_FALSE(tracer.spans().empty());
+  EXPECT_EQ(tracer.spans().front().name, "resilience.run");
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  EXPECT_TRUE(std::any_of(tracer.spans().begin(), tracer.spans().end(), [](const obs::Span& sp) {
+    return sp.name == "plan_distributed_inference";
+  }));
+}
+
+TEST(Resilience, EventsAccessorAndJsonRoundTrip) {
+  TestRig s = recs_box_with_modules(2);
+  PlatformSimulator sim(s.chassis, s.fabric);
+  sim.schedule(crash(0.105, "come1"));
+  Graph g = zoo::resnet50();
+  ResilienceController ctl(g, sim, s.slots, 2, DType::kINT8, scenario_config());
+  const ResilienceReport r = ctl.run(0.5);
+
+  // The typed accessor exposes the same log the report carries.
+  const std::span<const ResilienceEvent> view = ctl.events();
+  ASSERT_EQ(view.size(), r.events.size());
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    EXPECT_EQ(view[i].kind, r.events[i].kind);
+    EXPECT_EQ(view[i].subject, r.events[i].subject);
+  }
+
+  // to_json() round-trips through the obs JSON parser with every event.
+  const obs::JsonValue doc = obs::json_parse(r.to_json());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("record").as_string(), "resilience-report");
+  EXPECT_EQ(doc.at("pipeline_alive").boolean, r.pipeline_alive);
+  EXPECT_DOUBLE_EQ(doc.at("frames_completed").as_number(),
+                   static_cast<double>(r.frames_completed));
+  const obs::JsonValue& events = doc.at("events");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.array.size(), r.events.size());
+  for (std::size_t i = 0; i < r.events.size(); ++i) {
+    EXPECT_EQ(events.array[i].at("kind").as_string(),
+              resilience_event_name(r.events[i].kind));
+    EXPECT_EQ(events.array[i].at("subject").as_string(), r.events[i].subject);
+    EXPECT_DOUBLE_EQ(events.array[i].at("time_s").as_number(), r.events[i].time_s);
+  }
 }
 
 TEST(Resilience, EventLogFormatsHumanReadably) {
