@@ -1,7 +1,11 @@
-// T-EXEC — toolchain substrate: the reference executor and the
+// T-EXEC — toolchain substrate: the execution engine (thread-pool
+// parallelism, im2col/GEMM convolution, activation arena) and the
 // liveness-based memory planner (the "memory hierarchy study" of
 // Sec. II-B applied to activation buffers).
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -13,8 +17,108 @@
 #include "runtime/session.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace vedliot;
+
+namespace {
+
+/// One configuration of the ResNet-50 execution-engine sweep.
+struct SweepPoint {
+  std::int64_t batch = 1;
+  unsigned threads = 1;
+  bool gemm = true;
+  double seconds = 0;   ///< median wall-clock of the timed runs
+  double speedup = 1;   ///< vs the serial seed path (direct conv, 1 thread)
+};
+
+double median_run_seconds(runtime::Session& session, const std::string& feed,
+                          const Tensor& x, int repeats) {
+  (void)session.run({{feed, x}});  // warm-up: arena + scratch allocation
+  std::vector<double> times;
+  for (int i = 0; i < repeats; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)session.run({{feed, x}});
+    const auto t1 = std::chrono::steady_clock::now();
+    times.push_back(std::chrono::duration<double>(t1 - t0).count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// ResNet-50 engine sweep (batch x threads x conv algorithm). Writes the
+/// machine-readable baseline to $VEDLIOT_BENCH_RUNTIME_JSON when set — the
+/// file checked in as BENCH_runtime.json.
+void engine_sweep() {
+  constexpr std::int64_t kImage = 64;  // full 224 is impractical for the direct baseline
+  constexpr int kRepeats = 3;
+
+  std::printf("\nExecution engine: ResNet-50 (image %lld), direct-serial seed vs GEMM+threads:\n\n",
+              static_cast<long long>(kImage));
+  Table t({"batch", "conv", "threads", "median run", "speedup vs seed"});
+
+  std::vector<SweepPoint> points;
+  for (std::int64_t batch : {std::int64_t{1}, std::int64_t{8}}) {
+    Graph g = zoo::resnet50(batch, 10, kImage);
+    Rng rng(7);
+    g.materialize_weights(rng);
+    const std::string feed = g.node(g.inputs().front()).name;
+    Rng data_rng(8);
+    Tensor x(Shape{batch, 3, kImage, kImage},
+             data_rng.normal_vector(static_cast<std::size_t>(batch * 3 * kImage * kImage)));
+
+    // Seed baseline: the pre-engine executor semantics (direct conv, serial).
+    SweepPoint base{batch, 1, false};
+    {
+      auto s = runtime::make_session(g, {.threads = 1, .use_gemm_conv = false});
+      base.seconds = median_run_seconds(*s, feed, x, kRepeats);
+    }
+    points.push_back(base);
+    t.add_row({std::to_string(batch), "direct", "1", fmt_fixed(base.seconds * 1e3, 1) + " ms",
+               fmt_ratio(1.0)});
+
+    for (unsigned threads : {1u, 2u, 4u}) {
+      SweepPoint p{batch, threads, true};
+      auto s = runtime::make_session(g, {.threads = threads, .use_gemm_conv = true});
+      p.seconds = median_run_seconds(*s, feed, x, kRepeats);
+      p.speedup = base.seconds / p.seconds;
+      points.push_back(p);
+      t.add_row({std::to_string(batch), "gemm", std::to_string(threads),
+                 fmt_fixed(p.seconds * 1e3, 1) + " ms", fmt_ratio(p.speedup)});
+    }
+  }
+  t.print(std::cout);
+  bench::note("speedups on a single-core host come from the GEMM restructuring;");
+  bench::note("thread scaling needs hardware_concurrency > 1 (recorded in the JSON).");
+
+  if (const char* path = std::getenv("VEDLIOT_BENCH_RUNTIME_JSON")) {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::printf("cannot write %s\n", path);
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"bench_runtime\",\n  \"model\": \"resnet50\",\n");
+    std::fprintf(f, "  \"image\": %lld,\n  \"repeats\": %d,\n", static_cast<long long>(kImage),
+                 kRepeats);
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n", util::ThreadPool::hardware_threads());
+    std::fprintf(f, "  \"baseline\": \"direct conv, threads=1 (seed executor semantics)\",\n");
+    std::fprintf(f, "  \"points\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const SweepPoint& p = points[i];
+      std::fprintf(f,
+                   "    {\"batch\": %lld, \"conv\": \"%s\", \"threads\": %u, "
+                   "\"median_seconds\": %s, \"speedup_vs_seed\": %s}%s\n",
+                   static_cast<long long>(p.batch), p.gemm ? "gemm" : "direct", p.threads,
+                   obs::json_number(p.seconds).c_str(), obs::json_number(p.speedup).c_str(),
+                   i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+  }
+}
+
+}  // namespace
 
 void print_artifact() {
   bench::banner("T-EXEC", "memory planner: arena reuse vs naive allocation");
@@ -90,6 +194,8 @@ void print_artifact() {
   }
   std::printf("top-1 agreement %d/32, mean softmax RMSE %.4f, int8 saturations %llu\n", agree,
               total_rmse / 32.0, static_cast<unsigned long long>(saturations));
+
+  engine_sweep();
 }
 
 static void BM_PlanMemoryMobileNet(benchmark::State& state) {

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_runtime.json — the checked-in execution-engine baseline
+# (ResNet-50 sweep over batch {1,8} x threads {1,2,4} x {direct,gemm} conv).
+#
+# Usage: scripts/bench_runtime.sh [build-dir]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" --target bench_runtime -j"$(nproc)"
+
+# The sweep runs inside the artifact pass; skip the google-benchmark
+# microbenchmarks (they are not part of the checked-in baseline).
+VEDLIOT_BENCH_RUNTIME_JSON="$REPO_ROOT/BENCH_runtime.json" \
+  "$BUILD_DIR/bench/bench_runtime" --benchmark_filter='^$'
+
+echo "baseline written to $REPO_ROOT/BENCH_runtime.json"

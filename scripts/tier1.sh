@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + complete test suite from a clean tree,
-# then an AddressSanitizer+UBSan build of the resilience-critical tests.
+# then an AddressSanitizer+UBSan build of the resilience-critical tests
+# (including the runtime tests, which exercise activation-arena aliasing),
+# then a ThreadSanitizer build of the parallel execution-engine tests.
 #
 # Usage: scripts/tier1.sh [-jN]
 
@@ -15,11 +17,18 @@ cmake --build build "${JOBS}" > /dev/null
 ctest --test-dir build --output-on-failure "${JOBS}"
 
 echo
-echo "== tier-1: ASan+UBSan on the resilience/platform/observability tests =="
+echo "== tier-1: ASan+UBSan on the resilience/platform/observability/runtime tests =="
 cmake -B build-asan -S . -DVEDLIOT_SANITIZE=ON > /dev/null
-cmake --build build-asan "${JOBS}" --target test_resilience test_platform test_distributed test_util test_obs > /dev/null
+cmake --build build-asan "${JOBS}" --target test_resilience test_platform test_distributed test_util test_obs test_runtime test_qruntime > /dev/null
 ctest --test-dir build-asan --output-on-failure "${JOBS}" \
-  -R 'test_resilience|test_platform|test_distributed|test_util|test_obs'
+  -R 'test_resilience|test_platform|test_distributed|test_util|test_obs|test_runtime|test_qruntime'
+
+echo
+echo "== tier-1: TSan on the parallel execution-engine tests =="
+cmake -B build-tsan -S . -DVEDLIOT_TSAN=ON > /dev/null
+cmake --build build-tsan "${JOBS}" --target test_util test_runtime test_qruntime > /dev/null
+ctest --test-dir build-tsan --output-on-failure "${JOBS}" \
+  -R 'test_util|test_runtime|test_qruntime'
 
 echo
 echo "tier-1 OK"

@@ -27,15 +27,16 @@ PassResult FuseBatchNormPass::run(Graph& g) {
       const auto& mean = bn.weights[2];
       const auto& var = bn.weights[3];
       const double eps = bn.attrs.get_float_or("epsilon", 1e-5);
-      Tensor& w = prod.weights[0];
-      const auto oc = w.shape().dim(0);
-      const auto per = static_cast<std::size_t>(w.numel() / oc);
+      const auto oc = prod.weights[0].shape().dim(0);
+      const auto per = static_cast<std::size_t>(prod.weights[0].numel() / oc);
 
-      // Ensure a bias tensor exists to absorb the shift.
+      // Ensure a bias tensor exists to absorb the shift. Take the weight
+      // reference only afterwards: emplace_back may reallocate the vector.
       if (prod.weights.size() == 1) {
         prod.weights.emplace_back(Shape{oc});
         prod.attrs.set_int("bias", 1);
       }
+      Tensor& w = prod.weights[0];
       Tensor& b = prod.weights[1];
 
       for (std::int64_t c = 0; c < oc; ++c) {

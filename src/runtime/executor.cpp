@@ -6,27 +6,14 @@
 #include <limits>
 
 #include "runtime/instrument.hpp"
+#include "runtime/memory_planner.hpp"
 
 namespace vedliot {
 
-namespace {
+using runtime_kernels::apply_activation;
+using runtime_kernels::Conv2dGeometry;
 
-float apply_act(float x, OpKind kind, double alpha) {
-  switch (kind) {
-    case OpKind::kRelu: return x > 0.0f ? x : 0.0f;
-    case OpKind::kRelu6: return std::clamp(x, 0.0f, 6.0f);
-    case OpKind::kLeakyRelu: return x > 0.0f ? x : static_cast<float>(alpha) * x;
-    case OpKind::kSigmoid: return 1.0f / (1.0f + std::exp(-x));
-    case OpKind::kHSigmoid: return std::clamp(x / 6.0f + 0.5f, 0.0f, 1.0f);
-    case OpKind::kHSwish: return x * std::clamp(x / 6.0f + 0.5f, 0.0f, 1.0f);
-    case OpKind::kTanh: return std::tanh(x);
-    case OpKind::kMish: {
-      const float sp = std::log1p(std::exp(x));  // softplus
-      return x * std::tanh(sp);
-    }
-    default: return x;
-  }
-}
+namespace {
 
 OpKind fused_act_kind(const Node& n) {
   const std::string name = n.attrs.get_str_or("fused_act", "");
@@ -34,176 +21,21 @@ OpKind fused_act_kind(const Node& n) {
   return parse_op(name);
 }
 
-Tensor conv2d(const Node& n, const Tensor& in, const Tensor& w, const Tensor* bias,
-              const Shape& out_shape) {
-  const auto stride = n.attrs.get_int_or("stride", 1);
-  const auto pad = n.attrs.get_int_or("pad", 0);
-  const auto groups = n.attrs.get_int_or("groups", 1);
-  const auto k = n.attrs.get_int("kernel");
-
-  Tensor out(out_shape);
-  const auto N = out_shape.n(), OC = out_shape.c(), OH = out_shape.h(), OW = out_shape.w();
-  const auto IC = in.shape().c(), IH = in.shape().h(), IW = in.shape().w();
-  const auto icg = IC / groups;   // input channels per group
-  const auto ocg = OC / groups;   // output channels per group
-
-  for (std::int64_t b = 0; b < N; ++b) {
-    for (std::int64_t oc = 0; oc < OC; ++oc) {
-      const auto g = oc / ocg;
-      for (std::int64_t oh = 0; oh < OH; ++oh) {
-        for (std::int64_t ow = 0; ow < OW; ++ow) {
-          double acc = bias ? bias->at(static_cast<std::size_t>(oc)) : 0.0;
-          for (std::int64_t ic = 0; ic < icg; ++ic) {
-            const auto in_c = g * icg + ic;
-            for (std::int64_t kh = 0; kh < k; ++kh) {
-              const auto ih = oh * stride - pad + kh;
-              if (ih < 0 || ih >= IH) continue;
-              for (std::int64_t kw = 0; kw < k; ++kw) {
-                const auto iw = ow * stride - pad + kw;
-                if (iw < 0 || iw >= IW) continue;
-                acc += static_cast<double>(in.at4(b, in_c, ih, iw)) *
-                       static_cast<double>(w.at4(oc, ic, kh, kw));
-              }
-            }
-          }
-          out.at4(b, oc, oh, ow) = static_cast<float>(acc);
-        }
-      }
-    }
-  }
-  return out;
-}
-
-Tensor dense(const Tensor& in, const Tensor& w, const Tensor* bias, const Shape& out_shape) {
-  Tensor out(out_shape);
-  const auto N = in.shape().dim(0);
-  const auto F = in.shape().dim(1);
-  const auto U = out_shape.dim(1);
-  for (std::int64_t b = 0; b < N; ++b) {
-    for (std::int64_t u = 0; u < U; ++u) {
-      double acc = bias ? bias->at(static_cast<std::size_t>(u)) : 0.0;
-      for (std::int64_t f = 0; f < F; ++f) {
-        acc += static_cast<double>(in.at(static_cast<std::size_t>(b * F + f))) *
-               static_cast<double>(w.at(static_cast<std::size_t>(u * F + f)));
-      }
-      out.at(static_cast<std::size_t>(b * U + u)) = static_cast<float>(acc);
-    }
-  }
-  return out;
-}
-
-Tensor batchnorm(const Node& n, const Tensor& in) {
-  if (n.weights.size() != 4) throw ExecError("BatchNorm " + n.name + " needs 4 weight tensors");
-  const auto& gamma = n.weights[0];
-  const auto& beta = n.weights[1];
-  const auto& mean = n.weights[2];
-  const auto& var = n.weights[3];
-  const double eps = n.attrs.get_float_or("epsilon", 1e-5);
-
-  Tensor out(in.shape());
-  const auto& s = in.shape();
-  const std::int64_t C = s.rank() == 4 ? s.c() : s.dim(1);
-  const std::int64_t spatial = s.rank() == 4 ? s.h() * s.w() : 1;
-  const std::int64_t N = s.dim(0);
-  for (std::int64_t b = 0; b < N; ++b) {
-    for (std::int64_t c = 0; c < C; ++c) {
-      const auto ci = static_cast<std::size_t>(c);
-      const float scale = static_cast<float>(gamma.at(ci) / std::sqrt(var.at(ci) + eps));
-      const float shift = static_cast<float>(beta.at(ci) - mean.at(ci) * scale);
-      for (std::int64_t i = 0; i < spatial; ++i) {
-        const auto idx = static_cast<std::size_t>((b * C + c) * spatial + i);
-        out.at(idx) = in.at(idx) * scale + shift;
-      }
-    }
-  }
-  return out;
-}
-
-Tensor elementwise(const Node& n, const Tensor& a, const Tensor& b, const Shape& out_shape) {
-  const bool mul = n.kind == OpKind::kMul;
-  Tensor out(out_shape);
-  if (a.shape() == b.shape()) {
-    for (std::int64_t i = 0; i < out.numel(); ++i) {
-      const auto idx = static_cast<std::size_t>(i);
-      out.at(idx) = mul ? a.at(idx) * b.at(idx) : a.at(idx) + b.at(idx);
-    }
-    return out;
-  }
-  // channelwise broadcast: one side is [N,C,1,1]
-  const Tensor& big = a.numel() >= b.numel() ? a : b;
-  const Tensor& vec = a.numel() >= b.numel() ? b : a;
-  const auto& s = big.shape();
-  for (std::int64_t bn = 0; bn < s.n(); ++bn) {
-    for (std::int64_t c = 0; c < s.c(); ++c) {
-      const float v = vec.at4(bn, c, 0, 0);
-      for (std::int64_t h = 0; h < s.h(); ++h) {
-        for (std::int64_t w = 0; w < s.w(); ++w) {
-          const float x = big.at4(bn, c, h, w);
-          out.at4(bn, c, h, w) = mul ? x * v : x + v;
-        }
-      }
-    }
-  }
-  return out;
-}
-
-Tensor pool(const Node& n, const Tensor& in, const Shape& out_shape) {
-  const bool is_max = n.kind == OpKind::kMaxPool;
-  const auto k = n.attrs.get_int("kernel");
-  const auto stride = n.attrs.get_int_or("stride", k);
-  const auto pad = n.attrs.get_int_or("pad", 0);
-  Tensor out(out_shape);
-  const auto& s = in.shape();
-  for (std::int64_t b = 0; b < out_shape.n(); ++b) {
-    for (std::int64_t c = 0; c < out_shape.c(); ++c) {
-      for (std::int64_t oh = 0; oh < out_shape.h(); ++oh) {
-        for (std::int64_t ow = 0; ow < out_shape.w(); ++ow) {
-          double acc = is_max ? -std::numeric_limits<double>::infinity() : 0.0;
-          std::int64_t count = 0;
-          for (std::int64_t kh = 0; kh < k; ++kh) {
-            const auto ih = oh * stride - pad + kh;
-            if (ih < 0 || ih >= s.h()) continue;
-            for (std::int64_t kw = 0; kw < k; ++kw) {
-              const auto iw = ow * stride - pad + kw;
-              if (iw < 0 || iw >= s.w()) continue;
-              const double v = in.at4(b, c, ih, iw);
-              if (is_max) {
-                acc = std::max(acc, v);
-              } else {
-                acc += v;
-              }
-              ++count;
-            }
-          }
-          out.at4(b, c, oh, ow) =
-              static_cast<float>(is_max ? acc : (count > 0 ? acc / static_cast<double>(count) : 0.0));
-        }
-      }
-    }
-  }
-  return out;
-}
-
-Tensor softmax(const Tensor& in) {
-  Tensor out(in.shape());
-  const auto& s = in.shape();
-  const std::int64_t N = s.dim(0);
-  const std::int64_t F = in.numel() / N;
-  for (std::int64_t b = 0; b < N; ++b) {
-    float mx = -std::numeric_limits<float>::infinity();
-    for (std::int64_t f = 0; f < F; ++f) mx = std::max(mx, in.at(static_cast<std::size_t>(b * F + f)));
-    double sum = 0.0;
-    for (std::int64_t f = 0; f < F; ++f) {
-      const double e = std::exp(static_cast<double>(in.at(static_cast<std::size_t>(b * F + f)) - mx));
-      out.at(static_cast<std::size_t>(b * F + f)) = static_cast<float>(e);
-      sum += e;
-    }
-    for (std::int64_t f = 0; f < F; ++f) {
-      auto& v = out.at(static_cast<std::size_t>(b * F + f));
-      v = static_cast<float>(v / sum);
-    }
-  }
-  return out;
+Conv2dGeometry conv_geometry(const Graph& g, const Node& n) {
+  Conv2dGeometry geo;
+  const Shape& in = g.node(n.inputs.at(0)).out_shape;
+  geo.batch = n.out_shape.n();
+  geo.in_c = in.c();
+  geo.in_h = in.h();
+  geo.in_w = in.w();
+  geo.out_c = n.out_shape.c();
+  geo.out_h = n.out_shape.h();
+  geo.out_w = n.out_shape.w();
+  geo.kernel = n.attrs.get_int("kernel");
+  geo.stride = n.attrs.get_int_or("stride", 1);
+  geo.pad = n.attrs.get_int_or("pad", 0);
+  geo.groups = n.attrs.get_int_or("groups", 1);
+  return geo;
 }
 
 }  // namespace
@@ -212,6 +44,26 @@ Executor::Executor(const Graph& graph) : graph_(graph) {
   if (!graph_.weights_materialized()) {
     throw ExecError("graph " + graph.name() + " has unmaterialized weights; call materialize_weights()");
   }
+  // Resolve every per-node constant once: fused activation kind (string attr
+  // -> OpKind), alphas, BN epsilon, pool/upsample geometry, conv geometry.
+  plans_.resize(graph_.total_nodes());
+  for (NodeId id : graph_.topo_order()) {
+    const Node& n = graph_.node(id);
+    NodePlan& plan = plans_[static_cast<std::size_t>(id)];
+    plan.alpha = n.attrs.get_float_or("alpha", 0.01);
+    plan.bn_eps = n.attrs.get_float_or("epsilon", 1e-5);
+    if (n.kind == OpKind::kConv2d || n.kind == OpKind::kDense) {
+      plan.fused_act = fused_act_kind(n);
+      plan.fused_alpha = n.attrs.get_float_or("fused_alpha", 0.01);
+    }
+    if (n.kind == OpKind::kConv2d) plan.conv = conv_geometry(graph_, n);
+    if (n.kind == OpKind::kMaxPool || n.kind == OpKind::kAvgPool) {
+      plan.pool_kernel = n.attrs.get_int("kernel");
+      plan.pool_stride = n.attrs.get_int_or("stride", plan.pool_kernel);
+      plan.pool_pad = n.attrs.get_int_or("pad", 0);
+    }
+    if (n.kind == OpKind::kUpsample) plan.upsample_scale = n.attrs.get_int("scale");
+  }
 }
 
 void Executor::instrument(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
@@ -219,15 +71,64 @@ void Executor::instrument(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
   metrics_ = metrics;
 }
 
+void Executor::set_threads(unsigned threads) {
+  if (threads == 0) threads = util::ThreadPool::hardware_threads();
+  if (threads == threads_) return;
+  threads_ = threads;
+  pool_ = threads_ > 1 ? std::make_unique<util::ThreadPool>(threads_) : nullptr;
+}
+
+void Executor::pfor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const util::ThreadPool::ChunkFn& fn) {
+  if (pool_ == nullptr) {
+    if (end > begin) fn(begin, end, 0);
+    return;
+  }
+  const std::size_t chunks = pool_->parallel_for(begin, end, grain, fn);
+  if (metrics_ != nullptr && chunks > 0) {
+    runtime_detail::pool_utilization_histogram(*metrics_)
+        .add(static_cast<double>(chunks) / static_cast<double>(threads_));
+  }
+}
+
+void Executor::prepare_arena() {
+  if (!arena_offset_.empty()) return;
+  const auto order = graph_.topo_order();
+  const MemoryPlan plan = plan_memory_with_order(graph_, order, DType::kFP32);
+  arena_.assign(static_cast<std::size_t>(plan.arena_bytes / 4), 0.0f);
+  for (const BufferPlan& b : plan.buffers) {
+    arena_offset_[b.node] = static_cast<std::size_t>(b.offset / 4);
+  }
+  arena_stats_.arena_bytes = plan.arena_bytes;
+  arena_stats_.naive_bytes = plan.naive_bytes;
+}
+
+Tensor Executor::alloc_output(const Node& n) {
+  if (arena_stats_.active) {
+    const auto it = arena_offset_.find(n.id);
+    if (it != arena_offset_.end()) {
+      return Tensor::view(n.out_shape,
+                          std::span<float>(arena_.data() + it->second,
+                                           static_cast<std::size_t>(n.out_shape.numel())));
+    }
+  }
+  return Tensor(n.out_shape);
+}
+
 std::map<std::string, Tensor> Executor::run(const std::map<std::string, Tensor>& feeds) {
   values_.clear();
   nodes_executed_ = 0;
+  gemm_flops_ = 0;
+  gemm_seconds_ = 0;
+  arena_stats_.active = use_arena_ && !keep_activations_;
+  if (arena_stats_.active) prepare_arena();
 
   obs::ScopedSpan run_span;
   if (tracer_ != nullptr) {
     run_span = tracer_->span("session.run", "vedliot.runtime");
     run_span.attr("graph", graph_.name());
     run_span.attr("backend", "float-reference");
+    run_span.attr("threads", static_cast<double>(threads_));
   }
 
   for (NodeId id : graph_.topo_order()) {
@@ -250,10 +151,12 @@ std::map<std::string, Tensor> Executor::run(const std::map<std::string, Tensor>&
     if (tracer_ != nullptr) {
       node_span = tracer_->span(n.name, std::string(op_name(n.kind)));
     }
+    const NodePlan& plan = plans_[static_cast<std::size_t>(id)];
+    Tensor out = alloc_output(n);
     const bool timed = profiling_ || metrics_ != nullptr;
     if (timed) {
       const auto t0 = std::chrono::steady_clock::now();
-      values_[id] = execute_node(n, ins);
+      execute_node(n, plan, ins, out);
       const auto t1 = std::chrono::steady_clock::now();
       const double seconds = std::chrono::duration<double>(t1 - t0).count();
       if (profiling_) {
@@ -265,8 +168,9 @@ std::map<std::string, Tensor> Executor::run(const std::map<std::string, Tensor>&
         runtime_detail::op_histogram(*metrics_, n.kind).add(seconds * 1e6);
       }
     } else {
-      values_[id] = execute_node(n, ins);
+      execute_node(n, plan, ins, out);
     }
+    values_[id] = std::move(out);
     if (tracer_ != nullptr) {
       node_span.attr("out_elems", static_cast<double>(n.out_shape.numel()));
       node_span.close();
@@ -275,11 +179,24 @@ std::map<std::string, Tensor> Executor::run(const std::map<std::string, Tensor>&
   }
 
   std::map<std::string, Tensor> outs;
-  for (NodeId id : graph_.outputs()) outs[graph_.node(id).name] = values_.at(id);
+  for (NodeId id : graph_.outputs()) {
+    const Tensor& t = values_.at(id);
+    outs[graph_.node(id).name] = t.is_view() ? t.clone() : t;
+  }
 
   if (metrics_ != nullptr) {
     metrics_->counter(runtime_detail::kRunsCounter).inc();
     metrics_->counter(runtime_detail::kNodesCounter).inc(nodes_executed_);
+    metrics_->gauge(runtime_detail::kThreadsGauge).set(static_cast<double>(threads_));
+    if (gemm_seconds_ > 0) {
+      metrics_->gauge(runtime_detail::kGemmGflopsGauge).set(gemm_flops_ / gemm_seconds_ / 1e9);
+    }
+    if (arena_stats_.active) {
+      metrics_->gauge(runtime_detail::kArenaBytesGauge)
+          .set(static_cast<double>(arena_stats_.arena_bytes));
+      metrics_->gauge(runtime_detail::kArenaSavedGauge)
+          .set(static_cast<double>(arena_stats_.naive_bytes - arena_stats_.arena_bytes));
+    }
   }
   if (tracer_ != nullptr) {
     run_span.attr("nodes_executed", static_cast<double>(nodes_executed_));
@@ -313,24 +230,161 @@ const Tensor& Executor::activation(const std::string& node_name) const {
   throw NotFound("no recorded activation for node " + node_name);
 }
 
-Tensor Executor::execute_node(const Node& n, const std::vector<const Tensor*>& ins) const {
-  Tensor out;
+void Executor::conv2d_gemm(const Node& n, const NodePlan& plan, const Tensor& in, Tensor& out) {
+  const Conv2dGeometry& geo = plan.conv;
+  const float* x = in.data().data();
+  const float* w = n.weights[0].data().data();
+  const float* bias = n.weights.size() > 1 ? n.weights[1].data().data() : nullptr;
+  float* y = out.data().data();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  if (geo.depthwise()) {
+    for (std::int64_t b = 0; b < geo.batch; ++b) {
+      pfor(0, geo.out_c, 1, [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+        runtime_kernels::depthwise_f32(x, w, bias, y, geo, b, lo, hi, plan.fused_act,
+                                       plan.fused_alpha);
+      });
+    }
+  } else {
+    const std::int64_t patch = geo.patch();
+    const std::int64_t cols = geo.cols();
+    const std::size_t need = static_cast<std::size_t>(patch * cols);
+    if (scratch_.size() < need) scratch_.resize(need);
+    float* col = scratch_.data();
+    for (std::int64_t b = 0; b < geo.batch; ++b) {
+      for (std::int64_t g = 0; g < geo.groups; ++g) {
+        pfor(0, patch, 4, [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+          runtime_kernels::im2col_f32(x, geo, b, g, lo, hi, col);
+        });
+        const float* a = w + g * geo.ocg() * patch;
+        const float* gbias = bias != nullptr ? bias + g * geo.ocg() : nullptr;
+        float* c = y + ((b * geo.out_c + g * geo.ocg()) * cols);
+        pfor(0, geo.ocg(), 1, [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+          runtime_kernels::gemm_rows_f32(a, col, c, lo, hi, cols, patch, gbias,
+                                         plan.fused_act, plan.fused_alpha);
+        });
+      }
+    }
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  gemm_seconds_ += std::chrono::duration<double>(t1 - t0).count();
+  gemm_flops_ += 2.0 * geo.macs();
+}
+
+void Executor::conv2d_direct(const Node& n, const NodePlan& plan, const Tensor& in, Tensor& out) {
+  // The numerically faithful reference path: the original 6-deep loop nest
+  // with double accumulation, partitioned over output channels.
+  const Conv2dGeometry& geo = plan.conv;
+  const Tensor& w = n.weights[0];
+  const Tensor* bias = n.weights.size() > 1 ? &n.weights[1] : nullptr;
+  const std::int64_t icg = geo.icg(), ocg = geo.ocg(), k = geo.kernel;
+
+  for (std::int64_t b = 0; b < geo.batch; ++b) {
+    pfor(0, geo.out_c, 1, [&](std::int64_t oc_lo, std::int64_t oc_hi, std::size_t) {
+      for (std::int64_t oc = oc_lo; oc < oc_hi; ++oc) {
+        const auto g = oc / ocg;
+        for (std::int64_t oh = 0; oh < geo.out_h; ++oh) {
+          for (std::int64_t ow = 0; ow < geo.out_w; ++ow) {
+            double acc = bias ? bias->at(static_cast<std::size_t>(oc)) : 0.0;
+            for (std::int64_t ic = 0; ic < icg; ++ic) {
+              const auto in_c = g * icg + ic;
+              for (std::int64_t kh = 0; kh < k; ++kh) {
+                const auto ih = oh * geo.stride - geo.pad + kh;
+                if (ih < 0 || ih >= geo.in_h) continue;
+                for (std::int64_t kw = 0; kw < k; ++kw) {
+                  const auto iw = ow * geo.stride - geo.pad + kw;
+                  if (iw < 0 || iw >= geo.in_w) continue;
+                  acc += static_cast<double>(in.at4(b, in_c, ih, iw)) *
+                         static_cast<double>(w.at4(oc, ic, kh, kw));
+                }
+              }
+            }
+            const float v = static_cast<float>(acc);
+            out.at4(b, oc, oh, ow) =
+                plan.fused_act == OpKind::kIdentity
+                    ? v
+                    : apply_activation(v, plan.fused_act, plan.fused_alpha);
+          }
+        }
+      }
+    });
+  }
+}
+
+void Executor::execute_node(const Node& n, const NodePlan& plan,
+                            const std::vector<const Tensor*>& ins, Tensor& out) {
   switch (n.kind) {
     case OpKind::kConv2d: {
       if (n.weights.empty()) throw ExecError("Conv2d " + n.name + " has no weights");
-      const Tensor* bias = n.weights.size() > 1 ? &n.weights[1] : nullptr;
-      out = conv2d(n, *ins.at(0), n.weights[0], bias, n.out_shape);
+      if (use_gemm_) {
+        conv2d_gemm(n, plan, *ins.at(0), out);
+      } else {
+        conv2d_direct(n, plan, *ins.at(0), out);
+      }
       break;
     }
     case OpKind::kDense: {
       if (n.weights.empty()) throw ExecError("Dense " + n.name + " has no weights");
-      const Tensor* bias = n.weights.size() > 1 ? &n.weights[1] : nullptr;
-      out = dense(*ins.at(0), n.weights[0], bias, n.out_shape);
+      const Tensor& in = *ins.at(0);
+      const float* x = in.data().data();
+      const float* w = n.weights[0].data().data();
+      const float* bias = n.weights.size() > 1 ? n.weights[1].data().data() : nullptr;
+      float* y = out.data().data();
+      const std::int64_t N = in.shape().dim(0);
+      const std::int64_t F = in.shape().dim(1);
+      const std::int64_t U = n.out_shape.dim(1);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::int64_t b = 0; b < N; ++b) {
+        const float* xrow = x + b * F;
+        float* yrow = y + b * U;
+        pfor(0, U, 8, [&](std::int64_t u_lo, std::int64_t u_hi, std::size_t) {
+          for (std::int64_t u = u_lo; u < u_hi; ++u) {
+            float acc = bias != nullptr ? bias[u] : 0.0f;
+            const float* wrow = w + u * F;
+            for (std::int64_t f = 0; f < F; ++f) acc += wrow[f] * xrow[f];
+            yrow[u] = plan.fused_act == OpKind::kIdentity
+                          ? acc
+                          : apply_activation(acc, plan.fused_act, plan.fused_alpha);
+          }
+        });
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      gemm_seconds_ += std::chrono::duration<double>(t1 - t0).count();
+      gemm_flops_ += 2.0 * static_cast<double>(N) * static_cast<double>(U) * static_cast<double>(F);
       break;
     }
-    case OpKind::kBatchNorm:
-      out = batchnorm(n, *ins.at(0));
+    case OpKind::kBatchNorm: {
+      if (n.weights.size() != 4) throw ExecError("BatchNorm " + n.name + " needs 4 weight tensors");
+      const Tensor& in = *ins.at(0);
+      const auto& s = in.shape();
+      const std::int64_t C = s.rank() == 4 ? s.c() : s.dim(1);
+      const std::int64_t spatial = s.rank() == 4 ? s.h() * s.w() : 1;
+      const std::int64_t N = s.dim(0);
+      // Per-channel scale/shift computed once, not once per batch element.
+      std::vector<float> scale(static_cast<std::size_t>(C));
+      std::vector<float> shift(static_cast<std::size_t>(C));
+      const auto& gamma = n.weights[0];
+      const auto& beta = n.weights[1];
+      const auto& mean = n.weights[2];
+      const auto& var = n.weights[3];
+      for (std::int64_t c = 0; c < C; ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        scale[ci] = static_cast<float>(gamma.at(ci) / std::sqrt(var.at(ci) + plan.bn_eps));
+        shift[ci] = static_cast<float>(beta.at(ci) - mean.at(ci) * scale[ci]);
+      }
+      const float* x = in.data().data();
+      float* y = out.data().data();
+      pfor(0, N * C, 1, [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+        for (std::int64_t bc = lo; bc < hi; ++bc) {
+          const auto ci = static_cast<std::size_t>(bc % C);
+          const float* xr = x + bc * spatial;
+          float* yr = y + bc * spatial;
+          for (std::int64_t i = 0; i < spatial; ++i) yr[i] = xr[i] * scale[ci] + shift[ci];
+        }
+      });
       break;
+    }
     case OpKind::kRelu:
     case OpKind::kRelu6:
     case OpKind::kLeakyRelu:
@@ -339,18 +393,55 @@ Tensor Executor::execute_node(const Node& n, const std::vector<const Tensor*>& i
     case OpKind::kHSwish:
     case OpKind::kMish:
     case OpKind::kTanh: {
-      out = *ins.at(0);
-      const double alpha = n.attrs.get_float_or("alpha", 0.01);
-      for (float& v : out.data()) v = apply_act(v, n.kind, alpha);
+      const float* x = ins.at(0)->data().data();
+      float* y = out.data().data();
+      const OpKind kind = n.kind;
+      const double alpha = plan.alpha;
+      pfor(0, out.numel(), 4096, [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+        for (std::int64_t i = lo; i < hi; ++i) y[i] = apply_activation(x[i], kind, alpha);
+      });
       break;
     }
     case OpKind::kAdd:
-    case OpKind::kMul:
-      out = elementwise(n, *ins.at(0), *ins.at(1), n.out_shape);
+    case OpKind::kMul: {
+      const Tensor& a = *ins.at(0);
+      const Tensor& b = *ins.at(1);
+      const bool mul = n.kind == OpKind::kMul;
+      float* y = out.data().data();
+      if (a.shape() == b.shape()) {
+        const float* pa = a.data().data();
+        const float* pb = b.data().data();
+        pfor(0, out.numel(), 4096, [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+          if (mul) {
+            for (std::int64_t i = lo; i < hi; ++i) y[i] = pa[i] * pb[i];
+          } else {
+            for (std::int64_t i = lo; i < hi; ++i) y[i] = pa[i] + pb[i];
+          }
+        });
+        break;
+      }
+      // channelwise broadcast: one side is [N,C,1,1]
+      const Tensor& big = a.numel() >= b.numel() ? a : b;
+      const Tensor& vec = a.numel() >= b.numel() ? b : a;
+      const auto& s = big.shape();
+      const std::int64_t C = s.c(), spatial = s.h() * s.w();
+      const float* px = big.data().data();
+      const float* pv = vec.data().data();
+      pfor(0, s.n() * C, 1, [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+        for (std::int64_t bc = lo; bc < hi; ++bc) {
+          const float v = pv[bc];
+          const float* xr = px + bc * spatial;
+          float* yr = y + bc * spatial;
+          if (mul) {
+            for (std::int64_t i = 0; i < spatial; ++i) yr[i] = xr[i] * v;
+          } else {
+            for (std::int64_t i = 0; i < spatial; ++i) yr[i] = xr[i] + v;
+          }
+        }
+      });
       break;
+    }
     case OpKind::kConcat: {
-      // axis-1 (channel) concatenation for rank-4, axis-1 for rank-2.
-      out = Tensor(n.out_shape);
       const auto& os = n.out_shape;
       if (os.rank() == 4) {
         std::int64_t c_off = 0;
@@ -378,26 +469,65 @@ Tensor Executor::execute_node(const Node& n, const std::vector<const Tensor*>& i
       break;
     }
     case OpKind::kMaxPool:
-    case OpKind::kAvgPool:
-      out = pool(n, *ins.at(0), n.out_shape);
-      break;
-    case OpKind::kGlobalAvgPool: {
-      out = Tensor(n.out_shape);
-      const auto& s = ins.at(0)->shape();
-      const double denom = static_cast<double>(s.h() * s.w());
-      for (std::int64_t b = 0; b < s.n(); ++b) {
-        for (std::int64_t c = 0; c < s.c(); ++c) {
-          double acc = 0.0;
-          for (std::int64_t h = 0; h < s.h(); ++h)
-            for (std::int64_t w = 0; w < s.w(); ++w) acc += ins.at(0)->at4(b, c, h, w);
-          out.at4(b, c, 0, 0) = static_cast<float>(acc / denom);
+    case OpKind::kAvgPool: {
+      const bool is_max = n.kind == OpKind::kMaxPool;
+      const std::int64_t k = plan.pool_kernel, stride = plan.pool_stride, pad = plan.pool_pad;
+      const Tensor& in = *ins.at(0);
+      const auto& s = in.shape();
+      const std::int64_t IH = s.h(), IW = s.w();
+      const std::int64_t OC = n.out_shape.c(), OH = n.out_shape.h(), OW = n.out_shape.w();
+      const float* x = in.data().data();
+      float* y = out.data().data();
+      pfor(0, n.out_shape.n() * OC, 1, [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+        for (std::int64_t bc = lo; bc < hi; ++bc) {
+          const float* plane = x + bc * IH * IW;
+          float* oplane = y + bc * OH * OW;
+          for (std::int64_t oh = 0; oh < OH; ++oh) {
+            for (std::int64_t ow = 0; ow < OW; ++ow) {
+              double acc = is_max ? -std::numeric_limits<double>::infinity() : 0.0;
+              std::int64_t count = 0;
+              for (std::int64_t kh = 0; kh < k; ++kh) {
+                const auto ih = oh * stride - pad + kh;
+                if (ih < 0 || ih >= IH) continue;
+                for (std::int64_t kw = 0; kw < k; ++kw) {
+                  const auto iw = ow * stride - pad + kw;
+                  if (iw < 0 || iw >= IW) continue;
+                  const double v = plane[ih * IW + iw];
+                  if (is_max) {
+                    acc = std::max(acc, v);
+                  } else {
+                    acc += v;
+                  }
+                  ++count;
+                }
+              }
+              oplane[oh * OW + ow] = static_cast<float>(
+                  is_max ? acc : (count > 0 ? acc / static_cast<double>(count) : 0.0));
+            }
+          }
         }
-      }
+      });
+      break;
+    }
+    case OpKind::kGlobalAvgPool: {
+      const Tensor& in = *ins.at(0);
+      const auto& s = in.shape();
+      const std::int64_t spatial = s.h() * s.w();
+      const double denom = static_cast<double>(spatial);
+      const float* x = in.data().data();
+      float* y = out.data().data();
+      pfor(0, s.n() * s.c(), 8, [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+        for (std::int64_t bc = lo; bc < hi; ++bc) {
+          const float* plane = x + bc * spatial;
+          double acc = 0.0;
+          for (std::int64_t i = 0; i < spatial; ++i) acc += plane[i];
+          y[bc] = static_cast<float>(acc / denom);
+        }
+      });
       break;
     }
     case OpKind::kUpsample: {
-      out = Tensor(n.out_shape);
-      const auto scale = n.attrs.get_int("scale");
+      const auto scale = plan.upsample_scale;
       const auto& os = n.out_shape;
       for (std::int64_t b = 0; b < os.n(); ++b)
         for (std::int64_t c = 0; c < os.c(); ++c)
@@ -407,27 +537,36 @@ Tensor Executor::execute_node(const Node& n, const std::vector<const Tensor*>& i
       break;
     }
     case OpKind::kFlatten:
-      out = Tensor(n.out_shape, std::vector<float>(ins.at(0)->data().begin(), ins.at(0)->data().end()));
+    case OpKind::kIdentity: {
+      const auto src = ins.at(0)->data();
+      std::copy(src.begin(), src.end(), out.data().begin());
       break;
-    case OpKind::kSoftmax:
-      out = softmax(*ins.at(0));
+    }
+    case OpKind::kSoftmax: {
+      const Tensor& in = *ins.at(0);
+      const auto& s = in.shape();
+      const std::int64_t N = s.dim(0);
+      const std::int64_t F = in.numel() / N;
+      const float* x = in.data().data();
+      float* y = out.data().data();
+      for (std::int64_t b = 0; b < N; ++b) {
+        const float* xr = x + b * F;
+        float* yr = y + b * F;
+        float mx = -std::numeric_limits<float>::infinity();
+        for (std::int64_t f = 0; f < F; ++f) mx = std::max(mx, xr[f]);
+        double sum = 0.0;
+        for (std::int64_t f = 0; f < F; ++f) {
+          const double e = std::exp(static_cast<double>(xr[f] - mx));
+          yr[f] = static_cast<float>(e);
+          sum += e;
+        }
+        for (std::int64_t f = 0; f < F; ++f) yr[f] = static_cast<float>(yr[f] / sum);
+      }
       break;
-    case OpKind::kIdentity:
-      out = *ins.at(0);
-      break;
+    }
     case OpKind::kInput:
       throw ExecError("Input node reached execute_node");
   }
-
-  // Fused activation (set by the fusion pass on conv/dense nodes).
-  if (n.kind == OpKind::kConv2d || n.kind == OpKind::kDense) {
-    const OpKind fa = fused_act_kind(n);
-    if (fa != OpKind::kIdentity) {
-      const double alpha = n.attrs.get_float_or("fused_alpha", 0.01);
-      for (float& v : out.data()) v = apply_act(v, fa, alpha);
-    }
-  }
-  return out;
 }
 
 }  // namespace vedliot

@@ -11,6 +11,8 @@
 
 namespace vedliot {
 
+using runtime_kernels::Conv2dGeometry;
+
 namespace {
 
 std::int8_t saturate_i8(double v, std::uint64_t& saturations) {
@@ -24,6 +26,16 @@ std::int8_t saturate_i8(double v, std::uint64_t& saturations) {
     return -128;
   }
   return static_cast<std::int8_t>(r);
+}
+
+/// Requantize + apply the fused clamp window; counts requant saturations
+/// only (the activation clamp is semantics, not information loss).
+std::int8_t requant_clamped(double scaled, std::int32_t q_lo, std::int32_t q_hi,
+                            std::uint64_t& saturations) {
+  std::int8_t q = saturate_i8(scaled, saturations);
+  if (q < q_lo) q = static_cast<std::int8_t>(q_lo);
+  if (q > q_hi) q = static_cast<std::int8_t>(q_hi);
+  return q;
 }
 
 double act_scale_of(const Graph& g, NodeId id) {
@@ -62,12 +74,44 @@ QTensor quantize_fixed(const Tensor& t, double scale) {
 QuantizedExecutor::QuantizedExecutor(const Graph& graph) : graph_(graph) {
   VEDLIOT_CHECK(graph_.weights_materialized(),
                 "QuantizedExecutor requires materialized weights");
+  qplans_.resize(graph_.total_nodes());
   for (NodeId id : graph_.topo_order()) {
     const Node& n = graph_.node(id);
     if (n.kind == OpKind::kBatchNorm) {
       throw Unsupported("fold BatchNorm (opt::FuseBatchNormPass) before integer execution");
     }
     out_scale_[id] = act_scale_of(graph_, id);
+    const double so = out_scale_[id];
+
+    // Fused activation bounds in the *output* integer domain. Symmetric
+    // quantization keeps zero at q=0, so ReLU is max(q, 0). Resolved here,
+    // once, instead of per node execution.
+    QNodePlan& plan = qplans_[static_cast<std::size_t>(id)];
+    const std::string fused = n.attrs.get_str_or("fused_act", "");
+    if (fused == "Relu" || n.kind == OpKind::kRelu) plan.q_lo = 0;
+    if (fused == "Relu6" || n.kind == OpKind::kRelu6) {
+      plan.q_lo = 0;
+      plan.q_hi = std::min<std::int32_t>(127, static_cast<std::int32_t>(std::nearbyint(6.0 / so)));
+    }
+    if (!fused.empty() && fused != "Relu" && fused != "Relu6") {
+      plan.fused_unsupported = true;  // reported when the node actually runs
+      plan.fused_name = fused;
+    }
+    if (n.kind == OpKind::kConv2d) {
+      const Shape& in = graph_.node(n.inputs.at(0)).out_shape;
+      Conv2dGeometry& geo = plan.conv;
+      geo.batch = n.out_shape.n();
+      geo.in_c = in.c();
+      geo.in_h = in.h();
+      geo.in_w = in.w();
+      geo.out_c = n.out_shape.c();
+      geo.out_h = n.out_shape.h();
+      geo.out_w = n.out_shape.w();
+      geo.kernel = n.attrs.get_int("kernel");
+      geo.stride = n.attrs.get_int_or("stride", 1);
+      geo.pad = n.attrs.get_int_or("pad", 0);
+      geo.groups = n.attrs.get_int_or("groups", 1);
+    }
 
     if ((n.kind != OpKind::kConv2d && n.kind != OpKind::kDense) || n.weights.empty()) continue;
 
@@ -80,6 +124,7 @@ QuantizedExecutor::QuantizedExecutor(const Graph& graph) : graph_(graph) {
     layer.weights.resize(static_cast<std::size_t>(w.numel()));
     layer.weight_scales.resize(static_cast<std::size_t>(oc));
     layer.bias.assign(static_cast<std::size_t>(oc), 0);
+    layer.mult.resize(static_cast<std::size_t>(oc));
 
     for (std::int64_t c = 0; c < oc; ++c) {
       const auto ci = static_cast<std::size_t>(c);
@@ -88,6 +133,7 @@ QuantizedExecutor::QuantizedExecutor(const Graph& graph) : graph_(graph) {
       for (float v : chan) amax = std::max(amax, std::abs(static_cast<double>(v)));
       const double ws = amax > 0 ? amax / 127.0 : 1.0;
       layer.weight_scales[ci] = ws;
+      layer.mult[ci] = in_scale * ws / so;
       std::uint64_t dummy = 0;
       for (std::size_t i = 0; i < per; ++i) {
         layer.weights[ci * per + i] = saturate_i8(chan[i] / ws, dummy);
@@ -101,13 +147,29 @@ QuantizedExecutor::QuantizedExecutor(const Graph& graph) : graph_(graph) {
   }
 }
 
-std::int8_t QuantizedExecutor::requant(double acc_scaled) {
-  return saturate_i8(acc_scaled, saturations_);
-}
-
 void QuantizedExecutor::instrument(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
   tracer_ = tracer;
   metrics_ = metrics;
+}
+
+void QuantizedExecutor::set_threads(unsigned threads) {
+  if (threads == 0) threads = util::ThreadPool::hardware_threads();
+  if (threads == threads_) return;
+  threads_ = threads;
+  pool_ = threads_ > 1 ? std::make_unique<util::ThreadPool>(threads_) : nullptr;
+}
+
+void QuantizedExecutor::pfor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                             const util::ThreadPool::ChunkFn& fn) {
+  if (pool_ == nullptr) {
+    if (end > begin) fn(begin, end, 0);
+    return;
+  }
+  const std::size_t chunks = pool_->parallel_for(begin, end, grain, fn);
+  if (metrics_ != nullptr && chunks > 0) {
+    runtime_detail::pool_utilization_histogram(*metrics_)
+        .add(static_cast<double>(chunks) / static_cast<double>(threads_));
+  }
 }
 
 QTensor QuantizedExecutor::run_single(const Tensor& input) {
@@ -122,6 +184,7 @@ QTensor QuantizedExecutor::run_single(const Tensor& input) {
     run_span = tracer_->span("session.run", "vedliot.runtime");
     run_span.attr("graph", graph_.name());
     run_span.attr("backend", "int8");
+    run_span.attr("threads", static_cast<double>(threads_));
   }
 
   std::map<NodeId, QTensor> values;
@@ -174,74 +237,95 @@ Tensor QuantizedExecutor::run_single_dequant(const Tensor& input) {
 
 QTensor QuantizedExecutor::execute_node(const Node& n, const std::vector<const QTensor*>& ins) {
   const double so = out_scale_.at(n.id);
+  const QNodePlan& plan = qplans_[static_cast<std::size_t>(n.id)];
+  if (plan.fused_unsupported) {
+    throw Unsupported("integer executor supports fused Relu/Relu6 only, got " + plan.fused_name);
+  }
+  const std::int32_t q_lo = plan.q_lo, q_hi = plan.q_hi;
+
   QTensor out;
   out.shape = n.out_shape;
   out.scale = so;
   out.data.resize(static_cast<std::size_t>(n.out_shape.numel()));
 
-  // Fused activation bounds in the *output* integer domain. Symmetric
-  // quantization keeps zero at q=0, so ReLU is max(q, 0).
-  const std::string fused = n.attrs.get_str_or("fused_act", "");
-  std::int32_t q_lo = -128, q_hi = 127;
-  if (fused == "Relu" || n.kind == OpKind::kRelu) q_lo = 0;
-  if (fused == "Relu6" || n.kind == OpKind::kRelu6) {
-    q_lo = 0;
-    q_hi = std::min<std::int32_t>(127, static_cast<std::int32_t>(std::nearbyint(6.0 / so)));
-  }
-  if (!fused.empty() && fused != "Relu" && fused != "Relu6") {
-    throw Unsupported("integer executor supports fused Relu/Relu6 only, got " + fused);
-  }
-  auto clamp_out = [&](double scaled) {
-    std::int8_t q = requant(scaled);
-    if (q < q_lo) q = static_cast<std::int8_t>(q_lo);
-    if (q > q_hi) q = static_cast<std::int8_t>(q_hi);
-    return q;
-  };
+  // Every parallel region accumulates saturation events into a per-chunk
+  // slot; the post-dispatch sum is order-independent, so saturations() is
+  // identical for any thread count.
+  std::vector<std::uint64_t> sat(std::max(1u, threads_), 0);
 
   switch (n.kind) {
     case OpKind::kConv2d: {
       const QTensor& x = *ins.at(0);
       const PreparedLayer& layer = prepared_.at(n.id);
-      const auto stride = n.attrs.get_int_or("stride", 1);
-      const auto pad = n.attrs.get_int_or("pad", 0);
-      const auto groups = n.attrs.get_int_or("groups", 1);
-      const auto k = n.attrs.get_int("kernel");
-      const Shape& in_shape = graph_.node(n.inputs[0]).out_shape;
-      const auto IC = in_shape.c(), IH = in_shape.h(), IW = in_shape.w();
-      const auto OC = n.out_shape.c(), OH = n.out_shape.h(), OW = n.out_shape.w();
-      const auto N = n.out_shape.n();
-      const auto icg = IC / groups;
-      const auto ocg = OC / groups;
-      const std::size_t per = static_cast<std::size_t>(icg * k * k);
-      const double si = x.scale;
+      const Conv2dGeometry& geo = plan.conv;
+      const std::int8_t* px = x.data.data();
+      std::int8_t* py = out.data.data();
 
-      for (std::int64_t b = 0; b < N; ++b) {
-        for (std::int64_t oc = 0; oc < OC; ++oc) {
-          const auto g = oc / ocg;
-          const double mult = si * layer.weight_scales[static_cast<std::size_t>(oc)] / so;
-          const std::int8_t* wrow = layer.weights.data() + static_cast<std::size_t>(oc) * per;
-          for (std::int64_t oh = 0; oh < OH; ++oh) {
-            for (std::int64_t ow = 0; ow < OW; ++ow) {
-              std::int32_t acc = layer.bias[static_cast<std::size_t>(oc)];
-              for (std::int64_t ic = 0; ic < icg; ++ic) {
-                const auto in_c = g * icg + ic;
-                for (std::int64_t kh = 0; kh < k; ++kh) {
-                  const auto ih = oh * stride - pad + kh;
-                  if (ih < 0 || ih >= IH) continue;
-                  for (std::int64_t kw = 0; kw < k; ++kw) {
-                    const auto iw = ow * stride - pad + kw;
-                    if (iw < 0 || iw >= IW) continue;
-                    const auto xi = static_cast<std::size_t>(((b * IC + in_c) * IH + ih) * IW + iw);
-                    const auto wi = static_cast<std::size_t>((ic * k + kh) * k + kw);
-                    acc += static_cast<std::int32_t>(x.data[xi]) *
-                           static_cast<std::int32_t>(wrow[wi]);
+      if (use_gemm_ && geo.depthwise()) {
+        for (std::int64_t b = 0; b < geo.batch; ++b) {
+          pfor(0, geo.out_c, 1, [&](std::int64_t lo, std::int64_t hi, std::size_t chunk) {
+            sat[chunk] += runtime_kernels::depthwise_s8(
+                px, layer.weights.data(), layer.bias.data(), py, geo, b, lo, hi,
+                layer.mult.data(), q_lo, q_hi);
+          });
+        }
+      } else if (use_gemm_) {
+        const std::int64_t patch = geo.patch();
+        const std::int64_t cols = geo.cols();
+        const std::size_t need = static_cast<std::size_t>(patch * cols);
+        if (scratch_.size() < need) scratch_.resize(need);
+        std::int8_t* col = scratch_.data();
+        for (std::int64_t b = 0; b < geo.batch; ++b) {
+          for (std::int64_t g = 0; g < geo.groups; ++g) {
+            pfor(0, patch, 4, [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+              runtime_kernels::im2col_s8(px, geo, b, g, lo, hi, col);
+            });
+            const std::int64_t base = g * geo.ocg();
+            const std::int8_t* a = layer.weights.data() + base * patch;
+            std::int8_t* c = py + ((b * geo.out_c + base) * cols);
+            pfor(0, geo.ocg(), 1, [&](std::int64_t lo, std::int64_t hi, std::size_t chunk) {
+              sat[chunk] += runtime_kernels::gemm_rows_s8(
+                  a, col, c, lo, hi, cols, patch, layer.bias.data() + base,
+                  layer.mult.data() + base, q_lo, q_hi);
+            });
+          }
+        }
+      } else {
+        // Direct reference loop, partitioned over output channels.
+        const std::int64_t icg = geo.icg(), ocg = geo.ocg(), k = geo.kernel;
+        const std::size_t per = static_cast<std::size_t>(icg * k * k);
+        for (std::int64_t b = 0; b < geo.batch; ++b) {
+          pfor(0, geo.out_c, 1, [&](std::int64_t oc_lo, std::int64_t oc_hi, std::size_t chunk) {
+            for (std::int64_t oc = oc_lo; oc < oc_hi; ++oc) {
+              const auto g = oc / ocg;
+              const double mult = layer.mult[static_cast<std::size_t>(oc)];
+              const std::int8_t* wrow = layer.weights.data() + static_cast<std::size_t>(oc) * per;
+              for (std::int64_t oh = 0; oh < geo.out_h; ++oh) {
+                for (std::int64_t ow = 0; ow < geo.out_w; ++ow) {
+                  std::int32_t acc = layer.bias[static_cast<std::size_t>(oc)];
+                  for (std::int64_t ic = 0; ic < icg; ++ic) {
+                    const auto in_c = g * icg + ic;
+                    for (std::int64_t kh = 0; kh < k; ++kh) {
+                      const auto ih = oh * geo.stride - geo.pad + kh;
+                      if (ih < 0 || ih >= geo.in_h) continue;
+                      for (std::int64_t kw = 0; kw < k; ++kw) {
+                        const auto iw = ow * geo.stride - geo.pad + kw;
+                        if (iw < 0 || iw >= geo.in_w) continue;
+                        const auto xi = static_cast<std::size_t>(
+                            ((b * geo.in_c + in_c) * geo.in_h + ih) * geo.in_w + iw);
+                        const auto wi = static_cast<std::size_t>((ic * k + kh) * k + kw);
+                        acc += static_cast<std::int32_t>(px[xi]) *
+                               static_cast<std::int32_t>(wrow[wi]);
+                      }
+                    }
                   }
+                  const auto oi = static_cast<std::size_t>(
+                      ((b * geo.out_c + oc) * geo.out_h + oh) * geo.out_w + ow);
+                  py[oi] = requant_clamped(static_cast<double>(acc) * mult, q_lo, q_hi, sat[chunk]);
                 }
               }
-              const auto oi = static_cast<std::size_t>(((b * OC + oc) * OH + oh) * OW + ow);
-              out.data[oi] = clamp_out(static_cast<double>(acc) * mult);
             }
-          }
+          });
         }
       }
       break;
@@ -253,30 +337,33 @@ QTensor QuantizedExecutor::execute_node(const Node& n, const std::vector<const Q
       const Shape& in_shape = graph_.node(n.inputs[0]).out_shape;
       const auto N = in_shape.dim(0), F = in_shape.dim(1);
       const auto U = n.out_shape.dim(1);
-      const double si = x.scale;
       for (std::int64_t b = 0; b < N; ++b) {
-        for (std::int64_t u = 0; u < U; ++u) {
-          std::int32_t acc = layer.bias[static_cast<std::size_t>(u)];
-          const std::int8_t* wrow = layer.weights.data() + static_cast<std::size_t>(u * F);
-          for (std::int64_t f = 0; f < F; ++f) {
-            acc += static_cast<std::int32_t>(x.data[static_cast<std::size_t>(b * F + f)]) *
-                   static_cast<std::int32_t>(wrow[f]);
-          }
-          const double mult = si * layer.weight_scales[static_cast<std::size_t>(u)] / so;
-          out.data[static_cast<std::size_t>(b * U + u)] = clamp_out(static_cast<double>(acc) * mult);
-        }
+        const std::int8_t* xrow = x.data.data() + b * F;
+        std::int8_t* yrow = out.data.data() + b * U;
+        pfor(0, U, 8, [&](std::int64_t u_lo, std::int64_t u_hi, std::size_t chunk) {
+          sat[chunk] += runtime_kernels::gemm_rows_s8(layer.weights.data(), xrow, yrow, u_lo,
+                                                      u_hi, /*n=*/1, F, layer.bias.data(),
+                                                      layer.mult.data(), q_lo, q_hi);
+        });
       }
       break;
     }
 
     case OpKind::kRelu:
     case OpKind::kRelu6:
-    case OpKind::kIdentity: {
+    case OpKind::kIdentity:
+    case OpKind::kFlatten: {
       const QTensor& x = *ins.at(0);
       const double rescale = x.scale / so;
-      for (std::size_t i = 0; i < out.data.size(); ++i) {
-        out.data[i] = clamp_out(static_cast<double>(x.data[i]) * rescale);
-      }
+      const std::int8_t* px = x.data.data();
+      std::int8_t* py = out.data.data();
+      pfor(0, static_cast<std::int64_t>(out.data.size()), 4096,
+           [&](std::int64_t lo, std::int64_t hi, std::size_t chunk) {
+             for (std::int64_t i = lo; i < hi; ++i) {
+               py[i] = requant_clamped(static_cast<double>(px[i]) * rescale, q_lo, q_hi,
+                                       sat[chunk]);
+             }
+           });
       break;
     }
 
@@ -286,26 +373,33 @@ QTensor QuantizedExecutor::execute_node(const Node& n, const std::vector<const Q
       const auto stride = n.attrs.get_int_or("stride", k);
       const auto pad = n.attrs.get_int_or("pad", 0);
       const Shape& s = graph_.node(n.inputs[0]).out_shape;
+      const std::int64_t IH = s.h(), IW = s.w();
+      const std::int64_t OC = n.out_shape.c(), OH = n.out_shape.h(), OW = n.out_shape.w();
       const double rescale = x.scale / so;
-      for (std::int64_t b = 0; b < n.out_shape.n(); ++b)
-        for (std::int64_t c = 0; c < n.out_shape.c(); ++c)
-          for (std::int64_t oh = 0; oh < n.out_shape.h(); ++oh)
-            for (std::int64_t ow = 0; ow < n.out_shape.w(); ++ow) {
+      const std::int8_t* px = x.data.data();
+      std::int8_t* py = out.data.data();
+      pfor(0, n.out_shape.n() * OC, 1, [&](std::int64_t lo, std::int64_t hi, std::size_t chunk) {
+        for (std::int64_t bc = lo; bc < hi; ++bc) {
+          const std::int8_t* plane = px + bc * IH * IW;
+          std::int8_t* oplane = py + bc * OH * OW;
+          for (std::int64_t oh = 0; oh < OH; ++oh) {
+            for (std::int64_t ow = 0; ow < OW; ++ow) {
               std::int32_t best = std::numeric_limits<std::int32_t>::min();
               for (std::int64_t kh = 0; kh < k; ++kh) {
                 const auto ih = oh * stride - pad + kh;
-                if (ih < 0 || ih >= s.h()) continue;
+                if (ih < 0 || ih >= IH) continue;
                 for (std::int64_t kw = 0; kw < k; ++kw) {
                   const auto iw = ow * stride - pad + kw;
-                  if (iw < 0 || iw >= s.w()) continue;
-                  const auto xi = static_cast<std::size_t>(((b * s.c() + c) * s.h() + ih) * s.w() + iw);
-                  best = std::max(best, static_cast<std::int32_t>(x.data[xi]));
+                  if (iw < 0 || iw >= IW) continue;
+                  best = std::max(best, static_cast<std::int32_t>(plane[ih * IW + iw]));
                 }
               }
-              const auto oi = static_cast<std::size_t>(
-                  ((b * n.out_shape.c() + c) * n.out_shape.h() + oh) * n.out_shape.w() + ow);
-              out.data[oi] = clamp_out(static_cast<double>(best) * rescale);
+              oplane[oh * OW + ow] =
+                  requant_clamped(static_cast<double>(best) * rescale, q_lo, q_hi, sat[chunk]);
             }
+          }
+        }
+      });
       break;
     }
 
@@ -317,38 +411,36 @@ QTensor QuantizedExecutor::execute_node(const Node& n, const std::vector<const Q
       const auto k = global ? std::max(s.h(), s.w()) : n.attrs.get_int("kernel");
       const auto stride = global ? 1 : n.attrs.get_int_or("stride", k);
       const auto pad = global ? 0 : n.attrs.get_int_or("pad", 0);
+      const std::int64_t IH = s.h(), IW = s.w();
+      const std::int64_t OC = n.out_shape.c(), OH = n.out_shape.h(), OW = n.out_shape.w();
       const double rescale = x.scale / so;
-      for (std::int64_t b = 0; b < n.out_shape.n(); ++b)
-        for (std::int64_t c = 0; c < n.out_shape.c(); ++c)
-          for (std::int64_t oh = 0; oh < n.out_shape.h(); ++oh)
-            for (std::int64_t ow = 0; ow < n.out_shape.w(); ++ow) {
+      const std::int8_t* px = x.data.data();
+      std::int8_t* py = out.data.data();
+      pfor(0, n.out_shape.n() * OC, 1, [&](std::int64_t lo, std::int64_t hi, std::size_t chunk) {
+        for (std::int64_t bc = lo; bc < hi; ++bc) {
+          const std::int8_t* plane = px + bc * IH * IW;
+          std::int8_t* oplane = py + bc * OH * OW;
+          for (std::int64_t oh = 0; oh < OH; ++oh) {
+            for (std::int64_t ow = 0; ow < OW; ++ow) {
               std::int64_t acc = 0;
               std::int64_t count = 0;
-              for (std::int64_t kh = 0; kh < (global ? s.h() : k); ++kh) {
+              for (std::int64_t kh = 0; kh < (global ? IH : k); ++kh) {
                 const auto ih = oh * stride - pad + kh;
-                if (ih < 0 || ih >= s.h()) continue;
-                for (std::int64_t kw = 0; kw < (global ? s.w() : k); ++kw) {
+                if (ih < 0 || ih >= IH) continue;
+                for (std::int64_t kw = 0; kw < (global ? IW : k); ++kw) {
                   const auto iw = ow * stride - pad + kw;
-                  if (iw < 0 || iw >= s.w()) continue;
-                  const auto xi = static_cast<std::size_t>(((b * s.c() + c) * s.h() + ih) * s.w() + iw);
-                  acc += x.data[xi];
+                  if (iw < 0 || iw >= IW) continue;
+                  acc += plane[ih * IW + iw];
                   ++count;
                 }
               }
-              const double mean = count > 0 ? static_cast<double>(acc) / static_cast<double>(count) : 0.0;
-              const auto oi = static_cast<std::size_t>(
-                  ((b * n.out_shape.c() + c) * n.out_shape.h() + oh) * n.out_shape.w() + ow);
-              out.data[oi] = clamp_out(mean * rescale);
+              const double mean =
+                  count > 0 ? static_cast<double>(acc) / static_cast<double>(count) : 0.0;
+              oplane[oh * OW + ow] = requant_clamped(mean * rescale, q_lo, q_hi, sat[chunk]);
             }
-      break;
-    }
-
-    case OpKind::kFlatten: {
-      const QTensor& x = *ins.at(0);
-      const double rescale = x.scale / so;
-      for (std::size_t i = 0; i < out.data.size(); ++i) {
-        out.data[i] = clamp_out(static_cast<double>(x.data[i]) * rescale);
-      }
+          }
+        }
+      });
       break;
     }
 
@@ -356,11 +448,17 @@ QTensor QuantizedExecutor::execute_node(const Node& n, const std::vector<const Q
       const QTensor& a = *ins.at(0);
       const QTensor& b = *ins.at(1);
       VEDLIOT_CHECK(a.shape == b.shape, "integer Add supports equal shapes only");
-      for (std::size_t i = 0; i < out.data.size(); ++i) {
-        const double v = static_cast<double>(a.data[i]) * a.scale +
-                         static_cast<double>(b.data[i]) * b.scale;
-        out.data[i] = clamp_out(v / so);
-      }
+      const std::int8_t* pa = a.data.data();
+      const std::int8_t* pb = b.data.data();
+      std::int8_t* py = out.data.data();
+      const double sa = a.scale, sb = b.scale;
+      pfor(0, static_cast<std::int64_t>(out.data.size()), 4096,
+           [&](std::int64_t lo, std::int64_t hi, std::size_t chunk) {
+             for (std::int64_t i = lo; i < hi; ++i) {
+               const double v = static_cast<double>(pa[i]) * sa + static_cast<double>(pb[i]) * sb;
+               py[i] = requant_clamped(v / so, q_lo, q_hi, sat[chunk]);
+             }
+           });
       break;
     }
 
@@ -372,7 +470,8 @@ QTensor QuantizedExecutor::execute_node(const Node& n, const std::vector<const Q
       for (const QTensor* x : ins) {
         const double rescale = x->scale / so;
         for (std::size_t i = 0; i < x->data.size(); ++i) {
-          out.data[off + i] = clamp_out(static_cast<double>(x->data[i]) * rescale);
+          out.data[off + i] =
+              requant_clamped(static_cast<double>(x->data[i]) * rescale, q_lo, q_hi, sat[0]);
         }
         off += x->data.size();
       }
@@ -401,7 +500,7 @@ QTensor QuantizedExecutor::execute_node(const Node& n, const std::vector<const Q
         }
       }
       for (std::size_t i = 0; i < out.data.size(); ++i) {
-        out.data[i] = clamp_out(static_cast<double>(sm.at(i)) / so);
+        out.data[i] = requant_clamped(static_cast<double>(sm.at(i)) / so, q_lo, q_hi, sat[0]);
       }
       break;
     }
@@ -409,6 +508,8 @@ QTensor QuantizedExecutor::execute_node(const Node& n, const std::vector<const Q
     default:
       throw Unsupported("integer executor does not support op " + std::string(op_name(n.kind)));
   }
+
+  for (std::uint64_t s : sat) saturations_ += s;
   return out;
 }
 

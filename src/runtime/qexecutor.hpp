@@ -17,12 +17,16 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/kernels.hpp"
 #include "tensor/tensor.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vedliot {
 
@@ -59,6 +63,15 @@ class QuantizedExecutor {
   /// outlive the executor.
   void instrument(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
 
+  /// Intra-op parallelism (including the calling thread); 0 selects the
+  /// hardware concurrency, default 1. Integer kernels partition output
+  /// channels/rows only and sum per-chunk saturation counts, so both the
+  /// output bits and saturations() are independent of this value.
+  void set_threads(unsigned threads);
+
+  /// Execute Conv2D as im2col + int8 GEMM (default) or the direct loop.
+  void set_use_gemm_conv(bool on) { use_gemm_ = on; }
+
   /// After run_single(): number of non-input nodes executed.
   std::size_t nodes_executed() const { return nodes_executed_; }
 
@@ -71,16 +84,35 @@ class QuantizedExecutor {
     std::vector<std::int8_t> weights;       ///< quantized at per-channel scales
     std::vector<double> weight_scales;      ///< one per output channel
     std::vector<std::int32_t> bias;         ///< at in_scale * w_scale[c]
+    std::vector<double> mult;               ///< in_scale * w_scale[c] / out_scale
+  };
+
+  /// Per-node integer-domain constants resolved once at construction (the
+  /// fused-activation clamp window used to be re-parsed from string attrs on
+  /// every node execution).
+  struct QNodePlan {
+    std::int32_t q_lo = -128, q_hi = 127;   ///< fused Relu/Relu6 output clamp
+    bool fused_unsupported = false;         ///< fused act the int path can't run
+    std::string fused_name;                 ///< for the error message only
+    runtime_kernels::Conv2dGeometry conv;   ///< valid for kConv2d nodes
   };
 
   QTensor execute_node(const Node& n, const std::vector<const QTensor*>& ins);
-  std::int8_t requant(double acc_scaled);
+  /// Dispatch [begin, end) over the pool; each chunk accumulates saturation
+  /// events into its own slot of \p sat (size >= threads).
+  void pfor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+            const util::ThreadPool::ChunkFn& fn);
 
   const Graph& graph_;
   std::map<NodeId, PreparedLayer> prepared_;
   std::map<NodeId, double> out_scale_;
+  std::vector<QNodePlan> qplans_;           ///< indexed by NodeId over all slots
   std::uint64_t saturations_ = 0;
   std::size_t nodes_executed_ = 0;
+  unsigned threads_ = 1;
+  std::unique_ptr<util::ThreadPool> pool_;
+  bool use_gemm_ = true;
+  std::vector<std::int8_t> scratch_;        ///< im2col column matrix
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
 };

@@ -23,6 +23,9 @@ class FloatSession final : public Session {
       : graph_(graph), options_(options), exec_(graph) {
     exec_.instrument(options_.trace, options_.metrics);
     exec_.set_keep_activations(options_.keep_activations);
+    exec_.set_threads(options_.threads);
+    exec_.set_use_gemm_conv(options_.use_gemm_conv);
+    exec_.set_use_arena(options_.arena);
   }
 
   RunResult run(const std::map<std::string, Tensor>& feeds) override {
@@ -47,6 +50,8 @@ class QuantizedSession final : public Session {
   QuantizedSession(const Graph& graph, const RunOptions& options)
       : graph_(graph), options_(options), exec_(graph) {
     exec_.instrument(options_.trace, options_.metrics);
+    exec_.set_threads(options_.threads);
+    exec_.set_use_gemm_conv(options_.use_gemm_conv);
   }
 
   RunResult run(const std::map<std::string, Tensor>& feeds) override {

@@ -45,6 +45,19 @@ struct RunOptions {
   /// limit. The admission check a serving deployment puts in front of the
   /// interpreter.
   std::int64_t max_batch = 0;
+
+  /// Intra-op parallelism: kernels split their output rows/channels across
+  /// this many threads (including the caller). 0 selects the hardware
+  /// concurrency; default 1. Output bits do not depend on this value.
+  unsigned threads = 1;
+
+  /// Execute Conv2D as im2col + cache-blocked GEMM (default) or fall back
+  /// to the direct loop nest (the numerical reference / perf baseline).
+  bool use_gemm_conv = true;
+
+  /// Place intermediate activations in one planner-packed arena slab
+  /// (float backend; ignored while keep_activations is set).
+  bool arena = true;
 };
 
 /// What one Session::run produced.

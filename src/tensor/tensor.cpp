@@ -7,11 +7,40 @@
 
 namespace vedliot {
 
-Tensor::Tensor(Shape shape) : shape_(std::move(shape)), data_(static_cast<std::size_t>(shape_.numel()), 0.0f) {}
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      storage_(static_cast<std::size_t>(shape_.numel()), 0.0f),
+      data_(storage_) {}
 
-Tensor::Tensor(Shape shape, std::vector<float> data) : shape_(std::move(shape)), data_(std::move(data)) {
-  VEDLIOT_CHECK(static_cast<std::int64_t>(data_.size()) == shape_.numel(),
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), storage_(std::move(data)), data_(storage_) {
+  VEDLIOT_CHECK(static_cast<std::int64_t>(storage_.size()) == shape_.numel(),
                 "Tensor data size does not match shape " + shape_.to_string());
+}
+
+Tensor Tensor::view(Shape shape, std::span<float> data) {
+  Tensor t;
+  VEDLIOT_CHECK(static_cast<std::int64_t>(data.size()) == shape.numel(),
+                "Tensor view size does not match shape " + shape.to_string());
+  t.shape_ = std::move(shape);
+  t.data_ = data;
+  return t;
+}
+
+Tensor::Tensor(const Tensor& other) : shape_(other.shape_), storage_(other.storage_) {
+  data_ = other.is_view() ? other.data_ : std::span<float>(storage_);
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  shape_ = other.shape_;
+  storage_ = other.storage_;
+  data_ = other.is_view() ? other.data_ : std::span<float>(storage_);
+  return *this;
+}
+
+Tensor Tensor::clone() const {
+  return Tensor(shape_, std::vector<float>(data_.begin(), data_.end()));
 }
 
 float& Tensor::at(std::size_t i) {

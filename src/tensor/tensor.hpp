@@ -24,6 +24,25 @@ class Tensor {
   /// Tensor with explicit data; data.size() must equal shape.numel().
   Tensor(Shape shape, std::vector<float> data);
 
+  /// Non-owning tensor over external storage (an activation-arena slab);
+  /// data.size() must equal shape.numel(). The storage must outlive every
+  /// view of it. Copying a view yields another view of the same memory;
+  /// use clone() to materialize an owned snapshot.
+  static Tensor view(Shape shape, std::span<float> data);
+
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  // Moves keep the source's heap buffer alive, so the span stays valid for
+  // owned tensors and keeps aliasing the arena for views.
+  Tensor(Tensor&& other) noexcept = default;
+  Tensor& operator=(Tensor&& other) noexcept = default;
+
+  /// True when the tensor aliases external storage instead of owning it.
+  bool is_view() const { return storage_.empty() && !data_.empty(); }
+
+  /// Owned deep copy (views included).
+  Tensor clone() const;
+
   const Shape& shape() const { return shape_; }
   std::int64_t numel() const { return shape_.numel(); }
 
@@ -54,7 +73,8 @@ class Tensor {
 
  private:
   Shape shape_;
-  std::vector<float> data_;
+  std::vector<float> storage_;   ///< empty for views
+  std::span<float> data_;        ///< spans storage_ (owned) or external memory
 };
 
 /// Max absolute elementwise difference; shapes must match.

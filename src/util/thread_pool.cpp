@@ -1,0 +1,113 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace vedliot::util {
+
+ThreadPool::ThreadPool(unsigned threads) : threads_(std::max(1u, threads)) {
+  workers_.reserve(threads_ - 1);
+  for (unsigned i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+unsigned ThreadPool::hardware_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::run_chunks(const ChunkFn& fn) {
+  for (;;) {
+    const std::size_t chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= chunk_count_) return;
+    const std::int64_t lo = begin_ + static_cast<std::int64_t>(chunk) * chunk_len_;
+    const std::int64_t hi = std::min(end_, lo + chunk_len_);
+    fn(lo, hi, chunk);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const ChunkFn* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      fn = fn_;
+    }
+    std::exception_ptr error;
+    try {
+      run_chunks(*fn);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+std::size_t ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                                     const ChunkFn& fn) {
+  const std::int64_t range = end - begin;
+  if (range <= 0) return 0;
+  grain = std::max<std::int64_t>(1, grain);
+
+  // Chunk boundaries are a pure function of (range, threads, grain):
+  // at most threads() chunks, each at least `grain` long.
+  const std::int64_t max_chunks =
+      std::min<std::int64_t>(threads_, (range + grain - 1) / grain);
+  const std::int64_t chunk_len = (range + max_chunks - 1) / max_chunks;
+  const std::size_t chunk_count =
+      static_cast<std::size_t>((range + chunk_len - 1) / chunk_len);
+
+  if (chunk_count == 1 || workers_.empty()) {
+    for (std::size_t c = 0; c < chunk_count; ++c) {
+      const std::int64_t lo = begin + static_cast<std::int64_t>(c) * chunk_len;
+      fn(lo, std::min(end, lo + chunk_len), c);
+    }
+    return chunk_count;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    begin_ = begin;
+    end_ = end;
+    chunk_len_ = chunk_len;
+    chunk_count_ = chunk_count;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    workers_done_ = 0;
+    first_error_ = nullptr;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  std::exception_ptr error;
+  try {
+    run_chunks(fn);
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return workers_done_ == workers_.size(); });
+  if (error && !first_error_) first_error_ = error;
+  if (first_error_) std::rethrow_exception(first_error_);
+  return chunk_count;
+}
+
+}  // namespace vedliot::util

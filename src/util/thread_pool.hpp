@@ -1,0 +1,85 @@
+#pragma once
+/// \file thread_pool.hpp
+/// \brief Small fixed-size thread pool with a deterministic parallel_for.
+///
+/// The execution engine's only parallel primitive. Design constraints, in
+/// order of importance:
+///
+///  1. **Determinism.** parallel_for splits [begin, end) into contiguous
+///     chunks whose boundaries depend only on (range, threads, grain) —
+///     never on scheduling. Each index is processed by exactly one chunk,
+///     and kernels keep a fixed accumulation order *within* an index, so
+///     output bits are identical for any thread count (the property the
+///     distributed/resilience determinism guarantees rely on).
+///  2. **No work stealing.** Chunks are handed out through a single atomic
+///     cursor; workers never touch each other's state. This keeps the pool
+///     ~100 lines and trivially TSan-clean.
+///  3. **Caller participation.** The calling thread executes chunks too, so
+///     ThreadPool(1) degenerates to an inline loop and a pool of N spawns
+///     only N-1 OS threads.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vedliot::util {
+
+class ThreadPool {
+ public:
+  /// Chunk body: [lo, hi) index range plus the chunk ordinal (0-based,
+  /// < chunk count). The ordinal indexes per-chunk scratch/accumulator
+  /// state so workers never share mutable memory.
+  using ChunkFn = std::function<void(std::int64_t lo, std::int64_t hi, std::size_t chunk)>;
+
+  /// \p threads is the total parallelism including the caller; values < 1
+  /// are clamped to 1. A pool of 1 spawns no OS threads.
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (worker threads + caller).
+  unsigned threads() const { return threads_; }
+
+  /// Run \p fn over [begin, end) split into at most threads() contiguous
+  /// chunks of at least \p grain indices each. Blocks until every chunk has
+  /// finished; rethrows the first exception a chunk threw. Returns the
+  /// number of chunks dispatched (0 for an empty range) — callers use
+  /// chunks/threads as the pool-utilization sample.
+  std::size_t parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                           const ChunkFn& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static unsigned hardware_threads();
+
+ private:
+  void worker_loop();
+  void run_chunks(const ChunkFn& fn);
+
+  const unsigned threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  std::uint64_t epoch_ = 0;  ///< bumped per dispatch; workers wake on change
+
+  // Dispatch state, valid while a parallel_for is in flight.
+  const ChunkFn* fn_ = nullptr;
+  std::int64_t begin_ = 0;
+  std::int64_t end_ = 0;
+  std::int64_t chunk_len_ = 0;
+  std::size_t chunk_count_ = 0;
+  std::atomic<std::size_t> next_chunk_{0};
+  std::size_t workers_done_ = 0;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace vedliot::util

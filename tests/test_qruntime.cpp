@@ -209,5 +209,61 @@ TEST(QuantizedExecutor, UnsupportedOpRejectedAtRun) {
                Unsupported);
 }
 
+// ---------------------------------------------------------------------------
+// Parallel execution: integer kernels must be exactly deterministic
+// ---------------------------------------------------------------------------
+
+TEST(QuantizedExecutor, ResNet50ParallelBitwiseIdenticalToSerial) {
+  Graph g = deploy_ready(zoo::resnet50(1, 10, 32), 41, Shape{1, 3, 32, 32});
+  Rng data_rng(42);
+  Tensor x(Shape{1, 3, 32, 32}, data_rng.normal_vector(3 * 32 * 32));
+
+  QuantizedExecutor serial(g);
+  const QTensor qs = serial.run_single(x);
+
+  QuantizedExecutor mt(g);
+  mt.set_threads(4);
+  const QTensor qm = mt.run_single(x);
+
+  EXPECT_EQ(qs.data, qm.data);  // int8 payloads: bitwise
+  EXPECT_DOUBLE_EQ(qs.scale, qm.scale);
+  // The saturation diagnostic is a per-chunk sum, also thread-invariant.
+  EXPECT_EQ(serial.saturations(), mt.saturations());
+}
+
+TEST(QuantizedExecutor, GemmConvBitwiseMatchesDirectConv) {
+  // Unlike the float path, int8 GEMM accumulates in int32 along exactly the
+  // (ic, kh, kw) order of the direct loop: integer addition is associative,
+  // so the two paths must agree bit for bit.
+  Graph g = deploy_ready(zoo::micro_cnn("q8", 1, 3, 16, 5), 43, Shape{1, 3, 16, 16});
+  Rng data_rng(44);
+  Tensor x(Shape{1, 3, 16, 16}, data_rng.normal_vector(3 * 16 * 16));
+
+  QuantizedExecutor gemm(g);
+  gemm.set_use_gemm_conv(true);
+  QuantizedExecutor direct(g);
+  direct.set_use_gemm_conv(false);
+
+  const QTensor a = gemm.run_single(x);
+  const QTensor b = direct.run_single(x);
+  EXPECT_EQ(a.data, b.data);
+  EXPECT_EQ(gemm.saturations(), direct.saturations());
+}
+
+TEST(QuantizedSession, ThreadsOptionPreservesOutputs) {
+  Graph g = deploy_ready(zoo::micro_cnn("qs", 2, 3, 16, 4), 45, Shape{2, 3, 16, 16});
+  Rng data_rng(46);
+  Tensor x(Shape{2, 3, 16, 16}, data_rng.normal_vector(2 * 3 * 16 * 16));
+
+  auto serial = runtime::make_quantized_session(g, {.threads = 1});
+  auto mt = runtime::make_quantized_session(g, {.threads = 4});
+  const Tensor ys = serial->run_single(x);
+  const Tensor ym = mt->run_single(x);
+  ASSERT_EQ(ys.shape(), ym.shape());
+  for (std::int64_t i = 0; i < ys.numel(); ++i) {
+    EXPECT_EQ(ys.at(static_cast<std::size_t>(i)), ym.at(static_cast<std::size_t>(i)));
+  }
+}
+
 }  // namespace
 }  // namespace vedliot

@@ -3,11 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "graph/cost.hpp"
 #include "graph/zoo.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/memory_planner.hpp"
+#include "runtime/session.hpp"
 #include "util/rng.hpp"
 
 namespace vedliot {
@@ -369,6 +371,134 @@ TEST(Planner, ResidualLifetimesDontOverlapInArena) {
   const auto& input_buf = plan.buffers.front();
   EXPECT_EQ(input_buf.node, in);
   EXPECT_EQ(input_buf.last_use, plan.buffers.back().first_use);
+}
+
+// ---------------------------------------------------------------------------
+// Execution engine: parallel determinism, GEMM conv, activation arena
+// ---------------------------------------------------------------------------
+
+/// Bitwise tensor equality: parallel partitioning must not change a single
+/// bit, so plain float == (which conflates -0.0 and 0.0) is not enough.
+void expect_bitwise_equal(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  ASSERT_EQ(0, std::memcmp(a.data().data(), b.data().data(),
+                           static_cast<std::size_t>(a.numel()) * sizeof(float)));
+}
+
+Tensor run_with_options(const Graph& g, const Tensor& x, const runtime::RunOptions& opts) {
+  auto session = runtime::make_session(g, opts);
+  return session->run_single(x);
+}
+
+TEST(ExecutionEngine, ResNet50ParallelBitwiseIdenticalToSerial) {
+  Graph g = zoo::resnet50(/*batch=*/1, /*classes=*/10, /*image=*/32);
+  Rng rng(21);
+  g.materialize_weights(rng);
+  Rng data_rng(22);
+  Tensor x(Shape{1, 3, 32, 32}, data_rng.normal_vector(3 * 32 * 32));
+
+  const Tensor serial = run_with_options(g, x, {.threads = 1});
+  const Tensor t2 = run_with_options(g, x, {.threads = 2});
+  const Tensor t4 = run_with_options(g, x, {.threads = 4});
+  expect_bitwise_equal(serial, t2);
+  expect_bitwise_equal(serial, t4);
+}
+
+TEST(ExecutionEngine, MobileNetV3ParallelBitwiseIdenticalToSerial) {
+  Graph g = zoo::mobilenet_v3_large(/*batch=*/1, /*classes=*/10, /*image=*/32);
+  Rng rng(23);
+  g.materialize_weights(rng);
+  Rng data_rng(24);
+  Tensor x(Shape{1, 3, 32, 32}, data_rng.normal_vector(3 * 32 * 32));
+
+  const Tensor serial = run_with_options(g, x, {.threads = 1});
+  const Tensor t4 = run_with_options(g, x, {.threads = 4});
+  expect_bitwise_equal(serial, t4);
+}
+
+TEST(ExecutionEngine, GemmConvMatchesDirectConv) {
+  // GEMM accumulates in float along the same k-order the direct loop walks,
+  // but the direct reference accumulates in double: close, not bitwise.
+  Graph g = zoo::resnet50(1, 10, 32);
+  Rng rng(25);
+  g.materialize_weights(rng);
+  Rng data_rng(26);
+  Tensor x(Shape{1, 3, 32, 32}, data_rng.normal_vector(3 * 32 * 32));
+
+  const Tensor gemm = run_with_options(g, x, {.use_gemm_conv = true});
+  const Tensor direct = run_with_options(g, x, {.use_gemm_conv = false});
+  EXPECT_LT(max_abs_diff(gemm, direct), 1e-3f);
+}
+
+TEST(ExecutionEngine, ArenaOutputBitwiseIdenticalToHeap) {
+  // Residual graphs are the aliasing stress case: a skip tensor must not be
+  // overwritten while the main branch still reads it.
+  Graph g = zoo::resnet50(1, 10, 32);
+  Rng rng(27);
+  g.materialize_weights(rng);
+  Rng data_rng(28);
+  Tensor x(Shape{1, 3, 32, 32}, data_rng.normal_vector(3 * 32 * 32));
+
+  const Tensor heap = run_with_options(g, x, {.arena = false});
+  const Tensor arena = run_with_options(g, x, {.arena = true});
+  expect_bitwise_equal(heap, arena);
+  const Tensor arena_mt = run_with_options(g, x, {.threads = 4, .arena = true});
+  expect_bitwise_equal(heap, arena_mt);
+}
+
+TEST(ExecutionEngine, ArenaHalvesResNet50ActivationFootprint) {
+  Graph g = zoo::resnet50(1, 10, 64);
+  Rng rng(29);
+  g.materialize_weights(rng);
+  Rng data_rng(30);
+  Tensor x(Shape{1, 3, 64, 64}, data_rng.normal_vector(3 * 64 * 64));
+
+  Executor exec(g);
+  exec.set_keep_activations(false);
+  exec.set_use_arena(true);
+  (void)exec.run_single(x);
+  const Executor::ArenaStats& stats = exec.arena_stats();
+  ASSERT_TRUE(stats.active);
+  EXPECT_GT(stats.arena_bytes, 0);
+  // Liveness packing must reclaim at least half of the naive sum of all
+  // activation buffers on ResNet-50 (ISSUE acceptance: arena <= 50% naive).
+  EXPECT_LE(stats.arena_bytes * 2, stats.naive_bytes);
+}
+
+TEST(ExecutionEngine, ArenaDisabledWhileKeepingActivations) {
+  Graph g = zoo::micro_cnn("mc", 1, 3, 16, 5);
+  Rng rng(31);
+  g.materialize_weights(rng);
+  Rng data_rng(32);
+  Tensor x(Shape{1, 3, 16, 16}, data_rng.normal_vector(3 * 16 * 16));
+
+  Executor exec(g);
+  exec.set_keep_activations(true);  // calibration mode: stable owned tensors
+  exec.set_use_arena(true);
+  (void)exec.run_single(x);
+  EXPECT_FALSE(exec.arena_stats().active);
+  EXPECT_NO_THROW((void)exec.activation(g.node(g.topo_order()[1]).name));
+}
+
+TEST(ExecutionEngine, SessionOutputOwnsItsMemory) {
+  // Outputs are cloned out of the arena: they must stay valid after the
+  // session (and its slab) is gone.
+  Graph g = zoo::micro_cnn("own", 1, 3, 16, 4);
+  Rng rng(33);
+  g.materialize_weights(rng);
+  Rng data_rng(34);
+  Tensor x(Shape{1, 3, 16, 16}, data_rng.normal_vector(3 * 16 * 16));
+
+  Tensor y;
+  {
+    auto session = runtime::make_session(g, {.threads = 2});
+    y = session->run_single(x);
+  }
+  EXPECT_FALSE(y.is_view());
+  EXPECT_EQ(y.numel(), 4);
+  float sum = 0;
+  for (float v : y.data()) sum += v;
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);  // softmax head
 }
 
 }  // namespace

@@ -3,9 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <mutex>
+#include <numeric>
+#include <vector>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -305,6 +310,98 @@ TEST(Rng, JitteredStaysWithinFraction) {
   }
   // Zero fraction is the identity.
   EXPECT_DOUBLE_EQ(rng.jittered(10.0, 0.0), 10.0);
+}
+
+// ---------------------------------------------------------------------------
+// util::ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, 1, [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+    for (std::int64_t i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunkingIsDeterministic) {
+  // Chunk boundaries are a pure function of (range, threads, grain): two
+  // dispatches of the same range must produce identical partitions.
+  const auto partition = [](util::ThreadPool& pool) {
+    std::mutex m;
+    std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+    pool.parallel_for(0, 103, 10, [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+      std::lock_guard<std::mutex> lock(m);
+      chunks.emplace_back(lo, hi);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  util::ThreadPool pool(3);
+  const auto a = partition(pool);
+  const auto b = partition(pool);
+  EXPECT_EQ(a, b);
+  // Grain 10 over 103 elements with 3 threads: 3 chunks (ceil split).
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.front().first, 0);
+  EXPECT_EQ(a.back().second, 103);
+}
+
+TEST(ThreadPool, GrainLimitsChunkCount) {
+  util::ThreadPool pool(8);
+  // Range 10 with grain 8 cannot support more than two chunks.
+  const std::size_t chunks =
+      pool.parallel_for(0, 10, 8, [](std::int64_t, std::int64_t, std::size_t) {});
+  EXPECT_LE(chunks, 2u);
+  // Empty range dispatches nothing.
+  EXPECT_EQ(pool.parallel_for(5, 5, 1, [](std::int64_t, std::int64_t, std::size_t) {}), 0u);
+}
+
+TEST(ThreadPool, ChunkIndexIsUniquePerDispatch) {
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> seen(4);
+  const std::size_t chunks =
+      pool.parallel_for(0, 4, 1, [&](std::int64_t, std::int64_t, std::size_t chunk) {
+        ASSERT_LT(chunk, seen.size());
+        seen[chunk].fetch_add(1);
+      });
+  for (std::size_t i = 0; i < chunks; ++i) EXPECT_EQ(seen[i].load(), 1);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  util::ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100, 1,
+                        [](std::int64_t lo, std::int64_t, std::size_t) {
+                          if (lo >= 50) throw InvalidArgument("boom");
+                        }),
+      InvalidArgument);
+  // The pool survives an exception and can dispatch again.
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for(0, 10, 1, [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+    for (std::int64_t i = lo; i < hi; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  std::vector<double> xs(5000);
+  std::iota(xs.begin(), xs.end(), 0.0);
+  const double serial = std::accumulate(xs.begin(), xs.end(), 0.0);
+  util::ThreadPool pool(4);
+  std::vector<double> partial(8, 0.0);
+  pool.parallel_for(0, static_cast<std::int64_t>(xs.size()), 16,
+                    [&](std::int64_t lo, std::int64_t hi, std::size_t chunk) {
+                      for (std::int64_t i = lo; i < hi; ++i) {
+                        partial[chunk] += xs[static_cast<std::size_t>(i)];
+                      }
+                    });
+  EXPECT_DOUBLE_EQ(std::accumulate(partial.begin(), partial.end(), 0.0), serial);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(util::ThreadPool::hardware_threads(), 1u);
 }
 
 }  // namespace
