@@ -11,17 +11,24 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:--j$(nproc)}"
 
-echo "== tier-1: build + full ctest =="
-cmake -B build -S . > /dev/null
+echo "== tier-1: build (warnings-as-errors) + full ctest =="
+cmake -B build -S . -DVEDLIOT_WERROR=ON > /dev/null
 cmake --build build "${JOBS}" > /dev/null
 ctest --test-dir build --output-on-failure "${JOBS}"
 
 echo
-echo "== tier-1: ASan+UBSan on the resilience/platform/observability/runtime tests =="
+echo "== tier-1: static analysis (vedliot-lint) =="
+build/src/apps/vedliot-lint --selftest
+build/src/apps/vedliot-lint --zoo resnet50 --save build/resnet50.vmdl > /dev/null
+build/src/apps/vedliot-lint --model build/resnet50.vmdl
+scripts/lint.sh
+
+echo
+echo "== tier-1: ASan+UBSan on the resilience/platform/observability/runtime/analysis tests =="
 cmake -B build-asan -S . -DVEDLIOT_SANITIZE=ON > /dev/null
-cmake --build build-asan "${JOBS}" --target test_resilience test_platform test_distributed test_util test_obs test_runtime test_qruntime > /dev/null
+cmake --build build-asan "${JOBS}" --target test_resilience test_platform test_distributed test_util test_obs test_runtime test_qruntime test_analysis > /dev/null
 ctest --test-dir build-asan --output-on-failure "${JOBS}" \
-  -R 'test_resilience|test_platform|test_distributed|test_util|test_obs|test_runtime|test_qruntime'
+  -R 'test_resilience|test_platform|test_distributed|test_util|test_obs|test_runtime|test_qruntime|test_analysis'
 
 echo
 echo "== tier-1: TSan on the parallel execution-engine tests =="

@@ -1,0 +1,130 @@
+#include "analysis/finding.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace vedliot::analysis {
+
+std::string_view severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+void Report::add(Severity severity, std::string check_id, const std::string& message) {
+  Finding f;
+  f.severity = severity;
+  f.check_id = std::move(check_id);
+  f.message = message;
+  findings_.push_back(std::move(f));
+}
+
+void Report::add(Severity severity, std::string check_id, const Node& node,
+                 const std::string& message) {
+  Finding f;
+  f.severity = severity;
+  f.check_id = std::move(check_id);
+  f.node = node.id;
+  f.node_name = node.name;
+  f.message = message;
+  findings_.push_back(std::move(f));
+}
+
+void Report::merge(Report other) {
+  findings_.insert(findings_.end(), std::make_move_iterator(other.findings_.begin()),
+                   std::make_move_iterator(other.findings_.end()));
+}
+
+std::size_t Report::count(Severity s) const {
+  return static_cast<std::size_t>(std::count_if(
+      findings_.begin(), findings_.end(), [s](const Finding& f) { return f.severity == s; }));
+}
+
+bool Report::has(std::string_view check_id) const {
+  return std::any_of(findings_.begin(), findings_.end(),
+                     [check_id](const Finding& f) { return f.check_id == check_id; });
+}
+
+std::vector<Finding> Report::by_check(std::string_view check_id) const {
+  std::vector<Finding> out;
+  for (const Finding& f : findings_) {
+    if (f.check_id == check_id) out.push_back(f);
+  }
+  return out;
+}
+
+std::string Report::to_table() const {
+  Table t({"severity", "check", "node", "message"});
+  for (const Finding& f : findings_) {
+    t.add_row({std::string(severity_name(f.severity)), f.check_id,
+               f.node < 0 ? "<graph>" : f.node_name, f.message});
+  }
+  return t.to_string();
+}
+
+namespace {
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF] << "0123456789abcdef"[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string Report::to_json_lines() const {
+  std::ostringstream os;
+  for (const Finding& f : findings_) {
+    os << "{\"severity\":\"" << severity_name(f.severity) << "\",\"check\":";
+    json_escape(os, f.check_id);
+    os << ",\"node\":";
+    if (f.node < 0) {
+      os << "null";
+    } else {
+      json_escape(os, f.node_name);
+    }
+    os << ",\"message\":";
+    json_escape(os, f.message);
+    os << "}\n";
+  }
+  return os.str();
+}
+
+std::string Report::summary() const {
+  std::ostringstream os;
+  os << errors() << (errors() == 1 ? " error, " : " errors, ") << warnings()
+     << (warnings() == 1 ? " warning, " : " warnings, ") << count(Severity::kNote)
+     << (count(Severity::kNote) == 1 ? " note" : " notes");
+  return os.str();
+}
+
+}  // namespace vedliot::analysis

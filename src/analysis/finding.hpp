@@ -1,0 +1,71 @@
+#pragma once
+/// \file finding.hpp
+/// \brief Structured static-analysis findings (the IR verifier's output).
+///
+/// Instead of throwing on the first structural problem (Graph::validate's
+/// behaviour), the verifier accumulates Finding records — one per violated
+/// check — so a pass pipeline, a CI lint job or a package loader can report
+/// everything that is wrong at once and decide severity policy itself.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace vedliot::analysis {
+
+enum class Severity {
+  kNote,     ///< informational (statistics, reuse factors)
+  kWarning,  ///< suspicious but executable (unknown attr, dangling tag)
+  kError,    ///< the graph violates an IR contract; executors may misbehave
+};
+
+std::string_view severity_name(Severity s);
+
+/// One violated (or informational) check on one node or on the whole graph.
+struct Finding {
+  Severity severity = Severity::kError;
+  std::string check_id;     ///< stable dotted id, e.g. "ir.arity", "quant.act_scale.missing"
+  NodeId node = -1;         ///< -1 for graph-level findings
+  std::string node_name;    ///< empty for graph-level findings
+  std::string message;
+};
+
+/// An ordered collection of findings with severity accounting.
+class Report {
+ public:
+  void add(Severity severity, std::string check_id, const std::string& message);
+  void add(Severity severity, std::string check_id, const Node& node, const std::string& message);
+  void merge(Report other);
+
+  const std::vector<Finding>& findings() const { return findings_; }
+  bool empty() const { return findings_.empty(); }
+  std::size_t count(Severity s) const;
+  std::size_t errors() const { return count(Severity::kError); }
+  std::size_t warnings() const { return count(Severity::kWarning); }
+
+  /// True when no error-severity finding is present.
+  bool ok() const { return errors() == 0; }
+
+  /// True if any finding carries the given check id.
+  bool has(std::string_view check_id) const;
+
+  /// All findings with the given check id.
+  std::vector<Finding> by_check(std::string_view check_id) const;
+
+  /// Fixed-width human table (severity, check, node, message).
+  std::string to_table() const;
+
+  /// One JSON object per line: {"severity":...,"check":...,"node":...,"message":...}.
+  std::string to_json_lines() const;
+
+  /// Compact single-line summary, e.g. "2 errors, 1 warning, 3 notes".
+  std::string summary() const;
+
+ private:
+  std::vector<Finding> findings_;
+};
+
+}  // namespace vedliot::analysis

@@ -1,0 +1,56 @@
+#pragma once
+/// \file verifier.hpp
+/// \brief Strict IR verifier with per-OpKind contracts.
+///
+/// Where Graph::validate() throws on the first structural problem, the
+/// verifier checks every live node against the full operator contract —
+/// input arity, typed attribute schemas (required/optional/unknown/value
+/// domain), weight count/shape/dtype consistency, quantization-attr
+/// completeness, fusion-tag validity, reachability — and accumulates one
+/// Finding per violation. Callers (PassManager, package loader, the
+/// vedliot-lint CLI) decide severity policy from the Report.
+///
+/// Check-id catalog (stable, dotted; group prefix = toggle):
+///   ir.input.range/order/dead  ir.arity  ir.attr.missing/type/unknown/value
+///   ir.shape.stale/invalid     ir.name.duplicate/empty
+///   ir.graph.no_inputs/no_outputs  ir.input.unused  ir.unreachable
+///   weight.unexpected/count/bias/shape/partial/nonfinite/dtype
+///   quant.act_scale.missing/value  quant.weight_dtype.dangling
+///   quant.fused_act.unsupported
+///   fusion.fused_act.invalid/misplaced  fusion.fused_alpha.dangling
+///   fusion.fused_bn.misplaced/bias
+///   memory.dataflow  memory.peak/traffic/reuse (notes)
+
+#include <string_view>
+
+#include "analysis/finding.hpp"
+#include "graph/graph.hpp"
+
+namespace vedliot::analysis {
+
+/// Which check groups to run; all on by default.
+struct VerifyOptions {
+  bool ir = true;      ///< structure, arity, attr schemas, shapes, reachability
+  bool weights = true; ///< weight count/shape/bias/dtype/finiteness
+  bool quant = true;   ///< act_scale completeness, dangling weight_dtype
+  bool fusion = true;  ///< fused_act/fused_alpha/fused_bn tag validity
+  bool memory = true;  ///< liveness-derived statistics (notes)
+
+  static VerifyOptions all() { return {}; }
+  static VerifyOptions none() { return {false, false, false, false, false}; }
+};
+
+/// Parse a comma-separated group list ("ir,quant,fusion,memory,weights");
+/// "all" selects everything. Throws InvalidArgument on unknown group names.
+VerifyOptions parse_check_groups(std::string_view csv);
+
+/// Run the enabled check groups over \p g and return all findings.
+/// Never throws on IR defects — they become error findings.
+Report verify_graph(const Graph& g, const VerifyOptions& opts = VerifyOptions::all());
+
+/// Convenience: verify and throw GraphError (message = findings table) if
+/// any error-severity finding is present. Drop-in for Graph::validate()
+/// call sites that must keep throwing semantics.
+void verify_or_throw(const Graph& g, const VerifyOptions& opts = VerifyOptions::all());
+
+}  // namespace vedliot::analysis

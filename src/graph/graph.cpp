@@ -16,6 +16,7 @@ NodeId Graph::add_input(const std::string& name, Shape shape) {
   n.kind = OpKind::kInput;
   n.out_shape = std::move(shape);
   nodes_.push_back(std::move(n));
+  ++version_;
   return nodes_.back().id;
 }
 
@@ -31,6 +32,7 @@ NodeId Graph::add(OpKind kind, const std::string& name, std::vector<NodeId> inpu
   n.inputs = std::move(inputs);
   n.out_shape = infer_shape(n);
   nodes_.push_back(std::move(n));
+  ++version_;
   return nodes_.back().id;
 }
 
@@ -106,6 +108,7 @@ void Graph::bypass(NodeId id) {
     }
   }
   n.dead = true;
+  ++version_;
 }
 
 void Graph::replace_input(NodeId nid, NodeId old_input, NodeId new_input) {
@@ -120,6 +123,7 @@ void Graph::replace_input(NodeId nid, NodeId old_input, NodeId new_input) {
     }
   }
   if (!replaced) throw GraphError("replace_input: " + n.name + " does not consume the given node");
+  ++version_;
 }
 
 void Graph::infer_all() {
@@ -127,6 +131,7 @@ void Graph::infer_all() {
     if (n.dead || n.kind == OpKind::kInput) continue;
     n.out_shape = infer_shape(n);
   }
+  ++version_;
 }
 
 void Graph::validate() const {
@@ -385,6 +390,7 @@ void Graph::materialize_weights(Rng& rng) {
         break;
     }
   }
+  ++version_;
 }
 
 bool Graph::weights_materialized() const {

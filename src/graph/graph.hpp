@@ -96,6 +96,20 @@ class Graph {
   /// Re-run shape inference over the whole (live) graph; throws on mismatch.
   void infer_all();
 
+  /// Shape inference for one node from its current inputs/attrs, without
+  /// storing it. Lets analyses compare against the stored out_shape; throws
+  /// GraphError on structurally broken nodes.
+  Shape inferred_shape(NodeId id) const { return infer_shape(node(id)); }
+
+  /// Monotonic mutation counter: bumped by every structural change
+  /// (add/add_input/bypass/replace_input/infer_all/materialize_weights).
+  /// Analyses key their caches on it.
+  std::uint64_t version() const { return version_; }
+
+  /// Mark the graph mutated through a non-member mutation (direct Node
+  /// field edits via node()), invalidating cached analyses.
+  void touch() { ++version_; }
+
   /// Structural validation: acyclicity by construction, live inputs, shapes.
   void validate() const;
 
@@ -120,6 +134,7 @@ class Graph {
 
   std::string name_;
   std::vector<Node> nodes_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace vedliot

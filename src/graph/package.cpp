@@ -3,6 +3,7 @@
 #include <cstring>
 #include <map>
 
+#include "analysis/verifier.hpp"
 #include "graph/serialize.hpp"
 #include "util/error.hpp"
 
@@ -124,6 +125,10 @@ Graph unpack_model(std::span<const std::uint8_t> package) {
     }
   }
   if (!r.done()) throw GraphError("trailing bytes in model package");
+  // from_text already verified structure; re-verify now that weight records
+  // are attached so packages with wrong shapes/counts are rejected here with
+  // the findings table rather than crashing an executor later.
+  analysis::verify_or_throw(g);
   return g;
 }
 

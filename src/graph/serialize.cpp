@@ -3,6 +3,7 @@
 #include <map>
 #include <sstream>
 
+#include "analysis/verifier.hpp"
 #include "util/error.hpp"
 
 namespace vedliot {
@@ -167,12 +168,20 @@ Graph from_text(const std::string& text) {
       std::vector<std::int64_t> dims;
       for (const auto& piece : split(rest.substr(6), ',')) dims.push_back(std::stoll(piece));
       new_id = g.add_input(name, Shape{std::move(dims)});
+      // Inputs carry attrs too (e.g. act_scale after calibration); dropping
+      // them here used to silently de-calibrate round-tripped graphs.
+      if (!attrs.raw().empty()) {
+        g.node(new_id).attrs = std::move(attrs);
+        g.touch();
+      }
     } else {
       new_id = g.add(kind, name, std::move(inputs), std::move(attrs));
     }
     remap[file_id++] = new_id;
   }
-  g.validate();
+  // Full IR verification (not just Graph::validate): hand-edited or corrupt
+  // text is rejected with the complete findings table in the error message.
+  analysis::verify_or_throw(g);
   return g;
 }
 

@@ -215,6 +215,35 @@ Graph apply_channel_rounding(const Graph& g, std::int64_t multiple) {
   }
 
   out.infer_all();
+
+  // Pass 3: widening a producer changes the input-channel dimension of every
+  // downstream parametric node, including heads that were themselves skipped.
+  // Any node whose stored weights no longer match its (new) input shape must
+  // drop them for re-materialization, or executors would read stale layouts.
+  for (NodeId id : out.topo_order()) {
+    Node& n = out.node(id);
+    if (n.weights.empty() || !op_has_weights(n.kind)) continue;
+    const Shape& in = out.node(n.inputs.front()).out_shape;
+    Shape expect;
+    switch (n.kind) {
+      case OpKind::kConv2d: {
+        const auto oc = n.attrs.get_int("out_channels");
+        const auto k = n.attrs.get_int("kernel");
+        expect = Shape{oc, in.c() / n.attrs.get_int_or("groups", 1), k, k};
+        break;
+      }
+      case OpKind::kDense:
+        expect = Shape{n.attrs.get_int("units"), in.dim(1)};
+        break;
+      case OpKind::kBatchNorm:
+        expect = Shape{in.rank() == 4 ? in.c() : in.dim(1)};
+        break;
+      default:
+        continue;
+    }
+    if (!(n.weights.front().shape() == expect)) n.weights.clear();
+  }
+
   out.validate();
   return out;
 }

@@ -48,6 +48,9 @@ PassResult FuseBatchNormPass::run(Graph& g) {
         b.at(ci) = b.at(ci) * scale + shift;
       }
     }
+    // The fold (numeric now, or at materialization for analytic graphs)
+    // always needs a bias tensor to absorb the BatchNorm shift.
+    prod.attrs.set_int("bias", 1);
     prod.attrs.set_int("fused_bn", 1);
     g.bypass(id);
     ++r.nodes_changed;

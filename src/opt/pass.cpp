@@ -1,5 +1,7 @@
 #include "opt/pass.hpp"
 
+#include <map>
+
 namespace vedliot::opt {
 
 PassManager& PassManager::add(std::unique_ptr<Pass> pass) {
@@ -7,12 +9,51 @@ PassManager& PassManager::add(std::unique_ptr<Pass> pass) {
   return *this;
 }
 
-std::vector<PassResult> PassManager::run(Graph& g) {
+namespace {
+
+/// Live-node snapshot (id -> input list) for the structural diff.
+std::map<NodeId, std::vector<NodeId>> snapshot(const Graph& g) {
+  std::map<NodeId, std::vector<NodeId>> s;
+  for (NodeId id : g.topo_order()) s.emplace(id, g.node(id).inputs);
+  return s;
+}
+
+void fill_diff(PassResult& r, const std::map<NodeId, std::vector<NodeId>>& before,
+               const std::map<NodeId, std::vector<NodeId>>& after) {
+  for (const auto& [id, inputs] : after) {
+    auto it = before.find(id);
+    if (it == before.end()) {
+      ++r.nodes_added;
+    } else if (it->second != inputs) {
+      ++r.nodes_rewired;
+    }
+  }
+  for (const auto& [id, inputs] : before) {
+    if (!after.count(id)) ++r.nodes_killed;
+  }
+}
+
+}  // namespace
+
+std::vector<PassResult> PassManager::run(Graph& g, const PassOptions& opts) {
   std::vector<PassResult> results;
   results.reserve(passes_.size());
   for (auto& pass : passes_) {
-    results.push_back(pass->run(g));
-    g.validate();
+    const auto before = snapshot(g);
+    PassResult r = pass->run(g);
+    fill_diff(r, before, snapshot(g));
+
+    if (opts.verify) {
+      r.findings = analysis::verify_graph(g, opts.checks);
+      if (opts.strict && !r.findings.ok()) {
+        const std::string message = "pass '" + r.pass_name + "' left graph '" + g.name() +
+                                    "' invalid (" + r.findings.summary() + "):\n" +
+                                    r.findings.to_table();
+        analysis::Report findings = std::move(r.findings);
+        throw PassError(r.pass_name, std::move(findings), message);
+      }
+    }
+    results.push_back(std::move(r));
   }
   return results;
 }

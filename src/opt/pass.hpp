@@ -3,38 +3,80 @@
 /// \brief Optimization pass framework (Sec. III "model surgery").
 ///
 /// Passes mutate a Graph in place and report what they changed. The
-/// PassManager runs a pipeline and collects a per-pass log, mirroring how
-/// the paper's toolchain applies operator fusion, quantization and pruning
-/// between the ONNX import and target compilation stages.
+/// PassManager runs a pipeline, verifies the IR after every pass with the
+/// strict analysis verifier, attributes any findings to the offending pass,
+/// and records a structural diff (nodes added/killed/rewired) per pass —
+/// mirroring how the paper's toolchain applies operator fusion, quantization
+/// and pruning between the ONNX import and target compilation stages.
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "analysis/finding.hpp"
+#include "analysis/verifier.hpp"
 #include "graph/graph.hpp"
 
 namespace vedliot::opt {
 
 struct PassResult {
   std::string pass_name;
-  int nodes_changed = 0;     ///< nodes fused/rewritten/eliminated
+  int nodes_changed = 0;     ///< nodes fused/rewritten/eliminated (pass-reported)
   std::string detail;        ///< human-readable summary
+
+  /// Structural diff computed by the PassManager from before/after snapshots.
+  int nodes_added = 0;       ///< live nodes that did not exist before the pass
+  int nodes_killed = 0;      ///< nodes live before, dead (or gone) after
+  int nodes_rewired = 0;     ///< surviving nodes whose input list changed
+
+  /// Post-pass verification findings, attributed to this pass. Empty when
+  /// verification is disabled or the pass left the graph clean.
+  analysis::Report findings;
+};
+
+/// Thrown by PassManager in strict mode when a pass leaves the IR invalid.
+class PassError : public Error {
+ public:
+  PassError(std::string pass_name, analysis::Report findings, const std::string& message)
+      : Error(message), pass_name_(std::move(pass_name)), findings_(std::move(findings)) {}
+
+  const std::string& pass_name() const { return pass_name_; }
+  const analysis::Report& findings() const { return findings_; }
+
+ private:
+  std::string pass_name_;
+  analysis::Report findings_;
 };
 
 class Pass {
  public:
   virtual ~Pass() = default;
   virtual std::string name() const = 0;
-  /// Apply the pass; must leave the graph valid (validate() passes).
+  /// Apply the pass; must leave the graph verifier-clean.
   virtual PassResult run(Graph& g) = 0;
+};
+
+struct PassOptions {
+  bool verify = true;   ///< run the IR verifier after every pass
+  bool strict = true;   ///< throw PassError on error-severity findings
+  /// Check groups for the per-pass verification. The memory group is off by
+  /// default: its liveness statistics are O(n^2) notes, not invariants.
+  analysis::VerifyOptions checks = [] {
+    analysis::VerifyOptions v;
+    v.memory = false;
+    return v;
+  }();
 };
 
 class PassManager {
  public:
   PassManager& add(std::unique_ptr<Pass> pass);
 
-  /// Run all passes in order; validates the graph after each one.
-  std::vector<PassResult> run(Graph& g);
+  /// Run all passes in order; verifies the graph after each one per \p opts,
+  /// attributing findings (and, in strict mode, the PassError) to the pass
+  /// that produced them.
+  std::vector<PassResult> run(Graph& g, const PassOptions& opts);
+  std::vector<PassResult> run(Graph& g) { return run(g, PassOptions{}); }
 
   std::size_t size() const { return passes_.size(); }
 

@@ -4,6 +4,7 @@
 #include <deque>
 #include <set>
 
+#include "analysis/dataflow.hpp"
 #include "util/error.hpp"
 
 namespace vedliot {
@@ -11,44 +12,25 @@ namespace vedliot {
 MemoryPlan plan_memory_with_order(const Graph& g, std::span<const NodeId> order, DType act_dtype,
                                   std::int64_t alignment) {
   VEDLIOT_CHECK(alignment > 0, "alignment must be positive");
-  VEDLIOT_CHECK(order.size() == g.size(), "order must cover exactly the live nodes");
-  std::map<NodeId, std::size_t> step_of;
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    const auto [it, inserted] = step_of.emplace(order[i], i);
-    VEDLIOT_CHECK(inserted, "duplicate node in execution order");
-  }
-  // Topological validity: every input scheduled before its consumer.
-  for (NodeId id : order) {
-    for (NodeId in : g.node(id).inputs) {
-      VEDLIOT_CHECK(step_of.at(in) < step_of.at(id), "order is not topological");
-    }
-  }
+  // Order validation (coverage, duplicates, topological soundness) and
+  // lifetimes both come from the shared dataflow analysis: a buffer is born
+  // at its producer step and dies after its last consumer step (graph
+  // outputs live to the end).
+  const auto df = analysis::Dataflow::compute_with_order(g, order, act_dtype);
 
   MemoryPlan plan;
-  const double elem_bytes = dtype_bytes(act_dtype);
-
-  // Lifetimes: a buffer is born at its producer step and dies after its last
-  // consumer step (graph outputs live to the end).
-  std::map<NodeId, std::size_t> last_use;
-  for (NodeId id : order) last_use[id] = step_of[id];
-  for (NodeId id : order) {
-    for (NodeId in : g.node(id).inputs) last_use[in] = std::max(last_use[in], step_of[id]);
-  }
-  for (NodeId id : g.outputs()) last_use[id] = order.size();
-
   auto align_up = [&](std::int64_t v) { return (v + alignment - 1) / alignment * alignment; };
 
   // Greedy best-fit: place buffers in order of decreasing size at the lowest
   // offset where they don't collide with any already-placed, lifetime-
   // overlapping buffer.
   std::vector<BufferPlan> todo;
-  for (NodeId id : order) {
+  for (const analysis::LiveInterval& iv : df.intervals()) {
     BufferPlan b;
-    b.node = id;
-    b.size = align_up(static_cast<std::int64_t>(
-        static_cast<double>(g.node(id).out_shape.numel()) * elem_bytes + 0.999));
-    b.first_use = step_of[id];
-    b.last_use = last_use[id];
+    b.node = iv.node;
+    b.size = align_up(iv.bytes);
+    b.first_use = iv.def_step;
+    b.last_use = iv.last_use;
     plan.naive_bytes += b.size;
     todo.push_back(b);
   }

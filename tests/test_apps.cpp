@@ -157,7 +157,9 @@ TEST(Paeb, CrossoverMovesWithBandwidth) {
     const auto d = manager.decide(scenario, link, true);
     if (d.offloaded) seen_offload = true;
     else seen_local = true;
-    if (last_offloaded) EXPECT_TRUE(d.offloaded) << mbps;  // once on, stays on
+    if (last_offloaded) {
+      EXPECT_TRUE(d.offloaded) << mbps;  // once on, stays on
+    }
     last_offloaded = d.offloaded;
   }
   EXPECT_TRUE(seen_local);

@@ -51,7 +51,9 @@ TEST(Package, WeightDtypeTagSurvives) {
   Graph back = unpack_model(pack_model(g));
   for (NodeId id : back.topo_order()) {
     const Node& n = back.node(id);
-    if (n.kind == OpKind::kDense) EXPECT_EQ(n.weight_dtype, DType::kINT8);
+    if (n.kind == OpKind::kDense) {
+      EXPECT_EQ(n.weight_dtype, DType::kINT8);
+    }
   }
 }
 
