@@ -1,0 +1,97 @@
+// Chaos soak driver for the serving layer (serve/soak.hpp): sweep the
+// seeded closed-loop soak over fault rates {0, 0.05, 0.2}, check every
+// serving invariant plus cross-rate goodput monotonicity, and re-run the
+// first rate to prove bitwise determinism (identical to_json). Prints a
+// human summary table on stderr and one JSON-lines record per rate on
+// stdout (scripts/soak.sh redirects those into BENCH_serve.json).
+//
+// Usage: soak_serve [--seed N] [--duration S] [--arrival-hz H] [--quick]
+// Exit status 1 when any invariant is violated or determinism breaks.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "serve/soak.hpp"
+
+namespace {
+
+using vedliot::serve::SoakConfig;
+using vedliot::serve::SoakResult;
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed N] [--duration S] [--arrival-hz H] [--quick]\n", argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SoakConfig base;
+  base.seed = 0x5EEDu;
+  base.duration_s = 2.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      base.seed = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--duration") {
+      base.duration_s = std::strtod(next(), nullptr);
+    } else if (arg == "--arrival-hz") {
+      base.arrival_hz = std::strtod(next(), nullptr);
+    } else if (arg == "--quick") {
+      base.duration_s = 0.8;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  const std::vector<double> rates = {0.0, 0.05, 0.2};
+  std::vector<SoakResult> sweep;
+  bool ok = true;
+
+  std::fprintf(stderr, "chaos soak: seed=0x%llx duration=%.2fs arrival=%.0f Hz\n",
+               static_cast<unsigned long long>(base.seed), base.duration_s, base.arrival_hz);
+  std::fprintf(stderr, "%-6s %8s %9s %6s %7s %7s %7s %8s %8s\n", "rate", "offered",
+               "completed", "shed", "missed", "failed", "retries", "goodput", "brownout");
+  for (const double rate : rates) {
+    SoakConfig cfg = base;
+    cfg.fault_rate = rate;
+    SoakResult r = vedliot::serve::run_soak(cfg);
+    std::fprintf(stderr, "%-6.2f %8zu %9zu %6zu %7zu %7zu %7zu %8.4f %8d\n", rate,
+                 r.report.offered, r.report.completed, r.report.shed,
+                 r.report.deadline_missed, r.report.failed, r.report.retries, r.goodput(),
+                 r.report.max_brownout_level);
+    for (const std::string& v : r.violations) {
+      std::fprintf(stderr, "  INVARIANT VIOLATION: %s\n", v.c_str());
+      ok = false;
+    }
+    std::printf("%s\n", r.to_json().c_str());
+    sweep.push_back(std::move(r));
+  }
+
+  for (const std::string& v : vedliot::serve::check_goodput_monotone(sweep)) {
+    std::fprintf(stderr, "  INVARIANT VIOLATION: %s\n", v.c_str());
+    ok = false;
+  }
+
+  // Determinism: the same seed must reproduce the healthy run bit for bit.
+  SoakConfig again = base;
+  again.fault_rate = rates.front();
+  const SoakResult rerun = vedliot::serve::run_soak(again);
+  if (rerun.to_json() != sweep.front().to_json()) {
+    std::fprintf(stderr, "  INVARIANT VIOLATION: re-run of seed 0x%llx diverged [%s]\n",
+                 static_cast<unsigned long long>(base.seed), rerun.sim_describe.c_str());
+    ok = false;
+  }
+
+  std::fprintf(stderr, ok ? "soak OK: all invariants hold\n" : "soak FAILED\n");
+  return ok ? 0 : 1;
+}

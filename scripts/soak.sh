@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Long serving-layer chaos soak: the full-duration seeded sweep over fault
+# rates {0, 0.05, 0.2}, with the JSON-lines records captured into
+# BENCH_serve.json (one "soak-serve" object per rate; the human summary
+# table stays on stderr). Exit status is soak_serve's: non-zero when any
+# serving invariant is violated or bitwise determinism breaks.
+#
+# Usage: scripts/soak.sh [--seed N] [--duration S] [--arrival-hz H]
+#   (defaults: seed 0x5EED, duration 2.0 s, arrival 7000 Hz)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_serve.json"
+
+cmake -B build -S . > /dev/null
+cmake --build build -j"$(nproc)" --target soak_serve > /dev/null
+
+build/bench/soak_serve "$@" > "${OUT}"
+echo "soak records written to ${OUT}" >&2

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + complete test suite from a clean tree,
-# then an AddressSanitizer+UBSan build of the resilience-critical tests
+# a short seeded chaos soak of the serving layer, then an
+# AddressSanitizer+UBSan build of the resilience-critical tests
 # (including the runtime tests, which exercise activation-arena aliasing),
 # then a ThreadSanitizer build of the parallel execution-engine tests.
 #
@@ -24,18 +25,22 @@ build/src/apps/vedliot-lint --model build/resnet50.vmdl
 scripts/lint.sh
 
 echo
-echo "== tier-1: ASan+UBSan on the resilience/platform/observability/runtime/analysis tests =="
-cmake -B build-asan -S . -DVEDLIOT_SANITIZE=ON > /dev/null
-cmake --build build-asan "${JOBS}" --target test_resilience test_platform test_distributed test_util test_obs test_runtime test_qruntime test_analysis > /dev/null
-ctest --test-dir build-asan --output-on-failure "${JOBS}" \
-  -R 'test_resilience|test_platform|test_distributed|test_util|test_obs|test_runtime|test_qruntime|test_analysis'
+echo "== tier-1: serving-layer chaos soak (seeded, short) =="
+build/bench/soak_serve --quick > /dev/null
 
 echo
-echo "== tier-1: TSan on the parallel execution-engine tests =="
+echo "== tier-1: ASan+UBSan on the resilience/platform/observability/runtime/analysis/serve tests =="
+cmake -B build-asan -S . -DVEDLIOT_SANITIZE=ON > /dev/null
+cmake --build build-asan "${JOBS}" --target test_resilience test_platform test_distributed test_util test_obs test_runtime test_qruntime test_analysis test_serve > /dev/null
+ctest --test-dir build-asan --output-on-failure "${JOBS}" \
+  -R 'test_resilience|test_platform|test_distributed|test_util|test_obs|test_runtime|test_qruntime|test_analysis|test_serve'
+
+echo
+echo "== tier-1: TSan on the parallel execution-engine + serve tests =="
 cmake -B build-tsan -S . -DVEDLIOT_TSAN=ON > /dev/null
-cmake --build build-tsan "${JOBS}" --target test_util test_runtime test_qruntime > /dev/null
+cmake --build build-tsan "${JOBS}" --target test_util test_runtime test_qruntime test_serve > /dev/null
 ctest --test-dir build-tsan --output-on-failure "${JOBS}" \
-  -R 'test_util|test_runtime|test_qruntime'
+  -R 'test_util|test_runtime|test_qruntime|test_serve'
 
 echo
 echo "tier-1 OK"

@@ -1,6 +1,7 @@
 #include "platform/faults.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace vedliot::platform {
 
@@ -191,6 +192,21 @@ std::map<std::string, double> PlatformSimulator::gops_scales() const { return th
 bool PlatformSimulator::try_transfer(const std::string& from, const std::string& to) {
   (void)fabric_.route(from, to);  // throws NotFound on partition
   return !rng_.chance(cfg_.transient_transfer_prob);
+}
+
+std::optional<double> PlatformSimulator::next_fault_time() const {
+  if (next_ >= pending_.size()) return std::nullopt;
+  return pending_[next_].time_s;
+}
+
+std::string PlatformSimulator::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "PlatformSimulator{seed=0x%llx, now=%.4fs, faults applied=%zu skipped=%zu "
+                "pending=%zu, transient_prob=%g}",
+                static_cast<unsigned long long>(cfg_.seed), now_, applied_, skipped_,
+                pending_.size() - next_, cfg_.transient_transfer_prob);
+  return std::string(buf);
 }
 
 }  // namespace vedliot::platform

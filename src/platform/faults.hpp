@@ -115,6 +115,22 @@ class PlatformSimulator {
   std::size_t faults_applied() const { return applied_; }
   std::size_t faults_skipped() const { return skipped_; }
 
+  /// Time of the earliest scheduled-but-not-yet-applied fault, if any.
+  /// Discrete-event drivers (the serving layer) include it in their
+  /// next-event computation so faults take effect at their scheduled time
+  /// instead of at the driver's next natural wakeup.
+  std::optional<double> next_fault_time() const;
+
+  /// Seed behind the transient-transfer draws (and, by convention, the
+  /// fault campaigns scheduled onto this simulator).
+  std::uint64_t seed() const { return cfg_.seed; }
+
+  /// One-line identity for failure messages — the seed and fault counters
+  /// a CI log needs to reproduce a chaos-soak run:
+  ///   "PlatformSimulator{seed=0x5eed, now=1.2340s, faults applied=3
+  ///    skipped=0 pending=2, transient_prob=0.05}"
+  std::string describe() const;
+
  private:
   bool apply(const FaultEvent& e);
 

@@ -1,0 +1,43 @@
+#include "platform/health.hpp"
+
+#include "platform/faults.hpp"
+#include "util/error.hpp"
+
+namespace vedliot::platform {
+
+HealthMonitor::HealthMonitor(std::vector<std::string> slots, HealthConfig config)
+    : slots_(std::move(slots)), cfg_(config) {
+  VEDLIOT_CHECK(!slots_.empty(), "health monitor needs at least one slot");
+  VEDLIOT_CHECK(cfg_.miss_threshold >= 1, "miss threshold must be >= 1");
+}
+
+std::vector<HealthBeat> HealthMonitor::tick(const PlatformSimulator& sim) {
+  std::vector<HealthBeat> beats;
+  for (const auto& slot : slots_) {
+    const bool alive = sim.alive(slot);
+    if (down_.count(slot)) {
+      if (alive) {
+        down_.erase(slot);
+        misses_[slot] = 0;
+        beats.push_back(HealthBeat{slot, 0, false, true});
+      }
+      continue;
+    }
+    if (alive) {
+      misses_[slot] = 0;
+      continue;
+    }
+    const int n = ++misses_[slot];
+    HealthBeat beat{slot, n, n >= cfg_.miss_threshold, false};
+    if (beat.declared_down) down_.insert(slot);
+    beats.push_back(beat);
+  }
+  return beats;
+}
+
+void HealthMonitor::mark_up(const std::string& slot) {
+  down_.erase(slot);
+  misses_.erase(slot);
+}
+
+}  // namespace vedliot::platform

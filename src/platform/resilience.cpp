@@ -99,11 +99,13 @@ ResilienceController::ResilienceController(const Graph& g, PlatformSimulator& si
       cfg_(config),
       rng_(config.seed),
       dtype_(dtype),
-      stages_(num_stages) {
+      stages_(num_stages),
+      health_(slots_, HealthConfig{config.heartbeat_miss_threshold}) {
   VEDLIOT_CHECK(!slots_.empty(), "resilience controller needs at least one slot");
   VEDLIOT_CHECK(cfg_.heartbeat_period_s > 0, "heartbeat period must be positive");
   VEDLIOT_CHECK(cfg_.heartbeat_miss_threshold >= 1, "miss threshold must be >= 1");
   VEDLIOT_CHECK(cfg_.max_transfer_attempts >= 1, "need at least one transfer attempt");
+  cfg_.max_transfer_attempts = std::min(cfg_.max_transfer_attempts, kTransferAttemptCap);
   VEDLIOT_CHECK(cfg_.latency_budget_s > 0, "latency budget must be positive");
   VEDLIOT_CHECK(cfg_.redeploy_gbps > 0, "redeploy bandwidth must be positive");
 }
@@ -167,8 +169,7 @@ void ResilienceController::note_injected(double t, const std::vector<FaultEvent>
         break;
       }
       case FaultKind::kModuleRestart:
-        detected_down_.erase(e.slot);
-        misses_.erase(e.slot);
+        health_.mark_up(e.slot);
         undetected_.erase(e.subject());
         need_replan_ = true;
         replan_reason_ = "capacity restored: " + e.subject();
@@ -183,34 +184,33 @@ void ResilienceController::note_injected(double t, const std::vector<FaultEvent>
 }
 
 void ResilienceController::heartbeat_tick(double t) {
-  for (const auto& slot : slots_) {
-    if (detected_down_.count(slot)) continue;
-    if (sim_.alive(slot)) {
-      misses_[slot] = 0;
-      continue;
-    }
-    const int n = ++misses_[slot];
-    log(t, ResilienceEventKind::kHeartbeatMiss, "slot " + slot,
-        std::to_string(n) + "/" + std::to_string(cfg_.heartbeat_miss_threshold),
-        static_cast<double>(n));
-    if (n < cfg_.heartbeat_miss_threshold) continue;
+  for (const HealthBeat& beat : health_.tick(sim_)) {
+    // Restarts reach the controller as module-restart fault events (which
+    // mark_up the monitor before this tick), so recovered beats only occur
+    // when a slot revives without one; the replan is driven by the event.
+    if (beat.recovered) continue;
+    log(t, ResilienceEventKind::kHeartbeatMiss, "slot " + beat.slot,
+        std::to_string(beat.misses) + "/" + std::to_string(cfg_.heartbeat_miss_threshold),
+        static_cast<double>(beat.misses));
+    if (!beat.declared_down) continue;
 
-    detected_down_.insert(slot);
-    const std::string subject = "slot " + slot;
-    std::string detail = "declared dead after " + std::to_string(n) + " missed heartbeats";
+    const std::string subject = "slot " + beat.slot;
+    std::string detail =
+        "declared dead after " + std::to_string(beat.misses) + " missed heartbeats";
     if (const auto it = undetected_.find(subject); it != undetected_.end()) {
       report_.detection_latencies_s.push_back(t - it->second);
       undetected_.erase(it);
     }
-    log(t, ResilienceEventKind::kFaultDetected, subject, detail, static_cast<double>(n));
+    log(t, ResilienceEventKind::kFaultDetected, subject, detail,
+        static_cast<double>(beat.misses));
     if (detect_mark_ < 0) detect_mark_ = t;
 
     const bool in_plan =
         plan_valid_ && std::any_of(plan_.stages.begin(), plan_.stages.end(),
-                                   [&](const Stage& st) { return st.slot == slot; });
+                                   [&](const Stage& st) { return st.slot == beat.slot; });
     if (in_plan || !plan_valid_) {
       need_replan_ = true;
-      replan_reason_ = "module crash on " + slot;
+      replan_reason_ = "module crash on " + beat.slot;
     }
   }
 }

@@ -26,6 +26,7 @@
 #include "obs/trace.hpp"
 #include "platform/distributed.hpp"
 #include "platform/faults.hpp"
+#include "platform/health.hpp"
 #include "safety/robustness.hpp"
 #include "util/rng.hpp"
 
@@ -62,7 +63,8 @@ struct ResilienceConfig {
   double heartbeat_period_s = 10e-3;  ///< health-probe cadence
   int heartbeat_miss_threshold = 3;   ///< consecutive misses -> dead
 
-  int max_transfer_attempts = 5;      ///< per stage boundary per frame
+  int max_transfer_attempts = 5;      ///< per stage boundary per frame;
+                                      ///< clamped to kTransferAttemptCap
   double backoff_base_s = 1e-3;       ///< exponential backoff base
   double backoff_cap_s = 32e-3;       ///< backoff ceiling
 
@@ -116,6 +118,11 @@ struct ResilienceReport {
 /// Orchestrates one distributed pipeline over a PlatformSimulator.
 class ResilienceController {
  public:
+  /// Hard cap on ResilienceConfig::max_transfer_attempts: the per-frame
+  /// retry loop stays bounded even when a caller passes a huge budget, so
+  /// a long soak against a permanently-failing link cannot wedge the run.
+  static constexpr int kTransferAttemptCap = 64;
+
   ResilienceController(const Graph& g, PlatformSimulator& sim,
                        std::vector<std::string> slots, std::size_t num_stages,
                        DType dtype, ResilienceConfig config);
@@ -165,9 +172,8 @@ class ResilienceController {
   std::size_t stages_;
   bool plan_valid_ = false;
 
-  std::map<std::string, int> misses_;
+  HealthMonitor health_;                       ///< heartbeat miss detection
   std::map<std::string, double> undetected_;   ///< subject -> inject time
-  std::set<std::string> detected_down_;        ///< slots declared dead
   std::set<std::string> quarantined_;          ///< corrupt-model slots
   std::deque<PendingVerdict> verdicts_;        ///< sorted by arrival time
   bool need_replan_ = false;

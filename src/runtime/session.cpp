@@ -38,6 +38,8 @@ class FloatSession final : public Session {
 
   const Graph& graph() const override { return graph_; }
   std::string backend() const override { return "float-reference"; }
+  void set_max_batch(std::int64_t max_batch) override { options_.max_batch = max_batch; }
+  std::int64_t max_batch() const override { return options_.max_batch; }
 
  private:
   const Graph& graph_;
@@ -76,6 +78,8 @@ class QuantizedSession final : public Session {
 
   const Graph& graph() const override { return graph_; }
   std::string backend() const override { return "int8"; }
+  void set_max_batch(std::int64_t max_batch) override { options_.max_batch = max_batch; }
+  std::int64_t max_batch() const override { return options_.max_batch; }
 
  private:
   const Graph& graph_;

@@ -87,6 +87,12 @@ class Session {
 
   /// Backend identifier: "float-reference" or "int8".
   virtual std::string backend() const = 0;
+
+  /// Serving-side admission cap (see RunOptions::max_batch): brownout
+  /// controllers shrink it on a live session without rebuilding the
+  /// executor, and restore it when headroom returns. 0 = no limit.
+  virtual void set_max_batch(std::int64_t max_batch) = 0;
+  virtual std::int64_t max_batch() const = 0;
 };
 
 /// Float reference session (wraps Executor). The graph must outlive the

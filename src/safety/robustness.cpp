@@ -30,6 +30,7 @@ CheckResult RobustnessService::submit(const Tensor& input, const Tensor& output)
   VEDLIOT_CHECK(golden.shape() == output.shape(),
                 "robustness service: output shape mismatch");
   const float diff = max_abs_diff(golden, output);
+  last_divergence_ = diff;
   if (diff > cfg_.tolerance) {
     ++faults_;
     return CheckResult::kCheckedFaulty;

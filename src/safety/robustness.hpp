@@ -47,6 +47,12 @@ class RobustnessService {
   std::size_t checks_run() const { return checks_; }
   std::size_t faults_detected() const { return faults_; }
 
+  /// Max-abs |golden - submitted| divergence measured by the most recent
+  /// *verified* submission (0 until the first check runs). Serving layers
+  /// surface it in degraded-quality events so a checked-faulty response
+  /// carries how far off it was.
+  double last_divergence() const { return last_divergence_; }
+
  private:
   Graph golden_;
   std::unique_ptr<Executor> exec_;
@@ -54,6 +60,7 @@ class RobustnessService {
   std::size_t submissions_ = 0;
   std::size_t checks_ = 0;
   std::size_t faults_ = 0;
+  double last_divergence_ = 0.0;
 };
 
 /// Run-time fault injector: emulates the systematic faults the service must

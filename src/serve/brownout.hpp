@@ -1,0 +1,44 @@
+#pragma once
+/// \file brownout.hpp
+/// \brief Hysteretic brownout controller: which rung of the degradation
+/// ladder the server should be on, given a scalar load signal.
+///
+/// Level 0 is full quality; higher levels are progressively cheaper
+/// configurations (int8 precision, smaller admission batch, smaller
+/// fallback model — the server defines the rungs, this class only picks
+/// the level). The controller is deliberately sluggish in both directions:
+/// the load must sit above the high watermark for `step_down_after`
+/// consecutive observations before degrading one rung, and below the low
+/// watermark for the (longer) `step_up_after` before recovering one rung,
+/// so a load level between the watermarks holds the current rung and the
+/// server cannot flap between qualities on a noisy signal.
+
+namespace vedliot::serve {
+
+struct BrownoutConfig {
+  double high_watermark = 0.75;  ///< load >= this counts toward degrading
+  double low_watermark = 0.25;   ///< load <= this counts toward recovering
+  int step_down_after = 3;       ///< consecutive hot observations per rung
+  int step_up_after = 12;        ///< consecutive calm observations per rung
+  int max_level = 1;             ///< deepest rung (ladder size - 1)
+};
+
+class BrownoutLadder {
+ public:
+  explicit BrownoutLadder(BrownoutConfig config);
+
+  /// Feed one load observation (the server samples once per control tick).
+  /// Returns the level delta applied this observation: +1 stepped one rung
+  /// down in quality, -1 recovered one rung, 0 held.
+  int observe(double load);
+
+  int level() const { return level_; }
+
+ private:
+  BrownoutConfig cfg_;
+  int level_ = 0;
+  int hot_streak_ = 0;
+  int calm_streak_ = 0;
+};
+
+}  // namespace vedliot::serve

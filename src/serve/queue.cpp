@@ -1,0 +1,69 @@
+#include "serve/queue.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vedliot::serve {
+
+namespace {
+
+/// True when a dispatches before b: priority desc, deadline asc, enqueue
+/// asc, id asc — a strict total order, so dispatch is deterministic.
+bool dispatches_before(const Ticket& a, const Ticket& b) {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  if (a.deadline_s != b.deadline_s) return a.deadline_s < b.deadline_s;
+  if (a.enqueued_s != b.enqueued_s) return a.enqueued_s < b.enqueued_s;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+AdmissionQueue::AdmissionQueue(QueueConfig config) : cfg_(config) {
+  VEDLIOT_CHECK(cfg_.capacity >= 1, "admission queue capacity must be >= 1");
+}
+
+void AdmissionQueue::push(Ticket t) {
+  VEDLIOT_CHECK(!full(), "admission queue overflow (caller must shed or displace)");
+  tickets_.push_back(t);
+}
+
+std::optional<Ticket> AdmissionQueue::pop(double now) {
+  auto best = tickets_.end();
+  for (auto it = tickets_.begin(); it != tickets_.end(); ++it) {
+    if (it->not_before_s > now) continue;
+    if (best == tickets_.end() || dispatches_before(*it, *best)) best = it;
+  }
+  if (best == tickets_.end()) return std::nullopt;
+  Ticket t = *best;
+  tickets_.erase(best);
+  return t;
+}
+
+std::vector<Ticket> AdmissionQueue::expire(double now) {
+  std::vector<Ticket> expired;
+  auto keep = tickets_.begin();
+  for (auto& t : tickets_) {
+    if (t.deadline_s < now) {
+      expired.push_back(t);
+    } else {
+      *keep++ = t;
+    }
+  }
+  tickets_.erase(keep, tickets_.end());
+  return expired;
+}
+
+std::optional<Ticket> AdmissionQueue::displace(int priority) {
+  auto worst = tickets_.end();
+  for (auto it = tickets_.begin(); it != tickets_.end(); ++it) {
+    if (it->priority >= priority) continue;
+    if (worst == tickets_.end() || dispatches_before(*worst, *it)) worst = it;
+  }
+  if (worst == tickets_.end()) return std::nullopt;
+  Ticket t = *worst;
+  tickets_.erase(worst);
+  return t;
+}
+
+}  // namespace vedliot::serve

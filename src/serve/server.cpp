@@ -1,0 +1,609 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "hw/perf_model.hpp"
+#include "obs/json.hpp"
+#include "platform/baseboard.hpp"
+
+namespace vedliot::serve {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string ms(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  return buf;
+}
+
+}  // namespace
+
+std::string_view serve_event_name(ServeEventKind kind) {
+  switch (kind) {
+    case ServeEventKind::kAdmitted: return "admitted";
+    case ServeEventKind::kShed: return "shed";
+    case ServeEventKind::kDisplaced: return "displaced";
+    case ServeEventKind::kDispatched: return "dispatched";
+    case ServeEventKind::kTransientFault: return "transient-fault";
+    case ServeEventKind::kBackendFailure: return "backend-failure";
+    case ServeEventKind::kRetry: return "retry";
+    case ServeEventKind::kFailed: return "failed";
+    case ServeEventKind::kCancelled: return "cancelled";
+    case ServeEventKind::kCompleted: return "completed";
+    case ServeEventKind::kDeadlineMiss: return "deadline-miss";
+    case ServeEventKind::kQualityDegraded: return "quality-degraded";
+    case ServeEventKind::kBackendDown: return "backend-down";
+    case ServeEventKind::kBackendUp: return "backend-up";
+    case ServeEventKind::kBreakerOpen: return "breaker-open";
+    case ServeEventKind::kBreakerHalfOpen: return "breaker-half-open";
+    case ServeEventKind::kBreakerClosed: return "breaker-closed";
+    case ServeEventKind::kBrownoutDown: return "brownout-down";
+    case ServeEventKind::kBrownoutUp: return "brownout-up";
+  }
+  throw InvalidArgument("unknown serve event kind");
+}
+
+std::string format_serve_event(const ServeEvent& e) {
+  char head[64];
+  std::snprintf(head, sizeof(head), "[%8.4fs] %-18s ", e.time_s,
+                std::string(serve_event_name(e.kind)).c_str());
+  std::string out(head);
+  out += e.subject;
+  if (!e.detail.empty()) {
+    out += "  ";
+    out += e.detail;
+  }
+  return out;
+}
+
+double ServeReport::goodput() const {
+  if (offered == 0) return 0.0;
+  return static_cast<double>(completed) / static_cast<double>(offered);
+}
+
+std::string ServeReport::to_json() const {
+  std::string out = "{\"record\":\"serve-report\"";
+  out += ",\"offered\":" + obs::json_number(static_cast<double>(offered));
+  out += ",\"admitted\":" + obs::json_number(static_cast<double>(admitted));
+  out += ",\"shed\":" + obs::json_number(static_cast<double>(shed));
+  out += ",\"displaced\":" + obs::json_number(static_cast<double>(displaced));
+  out += ",\"completed\":" + obs::json_number(static_cast<double>(completed));
+  out += ",\"deadline_missed\":" + obs::json_number(static_cast<double>(deadline_missed));
+  out += ",\"cancelled\":" + obs::json_number(static_cast<double>(cancelled));
+  out += ",\"failed\":" + obs::json_number(static_cast<double>(failed));
+  out += ",\"retries\":" + obs::json_number(static_cast<double>(retries));
+  out += ",\"quality_degraded\":" + obs::json_number(static_cast<double>(quality_degraded));
+  out += ",\"max_queue_depth\":" + obs::json_number(static_cast<double>(max_queue_depth));
+  out += ",\"max_brownout_level\":" + obs::json_number(static_cast<double>(max_brownout_level));
+  out +=
+      ",\"final_brownout_level\":" + obs::json_number(static_cast<double>(final_brownout_level));
+  out += ",\"goodput\":" + obs::json_number(goodput());
+  out += ",\"events\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const ServeEvent& e = events[i];
+    if (i) out += ",";
+    out += "{\"time_s\":" + obs::json_number(e.time_s);
+    out += ",\"kind\":\"" + obs::json_escape(serve_event_name(e.kind)) + "\"";
+    out += ",\"subject\":\"" + obs::json_escape(e.subject) + "\"";
+    out += ",\"detail\":\"" + obs::json_escape(e.detail) + "\"";
+    out += ",\"value\":" + obs::json_number(e.value) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Server::Server(platform::PlatformSimulator& sim, ServerConfig config)
+    : sim_(sim),
+      cfg_(std::move(config)),
+      rng_(cfg_.seed),
+      queue_(cfg_.queue),
+      ladder_([&] {
+        BrownoutConfig b = cfg_.brownout;
+        b.max_level = static_cast<int>(cfg_.ladder.size()) - 1;
+        return b;
+      }()),
+      health_(cfg_.backends, cfg_.health) {
+  VEDLIOT_CHECK(!cfg_.backends.empty(), "server needs at least one backend");
+  VEDLIOT_CHECK(!cfg_.variants.empty(), "server needs at least one model variant");
+  VEDLIOT_CHECK(!cfg_.ladder.empty(), "degradation ladder needs at least one rung");
+  for (const auto& step : cfg_.ladder) {
+    VEDLIOT_CHECK(step.variant < cfg_.variants.size(), "ladder rung names unknown variant");
+    VEDLIOT_CHECK(cfg_.variants[step.variant].graph != nullptr, "model variant needs a graph");
+  }
+  VEDLIOT_CHECK(cfg_.control_period_s > 0, "control period must be positive");
+  VEDLIOT_CHECK(cfg_.retry_tokens_per_request >= 0, "retry token rate must be >= 0");
+  VEDLIOT_CHECK(cfg_.backoff_base_s > 0 && cfg_.backoff_cap_s > 0,
+                "backoff parameters must be positive");
+  for (const auto& slot : cfg_.backends) {
+    VEDLIOT_CHECK(sim_.chassis().occupied(slot), "backend slot " + slot + " has no module");
+    breakers_.emplace(slot, CircuitBreaker(cfg_.breaker));
+  }
+  base_latency_.resize(cfg_.variants.size());
+  if (cfg_.execute) {
+    for (const auto& v : cfg_.variants) {
+      runtime::RunOptions opts;
+      opts.threads = cfg_.threads;
+      opts.max_batch = cfg_.ladder.front().max_batch;
+      sessions_.push_back(v.quantized ? runtime::make_quantized_session(*v.graph, opts)
+                                      : runtime::make_session(*v.graph, opts));
+    }
+  }
+}
+
+Server::~Server() = default;
+
+std::uint64_t Server::submit(Request r) {
+  VEDLIOT_CHECK(!ran_, "submit all load before run()");
+  VEDLIOT_CHECK(r.arrival_s >= 0, "arrival time must be >= 0");
+  VEDLIOT_CHECK(r.deadline_s > r.arrival_s, "deadline must lie after arrival");
+  VEDLIOT_CHECK(r.batch >= 1, "batch must be >= 1");
+  if (r.id == 0) r.id = next_id_;
+  next_id_ = std::max(next_id_, r.id + 1);
+  arrivals_.push_back(r);
+  return r.id;
+}
+
+void Server::log(double t, ServeEventKind kind, const std::string& subject,
+                 const std::string& detail, double value) {
+  report_.events.push_back(ServeEvent{t, kind, subject, detail, value});
+  if (cfg_.trace) {
+    obs::Span& sp =
+        cfg_.trace->instant(std::string(serve_event_name(kind)), "vedliot.serve");
+    sp.attrs.emplace_back("subject", subject);
+    if (!detail.empty()) sp.attrs.emplace_back("detail", detail);
+    sp.num_attrs.emplace_back("time_s", t);
+    sp.num_attrs.emplace_back("value", value);
+  }
+  if (cfg_.metrics) {
+    cfg_.metrics->counter("vedliot.serve." + std::string(serve_event_name(kind))).inc();
+  }
+}
+
+void Server::log_transition(double t, const std::string& slot, const BreakerTransition& tr) {
+  ServeEventKind kind;
+  switch (tr.to) {
+    case BreakerState::kOpen: kind = ServeEventKind::kBreakerOpen; break;
+    case BreakerState::kHalfOpen: kind = ServeEventKind::kBreakerHalfOpen; break;
+    case BreakerState::kClosed: kind = ServeEventKind::kBreakerClosed; break;
+    default: throw InvalidArgument("unknown breaker state");
+  }
+  log(t, kind, "backend " + slot, tr.reason);
+}
+
+double Server::service_time(const std::string& slot, std::int64_t batch) const {
+  // A crashed module is hot-removed from the chassis, so its device spec
+  // is unreadable while down: report it unusable without poisoning the
+  // cache (the estimate is re-computed once the module restarts).
+  if (!sim_.alive(slot)) return kInf;
+  const std::size_t variant = rung().variant;
+  auto& cache = base_latency_[variant];
+  auto it = cache.find(slot);
+  if (it == cache.end()) {
+    const ModelVariant& v = cfg_.variants[variant];
+    double base = kInf;  // backend cannot run this precision -> never chosen
+    try {
+      base = hw::estimate(sim_.chassis().module_at(slot).device_spec(), *v.graph, v.dtype)
+                 .latency_s;
+    } catch (const Unsupported&) {
+    }
+    it = cache.emplace(slot, base).first;
+  }
+  const double scale = sim_.gops_scale(slot);
+  return it->second * static_cast<double>(batch) / std::max(scale, 1e-9);
+}
+
+std::optional<std::pair<double, double>> Server::service_bounds(std::int64_t batch) const {
+  double fast = kInf, slow = 0;
+  for (const auto& slot : cfg_.backends) {
+    if (!breakers_.at(slot).allow()) continue;
+    const double svc = service_time(slot, batch);
+    if (!std::isfinite(svc)) continue;
+    fast = std::min(fast, svc);
+    slow = std::max(slow, svc);
+  }
+  if (!std::isfinite(fast)) return std::nullopt;
+  return std::make_pair(fast, slow);
+}
+
+void Server::admit(const Request& r) {
+  const double t = r.arrival_s;
+  ++report_.offered;
+  requests_.emplace(r.id, r);
+  double& tokens = retry_tokens_[r.client];
+  tokens = std::min(cfg_.retry_token_cap, tokens + cfg_.retry_tokens_per_request);
+  const std::string subject = "request " + std::to_string(r.id);
+
+  const BrownoutStep& step = rung();
+  if (step.max_batch > 0 && r.batch > step.max_batch) {
+    ++report_.shed;
+    log(t, ServeEventKind::kShed, subject,
+        "batch " + std::to_string(r.batch) + " exceeds brownout cap " +
+            std::to_string(step.max_batch));
+    return;
+  }
+
+  std::size_t allowed = 0;
+  for (const auto& slot : cfg_.backends) {
+    if (breakers_.at(slot).allow()) ++allowed;
+  }
+  const auto bounds = service_bounds(r.batch);
+  if (!bounds || allowed == 0) {
+    ++report_.shed;
+    log(t, ServeEventKind::kShed, subject, "no backend available (breakers open)");
+    return;
+  }
+
+  // Conservative wait bound from the cost model: the queue drains across
+  // the allowed backends at the fastest per-request rate, and this request
+  // may land on the slowest one. Shedding on an estimate keeps the bounded
+  // queue from filling with doomed work.
+  const double est_done = t +
+                          (static_cast<double>(queue_.depth()) /
+                           static_cast<double>(allowed)) *
+                              bounds->first +
+                          bounds->second;
+  if (est_done > r.deadline_s) {
+    ++report_.shed;
+    log(t, ServeEventKind::kShed, subject,
+        "deadline infeasible: est completion " + ms(est_done - t) + " > budget " +
+            ms(r.deadline_s - t),
+        est_done - r.deadline_s);
+    return;
+  }
+
+  if (queue_.full()) {
+    const auto victim = queue_.displace(r.priority);
+    if (!victim) {
+      ++report_.shed;
+      log(t, ServeEventKind::kShed, subject, "queue full");
+      return;
+    }
+    ++report_.displaced;
+    log(t, ServeEventKind::kDisplaced, "request " + std::to_string(victim->id),
+        "evicted by higher-priority request " + std::to_string(r.id),
+        static_cast<double>(r.priority));
+  }
+
+  queue_.push(Ticket{r.id, r.priority, r.deadline_s, 0.0, t});
+  ++report_.admitted;
+  report_.max_queue_depth = std::max(report_.max_queue_depth, queue_.depth());
+  log(t, ServeEventKind::kAdmitted, subject,
+      "priority " + std::to_string(r.priority) + ", budget " + ms(r.deadline_s - t),
+      static_cast<double>(queue_.depth()));
+}
+
+void Server::apply_brownout(double t, int delta) {
+  if (delta == 0) return;
+  level_ = ladder_.level();
+  report_.max_brownout_level = std::max(report_.max_brownout_level, level_);
+  const BrownoutStep& step = rung();
+  const ModelVariant& v = cfg_.variants[step.variant];
+  if (cfg_.execute) sessions_[step.variant]->set_max_batch(step.max_batch);
+  log(t, delta > 0 ? ServeEventKind::kBrownoutDown : ServeEventKind::kBrownoutUp, "brownout",
+      "level " + std::to_string(level_) + ": variant " + v.name + ", batch cap " +
+          std::to_string(step.max_batch),
+      static_cast<double>(level_));
+}
+
+void Server::control_tick(double t) {
+  for (const platform::HealthBeat& beat : health_.tick(sim_)) {
+    if (beat.recovered) {
+      // Back alive: the breaker stays open until its probes succeed, so a
+      // flapping module must prove itself before regaining queue share.
+      log(t, ServeEventKind::kBackendUp, "backend " + beat.slot,
+          "heartbeats answering again");
+      continue;
+    }
+    if (!beat.declared_down) continue;
+    log(t, ServeEventKind::kBackendDown, "backend " + beat.slot,
+        "declared dead after " + std::to_string(beat.misses) + " missed heartbeats",
+        static_cast<double>(beat.misses));
+    if (const auto tr = breakers_.at(beat.slot).force_open(t, "heartbeat monitor: backend down")) {
+      log_transition(t, beat.slot, *tr);
+    }
+  }
+
+  for (auto& [slot, breaker] : breakers_) {
+    if (const auto tr = breaker.tick(t)) log_transition(t, slot, *tr);
+  }
+
+  for (const Ticket& dead : queue_.expire(t)) {
+    ++report_.cancelled;
+    log(t, ServeEventKind::kCancelled, "request " + std::to_string(dead.id),
+        "deadline passed in queue");
+  }
+
+  std::size_t open = 0;
+  for (const auto& [slot, breaker] : breakers_) {
+    if (breaker.state() == BreakerState::kOpen) ++open;
+  }
+  const double load =
+      std::max(static_cast<double>(queue_.depth()) / static_cast<double>(queue_.capacity()),
+               static_cast<double>(open) / static_cast<double>(cfg_.backends.size()));
+  apply_brownout(t, ladder_.observe(load));
+
+  if (cfg_.metrics) {
+    cfg_.metrics->gauge("vedliot.serve.queue_depth").set(static_cast<double>(queue_.depth()));
+    cfg_.metrics->gauge("vedliot.serve.brownout_level").set(static_cast<double>(level_));
+    cfg_.metrics->gauge("vedliot.serve.open_breakers").set(static_cast<double>(open));
+  }
+
+  try_dispatch(t);
+}
+
+void Server::try_dispatch(double t) {
+  while (!queue_.empty()) {
+    // Free, breaker-allowed backends that can run the current variant.
+    std::vector<std::string> free;
+    for (const auto& slot : cfg_.backends) {
+      if (in_flight_.count(slot)) continue;
+      if (!breakers_.at(slot).allow()) continue;
+      if (!std::isfinite(service_time(slot, 1))) continue;
+      free.push_back(slot);
+    }
+    if (free.empty()) return;
+
+    const auto ticket = queue_.pop(t);
+    if (!ticket) return;  // everything dispatchable is gated by a backoff
+    const Request& r = requests_.at(ticket->id);
+    const std::string subject = "request " + std::to_string(ticket->id);
+
+    // Fastest free backend (ties broken by the deterministic slot order).
+    std::string best = free.front();
+    double best_svc = service_time(best, r.batch);
+    for (std::size_t i = 1; i < free.size(); ++i) {
+      const double svc = service_time(free[i], r.batch);
+      if (svc < best_svc) {
+        best = free[i];
+        best_svc = svc;
+      }
+    }
+
+    if (t + best_svc > ticket->deadline_s) {
+      ++report_.cancelled;
+      log(t, ServeEventKind::kCancelled, subject,
+          "infeasible at dispatch: fastest backend needs " + ms(best_svc) +
+              ", deadline in " + ms(ticket->deadline_s - t));
+      continue;
+    }
+
+    CircuitBreaker& breaker = breakers_.at(best);
+    breaker.on_dispatch();
+    bool ok = false;
+    std::string why = "transient transfer error";
+    try {
+      ok = sim_.try_transfer(cfg_.ingress, best);
+    } catch (const NotFound&) {
+      why = "fabric partition";
+    }
+    if (!ok) {
+      log(t, ServeEventKind::kTransientFault, subject,
+          cfg_.ingress + "->" + best + " request transfer failed (" + why + ")");
+      if (const auto tr = breaker.record_failure(t, why + " to " + best)) {
+        log_transition(t, best, *tr);
+      }
+      retry_or_fail(t, *ticket, "transfer to " + best + " failed");
+      continue;
+    }
+
+    in_flight_[best] = InFlight{*ticket, best, t, t + best_svc, sim_.gops_scale(best)};
+    log(t, ServeEventKind::kDispatched, subject,
+        best + " (" + cfg_.variants[rung().variant].name + "), service " + ms(best_svc),
+        best_svc);
+  }
+}
+
+void Server::retry_or_fail(double t, Ticket ticket, const std::string& reason) {
+  const int attempt = ++attempts_[ticket.id];
+  const Request& r = requests_.at(ticket.id);
+  const std::string subject = "request " + std::to_string(ticket.id);
+  double& tokens = retry_tokens_[r.client];
+
+  if (tokens < 1.0) {
+    ++report_.failed;
+    log(t, ServeEventKind::kFailed, subject,
+        reason + "; client " + r.client + " retry budget empty");
+    return;
+  }
+  const double backoff = rng_.backoff_s(cfg_.backoff_base_s, cfg_.backoff_cap_s, attempt - 1);
+  const double ready = t + backoff;
+  if (ready >= r.deadline_s) {
+    ++report_.failed;
+    log(t, ServeEventKind::kFailed, subject, reason + "; no time left to retry");
+    return;
+  }
+  if (queue_.full()) {
+    ++report_.failed;
+    log(t, ServeEventKind::kFailed, subject, reason + "; queue full on retry");
+    return;
+  }
+  tokens -= 1.0;
+  ++report_.retries;
+  ticket.not_before_s = ready;
+  ticket.enqueued_s = t;
+  queue_.push(ticket);
+  report_.max_queue_depth = std::max(report_.max_queue_depth, queue_.depth());
+  log(t, ServeEventKind::kRetry, subject,
+      "attempt " + std::to_string(attempt) + ", backoff " + ms(backoff), backoff);
+}
+
+void Server::execute_request(double t, const Ticket& ticket) {
+  if (!cfg_.execute) return;
+  const std::size_t variant = rung().variant;
+  const Graph& g = *cfg_.variants[variant].graph;
+  const auto inputs = g.inputs();
+  VEDLIOT_CHECK(inputs.size() == 1, "execute mode needs a single-input variant graph");
+  const Shape& shape = g.node(inputs.front()).out_shape;
+  Rng in_rng(cfg_.seed ^ (ticket.id * 0x9E3779B97F4A7C15ull));
+  const Tensor input(shape, in_rng.normal_vector(static_cast<std::size_t>(shape.numel())));
+  const Tensor output = sessions_[variant]->run_single(input);
+  if (!cfg_.robustness) return;
+  const safety::CheckResult verdict = cfg_.robustness->submit(input, output);
+  if (verdict == safety::CheckResult::kCheckedFaulty) {
+    ++report_.quality_degraded;
+    log(t, ServeEventKind::kQualityDegraded, "request " + std::to_string(ticket.id),
+        "robustness check verdict: checked-faulty (divergence " +
+            std::to_string(cfg_.robustness->last_divergence()) + ")",
+        cfg_.robustness->last_divergence());
+  }
+}
+
+void Server::finish(double t, InFlight f) {
+  const Request& r = requests_.at(f.ticket.id);
+  const std::string subject = "request " + std::to_string(f.ticket.id);
+  CircuitBreaker& breaker = breakers_.at(f.slot);
+
+  if (!sim_.alive(f.slot)) {
+    log(t, ServeEventKind::kBackendFailure, subject, f.slot + " died mid-request");
+    if (const auto tr = breaker.record_failure(t, f.slot + " died mid-request")) {
+      log_transition(t, f.slot, *tr);
+    }
+    retry_or_fail(t, f.ticket, f.slot + " died mid-request");
+    return;
+  }
+
+  bool ok = false;
+  std::string why = "transient transfer error";
+  try {
+    ok = sim_.try_transfer(f.slot, cfg_.ingress);
+  } catch (const NotFound&) {
+    why = "fabric partition";
+  }
+  if (!ok) {
+    log(t, ServeEventKind::kTransientFault, subject,
+        f.slot + "->" + cfg_.ingress + " response transfer failed (" + why + ")");
+    if (const auto tr = breaker.record_failure(t, why + " from " + f.slot)) {
+      log_transition(t, f.slot, *tr);
+    }
+    retry_or_fail(t, f.ticket, "response from " + f.slot + " lost");
+    return;
+  }
+
+  if (const auto tr = breaker.record_success(t)) log_transition(t, f.slot, *tr);
+  execute_request(t, f.ticket);
+
+  const double latency = t - r.arrival_s;
+  if (cfg_.metrics) {
+    cfg_.metrics->histogram("vedliot.serve.latency_s", 0.0, 0.5).add(latency);
+    cfg_.metrics->histogram("vedliot.serve.queue_wait_s", 0.0, 0.5)
+        .add(f.started_s - r.arrival_s);
+  }
+  if (t <= r.deadline_s) {
+    ++report_.completed;
+    log(t, ServeEventKind::kCompleted, subject,
+        f.slot + ", latency " + ms(latency), latency);
+  } else {
+    ++report_.deadline_missed;
+    log(t, ServeEventKind::kDeadlineMiss, subject,
+        f.slot + ", " + ms(t - r.deadline_s) + " past deadline", t - r.deadline_s);
+  }
+}
+
+ServeReport Server::run(double duration_s) {
+  VEDLIOT_CHECK(!ran_, "a Server drives exactly one run");
+  VEDLIOT_CHECK(duration_s > 0, "run duration must be positive");
+  ran_ = true;
+
+  obs::ScopedSpan run_span;
+  if (cfg_.trace) {
+    run_span = cfg_.trace->span("serve.run", "vedliot.serve.run");
+    run_span.attr("duration_s", duration_s);
+    run_span.attr("backends", static_cast<double>(cfg_.backends.size()));
+    run_span.attr("offered", static_cast<double>(arrivals_.size()));
+  }
+
+  std::stable_sort(arrivals_.begin(), arrivals_.end(), [](const Request& a, const Request& b) {
+    if (a.arrival_s != b.arrival_s) return a.arrival_s < b.arrival_s;
+    return a.id < b.id;
+  });
+
+  long tick_idx = 1;
+  while (true) {
+    // Next event: completion <= control tick <= arrival on equal times.
+    // Scheduled platform faults are wakeups of their own, so a throttle
+    // takes effect at its scheduled time (stretching in-flight work below)
+    // rather than at the next natural event. Ticks stop at the horizon;
+    // the tail of in-flight work still drains.
+    double t_completion = kInf;
+    std::string done_slot;
+    for (const auto& [slot, f] : in_flight_) {
+      if (f.finish_s < t_completion) {
+        t_completion = f.finish_s;
+        done_slot = slot;
+      }
+    }
+    const double tick_at = static_cast<double>(tick_idx) * cfg_.control_period_s;
+    const double t_tick = tick_at <= duration_s ? tick_at : kInf;
+    const double t_arrival =
+        next_arrival_ < arrivals_.size() ? arrivals_[next_arrival_].arrival_s : kInf;
+    double t_fault = kInf;
+    if (t_completion < kInf || t_tick < kInf || t_arrival < kInf) {
+      // Only wake for faults while the run is still live; trailing
+      // schedule entries past the last event are irrelevant.
+      t_fault = sim_.next_fault_time().value_or(kInf);
+    }
+
+    const double t = std::min({t_completion, t_tick, t_arrival, t_fault});
+    if (!std::isfinite(t)) break;
+
+    // Thermal events landing on a busy backend stretch (or compress) the
+    // remaining service time of its in-flight request — the one way an
+    // accepted, feasible request can still miss its deadline. A finish due
+    // exactly now is past its compute and cannot stretch, so the chosen
+    // next event stays valid.
+    for (const platform::FaultEvent& e : sim_.advance_to(t)) {
+      if (e.kind != platform::FaultKind::kThermalThrottle &&
+          e.kind != platform::FaultKind::kThermalRecover) {
+        continue;
+      }
+      const auto it = in_flight_.find(e.slot);
+      if (it == in_flight_.end()) continue;
+      InFlight& f = it->second;
+      const double new_scale = sim_.gops_scale(e.slot);
+      if (f.finish_s > t && new_scale != f.gops_scale) {
+        f.finish_s = t + (f.finish_s - t) * (f.gops_scale / new_scale);
+        f.gops_scale = new_scale;
+      }
+    }
+
+    // t is the minimum, so X <= t means X fired exactly now; a fault-only
+    // wakeup falls through (its effect was applied above).
+    if (t_completion <= t) {
+      InFlight f = in_flight_.at(done_slot);
+      in_flight_.erase(done_slot);
+      finish(t, f);
+      try_dispatch(t);
+    } else if (t_tick <= t) {
+      control_tick(t);
+      ++tick_idx;
+    } else if (t_arrival <= t) {
+      admit(arrivals_[next_arrival_++]);
+      try_dispatch(t);
+    }
+  }
+
+  // Anything still queued (gated behind a backoff past the horizon) is
+  // accounted, not dropped silently.
+  const double t_end = std::max(duration_s, sim_.now());
+  while (const auto leftover = queue_.pop(kInf)) {
+    ++report_.cancelled;
+    log(t_end, ServeEventKind::kCancelled, "request " + std::to_string(leftover->id),
+        "run ended with request still queued");
+  }
+
+  report_.final_brownout_level = level_;
+  if (cfg_.trace) {
+    run_span.attr("events", static_cast<double>(report_.events.size()));
+    run_span.attr("completed", static_cast<double>(report_.completed));
+    run_span.attr("shed", static_cast<double>(report_.shed));
+    run_span.attr("goodput", report_.goodput());
+  }
+  return report_;
+}
+
+}  // namespace vedliot::serve

@@ -1,0 +1,240 @@
+#pragma once
+/// \file server.hpp
+/// \brief Overload-safe serving front-end over a fault-injecting platform.
+///
+/// One Server drives a set of backend slots on a PlatformSimulator through
+/// a seeded, fully deterministic discrete-event run:
+///
+///  * admission control — a bounded priority/EDF queue (queue.hpp); an
+///    arrival is shed (never silently queued) when the queue is full, when
+///    no backend is currently allowed, or when a conservative wait-bound
+///    estimate from the hw cost model says its deadline is infeasible;
+///  * deadline enforcement — queued tickets past their deadline are
+///    cancelled; dispatch re-checks feasibility against the fastest
+///    allowed backend before committing compute;
+///  * failure handling — per-backend circuit breakers (breaker.hpp) fed
+///    by transfer/completion failures and by heartbeat down/up beats from
+///    platform::HealthMonitor; failed requests retry with full-jitter
+///    exponential backoff, bounded by a per-client retry-token budget;
+///  * brownout degradation — a hysteretic ladder (brownout.hpp) that steps
+///    the deployment through cheaper configurations (int8, smaller batch,
+///    smaller model) under sustained overload and back up when calm.
+///
+/// Every decision is a structured ServeEvent, mirrored 1:1 into the
+/// optional obs::Tracer (instant spans, category "vedliot.serve") and
+/// counted in the optional obs::MetricsRegistry under `vedliot.serve.*` —
+/// the soak harness (soak.hpp) asserts that mirror exactly.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "platform/faults.hpp"
+#include "platform/health.hpp"
+#include "runtime/session.hpp"
+#include "safety/robustness.hpp"
+#include "serve/breaker.hpp"
+#include "serve/brownout.hpp"
+#include "serve/queue.hpp"
+#include "util/rng.hpp"
+
+namespace vedliot::serve {
+
+enum class ServeEventKind {
+  kAdmitted,        ///< request accepted into the queue
+  kShed,            ///< rejected at admission (bound / infeasible / no backend)
+  kDisplaced,       ///< queued request evicted by a higher-priority arrival
+  kDispatched,      ///< request handed to a backend
+  kTransientFault,  ///< one transfer leg failed transiently
+  kBackendFailure,  ///< a dispatched request failed on its backend
+  kRetry,           ///< failed request re-queued after jittered backoff
+  kFailed,          ///< request gave up (retry budget / no time left)
+  kCancelled,       ///< deadline passed while queued / infeasible at dispatch
+  kCompleted,       ///< response delivered within its deadline
+  kDeadlineMiss,    ///< response delivered after its deadline
+  kQualityDegraded, ///< robustness check flagged the response divergent
+  kBackendDown,     ///< heartbeat monitor declared a backend dead
+  kBackendUp,       ///< previously-down backend answered probes again
+  kBreakerOpen,     ///< circuit breaker tripped on a backend
+  kBreakerHalfOpen, ///< breaker cooldown expired, probing
+  kBreakerClosed,   ///< probes succeeded, backend back in rotation
+  kBrownoutDown,    ///< degraded one rung (value = new level)
+  kBrownoutUp,      ///< recovered one rung (value = new level)
+};
+
+std::string_view serve_event_name(ServeEventKind kind);
+
+struct ServeEvent {
+  double time_s = 0;
+  ServeEventKind kind = ServeEventKind::kAdmitted;
+  std::string subject;  ///< "request 42", "backend come1", "brownout", ...
+  std::string detail;
+  double value = 0;     ///< kind-specific (latency s, backoff s, level, ...)
+};
+
+/// One line per event: "[ 0.0300s] shed               request 42  queue full".
+std::string format_serve_event(const ServeEvent& e);
+
+/// One rung's model configuration. The graph provides the cost-model
+/// workload (and, in execute mode, the weights actually run); it must
+/// outlive the server.
+struct ModelVariant {
+  std::string name;            ///< "fp32", "int8", "fallback", ...
+  const Graph* graph = nullptr;
+  DType dtype = DType::kFP32;
+  bool quantized = false;      ///< execute via make_quantized_session
+};
+
+/// One rung of the degradation ladder: which variant serves and the
+/// admission batch cap at this level. ladder[0] is the healthy config.
+struct BrownoutStep {
+  std::size_t variant = 0;
+  std::int64_t max_batch = 0;  ///< 0 = unlimited
+};
+
+struct Request {
+  std::uint64_t id = 0;        ///< 0 = assigned by submit()
+  std::string client;          ///< retry-budget key
+  int priority = 0;            ///< higher serves first
+  double arrival_s = 0;
+  double deadline_s = 0;       ///< absolute simulated time
+  std::int64_t batch = 1;
+};
+
+struct ServerConfig {
+  std::vector<std::string> backends;   ///< slots of the simulator's chassis
+  std::vector<ModelVariant> variants;  ///< at least ladder.front().variant
+  std::vector<BrownoutStep> ladder;    ///< healthy rung first
+
+  QueueConfig queue;
+  BreakerConfig breaker;
+  BrownoutConfig brownout;             ///< max_level forced to ladder size - 1
+  platform::HealthConfig health;
+
+  double control_period_s = 10e-3;     ///< heartbeat / breaker / brownout tick
+  std::string ingress = "switch0";     ///< fabric node requests enter/leave by
+
+  double retry_tokens_per_request = 0.2;  ///< earned per offered request
+  double retry_token_cap = 8.0;           ///< per-client bucket ceiling
+  double backoff_base_s = 2e-3;
+  double backoff_cap_s = 20e-3;
+
+  std::uint64_t seed = 0x5EEDu;        ///< backoff jitter + execute inputs
+
+  obs::Tracer* trace = nullptr;            ///< 1:1 event mirror when set
+  obs::MetricsRegistry* metrics = nullptr; ///< vedliot.serve.* when set
+
+  /// Optional output plausibility check (Sec. IV-B): in execute mode every
+  /// completed response is submitted; a checked-faulty verdict marks the
+  /// response quality-degraded (kQualityDegraded) but still delivered.
+  /// Must outlive the server when set.
+  safety::RobustnessService* robustness = nullptr;
+
+  /// Run real tensors through runtime sessions on completion (variants
+  /// need materialized / deployment-ready graphs). Off = analytic timing
+  /// only, which is what the chaos soak uses.
+  bool execute = false;
+  unsigned threads = 1;                ///< intra-op threads in execute mode
+};
+
+struct ServeReport {
+  std::vector<ServeEvent> events;
+
+  std::size_t offered = 0;
+  std::size_t admitted = 0;
+  std::size_t shed = 0;
+  std::size_t displaced = 0;
+  std::size_t completed = 0;         ///< within deadline
+  std::size_t deadline_missed = 0;   ///< delivered late
+  std::size_t cancelled = 0;
+  std::size_t failed = 0;
+  std::size_t retries = 0;
+  std::size_t quality_degraded = 0;
+
+  std::size_t max_queue_depth = 0;
+  int max_brownout_level = 0;
+  int final_brownout_level = 0;
+
+  /// In-deadline completions over offered load (0 when nothing offered).
+  double goodput() const;
+
+  /// Deterministic JSON summary (events included): bitwise-identical for
+  /// identical seeds, which the soak harness checks by string compare.
+  std::string to_json() const;
+};
+
+/// Serving front-end over one PlatformSimulator. One-shot: submit the
+/// offered load, then run() once.
+class Server {
+ public:
+  Server(platform::PlatformSimulator& sim, ServerConfig config);
+  ~Server();
+
+  /// Register one offered request (before run()). Returns the request id.
+  std::uint64_t submit(Request r);
+
+  /// Drive the serving loop for \p duration_s of simulated time.
+  ServeReport run(double duration_s);
+
+  std::span<const ServeEvent> events() const { return report_.events; }
+
+ private:
+  struct InFlight {
+    Ticket ticket;
+    std::string slot;
+    double started_s = 0;
+    double finish_s = 0;
+    double gops_scale = 1.0;  ///< capacity assumed when finish_s was set
+  };
+
+  void log(double t, ServeEventKind kind, const std::string& subject,
+           const std::string& detail, double value = 0);
+  void log_transition(double t, const std::string& slot, const BreakerTransition& tr);
+  const BrownoutStep& rung() const { return cfg_.ladder[static_cast<std::size_t>(level_)]; }
+  double service_time(const std::string& slot, std::int64_t batch) const;
+  /// Fastest/slowest healthy-rate service time over allowed backends; empty
+  /// when every breaker is open.
+  std::optional<std::pair<double, double>> service_bounds(std::int64_t batch) const;
+  void admit(const Request& r);
+  void control_tick(double t);
+  void try_dispatch(double t);
+  void finish(double t, InFlight f);
+  void retry_or_fail(double t, Ticket ticket, const std::string& reason);
+  void apply_brownout(double t, int delta);
+  void execute_request(double t, const Ticket& ticket);
+
+  platform::PlatformSimulator& sim_;
+  ServerConfig cfg_;
+  Rng rng_;
+
+  AdmissionQueue queue_;
+  BrownoutLadder ladder_;
+  platform::HealthMonitor health_;
+  std::map<std::string, CircuitBreaker> breakers_;
+  std::map<std::string, InFlight> in_flight_;      ///< by slot
+  int level_ = 0;
+
+  std::vector<Request> arrivals_;                   ///< sorted by arrival
+  std::size_t next_arrival_ = 0;
+  std::map<std::uint64_t, Request> requests_;       ///< by id
+  std::map<std::uint64_t, int> attempts_;           ///< dispatch attempts by id
+  std::map<std::string, double> retry_tokens_;      ///< by client
+  std::uint64_t next_id_ = 1;
+
+  /// Per-variant base service time by backend slot, at the variant graph's
+  /// native batch (scaled linearly by request batch / gops_scale at use).
+  mutable std::vector<std::map<std::string, double>> base_latency_;
+
+  std::vector<std::unique_ptr<runtime::Session>> sessions_;  ///< execute mode
+  ServeReport report_;
+  bool ran_ = false;
+};
+
+}  // namespace vedliot::serve

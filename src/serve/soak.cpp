@@ -1,0 +1,275 @@
+#include "serve/soak.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <optional>
+
+#include "graph/zoo.hpp"
+#include "obs/json.hpp"
+#include "platform/baseboard.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace vedliot::serve {
+
+namespace {
+
+/// Independent deterministic streams: the load schedule must be identical
+/// across fault rates (invariant 2 compares goodput over the same load),
+/// so arrivals, the fault campaign and the simulator's transient draws
+/// each get their own seed derivation.
+constexpr std::uint64_t kLoadStream = 0xA11CEull;
+constexpr std::uint64_t kFaultStream = 0xFA17ull;
+constexpr std::uint64_t kSimStream = 0x51ull;
+
+std::uint64_t fnv1a64(const std::string& s, std::uint64_t h) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+/// Order-sensitive digest of the event log: two runs agree on this iff
+/// they agree on every event, without shipping megabytes of JSON.
+std::string event_digest(const ServeReport& report) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const ServeEvent& e : report.events) {
+    h = fnv1a64(format_serve_event(e), h);
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+/// Invariant 1: a deadline miss is only legitimate when something actually
+/// went wrong in the request's lifetime — a logged failure/retry on the
+/// request itself, or a scheduled platform fault whose time lands in the
+/// (slack-padded) admission..miss window. At fault rate zero, any miss is
+/// a violation outright.
+void check_deadline_invariant(const SoakConfig& cfg, const ServeReport& report,
+                              const platform::FaultTimeline& timeline,
+                              const std::string& identity,
+                              std::vector<std::string>& violations) {
+  constexpr double kSlack = 0.25;  // scheduled vs applied fault-time skew
+  std::map<std::string, double> admitted_at;
+  std::map<std::string, bool> troubled;
+  for (const ServeEvent& e : report.events) {
+    switch (e.kind) {
+      case ServeEventKind::kAdmitted:
+        admitted_at.emplace(e.subject, e.time_s);
+        break;
+      case ServeEventKind::kTransientFault:
+      case ServeEventKind::kBackendFailure:
+      case ServeEventKind::kRetry:
+        troubled[e.subject] = true;
+        break;
+      case ServeEventKind::kDeadlineMiss: {
+        if (cfg.fault_rate <= 0) {
+          violations.push_back("deadline miss with zero fault rate: " + e.subject + " at " +
+                               std::to_string(e.time_s) + "s [" + identity + "]");
+          break;
+        }
+        if (troubled.count(e.subject)) break;
+        const auto it = admitted_at.find(e.subject);
+        const double lo = (it != admitted_at.end() ? it->second : 0.0) - kSlack;
+        const double hi = e.time_s + kSlack;
+        const bool fault_window = std::any_of(
+            timeline.events().begin(), timeline.events().end(),
+            [&](const platform::FaultEvent& f) { return f.time_s >= lo && f.time_s <= hi; });
+        if (!fault_window) {
+          violations.push_back("deadline miss outside any fault window: " + e.subject +
+                               " at " + std::to_string(e.time_s) + "s [" + identity + "]");
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+/// Invariant 4: the tracer's "vedliot.serve" instants mirror the event log
+/// 1:1 in order, and each per-kind counter equals its event count.
+void check_observability_invariant(const ServeReport& report, const obs::Tracer& tracer,
+                                   const obs::MetricsRegistry& metrics,
+                                   const std::string& identity,
+                                   std::vector<std::string>& violations) {
+  std::vector<const obs::Span*> mirrored;
+  for (const obs::Span& sp : tracer.spans()) {
+    if (sp.category == "vedliot.serve") mirrored.push_back(&sp);
+  }
+  if (mirrored.size() != report.events.size()) {
+    violations.push_back("tracer mirror count " + std::to_string(mirrored.size()) +
+                         " != event count " + std::to_string(report.events.size()) + " [" +
+                         identity + "]");
+    return;
+  }
+  for (std::size_t i = 0; i < mirrored.size(); ++i) {
+    const std::string expect(serve_event_name(report.events[i].kind));
+    if (mirrored[i]->name != expect) {
+      violations.push_back("tracer mirror out of order at event " + std::to_string(i) + ": " +
+                           mirrored[i]->name + " != " + expect + " [" + identity + "]");
+      return;
+    }
+  }
+
+  std::map<std::string, std::uint64_t> counts;
+  for (const ServeEvent& e : report.events) {
+    ++counts["vedliot.serve." + std::string(serve_event_name(e.kind))];
+  }
+  for (const auto& [name, count] : counts) {
+    if (!metrics.has_counter(name) || metrics.counters().at(name).value() != count) {
+      violations.push_back("counter " + name + " != event count " + std::to_string(count) +
+                           " [" + identity + "]");
+    }
+  }
+  for (const auto& [name, counter] : metrics.counters()) {
+    if (name.rfind("vedliot.serve.", 0) == 0 && !counts.count(name)) {
+      violations.push_back("counter " + name + " has no matching events [" + identity + "]");
+    }
+  }
+}
+
+}  // namespace
+
+std::string SoakResult::to_json() const {
+  std::string out = "{\"record\":\"soak-serve\"";
+  out += ",\"seed\":" + obs::json_number(static_cast<double>(config.seed));
+  out += ",\"fault_rate\":" + obs::json_number(config.fault_rate);
+  out += ",\"duration_s\":" + obs::json_number(config.duration_s);
+  out += ",\"arrival_hz\":" + obs::json_number(config.arrival_hz);
+  out += ",\"backends\":" + obs::json_number(static_cast<double>(config.n_backends));
+  out += ",\"offered\":" + obs::json_number(static_cast<double>(report.offered));
+  out += ",\"completed\":" + obs::json_number(static_cast<double>(report.completed));
+  out += ",\"shed\":" + obs::json_number(static_cast<double>(report.shed));
+  out += ",\"deadline_missed\":" + obs::json_number(static_cast<double>(report.deadline_missed));
+  out += ",\"cancelled\":" + obs::json_number(static_cast<double>(report.cancelled));
+  out += ",\"failed\":" + obs::json_number(static_cast<double>(report.failed));
+  out += ",\"retries\":" + obs::json_number(static_cast<double>(report.retries));
+  out += ",\"max_queue_depth\":" + obs::json_number(static_cast<double>(report.max_queue_depth));
+  out +=
+      ",\"max_brownout_level\":" + obs::json_number(static_cast<double>(report.max_brownout_level));
+  out += ",\"goodput\":" + obs::json_number(report.goodput());
+  out += ",\"events\":" + obs::json_number(static_cast<double>(report.events.size()));
+  out += ",\"events_fnv1a\":\"" + event_digest(report) + "\"";
+  out += ",\"sim\":\"" + obs::json_escape(sim_describe) + "\"";
+  out += ",\"violations\":[";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i) out += ",";
+    out += "\"" + obs::json_escape(violations[i]) + "\"";
+  }
+  out += "]}";
+  return out;
+}
+
+SoakResult run_soak(const SoakConfig& cfg) {
+  VEDLIOT_CHECK(cfg.duration_s > 0, "soak duration must be positive");
+  VEDLIOT_CHECK(cfg.fault_rate >= 0, "fault rate must be >= 0");
+  VEDLIOT_CHECK(cfg.arrival_hz > 0, "arrival rate must be positive");
+  VEDLIOT_CHECK(cfg.n_backends >= 1 && cfg.n_backends <= 4,
+                "a RECS|Box soak uses 1..4 backend modules");
+  VEDLIOT_CHECK(cfg.deadline_s > 0, "deadline must be positive");
+  VEDLIOT_CHECK(cfg.queue_capacity >= 1, "queue capacity must be >= 1");
+
+  // Platform: RECS|Box with alternating Xavier/Xeon-D modules on a star
+  // fabric whose hub ("switch0") is the serving ingress.
+  platform::Chassis chassis((platform::recs_box()));
+  std::vector<std::string> slots;
+  for (int i = 0; i < cfg.n_backends; ++i) {
+    const std::string slot = "come" + std::to_string(i);
+    chassis.install(slot, platform::find_module(i % 2 == 0 ? "COMe-XavierAGX" : "COMe-D1577"));
+    slots.push_back(slot);
+  }
+  platform::Fabric fabric =
+      platform::star_fabric({"come0", "come1", "come2", "come3"}, 10.0, {1.0, 10.0});
+
+  platform::PlatformSimulator::Config sim_cfg;
+  sim_cfg.seed = cfg.seed ^ kSimStream;
+  sim_cfg.transient_transfer_prob = 0.5 * cfg.fault_rate;
+  platform::PlatformSimulator sim(std::move(chassis), std::move(fabric), sim_cfg);
+
+  Rng fault_rng(cfg.seed ^ kFaultStream);
+  const auto n_faults =
+      static_cast<std::size_t>(std::lround(cfg.fault_rate * 20.0 * cfg.duration_s));
+  const platform::FaultTimeline timeline =
+      platform::FaultTimeline::random_campaign(slots, n_faults, cfg.duration_s, fault_rng);
+  sim.schedule(timeline);
+
+  // Quality ladder: full-precision ResNet50, then int8, then int8 with a
+  // shrunken admission batch, then a small fallback model.
+  const Graph fp32 = zoo::resnet50(1, 100, 64);
+  const Graph fallback = zoo::mobilenet_v3_large(1, 100, 64);
+  ServerConfig server_cfg;
+  server_cfg.backends = slots;
+  server_cfg.variants = {ModelVariant{"resnet50-fp32", &fp32, DType::kFP32, false},
+                         ModelVariant{"resnet50-int8", &fp32, DType::kINT8, false},
+                         ModelVariant{"mobilenetv3-int8", &fallback, DType::kINT8, false}};
+  server_cfg.ladder = {BrownoutStep{0, 4}, BrownoutStep{1, 4}, BrownoutStep{1, 2},
+                       BrownoutStep{2, 1}};
+  server_cfg.queue.capacity = cfg.queue_capacity;
+  server_cfg.seed = cfg.seed;
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  server_cfg.trace = &tracer;
+  server_cfg.metrics = &metrics;
+
+  Server server(sim, server_cfg);
+
+  // Open-loop seeded load: exponential inter-arrivals, a small high
+  // priority share, jittered deadlines, an occasional batch-2 request that
+  // deep brownout rungs refuse.
+  Rng load_rng(cfg.seed ^ kLoadStream);
+  double t = 0;
+  std::uint64_t i = 0;
+  while (true) {
+    t += -std::log(1.0 - load_rng.uniform()) / cfg.arrival_hz;
+    if (t >= cfg.duration_s) break;
+    Request r;
+    r.client = "client" + std::to_string(i % 4);
+    r.priority = load_rng.chance(0.15) ? 1 : 0;
+    r.arrival_s = t;
+    r.deadline_s = t + load_rng.jittered(cfg.deadline_s, 0.5);
+    r.batch = load_rng.chance(0.2) ? 2 : 1;
+    server.submit(r);
+    ++i;
+  }
+
+  SoakResult result;
+  result.config = cfg;
+  result.report = server.run(cfg.duration_s);
+  result.sim_describe = sim.describe();
+
+  check_deadline_invariant(cfg, result.report, timeline, result.sim_describe,
+                           result.violations);
+  if (result.report.max_queue_depth > cfg.queue_capacity) {
+    result.violations.push_back(
+        "queue depth " + std::to_string(result.report.max_queue_depth) + " exceeded capacity " +
+        std::to_string(cfg.queue_capacity) + " [" + result.sim_describe + "]");
+  }
+  check_observability_invariant(result.report, tracer, metrics, result.sim_describe,
+                                result.violations);
+  return result;
+}
+
+std::vector<std::string> check_goodput_monotone(const std::vector<SoakResult>& sweep) {
+  std::vector<std::string> violations;
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    VEDLIOT_CHECK(sweep[i].config.fault_rate >= sweep[i - 1].config.fault_rate,
+                  "goodput sweep must be ordered by ascending fault rate");
+    if (sweep[i].goodput() > sweep[i - 1].goodput() + 1e-9) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "goodput not monotone: %.4f at fault rate %.2f > %.4f at %.2f",
+                    sweep[i].goodput(), sweep[i].config.fault_rate, sweep[i - 1].goodput(),
+                    sweep[i - 1].config.fault_rate);
+      violations.push_back(std::string(buf) + " [" + sweep[i].sim_describe + "]");
+    }
+  }
+  return violations;
+}
+
+}  // namespace vedliot::serve

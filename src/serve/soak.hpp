@@ -1,0 +1,74 @@
+#pragma once
+/// \file soak.hpp
+/// \brief Deterministic closed-loop chaos soak for the serving layer.
+///
+/// One run_soak() call builds a RECS|Box chassis with a star fabric,
+/// schedules a seeded open-loop load (independent RNG stream) and a seeded
+/// fault campaign scaled by `fault_rate` (another independent stream) onto
+/// a fault-injecting PlatformSimulator, drives a Server through it, and
+/// checks the serving invariants:
+///
+///   1. capacity-honest deadlines — at fault rate zero no accepted request
+///      may miss its deadline; under faults, every miss's lifetime must
+///      overlap an observed failure/retry on that request or a scheduled
+///      platform fault window;
+///   2. (cross-run, check_goodput_monotone) goodput is monotone
+///      non-increasing in fault rate over the same load schedule;
+///   3. bounded queue — the observed max depth never exceeds the
+///      configured capacity;
+///   4. observable transitions — the structured event log is mirrored 1:1,
+///      in order, into the obs tracer (category "vedliot.serve") and every
+///      per-kind `vedliot.serve.*` counter equals its event count.
+///
+/// Everything derives from SoakConfig::seed, so two runs of the same
+/// config produce bitwise-identical reports (asserted via to_json string
+/// compare in tests and bench/soak_serve). Violation messages embed
+/// PlatformSimulator::describe() so a failing CI log carries the seed that
+/// reproduces it.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace vedliot::serve {
+
+struct SoakConfig {
+  std::uint64_t seed = 0x5EEDu;
+  double duration_s = 2.0;
+  double fault_rate = 0.0;     ///< 0 = healthy; scales campaign + transients
+  double arrival_hz = 7000.0;  ///< offered load (Poisson-like, seeded);
+                               ///< ~3x the healthy fp32 capacity, so the
+                               ///< brownout ladder genuinely engages and
+                               ///< every run pins past the fp32<->int8
+                               ///< boundary (where goodput-vs-fault-rate
+                               ///< would not be monotone)
+  int n_backends = 3;          ///< modules installed in the RECS|Box
+  double deadline_s = 20e-3;   ///< mean per-request budget (jittered)
+  std::size_t queue_capacity = 32;
+};
+
+struct SoakResult {
+  SoakConfig config;
+  ServeReport report;
+  std::vector<std::string> violations;  ///< empty = per-run invariants hold
+  std::string sim_describe;             ///< seed/fault identity of the run
+
+  double goodput() const { return report.goodput(); }
+  bool ok() const { return violations.empty(); }
+
+  /// Deterministic JSON-lines record ("record":"soak-serve"); bitwise
+  /// identical across runs of the same config.
+  std::string to_json() const;
+};
+
+/// Run one seeded soak at the configured fault rate.
+SoakResult run_soak(const SoakConfig& config);
+
+/// Invariant 2 over a sweep that shares seed/load and varies only
+/// fault_rate (ascending): goodput must be monotone non-increasing.
+/// Returns violation messages (empty = holds).
+std::vector<std::string> check_goodput_monotone(const std::vector<SoakResult>& sweep);
+
+}  // namespace vedliot::serve

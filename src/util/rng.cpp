@@ -6,7 +6,8 @@
 namespace vedliot {
 
 double Rng::backoff_s(double base_s, double cap_s, int attempt) {
-  const double ceiling = std::min(cap_s, base_s * std::exp2(static_cast<double>(attempt)));
+  const int exponent = std::clamp(attempt, 0, kMaxBackoffExponent);
+  const double ceiling = std::min(cap_s, base_s * std::exp2(static_cast<double>(exponent)));
   return uniform(0.0, ceiling);
 }
 

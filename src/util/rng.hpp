@@ -35,9 +35,16 @@ class Rng {
   /// Bernoulli trial with success probability p.
   bool chance(double p) { return std::bernoulli_distribution(p)(engine_); }
 
+  /// Largest exponent backoff_s feeds into 2^attempt. Attempt counters on
+  /// long soaks are caller-controlled and can grow without bound; clamping
+  /// here keeps the ceiling finite instead of overflowing to +inf.
+  static constexpr int kMaxBackoffExponent = 63;
+
   /// Exponential backoff with full jitter (the classic retry policy):
   /// uniform in [0, min(cap_s, base_s * 2^attempt)]. \p attempt counts
-  /// from 0 for the first retry.
+  /// from 0 for the first retry; it is clamped to
+  /// [0, kMaxBackoffExponent] so arbitrarily large (or negative) attempt
+  /// counts still produce a well-defined, capped wait.
   double backoff_s(double base_s, double cap_s, int attempt);
 
   /// \p value scaled by a uniform factor in [1 - frac, 1 + frac].

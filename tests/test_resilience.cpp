@@ -471,5 +471,89 @@ TEST(Resilience, ControllerIsOneShot) {
   EXPECT_THROW((void)ctl.run(0.05), Error);
 }
 
+TEST(Resilience, TransferAttemptsAreCappedAgainstRetryStorms) {
+  // A pathological config asks for a million attempts per frame on a
+  // fabric that fails 99% of transfers. The controller must clamp to
+  // kTransferAttemptCap: frames drop (a million attempts would virtually
+  // never give up) and every give-up names the clamped attempt count.
+  TestRig s = recs_box_with_modules(2);
+  PlatformSimulator::Config pc;
+  pc.transient_transfer_prob = 0.99;
+  pc.seed = 31;
+  PlatformSimulator sim(s.chassis, s.fabric, pc);
+  Graph g = zoo::resnet50();
+  ResilienceConfig cfg = scenario_config();
+  cfg.max_transfer_attempts = 1'000'000;
+  ResilienceController ctl(g, sim, s.slots, 2, DType::kINT8, cfg);
+  const ResilienceReport r = ctl.run(0.2);
+
+  EXPECT_GT(r.frames_dropped, 0u);
+  const ResilienceEvent* timeout = first_of(r, ResilienceEventKind::kTransferTimeout);
+  ASSERT_NE(timeout, nullptr);
+  EXPECT_NE(timeout->detail.find(
+                "after " + std::to_string(ResilienceController::kTransferAttemptCap)),
+            std::string::npos);
+  // No frame burned more than the cap: transient faults per give-up are
+  // bounded by kTransferAttemptCap (plus the frames that squeaked through).
+  const std::size_t timeouts = count_kind(r, ResilienceEventKind::kTransferTimeout);
+  const std::size_t frames = r.frames_completed + r.frames_dropped;
+  EXPECT_LE(r.transfer_retries,
+            frames * 2 * static_cast<std::size_t>(ResilienceController::kTransferAttemptCap));
+  EXPECT_GE(timeouts, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// HealthMonitor (shared by the resilience controller and the serve layer)
+// ---------------------------------------------------------------------------
+
+TEST(HealthMonitor, DeclaresDownAtThresholdAndRecoversByProbe) {
+  TestRig s = recs_box_with_modules(2);
+  PlatformSimulator sim(s.chassis, s.fabric);
+  HealthMonitor mon({"come0", "come1"}, HealthConfig{3});
+  sim.schedule(crash(0.01, "come1"));
+  sim.advance_to(0.02);
+
+  const auto b1 = mon.tick(sim);
+  ASSERT_EQ(b1.size(), 1u);  // healthy come0 is silent
+  EXPECT_EQ(b1[0].slot, "come1");
+  EXPECT_EQ(b1[0].misses, 1);
+  EXPECT_FALSE(b1[0].declared_down);
+  (void)mon.tick(sim);
+  const auto b3 = mon.tick(sim);
+  ASSERT_EQ(b3.size(), 1u);
+  EXPECT_EQ(b3[0].misses, 3);
+  EXPECT_TRUE(b3[0].declared_down);
+  EXPECT_TRUE(mon.down("come1"));
+
+  // Down slots are only probed for recovery — no further miss beats.
+  EXPECT_TRUE(mon.tick(sim).empty());
+
+  sim.schedule(restart(0.03, "come1"));
+  sim.advance_to(0.05);
+  const auto back = mon.tick(sim);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_TRUE(back[0].recovered);
+  EXPECT_FALSE(mon.down("come1"));
+}
+
+TEST(HealthMonitor, MarkUpClearsStateForExternallyObservedRestarts) {
+  TestRig s = recs_box_with_modules(1);
+  PlatformSimulator sim(s.chassis, s.fabric);
+  HealthMonitor mon({"come0"}, HealthConfig{2});
+  sim.schedule(crash(0.01, "come0"));
+  sim.advance_to(0.02);
+  (void)mon.tick(sim);
+  (void)mon.tick(sim);
+  ASSERT_TRUE(mon.down("come0"));
+
+  // The controller saw the module-restart fault event itself.
+  sim.schedule(restart(0.03, "come0"));
+  sim.advance_to(0.04);
+  mon.mark_up("come0");
+  EXPECT_FALSE(mon.down("come0"));
+  // Miss counting starts fresh after the clear.
+  EXPECT_TRUE(mon.tick(sim).empty());
+}
+
 }  // namespace
 }  // namespace vedliot::platform

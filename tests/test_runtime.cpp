@@ -501,5 +501,26 @@ TEST(ExecutionEngine, SessionOutputOwnsItsMemory) {
   EXPECT_NEAR(sum, 1.0f, 1e-5f);  // softmax head
 }
 
+TEST(ExecutionEngine, SetMaxBatchAdjustsAdmissionOnLiveSession) {
+  // Brownout controllers shrink the admission cap on a live session and
+  // restore it without rebuilding the executor.
+  Graph g = zoo::micro_mlp("mb", 4, 8, {8}, 3);
+  Rng rng(41);
+  g.materialize_weights(rng);
+  auto session = runtime::make_session(g);
+  Rng data_rng(42);
+  const Tensor x(Shape{4, 8}, data_rng.normal_vector(32));
+
+  EXPECT_EQ(session->max_batch(), 0);  // unlimited by default
+  EXPECT_NO_THROW((void)session->run_single(x));
+
+  session->set_max_batch(2);
+  EXPECT_EQ(session->max_batch(), 2);
+  EXPECT_THROW((void)session->run_single(x), ExecError);
+
+  session->set_max_batch(0);
+  EXPECT_NO_THROW((void)session->run_single(x));
+}
+
 }  // namespace
 }  // namespace vedliot

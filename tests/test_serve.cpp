@@ -1,0 +1,699 @@
+// Tests for the overload-safe serving layer: the circuit breaker, the
+// bounded priority/EDF admission queue and the hysteretic brownout ladder
+// as units, the Server end-to-end over a fault-injecting
+// PlatformSimulator (shedding, displacement, breaker cycles, thermal
+// deadline misses, retry budgets, obs mirroring, determinism, robustness
+// wiring in execute mode), and the chaos-soak invariants.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "graph/zoo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "platform/baseboard.hpp"
+#include "platform/fabric.hpp"
+#include "platform/faults.hpp"
+#include "platform/microserver.hpp"
+#include "safety/robustness.hpp"
+#include "serve/breaker.hpp"
+#include "serve/brownout.hpp"
+#include "serve/queue.hpp"
+#include "serve/server.hpp"
+#include "serve/soak.hpp"
+#include "util/rng.hpp"
+
+namespace vedliot::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker
+// ---------------------------------------------------------------------------
+
+TEST(CircuitBreaker, TripsOpenAfterConsecutiveFailures) {
+  CircuitBreaker b(BreakerConfig{3, 50e-3, 2});
+  EXPECT_TRUE(b.allow());
+  EXPECT_FALSE(b.record_failure(0.01, "boom"));
+  EXPECT_FALSE(b.record_failure(0.02, "boom"));
+  // A success in between resets the consecutive count.
+  EXPECT_FALSE(b.record_success(0.03));
+  EXPECT_EQ(b.consecutive_failures(), 0);
+  EXPECT_FALSE(b.record_failure(0.04, "boom"));
+  EXPECT_FALSE(b.record_failure(0.05, "boom"));
+  const auto tripped = b.record_failure(0.06, "boom");
+  ASSERT_TRUE(tripped.has_value());
+  EXPECT_EQ(tripped->from, BreakerState::kClosed);
+  EXPECT_EQ(tripped->to, BreakerState::kOpen);
+  EXPECT_FALSE(b.allow());
+}
+
+TEST(CircuitBreaker, HalfOpenProbeCycleClosesOnSuccesses) {
+  CircuitBreaker b(BreakerConfig{1, 50e-3, 2});
+  ASSERT_TRUE(b.record_failure(0.0, "boom"));
+  // Cooldown not yet expired: still open.
+  EXPECT_FALSE(b.tick(0.04));
+  EXPECT_FALSE(b.allow());
+  const auto probing = b.tick(0.051);
+  ASSERT_TRUE(probing.has_value());
+  EXPECT_EQ(probing->to, BreakerState::kHalfOpen);
+
+  // Two probe slots, then the door shuts until a result comes back.
+  EXPECT_TRUE(b.allow());
+  b.on_dispatch();
+  EXPECT_TRUE(b.allow());
+  b.on_dispatch();
+  EXPECT_FALSE(b.allow());
+
+  EXPECT_FALSE(b.record_success(0.06));
+  const auto closed = b.record_success(0.07);
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_EQ(closed->to, BreakerState::kClosed);
+  EXPECT_TRUE(b.allow());
+}
+
+TEST(CircuitBreaker, HalfOpenProbeFailureReopens) {
+  CircuitBreaker b(BreakerConfig{1, 50e-3, 2});
+  ASSERT_TRUE(b.record_failure(0.0, "boom"));
+  ASSERT_TRUE(b.tick(0.06));
+  b.on_dispatch();
+  const auto reopened = b.record_failure(0.07, "probe failed");
+  ASSERT_TRUE(reopened.has_value());
+  EXPECT_EQ(reopened->from, BreakerState::kHalfOpen);
+  EXPECT_EQ(reopened->to, BreakerState::kOpen);
+  // The new cooldown anchors at the reopen time, not the original trip.
+  EXPECT_FALSE(b.tick(0.11));
+  EXPECT_TRUE(b.tick(0.13));
+}
+
+TEST(CircuitBreaker, ForceOpenKillsAnyStateAndRefreshesCooldown) {
+  CircuitBreaker b(BreakerConfig{3, 50e-3, 2});
+  const auto killed = b.force_open(0.0, "heartbeat down");
+  ASSERT_TRUE(killed.has_value());
+  EXPECT_EQ(killed->to, BreakerState::kOpen);
+  // Re-arming while already open is not a transition but pushes the
+  // cooldown out, so a flapping backend cannot shorten its penalty.
+  EXPECT_FALSE(b.force_open(0.04, "still down"));
+  EXPECT_FALSE(b.tick(0.06));  // 50 ms from the *second* force_open
+  EXPECT_TRUE(b.tick(0.091));
+  // A stale success from before the kill must not close an open breaker.
+  CircuitBreaker c(BreakerConfig{3, 50e-3, 2});
+  c.force_open(0.0, "down");
+  EXPECT_FALSE(c.record_success(0.01));
+  EXPECT_EQ(c.state(), BreakerState::kOpen);
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionQueue
+// ---------------------------------------------------------------------------
+
+Ticket ticket(std::uint64_t id, int priority, double deadline, double enqueued = 0,
+              double not_before = 0) {
+  return Ticket{id, priority, deadline, not_before, enqueued};
+}
+
+TEST(AdmissionQueue, PopServesPriorityThenEarliestDeadline) {
+  AdmissionQueue q(QueueConfig{8});
+  q.push(ticket(1, 0, 0.9));
+  q.push(ticket(2, 0, 0.3));
+  q.push(ticket(3, 1, 0.8));
+  q.push(ticket(4, 1, 0.5));
+  std::vector<std::uint64_t> order;
+  while (const auto t = q.pop(0.0)) order.push_back(t->id);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{4, 3, 2, 1}));
+}
+
+TEST(AdmissionQueue, FifoThenIdBreakRemainingTies) {
+  AdmissionQueue q(QueueConfig{8});
+  q.push(ticket(7, 0, 0.5, 0.2));
+  q.push(ticket(5, 0, 0.5, 0.1));
+  q.push(ticket(6, 0, 0.5, 0.1));
+  std::vector<std::uint64_t> order;
+  while (const auto t = q.pop(0.0)) order.push_back(t->id);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{5, 6, 7}));
+}
+
+TEST(AdmissionQueue, NotBeforeGatesDispatchUntilBackoffPasses) {
+  AdmissionQueue q(QueueConfig{8});
+  q.push(ticket(1, 0, 1.0, 0.0, 0.5));  // backing off until t=0.5
+  q.push(ticket(2, 0, 2.0));
+  const auto first = q.pop(0.1);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->id, 2u);  // 1 has the earlier deadline but is gated
+  EXPECT_FALSE(q.pop(0.1).has_value());
+  const auto second = q.pop(0.5);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->id, 1u);
+}
+
+TEST(AdmissionQueue, ExpireRemovesOnlyPastDeadlineTickets) {
+  AdmissionQueue q(QueueConfig{8});
+  q.push(ticket(1, 0, 0.2));
+  q.push(ticket(2, 0, 0.8));
+  q.push(ticket(3, 1, 0.1));
+  const auto dead = q.expire(0.5);
+  ASSERT_EQ(dead.size(), 2u);
+  EXPECT_EQ(q.depth(), 1u);
+  EXPECT_EQ(q.pop(0.5)->id, 2u);
+}
+
+TEST(AdmissionQueue, DisplaceEvictsWorstStrictlyLowerPriority) {
+  AdmissionQueue q(QueueConfig{3});
+  q.push(ticket(1, 0, 0.3));
+  q.push(ticket(2, 0, 0.9));  // lowest class, latest deadline -> the victim
+  q.push(ticket(3, 1, 0.5));
+  EXPECT_TRUE(q.full());
+  EXPECT_THROW(q.push(ticket(9, 2, 1.0)), Error);
+  EXPECT_FALSE(q.displace(0).has_value());  // nothing strictly below 0
+  const auto victim = q.displace(1);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->id, 2u);
+  EXPECT_EQ(q.depth(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// BrownoutLadder
+// ---------------------------------------------------------------------------
+
+TEST(BrownoutLadder, HystereticStepDownAndRecovery) {
+  BrownoutLadder l(BrownoutConfig{0.75, 0.25, 3, 4, 2});
+  // Two hot observations are not enough; the mid-band resets the streak.
+  EXPECT_EQ(l.observe(0.9), 0);
+  EXPECT_EQ(l.observe(0.9), 0);
+  EXPECT_EQ(l.observe(0.5), 0);
+  EXPECT_EQ(l.observe(0.9), 0);
+  EXPECT_EQ(l.observe(0.9), 0);
+  EXPECT_EQ(l.observe(0.9), 1);
+  EXPECT_EQ(l.level(), 1);
+  // Recovery needs the (longer) calm streak, also reset by the mid-band.
+  EXPECT_EQ(l.observe(0.1), 0);
+  EXPECT_EQ(l.observe(0.1), 0);
+  EXPECT_EQ(l.observe(0.1), 0);
+  EXPECT_EQ(l.observe(0.5), 0);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(l.observe(0.1), 0);
+  EXPECT_EQ(l.observe(0.1), -1);
+  EXPECT_EQ(l.level(), 0);
+}
+
+TEST(BrownoutLadder, ClampsAtBothEnds) {
+  BrownoutLadder l(BrownoutConfig{0.75, 0.25, 1, 1, 1});
+  EXPECT_EQ(l.observe(0.9), 1);
+  EXPECT_EQ(l.observe(0.9), 0);  // already at max_level
+  EXPECT_EQ(l.level(), 1);
+  EXPECT_EQ(l.observe(0.1), -1);
+  EXPECT_EQ(l.observe(0.1), 0);  // already at full quality
+  EXPECT_EQ(l.level(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Server end-to-end (analytic timing over a PlatformSimulator)
+// ---------------------------------------------------------------------------
+
+struct Rig {
+  platform::Chassis chassis;
+  platform::Fabric fabric;
+  std::vector<std::string> slots;
+};
+
+Rig make_rig(int count) {
+  Rig r{platform::Chassis(platform::recs_box()),
+        platform::star_fabric({"come0", "come1", "come2", "come3"}, 10.0, {1.0, 10.0}),
+        {}};
+  for (int i = 0; i < count; ++i) {
+    const std::string slot = "come" + std::to_string(i);
+    // All Xavier AGX: resnet50(1,100,64) fp32 serves in ~1 ms per module,
+    // so the timing arithmetic below stays easy to reason about.
+    r.chassis.install(slot, platform::find_module("COMe-XavierAGX"));
+    r.slots.push_back(slot);
+  }
+  return r;
+}
+
+const Graph& resnet_graph() {
+  static const Graph g = zoo::resnet50(1, 100, 64);
+  return g;
+}
+
+ServerConfig base_config(const Rig& rig) {
+  ServerConfig cfg;
+  cfg.backends = rig.slots;
+  cfg.variants = {{"resnet50-fp32", &resnet_graph(), DType::kFP32, false}};
+  cfg.ladder = {{0, 0}};
+  return cfg;
+}
+
+Request req(double arrival_s, double budget_s, int priority = 0,
+            const std::string& client = "c0") {
+  Request r;
+  r.client = client;
+  r.priority = priority;
+  r.arrival_s = arrival_s;
+  r.deadline_s = arrival_s + budget_s;
+  return r;
+}
+
+platform::FaultEvent crash(double t, const std::string& slot) {
+  platform::FaultEvent e;
+  e.time_s = t;
+  e.kind = platform::FaultKind::kModuleCrash;
+  e.slot = slot;
+  return e;
+}
+
+platform::FaultEvent restart(double t, const std::string& slot) {
+  platform::FaultEvent e;
+  e.time_s = t;
+  e.kind = platform::FaultKind::kModuleRestart;
+  e.slot = slot;
+  return e;
+}
+
+platform::FaultEvent throttle(double t, const std::string& slot, double magnitude) {
+  platform::FaultEvent e;
+  e.time_s = t;
+  e.kind = platform::FaultKind::kThermalThrottle;
+  e.slot = slot;
+  e.magnitude = magnitude;
+  return e;
+}
+
+std::size_t count_kind(const ServeReport& r, ServeEventKind k) {
+  return static_cast<std::size_t>(std::count_if(
+      r.events.begin(), r.events.end(), [&](const ServeEvent& e) { return e.kind == k; }));
+}
+
+const ServeEvent* first_of(const ServeReport& r, ServeEventKind k) {
+  const auto it = std::find_if(r.events.begin(), r.events.end(),
+                               [&](const ServeEvent& e) { return e.kind == k; });
+  return it == r.events.end() ? nullptr : &*it;
+}
+
+std::ptrdiff_t first_index(const ServeReport& r, ServeEventKind k) {
+  const auto it = std::find_if(r.events.begin(), r.events.end(),
+                               [&](const ServeEvent& e) { return e.kind == k; });
+  return it == r.events.end() ? -1 : it - r.events.begin();
+}
+
+TEST(Server, CompletesHealthyLoadWithinDeadlines) {
+  Rig rig = make_rig(2);
+  platform::PlatformSimulator sim(rig.chassis, rig.fabric);
+  Server server(sim, base_config(rig));
+  for (int i = 0; i < 6; ++i) server.submit(req(1e-3 * (i + 1), 50e-3));
+  const ServeReport r = server.run(0.1);
+
+  EXPECT_EQ(r.offered, 6u);
+  EXPECT_EQ(r.admitted, 6u);
+  EXPECT_EQ(r.completed, 6u);
+  EXPECT_EQ(r.shed, 0u);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(r.deadline_missed, 0u);
+  EXPECT_DOUBLE_EQ(r.goodput(), 1.0);
+
+  // Per-request lifecycle order: admitted -> dispatched -> completed.
+  EXPECT_LT(first_index(r, ServeEventKind::kAdmitted),
+            first_index(r, ServeEventKind::kDispatched));
+  EXPECT_LT(first_index(r, ServeEventKind::kDispatched),
+            first_index(r, ServeEventKind::kCompleted));
+}
+
+TEST(Server, ShedsInfeasibleDeadlineAtAdmission) {
+  Rig rig = make_rig(1);
+  platform::PlatformSimulator sim(rig.chassis, rig.fabric);
+  Server server(sim, base_config(rig));
+  server.submit(req(1e-3, 0.5e-3));  // budget well under the ~1 ms service
+  const ServeReport r = server.run(0.05);
+
+  EXPECT_EQ(r.shed, 1u);
+  EXPECT_EQ(r.admitted, 0u);
+  const ServeEvent* shed = first_of(r, ServeEventKind::kShed);
+  ASSERT_NE(shed, nullptr);
+  EXPECT_NE(shed->detail.find("deadline infeasible"), std::string::npos);
+}
+
+TEST(Server, FullQueueShedsEqualPriorityAndDisplacesForHigher) {
+  Rig rig = make_rig(1);
+  ServerConfig cfg = base_config(rig);
+  cfg.queue.capacity = 1;
+  platform::PlatformSimulator sim(rig.chassis, rig.fabric);
+  Server server(sim, cfg);
+  const auto id1 = server.submit(req(1.0e-3, 50e-3));      // dispatched at once
+  const auto id2 = server.submit(req(1.2e-3, 50e-3));      // fills the queue
+  server.submit(req(1.4e-3, 50e-3));                       // same class: shed
+  const auto id4 = server.submit(req(1.6e-3, 50e-3, 1));   // displaces id2
+  const ServeReport r = server.run(0.1);
+
+  EXPECT_EQ(r.shed, 1u);
+  EXPECT_EQ(r.displaced, 1u);
+  EXPECT_EQ(r.completed, 2u);
+  EXPECT_LE(r.max_queue_depth, cfg.queue.capacity);
+
+  const ServeEvent* shed = first_of(r, ServeEventKind::kShed);
+  ASSERT_NE(shed, nullptr);
+  EXPECT_NE(shed->detail.find("queue full"), std::string::npos);
+  const ServeEvent* displaced = first_of(r, ServeEventKind::kDisplaced);
+  ASSERT_NE(displaced, nullptr);
+  EXPECT_EQ(displaced->subject, "request " + std::to_string(id2));
+  EXPECT_NE(displaced->detail.find("request " + std::to_string(id4)), std::string::npos);
+
+  // The displaced request never completes; the displacing one does.
+  for (const ServeEvent& e : r.events) {
+    if (e.kind == ServeEventKind::kCompleted) {
+      EXPECT_NE(e.subject, "request " + std::to_string(id2));
+    }
+  }
+  (void)id1;
+}
+
+/// Shared crash/restart scenario: steady load on two backends, come1 dies
+/// mid-run and comes back, with a little transient-transfer noise. Used by
+/// the breaker-cycle, determinism and obs-mirror tests.
+ServeReport run_crash_cycle(obs::Tracer* trace = nullptr,
+                            obs::MetricsRegistry* metrics = nullptr) {
+  Rig rig = make_rig(2);
+  platform::PlatformSimulator::Config pc;
+  pc.transient_transfer_prob = 0.05;
+  pc.seed = 77;
+  platform::PlatformSimulator sim(rig.chassis, rig.fabric, pc);
+  sim.schedule(crash(0.050, "come1"));
+  sim.schedule(restart(0.150, "come1"));
+
+  ServerConfig cfg = base_config(rig);
+  cfg.trace = trace;
+  cfg.metrics = metrics;
+  Server server(sim, cfg);
+  for (int i = 0; i < 300; ++i) {
+    server.submit(req(1e-3 * (i + 1), 50e-3, 0, "c" + std::to_string(i % 3)));
+  }
+  return server.run(0.4);
+}
+
+TEST(Server, BreakerCycleFollowsCrashAndRestart) {
+  const ServeReport r = run_crash_cycle();
+
+  // Heartbeats declare come1 dead (3 misses at the 10 ms control period),
+  // which force-opens its breaker; the cooldown half-opens it; once the
+  // module restarts, probes close it again.
+  ASSERT_GE(count_kind(r, ServeEventKind::kBackendDown), 1u);
+  ASSERT_GE(count_kind(r, ServeEventKind::kBreakerOpen), 1u);
+  ASSERT_GE(count_kind(r, ServeEventKind::kBackendUp), 1u);
+  ASSERT_GE(count_kind(r, ServeEventKind::kBreakerHalfOpen), 1u);
+  ASSERT_GE(count_kind(r, ServeEventKind::kBreakerClosed), 1u);
+
+  const ServeEvent* down = first_of(r, ServeEventKind::kBackendDown);
+  EXPECT_EQ(down->subject, "backend come1");
+  // Detection latency: crash at 50 ms, threshold 3 at 10 ms cadence.
+  EXPECT_GE(down->time_s, 0.050);
+  EXPECT_LE(down->time_s, 0.090);
+
+  EXPECT_LT(first_index(r, ServeEventKind::kBackendDown),
+            first_index(r, ServeEventKind::kBreakerOpen));
+  EXPECT_LT(first_index(r, ServeEventKind::kBreakerOpen),
+            first_index(r, ServeEventKind::kBreakerHalfOpen));
+  EXPECT_LT(first_index(r, ServeEventKind::kBreakerHalfOpen),
+            first_index(r, ServeEventKind::kBreakerClosed));
+  const ServeEvent* closed = first_of(r, ServeEventKind::kBreakerClosed);
+  const ServeEvent* up = first_of(r, ServeEventKind::kBackendUp);
+  EXPECT_GE(up->time_s, 0.150);
+  EXPECT_LE(up->time_s, closed->time_s);
+
+  // come1 takes traffic again after its breaker closes.
+  const bool redispatched = std::any_of(
+      r.events.begin(), r.events.end(), [&](const ServeEvent& e) {
+        return e.kind == ServeEventKind::kDispatched && e.time_s > closed->time_s &&
+               e.detail.find("come1") != std::string::npos;
+      });
+  EXPECT_TRUE(redispatched);
+
+  // The surviving backend kept most of the goodput flowing.
+  EXPECT_GT(r.completed, 200u);
+}
+
+TEST(Server, ReportsAreBitwiseDeterministic) {
+  EXPECT_EQ(run_crash_cycle().to_json(), run_crash_cycle().to_json());
+}
+
+TEST(Server, MirrorsEveryEventIntoTracerAndMetrics) {
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  const ServeReport r = run_crash_cycle(&tracer, &metrics);
+
+  // Invariant 4: the structured event log appears 1:1, in order, as
+  // instant spans under the "vedliot.serve" category...
+  std::vector<const obs::Span*> mirrored;
+  for (const obs::Span& sp : tracer.spans()) {
+    if (sp.category == "vedliot.serve") mirrored.push_back(&sp);
+  }
+  ASSERT_EQ(mirrored.size(), r.events.size());
+  for (std::size_t i = 0; i < r.events.size(); ++i) {
+    EXPECT_EQ(mirrored[i]->name, serve_event_name(r.events[i].kind));
+  }
+
+  // ...and every per-kind counter equals its event count exactly.
+  for (const auto& [name, counter] : metrics.counters()) {
+    if (name.rfind("vedliot.serve.", 0) != 0) continue;
+    const std::string kind = name.substr(std::string("vedliot.serve.").size());
+    const auto n = static_cast<std::size_t>(
+        std::count_if(r.events.begin(), r.events.end(), [&](const ServeEvent& e) {
+          return serve_event_name(e.kind) == kind;
+        }));
+    EXPECT_EQ(counter.value(), n) << name;
+  }
+}
+
+TEST(Server, ThermalThrottleStretchesInFlightWorkIntoDeadlineMiss) {
+  Rig rig = make_rig(1);
+  platform::PlatformSimulator sim(rig.chassis, rig.fabric);
+  // The request is feasible when dispatched (~1 ms service, 1.6 ms budget)
+  // but the backend throttles to 25% capacity mid-flight, so the remaining
+  // work stretches past the deadline. The response is still delivered.
+  sim.schedule(throttle(1.5e-3, "come0", 0.25));
+  Server server(sim, base_config(rig));
+  server.submit(req(1e-3, 1.6e-3));
+  const ServeReport r = server.run(0.05);
+
+  EXPECT_EQ(r.admitted, 1u);
+  EXPECT_EQ(r.completed, 0u);
+  EXPECT_EQ(r.cancelled, 0u);
+  EXPECT_EQ(r.deadline_missed, 1u);
+  const ServeEvent* miss = first_of(r, ServeEventKind::kDeadlineMiss);
+  ASSERT_NE(miss, nullptr);
+  // finish = 1.5 ms + 4x the remaining ~0.52 ms, well past the 2.6 ms
+  // deadline but before the 5 ms it would take to restart from scratch.
+  EXPECT_GT(miss->time_s, 2.6e-3);
+  EXPECT_LT(miss->time_s, 5e-3);
+}
+
+TEST(Server, PartitionWithEmptyRetryBudgetFailsImmediately) {
+  Rig rig = make_rig(1);
+  platform::PlatformSimulator sim(rig.chassis, rig.fabric);
+  platform::FaultEvent drop;
+  drop.time_s = 0.5e-3;
+  drop.kind = platform::FaultKind::kLinkDrop;
+  drop.a = "come0";
+  drop.b = "switch0";
+  sim.schedule(drop);
+
+  ServerConfig cfg = base_config(rig);
+  cfg.retry_tokens_per_request = 0.0;  // no budget is ever earned
+  Server server(sim, cfg);
+  server.submit(req(1e-3, 50e-3));
+  const ServeReport r = server.run(0.05);
+
+  EXPECT_EQ(r.failed, 1u);
+  EXPECT_EQ(r.completed, 0u);
+  EXPECT_EQ(r.retries, 0u);
+  const ServeEvent* fault = first_of(r, ServeEventKind::kTransientFault);
+  ASSERT_NE(fault, nullptr);
+  EXPECT_NE(fault->detail.find("fabric partition"), std::string::npos);
+  const ServeEvent* failed = first_of(r, ServeEventKind::kFailed);
+  ASSERT_NE(failed, nullptr);
+  EXPECT_NE(failed->detail.find("retry budget empty"), std::string::npos);
+}
+
+TEST(Server, RetriesWithBackoffUntilBudgetOrDeadlineRunsOut) {
+  Rig rig = make_rig(1);
+  platform::PlatformSimulator sim(rig.chassis, rig.fabric);
+  platform::FaultEvent drop;
+  drop.time_s = 0.5e-3;
+  drop.kind = platform::FaultKind::kLinkDrop;
+  drop.a = "come0";
+  drop.b = "switch0";
+  sim.schedule(drop);
+
+  ServerConfig cfg = base_config(rig);
+  cfg.retry_tokens_per_request = 8.0;       // plenty of budget
+  cfg.breaker.failure_threshold = 100;      // keep the breaker out of the way
+  Server server(sim, cfg);
+  server.submit(req(1e-3, 30e-3));
+  const ServeReport r = server.run(0.05);
+
+  EXPECT_EQ(r.completed, 0u);
+  EXPECT_GE(r.retries, 1u);
+  // The request ends in exactly one terminal event: it either burns its
+  // whole budget / runs out of deadline (failed) or its last backoff gate
+  // outlives the queue (cancelled) — never both, never neither.
+  EXPECT_EQ(r.failed + r.cancelled, 1u);
+  // Backoff gates are respected: each retry's next dispatch attempt comes
+  // at or after not_before (observable as strictly increasing fault times).
+  double last = 0;
+  for (const ServeEvent& e : r.events) {
+    if (e.kind != ServeEventKind::kTransientFault) continue;
+    EXPECT_GE(e.time_s, last);
+    last = e.time_s;
+  }
+}
+
+TEST(Server, BrownoutLadderDegradesUnderOverloadAndRecovers) {
+  Rig rig = make_rig(1);
+  ServerConfig cfg = base_config(rig);
+  cfg.variants.push_back({"resnet50-int8", &resnet_graph(), DType::kINT8, false});
+  cfg.ladder = {{0, 0}, {1, 0}};
+  cfg.queue.capacity = 8;
+  cfg.control_period_s = 2e-3;  // sample the ~12 ms burst several times
+  cfg.brownout.step_down_after = 2;
+  cfg.brownout.step_up_after = 3;
+  platform::PlatformSimulator sim(rig.chassis, rig.fabric);
+  Server server(sim, cfg);
+  // Burst far beyond one fp32 backend (~1 ms/req), then silence: the
+  // ladder must step down to int8 under the backlog and step back up
+  // once the queue drains.
+  for (int i = 0; i < 60; ++i) server.submit(req(1e-3 + 0.2e-3 * i, 60e-3));
+  const ServeReport r = server.run(0.3);
+
+  EXPECT_GE(count_kind(r, ServeEventKind::kBrownoutDown), 1u);
+  EXPECT_GE(count_kind(r, ServeEventKind::kBrownoutUp), 1u);
+  EXPECT_EQ(r.max_brownout_level, 1);
+  EXPECT_EQ(r.final_brownout_level, 0);
+  EXPECT_LT(first_index(r, ServeEventKind::kBrownoutDown),
+            first_index(r, ServeEventKind::kBrownoutUp));
+  // Requests served on the degraded rung name the int8 variant.
+  const ServeEvent* down = first_of(r, ServeEventKind::kBrownoutDown);
+  const bool int8_dispatch = std::any_of(
+      r.events.begin(), r.events.end(), [&](const ServeEvent& e) {
+        return e.kind == ServeEventKind::kDispatched && e.time_s >= down->time_s &&
+               e.detail.find("resnet50-int8") != std::string::npos;
+      });
+  EXPECT_TRUE(int8_dispatch);
+}
+
+// ---------------------------------------------------------------------------
+// Execute mode: real tensors + robustness service wiring
+// ---------------------------------------------------------------------------
+
+TEST(Server, ExecuteModeFlagsCorruptedModelAsQualityDegraded) {
+  // The deployed variant carries a systematic fault (one layer scaled 8x);
+  // the robustness service holds the clean golden copy, so every checked
+  // response comes back divergent — delivered, but marked degraded.
+  Graph clean = zoo::micro_mlp("m", 1, 16, {24, 12}, 4);
+  Rng weights(7);
+  clean.materialize_weights(weights);
+  Graph corrupted = clean;
+  Rng faults(9);
+  safety::FaultInjector injector(faults);
+  injector.scale_random_layer(corrupted, 8.0f);
+
+  safety::RobustnessService::Config rc;
+  rc.check_period = 1;
+  rc.tolerance = 1e-3;
+  safety::RobustnessService service(clean, rc);
+
+  Rig rig = make_rig(1);
+  ServerConfig cfg = base_config(rig);
+  cfg.variants = {{"mlp-corrupted", &corrupted, DType::kFP32, false}};
+  cfg.robustness = &service;
+  cfg.execute = true;
+  platform::PlatformSimulator sim(rig.chassis, rig.fabric);
+  Server server(sim, cfg);
+  for (int i = 0; i < 4; ++i) server.submit(req(1e-3 * (i + 1), 50e-3));
+  const ServeReport r = server.run(0.1);
+
+  EXPECT_EQ(r.completed, 4u);  // degraded quality still ships
+  EXPECT_EQ(r.quality_degraded, 4u);
+  EXPECT_EQ(count_kind(r, ServeEventKind::kQualityDegraded), 4u);
+  EXPECT_EQ(service.checks_run(), 4u);
+  EXPECT_EQ(service.faults_detected(), 4u);
+  const ServeEvent* degraded = first_of(r, ServeEventKind::kQualityDegraded);
+  ASSERT_NE(degraded, nullptr);
+  EXPECT_GT(degraded->value, 1e-3);  // carries the measured divergence
+
+  // A clean deployment through the same path raises no degradation.
+  safety::RobustnessService clean_service(clean, rc);
+  Rig rig2 = make_rig(1);
+  ServerConfig cfg2 = base_config(rig2);
+  cfg2.variants = {{"mlp-clean", &clean, DType::kFP32, false}};
+  cfg2.robustness = &clean_service;
+  cfg2.execute = true;
+  platform::PlatformSimulator sim2(rig2.chassis, rig2.fabric);
+  Server server2(sim2, cfg2);
+  for (int i = 0; i < 4; ++i) server2.submit(req(1e-3 * (i + 1), 50e-3));
+  const ServeReport r2 = server2.run(0.1);
+  EXPECT_EQ(r2.completed, 4u);
+  EXPECT_EQ(r2.quality_degraded, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos soak: the four serving invariants under seeded fault campaigns
+// ---------------------------------------------------------------------------
+
+TEST(SoakServe, InvariantsHoldAcrossFaultRates) {
+  std::vector<SoakResult> sweep;
+  for (const double rate : {0.0, 0.05, 0.2}) {
+    SoakConfig sc;
+    sc.duration_s = 0.8;
+    sc.fault_rate = rate;
+    sweep.push_back(run_soak(sc));
+    const SoakResult& res = sweep.back();
+    std::string why;
+    for (const auto& v : res.violations) why += v + "\n";
+    EXPECT_TRUE(res.ok()) << "fault_rate=" << rate << ":\n" << why;
+    // Invariant 3 directly: the queue bound held.
+    EXPECT_LE(res.report.max_queue_depth, sc.queue_capacity);
+    EXPECT_GT(res.report.completed, 0u);
+  }
+  // Invariant 2 across the sweep.
+  EXPECT_TRUE(check_goodput_monotone(sweep).empty());
+  EXPECT_GT(sweep.front().goodput(), sweep.back().goodput());
+}
+
+TEST(SoakServe, HealthyRunNeverMissesADeadline) {
+  SoakConfig sc;
+  sc.duration_s = 0.8;
+  sc.fault_rate = 0.0;
+  const SoakResult res = run_soak(sc);
+  EXPECT_TRUE(res.ok());
+  // Invariant 1 at fault rate zero is unconditional.
+  EXPECT_EQ(res.report.deadline_missed, 0u);
+}
+
+TEST(SoakServe, SameSeedIsBitwiseIdentical) {
+  SoakConfig sc;
+  sc.duration_s = 0.5;
+  sc.fault_rate = 0.2;
+  EXPECT_EQ(run_soak(sc).to_json(), run_soak(sc).to_json());
+}
+
+TEST(SoakServe, DifferentSeedsDiffer) {
+  SoakConfig a;
+  a.duration_s = 0.5;
+  a.fault_rate = 0.2;
+  SoakConfig b = a;
+  b.seed = a.seed + 1;
+  EXPECT_NE(run_soak(a).to_json(), run_soak(b).to_json());
+}
+
+TEST(SoakServe, ViolationMessagesCarryTheReproSeed) {
+  SoakConfig sc;
+  sc.duration_s = 0.5;
+  sc.fault_rate = 0.2;
+  const SoakResult res = run_soak(sc);
+  // The record embeds the simulator identity (seed + fault counters) so a
+  // failing CI log is reproducible from the message alone.
+  EXPECT_NE(res.sim_describe.find("seed=0x"), std::string::npos);
+  EXPECT_NE(res.to_json().find(res.sim_describe.substr(0, 30)), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vedliot::serve

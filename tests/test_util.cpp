@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <climits>
 #include <cmath>
+#include <limits>
 #include <mutex>
 #include <numeric>
 #include <vector>
@@ -298,6 +300,30 @@ TEST(Rng, BackoffIsDeterministicPerSeed) {
   Rng a(5), b(5);
   for (int i = 0; i < 32; ++i) {
     EXPECT_DOUBLE_EQ(a.backoff_s(1e-3, 32e-3, i % 6), b.backoff_s(1e-3, 32e-3, i % 6));
+  }
+}
+
+TEST(Rng, BackoffClampsExtremeAttemptCounts) {
+  Rng rng(14);
+  // Soak-scale attempt counters can exceed the exponent range of a double;
+  // the exponent is clamped to kMaxBackoffExponent so the ceiling stays
+  // finite (and at any realistic cap, simply equals the cap).
+  for (const int attempt : {64, 100, 1 << 30, INT_MAX}) {
+    const double w = rng.backoff_s(1e-3, 32e-3, attempt);
+    EXPECT_TRUE(std::isfinite(w));
+    EXPECT_GE(w, 0.0);
+    EXPECT_LE(w, 32e-3);
+  }
+  // Even uncapped, 2^63 * base is finite.
+  const double huge = rng.backoff_s(1.0, std::numeric_limits<double>::max(), INT_MAX);
+  EXPECT_TRUE(std::isfinite(huge));
+  EXPECT_LE(huge, std::exp2(Rng::kMaxBackoffExponent));
+  // Negative attempts clamp to the first-retry ceiling instead of
+  // producing a sub-base (or NaN) window.
+  for (int i = 0; i < 100; ++i) {
+    const double w = rng.backoff_s(1e-3, 32e-3, -5);
+    EXPECT_GE(w, 0.0);
+    EXPECT_LE(w, 1e-3);
   }
 }
 
