@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Memory-fault soak of the silent-data-corruption defense: the seeded sweep
+# over SEU flip rates {0, 4, 12}/s against the integrity-checked serving
+# stack (per-delivery robustness checks, weight scrubbing, self-healing
+# reload, OTA commit/reject/rollback), with the JSON-lines records captured
+# into BENCH_integrity.json (one "soak-integrity" object per rate; the
+# human summary table stays on stderr). Exit status is soak_integrity's:
+# non-zero when any of the four integrity invariants is violated or bitwise
+# determinism breaks.
+#
+# Usage: scripts/soak_integrity.sh [--quick] [--seed N] [--duration S]
+#                                  [--arrival-hz H]
+#   (defaults: seed 0x5EED, duration 2.0 s, arrival 400 Hz;
+#    --quick: duration 1.0 s, arrival 200 Hz)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_integrity.json"
+
+cmake -B build -S . > /dev/null
+cmake --build build -j"$(nproc)" --target soak_integrity > /dev/null
+
+build/bench/soak_integrity "$@" > "${OUT}"
+echo "integrity soak records written to ${OUT}" >&2

@@ -29,11 +29,15 @@ echo "== tier-1: serving-layer chaos soak (seeded, short) =="
 build/bench/soak_serve --quick > /dev/null
 
 echo
-echo "== tier-1: ASan+UBSan on the resilience/platform/observability/runtime/analysis/serve tests =="
+echo "== tier-1: memory-fault integrity soak (seeded, short) =="
+scripts/soak_integrity.sh --quick > /dev/null
+
+echo
+echo "== tier-1: ASan+UBSan on the resilience/platform/observability/runtime/analysis/serve/safety tests =="
 cmake -B build-asan -S . -DVEDLIOT_SANITIZE=ON > /dev/null
-cmake --build build-asan "${JOBS}" --target test_resilience test_platform test_distributed test_util test_obs test_runtime test_qruntime test_analysis test_serve > /dev/null
+cmake --build build-asan "${JOBS}" --target test_resilience test_platform test_distributed test_util test_obs test_runtime test_qruntime test_analysis test_serve test_safety test_package > /dev/null
 ctest --test-dir build-asan --output-on-failure "${JOBS}" \
-  -R 'test_resilience|test_platform|test_distributed|test_util|test_obs|test_runtime|test_qruntime|test_analysis|test_serve'
+  -R 'test_resilience|test_platform|test_distributed|test_util|test_obs|test_runtime|test_qruntime|test_analysis|test_serve|test_safety|test_package'
 
 echo
 echo "== tier-1: TSan on the parallel execution-engine + serve tests =="

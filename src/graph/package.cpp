@@ -1,18 +1,27 @@
 #include "graph/package.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <map>
 
 #include "analysis/verifier.hpp"
 #include "graph/serialize.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace vedliot {
 
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4C444D56;  // "VMDL"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;         // v2: per-tensor digest table
+constexpr std::uint32_t kOldestReadable = 1;  // v1 packages (no table) load
+
+// Hard limits the reader enforces before trusting any length field: a
+// corrupted (or lying) field must fail a bounds check, never drive an
+// allocation or an over-read.
+constexpr std::size_t kMaxRank = 8;
+constexpr std::int64_t kMaxTensorElems = std::int64_t{1} << 31;
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
@@ -50,17 +59,41 @@ class Reader {
     pos_ += n;
     return s;
   }
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
   bool done() const { return pos_ == data_.size(); }
 
  private:
   void check(std::size_t n) const {
-    if (pos_ + n > data_.size()) throw GraphError("model package truncated");
+    // n comes from untrusted length fields; pos_ is always <= size(), so
+    // comparing against the remaining bytes cannot overflow.
+    if (n > data_.size() - pos_) {
+      throw GraphError("package.truncated: need " + std::to_string(n) + " bytes at offset " +
+                       std::to_string(pos_) + ", only " + std::to_string(data_.size() - pos_) +
+                       " remain");
+    }
   }
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
 };
 
+std::uint32_t tensor_crc(const Tensor& t) { return util::crc32(t.data()); }
+
 }  // namespace
+
+std::vector<TensorDigest> digest_weights(const Graph& g) {
+  std::vector<TensorDigest> table;
+  std::uint32_t dense = 0;
+  for (NodeId id : g.topo_order()) {
+    const Node& n = g.node(id);
+    for (std::size_t t = 0; t < n.weights.size(); ++t) {
+      table.push_back(TensorDigest{dense, static_cast<std::uint32_t>(t),
+                                   tensor_crc(n.weights[t])});
+    }
+    ++dense;
+  }
+  return table;
+}
 
 std::vector<std::uint8_t> pack_model(const Graph& g) {
   std::vector<std::uint8_t> out;
@@ -92,13 +125,28 @@ std::vector<std::uint8_t> pack_model(const Graph& g) {
       out.insert(out.end(), raw, raw + data.size() * sizeof(float));
     }
   }
+
+  // v2 digest table: one CRC-32 per weight tensor, same order as the
+  // records above. Written last so a truncation cannot drop it silently —
+  // the reader requires exactly one entry per tensor it read.
+  const auto digests = digest_weights(g);
+  put_u32(out, static_cast<std::uint32_t>(digests.size()));
+  for (const TensorDigest& d : digests) {
+    put_u32(out, d.node_index);
+    put_u32(out, d.tensor_index);
+    put_u32(out, d.crc);
+  }
   return out;
 }
 
 Graph unpack_model(std::span<const std::uint8_t> package) {
   Reader r(package);
-  if (r.u32() != kMagic) throw GraphError("not a model package (bad magic)");
-  if (r.u32() != kVersion) throw GraphError("unsupported package version");
+  if (r.u32() != kMagic) throw GraphError("package.magic: not a model package at byte 0");
+  const std::uint32_t version = r.u32();
+  if (version < kOldestReadable || version > kVersion) {
+    throw GraphError("package.version: unsupported package version " + std::to_string(version) +
+                     " at byte 4");
+  }
 
   const std::uint32_t text_len = r.u32();
   const auto text_bytes = r.bytes(text_len);
@@ -106,25 +154,103 @@ Graph unpack_model(std::span<const std::uint8_t> package) {
 
   const auto order = g.topo_order();
   const std::uint32_t records = r.u32();
+  // Actual digests of the tensors as read, in record order; compared
+  // against the embedded table afterwards (v2).
+  std::vector<TensorDigest> actual;
+  std::int64_t prev_index = -1;
   for (std::uint32_t i = 0; i < records; ++i) {
+    const std::size_t index_at = r.pos();
     const std::uint32_t index = r.u32();
-    if (index >= order.size()) throw GraphError("weight record references unknown node");
+    if (index >= order.size()) {
+      throw GraphError("package.node_index: weight record references unknown node " +
+                       std::to_string(index) + " at byte " + std::to_string(index_at));
+    }
+    if (static_cast<std::int64_t>(index) <= prev_index) {
+      throw GraphError("package.record.order: weight record for node " + std::to_string(index) +
+                       " out of order at byte " + std::to_string(index_at) +
+                       " (records are strictly increasing by topo index)");
+    }
+    prev_index = index;
     Node& n = g.node(order[index]);
     n.weight_dtype = static_cast<DType>(r.u8());
     const std::uint8_t tensors = r.u8();
     for (std::uint8_t t = 0; t < tensors; ++t) {
+      const std::size_t rank_at = r.pos();
       const std::uint8_t rank = r.u8();
+      if (rank > kMaxRank) {
+        throw GraphError("package.rank: weight tensor rank " + std::to_string(rank) +
+                         " exceeds limit " + std::to_string(kMaxRank) + " at byte " +
+                         std::to_string(rank_at));
+      }
       std::vector<std::int64_t> dims;
-      for (std::uint8_t d = 0; d < rank; ++d) dims.push_back(r.i64());
+      std::int64_t numel = 1;
+      for (std::uint8_t d = 0; d < rank; ++d) {
+        const std::size_t dim_at = r.pos();
+        const std::int64_t dim = r.i64();
+        if (dim < 0 || dim > kMaxTensorElems) {
+          throw GraphError("package.dim: invalid dimension " + std::to_string(dim) +
+                           " at byte " + std::to_string(dim_at));
+        }
+        // dim and numel are both capped, so the product fits in 62 bits
+        // before this check can trip — no signed overflow on the way.
+        numel *= dim;
+        if (numel > kMaxTensorElems) {
+          throw GraphError("package.numel: tensor element count exceeds limit at byte " +
+                           std::to_string(dim_at));
+        }
+        dims.push_back(dim);
+      }
       Shape shape(std::move(dims));
       const auto n_elems = static_cast<std::size_t>(shape.numel());
       const auto raw = r.bytes(n_elems * sizeof(float));
       std::vector<float> data(n_elems);
       std::memcpy(data.data(), raw.data(), raw.size());
       n.weights.emplace_back(std::move(shape), std::move(data));
+      actual.push_back(TensorDigest{index, t, tensor_crc(n.weights.back())});
     }
   }
-  if (!r.done()) throw GraphError("trailing bytes in model package");
+
+  if (version >= 2) {
+    const std::size_t table_at = r.pos();
+    const std::uint32_t entries = r.u32();
+    if (entries != actual.size()) {
+      throw GraphError("package.digest.count: digest table has " + std::to_string(entries) +
+                       " entries at byte " + std::to_string(table_at) + ", expected " +
+                       std::to_string(actual.size()));
+    }
+    for (std::size_t i = 0; i < entries; ++i) {
+      const std::size_t entry_at = r.pos();
+      TensorDigest expect;
+      expect.node_index = r.u32();
+      expect.tensor_index = r.u32();
+      expect.crc = r.u32();
+      const TensorDigest& got = actual[i];
+      if (expect.node_index != got.node_index || expect.tensor_index != got.tensor_index) {
+        throw GraphError("package.digest.key: digest entry (" +
+                         std::to_string(expect.node_index) + "," +
+                         std::to_string(expect.tensor_index) + ") at byte " +
+                         std::to_string(entry_at) + " does not match weight record (" +
+                         std::to_string(got.node_index) + "," +
+                         std::to_string(got.tensor_index) + ")");
+      }
+      if (expect.crc != got.crc) {
+        char want[16], have[16];
+        std::snprintf(want, sizeof(want), "%08x", expect.crc);
+        std::snprintf(have, sizeof(have), "%08x", got.crc);
+        throw GraphError("package.digest.mismatch: node '" +
+                         g.node(order[expect.node_index]).name + "' (index " +
+                         std::to_string(expect.node_index) + ") tensor " +
+                         std::to_string(expect.tensor_index) + ": expected crc32 " + want +
+                         ", got " + have + " (table entry at byte " + std::to_string(entry_at) +
+                         ")");
+      }
+    }
+  }
+
+  if (!r.done()) {
+    throw GraphError("package.trailing: " + std::to_string(r.remaining()) +
+                     " trailing bytes at offset " + std::to_string(r.pos()));
+  }
   // from_text already verified structure; re-verify now that weight records
   // are attached so packages with wrong shapes/counts are rejected here with
   // the findings table rather than crashing an executor later.

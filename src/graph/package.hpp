@@ -9,6 +9,20 @@
 /// the device's provisioning secret), so only the target device — after
 /// remote attestation — can open them. This is the "model protection"
 /// half of the end-to-end trust story.
+///
+/// Format v2 appends a per-tensor CRC-32 digest table (computed at
+/// pack_model, verified at unpack_model). The table localizes silent data
+/// corruption to a specific (node, tensor) pair, and loaders keep it alive
+/// in memory so safety::WeightScrubber can incrementally re-hash deployed
+/// weights against it. v1 packages (no table) still load.
+///
+/// unpack_model rejects every malformed input with a GraphError whose
+/// message starts with a stable dotted check id and carries the byte
+/// offset of the offending field:
+///   package.magic  package.version  package.truncated  package.node_index
+///   package.record.order  package.rank  package.dim  package.numel
+///   package.trailing  package.digest.count  package.digest.key
+///   package.digest.mismatch
 
 #include <cstdint>
 #include <string>
@@ -19,11 +33,27 @@
 
 namespace vedliot {
 
-/// Serialize the graph structure AND weights into one binary blob.
+/// One weight tensor's integrity digest inside a package (and, after
+/// loading, inside a deployed model's in-memory digest table).
+struct TensorDigest {
+  std::uint32_t node_index = 0;    ///< dense topo index (to_text's remap)
+  std::uint32_t tensor_index = 0;  ///< position in Node::weights
+  std::uint32_t crc = 0;           ///< CRC-32 of the raw float bytes
+};
+
+/// The per-tensor digest table of a graph's current weights, in the order
+/// pack_model writes tensors. Recomputing this on a verified-clean graph
+/// reproduces the table stored in its package bit for bit.
+std::vector<TensorDigest> digest_weights(const Graph& g);
+
+/// Serialize the graph structure AND weights into one binary blob
+/// (format v2: includes the digest table).
 std::vector<std::uint8_t> pack_model(const Graph& g);
 
 /// Reconstruct a graph (with weights) from a package. Throws GraphError on
-/// malformed input.
+/// malformed input; v2 packages additionally have every weight tensor
+/// checked against the embedded digest table, so a silent bit flip is
+/// rejected here with the corrupted (node, tensor) named.
 Graph unpack_model(std::span<const std::uint8_t> package);
 
 /// An encrypted, authenticated package for field deployment.

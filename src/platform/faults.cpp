@@ -14,6 +14,8 @@ std::string_view fault_kind_name(FaultKind kind) {
     case FaultKind::kLinkDegrade: return "link-degrade";
     case FaultKind::kThermalThrottle: return "thermal-throttle";
     case FaultKind::kThermalRecover: return "thermal-recover";
+    case FaultKind::kMemoryFault: return "memory-fault";
+    case FaultKind::kOtaCorrupt: return "ota-corrupt";
   }
   throw InvalidArgument("unknown fault kind");
 }
@@ -24,7 +26,10 @@ std::string FaultEvent::subject() const {
     case FaultKind::kModuleRestart:
     case FaultKind::kThermalThrottle:
     case FaultKind::kThermalRecover:
+    case FaultKind::kMemoryFault:
       return "slot " + slot;
+    case FaultKind::kOtaCorrupt:
+      return "ota channel";
     default:
       return "link " + a + "<->" + b;
   }
@@ -165,6 +170,15 @@ bool PlatformSimulator::apply(const FaultEvent& e) {
     }
     case FaultKind::kThermalRecover: {
       return throttle_.erase(e.slot) > 0;
+    }
+    case FaultKind::kMemoryFault: {
+      // Marker event: the driver flips the bits in the model it deploys on
+      // this slot. A fault landing on a crashed module has no bits to flip.
+      VEDLIOT_CHECK(e.magnitude >= 1.0, "memory fault magnitude is a bit count (>= 1)");
+      return chassis_.occupied(e.slot);
+    }
+    case FaultKind::kOtaCorrupt: {
+      return true;  // marker event: driver corrupts its next staged payload
     }
   }
   throw InvalidArgument("unknown fault kind");

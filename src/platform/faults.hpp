@@ -10,6 +10,13 @@
 /// *platform under the model* over simulated time, so the
 /// ResilienceController (resilience.hpp) has something to detect, retry
 /// against, and recover from.
+///
+/// Two fault kinds are pure schedule markers whose effect is owned by the
+/// driver (the way thermal events stretch in-flight work in serve::Server):
+/// kMemoryFault means "flip `magnitude` weight bits in the model deployed
+/// on `slot` now", and kOtaCorrupt means "the next staged OTA payload was
+/// corrupted in transit". The simulator validates and sequences them; the
+/// serving layer applies the damage to the state it owns.
 
 #include <map>
 #include <optional>
@@ -31,6 +38,8 @@ enum class FaultKind {
   kLinkDegrade,      ///< link a<->b degraded to `magnitude` of its bandwidth
   kThermalThrottle,  ///< module GOPS scaled by `magnitude` in (0, 1]
   kThermalRecover,   ///< throttle on `slot` cleared
+  kMemoryFault,      ///< SEU: `magnitude` weight bits flip on `slot`'s model
+  kOtaCorrupt,       ///< next OTA payload arrives corrupted in transit
 };
 
 std::string_view fault_kind_name(FaultKind kind);

@@ -179,6 +179,11 @@ void ResilienceController::note_injected(double t, const std::vector<FaultEvent>
         need_replan_ = true;
         replan_reason_ = "capacity restored: " + e.subject();
         break;
+      case FaultKind::kMemoryFault:
+      case FaultKind::kOtaCorrupt:
+        // Model-integrity markers owned by the serving layer (server.hpp);
+        // platform capacity is unchanged, nothing to replan around.
+        break;
     }
   }
 }

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/executor.hpp"
 #include "util/rng.hpp"
 
@@ -33,6 +34,13 @@ class RobustnessService {
   struct Config {
     std::size_t check_period = 8;  ///< verify every n-th submission
     double tolerance = 1e-4;       ///< max |golden - submitted| per element
+
+    /// Optional metrics mirror (must outlive the service): counters
+    /// `vedliot.safety.checks` / `vedliot.safety.faults` track checks_run()
+    /// and faults_detected() 1:1, and the gauge
+    /// `vedliot.safety.last_divergence` tracks last_divergence() — the same
+    /// mirror contract the serving layer keeps for its event counters.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   /// Takes its own clone of the (weights-materialized) graph — the golden
@@ -42,6 +50,11 @@ class RobustnessService {
   /// Submit an observed pair; period sampling decides whether it is
   /// actually verified this round, and the result says what happened.
   CheckResult submit(const Tensor& input, const Tensor& output);
+
+  /// Swap the golden reference — an OTA update moved the deployment to a
+  /// new model, so correctness is now defined by the new weights. Counters
+  /// keep running; only the reference (and its executor) are replaced.
+  void replace_golden(const Graph& new_golden);
 
   std::size_t submissions() const { return submissions_; }
   std::size_t checks_run() const { return checks_; }
@@ -69,8 +82,14 @@ class FaultInjector {
  public:
   explicit FaultInjector(Rng& rng) : rng_(rng) {}
 
-  /// Flip one random mantissa/exponent bit in n random weights.
-  void flip_weight_bits(Graph& g, std::size_t n_bits);
+  /// Flip one bit in each of n randomly-chosen weights. Float tensors flip
+  /// a high-mantissa/low-exponent bit (visible, rarely inf/nan — like real
+  /// SEUs); tensors on an int8-quantized node flip one of the 8 bits of the
+  /// per-channel-quantized code and map back through the scale, which is
+  /// what a flip in deployed int8 memory actually does to the dequantized
+  /// value. With \p include_bias, bias tensors fault too (weights[1..]),
+  /// not just the kernel.
+  void flip_weight_bits(Graph& g, std::size_t n_bits, bool include_bias = false);
 
   /// Zero an entire randomly-chosen output channel of a random conv layer.
   void zero_random_channel(Graph& g);

@@ -1,0 +1,62 @@
+#include "safety/scrub.hpp"
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace vedliot::safety {
+
+WeightScrubber::WeightScrubber(const Graph& deployed) : WeightScrubber(deployed, Config{}) {}
+
+WeightScrubber::WeightScrubber(const Graph& deployed, Config config)
+    : graph_(&deployed), cfg_(config) {
+  VEDLIOT_CHECK(cfg_.tensors_per_tick >= 1, "scrub budget must be >= 1 tensor per tick");
+  rebaseline();
+}
+
+void WeightScrubber::rebaseline() {
+  entries_.clear();
+  cursor_ = 0;
+  for (NodeId id : graph_->topo_order()) {
+    const Node& n = graph_->node(id);
+    for (std::size_t t = 0; t < n.weights.size(); ++t) {
+      entries_.push_back(Entry{id, t, util::crc32(n.weights[t].data())});
+    }
+  }
+}
+
+std::size_t WeightScrubber::ticks_per_sweep() const {
+  if (entries_.empty()) return 1;
+  return (entries_.size() + cfg_.tensors_per_tick - 1) / cfg_.tensors_per_tick;
+}
+
+WeightScrubber::Hit WeightScrubber::make_hit(const Entry& e, std::uint32_t actual) const {
+  return Hit{e.node, graph_->node(e.node).name, e.tensor, e.crc, actual};
+}
+
+bool WeightScrubber::scan_one(const Entry& e, std::vector<Hit>& out) {
+  ++scanned_;
+  const std::uint32_t actual = util::crc32(graph_->node(e.node).weights.at(e.tensor).data());
+  if (actual == e.crc) return false;
+  ++hits_;
+  out.push_back(make_hit(e, actual));
+  return true;
+}
+
+std::vector<WeightScrubber::Hit> WeightScrubber::tick() {
+  ++ticks_;
+  std::vector<Hit> out;
+  if (entries_.empty()) return out;
+  for (std::size_t i = 0; i < cfg_.tensors_per_tick && i < entries_.size(); ++i) {
+    scan_one(entries_[cursor_], out);
+    cursor_ = (cursor_ + 1) % entries_.size();
+  }
+  return out;
+}
+
+std::vector<WeightScrubber::Hit> WeightScrubber::full_scan() {
+  std::vector<Hit> out;
+  for (const Entry& e : entries_) scan_one(e, out);
+  return out;
+}
+
+}  // namespace vedliot::safety

@@ -44,6 +44,14 @@ std::string_view serve_event_name(ServeEventKind kind) {
     case ServeEventKind::kBreakerClosed: return "breaker-closed";
     case ServeEventKind::kBrownoutDown: return "brownout-down";
     case ServeEventKind::kBrownoutUp: return "brownout-up";
+    case ServeEventKind::kMemoryFault: return "memory-fault";
+    case ServeEventKind::kScrubHit: return "scrub-hit";
+    case ServeEventKind::kQuarantine: return "quarantine";
+    case ServeEventKind::kModelReloaded: return "model-reloaded";
+    case ServeEventKind::kOtaStaged: return "ota-staged";
+    case ServeEventKind::kOtaCommitted: return "ota-committed";
+    case ServeEventKind::kOtaRejected: return "ota-rejected";
+    case ServeEventKind::kOtaRolledBack: return "ota-rolled-back";
   }
   throw InvalidArgument("unknown serve event kind");
 }
@@ -82,6 +90,17 @@ std::string ServeReport::to_json() const {
   out += ",\"max_brownout_level\":" + obs::json_number(static_cast<double>(max_brownout_level));
   out +=
       ",\"final_brownout_level\":" + obs::json_number(static_cast<double>(final_brownout_level));
+  out += ",\"memory_faults\":" + obs::json_number(static_cast<double>(memory_faults));
+  out += ",\"scrub_hits\":" + obs::json_number(static_cast<double>(scrub_hits));
+  out += ",\"quarantines\":" + obs::json_number(static_cast<double>(quarantines));
+  out += ",\"model_reloads\":" + obs::json_number(static_cast<double>(model_reloads));
+  out += ",\"ota_staged\":" + obs::json_number(static_cast<double>(ota_staged));
+  out += ",\"ota_committed\":" + obs::json_number(static_cast<double>(ota_committed));
+  out += ",\"ota_rejected\":" + obs::json_number(static_cast<double>(ota_rejected));
+  out += ",\"ota_rolled_back\":" + obs::json_number(static_cast<double>(ota_rolled_back));
+  out += ",\"integrity_checks\":" + obs::json_number(static_cast<double>(integrity_checks));
+  out += ",\"integrity_faults\":" + obs::json_number(static_cast<double>(integrity_faults));
+  out += ",\"dirty_at_end\":" + obs::json_number(static_cast<double>(dirty_at_end));
   out += ",\"goodput\":" + obs::json_number(goodput());
   out += ",\"events\":[";
   for (std::size_t i = 0; i < events.size(); ++i) {
@@ -107,7 +126,8 @@ Server::Server(platform::PlatformSimulator& sim, ServerConfig config)
         b.max_level = static_cast<int>(cfg_.ladder.size()) - 1;
         return b;
       }()),
-      health_(cfg_.backends, cfg_.health) {
+      health_(cfg_.backends, cfg_.health),
+      fault_rng_(cfg_.seed ^ 0xB17F11Bull) {
   VEDLIOT_CHECK(!cfg_.backends.empty(), "server needs at least one backend");
   VEDLIOT_CHECK(!cfg_.variants.empty(), "server needs at least one model variant");
   VEDLIOT_CHECK(!cfg_.ladder.empty(), "degradation ladder needs at least one rung");
@@ -124,13 +144,28 @@ Server::Server(platform::PlatformSimulator& sim, ServerConfig config)
     breakers_.emplace(slot, CircuitBreaker(cfg_.breaker));
   }
   base_latency_.resize(cfg_.variants.size());
-  if (cfg_.execute) {
+  if (cfg_.store) {
+    // Integrity mode: serve from our own deployed clones; the pristine
+    // variant graph becomes (or must already match) the golden package.
     for (const auto& v : cfg_.variants) {
+      VEDLIOT_CHECK(v.graph->weights_materialized(),
+                    "integrity mode needs materialized weights on variant " + v.name);
+      deployed_.push_back(std::make_unique<Graph>(v.graph->clone()));
+      if (!cfg_.store->has(v.name)) cfg_.store->install(v.name, *v.graph);
+      scrubbers_.push_back(
+          std::make_unique<safety::WeightScrubber>(*deployed_.back(), cfg_.scrub));
+    }
+    probation_.assign(cfg_.variants.size(), 0);
+  }
+  if (cfg_.execute) {
+    for (std::size_t i = 0; i < cfg_.variants.size(); ++i) {
+      const ModelVariant& v = cfg_.variants[i];
+      const Graph& g = cfg_.store ? *deployed_[i] : *v.graph;
       runtime::RunOptions opts;
       opts.threads = cfg_.threads;
       opts.max_batch = cfg_.ladder.front().max_batch;
-      sessions_.push_back(v.quantized ? runtime::make_quantized_session(*v.graph, opts)
-                                      : runtime::make_session(*v.graph, opts));
+      sessions_.push_back(v.quantized ? runtime::make_quantized_session(g, opts)
+                                      : runtime::make_session(g, opts));
     }
   }
 }
@@ -312,6 +347,8 @@ void Server::control_tick(double t) {
     if (const auto tr = breaker.tick(t)) log_transition(t, slot, *tr);
   }
 
+  if (cfg_.store) scrub_tick(t);
+
   for (const Ticket& dead : queue_.expire(t)) {
     ++report_.cancelled;
     log(t, ServeEventKind::kCancelled, "request " + std::to_string(dead.id),
@@ -432,7 +469,7 @@ void Server::retry_or_fail(double t, Ticket ticket, const std::string& reason) {
       "attempt " + std::to_string(attempt) + ", backoff " + ms(backoff), backoff);
 }
 
-void Server::execute_request(double t, const Ticket& ticket) {
+void Server::execute_request(double t, const Ticket& ticket, const std::string& slot) {
   if (!cfg_.execute) return;
   const std::size_t variant = rung().variant;
   const Graph& g = *cfg_.variants[variant].graph;
@@ -450,6 +487,183 @@ void Server::execute_request(double t, const Ticket& ticket) {
         "robustness check verdict: checked-faulty (divergence " +
             std::to_string(cfg_.robustness->last_divergence()) + ")",
         cfg_.robustness->last_divergence());
+    if (cfg_.store) {
+      // Don't wait for the next scrub sweep: localize now with a full scan
+      // and self-heal, quarantining the backend that served the divergent
+      // response while its weights rewrite.
+      suspect_slot_ = slot;
+      const auto hits = scrubbers_[variant]->full_scan();
+      report_.scrub_hits += hits.size();
+      for (const auto& h : hits) {
+        log(t, ServeEventKind::kScrubHit, "variant " + cfg_.variants[variant].name,
+            "node '" + h.node_name + "' tensor " + std::to_string(h.tensor) +
+                " crc mismatch (full scan after checked-faulty)",
+            static_cast<double>(h.tensor));
+      }
+      recover(t, variant, hits, probation_[variant] > 0);
+    }
+  }
+}
+
+void Server::submit_ota(double t, std::size_t variant, safety::OtaPackage update) {
+  VEDLIOT_CHECK(!ran_, "submit all OTA pushes before run()");
+  VEDLIOT_CHECK(cfg_.store != nullptr, "OTA pushes need integrity mode (ServerConfig::store)");
+  VEDLIOT_CHECK(variant < cfg_.variants.size(), "OTA push names unknown variant");
+  VEDLIOT_CHECK(t >= 0, "OTA time must be >= 0");
+  PendingOta ota;
+  ota.time_s = t;
+  ota.variant = variant;
+  ota.update = std::move(update);
+  const auto pos = std::upper_bound(
+      otas_.begin(), otas_.end(), ota.time_s,
+      [](double time, const PendingOta& o) { return time < o.time_s; });
+  otas_.insert(pos, std::move(ota));
+}
+
+void Server::apply_memory_fault(double t, const platform::FaultEvent& e) {
+  if (!cfg_.store) return;
+  if (std::find(cfg_.backends.begin(), cfg_.backends.end(), e.slot) == cfg_.backends.end()) {
+    return;
+  }
+  const std::size_t variant = rung().variant;
+  const auto bits = static_cast<std::size_t>(e.magnitude);
+  safety::FaultInjector injector(fault_rng_);
+  injector.flip_weight_bits(*deployed_[variant], bits, /*include_bias=*/true);
+  rebuild_session(variant);
+  ++report_.memory_faults;
+  suspect_slot_ = e.slot;
+  log(t, ServeEventKind::kMemoryFault, "backend " + e.slot,
+      std::to_string(bits) + " weight bit(s) flipped in deployed " +
+          cfg_.variants[variant].name,
+      static_cast<double>(bits));
+}
+
+void Server::corrupt_next_ota() {
+  for (std::size_t i = next_ota_; i < otas_.size(); ++i) {
+    if (!otas_[i].corrupted) {
+      otas_[i].corrupted = true;
+      return;
+    }
+  }
+}
+
+void Server::rebuild_session(std::size_t variant) {
+  if (!cfg_.execute) return;
+  const ModelVariant& v = cfg_.variants[variant];
+  runtime::RunOptions opts;
+  opts.threads = cfg_.threads;
+  opts.max_batch =
+      rung().variant == variant ? rung().max_batch : cfg_.ladder.front().max_batch;
+  sessions_[variant] = v.quantized ? runtime::make_quantized_session(*deployed_[variant], opts)
+                                   : runtime::make_session(*deployed_[variant], opts);
+}
+
+void Server::quarantine(double t, const std::string& slot, const std::string& why) {
+  const auto it = breakers_.find(slot);
+  if (it == breakers_.end()) return;
+  ++report_.quarantines;
+  log(t, ServeEventKind::kQuarantine, "backend " + slot, why);
+  if (const auto tr = it->second.force_open(t, why)) log_transition(t, slot, *tr);
+}
+
+void Server::recover(double t, std::size_t variant,
+                     std::span<const safety::WeightScrubber::Hit> hits, bool in_probation) {
+  const ModelVariant& v = cfg_.variants[variant];
+  if (!suspect_slot_.empty()) {
+    quarantine(t, suspect_slot_,
+               "weight corruption on deployed " + v.name + "; reloading from golden store");
+    suspect_slot_.clear();
+  }
+
+  if (in_probation && cfg_.store->can_rollback(v.name)) {
+    // Corruption this soon after a commit means the freshly-written image
+    // itself is bad — a bad push, not an SEU. Revert the whole update.
+    const auto rep = cfg_.store->rollback(v.name);
+    cfg_.store->restore(v.name, *deployed_[variant]);
+    rebuild_session(variant);
+    if (cfg_.robustness) cfg_.robustness->replace_golden(*deployed_[variant]);
+    scrubbers_[variant]->rebaseline();
+    probation_[variant] = 0;
+    ++report_.ota_rolled_back;
+    log(t, ServeEventKind::kOtaRolledBack, "ota " + v.name,
+        "corruption inside probation window; " + rep.detail,
+        static_cast<double>(rep.to_version));
+    return;
+  }
+
+  std::size_t rewritten = 0;
+  try {
+    rewritten = cfg_.store->repair(v.name, *deployed_[variant], hits);
+  } catch (const Error&) {
+    // Localized repair did not hold (sticky storage, diverged shapes):
+    // fall back to a full golden restore.
+    rewritten = cfg_.store->restore(v.name, *deployed_[variant]);
+  }
+  rebuild_session(variant);
+  scrubbers_[variant]->rebaseline();
+  ++report_.model_reloads;
+  log(t, ServeEventKind::kModelReloaded, "variant " + v.name,
+      std::to_string(rewritten) + " tensor(s) re-materialized from golden v" +
+          std::to_string(cfg_.store->version(v.name)),
+      static_cast<double>(rewritten));
+}
+
+void Server::scrub_tick(double t) {
+  for (std::size_t vi = 0; vi < deployed_.size(); ++vi) {
+    const bool in_probation = probation_[vi] > 0;
+    if (in_probation) --probation_[vi];
+    const auto hits = scrubbers_[vi]->tick();
+    if (hits.empty()) continue;
+    report_.scrub_hits += hits.size();
+    for (const auto& h : hits) {
+      log(t, ServeEventKind::kScrubHit, "variant " + cfg_.variants[vi].name,
+          "node '" + h.node_name + "' tensor " + std::to_string(h.tensor) +
+              " crc mismatch (scrub sweep)",
+          static_cast<double>(h.tensor));
+    }
+    recover(t, vi, hits, in_probation);
+  }
+}
+
+void Server::process_ota(double t, PendingOta ota) {
+  const ModelVariant& v = cfg_.variants[ota.variant];
+  if (ota.corrupted) {
+    // In-transit corruption (a scheduled kOtaCorrupt marker): flip a few
+    // payload bytes. Silent by design — detection is the store's job.
+    for (int i = 0; i < 3; ++i) {
+      const auto at = static_cast<std::size_t>(fault_rng_.uniform_int(
+          0, static_cast<std::int64_t>(ota.update.package.size()) - 1));
+      ota.update.package[at] ^=
+          static_cast<std::uint8_t>(1 + fault_rng_.uniform_int(0, 254));
+    }
+  }
+  ++report_.ota_staged;
+  log(t, ServeEventKind::kOtaStaged, "ota " + v.name,
+      "payload " + std::to_string(ota.update.package.size()) + " bytes, verifying",
+      static_cast<double>(ota.update.package.size()));
+
+  const auto rep = cfg_.store->push(v.name, ota.update);
+  switch (rep.outcome) {
+    case safety::OtaOutcome::kCommitted:
+      cfg_.store->restore(v.name, *deployed_[ota.variant]);
+      rebuild_session(ota.variant);
+      if (cfg_.robustness) cfg_.robustness->replace_golden(*deployed_[ota.variant]);
+      scrubbers_[ota.variant]->rebaseline();
+      probation_[ota.variant] =
+          scrubbers_[ota.variant]->ticks_per_sweep() * cfg_.ota_probation_sweeps;
+      ++report_.ota_committed;
+      log(t, ServeEventKind::kOtaCommitted, "ota " + v.name,
+          "v" + std::to_string(rep.from_version) + " -> v" + std::to_string(rep.to_version) +
+              "; " + rep.detail,
+          static_cast<double>(rep.to_version));
+      break;
+    case safety::OtaOutcome::kRejected:
+      ++report_.ota_rejected;
+      log(t, ServeEventKind::kOtaRejected, "ota " + v.name, rep.detail,
+          static_cast<double>(rep.from_version));
+      break;
+    case safety::OtaOutcome::kRolledBack:
+      throw Error("store.push must not report rolled-back");
   }
 }
 
@@ -485,7 +699,7 @@ void Server::finish(double t, InFlight f) {
   }
 
   if (const auto tr = breaker.record_success(t)) log_transition(t, f.slot, *tr);
-  execute_request(t, f.ticket);
+  execute_request(t, f.ticket, f.slot);
 
   const double latency = t - r.arrival_s;
   if (cfg_.metrics) {
@@ -541,14 +755,15 @@ ServeReport Server::run(double duration_s) {
     const double t_tick = tick_at <= duration_s ? tick_at : kInf;
     const double t_arrival =
         next_arrival_ < arrivals_.size() ? arrivals_[next_arrival_].arrival_s : kInf;
+    const double t_ota = next_ota_ < otas_.size() ? otas_[next_ota_].time_s : kInf;
     double t_fault = kInf;
-    if (t_completion < kInf || t_tick < kInf || t_arrival < kInf) {
+    if (t_completion < kInf || t_tick < kInf || t_arrival < kInf || t_ota < kInf) {
       // Only wake for faults while the run is still live; trailing
       // schedule entries past the last event are irrelevant.
       t_fault = sim_.next_fault_time().value_or(kInf);
     }
 
-    const double t = std::min({t_completion, t_tick, t_arrival, t_fault});
+    const double t = std::min({t_completion, t_tick, t_arrival, t_ota, t_fault});
     if (!std::isfinite(t)) break;
 
     // Thermal events landing on a busy backend stretch (or compress) the
@@ -557,6 +772,15 @@ ServeReport Server::run(double duration_s) {
     // exactly now is past its compute and cannot stretch, so the chosen
     // next event stays valid.
     for (const platform::FaultEvent& e : sim_.advance_to(t)) {
+      // Integrity markers: the damage is ours to apply (see faults.hpp).
+      if (e.kind == platform::FaultKind::kMemoryFault) {
+        apply_memory_fault(t, e);
+        continue;
+      }
+      if (e.kind == platform::FaultKind::kOtaCorrupt) {
+        corrupt_next_ota();
+        continue;
+      }
       if (e.kind != platform::FaultKind::kThermalThrottle &&
           e.kind != platform::FaultKind::kThermalRecover) {
         continue;
@@ -584,6 +808,9 @@ ServeReport Server::run(double duration_s) {
     } else if (t_arrival <= t) {
       admit(arrivals_[next_arrival_++]);
       try_dispatch(t);
+    } else if (t_ota <= t) {
+      process_ota(t, std::move(otas_[next_ota_]));
+      ++next_ota_;
     }
   }
 
@@ -597,6 +824,16 @@ ServeReport Server::run(double duration_s) {
   }
 
   report_.final_brownout_level = level_;
+  if (cfg_.robustness) {
+    report_.integrity_checks = cfg_.robustness->checks_run();
+    report_.integrity_faults = cfg_.robustness->faults_detected();
+  }
+  if (cfg_.store) {
+    // End-state audit: a healed server leaves no corrupt tensor behind.
+    for (auto& scrubber : scrubbers_) {
+      report_.dirty_at_end += scrubber->full_scan().size();
+    }
+  }
   if (cfg_.trace) {
     run_span.attr("events", static_cast<double>(report_.events.size()));
     run_span.attr("completed", static_cast<double>(report_.completed));

@@ -18,12 +18,23 @@
 ///    exponential backoff, bounded by a per-client retry-token budget;
 ///  * brownout degradation — a hysteretic ladder (brownout.hpp) that steps
 ///    the deployment through cheaper configurations (int8, smaller batch,
-///    smaller model) under sustained overload and back up when calm.
+///    smaller model) under sustained overload and back up when calm;
+///  * integrity self-healing (integrity mode, set ServerConfig::store) —
+///    the server serves from its own deployed clones of the variant graphs,
+///    an incremental safety::WeightScrubber re-hashes a few weight tensors
+///    per control tick against the golden digest table, and a scrub hit (or
+///    a checked-faulty robustness verdict) quarantines the implicated
+///    backend, re-materializes the corrupted tensors from the golden
+///    package in the safety::ModelStore, rebuilds the serving session and
+///    returns to service; OTA pushes (submit_ota) stage, verify and swap
+///    through the store, with corruption during the post-swap probation
+///    window rolling the update back instead of repairing.
 ///
 /// Every decision is a structured ServeEvent, mirrored 1:1 into the
 /// optional obs::Tracer (instant spans, category "vedliot.serve") and
 /// counted in the optional obs::MetricsRegistry under `vedliot.serve.*` —
-/// the soak harness (soak.hpp) asserts that mirror exactly.
+/// the soak harnesses (soak.hpp, integrity_soak.hpp) assert that mirror
+/// exactly.
 
 #include <cstdint>
 #include <map>
@@ -39,7 +50,9 @@
 #include "platform/faults.hpp"
 #include "platform/health.hpp"
 #include "runtime/session.hpp"
+#include "safety/model_store.hpp"
 #include "safety/robustness.hpp"
+#include "safety/scrub.hpp"
 #include "serve/breaker.hpp"
 #include "serve/brownout.hpp"
 #include "serve/queue.hpp"
@@ -67,6 +80,14 @@ enum class ServeEventKind {
   kBreakerClosed,   ///< probes succeeded, backend back in rotation
   kBrownoutDown,    ///< degraded one rung (value = new level)
   kBrownoutUp,      ///< recovered one rung (value = new level)
+  kMemoryFault,     ///< scheduled SEU flipped weight bits in a deployed model
+  kScrubHit,        ///< scrubber localized corruption to a (node, tensor)
+  kQuarantine,      ///< implicated backend force-opened while weights rewrite
+  kModelReloaded,   ///< corrupted tensors re-materialized from the golden store
+  kOtaStaged,       ///< OTA payload arrived, verification starting
+  kOtaCommitted,    ///< OTA verified and swapped atomically (value = version)
+  kOtaRejected,     ///< OTA failed pre-swap verification, old version serving
+  kOtaRolledBack,   ///< post-swap corruption, previous version restored
 };
 
 std::string_view serve_event_name(ServeEventKind kind);
@@ -142,6 +163,21 @@ struct ServerConfig {
   /// only, which is what the chaos soak uses.
   bool execute = false;
   unsigned threads = 1;                ///< intra-op threads in execute mode
+
+  /// Integrity mode: when set, the server clones every variant graph at
+  /// construction and serves from its own deployed copies (variant graphs
+  /// need materialized weights). Golden packages are installed into the
+  /// store under each variant's name on first use; a WeightScrubber per
+  /// deployed copy re-hashes `scrub.tensors_per_tick` tensors every control
+  /// tick, and detected corruption self-heals through the store (see
+  /// file-level comment). Must outlive the server.
+  safety::ModelStore* store = nullptr;
+  safety::WeightScrubber::Config scrub;   ///< per-tick re-hash budget
+
+  /// After an OTA commit, a scrub hit within this many full sweeps is
+  /// attributed to the push itself (the freshly-written image is bad):
+  /// roll back instead of repairing.
+  std::size_t ota_probation_sweeps = 1;
 };
 
 struct ServeReport {
@@ -162,6 +198,19 @@ struct ServeReport {
   int max_brownout_level = 0;
   int final_brownout_level = 0;
 
+  // Integrity mode (0 unless ServerConfig::store is set).
+  std::size_t memory_faults = 0;     ///< SEU events applied to deployed models
+  std::size_t scrub_hits = 0;        ///< corrupted tensors localized
+  std::size_t quarantines = 0;       ///< backends force-opened for reload
+  std::size_t model_reloads = 0;     ///< golden repairs / full restores
+  std::size_t ota_staged = 0;
+  std::size_t ota_committed = 0;
+  std::size_t ota_rejected = 0;
+  std::size_t ota_rolled_back = 0;
+  std::size_t integrity_checks = 0;  ///< robustness checks over deliveries
+  std::size_t integrity_faults = 0;  ///< checked-faulty verdicts
+  std::size_t dirty_at_end = 0;      ///< corrupt tensors left after the run
+
   /// In-deadline completions over offered load (0 when nothing offered).
   double goodput() const;
 
@@ -180,6 +229,11 @@ class Server {
   /// Register one offered request (before run()). Returns the request id.
   std::uint64_t submit(Request r);
 
+  /// Schedule an over-the-air update for \p variant's store entry at
+  /// simulated time \p t (integrity mode only; call before run()). The
+  /// update must keep the variant's architecture — only weights change.
+  void submit_ota(double t, std::size_t variant, safety::OtaPackage update);
+
   /// Drive the serving loop for \p duration_s of simulated time.
   ServeReport run(double duration_s);
 
@@ -192,6 +246,13 @@ class Server {
     double started_s = 0;
     double finish_s = 0;
     double gops_scale = 1.0;  ///< capacity assumed when finish_s was set
+  };
+
+  struct PendingOta {
+    double time_s = 0;
+    std::size_t variant = 0;
+    safety::OtaPackage update;
+    bool corrupted = false;  ///< a kOtaCorrupt marker fell on this payload
   };
 
   void log(double t, ServeEventKind kind, const std::string& subject,
@@ -208,7 +269,17 @@ class Server {
   void finish(double t, InFlight f);
   void retry_or_fail(double t, Ticket ticket, const std::string& reason);
   void apply_brownout(double t, int delta);
-  void execute_request(double t, const Ticket& ticket);
+  void execute_request(double t, const Ticket& ticket, const std::string& slot);
+
+  // Integrity mode (all no-ops unless cfg_.store is set).
+  void apply_memory_fault(double t, const platform::FaultEvent& e);
+  void corrupt_next_ota();
+  void process_ota(double t, PendingOta ota);
+  void scrub_tick(double t);
+  void quarantine(double t, const std::string& slot, const std::string& why);
+  void recover(double t, std::size_t variant,
+               std::span<const safety::WeightScrubber::Hit> hits, bool in_probation);
+  void rebuild_session(std::size_t variant);
 
   platform::PlatformSimulator& sim_;
   ServerConfig cfg_;
@@ -233,6 +304,16 @@ class Server {
   mutable std::vector<std::map<std::string, double>> base_latency_;
 
   std::vector<std::unique_ptr<runtime::Session>> sessions_;  ///< execute mode
+
+  // Integrity mode state (empty when cfg_.store is null).
+  std::vector<std::unique_ptr<Graph>> deployed_;  ///< served clones, by variant
+  std::vector<std::unique_ptr<safety::WeightScrubber>> scrubbers_;
+  std::vector<std::size_t> probation_;   ///< post-OTA probation ticks left
+  std::string suspect_slot_;             ///< backend hit by the last SEU
+  std::vector<PendingOta> otas_;         ///< sorted by time
+  std::size_t next_ota_ = 0;
+  Rng fault_rng_;                        ///< SEU bit picks + payload damage
+
   ServeReport report_;
   bool ran_ = false;
 };

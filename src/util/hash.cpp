@@ -1,0 +1,33 @@
+#include "util/hash.hpp"
+
+#include <array>
+
+namespace vedliot::util {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data) c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(std::span<const float> data, std::uint32_t seed) {
+  const auto* raw = reinterpret_cast<const std::uint8_t*>(data.data());
+  return crc32(std::span<const std::uint8_t>(raw, data.size() * sizeof(float)), seed);
+}
+
+}  // namespace vedliot::util

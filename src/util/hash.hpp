@@ -1,0 +1,28 @@
+#pragma once
+/// \file hash.hpp
+/// \brief Non-cryptographic integrity hashes.
+///
+/// CRC-32 (the ISO-HDLC / zlib polynomial, reflected) is the per-tensor
+/// weight digest used by the model-package format and the runtime weight
+/// scrubber: cheap enough to re-hash deployed weights a few tensors per
+/// control tick, and any single bit flip is guaranteed to change the
+/// digest. For tamper-resistance against an *adversary* the packages are
+/// additionally sealed (security/crypto.hpp); CRC-32 targets silent data
+/// corruption, not attacks.
+
+#include <cstdint>
+#include <span>
+
+namespace vedliot::util {
+
+/// CRC-32 of a byte span. \p seed chains incremental computation: pass the
+/// previous result to continue a digest across fragments (crc32 of the
+/// concatenation equals the chained value). check value: crc32("123456789")
+/// == 0xCBF43926.
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed = 0);
+
+/// CRC-32 over the raw IEEE-754 bytes of a float span (the weight-tensor
+/// digest: bit flips below float equality tolerance still change it).
+std::uint32_t crc32(std::span<const float> data, std::uint32_t seed = 0);
+
+}  // namespace vedliot::util

@@ -115,6 +115,182 @@ TEST(Package, MeasurementIdentifiesModelVersion) {
 }
 
 // ---------------------------------------------------------------------------
+// v2 digest table: round trips, corruption rejection, check-id matrix
+// ---------------------------------------------------------------------------
+
+std::uint32_t read_u32(const std::vector<std::uint8_t>& b, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b.at(at + i)) << (8 * i);
+  return v;
+}
+
+void write_u32(std::vector<std::uint8_t>& b, std::size_t at, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) b.at(at + i) = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/// Unpack must throw a GraphError whose message starts with the stable
+/// dotted check id — the contract loaders and fleet dashboards key on.
+void expect_check_id(const std::vector<std::uint8_t>& blob, const std::string& id) {
+  try {
+    (void)unpack_model(blob);
+    FAIL() << "expected GraphError " << id;
+  } catch (const GraphError& e) {
+    EXPECT_EQ(std::string(e.what()).rfind(id + ":", 0), 0u)
+        << "wrong check id: " << e.what();
+  }
+}
+
+/// Byte offset of the first weight record (index field), from the header.
+std::size_t first_record_at(const std::vector<std::uint8_t>& blob) {
+  return 12 + read_u32(blob, 8) + 4;
+}
+
+TEST(PackageDigest, TableMatchesRecomputedDigests) {
+  Graph g = materialized(zoo::micro_cnn("m", 1, 1, 16, 4));
+  const auto before = digest_weights(g);
+  Graph back = unpack_model(pack_model(g));
+  const auto after = digest_weights(back);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].node_index, after[i].node_index);
+    EXPECT_EQ(before[i].tensor_index, after[i].tensor_index);
+    EXPECT_EQ(before[i].crc, after[i].crc);
+  }
+}
+
+TEST(PackageDigest, ResNet50ZooPackageRoundTrips) {
+  Graph g = materialized(zoo::resnet50(1, 10, 32), 11);
+  const auto blob = pack_model(g);
+  Graph back = unpack_model(blob);  // digest verification runs here
+  EXPECT_TRUE(back.weights_materialized());
+  const auto a = digest_weights(g);
+  const auto b = digest_weights(back);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].crc, b[i].crc);
+}
+
+TEST(PackageDigest, MobileNetV3ZooPackageRoundTrips) {
+  Graph g = materialized(zoo::mobilenet_v3_large(1, 10, 32), 12);
+  Graph back = unpack_model(pack_model(g));
+  const auto a = digest_weights(g);
+  const auto b = digest_weights(back);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].crc, b[i].crc);
+}
+
+TEST(PackageDigest, FlippedWeightByteRejectedWithExactCheckId) {
+  // Flip one byte deep inside the first conv kernel's float data: the
+  // package parses fine, the digest table catches the silent corruption.
+  Graph g = materialized(zoo::resnet50(1, 10, 32), 13);
+  auto blob = pack_model(g);
+  const std::size_t rec = first_record_at(blob);
+  const std::size_t rank = blob.at(rec + 6);
+  const std::size_t floats_at = rec + 7 + 8 * rank;
+  blob.at(floats_at + 101) ^= 0x10;
+  expect_check_id(blob, "package.digest.mismatch");
+}
+
+TEST(PackageCorruption, EveryTruncationRejected) {
+  // A package cut anywhere — mid-header, mid-text, mid-record, mid-table —
+  // must raise GraphError, never over-read or crash (run under ASan).
+  Graph g = materialized(zoo::micro_mlp("m", 1, 4, {4}, 2));
+  const auto blob = pack_model(g);
+  for (std::size_t n = 0; n < blob.size(); ++n) {
+    std::vector<std::uint8_t> cut(blob.begin(), blob.begin() + static_cast<std::ptrdiff_t>(n));
+    EXPECT_THROW((void)unpack_model(cut), GraphError) << "truncated to " << n << " bytes";
+  }
+}
+
+TEST(PackageCorruption, CheckIdMatrix) {
+  Graph g = materialized(zoo::micro_mlp("m", 1, 4, {4}, 2));
+  const auto blob = pack_model(g);
+  const std::size_t rec = first_record_at(blob);
+  const std::size_t entries = digest_weights(g).size();
+  const std::size_t table_at = blob.size() - 12 * entries - 4;
+
+  {
+    auto b = blob;
+    b[0] ^= 0xFF;  // wrong magic
+    expect_check_id(b, "package.magic");
+  }
+  {
+    auto b = blob;
+    write_u32(b, 4, 99);  // unsupported version
+    expect_check_id(b, "package.version");
+  }
+  {
+    auto b = blob;
+    write_u32(b, 8, static_cast<std::uint32_t>(b.size()));  // text length lies
+    expect_check_id(b, "package.truncated");
+  }
+  {
+    auto b = blob;
+    write_u32(b, rec, 1u << 20);  // record references a node that isn't there
+    expect_check_id(b, "package.node_index");
+  }
+  {
+    auto b = blob;
+    // First record claims the last topo index; the next record can then no
+    // longer be strictly increasing.
+    write_u32(b, rec, static_cast<std::uint32_t>(g.size() - 1));
+    expect_check_id(b, "package.record.order");
+  }
+  {
+    auto b = blob;
+    b.at(rec + 6) = 200;  // absurd tensor rank
+    expect_check_id(b, "package.rank");
+  }
+  {
+    auto b = blob;
+    for (int i = 0; i < 8; ++i) b.at(rec + 7 + i) = 0xFF;  // negative dimension
+    expect_check_id(b, "package.dim");
+  }
+  {
+    auto b = blob;
+    // dim0 = 2^31 passes the per-dim cap; the running product with dim1
+    // then blows the element budget before any allocation happens.
+    for (int i = 0; i < 8; ++i) b.at(rec + 7 + i) = 0;
+    b.at(rec + 7 + 3) = 0x80;
+    expect_check_id(b, "package.numel");
+  }
+  {
+    auto b = blob;
+    b.push_back(0);  // trailing garbage
+    expect_check_id(b, "package.trailing");
+  }
+  {
+    auto b = blob;
+    write_u32(b, table_at, static_cast<std::uint32_t>(entries + 1));
+    expect_check_id(b, "package.digest.count");
+  }
+  {
+    auto b = blob;
+    write_u32(b, table_at + 4, 1u << 16);  // digest key points elsewhere
+    expect_check_id(b, "package.digest.key");
+  }
+  {
+    auto b = blob;
+    b.at(table_at + 12) ^= 0x01;  // stored crc itself corrupted
+    expect_check_id(b, "package.digest.mismatch");
+  }
+}
+
+TEST(PackageCorruption, V1PackageWithoutTableStillLoads) {
+  // Back-compat: a v1 blob is a v2 blob minus the digest table with the
+  // version field rewritten — the reader must accept it un-checked.
+  Graph g = materialized(zoo::micro_mlp("m", 1, 4, {4}, 2));
+  auto blob = pack_model(g);
+  const std::size_t entries = digest_weights(g).size();
+  blob.resize(blob.size() - 12 * entries - 4);
+  write_u32(blob, 4, 1);
+  Graph back = unpack_model(blob);
+  EXPECT_TRUE(back.weights_materialized());
+  Rng rng(7);
+  Tensor x(Shape{1, 4}, rng.normal_vector(4));
+  EXPECT_FLOAT_EQ(max_abs_diff(Executor(g).run_single(x), Executor(back).run_single(x)), 0.0f);
+}
+
+// ---------------------------------------------------------------------------
 // Memory-aware execution order
 // ---------------------------------------------------------------------------
 

@@ -4,16 +4,22 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
+#include "graph/package.hpp"
 #include "graph/zoo.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/executor.hpp"
 #include "safety/hybrid.hpp"
+#include "safety/model_store.hpp"
 #include "safety/monitors.hpp"
 #include "safety/robustness.hpp"
+#include "safety/scrub.hpp"
 #include "util/rng.hpp"
 
 namespace vedliot::safety {
@@ -487,6 +493,391 @@ TEST(Hybrid, ValidationErrors) {
   EXPECT_THROW(kernel.register_task(perception_task()), Error);
   EXPECT_THROW(kernel.heartbeat("ghost", 0.0), NotFound);
   EXPECT_THROW((void)kernel.missed_deadlines("ghost"), NotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Weight scrubber
+// ---------------------------------------------------------------------------
+
+/// Flip one mantissa bit of weights[tensor][elem] on the n-th parametric
+/// node — a surgical, known-location SEU for localization tests.
+void flip_at(Graph& g, std::size_t nth_parametric, std::size_t tensor, std::size_t elem) {
+  std::size_t seen = 0;
+  for (NodeId id : g.topo_order()) {
+    Node& n = g.node(id);
+    if (n.weights.empty()) continue;
+    if (seen++ != nth_parametric) continue;
+    float& w = n.weights.at(tensor).at(static_cast<std::int64_t>(elem));
+    auto u = std::bit_cast<std::uint32_t>(w);
+    w = std::bit_cast<float>(u ^ (1u << 22));
+    return;
+  }
+  FAIL() << "graph has no parametric node " << nth_parametric;
+}
+
+TEST(WeightScrubber, CleanGraphScansWithoutHits) {
+  Deployment d = deploy_micro();
+  WeightScrubber scrub(d.graph, {2});
+  EXPECT_EQ(scrub.entries(), digest_weights(d.graph).size());
+  for (std::size_t i = 0; i < 3 * scrub.ticks_per_sweep(); ++i) {
+    EXPECT_TRUE(scrub.tick().empty());
+  }
+  EXPECT_EQ(scrub.hits(), 0u);
+  EXPECT_GE(scrub.tensors_scanned(), scrub.entries());
+}
+
+TEST(WeightScrubber, SweepBoundIsCeilOfEntriesOverBudget) {
+  Deployment d = deploy_micro();
+  const std::size_t entries = digest_weights(d.graph).size();
+  WeightScrubber one(d.graph, {1});
+  EXPECT_EQ(one.ticks_per_sweep(), entries);
+  WeightScrubber big(d.graph, {entries + 5});
+  EXPECT_EQ(big.ticks_per_sweep(), 1u);
+  WeightScrubber two(d.graph, {2});
+  EXPECT_EQ(two.ticks_per_sweep(), (entries + 1) / 2);
+}
+
+TEST(WeightScrubber, LocalizesBitFlipWithinOneSweep) {
+  Deployment d = deploy_micro();
+  WeightScrubber scrub(d.graph, {2});
+  flip_at(d.graph, 1, 0, 3);
+
+  std::vector<WeightScrubber::Hit> hits;
+  for (std::size_t i = 0; i < scrub.ticks_per_sweep(); ++i) {
+    auto h = scrub.tick();
+    hits.insert(hits.end(), h.begin(), h.end());
+  }
+  ASSERT_EQ(hits.size(), 1u);  // localized to exactly one (node, tensor)
+  EXPECT_EQ(hits[0].tensor, 0u);
+  EXPECT_NE(hits[0].expected, hits[0].actual);
+  EXPECT_FALSE(hits[0].node_name.empty());
+  // the hit names the node we corrupted
+  std::size_t seen = 0;
+  for (NodeId id : d.graph.topo_order()) {
+    const Node& n = d.graph.node(id);
+    if (n.weights.empty()) continue;
+    if (seen++ == 1) {
+      EXPECT_EQ(hits[0].node, id);
+    }
+  }
+}
+
+TEST(WeightScrubber, RebaselineTrustsCurrentBits) {
+  Deployment d = deploy_micro();
+  WeightScrubber scrub(d.graph, {64});
+  flip_at(d.graph, 0, 0, 0);
+  EXPECT_FALSE(scrub.full_scan().empty());
+  scrub.rebaseline();  // e.g. an intentional in-place update
+  EXPECT_TRUE(scrub.full_scan().empty());
+}
+
+TEST(WeightScrubber, FullScanFindsEveryCorruptTensor) {
+  Deployment d = deploy_micro();
+  WeightScrubber scrub(d.graph, {1});
+  flip_at(d.graph, 0, 0, 1);
+  flip_at(d.graph, 2, 0, 0);
+  EXPECT_EQ(scrub.full_scan().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Model store: install / repair / restore / OTA push / rollback
+// ---------------------------------------------------------------------------
+
+Tensor probe_input(std::uint64_t seed = 42) { return sample_input(seed); }
+
+TEST(ModelStore, InstallAndMaterializeRoundTrip) {
+  Deployment d = deploy_micro();
+  ModelStore store;
+  EXPECT_EQ(store.install("kws", d.graph), 1u);
+  EXPECT_TRUE(store.has("kws"));
+  EXPECT_EQ(store.version("kws"), 1u);
+  EXPECT_FALSE(store.can_rollback("kws"));
+  EXPECT_THROW((void)store.install("kws", d.graph), InvalidArgument);
+
+  Graph fresh = store.materialize("kws");
+  const Tensor in = probe_input();
+  EXPECT_FLOAT_EQ(
+      max_abs_diff(d.exec->run_single(in), Executor(fresh).run_single(in)), 0.0f);
+}
+
+TEST(ModelStore, RepairRewritesOnlyTheHitTensors) {
+  Deployment d = deploy_micro();
+  ModelStore store;
+  store.install("kws", d.graph);
+
+  Graph live = store.materialize("kws");
+  WeightScrubber scrub(live, {64});
+  flip_at(live, 1, 0, 5);
+  const auto hits = scrub.full_scan();
+  ASSERT_EQ(hits.size(), 1u);
+
+  EXPECT_EQ(store.repair("kws", live, hits), 1u);
+  EXPECT_TRUE(scrub.full_scan().empty());  // repaired bits re-match golden
+  const Tensor in = probe_input();
+  EXPECT_FLOAT_EQ(
+      max_abs_diff(d.exec->run_single(in), Executor(live).run_single(in)), 0.0f);
+}
+
+TEST(ModelStore, RestoreRewritesEveryTensor) {
+  Deployment d = deploy_micro();
+  ModelStore store;
+  store.install("kws", d.graph);
+
+  Graph live = store.materialize("kws");
+  flip_at(live, 0, 0, 0);
+  flip_at(live, 1, 0, 1);
+  flip_at(live, 2, 0, 2);
+  EXPECT_EQ(store.restore("kws", live), digest_weights(d.graph).size());
+  WeightScrubber scrub(live, {64});
+  EXPECT_TRUE(scrub.full_scan().empty());
+}
+
+TEST(ModelStore, PushCommitsVerifiedUpdate) {
+  Deployment d = deploy_micro();
+  ModelStore store;
+  store.install("kws", d.graph);
+
+  Graph v2 = d.graph.clone();
+  for (NodeId id : v2.topo_order()) {
+    Node& n = v2.node(id);
+    if (!n.weights.empty()) {
+      for (float& w : n.weights[0].data()) w *= 1.01f;
+    }
+  }
+  v2.touch();
+  const auto report = store.push("kws", make_ota_package(v2));
+  EXPECT_EQ(report.outcome, OtaOutcome::kCommitted);
+  EXPECT_EQ(report.from_version, 1u);
+  EXPECT_EQ(report.to_version, 2u);
+  EXPECT_EQ(store.version("kws"), 2u);
+  EXPECT_TRUE(store.can_rollback("kws"));
+
+  const Tensor in = probe_input();
+  EXPECT_FLOAT_EQ(
+      max_abs_diff(Executor(v2).run_single(in), Executor(store.materialize("kws")).run_single(in)),
+      0.0f);
+}
+
+TEST(ModelStore, PushRejectsCorruptedPayload) {
+  Deployment d = deploy_micro();
+  ModelStore store;
+  store.install("kws", d.graph);
+
+  OtaPackage update = make_ota_package(d.graph);
+  update.package.at(update.package.size() / 2) ^= 0x08;  // one flipped bit in transit
+  const auto report = store.push("kws", update);
+  EXPECT_EQ(report.outcome, OtaOutcome::kRejected);
+  EXPECT_NE(report.detail.find("staging failed"), std::string::npos);
+  EXPECT_EQ(store.version("kws"), 1u);  // old version still serving
+  EXPECT_FALSE(store.can_rollback("kws"));
+}
+
+TEST(ModelStore, PushRejectsCanaryDivergence) {
+  // The package itself is intact, but the publisher-declared outputs don't
+  // match what the model produces — a wrong-weights / wrong-toolchain push.
+  Deployment d = deploy_micro();
+  ModelStore store;
+  store.install("kws", d.graph);
+
+  OtaPackage update = make_ota_package(d.graph);
+  for (float& v : update.canary_output) v += 0.5f;
+  const auto report = store.push("kws", update);
+  EXPECT_EQ(report.outcome, OtaOutcome::kRejected);
+  EXPECT_NE(report.detail.find("canary"), std::string::npos);
+  EXPECT_EQ(store.version("kws"), 1u);
+}
+
+TEST(ModelStore, RollbackRestoresPreviousVersion) {
+  Deployment d = deploy_micro();
+  ModelStore store;
+  store.install("kws", d.graph);
+
+  Graph v2 = d.graph.clone();
+  for (NodeId id : v2.topo_order()) {
+    Node& n = v2.node(id);
+    if (!n.weights.empty()) {
+      for (float& w : n.weights[0].data()) w *= 0.9f;
+    }
+  }
+  v2.touch();
+  ASSERT_EQ(store.push("kws", make_ota_package(v2)).outcome, OtaOutcome::kCommitted);
+
+  const auto rb = store.rollback("kws");
+  EXPECT_EQ(rb.outcome, OtaOutcome::kRolledBack);
+  EXPECT_EQ(rb.from_version, 2u);
+  EXPECT_EQ(rb.to_version, 1u);
+  EXPECT_EQ(store.version("kws"), 1u);
+  EXPECT_FALSE(store.can_rollback("kws"));  // retention is one level deep
+
+  const Tensor in = probe_input();
+  EXPECT_FLOAT_EQ(
+      max_abs_diff(d.exec->run_single(in), Executor(store.materialize("kws")).run_single(in)),
+      0.0f);
+
+  const auto again = store.rollback("kws");
+  EXPECT_EQ(again.outcome, OtaOutcome::kRejected);
+  EXPECT_EQ(ota_outcome_name(OtaOutcome::kCommitted), "committed");
+  EXPECT_EQ(ota_outcome_name(OtaOutcome::kRejected), "rejected");
+  EXPECT_EQ(ota_outcome_name(OtaOutcome::kRolledBack), "rolled-back");
+}
+
+TEST(ModelStore, UnknownNameThrows) {
+  ModelStore store;
+  EXPECT_FALSE(store.has("ghost"));
+  EXPECT_THROW((void)store.current("ghost"), NotFound);
+  EXPECT_THROW((void)store.materialize("ghost"), NotFound);
+  EXPECT_THROW((void)store.rollback("ghost"), NotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injector: int8 / bias awareness + determinism (satellite b)
+// ---------------------------------------------------------------------------
+
+std::vector<Tensor> snapshot_all_weights(const Graph& g) {
+  std::vector<Tensor> out;
+  for (NodeId id : g.topo_order()) {
+    for (const Tensor& w : g.node(id).weights) out.push_back(w);
+  }
+  return out;
+}
+
+TEST(FaultInjector, SameSeedSameFlipsIncludingBias) {
+  Deployment a = deploy_micro();
+  Deployment b = deploy_micro();
+  Rng ra(321), rb(321);
+  FaultInjector(ra).flip_weight_bits(a.graph, 24, /*include_bias=*/true);
+  FaultInjector(rb).flip_weight_bits(b.graph, 24, /*include_bias=*/true);
+  const auto wa = snapshot_all_weights(a.graph);
+  const auto wb = snapshot_all_weights(b.graph);
+  ASSERT_EQ(wa.size(), wb.size());
+  for (std::size_t l = 0; l < wa.size(); ++l) {
+    EXPECT_TRUE(std::equal(wa[l].data().begin(), wa[l].data().end(), wb[l].data().begin()))
+        << "tensor " << l << " diverged under the same seed";
+  }
+}
+
+TEST(FaultInjector, BiasTensorsFaultedWhenRequested) {
+  // With enough flips and include_bias, at least one bias tensor
+  // (weights[1]) must change; without the flag, none may.
+  const auto bias_changed = [](bool include_bias) {
+    Deployment d = deploy_micro();
+    const auto before = snapshot_all_weights(d.graph);
+    Rng rng(17);
+    FaultInjector(rng).flip_weight_bits(d.graph, 64, include_bias);
+    const auto after = snapshot_all_weights(d.graph);
+    bool changed = false;
+    std::size_t l = 0;
+    for (NodeId id : d.graph.topo_order()) {
+      const Node& n = d.graph.node(id);
+      for (std::size_t t = 0; t < n.weights.size(); ++t, ++l) {
+        if (t >= 1 && !std::equal(before[l].data().begin(), before[l].data().end(),
+                                  after[l].data().begin())) {
+          changed = true;
+        }
+      }
+    }
+    return changed;
+  };
+  EXPECT_TRUE(bias_changed(true));
+  EXPECT_FALSE(bias_changed(false));
+}
+
+TEST(FaultInjector, Int8FlipsStayOnTheQuantizedGrid) {
+  // On an int8-tagged node the flip must act on the quantized code: the
+  // changed kernel value is still an exact multiple of its channel scale.
+  // One flip per fresh graph — a second flip in the same channel would see
+  // a scale already moved by the first.
+  std::size_t changed = 0;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    Deployment d = deploy_micro();
+    for (NodeId id : d.graph.topo_order()) {
+      Node& n = d.graph.node(id);
+      if (!n.weights.empty()) n.weight_dtype = DType::kINT8;
+    }
+    const auto before = snapshot_all_weights(d.graph);
+    Rng rng(seed);
+    FaultInjector(rng).flip_weight_bits(d.graph, 1);
+
+    std::size_t l = 0;
+    for (NodeId id : d.graph.topo_order()) {
+      const Node& n = d.graph.node(id);
+      for (std::size_t t = 0; t < n.weights.size(); ++t, ++l) {
+        const Tensor& old = before[l];
+        const Tensor& now = n.weights[t];
+        for (std::int64_t i = 0; i < now.numel(); ++i) {
+          if (old.at(i) == now.at(i)) continue;
+          ++changed;
+          // recover this element's channel scale from the pre-flip tensor
+          const auto oc = old.shape().dim(0);
+          const auto per = old.numel() / oc;
+          const auto chan = i / per;
+          double amax = 0;
+          for (std::int64_t j = chan * per; j < (chan + 1) * per; ++j) {
+            amax = std::max(amax, std::abs(static_cast<double>(old.at(j))));
+          }
+          const double ws = amax > 0 ? amax / 127.0 : 1.0;
+          const double code = static_cast<double>(now.at(i)) / ws;
+          EXPECT_NEAR(code, std::round(code), 1e-3) << "off-grid int8 flip";
+          EXPECT_LE(std::abs(code), 255.0);
+        }
+      }
+    }
+  }
+  EXPECT_GT(changed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Robustness service: obs export + golden replacement (satellite c)
+// ---------------------------------------------------------------------------
+
+TEST(Robustness, MetricsMirrorChecksFaultsAndDivergence) {
+  Deployment d = deploy_micro();
+  obs::MetricsRegistry metrics;
+  RobustnessService::Config cfg;
+  cfg.check_period = 1;
+  cfg.tolerance = 1e-5;
+  cfg.metrics = &metrics;
+  RobustnessService service(d.graph, cfg);
+
+  const Tensor in = sample_input(0);
+  const Tensor good = d.exec->run_single(in);
+  Tensor bad = good;
+  bad.at(0) += 1.0f;
+  service.submit(in, good);
+  service.submit(in, bad);
+  service.submit(in, good);
+
+  ASSERT_TRUE(metrics.has_counter("vedliot.safety.checks"));
+  ASSERT_TRUE(metrics.has_counter("vedliot.safety.faults"));
+  ASSERT_TRUE(metrics.has_gauge("vedliot.safety.last_divergence"));
+  EXPECT_EQ(metrics.counters().at("vedliot.safety.checks").value(), service.checks_run());
+  EXPECT_EQ(metrics.counters().at("vedliot.safety.faults").value(),
+            service.faults_detected());
+  EXPECT_EQ(service.checks_run(), 3u);
+  EXPECT_EQ(service.faults_detected(), 1u);
+  EXPECT_DOUBLE_EQ(metrics.gauges().at("vedliot.safety.last_divergence").value(),
+                   service.last_divergence());
+}
+
+TEST(Robustness, ReplaceGoldenRedefinesCorrectness) {
+  Deployment d = deploy_micro();
+  RobustnessService service(d.graph, {1, 1e-5});
+
+  Graph v2 = d.graph.clone();
+  for (NodeId id : v2.topo_order()) {
+    Node& n = v2.node(id);
+    if (!n.weights.empty()) {
+      for (float& w : n.weights[0].data()) w *= 1.05f;
+    }
+  }
+  v2.touch();
+  const Tensor in = sample_input(3);
+  const Tensor v2_out = Executor(v2).run_single(in);
+
+  EXPECT_EQ(service.submit(in, v2_out), CheckResult::kCheckedFaulty);
+  service.replace_golden(v2);  // OTA moved the deployment to v2
+  EXPECT_EQ(service.submit(in, v2_out), CheckResult::kCheckedOk);
+  EXPECT_EQ(service.submissions(), 2u);  // counters keep running
 }
 
 }  // namespace

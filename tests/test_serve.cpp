@@ -19,9 +19,12 @@
 #include "platform/fabric.hpp"
 #include "platform/faults.hpp"
 #include "platform/microserver.hpp"
+#include "graph/package.hpp"
+#include "safety/model_store.hpp"
 #include "safety/robustness.hpp"
 #include "serve/breaker.hpp"
 #include "serve/brownout.hpp"
+#include "serve/integrity_soak.hpp"
 #include "serve/queue.hpp"
 #include "serve/server.hpp"
 #include "serve/soak.hpp"
@@ -693,6 +696,206 @@ TEST(SoakServe, ViolationMessagesCarryTheReproSeed) {
   // failing CI log is reproducible from the message alone.
   EXPECT_NE(res.sim_describe.find("seed=0x"), std::string::npos);
   EXPECT_NE(res.to_json().find(res.sim_describe.substr(0, 30)), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Integrity mode: scrubbing, self-healing reload, OTA lifecycle
+// ---------------------------------------------------------------------------
+
+struct IntegrityRig {
+  Rig rig;
+  Graph model;
+  safety::RobustnessService robustness;
+  safety::ModelStore store;
+
+  explicit IntegrityRig(int backends)
+      : rig(make_rig(backends)),
+        model(materialized_mlp()),
+        robustness(model, robustness_config()) {}
+
+  static Graph materialized_mlp() {
+    Graph g = zoo::micro_mlp("m", 1, 16, {24, 12}, 4);
+    Rng weights(7);
+    g.materialize_weights(weights);
+    return g;
+  }
+
+  static safety::RobustnessService::Config robustness_config() {
+    safety::RobustnessService::Config rc;
+    rc.check_period = 1;
+    rc.tolerance = 1e-3;
+    return rc;
+  }
+
+  ServerConfig config() {
+    ServerConfig cfg = base_config(rig);
+    cfg.variants = {{"mlp", &model, DType::kFP32, false}};
+    cfg.execute = true;
+    cfg.robustness = &robustness;
+    cfg.store = &store;
+    cfg.scrub.tensors_per_tick = 2;
+    return cfg;
+  }
+};
+
+platform::FaultEvent memory_fault(double t, const std::string& slot) {
+  platform::FaultEvent e;
+  e.time_s = t;
+  e.kind = platform::FaultKind::kMemoryFault;
+  e.slot = slot;
+  e.magnitude = 1.0;
+  return e;
+}
+
+TEST(Server, IntegrityModeHealsMemoryFault) {
+  IntegrityRig ir(1);
+  const ServerConfig cfg = ir.config();
+  platform::PlatformSimulator sim(ir.rig.chassis, ir.rig.fabric);
+  sim.schedule(memory_fault(0.030, "come0"));
+  Server server(sim, cfg);
+  for (int i = 0; i < 20; ++i) server.submit(req(2e-3 + 5e-3 * i, 80e-3));
+  const ServeReport r = server.run(0.3);
+
+  EXPECT_EQ(r.memory_faults, 1u);
+  EXPECT_GE(r.scrub_hits, 1u);
+  EXPECT_GE(r.quarantines, 1u);
+  EXPECT_GE(r.model_reloads, 1u);
+  EXPECT_EQ(r.dirty_at_end, 0u);  // healed by end of run
+  // fault -> detection -> reload, in that order
+  EXPECT_LT(first_index(r, ServeEventKind::kMemoryFault),
+            first_index(r, ServeEventKind::kScrubHit));
+  EXPECT_LT(first_index(r, ServeEventKind::kScrubHit),
+            first_index(r, ServeEventKind::kModelReloaded));
+  // detection within one scrub sweep (+2 ticks slack) of the flip
+  const std::size_t entries = digest_weights(ir.model).size();
+  const std::size_t sweep = (entries + cfg.scrub.tensors_per_tick - 1) /
+                            cfg.scrub.tensors_per_tick;
+  const ServeEvent* hit = first_of(r, ServeEventKind::kScrubHit);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_LE(hit->time_s - 0.030,
+            static_cast<double>(sweep + 2) * cfg.control_period_s + 1e-9);
+  // the hit names the corrupted (node, tensor) pair
+  EXPECT_NE(hit->detail.find("tensor"), std::string::npos);
+  // requests delivered after the reload verify clean again
+  const ServeEvent* reload = first_of(r, ServeEventKind::kModelReloaded);
+  ASSERT_NE(reload, nullptr);
+  for (const ServeEvent& e : r.events) {
+    if (e.kind == ServeEventKind::kQualityDegraded) {
+      EXPECT_LE(e.time_s, reload->time_s + 1e-9);
+    }
+  }
+}
+
+TEST(Server, IntegrityModeOtaCommitAndReject) {
+  IntegrityRig ir(1);
+  platform::PlatformSimulator sim(ir.rig.chassis, ir.rig.fabric);
+  Server server(sim, ir.config());
+
+  // v2: genuinely different weights, correctly declared canary outputs.
+  Graph v2 = ir.model.clone();
+  for (NodeId id : v2.topo_order()) {
+    Node& n = v2.node(id);
+    if (!n.weights.empty()) {
+      for (float& w : n.weights[0].data()) w *= 1.03f;
+    }
+  }
+  v2.touch();
+  server.submit_ota(0.020, 0, safety::make_ota_package(v2));
+
+  // Then a payload corrupted in transit: must be rejected at staging.
+  safety::OtaPackage damaged = safety::make_ota_package(v2);
+  damaged.package.at(damaged.package.size() / 3) ^= 0x20;
+  server.submit_ota(0.060, 0, damaged);
+
+  for (int i = 0; i < 20; ++i) server.submit(req(2e-3 + 5e-3 * i, 80e-3));
+  const ServeReport r = server.run(0.3);
+
+  EXPECT_EQ(r.ota_staged, 2u);
+  EXPECT_EQ(r.ota_committed, 1u);
+  EXPECT_EQ(r.ota_rejected, 1u);
+  EXPECT_EQ(r.ota_rolled_back, 0u);
+  EXPECT_EQ(ir.store.version("mlp"), 2u);  // the good push is live
+  EXPECT_EQ(r.dirty_at_end, 0u);
+  // The rejected push names why.
+  const ServeEvent* rejected = first_of(r, ServeEventKind::kOtaRejected);
+  ASSERT_NE(rejected, nullptr);
+  EXPECT_NE(rejected->detail.find("staging failed"), std::string::npos);
+  // After the commit the robustness golden follows the new weights: no
+  // degradation storm from a healthy v2 deployment.
+  EXPECT_EQ(r.quality_degraded, 0u);
+}
+
+TEST(Server, IntegrityModeBadPushRollsBackInProbation) {
+  IntegrityRig ir(1);
+  ServerConfig cfg = ir.config();
+  cfg.ota_probation_sweeps = 3;
+  platform::PlatformSimulator sim(ir.rig.chassis, ir.rig.fabric);
+
+  Graph v2 = ir.model.clone();
+  for (NodeId id : v2.topo_order()) {
+    Node& n = v2.node(id);
+    if (!n.weights.empty()) {
+      for (float& w : n.weights[0].data()) w *= 0.95f;
+    }
+  }
+  v2.touch();
+  // The push verifies clean and commits — then its freshly written image
+  // takes a flip inside the probation window: policy is rollback, not
+  // surgical repair.
+  sim.schedule(memory_fault(0.050 + 1.5 * cfg.control_period_s, "come0"));
+  Server server(sim, cfg);
+  server.submit_ota(0.050, 0, safety::make_ota_package(v2));
+  for (int i = 0; i < 20; ++i) server.submit(req(2e-3 + 5e-3 * i, 80e-3));
+  const ServeReport r = server.run(0.3);
+
+  EXPECT_EQ(r.ota_committed, 1u);
+  EXPECT_EQ(r.ota_rolled_back, 1u);
+  EXPECT_LT(first_index(r, ServeEventKind::kOtaCommitted),
+            first_index(r, ServeEventKind::kOtaRolledBack));
+  EXPECT_EQ(ir.store.version("mlp"), 1u);  // v1 serving again
+  EXPECT_FALSE(ir.store.can_rollback("mlp"));
+  EXPECT_EQ(r.dirty_at_end, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Integrity soak: the four corruption invariants under seeded SEU campaigns
+// ---------------------------------------------------------------------------
+
+TEST(SoakIntegrity, InvariantsHoldAcrossFlipRates) {
+  for (const double rate : {0.0, 6.0}) {
+    IntegritySoakConfig sc;
+    sc.duration_s = 0.6;
+    sc.arrival_hz = 150.0;
+    sc.flip_rate_hz = rate;
+    const IntegritySoakResult res = run_integrity_soak(sc);
+    std::string why;
+    for (const auto& v : res.violations) why += v + "\n";
+    EXPECT_TRUE(res.ok()) << "flip_rate=" << rate << ":\n" << why;
+    EXPECT_GT(res.report.completed, 0u);
+    EXPECT_EQ(res.report.dirty_at_end, 0u);
+    if (rate > 0) {
+      EXPECT_GT(res.report.memory_faults, 0u);
+      EXPECT_LE(res.max_detection_s, res.detection_bound_s + 1e-9);
+    }
+  }
+}
+
+TEST(SoakIntegrity, SameSeedIsBitwiseIdentical) {
+  IntegritySoakConfig sc;
+  sc.duration_s = 0.5;
+  sc.arrival_hz = 150.0;
+  sc.flip_rate_hz = 8.0;
+  EXPECT_EQ(run_integrity_soak(sc).to_json(), run_integrity_soak(sc).to_json());
+}
+
+TEST(SoakIntegrity, DifferentSeedsDiffer) {
+  IntegritySoakConfig a;
+  a.duration_s = 0.5;
+  a.arrival_hz = 150.0;
+  a.flip_rate_hz = 8.0;
+  IntegritySoakConfig b = a;
+  b.seed = a.seed + 1;
+  EXPECT_NE(run_integrity_soak(a).to_json(), run_integrity_soak(b).to_json());
 }
 
 }  // namespace

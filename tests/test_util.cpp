@@ -4,14 +4,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <climits>
 #include <cmath>
 #include <limits>
 #include <mutex>
 #include <numeric>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/hash.hpp"
 #include "util/thread_pool.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -428,6 +432,53 @@ TEST(ThreadPool, ParallelSumMatchesSerial) {
 
 TEST(ThreadPool, HardwareThreadsIsPositive) {
   EXPECT_GE(util::ThreadPool::hardware_threads(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (weight-digest hash)
+// ---------------------------------------------------------------------------
+
+TEST(Crc32, MatchesCheckValue) {
+  // The ISO-HDLC check value every conforming CRC-32 must produce.
+  const std::string s = "123456789";
+  const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+  EXPECT_EQ(util::crc32(std::span<const std::uint8_t>(p, s.size())), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyAndSingleByte) {
+  EXPECT_EQ(util::crc32(std::span<const std::uint8_t>{}), 0u);
+  const std::uint8_t zero[1] = {0};
+  EXPECT_NE(util::crc32(std::span<const std::uint8_t>(zero, 1)), 0u);
+}
+
+TEST(Crc32, SeedChainsAcrossFragments) {
+  // crc32(a ++ b) == crc32(b, seed = crc32(a)) — the property the weight
+  // scrubber relies on to hash a tensor in per-tick fragments.
+  std::vector<std::uint8_t> data(257);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i * 31);
+  const auto whole = util::crc32(std::span<const std::uint8_t>(data));
+  for (const std::size_t split : {std::size_t{1}, std::size_t{100}, data.size() - 1}) {
+    const auto head = util::crc32(std::span<const std::uint8_t>(data.data(), split));
+    const auto chained = util::crc32(
+        std::span<const std::uint8_t>(data.data() + split, data.size() - split), head);
+    EXPECT_EQ(chained, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32, FloatOverloadHashesRawBytes) {
+  const std::vector<float> v{1.5f, -2.25f, 0.0f, 3e-8f};
+  const auto* raw = reinterpret_cast<const std::uint8_t*>(v.data());
+  EXPECT_EQ(util::crc32(std::span<const float>(v)),
+            util::crc32(std::span<const std::uint8_t>(raw, v.size() * sizeof(float))));
+}
+
+TEST(Crc32, SingleBitFlipChangesDigest) {
+  std::vector<float> v(64, 0.5f);
+  const auto before = util::crc32(std::span<const float>(v));
+  auto u = std::bit_cast<std::uint32_t>(v[17]);
+  u ^= 1u << 23;
+  v[17] = std::bit_cast<float>(u);
+  EXPECT_NE(util::crc32(std::span<const float>(v)), before);
 }
 
 }  // namespace
