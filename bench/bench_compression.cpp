@@ -12,7 +12,7 @@
 #include "graph/zoo.hpp"
 #include "opt/compress.hpp"
 #include "opt/huffman.hpp"
-#include "runtime/executor.hpp"
+#include "runtime/session.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -34,12 +34,10 @@ Row run_pipeline(Graph g, const Shape& input_shape) {
 
   Rng data_rng(7);
   Tensor input(input_shape, data_rng.normal_vector(static_cast<std::size_t>(input_shape.numel())));
-  Executor ref(original);
-  const Tensor before = ref.run_single(input);
+  const Tensor before = runtime::make_session(original, {})->run_single(input);
 
   const auto report = opt::deep_compress(g);
-  Executor compressed(g);
-  const Tensor after = compressed.run_single(input);
+  const Tensor after = runtime::make_session(g, {})->run_single(input);
 
   Row row;
   row.model = g.name();

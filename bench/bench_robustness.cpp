@@ -15,7 +15,7 @@
 #include "graph/zoo.hpp"
 #include "platform/faults.hpp"
 #include "platform/resilience.hpp"
-#include "runtime/executor.hpp"
+#include "runtime/session.hpp"
 #include "safety/robustness.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -41,11 +41,11 @@ double detection_rate(int campaign_runs, std::uint64_t seed,
     RobustnessService service(g, {1, tolerance});
     Rng frng(seed + 100 + static_cast<std::uint64_t>(run));
     inject(g, frng);
-    Executor faulty(g);
+    const auto faulty = runtime::make_session(g, {});
     Rng data(seed + 500 + static_cast<std::uint64_t>(run));
     for (int i = 0; i < 32; ++i) {
       Tensor x(Shape{1, 16}, data.normal_vector(16));
-      if (service.submit(x, faulty.run_single(x)) == CheckResult::kCheckedFaulty) {
+      if (service.submit(x, faulty->run_single(x)) == CheckResult::kCheckedFaulty) {
         ++detected;
         break;
       }
@@ -204,11 +204,11 @@ void print_artifact() {
       Rng frng(900 + static_cast<std::uint64_t>(run));
       FaultInjector injector(frng);
       injector.flip_weight_bits(g, 16);
-      Executor faulty(g);
+      const auto faulty = runtime::make_session(g, {});
       Rng data(1300 + static_cast<std::uint64_t>(run));
       for (int i = 0; i < 128; ++i) {
         Tensor x(Shape{1, 16}, data.normal_vector(16));
-        if (service.submit(x, faulty.run_single(x)) == CheckResult::kCheckedFaulty) {
+        if (service.submit(x, faulty->run_single(x)) == CheckResult::kCheckedFaulty) {
           total_delay += i + 1;
           ++detected;
           break;
@@ -230,10 +230,10 @@ void print_artifact() {
 static void BM_RobustnessCheck(benchmark::State& state) {
   Graph g = fresh_model(3);
   RobustnessService service(g, {1, 1e-4});
-  Executor exec(g);
+  const auto session = runtime::make_session(g, {});
   Rng data(4);
   Tensor x(Shape{1, 16}, data.normal_vector(16));
-  const Tensor y = exec.run_single(x);
+  const Tensor y = session->run_single(x);
   for (auto _ : state) {
     benchmark::DoNotOptimize(service.submit(x, y));
   }

@@ -70,7 +70,7 @@ void engine_sweep() {
     // Seed baseline: the pre-engine executor semantics (direct conv, serial).
     SweepPoint base{batch, 1, false};
     {
-      auto s = runtime::make_session(g, {.threads = 1, .use_gemm_conv = false});
+      auto s = runtime::make_session(g, {.exec = {.threads = 1}, .use_gemm_conv = false});
       base.seconds = median_run_seconds(*s, feed, x, kRepeats);
     }
     points.push_back(base);
@@ -79,7 +79,7 @@ void engine_sweep() {
 
     for (unsigned threads : {1u, 2u, 4u}) {
       SweepPoint p{batch, threads, true};
-      auto s = runtime::make_session(g, {.threads = threads, .use_gemm_conv = true});
+      auto s = runtime::make_session(g, {.exec = {.threads = threads}, .use_gemm_conv = true});
       p.seconds = median_run_seconds(*s, feed, x, kRepeats);
       p.speedup = base.seconds / p.seconds;
       points.push_back(p);

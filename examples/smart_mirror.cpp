@@ -12,7 +12,7 @@
 
 #include "apps/mirror.hpp"
 #include "graph/zoo.hpp"
-#include "runtime/executor.hpp"
+#include "runtime/session.hpp"
 #include "safety/hybrid.hpp"
 #include "safety/monitors.hpp"
 #include "util/rng.hpp"
@@ -37,7 +37,7 @@ int main() {
   Graph gesture = zoo::gesture_net();
   Rng rng(7);
   gesture.materialize_weights(rng);
-  Executor exec(gesture);
+  const auto session = runtime::make_session(gesture, {});
   safety::ImageMonitor monitor;
 
   safety::SafetyKernel kernel;
@@ -65,7 +65,7 @@ int main() {
       std::printf("  frame %2d: dropped (%s) — no heartbeat\n", frame,
                   std::string(safety::verdict_name(verdict)).c_str());
     } else {
-      exec.run_single(img);
+      session->run_single(img);
       kernel.heartbeat("gesture", now);
       ++inferred;
     }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Fleet-scale serving soak: sweep fleet size x traffic pattern (diurnal,
+# flash crowd, retry storm), an autoscaling flash-crowd run, and an
+# execute-mode run whose delivered CRCs are checked against singleton
+# reruns, with the JSON-lines records appended to BENCH_serve.json after
+# the "soak-serve" records scripts/soak.sh writes (one "soak-fleet" object
+# per sweep point; the human summary table stays on stderr). Exit status
+# is soak_fleet's: non-zero when any fleet invariant is violated, bitwise
+# determinism breaks, or batched throughput misses the 3x floor over the
+# per-request path.
+#
+# Usage: scripts/soak_fleet.sh [--seed N] [--duration S] [--base-hz H] [--quick]
+#   (defaults: seed 0x5EED, duration 2.0 s, base 2000 Hz)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_serve.json"
+
+cmake -B build -S . > /dev/null
+cmake --build build -j"$(nproc)" --target soak_fleet > /dev/null
+
+build/bench/soak_fleet "$@" >> "${OUT}"
+echo "fleet soak records appended to ${OUT}" >&2

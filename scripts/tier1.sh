@@ -29,22 +29,26 @@ echo "== tier-1: serving-layer chaos soak (seeded, short) =="
 build/bench/soak_serve --quick > /dev/null
 
 echo
+echo "== tier-1: fleet-scale serving soak (seeded, short) =="
+build/bench/soak_fleet --quick > /dev/null
+
+echo
 echo "== tier-1: memory-fault integrity soak (seeded, short) =="
 scripts/soak_integrity.sh --quick > /dev/null
 
 echo
 echo "== tier-1: ASan+UBSan on the resilience/platform/observability/runtime/analysis/serve/safety tests =="
 cmake -B build-asan -S . -DVEDLIOT_SANITIZE=ON > /dev/null
-cmake --build build-asan "${JOBS}" --target test_resilience test_platform test_distributed test_util test_obs test_runtime test_qruntime test_analysis test_serve test_safety test_package > /dev/null
+cmake --build build-asan "${JOBS}" --target test_resilience test_platform test_distributed test_util test_obs test_runtime test_qruntime test_analysis test_serve test_fleet test_safety test_package > /dev/null
 ctest --test-dir build-asan --output-on-failure "${JOBS}" \
-  -R 'test_resilience|test_platform|test_distributed|test_util|test_obs|test_runtime|test_qruntime|test_analysis|test_serve|test_safety|test_package'
+  -R 'test_resilience|test_platform|test_distributed|test_util|test_obs|test_runtime|test_qruntime|test_analysis|test_serve|test_fleet|test_safety|test_package'
 
 echo
 echo "== tier-1: TSan on the parallel execution-engine + serve tests =="
 cmake -B build-tsan -S . -DVEDLIOT_TSAN=ON > /dev/null
-cmake --build build-tsan "${JOBS}" --target test_util test_runtime test_qruntime test_serve > /dev/null
+cmake --build build-tsan "${JOBS}" --target test_util test_runtime test_qruntime test_serve test_fleet > /dev/null
 ctest --test-dir build-tsan --output-on-failure "${JOBS}" \
-  -R 'test_util|test_runtime|test_qruntime|test_serve'
+  -R 'test_util|test_runtime|test_qruntime|test_serve|test_fleet'
 
 echo
 echo "tier-1 OK"

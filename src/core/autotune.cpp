@@ -6,7 +6,7 @@
 #include "hw/perf_model.hpp"
 #include "opt/prune.hpp"
 #include "opt/quantize.hpp"
-#include "runtime/executor.hpp"
+#include "runtime/session.hpp"
 #include "util/error.hpp"
 
 namespace vedliot::core {
@@ -28,8 +28,8 @@ TuneResult autotune(const Graph& model, const hw::DeviceSpec& device, const Tune
   std::vector<Tensor> references;
   {
     Graph ref = model.clone();
-    Executor exec(ref);
-    for (const Tensor& p : probes) references.push_back(exec.run_single(p));
+    const auto session = runtime::make_session(ref, {});
+    for (const Tensor& p : probes) references.push_back(session->run_single(p));
   }
 
   std::vector<TuneOption> options;
@@ -59,10 +59,10 @@ TuneResult autotune(const Graph& model, const hw::DeviceSpec& device, const Tune
     point.option = option;
 
     // Accuracy proxy: really execute the transformed model.
-    Executor exec(candidate);
+    const auto session = runtime::make_session(candidate, {});
     double rmse_sum = 0;
     for (std::size_t i = 0; i < probes.size(); ++i) {
-      rmse_sum += rmse(exec.run_single(probes[i]), references[i]);
+      rmse_sum += rmse(session->run_single(probes[i]), references[i]);
     }
     point.output_rmse = rmse_sum / static_cast<double>(probes.size());
 

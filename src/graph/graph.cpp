@@ -406,4 +406,20 @@ Graph Graph::clone() const {
   return g;
 }
 
+Graph rebatched(const Graph& graph, std::int64_t batch) {
+  VEDLIOT_CHECK(batch >= 1, "rebatched requires batch >= 1");
+  Graph g = graph.clone();
+  for (NodeId id : g.inputs()) {
+    Node& n = g.node(id);
+    VEDLIOT_CHECK(n.out_shape.rank() >= 1,
+                  "rebatched requires rank >= 1 inputs, got " + n.out_shape.to_string());
+    std::vector<std::int64_t> dims(n.out_shape.dims().begin(), n.out_shape.dims().end());
+    dims[0] = batch;
+    n.out_shape = Shape(dims);
+  }
+  g.touch();
+  g.infer_all();
+  return g;
+}
+
 }  // namespace vedliot

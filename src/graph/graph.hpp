@@ -137,4 +137,10 @@ class Graph {
   std::uint64_t version_ = 0;
 };
 
+/// Deep copy of \p graph with every Input node's leading (batch) dimension
+/// set to \p batch, shapes re-inferred throughout. Weights are shared by
+/// value (copied), so the result executes identically per batch lane; the
+/// dynamic batcher builds one rebatched clone per power-of-two bucket width.
+Graph rebatched(const Graph& graph, std::int64_t batch);
+
 }  // namespace vedliot

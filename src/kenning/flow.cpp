@@ -5,6 +5,7 @@
 
 #include "graph/cost.hpp"
 #include "runtime/memory_planner.hpp"
+#include "runtime/session.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -80,7 +81,11 @@ MeasurementReport HostRuntime::benchmark(ModelWrapper& model, const std::vector<
   report.target = name();
   report.samples = dataset.size();
 
-  Executor exec(model.graph());
+  // Direct Executor use: this target reports per-op hotspots, which only the
+  // engine's profiling hook exposes (the session API deliberately does not).
+  const Graph& g = model.graph();
+  const std::string& in_name = g.node(g.inputs().front()).name;
+  Executor exec(g);
   exec.enable_profiling();
   std::vector<double> latencies;
   std::vector<std::size_t> preds;
@@ -88,7 +93,7 @@ MeasurementReport HostRuntime::benchmark(ModelWrapper& model, const std::vector<
   for (const auto& sample : dataset) {
     const Tensor input = model.preprocess(sample.input);
     const auto t0 = std::chrono::steady_clock::now();
-    const Tensor out = exec.run_single(input);
+    const Tensor out = exec.run({{in_name, input}}).begin()->second;
     const auto t1 = std::chrono::steady_clock::now();
     latencies.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
     preds.push_back(model.postprocess(out));
@@ -128,11 +133,11 @@ MeasurementReport SimulatedTarget::benchmark(ModelWrapper& model,
   // Quality: real execution if weights are available; the simulated device
   // does not change the numerics (dtype effects are applied by passes).
   if (!dataset.empty() && model.graph().weights_materialized()) {
-    Executor exec(model.graph());
+    const auto session = runtime::make_session(model.graph(), {});
     std::vector<std::size_t> preds;
     preds.reserve(dataset.size());
     for (const auto& sample : dataset) {
-      preds.push_back(model.postprocess(exec.run_single(model.preprocess(sample.input))));
+      preds.push_back(model.postprocess(session->run_single(model.preprocess(sample.input))));
     }
     fill_quality(report, model, dataset, preds);
   }

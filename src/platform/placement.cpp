@@ -1,0 +1,101 @@
+#include "platform/placement.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace vedliot::platform {
+
+FleetPlacement::FleetPlacement(Config config) : cfg_(std::move(config)) {
+  VEDLIOT_CHECK(!cfg_.board.slots.empty(), "placement board needs at least one slot");
+  VEDLIOT_CHECK(!cfg_.modules.empty(), "placement needs at least one module kind");
+  for (const std::string& m : cfg_.modules) find_module(m);  // fail fast on typos
+}
+
+Placement FleetPlacement::place(const std::string& replica) {
+  for (const Placement& p : placements_) {
+    VEDLIOT_CHECK(p.replica != replica, "replica already placed: " + replica);
+  }
+  const MicroserverModule& module =
+      find_module(cfg_.modules[next_module_ % cfg_.modules.size()]);
+  // First fit; Chassis::install is the sole admission gate, so we probe
+  // slots and let the chassis say no (form factor or power) rather than
+  // duplicate its budget arithmetic here.
+  for (std::size_t c = 0;; ++c) {
+    if (c == chassis_.size()) {
+      chassis_.push_back(std::make_unique<Chassis>(cfg_.board));
+    }
+    Chassis& box = *chassis_[c];
+    for (const SlotSpec& slot : box.spec().slots) {
+      if (box.occupied(slot.name)) continue;
+      try {
+        box.install(slot.name, module);
+      } catch (const PlatformError&) {
+        continue;  // this slot refused; try the next
+      }
+      ++next_module_;
+      Placement p{replica, c, slot.name, module.name};
+      placements_.push_back(p);
+      metered_.emplace(replica, std::pair<double, double>{0, 0});
+      return p;
+    }
+    // A fresh chassis that admits nothing means the module can never be
+    // placed on this board — surface that instead of looping forever.
+    if (box.installed().empty()) {
+      throw PlatformError("module " + module.name + " fits no slot of " + cfg_.board.name);
+    }
+  }
+}
+
+void FleetPlacement::release(const std::string& replica) {
+  for (auto it = placements_.begin(); it != placements_.end(); ++it) {
+    if (it->replica != replica) continue;
+    chassis_[it->chassis]->remove(it->slot);
+    placements_.erase(it);
+    return;  // metered_ entry stays: drained slots still owe a power report
+  }
+  throw NotFound("no placement for replica " + replica);
+}
+
+const Placement& FleetPlacement::placement_of(const std::string& replica) const {
+  for (const Placement& p : placements_) {
+    if (p.replica == replica) return p;
+  }
+  throw NotFound("no placement for replica " + replica);
+}
+
+const Chassis& FleetPlacement::chassis(std::size_t i) const {
+  VEDLIOT_CHECK(i < chassis_.size(), "chassis index out of range");
+  return *chassis_[i];
+}
+
+void FleetPlacement::meter(const std::string& replica, double joules, double seconds) {
+  VEDLIOT_CHECK(joules >= 0 && seconds >= 0, "meter values must be >= 0");
+  const auto it = metered_.find(replica);
+  if (it == metered_.end()) throw NotFound("no placement for replica " + replica);
+  it->second.first += joules;
+  it->second.second += seconds;
+}
+
+std::vector<FleetPlacement::SlotPower> FleetPlacement::power_report() const {
+  std::vector<SlotPower> out;
+  out.reserve(placements_.size());
+  for (const Placement& p : placements_) {
+    SlotPower sp;
+    sp.replica = p.replica;
+    sp.slot = "box" + std::to_string(p.chassis) + "/" + p.slot;
+    for (const SlotSpec& s : cfg_.board.slots) {
+      if (s.name == p.slot) sp.budget_w = s.power_budget_w;
+    }
+    sp.module_cap_w = find_module(p.module).max_power_w;
+    const auto it = metered_.find(p.replica);
+    if (it != metered_.end()) {
+      sp.joules = it->second.first;
+      sp.busy_s = it->second.second;
+    }
+    out.push_back(std::move(sp));
+  }
+  return out;
+}
+
+}  // namespace vedliot::platform

@@ -1,0 +1,42 @@
+#pragma once
+/// \file exec_config.hpp
+/// \brief One execution-resource knob set shared across the stack.
+///
+/// Before this header existed the admission batch cap and the intra-op
+/// thread count lived twice: once in runtime::RunOptions and once in the
+/// serving layer's brownout rungs, and the two copies drifted. ExecConfig
+/// is the single currency: RunOptions embeds one, Session exposes it live
+/// (set_exec_config / exec_config), each BrownoutStep carries the one its
+/// rung serves at, and the fleet batcher consumes it as the batch-coalescing
+/// width. A brownout step-down therefore becomes visible *through* the
+/// session it degrades, which the regression tests pin.
+
+#include <cstdint>
+#include <string>
+
+namespace vedliot::runtime {
+
+/// Execution-resource knobs for one deployed model instance.
+struct ExecConfig {
+  /// Admission batch cap: feeds whose leading dimension exceeds this are
+  /// rejected, and batchers never coalesce wider than this. 0 = no limit.
+  std::int64_t max_batch = 0;
+
+  /// Intra-op parallelism: kernels split output rows/channels across this
+  /// many threads (including the caller). 0 selects the hardware
+  /// concurrency. Output bits never depend on this value.
+  unsigned threads = 1;
+
+  bool operator==(const ExecConfig& other) const {
+    return max_batch == other.max_batch && threads == other.threads;
+  }
+  bool operator!=(const ExecConfig& other) const { return !(*this == other); }
+
+  /// "ExecConfig{max_batch=4, threads=2}" for logs and violation messages.
+  std::string to_string() const {
+    return "ExecConfig{max_batch=" + std::to_string(max_batch) +
+           ", threads=" + std::to_string(threads) + "}";
+  }
+};
+
+}  // namespace vedliot::runtime

@@ -206,14 +206,6 @@ std::map<std::string, Tensor> Executor::run(const std::map<std::string, Tensor>&
   return outs;
 }
 
-Tensor Executor::run_single(const Tensor& input) {
-  const auto ins = graph_.inputs();
-  VEDLIOT_CHECK(ins.size() == 1, "run_single requires exactly one graph input");
-  auto outs = run({{graph_.node(ins.front()).name, input}});
-  VEDLIOT_CHECK(outs.size() == 1, "run_single requires exactly one graph output");
-  return outs.begin()->second;
-}
-
 std::vector<std::pair<OpKind, Executor::OpProfile>> Executor::hotspots(std::size_t top_n) const {
   std::vector<std::pair<OpKind, OpProfile>> out(profile_.begin(), profile_.end());
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
@@ -335,20 +327,23 @@ void Executor::execute_node(const Node& n, const NodePlan& plan,
       const std::int64_t F = in.shape().dim(1);
       const std::int64_t U = n.out_shape.dim(1);
       const auto t0 = std::chrono::steady_clock::now();
-      for (std::int64_t b = 0; b < N; ++b) {
-        const float* xrow = x + b * F;
-        float* yrow = y + b * U;
-        pfor(0, U, 8, [&](std::int64_t u_lo, std::int64_t u_hi, std::size_t) {
-          for (std::int64_t u = u_lo; u < u_hi; ++u) {
-            float acc = bias != nullptr ? bias[u] : 0.0f;
-            const float* wrow = w + u * F;
-            for (std::int64_t f = 0; f < F; ++f) acc += wrow[f] * xrow[f];
-            yrow[u] = plan.fused_act == OpKind::kIdentity
-                          ? acc
-                          : apply_activation(acc, plan.fused_act, plan.fused_alpha);
-          }
-        });
+      // Batch the whole layer through one GEMM so each weight row is read
+      // once for all lanes (dense_rows_f32), instead of one latency-bound
+      // dot product per sample. A [1 x F] input is its own transpose, so
+      // the singleton path skips the packing copy entirely.
+      std::vector<float> xt;
+      const float* xin = x;
+      if (N > 1) {
+        xt.resize(static_cast<std::size_t>(N * F));
+        for (std::int64_t b = 0; b < N; ++b) {
+          for (std::int64_t f = 0; f < F; ++f) xt[static_cast<std::size_t>(f * N + b)] = x[b * F + f];
+        }
+        xin = xt.data();
       }
+      pfor(0, U, 8, [&](std::int64_t u_lo, std::int64_t u_hi, std::size_t) {
+        runtime_kernels::dense_rows_f32(w, xin, y, u_lo, u_hi, N, F, U, bias, plan.fused_act,
+                                        plan.fused_alpha);
+      });
       const auto t1 = std::chrono::steady_clock::now();
       gemm_seconds_ += std::chrono::duration<double>(t1 - t0).count();
       gemm_flops_ += 2.0 * static_cast<double>(N) * static_cast<double>(U) * static_cast<double>(F);

@@ -47,13 +47,11 @@ class Executor {
   /// Run the graph on the given feeds (one tensor per Input node, keyed by
   /// node name). Returns the outputs of all graph output nodes by name.
   ///
-  /// \deprecated New call sites should go through runtime::Session
-  /// (runtime/session.hpp), which adds tracing/metrics and run options.
+  /// This is the engine entry runtime::Session wraps; application code goes
+  /// through Session. Direct construction is reserved for calibration-style
+  /// introspection (keep_activations + activation(), arena_stats, profile)
+  /// that the session API deliberately does not expose.
   std::map<std::string, Tensor> run(const std::map<std::string, Tensor>& feeds);
-
-  /// Convenience for single-input single-output graphs.
-  /// \deprecated Prefer runtime::Session::run_single.
-  Tensor run_single(const Tensor& input);
 
   /// Attach observability sinks (either may be null). When a tracer is set,
   /// run() emits one root span plus one child span per executed (non-input)

@@ -135,6 +135,40 @@ void gemm_rows_f32(const float* a, const float* b, float* c, std::int64_t m_lo,
   }
 }
 
+void dense_rows_f32(const float* w, const float* xt, float* y, std::int64_t u_lo,
+                    std::int64_t u_hi, std::int64_t batch, std::int64_t features,
+                    std::int64_t units, const float* bias, OpKind act, double alpha) {
+  // Lane blocking bounds the accumulator tile; the inner j loop carries
+  // independent per-lane sums, so it vectorizes without reassociating any
+  // single lane's f-order. A per-sample dot product is a serial dependency
+  // chain the compiler cannot reorder — amortizing the weight row across
+  // lanes is where the batch >= 2 speedup comes from. No zero-skip here:
+  // dense weights are not pruned, and the epilogue must match the
+  // historical per-sample loop bit for bit.
+  constexpr std::int64_t kJB = 64;
+  for (std::int64_t j0 = 0; j0 < batch; j0 += kJB) {
+    const std::int64_t jn = std::min(kJB, batch - j0);
+    for (std::int64_t u = u_lo; u < u_hi; ++u) {
+      float acc[kJB];
+      const float init = bias != nullptr ? bias[u] : 0.0f;
+      for (std::int64_t j = 0; j < jn; ++j) acc[j] = init;
+      const float* wrow = w + u * features;
+      for (std::int64_t f = 0; f < features; ++f) {
+        const float wv = wrow[f];
+        const float* xrow = xt + f * batch + j0;
+        for (std::int64_t j = 0; j < jn; ++j) acc[j] += wv * xrow[j];
+      }
+      if (act == OpKind::kIdentity) {
+        for (std::int64_t j = 0; j < jn; ++j) y[(j0 + j) * units + u] = acc[j];
+      } else {
+        for (std::int64_t j = 0; j < jn; ++j) {
+          y[(j0 + j) * units + u] = apply_activation(acc[j], act, alpha);
+        }
+      }
+    }
+  }
+}
+
 std::uint64_t gemm_rows_s8(const std::int8_t* a, const std::int8_t* b, std::int8_t* c,
                            std::int64_t m_lo, std::int64_t m_hi, std::int64_t n,
                            std::int64_t k, const std::int32_t* bias, const double* mult,

@@ -56,6 +56,18 @@ void gemm_rows_f32(const float* a, const float* b, float* c, std::int64_t m_lo,
                    std::int64_t m_hi, std::int64_t n, std::int64_t k, const float* bias,
                    OpKind act, double alpha);
 
+/// Row range [u_lo, u_hi) of the batched dense layer y = x·Wᵀ (+bias) with
+/// fused activation: w is [units x features] row-major, xt is the transposed
+/// activation matrix [features x batch] (a [1 x features] input is its own
+/// transpose, so batch == 1 passes the input unchanged), y is
+/// [batch x units] row-major. Each weight row is read once and serves every
+/// lane — the batched path's throughput edge over per-request dispatch —
+/// while each lane keeps the fixed f = 0..features-1 accumulation order, so
+/// a lane of a batch-8 run is bitwise identical to the same sample run alone.
+void dense_rows_f32(const float* w, const float* xt, float* y, std::int64_t u_lo,
+                    std::int64_t u_hi, std::int64_t batch, std::int64_t features,
+                    std::int64_t units, const float* bias, OpKind act, double alpha);
+
 /// INT8 GEMM row range with int32 accumulation and fused requantization:
 /// c[m][j] = clamp(round(acc * mult[m]), q_lo, q_hi) where acc starts at
 /// bias[m]. Returns the number of requantization saturations (|q| > 127

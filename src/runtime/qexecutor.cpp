@@ -231,10 +231,6 @@ QTensor QuantizedExecutor::run_single(const Tensor& input) {
   return values.at(outs.front());
 }
 
-Tensor QuantizedExecutor::run_single_dequant(const Tensor& input) {
-  return run_single(input).dequantize();
-}
-
 QTensor QuantizedExecutor::execute_node(const Node& n, const std::vector<const QTensor*>& ins) {
   const double so = out_scale_.at(n.id);
   const QNodePlan& plan = qplans_[static_cast<std::size_t>(n.id)];
@@ -337,14 +333,36 @@ QTensor QuantizedExecutor::execute_node(const Node& n, const std::vector<const Q
       const Shape& in_shape = graph_.node(n.inputs[0]).out_shape;
       const auto N = in_shape.dim(0), F = in_shape.dim(1);
       const auto U = n.out_shape.dim(1);
-      for (std::int64_t b = 0; b < N; ++b) {
-        const std::int8_t* xrow = x.data.data() + b * F;
-        std::int8_t* yrow = out.data.data() + b * U;
+      if (N == 1) {
+        // [1 x F] is its own transpose; write straight into the output row.
         pfor(0, U, 8, [&](std::int64_t u_lo, std::int64_t u_hi, std::size_t chunk) {
-          sat[chunk] += runtime_kernels::gemm_rows_s8(layer.weights.data(), xrow, yrow, u_lo,
-                                                      u_hi, /*n=*/1, F, layer.bias.data(),
-                                                      layer.mult.data(), q_lo, q_hi);
+          sat[chunk] += runtime_kernels::gemm_rows_s8(layer.weights.data(), x.data.data(),
+                                                      out.data.data(), u_lo, u_hi, /*n=*/1, F,
+                                                      layer.bias.data(), layer.mult.data(),
+                                                      q_lo, q_hi);
         });
+        break;
+      }
+      // Batched: one GEMM over all lanes (weights read once per layer, not
+      // once per sample), then scatter the [U x N] product back to the
+      // [N x U] activation layout. int32 accumulation is exact, so lane
+      // results match the per-sample path bit for bit.
+      std::vector<std::int8_t> xt(static_cast<std::size_t>(F * N));
+      for (std::int64_t b = 0; b < N; ++b) {
+        for (std::int64_t f = 0; f < F; ++f) {
+          xt[static_cast<std::size_t>(f * N + b)] = x.data[static_cast<std::size_t>(b * F + f)];
+        }
+      }
+      std::vector<std::int8_t> yt(static_cast<std::size_t>(U * N));
+      pfor(0, U, 8, [&](std::int64_t u_lo, std::int64_t u_hi, std::size_t chunk) {
+        sat[chunk] += runtime_kernels::gemm_rows_s8(layer.weights.data(), xt.data(), yt.data(),
+                                                    u_lo, u_hi, N, F, layer.bias.data(),
+                                                    layer.mult.data(), q_lo, q_hi);
+      });
+      for (std::int64_t b = 0; b < N; ++b) {
+        for (std::int64_t u = 0; u < U; ++u) {
+          out.data[static_cast<std::size_t>(b * U + u)] = yt[static_cast<std::size_t>(u * N + b)];
+        }
       }
       break;
     }

@@ -50,13 +50,11 @@ class QuantizedExecutor {
   /// Run on a float input (quantized at the input node's calibrated scale);
   /// returns the quantized graph output.
   ///
-  /// \deprecated New call sites should go through runtime::Session
-  /// (runtime/session.hpp), which unifies the float and integer backends.
+  /// This is the engine entry runtime::Session wraps; application code goes
+  /// through Session (which also dequantizes the output). Direct
+  /// construction is reserved for integer-domain introspection (QTensor
+  /// scales, saturation accounting) the session API does not expose.
   QTensor run_single(const Tensor& input);
-
-  /// Convenience: run and dequantize.
-  /// \deprecated Prefer runtime::Session::run_single.
-  Tensor run_single_dequant(const Tensor& input);
 
   /// Attach observability sinks (either may be null); same span/metric
   /// taxonomy as Executor::instrument, with backend "int8". The sinks must

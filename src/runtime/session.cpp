@@ -23,13 +23,13 @@ class FloatSession final : public Session {
       : graph_(graph), options_(options), exec_(graph) {
     exec_.instrument(options_.trace, options_.metrics);
     exec_.set_keep_activations(options_.keep_activations);
-    exec_.set_threads(options_.threads);
+    exec_.set_threads(options_.exec.threads);
     exec_.set_use_gemm_conv(options_.use_gemm_conv);
     exec_.set_use_arena(options_.arena);
   }
 
   RunResult run(const std::map<std::string, Tensor>& feeds) override {
-    check_batch(feeds, options_.max_batch);
+    check_batch(feeds, options_.exec.max_batch);
     RunResult result;
     result.outputs = exec_.run(feeds);
     result.nodes_executed = exec_.nodes_executed();
@@ -38,8 +38,11 @@ class FloatSession final : public Session {
 
   const Graph& graph() const override { return graph_; }
   std::string backend() const override { return "float-reference"; }
-  void set_max_batch(std::int64_t max_batch) override { options_.max_batch = max_batch; }
-  std::int64_t max_batch() const override { return options_.max_batch; }
+  void set_exec_config(const ExecConfig& exec) override {
+    options_.exec = exec;
+    exec_.set_threads(exec.threads);
+  }
+  const ExecConfig& exec_config() const override { return options_.exec; }
 
  private:
   const Graph& graph_;
@@ -52,12 +55,12 @@ class QuantizedSession final : public Session {
   QuantizedSession(const Graph& graph, const RunOptions& options)
       : graph_(graph), options_(options), exec_(graph) {
     exec_.instrument(options_.trace, options_.metrics);
-    exec_.set_threads(options_.threads);
+    exec_.set_threads(options_.exec.threads);
     exec_.set_use_gemm_conv(options_.use_gemm_conv);
   }
 
   RunResult run(const std::map<std::string, Tensor>& feeds) override {
-    check_batch(feeds, options_.max_batch);
+    check_batch(feeds, options_.exec.max_batch);
     const auto inputs = graph_.inputs();
     VEDLIOT_CHECK(inputs.size() == 1, "int8 session requires exactly one graph input");
     const std::string& input_name = graph_.node(inputs.front()).name;
@@ -78,8 +81,11 @@ class QuantizedSession final : public Session {
 
   const Graph& graph() const override { return graph_; }
   std::string backend() const override { return "int8"; }
-  void set_max_batch(std::int64_t max_batch) override { options_.max_batch = max_batch; }
-  std::int64_t max_batch() const override { return options_.max_batch; }
+  void set_exec_config(const ExecConfig& exec) override {
+    options_.exec = exec;
+    exec_.set_threads(exec.threads);
+  }
+  const ExecConfig& exec_config() const override { return options_.exec; }
 
  private:
   const Graph& graph_;
@@ -100,6 +106,30 @@ Tensor Session::run_single(const Tensor& input) {
   RunResult result = run({{graph().node(inputs.front()).name, input}});
   VEDLIOT_CHECK(result.outputs.size() == 1, "run_single requires exactly one graph output");
   return std::move(result.outputs.begin()->second);
+}
+
+std::vector<Tensor> Session::run_batch(std::span<const Tensor> inputs) {
+  const auto graph_inputs = graph().inputs();
+  VEDLIOT_CHECK(graph_inputs.size() == 1, "run_batch requires exactly one graph input");
+  VEDLIOT_CHECK(!inputs.empty(), "run_batch needs at least one input");
+  const Node& in_node = graph().node(graph_inputs.front());
+  const Tensor stacked = stack_batch(inputs);
+  // The graph's input shape encodes its built batch; a mismatched stack is
+  // a batcher bug (the batcher pads partial batches up to the built width).
+  if (stacked.shape() != in_node.out_shape) {
+    throw ExecError("run_batch stacked " + stacked.shape().to_string() +
+                    " does not match graph input " + in_node.out_shape.to_string() +
+                    " (pad partial batches to the built width)");
+  }
+  RunResult result = run({{in_node.name, stacked}});
+  VEDLIOT_CHECK(result.outputs.size() == 1, "run_batch requires exactly one graph output");
+  return split_batch(result.outputs.begin()->second);
+}
+
+void Session::set_max_batch(std::int64_t max_batch) {
+  ExecConfig exec = exec_config();
+  exec.max_batch = max_batch;
+  set_exec_config(exec);
 }
 
 std::unique_ptr<Session> make_session(const Graph& graph, const RunOptions& options) {

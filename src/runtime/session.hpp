@@ -5,9 +5,10 @@
 /// A Session is the one way application code runs inference: the float
 /// reference executor and the true-integer INT8 executor sit behind the
 /// same interface, and every run can be observed through the vedliot::obs
-/// tracing/metrics sinks passed in RunOptions. The legacy Executor /
-/// QuantizedExecutor entry points remain as thin deprecated shims for
-/// calibration-style introspection.
+/// tracing/metrics sinks passed in RunOptions. Execution-resource knobs
+/// (batch cap, thread count) travel as one runtime::ExecConfig so serving
+/// controllers — the brownout ladder, the fleet batcher — adjust a live
+/// session without rebuilding it.
 ///
 ///   obs::Tracer tracer;
 ///   obs::MetricsRegistry metrics;
@@ -21,11 +22,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "graph/graph.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/exec_config.hpp"
 #include "tensor/tensor.hpp"
 
 namespace vedliot::runtime {
@@ -41,15 +45,9 @@ struct RunOptions {
   /// sessions should not retain a full activation set per run.
   bool keep_activations = false;
 
-  /// Reject feeds whose leading (batch) dimension exceeds this; 0 = no
-  /// limit. The admission check a serving deployment puts in front of the
-  /// interpreter.
-  std::int64_t max_batch = 0;
-
-  /// Intra-op parallelism: kernels split their output rows/channels across
-  /// this many threads (including the caller). 0 selects the hardware
-  /// concurrency; default 1. Output bits do not depend on this value.
-  unsigned threads = 1;
+  /// Execution-resource knobs (admission batch cap + intra-op threads).
+  /// The one copy; serving-side rung caps reference the same struct.
+  ExecConfig exec = {};
 
   /// Execute Conv2D as im2col + cache-blocked GEMM (default) or fall back
   /// to the direct loop nest (the numerical reference / perf baseline).
@@ -83,16 +81,30 @@ class Session {
   /// Convenience for single-input single-output graphs.
   Tensor run_single(const Tensor& input);
 
+  /// Batched submit path for single-input single-output graphs: stack the
+  /// per-request inputs along the leading dimension, run once, and split
+  /// the output back into per-request tensors (in submission order). The
+  /// stacked batch must match the graph's built batch exactly — callers
+  /// that coalesce fewer requests pad with zero lanes and discard them
+  /// (serve::DynamicBatcher does both). Per-lane outputs are bitwise
+  /// identical to singleton runs of the same inputs: every kernel computes
+  /// each batch lane independently with a fixed accumulation order.
+  std::vector<Tensor> run_batch(std::span<const Tensor> inputs);
+
   virtual const Graph& graph() const = 0;
 
   /// Backend identifier: "float-reference" or "int8".
   virtual std::string backend() const = 0;
 
-  /// Serving-side admission cap (see RunOptions::max_batch): brownout
-  /// controllers shrink it on a live session without rebuilding the
-  /// executor, and restore it when headroom returns. 0 = no limit.
-  virtual void set_max_batch(std::int64_t max_batch) = 0;
-  virtual std::int64_t max_batch() const = 0;
+  /// Replace the live execution-resource knobs without rebuilding the
+  /// executor: brownout controllers shrink the batch cap under overload
+  /// (and restore it when headroom returns), autoscalers retune threads.
+  virtual void set_exec_config(const ExecConfig& exec) = 0;
+  virtual const ExecConfig& exec_config() const = 0;
+
+  /// Batch-cap shorthands over {set_,}exec_config (see ExecConfig).
+  void set_max_batch(std::int64_t max_batch);
+  std::int64_t max_batch() const { return exec_config().max_batch; }
 };
 
 /// Float reference session (wraps Executor). The graph must outlive the

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 
-#include "runtime/executor.hpp"
+#include "runtime/session.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
 #include "util/rng.hpp"
@@ -28,10 +28,10 @@ std::vector<Tensor> canary_inputs_for(const Graph& g, std::uint64_t seed, std::s
 }
 
 std::vector<float> run_canary(const Graph& g, std::uint64_t seed, std::size_t count) {
-  Executor exec(g);
+  const auto session = runtime::make_session(g, {});
   std::vector<float> out;
   for (const Tensor& x : canary_inputs_for(g, seed, count)) {
-    const Tensor y = exec.run_single(x);
+    const Tensor y = session->run_single(x);
     out.insert(out.end(), y.data().begin(), y.data().end());
   }
   return out;

@@ -11,13 +11,13 @@ namespace vedliot::safety {
 RobustnessService::RobustnessService(const Graph& golden_model, Config config)
     : golden_(golden_model.clone()), cfg_(config) {
   VEDLIOT_CHECK(cfg_.check_period >= 1, "check period must be >= 1");
-  exec_ = std::make_unique<Executor>(golden_);
+  session_ = runtime::make_session(golden_, {});
 }
 
 void RobustnessService::replace_golden(const Graph& new_golden) {
-  exec_.reset();  // executor holds a reference into the old golden graph
+  session_.reset();  // the session holds a reference into the old golden graph
   golden_ = new_golden.clone();
-  exec_ = std::make_unique<Executor>(golden_);
+  session_ = runtime::make_session(golden_, {});
 }
 
 std::string_view check_result_name(CheckResult r) {
@@ -33,7 +33,7 @@ CheckResult RobustnessService::submit(const Tensor& input, const Tensor& output)
   ++submissions_;
   if (submissions_ % cfg_.check_period != 0) return CheckResult::kNotChecked;
   ++checks_;
-  const Tensor golden = exec_->run_single(input);
+  const Tensor golden = session_->run_single(input);
   VEDLIOT_CHECK(golden.shape() == output.shape(),
                 "robustness service: output shape mismatch");
   const float diff = max_abs_diff(golden, output);

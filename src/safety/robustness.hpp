@@ -11,7 +11,7 @@
 
 #include "graph/graph.hpp"
 #include "obs/metrics.hpp"
-#include "runtime/executor.hpp"
+#include "runtime/session.hpp"
 #include "util/rng.hpp"
 
 namespace vedliot::safety {
@@ -68,7 +68,7 @@ class RobustnessService {
 
  private:
   Graph golden_;
-  std::unique_ptr<Executor> exec_;
+  std::unique_ptr<runtime::Session> session_;
   Config cfg_;
   std::size_t submissions_ = 0;
   std::size_t checks_ = 0;

@@ -13,6 +13,20 @@ BrownoutLadder::BrownoutLadder(BrownoutConfig config) : cfg_(config) {
   VEDLIOT_CHECK(cfg_.max_level >= 0, "max level must be >= 0");
 }
 
+BrownoutLadder::BrownoutLadder(BrownoutConfig config, std::vector<BrownoutStep> steps)
+    : BrownoutLadder([&] {
+        VEDLIOT_CHECK(!steps.empty(), "degradation ladder needs at least one rung");
+        config.max_level = static_cast<int>(steps.size()) - 1;
+        return config;
+      }()) {
+  steps_ = std::move(steps);
+}
+
+const BrownoutStep& BrownoutLadder::current() const {
+  VEDLIOT_CHECK(!steps_.empty(), "ladder was constructed without steps");
+  return steps_[static_cast<std::size_t>(level_)];
+}
+
 int BrownoutLadder::observe(double load) {
   if (load >= cfg_.high_watermark) {
     calm_streak_ = 0;

@@ -1,0 +1,40 @@
+#include "serve/cache.hpp"
+
+#include "util/error.hpp"
+
+namespace vedliot::serve {
+
+ResponseCache::ResponseCache(std::size_t capacity) : capacity_(capacity) {
+  VEDLIOT_CHECK(capacity_ >= 1, "response cache capacity must be >= 1");
+}
+
+std::optional<Response> ResponseCache::get(const std::string& key) {
+  if (key.empty()) return std::nullopt;
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.response;
+}
+
+void ResponseCache::put(const std::string& key, const Response& response) {
+  if (key.empty()) return;
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.response = response;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{response, lru_.begin()});
+}
+
+}  // namespace vedliot::serve

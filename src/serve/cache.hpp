@@ -1,0 +1,57 @@
+#pragma once
+/// \file cache.hpp
+/// \brief LRU response cache keyed on idempotency keys.
+///
+/// Requests that declare a non-empty idempotency key (Request v2) are safe
+/// to answer from a previous computation: retry storms re-submit the same
+/// work under the same key, and a hit costs neither a queue slot nor a
+/// batch lane. The cache stores the terminal Response (including the
+/// output CRC), evicting least-recently-used entries at capacity. Hits
+/// refresh recency; entries never expire by time — the fleet run is short
+/// and deterministic, and a time-based TTL would couple cache behavior to
+/// the event schedule.
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "serve/request.hpp"
+
+namespace vedliot::serve {
+
+class ResponseCache {
+ public:
+  /// \p capacity entries (>= 1).
+  explicit ResponseCache(std::size_t capacity);
+
+  /// Look up an idempotency key; a hit refreshes its recency. Empty keys
+  /// never hit (non-idempotent work must not be coalesced).
+  std::optional<Response> get(const std::string& key);
+
+  /// Insert (or refresh) the response for a key; evicts the LRU entry at
+  /// capacity. Empty keys are ignored.
+  void put(const std::string& key, const Response& response);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    Response response;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  std::size_t capacity_;
+  std::list<std::string> lru_;  ///< front = most recent
+  std::map<std::string, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace vedliot::serve

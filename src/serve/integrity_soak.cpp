@@ -9,6 +9,7 @@
 #include "obs/json.hpp"
 #include "platform/baseboard.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 
 namespace vedliot::serve {
@@ -24,18 +25,10 @@ constexpr std::uint64_t kFlipStream = 0x5EBull;
 constexpr std::uint64_t kModelStream = 0x30DE1ull;
 constexpr std::uint64_t kSimStream = 0x51ull;
 
-std::uint64_t fnv1a64(const std::string& s, std::uint64_t h) {
-  for (const char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001B3ull;
-  }
-  return h;
-}
-
 std::string event_digest(const ServeReport& report) {
   std::uint64_t h = 0xCBF29CE484222325ull;
   for (const ServeEvent& e : report.events) {
-    h = fnv1a64(format_serve_event(e), h);
+    h = util::fnv1a64(format_serve_event(e), h);
   }
   char buf[24];
   std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));

@@ -1,0 +1,27 @@
+#include "serve/request.hpp"
+
+#include "util/error.hpp"
+
+namespace vedliot::serve {
+
+std::string_view priority_class_name(PriorityClass p) {
+  switch (p) {
+    case PriorityClass::kBatch: return "batch";
+    case PriorityClass::kStandard: return "standard";
+    case PriorityClass::kInteractive: return "interactive";
+  }
+  throw InvalidArgument("unknown priority class");
+}
+
+std::string_view response_status_name(ResponseStatus s) {
+  switch (s) {
+    case ResponseStatus::kOk: return "ok";
+    case ResponseStatus::kLate: return "late";
+    case ResponseStatus::kShed: return "shed";
+    case ResponseStatus::kCancelled: return "cancelled";
+    case ResponseStatus::kFailed: return "failed";
+  }
+  throw InvalidArgument("unknown response status");
+}
+
+}  // namespace vedliot::serve

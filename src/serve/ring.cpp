@@ -1,0 +1,91 @@
+#include "serve/ring.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace vedliot::serve {
+namespace {
+
+/// FNV-1a feeds its final byte through a single multiply, so strings that
+/// differ only in a short suffix — exactly the "<member>/vnode-<k>" point
+/// names — land with nearly identical high bits, and the high bits are what
+/// order the circle. A splitmix64-style finalizer restores full avalanche
+/// before a hash becomes a ring position.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t ring_point(const std::string& name) { return mix64(util::fnv1a64(name)); }
+
+}  // namespace
+
+HashRing::HashRing(std::size_t vnodes) : vnodes_(vnodes) {
+  VEDLIOT_CHECK(vnodes_ >= 1, "hash ring needs at least one vnode per member");
+}
+
+void HashRing::add(const std::string& member, double weight) {
+  if (member.empty()) {
+    throw InvalidArgument("ring member name must be non-empty");
+  }
+  if (contains(member)) {
+    throw InvalidArgument("ring already contains member " + member);
+  }
+  if (!(weight > 0.0)) {
+    throw InvalidArgument("ring member weight must be positive");
+  }
+  const auto points = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(static_cast<double>(vnodes_) * weight)));
+  members_.insert(std::lower_bound(members_.begin(), members_.end(), member), member);
+  for (std::size_t v = 0; v < points; ++v) {
+    const std::uint64_t point = ring_point(member + "/vnode-" + std::to_string(v));
+    // A 64-bit collision between distinct (member, vnode) points would make
+    // placement depend on insertion order; treat it as the config error it is.
+    const auto [it, inserted] = circle_.emplace(point, member);
+    VEDLIOT_CHECK(inserted || it->second == member,
+                  "hash-ring point collision between " + it->second + " and " + member);
+  }
+}
+
+void HashRing::remove(const std::string& member) {
+  const auto it = std::lower_bound(members_.begin(), members_.end(), member);
+  if (it == members_.end() || *it != member) {
+    throw NotFound("ring has no member " + member);
+  }
+  members_.erase(it);
+  for (auto c = circle_.begin(); c != circle_.end();) {
+    c = c->second == member ? circle_.erase(c) : std::next(c);
+  }
+}
+
+bool HashRing::contains(const std::string& member) const {
+  return std::binary_search(members_.begin(), members_.end(), member);
+}
+
+std::vector<std::string> HashRing::members() const { return members_; }
+
+const std::string& HashRing::route(const std::string& key) const {
+  VEDLIOT_CHECK(!circle_.empty(), "routing on an empty ring");
+  const std::uint64_t point = ring_point(key);
+  const auto it = circle_.lower_bound(point);
+  return it == circle_.end() ? circle_.begin()->second : it->second;
+}
+
+std::map<std::string, double> HashRing::load_fractions(std::size_t probes) const {
+  VEDLIOT_CHECK(probes >= 1, "load probe count must be >= 1");
+  std::map<std::string, double> out;
+  for (const auto& m : members_) out.emplace(m, 0.0);
+  for (std::size_t i = 0; i < probes; ++i) {
+    out[route("probe-" + std::to_string(i))] += 1.0 / static_cast<double>(probes);
+  }
+  return out;
+}
+
+}  // namespace vedliot::serve

@@ -1,0 +1,69 @@
+#pragma once
+/// \file ring.hpp
+/// \brief Consistent-hash ring: stable client -> replica routing for the
+/// fleet front-end.
+///
+/// Classic Karger ring with virtual nodes: each replica owns a set of
+/// points on a 64-bit hash circle (avalanche-mixed FNV-1a of
+/// "replica/vnode-i"), and a client key routes to the first point
+/// clockwise from its own hash. The properties the fleet relies on:
+///
+///  * stability — adding or removing one replica remaps only the keys in
+///    the arcs that replica owned (~its share of traffic), so an
+///    autoscaling step does not reshuffle every client's queue position
+///    or cache affinity;
+///  * determinism — placement is a pure function of the member names,
+///    weights, and the key, independent of insertion order, so same-seed
+///    fleet runs route identically;
+///  * balance — virtual nodes smooth the arc-length variance; 64 vnodes
+///    keeps the max/mean load ratio low enough for the soak's balance
+///    check;
+///  * capacity weighting — a member added with weight w owns ~w times the
+///    arc length of a weight-1 member. The fleet weights each replica by
+///    its module's analytic throughput, so a slow CPU module drowning
+///    behind an even split cannot drag fleet goodput below a smaller
+///    fleet of fast modules ("more replicas never serve less").
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vedliot::serve {
+
+class HashRing {
+ public:
+  /// \p vnodes points per member on the circle (>= 1).
+  explicit HashRing(std::size_t vnodes = 64);
+
+  /// Add a member owning `round(vnodes * weight)` circle points (at least
+  /// one). Throws InvalidArgument on duplicates, empty names, or
+  /// non-positive weights.
+  void add(const std::string& member, double weight = 1.0);
+
+  /// Remove a member; only its own arcs are reassigned. Throws NotFound
+  /// for unknown members.
+  void remove(const std::string& member);
+
+  bool contains(const std::string& member) const;
+  std::size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+
+  /// Members in insertion-independent (sorted) order.
+  std::vector<std::string> members() const;
+
+  /// The member owning \p key's point on the circle. Throws Error when the
+  /// ring is empty.
+  const std::string& route(const std::string& key) const;
+
+  /// Fraction of a dense key probe that lands on each member (diagnostic
+  /// for the balance invariant): keys "probe-0".."probe-(n-1)".
+  std::map<std::string, double> load_fractions(std::size_t probes = 4096) const;
+
+ private:
+  std::size_t vnodes_;
+  std::vector<std::string> members_;           ///< sorted unique names
+  std::map<std::uint64_t, std::string> circle_;  ///< point -> owner
+};
+
+}  // namespace vedliot::serve

@@ -52,6 +52,10 @@ std::string_view serve_event_name(ServeEventKind kind) {
     case ServeEventKind::kOtaCommitted: return "ota-committed";
     case ServeEventKind::kOtaRejected: return "ota-rejected";
     case ServeEventKind::kOtaRolledBack: return "ota-rolled-back";
+    case ServeEventKind::kBatchExecuted: return "batch-executed";
+    case ServeEventKind::kCacheHit: return "cache-hit";
+    case ServeEventKind::kScaleUp: return "scale-up";
+    case ServeEventKind::kScaleDown: return "scale-down";
   }
   throw InvalidArgument("unknown serve event kind");
 }
@@ -162,8 +166,7 @@ Server::Server(platform::PlatformSimulator& sim, ServerConfig config)
       const ModelVariant& v = cfg_.variants[i];
       const Graph& g = cfg_.store ? *deployed_[i] : *v.graph;
       runtime::RunOptions opts;
-      opts.threads = cfg_.threads;
-      opts.max_batch = cfg_.ladder.front().max_batch;
+      opts.exec = cfg_.ladder.front().exec;
       sessions_.push_back(v.quantized ? runtime::make_quantized_session(g, opts)
                                       : runtime::make_session(g, opts));
     }
@@ -174,6 +177,9 @@ Server::~Server() = default;
 
 std::uint64_t Server::submit(Request r) {
   VEDLIOT_CHECK(!ran_, "submit all load before run()");
+  VEDLIOT_CHECK(r.version == kServeApiVersion,
+                "request wire version " + std::to_string(r.version) + " != expected " +
+                    std::to_string(kServeApiVersion));
   VEDLIOT_CHECK(r.arrival_s >= 0, "arrival time must be >= 0");
   VEDLIOT_CHECK(r.deadline_s > r.arrival_s, "deadline must lie after arrival");
   VEDLIOT_CHECK(r.batch >= 1, "batch must be >= 1");
@@ -181,6 +187,20 @@ std::uint64_t Server::submit(Request r) {
   next_id_ = std::max(next_id_, r.id + 1);
   arrivals_.push_back(r);
   return r.id;
+}
+
+// Pre-v2 shim: positional arguments into a v2 Request. Remove next PR.
+std::uint64_t Server::submit(const std::string& client, int priority, double arrival_s,
+                             double deadline_s, std::int64_t batch) {
+  Request r;
+  r.client = client;
+  r.priority_class = static_cast<PriorityClass>(
+      std::clamp(priority, static_cast<int>(PriorityClass::kBatch),
+                 static_cast<int>(PriorityClass::kInteractive)));
+  r.arrival_s = arrival_s;
+  r.deadline_s = deadline_s;
+  r.batch = batch;
+  return submit(std::move(r));
 }
 
 void Server::log(double t, ServeEventKind kind, const std::string& subject,
@@ -254,11 +274,11 @@ void Server::admit(const Request& r) {
   const std::string subject = "request " + std::to_string(r.id);
 
   const BrownoutStep& step = rung();
-  if (step.max_batch > 0 && r.batch > step.max_batch) {
+  if (step.exec.max_batch > 0 && r.batch > step.exec.max_batch) {
     ++report_.shed;
     log(t, ServeEventKind::kShed, subject,
         "batch " + std::to_string(r.batch) + " exceeds brownout cap " +
-            std::to_string(step.max_batch));
+            std::to_string(step.exec.max_batch));
     return;
   }
 
@@ -292,7 +312,7 @@ void Server::admit(const Request& r) {
   }
 
   if (queue_.full()) {
-    const auto victim = queue_.displace(r.priority);
+    const auto victim = queue_.displace(r.priority());
     if (!victim) {
       ++report_.shed;
       log(t, ServeEventKind::kShed, subject, "queue full");
@@ -301,14 +321,15 @@ void Server::admit(const Request& r) {
     ++report_.displaced;
     log(t, ServeEventKind::kDisplaced, "request " + std::to_string(victim->id),
         "evicted by higher-priority request " + std::to_string(r.id),
-        static_cast<double>(r.priority));
+        static_cast<double>(r.priority()));
   }
 
-  queue_.push(Ticket{r.id, r.priority, r.deadline_s, 0.0, t});
+  queue_.push(Ticket{r.id, r.priority(), r.deadline_s, 0.0, t});
   ++report_.admitted;
   report_.max_queue_depth = std::max(report_.max_queue_depth, queue_.depth());
   log(t, ServeEventKind::kAdmitted, subject,
-      "priority " + std::to_string(r.priority) + ", budget " + ms(r.deadline_s - t),
+      std::string(priority_class_name(r.priority_class)) + ", budget " +
+          ms(r.deadline_s - t),
       static_cast<double>(queue_.depth()));
 }
 
@@ -318,10 +339,10 @@ void Server::apply_brownout(double t, int delta) {
   report_.max_brownout_level = std::max(report_.max_brownout_level, level_);
   const BrownoutStep& step = rung();
   const ModelVariant& v = cfg_.variants[step.variant];
-  if (cfg_.execute) sessions_[step.variant]->set_max_batch(step.max_batch);
+  if (cfg_.execute) sessions_[step.variant]->set_exec_config(step.exec);
   log(t, delta > 0 ? ServeEventKind::kBrownoutDown : ServeEventKind::kBrownoutUp, "brownout",
       "level " + std::to_string(level_) + ": variant " + v.name + ", batch cap " +
-          std::to_string(step.max_batch),
+          std::to_string(step.exec.max_batch),
       static_cast<double>(level_));
 }
 
@@ -551,9 +572,7 @@ void Server::rebuild_session(std::size_t variant) {
   if (!cfg_.execute) return;
   const ModelVariant& v = cfg_.variants[variant];
   runtime::RunOptions opts;
-  opts.threads = cfg_.threads;
-  opts.max_batch =
-      rung().variant == variant ? rung().max_batch : cfg_.ladder.front().max_batch;
+  opts.exec = rung().variant == variant ? rung().exec : cfg_.ladder.front().exec;
   sessions_[variant] = v.quantized ? runtime::make_quantized_session(*deployed_[variant], opts)
                                    : runtime::make_session(*deployed_[variant], opts);
 }

@@ -56,6 +56,7 @@
 #include "serve/breaker.hpp"
 #include "serve/brownout.hpp"
 #include "serve/queue.hpp"
+#include "serve/request.hpp"
 #include "util/rng.hpp"
 
 namespace vedliot::serve {
@@ -88,6 +89,10 @@ enum class ServeEventKind {
   kOtaCommitted,    ///< OTA verified and swapped atomically (value = version)
   kOtaRejected,     ///< OTA failed pre-swap verification, old version serving
   kOtaRolledBack,   ///< post-swap corruption, previous version restored
+  kBatchExecuted,   ///< fleet: a coalesced batch ran (value = real lanes)
+  kCacheHit,        ///< fleet: idempotent request answered from the cache
+  kScaleUp,         ///< fleet: replica added (value = new replica count)
+  kScaleDown,       ///< fleet: replica drained (value = new replica count)
 };
 
 std::string_view serve_event_name(ServeEventKind kind);
@@ -103,31 +108,9 @@ struct ServeEvent {
 /// One line per event: "[ 0.0300s] shed               request 42  queue full".
 std::string format_serve_event(const ServeEvent& e);
 
-/// One rung's model configuration. The graph provides the cost-model
-/// workload (and, in execute mode, the weights actually run); it must
-/// outlive the server.
-struct ModelVariant {
-  std::string name;            ///< "fp32", "int8", "fallback", ...
-  const Graph* graph = nullptr;
-  DType dtype = DType::kFP32;
-  bool quantized = false;      ///< execute via make_quantized_session
-};
-
-/// One rung of the degradation ladder: which variant serves and the
-/// admission batch cap at this level. ladder[0] is the healthy config.
-struct BrownoutStep {
-  std::size_t variant = 0;
-  std::int64_t max_batch = 0;  ///< 0 = unlimited
-};
-
-struct Request {
-  std::uint64_t id = 0;        ///< 0 = assigned by submit()
-  std::string client;          ///< retry-budget key
-  int priority = 0;            ///< higher serves first
-  double arrival_s = 0;
-  double deadline_s = 0;       ///< absolute simulated time
-  std::int64_t batch = 1;
-};
+// ModelVariant and BrownoutStep (both pre-v2 residents of this header)
+// now live with the ladder in brownout.hpp; Request moved to request.hpp
+// as the versioned v2 wire struct.
 
 struct ServerConfig {
   std::vector<std::string> backends;   ///< slots of the simulator's chassis
@@ -160,9 +143,9 @@ struct ServerConfig {
 
   /// Run real tensors through runtime sessions on completion (variants
   /// need materialized / deployment-ready graphs). Off = analytic timing
-  /// only, which is what the chaos soak uses.
+  /// only, which is what the chaos soak uses. Per-rung execution resources
+  /// (batch cap, intra-op threads) travel in each BrownoutStep's ExecConfig.
   bool execute = false;
-  unsigned threads = 1;                ///< intra-op threads in execute mode
 
   /// Integrity mode: when set, the server clones every variant graph at
   /// construction and serves from its own deployed copies (variant graphs
@@ -227,7 +210,14 @@ class Server {
   ~Server();
 
   /// Register one offered request (before run()). Returns the request id.
+  /// The request must be wire version kServeApiVersion.
   std::uint64_t submit(Request r);
+
+  /// Pre-v2 positional submit. Deprecated shim kept for exactly one PR:
+  /// construct a serve::Request and call submit(Request) instead.
+  [[deprecated("construct a serve::Request (wire v2) and call submit(Request)")]]
+  std::uint64_t submit(const std::string& client, int priority, double arrival_s,
+                       double deadline_s, std::int64_t batch = 1);
 
   /// Schedule an over-the-air update for \p variant's store entry at
   /// simulated time \p t (integrity mode only; call before run()). The

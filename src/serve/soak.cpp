@@ -10,6 +10,7 @@
 #include "obs/json.hpp"
 #include "platform/baseboard.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 
 namespace vedliot::serve {
@@ -24,20 +25,12 @@ constexpr std::uint64_t kLoadStream = 0xA11CEull;
 constexpr std::uint64_t kFaultStream = 0xFA17ull;
 constexpr std::uint64_t kSimStream = 0x51ull;
 
-std::uint64_t fnv1a64(const std::string& s, std::uint64_t h) {
-  for (const char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001B3ull;
-  }
-  return h;
-}
-
 /// Order-sensitive digest of the event log: two runs agree on this iff
 /// they agree on every event, without shipping megabytes of JSON.
 std::string event_digest(const ServeReport& report) {
   std::uint64_t h = 0xCBF29CE484222325ull;
   for (const ServeEvent& e : report.events) {
-    h = fnv1a64(format_serve_event(e), h);
+    h = util::fnv1a64(format_serve_event(e), h);
   }
   char buf[24];
   std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
@@ -230,10 +223,12 @@ SoakResult run_soak(const SoakConfig& cfg) {
     if (t >= cfg.duration_s) break;
     Request r;
     r.client = "client" + std::to_string(i % 4);
-    r.priority = load_rng.chance(0.15) ? 1 : 0;
+    r.priority_class =
+        load_rng.chance(0.15) ? PriorityClass::kInteractive : PriorityClass::kStandard;
     r.arrival_s = t;
     r.deadline_s = t + load_rng.jittered(cfg.deadline_s, 0.5);
     r.batch = load_rng.chance(0.2) ? 2 : 1;
+    r.payload = i + 1;
     server.submit(r);
     ++i;
   }

@@ -1,0 +1,164 @@
+#include "serve/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace vedliot::serve {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Instantaneous aggregate rate at time t (the thinning target).
+double rate_at(const TrafficConfig& cfg, double t) {
+  switch (cfg.pattern) {
+    case TrafficPattern::kSteady:
+    case TrafficPattern::kRetryStorm:
+      return cfg.base_hz;
+    case TrafficPattern::kDiurnal:
+      // One compressed day: quiet at the edges, peak mid-run.
+      return cfg.base_hz *
+             (1.0 + cfg.diurnal_depth * std::sin(2.0 * kPi * t / cfg.duration_s - kPi / 2.0));
+    case TrafficPattern::kFlashCrowd: {
+      const double lo = cfg.duration_s * (0.5 - cfg.flash_width / 2.0);
+      const double hi = cfg.duration_s * (0.5 + cfg.flash_width / 2.0);
+      return (t >= lo && t < hi) ? cfg.base_hz * cfg.flash_factor : cfg.base_hz;
+    }
+  }
+  throw InvalidArgument("unknown traffic pattern");
+}
+
+double peak_rate(const TrafficConfig& cfg) {
+  switch (cfg.pattern) {
+    case TrafficPattern::kSteady:
+    case TrafficPattern::kRetryStorm:
+      return cfg.base_hz;
+    case TrafficPattern::kDiurnal:
+      return cfg.base_hz * (1.0 + cfg.diurnal_depth);
+    case TrafficPattern::kFlashCrowd:
+      return cfg.base_hz * std::max(1.0, cfg.flash_factor);
+  }
+  throw InvalidArgument("unknown traffic pattern");
+}
+
+}  // namespace
+
+std::string_view traffic_pattern_name(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::kSteady: return "steady";
+    case TrafficPattern::kDiurnal: return "diurnal";
+    case TrafficPattern::kFlashCrowd: return "flash-crowd";
+    case TrafficPattern::kRetryStorm: return "retry-storm";
+  }
+  throw InvalidArgument("unknown traffic pattern");
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+  VEDLIOT_CHECK(n_ >= 1, "zipf population must be >= 1");
+  VEDLIOT_CHECK(s_ > 0, "zipf exponent must be positive");
+  const double m = static_cast<double>(n_) + 1.0;
+  harmonic_ = s_ == 1.0 ? std::log(m) : (std::pow(m, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+std::uint64_t ZipfSampler::sample(double u01) const {
+  // Continuous inverse-CDF of the power-law density over [1, n+1]; the
+  // floor is the sampled rank. Rank 0 (the hottest client) absorbs the
+  // head of the distribution.
+  const double u = std::clamp(u01, 0.0, std::nextafter(1.0, 0.0));
+  double x;
+  if (s_ == 1.0) {
+    x = std::exp(u * harmonic_);
+  } else {
+    x = std::pow(1.0 + u * harmonic_ * (1.0 - s_), 1.0 / (1.0 - s_));
+  }
+  const auto rank = static_cast<std::uint64_t>(x) - 1;
+  return std::min(rank, n_ - 1);
+}
+
+std::vector<Request> generate_traffic(const TrafficConfig& cfg) {
+  VEDLIOT_CHECK(cfg.duration_s > 0, "traffic duration must be positive");
+  VEDLIOT_CHECK(cfg.base_hz > 0, "base rate must be positive");
+  VEDLIOT_CHECK(cfg.population >= 1, "client population must be >= 1");
+  VEDLIOT_CHECK(cfg.interactive_share + cfg.batch_share <= 1.0,
+                "priority shares must sum to <= 1");
+  VEDLIOT_CHECK(cfg.deadline_s > 0, "deadline must be positive");
+  VEDLIOT_CHECK(cfg.think_time_s >= 0, "think time must be >= 0");
+
+  Rng rng(cfg.seed);
+  const ZipfSampler zipf(cfg.population, cfg.zipf_s);
+  std::vector<Request> out;
+
+  // Thinned Poisson over the rate curve: candidates at the peak rate,
+  // accepted with probability rate(t)/peak.
+  const double peak = peak_rate(cfg);
+  std::map<std::string, double> next_allowed;  ///< closed loop, touched clients
+  double t = 0;
+  std::uint64_t serial = 0;
+  while (true) {
+    t += -std::log(1.0 - rng.uniform()) / peak;
+    if (t >= cfg.duration_s) break;
+    if (!rng.chance(rate_at(cfg, t) / peak)) continue;
+
+    Request r;
+    r.client = "user" + std::to_string(zipf.sample(rng.uniform()));
+    r.arrival_s = t;
+    if (cfg.think_time_s > 0) {
+      // Closed loop: a client cannot have two requests closer than its
+      // think time — later picks of a hot client slide forward.
+      double& gate = next_allowed[r.client];
+      r.arrival_s = std::max(r.arrival_s, gate);
+      gate = r.arrival_s + cfg.think_time_s;
+      if (r.arrival_s >= cfg.duration_s) continue;
+    }
+    const double cls = rng.uniform();
+    r.priority_class = cls < cfg.interactive_share ? PriorityClass::kInteractive
+                       : cls < cfg.interactive_share + cfg.batch_share
+                           ? PriorityClass::kBatch
+                           : PriorityClass::kStandard;
+    r.deadline_s = r.arrival_s + rng.jittered(cfg.deadline_s, 0.5);
+    r.batch = rng.chance(cfg.multi_lane_share) ? 2 : 1;
+    ++serial;
+    if (rng.chance(cfg.idempotent_share)) {
+      // Organic cacheable repeat: payloads repeat within a small pool, so
+      // the same key genuinely recurs and the cache can answer it.
+      r.payload = 1 + static_cast<std::uint64_t>(rng.uniform_int(0, 99));
+      r.idempotency_key = "idem-" + std::to_string(r.payload);
+    } else {
+      r.payload = 1000 + serial;
+    }
+    out.push_back(std::move(r));
+  }
+
+  if (cfg.pattern == TrafficPattern::kRetryStorm) {
+    // Synchronized waves of identical re-submissions: every request in a
+    // wave shares one idempotency key and payload — the classic herd of
+    // misbehaving clients re-sending the same work.
+    for (std::size_t w = 0; w < cfg.storm_count; ++w) {
+      const double at = cfg.duration_s * static_cast<double>(w + 1) /
+                        static_cast<double>(cfg.storm_count + 1);
+      const std::uint64_t payload = 500'000 + w;
+      for (std::size_t b = 0; b < cfg.storm_burst; ++b) {
+        Request r;
+        r.client = "storm-client" + std::to_string(b % 8);
+        r.arrival_s = at + 1e-4 * static_cast<double>(b);
+        if (r.arrival_s >= cfg.duration_s) break;
+        r.deadline_s = r.arrival_s + rng.jittered(cfg.deadline_s, 0.5);
+        r.priority_class = PriorityClass::kStandard;
+        r.payload = payload;
+        r.idempotency_key = "storm-" + std::to_string(w);
+        out.push_back(std::move(r));
+      }
+    }
+  }
+
+  std::stable_sort(out.begin(), out.end(), [](const Request& a, const Request& b) {
+    return a.arrival_s < b.arrival_s;
+  });
+  return out;
+}
+
+}  // namespace vedliot::serve

@@ -1,0 +1,104 @@
+#pragma once
+/// \file traffic.hpp
+/// \brief Seeded traffic generator for fleet soaks: million-user client
+/// populations with heavy-tail activity, diurnal curves, flash crowds and
+/// adversarial retry storms.
+///
+/// Real IoT serving load is not Poisson-with-four-clients: a small set of
+/// hot clients dominates (Zipf activity), the aggregate rate follows a
+/// diurnal curve, product launches produce flash crowds, and misbehaving
+/// client firmware retries in synchronized storms that re-submit identical
+/// work. The generator synthesizes those shapes deterministically from one
+/// seed, in either loop mode:
+///
+///  * open loop — arrivals follow the rate curve regardless of completions
+///    (the standard way to measure an overloaded server honestly);
+///  * closed loop — a bounded population of in-flight clients, each
+///    submitting its next request a think-time after its previous one
+///    would have completed under the target rate (approximated without
+///    feedback to keep generation independent of serving — the fleet run
+///    stays a pure function of the seed).
+///
+/// Output is a time-sorted vector of v2 Requests ready for Fleet::submit.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace vedliot::serve {
+
+/// Aggregate-rate shape over the run.
+enum class TrafficPattern {
+  kSteady,      ///< constant rate
+  kDiurnal,     ///< one sinusoidal day compressed into the run
+  kFlashCrowd,  ///< steady base with a burst window at several x the rate
+  kRetryStorm,  ///< steady base plus synchronized idempotent re-submissions
+};
+
+std::string_view traffic_pattern_name(TrafficPattern p);
+
+struct TrafficConfig {
+  TrafficPattern pattern = TrafficPattern::kSteady;
+  double duration_s = 2.0;
+  double base_hz = 400.0;        ///< mean aggregate arrival rate
+
+  /// Client population. Clients are "user<i>"; per-request client picks
+  /// follow a Zipf(s) law over the population, so a million-user population
+  /// still concentrates most traffic on a few hot clients (what makes
+  /// consistent-hash routing and per-client retry budgets interesting).
+  std::uint64_t population = 1'000'000;
+  double zipf_s = 1.1;           ///< tail exponent (> 1 = heavy head)
+
+  double interactive_share = 0.15;  ///< P(priority = interactive)
+  double batch_share = 0.10;        ///< P(priority = batch)
+  double deadline_s = 0.08;         ///< relative deadline, jittered +-50%
+  double multi_lane_share = 0.2;    ///< P(batch = 2) per request
+
+  // kDiurnal: rate swings between (1 - diurnal_depth) and (1 + diurnal_depth)
+  // of base_hz over one compressed day.
+  double diurnal_depth = 0.8;
+
+  // kFlashCrowd: burst of flash_factor * base_hz in the middle
+  // flash_width fraction of the run.
+  double flash_factor = 5.0;
+  double flash_width = 0.2;
+
+  // kRetryStorm: storm_count waves; each wave re-submits storm_burst
+  // requests sharing one idempotency key and payload (the adversarial
+  // client herd re-sending identical work).
+  std::size_t storm_count = 4;
+  std::size_t storm_burst = 32;
+
+  /// Closed loop: cap concurrent outstanding requests at `population_cap`
+  /// per client by spacing a client's next arrival at least think_time_s
+  /// after its previous one. 0 = open loop.
+  double think_time_s = 0;
+
+  /// Fraction of non-storm requests that carry an idempotency key derived
+  /// from their payload (cacheable repeats in organic traffic).
+  double idempotent_share = 0.1;
+
+  std::uint64_t seed = 0x7AFFu;
+};
+
+/// Generate the offered load: time-sorted, ids left 0 (assigned at
+/// submit), deterministic for a given config.
+std::vector<Request> generate_traffic(const TrafficConfig& cfg);
+
+/// Zipf rank sampler over [0, n): rank 0 is the hottest. Uses the standard
+/// inverse-CDF approximation over a harmonic partial sum, O(1) per draw
+/// after O(log n) setup, deterministic per Rng stream. Exposed for tests.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s);
+  std::uint64_t sample(double u01) const;  ///< u01 in [0, 1)
+
+ private:
+  std::uint64_t n_;
+  double s_;
+  double harmonic_;  ///< generalized harmonic number H_{n,s} (approximated)
+};
+
+}  // namespace vedliot::serve

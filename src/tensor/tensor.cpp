@@ -93,6 +93,50 @@ double Tensor::sparsity() const {
   return static_cast<double>(zeros) / static_cast<double>(data_.size());
 }
 
+Tensor stack_batch(std::span<const Tensor> parts) {
+  VEDLIOT_CHECK(!parts.empty(), "stack_batch needs at least one tensor");
+  const Shape& first = parts.front().shape();
+  VEDLIOT_CHECK(first.rank() >= 1, "stack_batch needs rank >= 1 tensors");
+  std::vector<std::int64_t> dims(first.dims().begin(), first.dims().end());
+  std::int64_t batch = 0;
+  for (const Tensor& p : parts) {
+    const Shape& s = p.shape();
+    VEDLIOT_CHECK(s.rank() == first.rank(), "stack_batch rank mismatch");
+    for (std::size_t d = 1; d < s.rank(); ++d) {
+      VEDLIOT_CHECK(s.dim(d) == first.dim(d),
+                    "stack_batch trailing-dim mismatch: " + s.to_string() + " vs " +
+                        first.to_string());
+    }
+    batch += s.dim(0);
+  }
+  dims[0] = batch;
+  Tensor out{Shape(dims)};
+  std::size_t at = 0;
+  for (const Tensor& p : parts) {
+    std::copy(p.data().begin(), p.data().end(), out.data().begin() + at);
+    at += p.data().size();
+  }
+  return out;
+}
+
+std::vector<Tensor> split_batch(const Tensor& batched) {
+  const Shape& s = batched.shape();
+  VEDLIOT_CHECK(s.rank() >= 1, "split_batch needs rank >= 1");
+  const auto lanes = static_cast<std::size_t>(s.dim(0));
+  VEDLIOT_CHECK(lanes >= 1, "split_batch needs a non-empty batch");
+  std::vector<std::int64_t> dims(s.dims().begin(), s.dims().end());
+  dims[0] = 1;
+  const Shape lane_shape{dims};
+  const auto stride = static_cast<std::size_t>(lane_shape.numel());
+  std::vector<Tensor> out;
+  out.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    const auto lane = batched.data().subspan(i * stride, stride);
+    out.emplace_back(lane_shape, std::vector<float>(lane.begin(), lane.end()));
+  }
+  return out;
+}
+
 float max_abs_diff(const Tensor& a, const Tensor& b) {
   VEDLIOT_CHECK(a.shape() == b.shape(), "max_abs_diff shape mismatch");
   float m = 0.0f;

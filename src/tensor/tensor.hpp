@@ -77,6 +77,16 @@ class Tensor {
   std::span<float> data_;        ///< spans storage_ (owned) or external memory
 };
 
+/// Stack tensors along the leading (batch) dimension: parts must agree on
+/// rank and trailing dims; the result's dim 0 is the sum of the parts'.
+/// Rank must be >= 1. Used by the batched-submit path to coalesce
+/// per-request inputs into one GEMM-friendly feed.
+Tensor stack_batch(std::span<const Tensor> parts);
+
+/// Inverse of stack_batch for unit lanes: split a batched tensor into
+/// dim0-many owned tensors of batch 1, in lane order.
+std::vector<Tensor> split_batch(const Tensor& batched);
+
 /// Max absolute elementwise difference; shapes must match.
 float max_abs_diff(const Tensor& a, const Tensor& b);
 

@@ -30,4 +30,13 @@ std::uint32_t crc32(std::span<const float> data, std::uint32_t seed) {
   return crc32(std::span<const std::uint8_t>(raw, data.size() * sizeof(float)), seed);
 }
 
+std::uint64_t fnv1a64(std::string_view s, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
 }  // namespace vedliot::util

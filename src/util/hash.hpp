@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string_view>
 
 namespace vedliot::util {
 
@@ -24,5 +25,12 @@ std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed = 0);
 /// CRC-32 over the raw IEEE-754 bytes of a float span (the weight-tensor
 /// digest: bit flips below float equality tolerance still change it).
 std::uint32_t crc32(std::span<const float> data, std::uint32_t seed = 0);
+
+/// FNV-1a 64-bit over a string: the placement hash behind the consistent
+/// ring (serve/ring.hpp), idempotency-cache keys, and the soak harnesses'
+/// event-log digests. \p seed chains incremental computation (pass the
+/// previous result to continue across fragments); the default is the FNV
+/// offset basis.
+std::uint64_t fnv1a64(std::string_view s, std::uint64_t seed = 0xCBF29CE484222325ull);
 
 }  // namespace vedliot::util

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "exec_single.hpp"
 #include "core/designflow.hpp"
 #include "graph/zoo.hpp"
 #include "util/rng.hpp"
@@ -228,7 +229,7 @@ TEST(ExecutorProfile, HotspotsRankConvFirst) {
   exec.enable_profiling();
   Rng rng(5);
   for (int i = 0; i < 3; ++i) {
-    exec.run_single(Tensor(Shape{1, 1, 16, 16}, rng.normal_vector(256)));
+    (void)testutil::exec_single(exec, g, Tensor(Shape{1, 1, 16, 16}, rng.normal_vector(256)));
   }
   const auto hot = exec.hotspots(3);
   ASSERT_FALSE(hot.empty());
@@ -242,7 +243,7 @@ TEST(ExecutorProfile, DisabledByDefault) {
   Graph g = tuned_model();
   Executor exec(g);
   Rng rng(5);
-  exec.run_single(Tensor(Shape{1, 1, 16, 16}, rng.normal_vector(256)));
+  (void)testutil::exec_single(exec, g, Tensor(Shape{1, 1, 16, 16}, rng.normal_vector(256)));
   EXPECT_TRUE(exec.profile().empty());
 }
 

@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "exec_single.hpp"
 #include "core/designflow.hpp"
 #include "graph/cost.hpp"
 #include "graph/serialize.hpp"
@@ -58,7 +59,7 @@ TEST(Integration, OptimizeDeployMonitorPipeline) {
   Executor optimized(flow.model().graph());
   std::size_t faults = 0;
   for (const auto& s : dataset) {
-    if (service.submit(s.input, optimized.run_single(s.input)) ==
+    if (service.submit(s.input, testutil::exec_single(optimized, flow.model().graph(), s.input)) ==
         safety::CheckResult::kCheckedFaulty) {
       ++faults;
     }
@@ -186,7 +187,7 @@ TEST(Integration, ImageMonitorGatesExecutorInput) {
   for (const Tensor* frame : {&clean, &noisy}) {
     const auto verdict = monitor.check(*frame);
     if (safety::correction_for(verdict) != safety::CorrectionAction::kDrop) {
-      exec.run_single(*frame);
+      (void)testutil::exec_single(exec, g, *frame);
       ++inferences;
     }
   }

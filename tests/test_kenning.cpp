@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "exec_single.hpp"
 #include "graph/zoo.hpp"
 #include "hw/device.hpp"
 #include "kenning/flow.hpp"
@@ -129,7 +130,7 @@ std::vector<Sample> make_dataset(const ModelWrapper& wrapper, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     Sample s;
     s.input = Tensor(Shape{1, 8}, rng.normal_vector(8));
-    const Tensor y = exec.run_single(s.input);
+    const Tensor y = testutil::exec_single(exec, g, s.input);
     s.label = wrapper.postprocess(y);
     out.push_back(std::move(s));
   }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "exec_single.hpp"
 #include "graph/zoo.hpp"
 #include "obs/clock.hpp"
 #include "obs/export.hpp"
@@ -338,7 +339,7 @@ TEST(Session, MaxBatchRejectsOversizedFeeds) {
   Rng rng(2);
   g.materialize_weights(rng);
   runtime::RunOptions opts;
-  opts.max_batch = 2;
+  opts.exec.max_batch = 2;
   auto session = runtime::make_session(g, opts);
   Rng data_rng(3);
   Tensor big(Shape{4, 8}, data_rng.normal_vector(32));
@@ -354,12 +355,12 @@ TEST(Session, KeepActivationsControlsExecutorRetention) {
 
   Executor keep(g);
   keep.set_keep_activations(true);
-  (void)keep.run_single(x);
+  (void)testutil::exec_single(keep, g, x);
   EXPECT_NO_THROW((void)keep.activation("fc0"));
 
   Executor drop(g);
   drop.set_keep_activations(false);
-  (void)drop.run_single(x);
+  (void)testutil::exec_single(drop, g, x);
   EXPECT_THROW((void)drop.activation("fc0"), NotFound);
 }
 

@@ -15,6 +15,7 @@
 #include "opt/pass.hpp"
 #include "opt/prune.hpp"
 #include "opt/quantize.hpp"
+#include "exec_single.hpp"
 #include "runtime/executor.hpp"
 #include "util/rng.hpp"
 
@@ -35,17 +36,15 @@ Tensor test_image(std::uint64_t seed = 99) {
 
 TEST(Fusion, BatchNormFoldPreservesOutputs) {
   Graph g = materialized_micro_cnn();
-  Executor before_exec(g);
   const Tensor input = test_image();
-  const Tensor before = before_exec.run_single(input);
+  const Tensor before = testutil::exec_single(g, input);
 
   FuseBatchNormPass pass;
   const auto r = pass.run(g);
   EXPECT_EQ(r.nodes_changed, 3);  // three conv-bn pairs in micro_cnn
   g.validate();
 
-  Executor after_exec(g);
-  const Tensor after = after_exec.run_single(input);
+  const Tensor after = testutil::exec_single(g, input);
   EXPECT_LT(max_abs_diff(before, after), 1e-3f);
 }
 
@@ -61,14 +60,14 @@ TEST(Fusion, BatchNormFoldRemovesNodes) {
 TEST(Fusion, ActivationFusePreservesOutputs) {
   Graph g = materialized_micro_cnn();
   const Tensor input = test_image();
-  const Tensor before = Executor(g).run_single(input);
+  const Tensor before = testutil::exec_single(g, input);
 
   PassManager pm;
   pm.add(std::make_unique<FuseBatchNormPass>());
   pm.add(std::make_unique<FuseActivationPass>());
   pm.run(g);
 
-  const Tensor after = Executor(g).run_single(input);
+  const Tensor after = testutil::exec_single(g, input);
   EXPECT_LT(max_abs_diff(before, after), 1e-3f);
   int relus = 0;
   for (NodeId id : g.topo_order()) {
@@ -114,8 +113,7 @@ TEST(Fusion, LeakyAlphaCarriedThrough) {
 
   FuseActivationPass pass;
   pass.run(g);
-  Executor exec(g);
-  const Tensor out = exec.run_single(Tensor(Shape{1, 1, 2, 2}, {-1, 1, -2, 2}));
+  const Tensor out = testutil::exec_single(g, Tensor(Shape{1, 1, 2, 2}, {-1, 1, -2, 2}));
   EXPECT_FLOAT_EQ(out.at(0), -0.2f);
   EXPECT_FLOAT_EQ(out.at(2), -0.4f);
 }
@@ -316,13 +314,13 @@ TEST(DeepCompress, RequiresMaterializedWeights) {
 TEST(QuantizePass, Int8ErrorSmallOnModelOutputs) {
   Graph g = materialized_micro_cnn();
   const Tensor input = test_image();
-  const Tensor before = Executor(g).run_single(input);
+  const Tensor before = testutil::exec_single(g, input);
 
   QuantizeWeightsPass pass(DType::kINT8);
   const auto r = pass.run(g);
   EXPECT_GT(r.nodes_changed, 0);
 
-  const Tensor after = Executor(g).run_single(input);
+  const Tensor after = testutil::exec_single(g, input);
   EXPECT_LT(max_abs_diff(before, after), 0.05f);
 }
 
@@ -330,11 +328,11 @@ TEST(QuantizePass, Int4WorseThanInt8) {
   const Tensor input = test_image();
   Graph g8 = materialized_micro_cnn();
   Graph g4 = materialized_micro_cnn();
-  const Tensor ref = Executor(materialized_micro_cnn()).run_single(input);
+  const Tensor ref = testutil::exec_single(materialized_micro_cnn(), input);
   QuantizeWeightsPass(DType::kINT8).run(g8);
   QuantizeWeightsPass(DType::kINT4).run(g4);
-  const auto e8 = rmse(Executor(g8).run_single(input), ref);
-  const auto e4 = rmse(Executor(g4).run_single(input), ref);
+  const auto e8 = rmse(testutil::exec_single(g8, input), ref);
+  const auto e4 = rmse(testutil::exec_single(g4, input), ref);
   EXPECT_LT(e8, e4);
 }
 
@@ -356,10 +354,10 @@ TEST(QuantizePass, RejectsFloatTarget) {
 TEST(Fp16Pass, NegligibleOutputChange) {
   Graph g = materialized_micro_cnn();
   const Tensor input = test_image();
-  const Tensor before = Executor(g).run_single(input);
+  const Tensor before = testutil::exec_single(g, input);
   Fp16CastPass pass;
   pass.run(g);
-  const Tensor after = Executor(g).run_single(input);
+  const Tensor after = testutil::exec_single(g, input);
   EXPECT_LT(max_abs_diff(before, after), 1e-2f);
 }
 
@@ -424,10 +422,10 @@ TEST(Cse, PreservesExecutorOutputs) {
   g.materialize_weights(rng);
   Rng data(2);
   Tensor x(Shape{1, 2, 4, 4}, data.normal_vector(32));
-  const Tensor before = Executor(g).run_single(x);
+  const Tensor before = testutil::exec_single(g, x);
   CsePass pass;
   pass.run(g);
-  const Tensor after = Executor(g).run_single(x);
+  const Tensor after = testutil::exec_single(g, x);
   EXPECT_FLOAT_EQ(max_abs_diff(before, after), 0.0f);
   EXPECT_EQ(g.size(), 3u);  // input, one relu, add
 }

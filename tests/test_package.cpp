@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "exec_single.hpp"
 #include "graph/cost.hpp"
 #include "graph/package.hpp"
 #include "graph/zoo.hpp"
@@ -30,8 +31,8 @@ TEST(Package, RoundTripPreservesStructureAndWeights) {
   // identical outputs on identical inputs: the strongest round-trip check
   Rng rng(9);
   Tensor x(Shape{1, 1, 16, 16}, rng.normal_vector(256));
-  const Tensor a = Executor(g).run_single(x);
-  const Tensor b = Executor(back).run_single(x);
+  const Tensor a = testutil::exec_single(g, x);
+  const Tensor b = testutil::exec_single(back, x);
   EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.0f);
 }
 
@@ -82,7 +83,7 @@ TEST(Package, SealedDeploymentRoundTrip) {
   Graph back = unseal_model(sealed, device_key);
   Rng rng(3);
   Tensor x(Shape{1, 16}, rng.normal_vector(16));
-  EXPECT_FLOAT_EQ(max_abs_diff(Executor(g).run_single(x), Executor(back).run_single(x)), 0.0f);
+  EXPECT_FLOAT_EQ(max_abs_diff(testutil::exec_single(g, x), testutil::exec_single(back, x)), 0.0f);
 }
 
 TEST(Package, SealedModelBoundToDevice) {
@@ -287,7 +288,7 @@ TEST(PackageCorruption, V1PackageWithoutTableStillLoads) {
   EXPECT_TRUE(back.weights_materialized());
   Rng rng(7);
   Tensor x(Shape{1, 4}, rng.normal_vector(4));
-  EXPECT_FLOAT_EQ(max_abs_diff(Executor(g).run_single(x), Executor(back).run_single(x)), 0.0f);
+  EXPECT_FLOAT_EQ(max_abs_diff(testutil::exec_single(g, x), testutil::exec_single(back, x)), 0.0f);
 }
 
 // ---------------------------------------------------------------------------

@@ -37,6 +37,13 @@ Graph deploy_ready(Graph g, std::uint64_t seed, const Shape& input_shape,
   return g;
 }
 
+/// Thread-count knob now lives in RunOptions::exec (ExecConfig).
+runtime::RunOptions qs_threads(unsigned threads) {
+  runtime::RunOptions o;
+  o.exec.threads = threads;
+  return o;
+}
+
 TEST(QTensor, QuantizeDequantizeRoundTrip) {
   Tensor t(Shape{4}, {0.5f, -0.25f, 1.0f, 0.0f});
   const QTensor q = quantize_fixed(t, 0.01);
@@ -255,8 +262,8 @@ TEST(QuantizedSession, ThreadsOptionPreservesOutputs) {
   Rng data_rng(46);
   Tensor x(Shape{2, 3, 16, 16}, data_rng.normal_vector(2 * 3 * 16 * 16));
 
-  auto serial = runtime::make_quantized_session(g, {.threads = 1});
-  auto mt = runtime::make_quantized_session(g, {.threads = 4});
+  auto serial = runtime::make_quantized_session(g, qs_threads(1));
+  auto mt = runtime::make_quantized_session(g, qs_threads(4));
   const Tensor ys = serial->run_single(x);
   const Tensor ym = mt->run_single(x);
   ASSERT_EQ(ys.shape(), ym.shape());

@@ -27,6 +27,14 @@ AttrMap conv_attrs(std::int64_t oc, std::int64_t k, std::int64_t s, std::int64_t
   return a;
 }
 
+/// Single-input convenience over Executor::run for tests that poke the
+/// engine directly (introspection, arena stats); application code goes
+/// through runtime::Session.
+Tensor exec_single(Executor& exec, const Graph& g, const Tensor& input) {
+  auto outs = exec.run({{g.node(g.inputs().front()).name, input}});
+  return std::move(outs.begin()->second);
+}
+
 /// Build a single-op graph, set explicit weights, execute one input.
 Tensor run_single_op(OpKind kind, const Shape& in_shape, AttrMap attrs,
                      std::vector<Tensor> weights, const Tensor& input) {
@@ -35,7 +43,7 @@ Tensor run_single_op(OpKind kind, const Shape& in_shape, AttrMap attrs,
   const NodeId op = g.add(kind, "op", {in}, std::move(attrs));
   g.node(op).weights = std::move(weights);
   Executor exec(g);
-  return exec.run_single(input);
+  return exec_single(exec, g, input);
 }
 
 TEST(Executor, Conv2dIdentityKernel) {
@@ -117,7 +125,7 @@ TEST(Executor, BatchNormFoldedFormula) {
                        Tensor(Shape{1}, {4.0f})};  // var
   Executor exec(g);
   Tensor input(Shape{1, 1, 1, 2}, {3.0f, 5.0f});
-  const Tensor out = exec.run_single(input);
+  const Tensor out = exec_single(exec, g, input);
   // (x - 3)/2 * 2 + 1
   EXPECT_FLOAT_EQ(out.at(0), 1.0f);
   EXPECT_FLOAT_EQ(out.at(1), 3.0f);
@@ -139,7 +147,7 @@ TEST_P(ActivationSweep, PointwiseValue) {
   if (p.kind == OpKind::kLeakyRelu) attrs.set_float("alpha", 0.1);
   g.add(p.kind, "act", {in}, attrs);
   Executor exec(g);
-  const Tensor out = exec.run_single(Tensor(Shape{1}, {p.in}));
+  const Tensor out = exec_single(exec, g, Tensor(Shape{1}, {p.in}));
   EXPECT_NEAR(out.at(0), p.expected, 1e-5);
 }
 
@@ -163,7 +171,7 @@ TEST(Executor, MishMatchesDefinition) {
   g.add(OpKind::kMish, "mish", {in});
   Executor exec(g);
   for (float x : {-2.0f, -0.5f, 0.7f, 2.5f}) {
-    const Tensor out = exec.run_single(Tensor(Shape{1}, {x}));
+    const Tensor out = exec_single(exec, g, Tensor(Shape{1}, {x}));
     const double expected = x * std::tanh(std::log1p(std::exp(static_cast<double>(x))));
     EXPECT_NEAR(out.at(0), expected, 1e-5) << x;
   }
@@ -214,7 +222,7 @@ TEST(Executor, AvgPoolPaddingCountsValidOnly) {
   g.add(OpKind::kAvgPool, "avg", {in}, p);
   Executor exec(g);
   Tensor input(Shape{1, 1, 2, 2}, {4, 4, 4, 4});
-  const Tensor out = exec.run_single(input);
+  const Tensor out = exec_single(exec, g, input);
   // all windows average only valid elements -> always 4
   for (float v : out.data()) EXPECT_FLOAT_EQ(v, 4.0f);
 }
@@ -243,7 +251,7 @@ TEST(Executor, UpsampleNearest) {
   u.set_int("scale", 2);
   g.add(OpKind::kUpsample, "up", {in}, u);
   Executor exec(g);
-  const Tensor out = exec.run_single(Tensor(Shape{1, 1, 1, 2}, {5, 9}));
+  const Tensor out = exec_single(exec, g, Tensor(Shape{1, 1, 1, 2}, {5, 9}));
   EXPECT_EQ(out.shape(), Shape({1, 1, 2, 4}));
   EXPECT_FLOAT_EQ(out.at4(0, 0, 1, 0), 5.0f);
   EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 3), 9.0f);
@@ -254,7 +262,7 @@ TEST(Executor, SoftmaxNormalizesAndIsStable) {
   const NodeId in = g.add_input("x", Shape{1, 3});
   g.add(OpKind::kSoftmax, "sm", {in});
   Executor exec(g);
-  const Tensor out = exec.run_single(Tensor(Shape{1, 3}, {1000.0f, 1001.0f, 1002.0f}));
+  const Tensor out = exec_single(exec, g, Tensor(Shape{1, 3}, {1000.0f, 1001.0f, 1002.0f}));
   double sum = 0;
   for (float v : out.data()) {
     EXPECT_TRUE(std::isfinite(v));
@@ -292,8 +300,8 @@ TEST(Executor, EndToEndMicroCnnDeterministic) {
   Executor exec(g);
   Rng data_rng(8);
   Tensor input(Shape{1, 1, 16, 16}, data_rng.normal_vector(256));
-  const Tensor a = exec.run_single(input);
-  const Tensor b = exec.run_single(input);
+  const Tensor a = exec_single(exec, g, input);
+  const Tensor b = exec_single(exec, g, input);
   EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.0f);
   double sum = 0;
   for (float v : a.data()) sum += v;
@@ -305,7 +313,7 @@ TEST(Executor, ActivationIntrospection) {
   Rng rng(9);
   g.materialize_weights(rng);
   Executor exec(g);
-  exec.run_single(Tensor(Shape{1, 4}, {1, 2, 3, 4}));
+  exec_single(exec, g, Tensor(Shape{1, 4}, {1, 2, 3, 4}));
   EXPECT_NO_THROW((void)exec.activation("fc0"));
   EXPECT_THROW((void)exec.activation("bogus"), NotFound);
 }
@@ -390,6 +398,27 @@ Tensor run_with_options(const Graph& g, const Tensor& x, const runtime::RunOptio
   return session->run_single(x);
 }
 
+/// Resource knobs moved into RunOptions::exec (ExecConfig); these builders
+/// keep the matrix of engine configurations below readable.
+runtime::RunOptions with_threads(unsigned threads) {
+  runtime::RunOptions o;
+  o.exec.threads = threads;
+  return o;
+}
+
+runtime::RunOptions with_gemm(bool use_gemm_conv) {
+  runtime::RunOptions o;
+  o.use_gemm_conv = use_gemm_conv;
+  return o;
+}
+
+runtime::RunOptions with_arena(bool arena, unsigned threads = 1) {
+  runtime::RunOptions o;
+  o.arena = arena;
+  o.exec.threads = threads;
+  return o;
+}
+
 TEST(ExecutionEngine, ResNet50ParallelBitwiseIdenticalToSerial) {
   Graph g = zoo::resnet50(/*batch=*/1, /*classes=*/10, /*image=*/32);
   Rng rng(21);
@@ -397,9 +426,9 @@ TEST(ExecutionEngine, ResNet50ParallelBitwiseIdenticalToSerial) {
   Rng data_rng(22);
   Tensor x(Shape{1, 3, 32, 32}, data_rng.normal_vector(3 * 32 * 32));
 
-  const Tensor serial = run_with_options(g, x, {.threads = 1});
-  const Tensor t2 = run_with_options(g, x, {.threads = 2});
-  const Tensor t4 = run_with_options(g, x, {.threads = 4});
+  const Tensor serial = run_with_options(g, x, with_threads(1));
+  const Tensor t2 = run_with_options(g, x, with_threads(2));
+  const Tensor t4 = run_with_options(g, x, with_threads(4));
   expect_bitwise_equal(serial, t2);
   expect_bitwise_equal(serial, t4);
 }
@@ -411,8 +440,8 @@ TEST(ExecutionEngine, MobileNetV3ParallelBitwiseIdenticalToSerial) {
   Rng data_rng(24);
   Tensor x(Shape{1, 3, 32, 32}, data_rng.normal_vector(3 * 32 * 32));
 
-  const Tensor serial = run_with_options(g, x, {.threads = 1});
-  const Tensor t4 = run_with_options(g, x, {.threads = 4});
+  const Tensor serial = run_with_options(g, x, with_threads(1));
+  const Tensor t4 = run_with_options(g, x, with_threads(4));
   expect_bitwise_equal(serial, t4);
 }
 
@@ -425,8 +454,8 @@ TEST(ExecutionEngine, GemmConvMatchesDirectConv) {
   Rng data_rng(26);
   Tensor x(Shape{1, 3, 32, 32}, data_rng.normal_vector(3 * 32 * 32));
 
-  const Tensor gemm = run_with_options(g, x, {.use_gemm_conv = true});
-  const Tensor direct = run_with_options(g, x, {.use_gemm_conv = false});
+  const Tensor gemm = run_with_options(g, x, with_gemm(true));
+  const Tensor direct = run_with_options(g, x, with_gemm(false));
   EXPECT_LT(max_abs_diff(gemm, direct), 1e-3f);
 }
 
@@ -439,10 +468,10 @@ TEST(ExecutionEngine, ArenaOutputBitwiseIdenticalToHeap) {
   Rng data_rng(28);
   Tensor x(Shape{1, 3, 32, 32}, data_rng.normal_vector(3 * 32 * 32));
 
-  const Tensor heap = run_with_options(g, x, {.arena = false});
-  const Tensor arena = run_with_options(g, x, {.arena = true});
+  const Tensor heap = run_with_options(g, x, with_arena(false));
+  const Tensor arena = run_with_options(g, x, with_arena(true));
   expect_bitwise_equal(heap, arena);
-  const Tensor arena_mt = run_with_options(g, x, {.threads = 4, .arena = true});
+  const Tensor arena_mt = run_with_options(g, x, with_arena(true, 4));
   expect_bitwise_equal(heap, arena_mt);
 }
 
@@ -456,7 +485,7 @@ TEST(ExecutionEngine, ArenaHalvesResNet50ActivationFootprint) {
   Executor exec(g);
   exec.set_keep_activations(false);
   exec.set_use_arena(true);
-  (void)exec.run_single(x);
+  (void)exec_single(exec, g, x);
   const Executor::ArenaStats& stats = exec.arena_stats();
   ASSERT_TRUE(stats.active);
   EXPECT_GT(stats.arena_bytes, 0);
@@ -475,7 +504,7 @@ TEST(ExecutionEngine, ArenaDisabledWhileKeepingActivations) {
   Executor exec(g);
   exec.set_keep_activations(true);  // calibration mode: stable owned tensors
   exec.set_use_arena(true);
-  (void)exec.run_single(x);
+  (void)exec_single(exec, g, x);
   EXPECT_FALSE(exec.arena_stats().active);
   EXPECT_NO_THROW((void)exec.activation(g.node(g.topo_order()[1]).name));
 }
@@ -491,7 +520,7 @@ TEST(ExecutionEngine, SessionOutputOwnsItsMemory) {
 
   Tensor y;
   {
-    auto session = runtime::make_session(g, {.threads = 2});
+    auto session = runtime::make_session(g, with_threads(2));
     y = session->run_single(x);
   }
   EXPECT_FALSE(y.is_view());

@@ -11,10 +11,12 @@
 #include <string>
 #include <vector>
 
+#include "exec_single.hpp"
 #include "graph/package.hpp"
 #include "graph/zoo.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/session.hpp"
 #include "safety/hybrid.hpp"
 #include "safety/model_store.hpp"
 #include "safety/monitors.hpp"
@@ -157,14 +159,14 @@ TEST(Correction, PolicyMapping) {
 
 struct Deployment {
   Graph graph;
-  std::unique_ptr<Executor> exec;
+  std::unique_ptr<runtime::Session> exec;
 };
 
 Deployment deploy_micro(std::uint64_t seed = 7) {
   Deployment d{zoo::micro_mlp("m", 1, 16, {24, 16}, 4), nullptr};
   Rng rng(seed);
   d.graph.materialize_weights(rng);
-  d.exec = std::make_unique<Executor>(d.graph);
+  d.exec = runtime::make_session(d.graph);
   return d;
 }
 
@@ -196,7 +198,7 @@ TEST(Robustness, DetectsBitFlippedModel) {
   std::size_t detected = 0;
   for (int i = 0; i < 16; ++i) {
     const Tensor in = sample_input(static_cast<std::uint64_t>(i));
-    if (service.submit(in, faulty.run_single(in)) == CheckResult::kCheckedFaulty) ++detected;
+    if (service.submit(in, testutil::exec_single(faulty, d.graph, in)) == CheckResult::kCheckedFaulty) ++detected;
   }
   EXPECT_GT(detected, 0u);
 }
@@ -211,7 +213,7 @@ TEST(Robustness, DetectsZeroedChannel) {
   std::size_t detected = 0;
   for (int i = 0; i < 16; ++i) {
     const Tensor in = sample_input(static_cast<std::uint64_t>(i));
-    if (service.submit(in, faulty.run_single(in)) == CheckResult::kCheckedFaulty) ++detected;
+    if (service.submit(in, testutil::exec_single(faulty, d.graph, in)) == CheckResult::kCheckedFaulty) ++detected;
   }
   EXPECT_GT(detected, 0u);
 }
@@ -226,7 +228,7 @@ TEST(Robustness, DetectsScaledLayerAttack) {
   std::size_t detected = 0;
   for (int i = 0; i < 16; ++i) {
     const Tensor in = sample_input(static_cast<std::uint64_t>(i));
-    if (service.submit(in, faulty.run_single(in)) == CheckResult::kCheckedFaulty) ++detected;
+    if (service.submit(in, testutil::exec_single(faulty, d.graph, in)) == CheckResult::kCheckedFaulty) ++detected;
   }
   EXPECT_GT(detected, 0u);
 }
@@ -387,7 +389,7 @@ TEST(FaultInjector, ServiceFlagsEachFaultClass) {
     std::size_t hits = 0;
     for (int i = 0; i < 24; ++i) {
       const Tensor in = sample_input(static_cast<std::uint64_t>(1000 + i));
-      if (service.submit(in, faulty.run_single(in)) == CheckResult::kCheckedFaulty) ++hits;
+      if (service.submit(in, testutil::exec_single(faulty, d.graph, in)) == CheckResult::kCheckedFaulty) ++hits;
     }
     return hits;
   };
@@ -597,7 +599,7 @@ TEST(ModelStore, InstallAndMaterializeRoundTrip) {
   Graph fresh = store.materialize("kws");
   const Tensor in = probe_input();
   EXPECT_FLOAT_EQ(
-      max_abs_diff(d.exec->run_single(in), Executor(fresh).run_single(in)), 0.0f);
+      max_abs_diff(d.exec->run_single(in), testutil::exec_single(fresh, in)), 0.0f);
 }
 
 TEST(ModelStore, RepairRewritesOnlyTheHitTensors) {
@@ -615,7 +617,7 @@ TEST(ModelStore, RepairRewritesOnlyTheHitTensors) {
   EXPECT_TRUE(scrub.full_scan().empty());  // repaired bits re-match golden
   const Tensor in = probe_input();
   EXPECT_FLOAT_EQ(
-      max_abs_diff(d.exec->run_single(in), Executor(live).run_single(in)), 0.0f);
+      max_abs_diff(d.exec->run_single(in), testutil::exec_single(live, in)), 0.0f);
 }
 
 TEST(ModelStore, RestoreRewritesEveryTensor) {
@@ -654,7 +656,7 @@ TEST(ModelStore, PushCommitsVerifiedUpdate) {
 
   const Tensor in = probe_input();
   EXPECT_FLOAT_EQ(
-      max_abs_diff(Executor(v2).run_single(in), Executor(store.materialize("kws")).run_single(in)),
+      max_abs_diff(testutil::exec_single(v2, in), testutil::exec_single(store.materialize("kws"), in)),
       0.0f);
 }
 
@@ -711,7 +713,7 @@ TEST(ModelStore, RollbackRestoresPreviousVersion) {
 
   const Tensor in = probe_input();
   EXPECT_FLOAT_EQ(
-      max_abs_diff(d.exec->run_single(in), Executor(store.materialize("kws")).run_single(in)),
+      max_abs_diff(d.exec->run_single(in), testutil::exec_single(store.materialize("kws"), in)),
       0.0f);
 
   const auto again = store.rollback("kws");
@@ -872,7 +874,7 @@ TEST(Robustness, ReplaceGoldenRedefinesCorrectness) {
   }
   v2.touch();
   const Tensor in = sample_input(3);
-  const Tensor v2_out = Executor(v2).run_single(in);
+  const Tensor v2_out = testutil::exec_single(v2, in);
 
   EXPECT_EQ(service.submit(in, v2_out), CheckResult::kCheckedFaulty);
   service.replace_golden(v2);  // OTA moved the deployment to v2

@@ -252,7 +252,7 @@ Request req(double arrival_s, double budget_s, int priority = 0,
             const std::string& client = "c0") {
   Request r;
   r.client = client;
-  r.priority = priority;
+  r.priority_class = static_cast<PriorityClass>(priority);
   r.arrival_s = arrival_s;
   r.deadline_s = arrival_s + budget_s;
   return r;
