@@ -22,8 +22,10 @@ void print_artifact() {
     for (int batch : {1, 4, 8}) {
       Graph g = zoo::yolov4(batch);
       const auto e = hw::estimate(dev, g, dev.best_dtype);
+      std::string batch_label = "B";
+      batch_label += std::to_string(batch);
       t.add_row({dev.name, std::string(dtype_name(dev.best_dtype)),
-                 "B" + std::to_string(batch), fmt_fixed(e.achieved_gops, 0),
+                 batch_label, fmt_fixed(e.achieved_gops, 0),
                  fmt_fixed(e.power_w, 1), fmt_fixed(e.efficiency_gops_w, 1),
                  fmt_fixed(1e3 * e.latency_s / batch, 1),
                  e.bound == hw::Bound::kCompute ? "compute" : "memory"});

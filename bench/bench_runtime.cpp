@@ -11,10 +11,12 @@
 #include "bench_common.hpp"
 #include "graph/cost.hpp"
 #include "graph/zoo.hpp"
+#include "hw/roofline.hpp"
 #include "opt/fusion.hpp"
 #include "opt/quantize.hpp"
 #include "runtime/memory_planner.hpp"
 #include "runtime/session.hpp"
+#include "util/cpu.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -25,11 +27,17 @@ namespace {
 
 /// One configuration of the ResNet-50 execution-engine sweep.
 struct SweepPoint {
+  std::string dtype = "f32";     ///< "f32" | "int8"
   std::int64_t batch = 1;
-  unsigned threads = 1;
   bool gemm = true;
-  double seconds = 0;   ///< median wall-clock of the timed runs
-  double speedup = 1;   ///< vs the serial seed path (direct conv, 1 thread)
+  std::string simd = "portable"; ///< resolved dispatch level of the point
+  unsigned threads = 1;
+  bool measured = true;          ///< false: threads exceed this host's cores
+  double seconds = 0;            ///< median wall-clock of the timed runs
+  double speedup_vs_seed = 1;    ///< vs the serial seed path (direct conv, 1 thread)
+  double speedup_vs_portable = 1;///< vs gemm+portable t1, same dtype and batch
+  double achieved = 0;           ///< GFLOP/s (f32) or int8 GOP/s, end-to-end
+  double roof_fraction = 0;      ///< achieved / (per-thread roof * usable threads)
 };
 
 double median_run_seconds(runtime::Session& session, const std::string& feed,
@@ -46,18 +54,51 @@ double median_run_seconds(runtime::Session& session, const std::string& feed,
   return times[times.size() / 2];
 }
 
-/// ResNet-50 engine sweep (batch x threads x conv algorithm). Writes the
-/// machine-readable baseline to $VEDLIOT_BENCH_RUNTIME_JSON when set — the
-/// file checked in as BENCH_runtime.json.
+/// ResNet-50 engine sweep (dtype x batch x dispatch level x threads) against
+/// the measured host roofline. Writes the machine-readable baseline to
+/// $VEDLIOT_BENCH_RUNTIME_JSON when set — the file checked in as
+/// BENCH_runtime.json.
 void engine_sweep() {
   constexpr std::int64_t kImage = 64;  // full 224 is impractical for the direct baseline
   constexpr int kRepeats = 3;
+  const unsigned hw_threads = util::ThreadPool::hardware_threads();
 
-  std::printf("\nExecution engine: ResNet-50 (image %lld), direct-serial seed vs GEMM+threads:\n\n",
-              static_cast<long long>(kImage));
-  Table t({"batch", "conv", "threads", "median run", "speedup vs seed"});
+  // Per-thread compute roofs of this host at both dispatch levels; a
+  // portable run must be judged against the portable roof.
+  const hw::HostRoofline roof_portable =
+      hw::measure_host_roofline(util::SimdLevel::kPortable);
+  const hw::HostRoofline roof_simd = hw::measure_host_roofline(util::SimdLevel::kAuto);
+  const auto roof_for = [&](const std::string& dtype, const std::string& simd,
+                            unsigned threads) {
+    const hw::HostRoofline& r =
+        simd == util::simd_level_name(util::SimdLevel::kPortable) ? roof_portable
+                                                                  : roof_simd;
+    const double per_thread = dtype == "f32" ? r.f32_gflops : r.s8_gops;
+    return per_thread * static_cast<double>(std::min(threads, hw_threads));
+  };
 
+  std::printf(
+      "\nExecution engine: ResNet-50 (image %lld), seed vs GEMM x dispatch x threads:\n\n",
+      static_cast<long long>(kImage));
+  Table t({"dtype", "batch", "conv", "simd", "threads", "median run", "vs seed",
+           "vs portable", "GF/s", "roofline"});
   std::vector<SweepPoint> points;
+
+  const auto add_row = [&](const SweepPoint& p) {
+    t.add_row({p.dtype, std::to_string(p.batch), p.gemm ? "gemm" : "direct", p.simd,
+               std::to_string(p.threads),
+               p.measured ? fmt_fixed(p.seconds * 1e3, 1) + " ms" : "unmeasured",
+               p.measured ? fmt_ratio(p.speedup_vs_seed) : "-",
+               p.measured ? fmt_ratio(p.speedup_vs_portable) : "-",
+               p.measured ? fmt_fixed(p.achieved, 2) : "-",
+               p.measured ? fmt_fixed(p.roof_fraction * 100.0, 1) + "%" : "-"});
+    points.push_back(p);
+  };
+
+  const std::string portable_name{util::simd_level_name(util::SimdLevel::kPortable)};
+  const std::string simd_name{
+      util::simd_level_name(util::resolve_simd_level(util::SimdLevel::kAuto))};
+
   for (std::int64_t batch : {std::int64_t{1}, std::int64_t{8}}) {
     Graph g = zoo::resnet50(batch, 10, kImage);
     Rng rng(7);
@@ -66,30 +107,117 @@ void engine_sweep() {
     Rng data_rng(8);
     Tensor x(Shape{batch, 3, kImage, kImage},
              data_rng.normal_vector(static_cast<std::size_t>(batch * 3 * kImage * kImage)));
+    const double f32_flops = 2.0 * static_cast<double>(graph_cost(g).macs);
 
-    // Seed baseline: the pre-engine executor semantics (direct conv, serial).
-    SweepPoint base{batch, 1, false};
+    // Seed baseline: the pre-engine executor semantics (direct conv, serial,
+    // scalar kernels — the microkernels only back the GEMM paths).
+    SweepPoint base{"f32", batch, false, portable_name, 1};
     {
-      auto s = runtime::make_session(g, {.exec = {.threads = 1}, .use_gemm_conv = false});
+      runtime::RunOptions o;
+      o.exec.threads = 1;
+      o.exec.simd = util::SimdLevel::kPortable;
+      o.use_gemm_conv = false;
+      auto s = runtime::make_session(g, o);
       base.seconds = median_run_seconds(*s, feed, x, kRepeats);
     }
-    points.push_back(base);
-    t.add_row({std::to_string(batch), "direct", "1", fmt_fixed(base.seconds * 1e3, 1) + " ms",
-               fmt_ratio(1.0)});
+    base.achieved = f32_flops / base.seconds / 1e9;
+    base.roof_fraction = base.achieved / roof_for("f32", base.simd, 1);
+    add_row(base);
+
+    // GEMM at portable dispatch: the pre-microkernel engine (PR 3 semantics).
+    SweepPoint f32_portable{"f32", batch, true, portable_name, 1};
+    {
+      runtime::RunOptions o;
+      o.exec.threads = 1;
+      o.exec.simd = util::SimdLevel::kPortable;
+      o.use_gemm_conv = true;
+      auto s = runtime::make_session(g, o);
+      f32_portable.seconds = median_run_seconds(*s, feed, x, kRepeats);
+    }
+    f32_portable.speedup_vs_seed = base.seconds / f32_portable.seconds;
+    f32_portable.achieved = f32_flops / f32_portable.seconds / 1e9;
+    f32_portable.roof_fraction =
+        f32_portable.achieved / roof_for("f32", portable_name, 1);
+    add_row(f32_portable);
 
     for (unsigned threads : {1u, 2u, 4u}) {
-      SweepPoint p{batch, threads, true};
-      auto s = runtime::make_session(g, {.exec = {.threads = threads}, .use_gemm_conv = true});
+      SweepPoint p{"f32", batch, true, simd_name, threads};
+      if (threads > hw_threads) {
+        // A point this host cannot time honestly: more workers than cores
+        // just interleave on one core. Record it as unmeasured rather than
+        // publishing a fake scaling number.
+        p.measured = false;
+        add_row(p);
+        continue;
+      }
+      runtime::RunOptions o;
+      o.exec.threads = threads;
+      o.use_gemm_conv = true;
+      auto s = runtime::make_session(g, o);
       p.seconds = median_run_seconds(*s, feed, x, kRepeats);
-      p.speedup = base.seconds / p.seconds;
-      points.push_back(p);
-      t.add_row({std::to_string(batch), "gemm", std::to_string(threads),
-                 fmt_fixed(p.seconds * 1e3, 1) + " ms", fmt_ratio(p.speedup)});
+      p.speedup_vs_seed = base.seconds / p.seconds;
+      p.speedup_vs_portable = f32_portable.seconds / p.seconds;
+      p.achieved = f32_flops / p.seconds / 1e9;
+      p.roof_fraction = p.achieved / roof_for("f32", p.simd, threads);
+      add_row(p);
+    }
+
+    // INT8 deployment path: BN folded, activations fused and calibrated,
+    // true-integer kernels. Same model and input, so "vs seed" is the
+    // end-to-end latency win of quantized+SIMD over the seed executor.
+    Graph q = zoo::resnet50(batch, 10, kImage);
+    Rng qrng(7);
+    q.materialize_weights(qrng);
+    opt::FuseBatchNormPass bn;
+    bn.run(q);
+    opt::FuseActivationPass act;
+    act.run(q);
+    std::vector<Tensor> calib;
+    Rng calib_rng(9);
+    for (int i = 0; i < 2; ++i) {
+      calib.emplace_back(Shape{batch, 3, kImage, kImage},
+                         calib_rng.normal_vector(
+                             static_cast<std::size_t>(batch * 3 * kImage * kImage)));
+    }
+    opt::calibrate_activations(q, calib, Calibration::kMinMax);
+    const double s8_ops = 2.0 * static_cast<double>(graph_cost(q).macs);
+
+    SweepPoint s8_portable{"int8", batch, true, portable_name, 1};
+    {
+      runtime::RunOptions o;
+      o.exec.threads = 1;
+      o.exec.simd = util::SimdLevel::kPortable;
+      auto s = runtime::make_quantized_session(q, o);
+      s8_portable.seconds = median_run_seconds(*s, feed, x, kRepeats);
+    }
+    s8_portable.speedup_vs_seed = base.seconds / s8_portable.seconds;
+    s8_portable.achieved = s8_ops / s8_portable.seconds / 1e9;
+    s8_portable.roof_fraction =
+        s8_portable.achieved / roof_for("int8", portable_name, 1);
+    add_row(s8_portable);
+
+    for (unsigned threads : {1u, 2u, 4u}) {
+      SweepPoint p{"int8", batch, true, simd_name, threads};
+      if (threads > hw_threads) {
+        p.measured = false;
+        add_row(p);
+        continue;
+      }
+      runtime::RunOptions o;
+      o.exec.threads = threads;
+      auto s = runtime::make_quantized_session(q, o);
+      p.seconds = median_run_seconds(*s, feed, x, kRepeats);
+      p.speedup_vs_seed = base.seconds / p.seconds;
+      p.speedup_vs_portable = s8_portable.seconds / p.seconds;
+      p.achieved = s8_ops / p.seconds / 1e9;
+      p.roof_fraction = p.achieved / roof_for("int8", p.simd, threads);
+      add_row(p);
     }
   }
   t.print(std::cout);
-  bench::note("speedups on a single-core host come from the GEMM restructuring;");
-  bench::note("thread scaling needs hardware_concurrency > 1 (recorded in the JSON).");
+  bench::note("GF/s is end-to-end model flops (int8: integer ops) over wall-clock;");
+  bench::note("roofline is the measured per-level register-FMA roof of this host;");
+  bench::note("thread points beyond hardware_concurrency are recorded unmeasured.");
 
   if (const char* path = std::getenv("VEDLIOT_BENCH_RUNTIME_JSON")) {
     std::FILE* f = std::fopen(path, "w");
@@ -100,17 +228,42 @@ void engine_sweep() {
     std::fprintf(f, "{\n  \"bench\": \"bench_runtime\",\n  \"model\": \"resnet50\",\n");
     std::fprintf(f, "  \"image\": %lld,\n  \"repeats\": %d,\n", static_cast<long long>(kImage),
                  kRepeats);
-    std::fprintf(f, "  \"hardware_concurrency\": %u,\n", util::ThreadPool::hardware_threads());
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw_threads);
     std::fprintf(f, "  \"baseline\": \"direct conv, threads=1 (seed executor semantics)\",\n");
+    std::fprintf(f,
+                 "  \"roofline\": {\"portable_f32_gflops\": %s, \"portable_s8_gops\": %s, "
+                 "\"%s_f32_gflops\": %s, \"%s_s8_gops\": %s},\n",
+                 obs::json_number(roof_portable.f32_gflops).c_str(),
+                 obs::json_number(roof_portable.s8_gops).c_str(), simd_name.c_str(),
+                 obs::json_number(roof_simd.f32_gflops).c_str(), simd_name.c_str(),
+                 obs::json_number(roof_simd.s8_gops).c_str());
     std::fprintf(f, "  \"points\": [\n");
     for (std::size_t i = 0; i < points.size(); ++i) {
       const SweepPoint& p = points[i];
-      std::fprintf(f,
-                   "    {\"batch\": %lld, \"conv\": \"%s\", \"threads\": %u, "
-                   "\"median_seconds\": %s, \"speedup_vs_seed\": %s}%s\n",
-                   static_cast<long long>(p.batch), p.gemm ? "gemm" : "direct", p.threads,
-                   obs::json_number(p.seconds).c_str(), obs::json_number(p.speedup).c_str(),
-                   i + 1 < points.size() ? "," : "");
+      if (p.measured) {
+        std::fprintf(f,
+                     "    {\"dtype\": \"%s\", \"batch\": %lld, \"conv\": \"%s\", "
+                     "\"simd\": \"%s\", \"threads\": %u, \"hardware_concurrency\": %u, "
+                     "\"unmeasured\": false, \"median_seconds\": %s, "
+                     "\"achieved_gflops\": %s, \"fraction_of_roofline\": %s, "
+                     "\"speedup_vs_seed\": %s, \"speedup_vs_portable\": %s}%s\n",
+                     p.dtype.c_str(), static_cast<long long>(p.batch),
+                     p.gemm ? "gemm" : "direct", p.simd.c_str(), p.threads, hw_threads,
+                     obs::json_number(p.seconds).c_str(),
+                     obs::json_number(p.achieved).c_str(),
+                     obs::json_number(p.roof_fraction).c_str(),
+                     obs::json_number(p.speedup_vs_seed).c_str(),
+                     obs::json_number(p.speedup_vs_portable).c_str(),
+                     i + 1 < points.size() ? "," : "");
+      } else {
+        std::fprintf(f,
+                     "    {\"dtype\": \"%s\", \"batch\": %lld, \"conv\": \"%s\", "
+                     "\"simd\": \"%s\", \"threads\": %u, \"hardware_concurrency\": %u, "
+                     "\"unmeasured\": true, \"median_seconds\": null}%s\n",
+                     p.dtype.c_str(), static_cast<long long>(p.batch),
+                     p.gemm ? "gemm" : "direct", p.simd.c_str(), p.threads, hw_threads,
+                     i + 1 < points.size() ? "," : "");
+      }
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

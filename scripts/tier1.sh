@@ -18,6 +18,20 @@ cmake --build build "${JOBS}" > /dev/null
 ctest --test-dir build --output-on-failure "${JOBS}"
 
 echo
+echo "== tier-1: kernel suite with SIMD force-disabled (portable dispatch) =="
+VEDLIOT_FORCE_PORTABLE=1 ctest --test-dir build --output-on-failure "${JOBS}" \
+  -R 'test_microkernel|test_runtime|test_qruntime'
+
+echo
+echo "== tier-1: bench baseline carries the roofline fields =="
+for field in achieved_gflops fraction_of_roofline hardware_concurrency; do
+  grep -q "\"$field\"" BENCH_runtime.json || {
+    echo "BENCH_runtime.json is missing \"$field\" (regenerate with scripts/bench_runtime.sh)" >&2
+    exit 1
+  }
+done
+
+echo
 echo "== tier-1: static analysis (vedliot-lint) =="
 build/src/apps/vedliot-lint --selftest
 build/src/apps/vedliot-lint --zoo resnet50 --save build/resnet50.vmdl > /dev/null
@@ -39,16 +53,16 @@ scripts/soak_integrity.sh --quick > /dev/null
 echo
 echo "== tier-1: ASan+UBSan on the resilience/platform/observability/runtime/analysis/serve/safety tests =="
 cmake -B build-asan -S . -DVEDLIOT_SANITIZE=ON > /dev/null
-cmake --build build-asan "${JOBS}" --target test_resilience test_platform test_distributed test_util test_obs test_runtime test_qruntime test_analysis test_serve test_fleet test_safety test_package > /dev/null
+cmake --build build-asan "${JOBS}" --target test_resilience test_platform test_distributed test_util test_obs test_runtime test_qruntime test_microkernel test_analysis test_serve test_fleet test_safety test_package > /dev/null
 ctest --test-dir build-asan --output-on-failure "${JOBS}" \
-  -R 'test_resilience|test_platform|test_distributed|test_util|test_obs|test_runtime|test_qruntime|test_analysis|test_serve|test_fleet|test_safety|test_package'
+  -R 'test_resilience|test_platform|test_distributed|test_util|test_obs|test_runtime|test_qruntime|test_microkernel|test_analysis|test_serve|test_fleet|test_safety|test_package'
 
 echo
 echo "== tier-1: TSan on the parallel execution-engine + serve tests =="
 cmake -B build-tsan -S . -DVEDLIOT_TSAN=ON > /dev/null
-cmake --build build-tsan "${JOBS}" --target test_util test_runtime test_qruntime test_serve test_fleet > /dev/null
+cmake --build build-tsan "${JOBS}" --target test_util test_runtime test_qruntime test_microkernel test_serve test_fleet > /dev/null
 ctest --test-dir build-tsan --output-on-failure "${JOBS}" \
-  -R 'test_util|test_runtime|test_qruntime|test_serve|test_fleet'
+  -R 'test_util|test_runtime|test_qruntime|test_microkernel|test_serve|test_fleet'
 
 echo
 echo "tier-1 OK"

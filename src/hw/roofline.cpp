@@ -1,0 +1,20 @@
+#include "hw/roofline.hpp"
+
+#include "runtime/microkernel.hpp"
+
+namespace vedliot::hw {
+
+HostRoofline measure_host_roofline(util::SimdLevel requested, double min_seconds) {
+  HostRoofline r;
+  r.level = util::resolve_simd_level(requested);
+  r.f32_gflops = runtime_kernels::peak_probe_f32(r.level, min_seconds);
+  r.s8_gops = runtime_kernels::peak_probe_s8(r.level, min_seconds);
+  return r;
+}
+
+double fraction_of_roofline(double achieved, double roof) {
+  if (roof <= 0) return 0;
+  return achieved > 0 ? achieved / roof : 0;
+}
+
+}  // namespace vedliot::hw

@@ -1,0 +1,35 @@
+#pragma once
+/// \file roofline.hpp
+/// \brief Measured compute roof of the bench host, per dispatch level.
+///
+/// The device catalog (device.hpp) quotes *vendor* peaks for the VEDLIoT
+/// hardware classes; the runtime bench needs the roof of the machine it is
+/// actually running on, at the dispatch level the kernels actually execute
+/// — a portable-scalar run must not be judged against an AVX2 roof. The
+/// microkernel peak probes (runtime/microkernel.hpp) time a
+/// register-resident FMA / madd chain, i.e. the same instruction mix as the
+/// GEMM inner loop with all memory traffic removed, which makes
+/// "fraction of roofline" a like-for-like utilization number in the sense
+/// of the perf_model compute roof.
+
+#include "util/cpu.hpp"
+
+namespace vedliot::hw {
+
+/// One-thread compute roofs measured on this host.
+struct HostRoofline {
+  util::SimdLevel level = util::SimdLevel::kPortable;  ///< resolved level probed
+  double f32_gflops = 0;  ///< f32 multiply-add roof (2 flops per FMA)
+  double s8_gops = 0;     ///< int8-path int32 MAC roof (2 ops per MAC)
+};
+
+/// Probe the host at the resolved form of \p requested (env overrides and
+/// CPU features applied, as resolve_simd_level). \p min_seconds is the
+/// minimum timed interval per probe; 0.05 s keeps clock noise under ~1%.
+HostRoofline measure_host_roofline(util::SimdLevel requested = util::SimdLevel::kAuto,
+                                   double min_seconds = 0.05);
+
+/// Achieved / roof, clamped below at 0; returns 0 when the roof is unknown.
+double fraction_of_roofline(double achieved, double roof);
+
+}  // namespace vedliot::hw

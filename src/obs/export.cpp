@@ -103,12 +103,19 @@ std::string chrome_trace_json(std::span<const Span> spans, int pid, int tid) {
       for (const auto& [k, v] : s.attrs) {
         if (!first_arg) out += ",";
         first_arg = false;
-        out += "\"" + json_escape(k) + "\":\"" + json_escape(v) + "\"";
+        out += "\"";
+        out += json_escape(k);
+        out += "\":\"";
+        out += json_escape(v);
+        out += "\"";
       }
       for (const auto& [k, v] : s.num_attrs) {
         if (!first_arg) out += ",";
         first_arg = false;
-        out += "\"" + json_escape(k) + "\":" + json_number(v);
+        out += "\"";
+        out += json_escape(k);
+        out += "\":";
+        out += json_number(v);
       }
       out += "}";
     }

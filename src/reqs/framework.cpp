@@ -148,7 +148,13 @@ std::string ArchitecturalFramework::to_markdown() const {
       for (const auto& v : views_) {
         if (v.concern == static_cast<Concern>(c) && v.level == static_cast<Level>(l)) ++count;
       }
-      out += count ? " " + std::to_string(count) + " |" : " — |";
+      if (count) {
+        out += " ";
+        out += std::to_string(count);
+        out += " |";
+      } else {
+        out += " — |";
+      }
     }
     out += "\n";
   }

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/cpu.hpp"
+
 namespace vedliot::runtime {
 
 /// Execution-resource knobs for one deployed model instance.
@@ -27,15 +29,32 @@ struct ExecConfig {
   /// concurrency. Output bits never depend on this value.
   unsigned threads = 1;
 
+  /// Kernel dispatch level request (util::resolve_simd_level applies the
+  /// VEDLIOT_FORCE_PORTABLE / VEDLIOT_SIMD env overrides and availability
+  /// on top). kAuto picks the best level the host supports; kPortable pins
+  /// the scalar reference kernels — the testable fallback the dispatch
+  /// layer must always keep selectable.
+  util::SimdLevel simd = util::SimdLevel::kAuto;
+
+  /// Inter-op parallelism: independent graph branches (dataflow waves) run
+  /// concurrently across this many threads when > 1. Intra-op threading is
+  /// suspended inside a parallel wave, and output bits never depend on this
+  /// value. Float backend only; the int8 backend ignores it.
+  unsigned inter_op = 1;
+
   bool operator==(const ExecConfig& other) const {
-    return max_batch == other.max_batch && threads == other.threads;
+    return max_batch == other.max_batch && threads == other.threads && simd == other.simd &&
+           inter_op == other.inter_op;
   }
   bool operator!=(const ExecConfig& other) const { return !(*this == other); }
 
-  /// "ExecConfig{max_batch=4, threads=2}" for logs and violation messages.
+  /// "ExecConfig{max_batch=4, threads=2, simd=auto, inter_op=1}" for logs
+  /// and violation messages.
   std::string to_string() const {
     return "ExecConfig{max_batch=" + std::to_string(max_batch) +
-           ", threads=" + std::to_string(threads) + "}";
+           ", threads=" + std::to_string(threads) +
+           ", simd=" + std::string(util::simd_level_name(simd)) +
+           ", inter_op=" + std::to_string(inter_op) + "}";
   }
 };
 

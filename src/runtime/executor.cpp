@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "analysis/dataflow.hpp"
 #include "runtime/instrument.hpp"
 #include "runtime/memory_planner.hpp"
 
@@ -78,9 +79,18 @@ void Executor::set_threads(unsigned threads) {
   pool_ = threads_ > 1 ? std::make_unique<util::ThreadPool>(threads_) : nullptr;
 }
 
+void Executor::set_inter_op(unsigned inter_op) {
+  if (inter_op == 0) inter_op = util::ThreadPool::hardware_threads();
+  if (inter_op == inter_op_) return;
+  inter_op_ = inter_op;
+  wave_pool_ = inter_op_ > 1 ? std::make_unique<util::ThreadPool>(inter_op_) : nullptr;
+}
+
 void Executor::pfor(std::int64_t begin, std::int64_t end, std::int64_t grain,
                     const util::ThreadPool::ChunkFn& fn) {
-  if (pool_ == nullptr) {
+  // Inside a parallel wave the intra-op pool is unavailable (the pool does
+  // not nest); each wave node runs its kernels inline.
+  if (pool_ == nullptr || in_wave_) {
     if (end > begin) fn(begin, end, 0);
     return;
   }
@@ -115,12 +125,117 @@ Tensor Executor::alloc_output(const Node& n) {
   return Tensor(n.out_shape);
 }
 
+void Executor::feed_input(const Node& n, const std::map<std::string, Tensor>& feeds) {
+  auto it = feeds.find(n.name);
+  if (it == feeds.end()) throw ExecError("missing feed for input '" + n.name + "'");
+  if (it->second.shape() != n.out_shape) {
+    throw ExecError("feed shape mismatch for '" + n.name + "': expected " +
+                    n.out_shape.to_string() + " got " + it->second.shape().to_string());
+  }
+  values_[n.id] = it->second;
+}
+
+void Executor::exec_node_serial(const Node& n) {
+  std::vector<const Tensor*> ins;
+  ins.reserve(n.inputs.size());
+  for (NodeId in : n.inputs) ins.push_back(&values_.at(in));
+
+  obs::ScopedSpan node_span;
+  if (tracer_ != nullptr) {
+    node_span = tracer_->span(n.name, std::string(op_name(n.kind)));
+  }
+  const NodePlan& plan = plans_[static_cast<std::size_t>(n.id)];
+  Tensor out = alloc_output(n);
+  const bool timed = profiling_ || metrics_ != nullptr;
+  if (timed) {
+    const auto t0 = std::chrono::steady_clock::now();
+    execute_node(n, plan, ins, out);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (profiling_) {
+      auto& entry = profile_[n.kind];
+      ++entry.invocations;
+      entry.total_seconds += seconds;
+    }
+    if (metrics_ != nullptr) {
+      runtime_detail::op_histogram(*metrics_, n.kind).add(seconds * 1e6);
+    }
+  } else {
+    execute_node(n, plan, ins, out);
+  }
+  values_[n.id] = std::move(out);
+  if (tracer_ != nullptr) {
+    node_span.attr("out_elems", static_cast<double>(n.out_shape.numel()));
+    node_span.close();
+  }
+  ++nodes_executed_;
+}
+
+void Executor::run_waves(const std::map<std::string, Tensor>& feeds) {
+  if (!waves_computed_ || waves_version_ != graph_.version()) {
+    waves_ = analysis::Dataflow::compute(graph_).waves();
+    waves_version_ = graph_.version();
+    waves_computed_ = true;
+  }
+  for (const auto& wave : waves_) {
+    std::vector<NodeId> work;
+    work.reserve(wave.size());
+    for (NodeId id : wave) {
+      const Node& n = graph_.node(id);
+      if (n.kind == OpKind::kInput) {
+        feed_input(n, feeds);
+      } else {
+        work.push_back(id);
+      }
+    }
+    if (work.empty()) continue;
+    if (work.size() == 1 || wave_pool_ == nullptr) {
+      // A single-node wave keeps the full serial path (spans, profiling,
+      // intra-op threading) — most of a deep chain executes here.
+      for (NodeId id : work) exec_node_serial(graph_.node(id));
+      continue;
+    }
+    // Parallel wave: pre-insert every output on this thread (the values_
+    // map must not be mutated concurrently), then execute the nodes over
+    // the wave pool. Each node runs fully serially inside (pfor inlines),
+    // computes exactly what its serial execution computes, and writes only
+    // its own pre-allocated tensor — so bits match the serial schedule.
+    for (NodeId id : work) values_[id] = Tensor(graph_.node(id).out_shape);
+    in_wave_ = true;
+    try {
+      wave_pool_->parallel_for(
+          0, static_cast<std::int64_t>(work.size()), 1,
+          [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+            for (std::int64_t i = lo; i < hi; ++i) {
+              const Node& n = graph_.node(work[static_cast<std::size_t>(i)]);
+              std::vector<const Tensor*> ins;
+              ins.reserve(n.inputs.size());
+              for (NodeId in : n.inputs) ins.push_back(&values_.at(in));
+              execute_node(n, plans_[static_cast<std::size_t>(n.id)], ins, values_.at(n.id));
+            }
+          });
+    } catch (...) {
+      in_wave_ = false;
+      throw;
+    }
+    in_wave_ = false;
+    nodes_executed_ += work.size();
+  }
+}
+
 std::map<std::string, Tensor> Executor::run(const std::map<std::string, Tensor>& feeds) {
   values_.clear();
   nodes_executed_ = 0;
   gemm_flops_ = 0;
   gemm_seconds_ = 0;
-  arena_stats_.active = use_arena_ && !keep_activations_;
+  // Dispatch level resolved per run (env overrides are live) — the whole
+  // run executes at one level.
+  active_simd_ = util::resolve_simd_level(simd_req_);
+  mk_ = use_gemm_ ? runtime_kernels::gemm_microkernels(active_simd_) : nullptr;
+  const bool wave_mode = inter_op_ > 1;
+  // The arena's liveness plan assumes the serial topological schedule; a
+  // concurrent wave would alias buffers the plan considers dead.
+  arena_stats_.active = use_arena_ && !keep_activations_ && !wave_mode;
   if (arena_stats_.active) prepare_arena();
 
   obs::ScopedSpan run_span;
@@ -129,53 +244,20 @@ std::map<std::string, Tensor> Executor::run(const std::map<std::string, Tensor>&
     run_span.attr("graph", graph_.name());
     run_span.attr("backend", "float-reference");
     run_span.attr("threads", static_cast<double>(threads_));
+    run_span.attr("simd", std::string(util::simd_level_name(active_simd_)));
   }
 
-  for (NodeId id : graph_.topo_order()) {
-    const Node& n = graph_.node(id);
-    if (n.kind == OpKind::kInput) {
-      auto it = feeds.find(n.name);
-      if (it == feeds.end()) throw ExecError("missing feed for input '" + n.name + "'");
-      if (it->second.shape() != n.out_shape) {
-        throw ExecError("feed shape mismatch for '" + n.name + "': expected " +
-                        n.out_shape.to_string() + " got " + it->second.shape().to_string());
+  if (wave_mode) {
+    run_waves(feeds);
+  } else {
+    for (NodeId id : graph_.topo_order()) {
+      const Node& n = graph_.node(id);
+      if (n.kind == OpKind::kInput) {
+        feed_input(n, feeds);
+        continue;
       }
-      values_[id] = it->second;
-      continue;
+      exec_node_serial(n);
     }
-    std::vector<const Tensor*> ins;
-    ins.reserve(n.inputs.size());
-    for (NodeId in : n.inputs) ins.push_back(&values_.at(in));
-
-    obs::ScopedSpan node_span;
-    if (tracer_ != nullptr) {
-      node_span = tracer_->span(n.name, std::string(op_name(n.kind)));
-    }
-    const NodePlan& plan = plans_[static_cast<std::size_t>(id)];
-    Tensor out = alloc_output(n);
-    const bool timed = profiling_ || metrics_ != nullptr;
-    if (timed) {
-      const auto t0 = std::chrono::steady_clock::now();
-      execute_node(n, plan, ins, out);
-      const auto t1 = std::chrono::steady_clock::now();
-      const double seconds = std::chrono::duration<double>(t1 - t0).count();
-      if (profiling_) {
-        auto& entry = profile_[n.kind];
-        ++entry.invocations;
-        entry.total_seconds += seconds;
-      }
-      if (metrics_ != nullptr) {
-        runtime_detail::op_histogram(*metrics_, n.kind).add(seconds * 1e6);
-      }
-    } else {
-      execute_node(n, plan, ins, out);
-    }
-    values_[id] = std::move(out);
-    if (tracer_ != nullptr) {
-      node_span.attr("out_elems", static_cast<double>(n.out_shape.numel()));
-      node_span.close();
-    }
-    ++nodes_executed_;
   }
 
   std::map<std::string, Tensor> outs;
@@ -222,7 +304,14 @@ const Tensor& Executor::activation(const std::string& node_name) const {
   throw NotFound("no recorded activation for node " + node_name);
 }
 
+void Executor::record_gemm(double seconds, double flops) {
+  std::lock_guard<std::mutex> lock(gemm_stats_mutex_);
+  gemm_seconds_ += seconds;
+  gemm_flops_ += flops;
+}
+
 void Executor::conv2d_gemm(const Node& n, const NodePlan& plan, const Tensor& in, Tensor& out) {
+  using namespace runtime_kernels;
   const Conv2dGeometry& geo = plan.conv;
   const float* x = in.data().data();
   const float* w = n.weights[0].data().data();
@@ -231,37 +320,76 @@ void Executor::conv2d_gemm(const Node& n, const NodePlan& plan, const Tensor& in
   const auto t0 = std::chrono::steady_clock::now();
 
   if (geo.depthwise()) {
+    // Direct at every dispatch level: the k*k dot per pixel has no GEMM
+    // shape, so portable and SIMD runs share these exact bits.
     for (std::int64_t b = 0; b < geo.batch; ++b) {
       pfor(0, geo.out_c, 1, [&](std::int64_t lo, std::int64_t hi, std::size_t) {
-        runtime_kernels::depthwise_f32(x, w, bias, y, geo, b, lo, hi, plan.fused_act,
-                                       plan.fused_alpha);
+        depthwise_f32(x, w, bias, y, geo, b, lo, hi, plan.fused_act, plan.fused_alpha);
       });
     }
   } else {
     const std::int64_t patch = geo.patch();
     const std::int64_t cols = geo.cols();
+    // In a parallel wave the shared scratch buffers would race across
+    // concurrently executing conv nodes; fall back to node-local storage.
+    std::vector<float> local_col, local_pb;
+    std::vector<float>& colbuf = in_wave_ ? local_col : scratch_;
     const std::size_t need = static_cast<std::size_t>(patch * cols);
-    if (scratch_.size() < need) scratch_.resize(need);
-    float* col = scratch_.data();
-    for (std::int64_t b = 0; b < geo.batch; ++b) {
-      for (std::int64_t g = 0; g < geo.groups; ++g) {
-        pfor(0, patch, 4, [&](std::int64_t lo, std::int64_t hi, std::size_t) {
-          runtime_kernels::im2col_f32(x, geo, b, g, lo, hi, col);
-        });
-        const float* a = w + g * geo.ocg() * patch;
-        const float* gbias = bias != nullptr ? bias + g * geo.ocg() : nullptr;
-        float* c = y + ((b * geo.out_c + g * geo.ocg()) * cols);
-        pfor(0, geo.ocg(), 1, [&](std::int64_t lo, std::int64_t hi, std::size_t) {
-          runtime_kernels::gemm_rows_f32(a, col, c, lo, hi, cols, patch, gbias,
-                                         plan.fused_act, plan.fused_alpha);
-        });
+    if (colbuf.size() < need) colbuf.resize(need);
+    float* col = colbuf.data();
+
+    const GemmMicrokernels* mk =
+        (mk_ != nullptr && mk_->gemm_f32 != nullptr && mk_->f32.available()) ? mk_ : nullptr;
+    const std::int64_t m = geo.ocg();
+    if (mk != nullptr) {
+      std::vector<float>& pbbuf = in_wave_ ? local_pb : packed_b_;
+      const std::size_t pb_need = packed_b_f32_elems(patch, cols, mk->f32);
+      if (pbbuf.size() < pb_need) pbbuf.resize(pb_need);
+      const std::int64_t b_panels = panel_count(cols, mk->f32.nr);
+      const std::int64_t a_panels = panel_count(m, mk->f32.mr);
+      for (std::int64_t b = 0; b < geo.batch; ++b) {
+        for (std::int64_t g = 0; g < geo.groups; ++g) {
+          pfor(0, patch, 4, [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+            im2col_f32(x, geo, b, g, lo, hi, col);
+          });
+          pfor(0, b_panels, 1, [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+            pack_b_f32(col, patch, cols, mk->f32, lo, hi, pbbuf.data());
+          });
+          const float* a = w + g * m * patch;
+          const std::vector<float>& pa =
+              packed_.get_f32(n.id, g, graph_.version(), mk->f32, [&](std::vector<float>& v) {
+                v.resize(packed_a_f32_elems(m, patch, mk->f32));
+                pack_a_f32(a, m, patch, mk->f32, v.data());
+              });
+          const float* gbias = bias != nullptr ? bias + g * m : nullptr;
+          float* c = y + ((b * geo.out_c + g * m) * cols);
+          pfor(0, a_panels, 1, [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+            mk->gemm_f32(pa.data(), pbbuf.data(), c, m, cols, patch, cols,
+                         /*col_major_store=*/false, lo, hi, gbias, plan.fused_act,
+                         plan.fused_alpha);
+          });
+        }
+      }
+    } else {
+      for (std::int64_t b = 0; b < geo.batch; ++b) {
+        for (std::int64_t g = 0; g < geo.groups; ++g) {
+          pfor(0, patch, 4, [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+            im2col_f32(x, geo, b, g, lo, hi, col);
+          });
+          const float* a = w + g * m * patch;
+          const float* gbias = bias != nullptr ? bias + g * m : nullptr;
+          float* c = y + ((b * geo.out_c + g * m) * cols);
+          pfor(0, m, 1, [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+            gemm_rows_f32(a, col, c, lo, hi, cols, patch, gbias, plan.fused_act,
+                          plan.fused_alpha);
+          });
+        }
       }
     }
   }
 
   const auto t1 = std::chrono::steady_clock::now();
-  gemm_seconds_ += std::chrono::duration<double>(t1 - t0).count();
-  gemm_flops_ += 2.0 * geo.macs();
+  record_gemm(std::chrono::duration<double>(t1 - t0).count(), 2.0 * geo.macs());
 }
 
 void Executor::conv2d_direct(const Node& n, const NodePlan& plan, const Tensor& in, Tensor& out) {
@@ -328,9 +456,9 @@ void Executor::execute_node(const Node& n, const NodePlan& plan,
       const std::int64_t U = n.out_shape.dim(1);
       const auto t0 = std::chrono::steady_clock::now();
       // Batch the whole layer through one GEMM so each weight row is read
-      // once for all lanes (dense_rows_f32), instead of one latency-bound
-      // dot product per sample. A [1 x F] input is its own transpose, so
-      // the singleton path skips the packing copy entirely.
+      // once for all lanes, instead of one latency-bound dot product per
+      // sample. A [1 x F] input is its own transpose, so the singleton path
+      // skips the packing copy entirely.
       std::vector<float> xt;
       const float* xin = x;
       if (N > 1) {
@@ -340,13 +468,37 @@ void Executor::execute_node(const Node& n, const NodePlan& plan,
         }
         xin = xt.data();
       }
-      pfor(0, U, 8, [&](std::int64_t u_lo, std::int64_t u_hi, std::size_t) {
-        runtime_kernels::dense_rows_f32(w, xin, y, u_lo, u_hi, N, F, U, bias, plan.fused_act,
-                                        plan.fused_alpha);
-      });
+      const runtime_kernels::GemmMicrokernels* mk =
+          (mk_ != nullptr && mk_->gemm_f32 != nullptr && mk_->f32.available()) ? mk_ : nullptr;
+      if (mk != nullptr) {
+        // Microkernel over (m=U, n=N, k=F) with the column-major store
+        // writing straight into the [N x U] activation layout. Every lane
+        // occupies one SIMD slot padded to the full tile, so its FMA
+        // sequence — and therefore its bits — is the same whether it runs
+        // in a batch-1 or a batch-8 panel.
+        using namespace runtime_kernels;
+        std::vector<float> pb(packed_b_f32_elems(F, N, mk->f32));
+        pfor(0, panel_count(N, mk->f32.nr), 1, [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+          pack_b_f32(xin, F, N, mk->f32, lo, hi, pb.data());
+        });
+        const std::vector<float>& pa =
+            packed_.get_f32(n.id, 0, graph_.version(), mk->f32, [&](std::vector<float>& v) {
+              v.resize(packed_a_f32_elems(U, F, mk->f32));
+              pack_a_f32(w, U, F, mk->f32, v.data());
+            });
+        pfor(0, panel_count(U, mk->f32.mr), 1, [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+          mk->gemm_f32(pa.data(), pb.data(), y, U, N, F, /*ldc=*/U, /*col_major_store=*/true,
+                       lo, hi, bias, plan.fused_act, plan.fused_alpha);
+        });
+      } else {
+        pfor(0, U, 8, [&](std::int64_t u_lo, std::int64_t u_hi, std::size_t) {
+          runtime_kernels::dense_rows_f32(w, xin, y, u_lo, u_hi, N, F, U, bias, plan.fused_act,
+                                          plan.fused_alpha);
+        });
+      }
       const auto t1 = std::chrono::steady_clock::now();
-      gemm_seconds_ += std::chrono::duration<double>(t1 - t0).count();
-      gemm_flops_ += 2.0 * static_cast<double>(N) * static_cast<double>(U) * static_cast<double>(F);
+      record_gemm(std::chrono::duration<double>(t1 - t0).count(),
+                  2.0 * static_cast<double>(N) * static_cast<double>(U) * static_cast<double>(F));
       break;
     }
     case OpKind::kBatchNorm: {

@@ -20,6 +20,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,7 +28,10 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/kernels.hpp"
+#include "runtime/microkernel.hpp"
+#include "runtime/packed_cache.hpp"
 #include "tensor/tensor.hpp"
+#include "util/cpu.hpp"
 #include "util/thread_pool.hpp"
 
 namespace vedliot {
@@ -70,6 +74,25 @@ class Executor {
   /// (including the calling thread). 0 selects the hardware concurrency;
   /// default 1 (fully serial). Output bits do not depend on this value.
   void set_threads(unsigned threads);
+
+  /// Requested kernel dispatch level (default kAuto). Resolved per run —
+  /// env overrides and CPU feature detection applied — so a test can flip
+  /// VEDLIOT_FORCE_PORTABLE between runs of one live executor.
+  void set_simd(util::SimdLevel level) { simd_req_ = level; }
+  /// The concrete dispatch level the last run() executed at.
+  util::SimdLevel active_simd() const { return active_simd_; }
+
+  /// Inter-op parallelism: when > 1, independent nodes of one dataflow wave
+  /// (analysis::Dataflow::waves) execute concurrently over this many
+  /// threads, with intra-op threading suspended inside parallel waves and
+  /// the activation arena disabled (its liveness plan assumes serial
+  /// order). Output bits do not depend on this value.
+  void set_inter_op(unsigned inter_op);
+
+  /// Total weight-pack operations of the packed-panel cache — stays flat
+  /// across steady-state runs and grows when Graph::version() moves (OTA
+  /// swap, scrubber repair) or the dispatch tile changes.
+  std::size_t weight_packs() const { return packed_.packs(); }
 
   /// Execute Conv2D as im2col + GEMM (default) or as the direct loop nest.
   void set_use_gemm_conv(bool on) { use_gemm_ = on; }
@@ -125,6 +148,13 @@ class Executor {
   void conv2d_direct(const Node& n, const NodePlan& plan, const Tensor& in, Tensor& out);
   Tensor alloc_output(const Node& n);
   void prepare_arena();
+  void feed_input(const Node& n, const std::map<std::string, Tensor>& feeds);
+  /// Full serial per-node path: span + timing + alloc + execute + store.
+  void exec_node_serial(const Node& n);
+  /// Wave-parallel execution body (inter_op > 1): nodes of one dataflow
+  /// wave run concurrently, each fully serial inside.
+  void run_waves(const std::map<std::string, Tensor>& feeds);
+  void record_gemm(double seconds, double flops);
   /// Dispatch over [begin, end) with the configured pool (inline when
   /// serial); records one pool-utilization sample when metrics are attached.
   void pfor(std::int64_t begin, std::int64_t end, std::int64_t grain,
@@ -146,10 +176,30 @@ class Executor {
   std::map<NodeId, std::size_t> arena_offset_;  ///< float offset into arena_
   ArenaStats arena_stats_;
   std::vector<float> scratch_;  ///< im2col column matrix, grown on demand
+  std::vector<float> packed_b_;  ///< microkernel B panels, grown on demand
 
-  // Per-run GEMM accounting feeding the GFLOP/s gauge.
+  // Runtime SIMD dispatch: requested level, the level the current run
+  // resolved to, and that level's microkernel table (null => portable).
+  util::SimdLevel simd_req_ = util::SimdLevel::kAuto;
+  util::SimdLevel active_simd_ = util::SimdLevel::kPortable;
+  const runtime_kernels::GemmMicrokernels* mk_ = nullptr;
+  runtime_kernels::PackedWeightCache packed_;
+
+  // Inter-op (wave) parallelism state. in_wave_ is set around a parallel
+  // wave dispatch and makes pfor inline (the pool cannot nest) and the
+  // conv scratch buffers node-local.
+  unsigned inter_op_ = 1;
+  std::unique_ptr<util::ThreadPool> wave_pool_;
+  bool in_wave_ = false;
+  std::vector<std::vector<NodeId>> waves_;
+  std::uint64_t waves_version_ = 0;
+  bool waves_computed_ = false;
+
+  // Per-run GEMM accounting feeding the GFLOP/s gauge; the mutex serializes
+  // updates from concurrent wave nodes.
   double gemm_flops_ = 0;
   double gemm_seconds_ = 0;
+  std::mutex gemm_stats_mutex_;
 
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -1,0 +1,124 @@
+#pragma once
+/// \file microkernel.hpp
+/// \brief Register-tiled GEMM microkernels with runtime SIMD dispatch.
+///
+/// The blocked-GEMM recipe from *Performance Analysis of Matrix
+/// Multiplication for Deep Learning on the Edge*: the cache-blocked loop
+/// nest (kernels.hpp / executor) keeps operands resident, and the inner
+/// mr x nr tile is computed by an architecture-specific microkernel that
+/// holds the whole accumulator tile in vector registers. Both operands are
+/// repacked into panel layouts so the microkernel reads two contiguous
+/// streams:
+///
+///   packed A (weights), panel p of mr rows:  [p][k][r]  (k-major, r minor)
+///   packed B (im2col/activations), panel q of nr cols: [q][k][j]
+///
+/// int8 packs differ: A becomes int16 k-pairs in one int32 word per (k/2,
+/// row), B interleaves adjacent k rows byte-wise so AVX2 `madd_epi16`
+/// accumulates two k steps per instruction with exact int32 arithmetic.
+///
+/// Determinism contract (per dispatch level):
+///  - every output element accumulates its K products in ascending k order
+///    whatever the panel partition, so parallel-vs-serial runs are bitwise
+///    identical at every level;
+///  - the int8 microkernel performs the same exact int32 arithmetic as the
+///    scalar reference (gemm_rows_s8), so its outputs are bitwise equal to
+///    portable at any K/M/N;
+///  - the f32 microkernel keeps the scalar k order but contracts each
+///    multiply-add to one FMA rounding, so SIMD-vs-portable agrees to a
+///    tight ULP bound rather than bitwise (scalar epilogues are shared, so
+///    activation math is identical).
+///
+/// Tail handling: partial row/column panels are zero-padded during packing
+/// and the epilogue stores only the valid region, so every lane — including
+/// a batch-1 dense column — executes the identical instruction sequence.
+/// That is what keeps a lane of a batched run bitwise equal to the same
+/// sample run alone (the PR 7 fleet contract) at SIMD levels too.
+
+#include <cstdint>
+
+#include "graph/op.hpp"
+#include "util/cpu.hpp"
+
+namespace vedliot::runtime_kernels {
+
+/// Register tile of one microkernel; {0, 0} means "no microkernel at this
+/// level" (caller falls back to the portable scalar path).
+struct MicrokernelTile {
+  std::int64_t mr = 0;
+  std::int64_t nr = 0;
+  bool available() const { return mr > 0 && nr > 0; }
+};
+
+inline std::int64_t panel_count(std::int64_t extent, std::int64_t tile) {
+  return (extent + tile - 1) / tile;
+}
+
+/// Packed-buffer element counts (floats / int32 words / bytes).
+std::size_t packed_a_f32_elems(std::int64_t m, std::int64_t k, const MicrokernelTile& t);
+std::size_t packed_b_f32_elems(std::int64_t k, std::int64_t n, const MicrokernelTile& t);
+std::size_t packed_a_s8_words(std::int64_t m, std::int64_t k, const MicrokernelTile& t);
+std::size_t packed_b_s8_bytes(std::int64_t k, std::int64_t n, const MicrokernelTile& t);
+
+/// Pack the row-major [M x K] weight matrix into mr-row panels (zero-padded
+/// tail rows). Generic over the tile, so every dispatch level shares it.
+void pack_a_f32(const float* a, std::int64_t m, std::int64_t k, const MicrokernelTile& t,
+                float* packed);
+/// Pack column panels [panel_lo, panel_hi) of the row-major [K x N] matrix
+/// into nr-column panels (zero-padded tail columns); panel-ranged so the
+/// packing itself partitions over the thread pool.
+void pack_b_f32(const float* b, std::int64_t k, std::int64_t n, const MicrokernelTile& t,
+                std::int64_t panel_lo, std::int64_t panel_hi, float* packed);
+
+/// int8 A: one int32 word holds the sign-extended int16 pair
+/// (a[m][2kp], a[m][2kp+1]); odd K pads the second slot with zero.
+void pack_a_s8(const std::int8_t* a, std::int64_t m, std::int64_t k, const MicrokernelTile& t,
+               std::int32_t* packed);
+/// int8 B: bytes (b[2kp][j], b[2kp+1][j]) interleaved per column so one
+/// 32-byte load feeds madd_epi16 with two k steps for nr columns.
+void pack_b_s8(const std::int8_t* b, std::int64_t k, std::int64_t n, const MicrokernelTile& t,
+               std::int64_t panel_lo, std::int64_t panel_hi, std::int8_t* packed);
+
+/// Row-panel range [panel_lo, panel_hi) of C = A·B (+bias, fused act) over
+/// packed operands. C is [M x N]: row-major with leading dimension ldc when
+/// !col_major_store (c[m * ldc + j], conv layout), column-scattered when
+/// col_major_store (c[j * ldc + m], the dense [batch x units] layout, which
+/// lets the dense path skip the output transpose).
+using GemmF32Fn = void (*)(const float* pa, const float* pb, float* c, std::int64_t m,
+                           std::int64_t n, std::int64_t k, std::int64_t ldc,
+                           bool col_major_store, std::int64_t panel_lo, std::int64_t panel_hi,
+                           const float* bias, OpKind act, double alpha);
+
+/// int8 variant with the gemm_rows_s8 requant epilogue; returns the
+/// requantization saturation count for the panel range (exact, so per-chunk
+/// sums are partition-independent).
+using GemmS8Fn = std::uint64_t (*)(const std::int32_t* pa, const std::int8_t* pb,
+                                   std::int8_t* c, std::int64_t m, std::int64_t n,
+                                   std::int64_t k, std::int64_t ldc, bool col_major_store,
+                                   std::int64_t panel_lo, std::int64_t panel_hi,
+                                   const std::int32_t* bias, const double* mult,
+                                   std::int32_t q_lo, std::int32_t q_hi);
+
+/// One dispatch level's kernel set. Levels may offer a subset (e.g. NEON
+/// ships f32 only); unavailable entries have a zero tile and null fn.
+struct GemmMicrokernels {
+  util::SimdLevel level = util::SimdLevel::kPortable;
+  MicrokernelTile f32;
+  MicrokernelTile s8;
+  GemmF32Fn gemm_f32 = nullptr;
+  GemmS8Fn gemm_s8 = nullptr;
+};
+
+/// Microkernel table lookup for a *resolved* level (resolve_simd_level
+/// first). Returns nullptr for kPortable or when the binary has no kernels
+/// for the level — callers then use the scalar kernels in kernels.hpp.
+const GemmMicrokernels* gemm_microkernels(util::SimdLevel resolved);
+
+/// Measured compute roofs for the roofline model (hw/roofline.hpp): a
+/// register-resident FMA / madd chain timed for at least \p min_seconds,
+/// returning GFLOP/s (f32, 2 flops per FMA) or GOP/s (int8, 2 ops per MAC)
+/// of one thread at the given resolved dispatch level.
+double peak_probe_f32(util::SimdLevel resolved, double min_seconds);
+double peak_probe_s8(util::SimdLevel resolved, double min_seconds);
+
+}  // namespace vedliot::runtime_kernels

@@ -74,7 +74,14 @@ QTensor quantize_fixed(const Tensor& t, double scale) {
 QuantizedExecutor::QuantizedExecutor(const Graph& graph) : graph_(graph) {
   VEDLIOT_CHECK(graph_.weights_materialized(),
                 "QuantizedExecutor requires materialized weights");
-  qplans_.resize(graph_.total_nodes());
+  prepare();
+}
+
+void QuantizedExecutor::prepare() {
+  prepared_.clear();
+  out_scale_.clear();
+  packed_.clear();
+  qplans_.assign(graph_.total_nodes(), QNodePlan{});
   for (NodeId id : graph_.topo_order()) {
     const Node& n = graph_.node(id);
     if (n.kind == OpKind::kBatchNorm) {
@@ -145,6 +152,8 @@ QuantizedExecutor::QuantizedExecutor(const Graph& graph) : graph_(graph) {
     }
     prepared_[id] = std::move(layer);
   }
+  prepared_version_ = graph_.version();
+  ++preparations_;
 }
 
 void QuantizedExecutor::instrument(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
@@ -178,6 +187,19 @@ QTensor QuantizedExecutor::run_single(const Tensor& input) {
   const auto outs = graph_.outputs();
   VEDLIOT_CHECK(outs.size() == 1, "run_single requires exactly one graph output");
   nodes_executed_ = 0;
+  // Self-heal contract with the safety layer: ModelStore repair()/restore()
+  // and OTA swaps touch() the live graph, so a version mismatch means our
+  // quantized weights were derived from bits that no longer exist —
+  // requantize and repack before serving.
+  if (prepared_version_ != graph_.version()) prepare();
+  active_simd_ = util::resolve_simd_level(simd_req_);
+  const runtime_kernels::GemmMicrokernels* table =
+      runtime_kernels::gemm_microkernels(active_simd_);
+  // Levels without an int8 kernel (e.g. NEON ships f32 only) fall back to
+  // the scalar reference — which is bitwise-identical anyway.
+  mk_ = (table != nullptr && table->gemm_s8 != nullptr && table->s8.available() && use_gemm_)
+            ? table
+            : nullptr;
 
   obs::ScopedSpan run_span;
   if (tracer_ != nullptr) {
@@ -265,6 +287,41 @@ QTensor QuantizedExecutor::execute_node(const Node& n, const std::vector<const Q
                 layer.mult.data(), q_lo, q_hi);
           });
         }
+      } else if (use_gemm_ && mk_ != nullptr) {
+        using namespace runtime_kernels;
+        const std::int64_t patch = geo.patch();
+        const std::int64_t cols = geo.cols();
+        const std::int64_t m = geo.ocg();
+        const std::size_t need = static_cast<std::size_t>(patch * cols);
+        if (scratch_.size() < need) scratch_.resize(need);
+        std::int8_t* col = scratch_.data();
+        const std::size_t pb_need = packed_b_s8_bytes(patch, cols, mk_->s8);
+        if (packed_b_.size() < pb_need) packed_b_.resize(pb_need);
+        for (std::int64_t b = 0; b < geo.batch; ++b) {
+          for (std::int64_t g = 0; g < geo.groups; ++g) {
+            pfor(0, patch, 4, [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+              im2col_s8(px, geo, b, g, lo, hi, col);
+            });
+            pfor(0, panel_count(cols, mk_->s8.nr), 1,
+                 [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+                   pack_b_s8(col, patch, cols, mk_->s8, lo, hi, packed_b_.data());
+                 });
+            const std::int64_t base = g * m;
+            const std::vector<std::int32_t>& pa = packed_.get_s8(
+                n.id, g, prepared_version_, mk_->s8, [&](std::vector<std::int32_t>& v) {
+                  v.resize(packed_a_s8_words(m, patch, mk_->s8));
+                  pack_a_s8(layer.weights.data() + base * patch, m, patch, mk_->s8, v.data());
+                });
+            std::int8_t* c = py + ((b * geo.out_c + base) * cols);
+            pfor(0, panel_count(m, mk_->s8.mr), 1,
+                 [&](std::int64_t lo, std::int64_t hi, std::size_t chunk) {
+                   sat[chunk] += mk_->gemm_s8(pa.data(), packed_b_.data(), c, m, cols, patch,
+                                              cols, /*col_major_store=*/false, lo, hi,
+                                              layer.bias.data() + base,
+                                              layer.mult.data() + base, q_lo, q_hi);
+                 });
+          }
+        }
       } else if (use_gemm_) {
         const std::int64_t patch = geo.patch();
         const std::int64_t cols = geo.cols();
@@ -333,6 +390,40 @@ QTensor QuantizedExecutor::execute_node(const Node& n, const std::vector<const Q
       const Shape& in_shape = graph_.node(n.inputs[0]).out_shape;
       const auto N = in_shape.dim(0), F = in_shape.dim(1);
       const auto U = n.out_shape.dim(1);
+      if (mk_ != nullptr) {
+        // Microkernel over (m=U, n=N, k=F) with the column-major store
+        // writing the [N x U] activation layout directly — no transposed
+        // product to scatter back. int32 accumulation is exact, so these
+        // bits match the scalar paths below for any N.
+        using namespace runtime_kernels;
+        std::vector<std::int8_t> xt;
+        const std::int8_t* bsrc = x.data.data();
+        if (N > 1) {
+          xt.resize(static_cast<std::size_t>(F * N));
+          for (std::int64_t b = 0; b < N; ++b) {
+            for (std::int64_t f = 0; f < F; ++f) {
+              xt[static_cast<std::size_t>(f * N + b)] = x.data[static_cast<std::size_t>(b * F + f)];
+            }
+          }
+          bsrc = xt.data();
+        }
+        std::vector<std::int8_t> pb(packed_b_s8_bytes(F, N, mk_->s8));
+        pfor(0, panel_count(N, mk_->s8.nr), 1, [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+          pack_b_s8(bsrc, F, N, mk_->s8, lo, hi, pb.data());
+        });
+        const std::vector<std::int32_t>& pa = packed_.get_s8(
+            n.id, 0, prepared_version_, mk_->s8, [&](std::vector<std::int32_t>& v) {
+              v.resize(packed_a_s8_words(U, F, mk_->s8));
+              pack_a_s8(layer.weights.data(), U, F, mk_->s8, v.data());
+            });
+        pfor(0, panel_count(U, mk_->s8.mr), 1,
+             [&](std::int64_t lo, std::int64_t hi, std::size_t chunk) {
+               sat[chunk] += mk_->gemm_s8(pa.data(), pb.data(), out.data.data(), U, N, F,
+                                          /*ldc=*/U, /*col_major_store=*/true, lo, hi,
+                                          layer.bias.data(), layer.mult.data(), q_lo, q_hi);
+             });
+        break;
+      }
       if (N == 1) {
         // [1 x F] is its own transpose; write straight into the output row.
         pfor(0, U, 8, [&](std::int64_t u_lo, std::int64_t u_hi, std::size_t chunk) {

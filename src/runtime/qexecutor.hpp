@@ -25,7 +25,10 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/kernels.hpp"
+#include "runtime/microkernel.hpp"
+#include "runtime/packed_cache.hpp"
 #include "tensor/tensor.hpp"
+#include "util/cpu.hpp"
 #include "util/thread_pool.hpp"
 
 namespace vedliot {
@@ -70,6 +73,23 @@ class QuantizedExecutor {
   /// Execute Conv2D as im2col + int8 GEMM (default) or the direct loop.
   void set_use_gemm_conv(bool on) { use_gemm_ = on; }
 
+  /// Requested kernel dispatch level (default kAuto); resolved per run with
+  /// the env overrides applied. The int8 microkernel performs the exact
+  /// int32 arithmetic of the scalar reference, so outputs are bitwise
+  /// identical at every level.
+  void set_simd(util::SimdLevel level) { simd_req_ = level; }
+  /// The concrete dispatch level the last run_single() executed at.
+  util::SimdLevel active_simd() const { return active_simd_; }
+
+  /// Total weight-pack operations of the packed-panel cache (test hook;
+  /// see Executor::weight_packs).
+  std::size_t weight_packs() const { return packed_.packs(); }
+
+  /// Times the quantize-and-pack preparation has run: once at construction,
+  /// plus once per detected Graph::version() change (OTA swap / scrubber
+  /// repair self-heal).
+  std::size_t preparations() const { return preparations_; }
+
   /// After run_single(): number of non-input nodes executed.
   std::size_t nodes_executed() const { return nodes_executed_; }
 
@@ -100,17 +120,30 @@ class QuantizedExecutor {
   /// events into its own slot of \p sat (size >= threads).
   void pfor(std::int64_t begin, std::int64_t end, std::int64_t grain,
             const util::ThreadPool::ChunkFn& fn);
+  /// (Re)quantize every parametric layer from the graph's current fp32
+  /// weights and stamp prepared_version_. Run again whenever the live graph
+  /// mutates (Graph::version() moved): the quantized copies and packed
+  /// panels would otherwise serve stale — possibly corrupt — weights after
+  /// a ModelStore repair/restore or OTA swap.
+  void prepare();
 
   const Graph& graph_;
   std::map<NodeId, PreparedLayer> prepared_;
   std::map<NodeId, double> out_scale_;
   std::vector<QNodePlan> qplans_;           ///< indexed by NodeId over all slots
+  std::uint64_t prepared_version_ = 0;      ///< Graph::version() at prepare()
+  std::size_t preparations_ = 0;
   std::uint64_t saturations_ = 0;
   std::size_t nodes_executed_ = 0;
   unsigned threads_ = 1;
   std::unique_ptr<util::ThreadPool> pool_;
   bool use_gemm_ = true;
   std::vector<std::int8_t> scratch_;        ///< im2col column matrix
+  std::vector<std::int8_t> packed_b_;       ///< microkernel B panels
+  util::SimdLevel simd_req_ = util::SimdLevel::kAuto;
+  util::SimdLevel active_simd_ = util::SimdLevel::kPortable;
+  const runtime_kernels::GemmMicrokernels* mk_ = nullptr;  ///< s8-capable table or null
+  runtime_kernels::PackedWeightCache packed_;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
 };

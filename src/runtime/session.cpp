@@ -24,6 +24,8 @@ class FloatSession final : public Session {
     exec_.instrument(options_.trace, options_.metrics);
     exec_.set_keep_activations(options_.keep_activations);
     exec_.set_threads(options_.exec.threads);
+    exec_.set_simd(options_.exec.simd);
+    exec_.set_inter_op(options_.exec.inter_op);
     exec_.set_use_gemm_conv(options_.use_gemm_conv);
     exec_.set_use_arena(options_.arena);
   }
@@ -41,6 +43,8 @@ class FloatSession final : public Session {
   void set_exec_config(const ExecConfig& exec) override {
     options_.exec = exec;
     exec_.set_threads(exec.threads);
+    exec_.set_simd(exec.simd);
+    exec_.set_inter_op(exec.inter_op);
   }
   const ExecConfig& exec_config() const override { return options_.exec; }
 
@@ -56,6 +60,7 @@ class QuantizedSession final : public Session {
       : graph_(graph), options_(options), exec_(graph) {
     exec_.instrument(options_.trace, options_.metrics);
     exec_.set_threads(options_.exec.threads);
+    exec_.set_simd(options_.exec.simd);
     exec_.set_use_gemm_conv(options_.use_gemm_conv);
   }
 
@@ -84,6 +89,7 @@ class QuantizedSession final : public Session {
   void set_exec_config(const ExecConfig& exec) override {
     options_.exec = exec;
     exec_.set_threads(exec.threads);
+    exec_.set_simd(exec.simd);
   }
   const ExecConfig& exec_config() const override { return options_.exec; }
 

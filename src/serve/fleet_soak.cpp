@@ -195,7 +195,9 @@ std::string FleetSoakResult::to_json() const {
   out += ",\"violations\":[";
   for (std::size_t i = 0; i < violations.size(); ++i) {
     if (i) out += ",";
-    out += "\"" + obs::json_escape(violations[i]) + "\"";
+    out += "\"";
+    out += obs::json_escape(violations[i]);
+    out += "\"";
   }
   out += "]}";
   return out;

@@ -152,7 +152,9 @@ std::string SoakResult::to_json() const {
   out += ",\"violations\":[";
   for (std::size_t i = 0; i < violations.size(); ++i) {
     if (i) out += ",";
-    out += "\"" + obs::json_escape(violations[i]) + "\"";
+    out += "\"";
+    out += obs::json_escape(violations[i]);
+    out += "\"";
   }
   out += "]}";
   return out;

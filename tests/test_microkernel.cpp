@@ -1,0 +1,688 @@
+// Tests for the SIMD microkernel GEMM layer: edge-tail correctness against
+// the scalar reference, the per-level determinism contract (int8 bitwise,
+// f32 tight tolerance, parallel-vs-serial bitwise, batch-lane bitwise),
+// packed-weight cache lifecycle (steady-state reuse, version/tile
+// invalidation, OTA-repair self-heal), env-override dispatch, and the
+// roofline probes.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "exec_single.hpp"
+#include "graph/zoo.hpp"
+#include "hw/roofline.hpp"
+#include "opt/fusion.hpp"
+#include "opt/quantize.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/kernels.hpp"
+#include "runtime/microkernel.hpp"
+#include "runtime/packed_cache.hpp"
+#include "runtime/qexecutor.hpp"
+#include "runtime/session.hpp"
+#include "safety/model_store.hpp"
+#include "safety/scrub.hpp"
+#include "util/cpu.hpp"
+#include "util/rng.hpp"
+
+namespace vedliot {
+namespace {
+
+using runtime_kernels::GemmMicrokernels;
+using runtime_kernels::MicrokernelTile;
+using runtime_kernels::panel_count;
+
+/// Set an environment variable for one scope and restore the prior state on
+/// exit, so dispatch-override tests cannot leak into other tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+/// The best SIMD table this binary actually has, ignoring env overrides —
+/// nullptr on a pure-portable build/host (tests then skip the SIMD half).
+const GemmMicrokernels* best_simd_table() {
+  for (auto level : {util::SimdLevel::kAvx2, util::SimdLevel::kNeon}) {
+    if (util::simd_supported(level)) {
+      if (const auto* t = runtime_kernels::gemm_microkernels(level)) return t;
+    }
+  }
+  return nullptr;
+}
+
+/// The table the executor will actually dispatch to right now — honors the
+/// env overrides, unlike best_simd_table(). Null under a forced-portable run.
+const GemmMicrokernels* resolved_table() {
+  return runtime_kernels::gemm_microkernels(
+      util::resolve_simd_level(util::SimdLevel::kAuto));
+}
+
+// Edge-tail grid: values straddling the register tiles (mr ∈ {4, 6},
+// nr ∈ {8, 16}) plus degenerate extents.
+const std::int64_t kMs[] = {1, 5, 6, 7, 13};
+const std::int64_t kNs[] = {1, 15, 16, 17, 33};
+const std::int64_t kKs[] = {1, 2, 3, 64, 65};
+
+std::vector<float> rand_f32(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return rng.normal_vector(n);
+}
+
+std::vector<std::int8_t> rand_s8(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int8_t> v(n);
+  for (auto& x : v) {
+    x = static_cast<std::int8_t>(static_cast<std::int32_t>(rng.uniform(-128.0, 128.0)));
+  }
+  return v;
+}
+
+/// Full-range microkernel f32 GEMM over freshly packed operands.
+void mk_gemm_f32(const GemmMicrokernels& t, const float* a, const float* b, float* c,
+                 std::int64_t m, std::int64_t n, std::int64_t k, const float* bias,
+                 OpKind act, double alpha, bool col_major = false, std::int64_t ldc = -1) {
+  std::vector<float> pa(runtime_kernels::packed_a_f32_elems(m, k, t.f32));
+  std::vector<float> pb(runtime_kernels::packed_b_f32_elems(k, n, t.f32));
+  runtime_kernels::pack_a_f32(a, m, k, t.f32, pa.data());
+  runtime_kernels::pack_b_f32(b, k, n, t.f32, 0, panel_count(n, t.f32.nr), pb.data());
+  if (ldc < 0) ldc = col_major ? m : n;
+  t.gemm_f32(pa.data(), pb.data(), c, m, n, k, ldc, col_major, 0,
+             panel_count(m, t.f32.mr), bias, act, alpha);
+}
+
+/// Full-range microkernel int8 GEMM; returns the saturation count.
+std::uint64_t mk_gemm_s8(const GemmMicrokernels& t, const std::int8_t* a,
+                         const std::int8_t* b, std::int8_t* c, std::int64_t m,
+                         std::int64_t n, std::int64_t k, const std::int32_t* bias,
+                         const double* mult, std::int32_t q_lo, std::int32_t q_hi,
+                         bool col_major = false, std::int64_t ldc = -1) {
+  std::vector<std::int32_t> pa(runtime_kernels::packed_a_s8_words(m, k, t.s8));
+  std::vector<std::int8_t> pb(runtime_kernels::packed_b_s8_bytes(k, n, t.s8));
+  runtime_kernels::pack_a_s8(a, m, k, t.s8, pa.data());
+  runtime_kernels::pack_b_s8(b, k, n, t.s8, 0, panel_count(n, t.s8.nr), pb.data());
+  if (ldc < 0) ldc = col_major ? m : n;
+  return t.gemm_s8(pa.data(), pb.data(), c, m, n, k, ldc, col_major, 0,
+                   panel_count(m, t.s8.mr), bias, mult, q_lo, q_hi);
+}
+
+// ---------------------------------------------------------------------------
+// Edge tails vs the scalar reference
+// ---------------------------------------------------------------------------
+
+TEST(Microkernel, F32EdgeTailsMatchScalarReference) {
+  const auto* t = best_simd_table();
+  if (t == nullptr || t->gemm_f32 == nullptr) GTEST_SKIP() << "no SIMD f32 microkernel";
+  std::uint64_t seed = 100;
+  for (std::int64_t m : kMs) {
+    for (std::int64_t n : kNs) {
+      for (std::int64_t k : kKs) {
+        const auto a = rand_f32(static_cast<std::size_t>(m * k), seed++);
+        const auto b = rand_f32(static_cast<std::size_t>(k * n), seed++);
+        const auto bias = rand_f32(static_cast<std::size_t>(m), seed++);
+        // Exercise the fused-activation epilogue on half the grid.
+        const OpKind act = ((m + n + k) % 2 == 0) ? OpKind::kRelu : OpKind::kIdentity;
+        std::vector<float> ref(static_cast<std::size_t>(m * n));
+        runtime_kernels::gemm_rows_f32(a.data(), b.data(), ref.data(), 0, m, n, k,
+                                       bias.data(), act, 0.0);
+        std::vector<float> got(ref.size(), -777.0f);
+        mk_gemm_f32(*t, a.data(), b.data(), got.data(), m, n, k, bias.data(), act, 0.0);
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+          // FMA contraction changes rounding per product; with |a|,|b| ~ N(0,1)
+          // and K <= 65 the divergence stays far below this bound.
+          ASSERT_NEAR(got[i], ref[i], 1e-4)
+              << "m=" << m << " n=" << n << " k=" << k << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Microkernel, S8EdgeTailsBitwiseEqualScalarReference) {
+  const auto* t = best_simd_table();
+  if (t == nullptr || t->gemm_s8 == nullptr) GTEST_SKIP() << "no SIMD int8 microkernel";
+  std::uint64_t seed = 500;
+  for (std::int64_t m : kMs) {
+    for (std::int64_t n : kNs) {
+      for (std::int64_t k : kKs) {
+        const auto a = rand_s8(static_cast<std::size_t>(m * k), seed++);
+        const auto b = rand_s8(static_cast<std::size_t>(k * n), seed++);
+        Rng rng(seed++);
+        std::vector<std::int32_t> bias(static_cast<std::size_t>(m));
+        std::vector<double> mult(static_cast<std::size_t>(m));
+        for (std::size_t r = 0; r < bias.size(); ++r) {
+          bias[r] = static_cast<std::int32_t>(rng.uniform(-500.0, 500.0));
+          // Multiplier chosen so a fair share of outputs saturate — the
+          // counts must match exactly, not just the clamped bytes.
+          mult[r] = rng.uniform(0.0005, 0.02);
+        }
+        const std::int32_t q_lo = ((m + n) % 2 == 0) ? 0 : -128;
+        std::vector<std::int8_t> ref(static_cast<std::size_t>(m * n));
+        const std::uint64_t sat_ref = runtime_kernels::gemm_rows_s8(
+            a.data(), b.data(), ref.data(), 0, m, n, k, bias.data(), mult.data(), q_lo, 127);
+        std::vector<std::int8_t> got(ref.size(), 99);
+        const std::uint64_t sat_got = mk_gemm_s8(*t, a.data(), b.data(), got.data(), m, n,
+                                                 k, bias.data(), mult.data(), q_lo, 127);
+        ASSERT_EQ(sat_got, sat_ref) << "m=" << m << " n=" << n << " k=" << k;
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+          ASSERT_EQ(got[i], ref[i]) << "m=" << m << " n=" << n << " k=" << k << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Microkernel, ColMajorStoreIsBitwiseTransposeOfRowMajor) {
+  const auto* t = best_simd_table();
+  if (t == nullptr) GTEST_SKIP() << "no SIMD microkernels";
+  const std::int64_t m = 7, n = 17, k = 33;
+  const auto a = rand_f32(static_cast<std::size_t>(m * k), 1);
+  const auto b = rand_f32(static_cast<std::size_t>(k * n), 2);
+  std::vector<float> row(static_cast<std::size_t>(m * n)), col(row.size());
+  mk_gemm_f32(*t, a.data(), b.data(), row.data(), m, n, k, nullptr, OpKind::kIdentity, 0.0);
+  mk_gemm_f32(*t, a.data(), b.data(), col.data(), m, n, k, nullptr, OpKind::kIdentity, 0.0,
+              /*col_major=*/true);
+  // Same arithmetic, different store address: transposed layouts are bitwise.
+  for (std::int64_t r = 0; r < m; ++r) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      ASSERT_EQ(std::bit_cast<std::uint32_t>(row[static_cast<std::size_t>(r * n + j)]),
+                std::bit_cast<std::uint32_t>(col[static_cast<std::size_t>(j * m + r)]));
+    }
+  }
+
+  if (t->gemm_s8 == nullptr) return;
+  const auto a8 = rand_s8(static_cast<std::size_t>(m * k), 3);
+  const auto b8 = rand_s8(static_cast<std::size_t>(k * n), 4);
+  std::vector<std::int32_t> bias(static_cast<std::size_t>(m), 11);
+  std::vector<double> mult(static_cast<std::size_t>(m), 0.003);
+  std::vector<std::int8_t> row8(static_cast<std::size_t>(m * n)), col8(row8.size());
+  const auto s1 = mk_gemm_s8(*t, a8.data(), b8.data(), row8.data(), m, n, k, bias.data(),
+                             mult.data(), -128, 127);
+  const auto s2 = mk_gemm_s8(*t, a8.data(), b8.data(), col8.data(), m, n, k, bias.data(),
+                             mult.data(), -128, 127, /*col_major=*/true);
+  EXPECT_EQ(s1, s2);
+  for (std::int64_t r = 0; r < m; ++r) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      ASSERT_EQ(row8[static_cast<std::size_t>(r * n + j)],
+                col8[static_cast<std::size_t>(j * m + r)]);
+    }
+  }
+}
+
+TEST(Microkernel, PanelPartitionIsBitwiseInvariant) {
+  // The pfor over row panels may split anywhere; every split must produce
+  // the same bits as one full-range call (the parallel-vs-serial contract
+  // at the microkernel layer).
+  const auto* t = best_simd_table();
+  if (t == nullptr) GTEST_SKIP() << "no SIMD microkernels";
+  const std::int64_t m = 13, n = 33, k = 65;
+  const auto a = rand_f32(static_cast<std::size_t>(m * k), 10);
+  const auto b = rand_f32(static_cast<std::size_t>(k * n), 11);
+
+  std::vector<float> pa(runtime_kernels::packed_a_f32_elems(m, k, t->f32));
+  std::vector<float> pb(runtime_kernels::packed_b_f32_elems(k, n, t->f32));
+  runtime_kernels::pack_a_f32(a.data(), m, k, t->f32, pa.data());
+  runtime_kernels::pack_b_f32(b.data(), k, n, t->f32, 0, panel_count(n, t->f32.nr),
+                              pb.data());
+  const std::int64_t panels = panel_count(m, t->f32.mr);
+  std::vector<float> whole(static_cast<std::size_t>(m * n));
+  t->gemm_f32(pa.data(), pb.data(), whole.data(), m, n, k, n, false, 0, panels, nullptr,
+              OpKind::kIdentity, 0.0);
+  for (std::int64_t split = 1; split < panels; ++split) {
+    std::vector<float> parts(whole.size(), -1.0f);
+    t->gemm_f32(pa.data(), pb.data(), parts.data(), m, n, k, n, false, 0, split, nullptr,
+                OpKind::kIdentity, 0.0);
+    t->gemm_f32(pa.data(), pb.data(), parts.data(), m, n, k, n, false, split, panels,
+                nullptr, OpKind::kIdentity, 0.0);
+    for (std::size_t i = 0; i < whole.size(); ++i) {
+      ASSERT_EQ(std::bit_cast<std::uint32_t>(parts[i]),
+                std::bit_cast<std::uint32_t>(whole[i]))
+          << "split=" << split << " i=" << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch resolution and env overrides
+// ---------------------------------------------------------------------------
+
+TEST(Dispatch, ForcePortableEnvWinsOverEverything) {
+  ScopedEnv force("VEDLIOT_FORCE_PORTABLE", "1");
+  EXPECT_EQ(util::resolve_simd_level(util::SimdLevel::kAuto), util::SimdLevel::kPortable);
+  EXPECT_EQ(util::resolve_simd_level(util::SimdLevel::kAvx2), util::SimdLevel::kPortable);
+}
+
+TEST(Dispatch, ForcePortableZeroIsOff) {
+  ScopedEnv force("VEDLIOT_FORCE_PORTABLE", "0");
+  const auto resolved = util::resolve_simd_level(util::SimdLevel::kAuto);
+  // "0" disables the kill switch: kAuto resolves to the host's best level.
+  const auto* t = best_simd_table();
+  if (t != nullptr) {
+    EXPECT_EQ(resolved, t->level);
+  } else {
+    EXPECT_EQ(resolved, util::SimdLevel::kPortable);
+  }
+}
+
+TEST(Dispatch, SimdEnvSelectsLevel) {
+  // Neutralize an ambient kill switch (tier1 runs this suite with
+  // VEDLIOT_FORCE_PORTABLE=1); "0" means off.
+  ScopedEnv off("VEDLIOT_FORCE_PORTABLE", "0");
+  {
+    ScopedEnv sel("VEDLIOT_SIMD", "portable");
+    EXPECT_EQ(util::resolve_simd_level(util::SimdLevel::kAuto),
+              util::SimdLevel::kPortable);
+  }
+  {
+    ScopedEnv sel("VEDLIOT_SIMD", "avx2");
+    const auto resolved = util::resolve_simd_level(util::SimdLevel::kAuto);
+    if (util::simd_supported(util::SimdLevel::kAvx2)) {
+      EXPECT_EQ(resolved, util::SimdLevel::kAvx2);
+    } else {
+      // Unsupported request degrades to portable rather than crashing.
+      EXPECT_EQ(resolved, util::SimdLevel::kPortable);
+    }
+  }
+}
+
+TEST(Dispatch, PortableLevelHasNoTable) {
+  EXPECT_EQ(runtime_kernels::gemm_microkernels(util::SimdLevel::kPortable), nullptr);
+}
+
+TEST(Dispatch, ExecutorReportsActiveLevel) {
+  ScopedEnv off("VEDLIOT_FORCE_PORTABLE", "0");
+  Graph g = zoo::micro_mlp("m", 1, 16, {24, 12}, 4);
+  Rng rng(3);
+  g.materialize_weights(rng);
+  const Tensor in(Shape{1, 16}, rand_f32(16, 42));
+
+  Executor exec(g);
+  exec.set_simd(util::SimdLevel::kPortable);
+  (void)testutil::exec_single(exec, g, in);
+  EXPECT_EQ(exec.active_simd(), util::SimdLevel::kPortable);
+
+  exec.set_simd(util::SimdLevel::kAuto);
+  (void)testutil::exec_single(exec, g, in);
+  const auto* t = best_simd_table();
+  EXPECT_EQ(exec.active_simd(), t != nullptr ? t->level : util::SimdLevel::kPortable);
+
+  // The kill switch overrides the per-run resolution too.
+  ScopedEnv force("VEDLIOT_FORCE_PORTABLE", "1");  // shadows `off` until scope end
+  (void)testutil::exec_single(exec, g, in);
+  EXPECT_EQ(exec.active_simd(), util::SimdLevel::kPortable);
+}
+
+// ---------------------------------------------------------------------------
+// Session-level agreement across dispatch levels
+// ---------------------------------------------------------------------------
+
+/// micro_cnn with grouped and depthwise convolutions spliced in, so one
+/// graph covers the standard, grouped, and depthwise conv paths.
+Graph conv_variants_graph(std::int64_t batch = 1) {
+  Graph g("convs");
+  const NodeId in = g.add_input("x", Shape{batch, 4, 10, 10});
+  AttrMap a1;
+  a1.set_int("out_channels", 8);
+  a1.set_int("kernel", 3);
+  a1.set_int("stride", 1);
+  a1.set_int("pad", 1);
+  a1.set_int("groups", 1);
+  a1.set_int("bias", 1);
+  const NodeId c1 = g.add(OpKind::kConv2d, "c1", {in}, std::move(a1));
+  const NodeId r1 = g.add(OpKind::kRelu, "r1", {c1});
+  AttrMap a2;  // grouped: 8 -> 8 with 2 groups
+  a2.set_int("out_channels", 8);
+  a2.set_int("kernel", 3);
+  a2.set_int("stride", 1);
+  a2.set_int("pad", 1);
+  a2.set_int("groups", 2);
+  a2.set_int("bias", 1);
+  const NodeId c2 = g.add(OpKind::kConv2d, "c2_grouped", {r1}, std::move(a2));
+  AttrMap a3;  // depthwise: groups == channels
+  a3.set_int("out_channels", 8);
+  a3.set_int("kernel", 3);
+  a3.set_int("stride", 1);
+  a3.set_int("pad", 1);
+  a3.set_int("groups", 8);
+  a3.set_int("bias", 1);
+  const NodeId c3 = g.add(OpKind::kConv2d, "c3_dw", {c2}, std::move(a3));
+  const NodeId r3 = g.add(OpKind::kRelu, "r3", {c3});
+  const NodeId flat = g.add(OpKind::kFlatten, "flat", {r3});
+  AttrMap ad;
+  ad.set_int("units", 5);
+  ad.set_int("bias", 1);
+  g.add(OpKind::kDense, "head", {flat}, std::move(ad));
+  return g;
+}
+
+Tensor run_at_level(const Graph& g, const Tensor& in, util::SimdLevel level,
+                    unsigned threads = 1) {
+  Executor exec(g);
+  exec.set_simd(level);
+  exec.set_threads(threads);
+  return testutil::exec_single(exec, g, in);
+}
+
+TEST(SessionDispatch, F32ConvVariantsAgreeAcrossLevels) {
+  Graph g = conv_variants_graph();
+  Rng rng(5);
+  g.materialize_weights(rng);
+  const Tensor in(Shape{1, 4, 10, 10}, rand_f32(400, 77));
+  const Tensor portable = run_at_level(g, in, util::SimdLevel::kPortable);
+  const Tensor simd = run_at_level(g, in, util::SimdLevel::kAuto);
+  // Standard + grouped convs ride the f32 microkernel (FMA contraction →
+  // tight tolerance); depthwise stays on the direct kernel at every level.
+  EXPECT_LT(max_abs_diff(portable, simd), 1e-4f);
+}
+
+/// Full int8 pre-deployment pipeline (mirrors test_qruntime's helper).
+Graph deploy_ready_q(Graph g, std::uint64_t seed, const Shape& input_shape) {
+  Rng rng(seed);
+  g.materialize_weights(rng);
+  opt::FuseBatchNormPass bn;
+  bn.run(g);
+  opt::FuseActivationPass act;
+  act.run(g);
+  std::vector<Tensor> samples;
+  Rng data_rng(seed + 1);
+  for (int i = 0; i < 8; ++i) {
+    samples.emplace_back(input_shape,
+                         data_rng.normal_vector(static_cast<std::size_t>(input_shape.numel())));
+  }
+  opt::calibrate_activations(g, samples, Calibration::kMinMax);
+  return g;
+}
+
+TEST(SessionDispatch, Int8ConvVariantsBitwiseAcrossLevels) {
+  const Shape in_shape{1, 4, 10, 10};
+  Graph g = deploy_ready_q(conv_variants_graph(), 9, in_shape);
+  const Tensor in(in_shape, rand_f32(400, 78));
+
+  QuantizedExecutor portable(g);
+  portable.set_simd(util::SimdLevel::kPortable);
+  const QTensor qp = portable.run_single(in);
+
+  QuantizedExecutor simd(g);
+  simd.set_simd(util::SimdLevel::kAuto);
+  const QTensor qs = simd.run_single(in);
+
+  // Exact int32 arithmetic at every level: bytes and saturation counters
+  // must be identical, not merely close.
+  ASSERT_EQ(qp.data.size(), qs.data.size());
+  for (std::size_t i = 0; i < qp.data.size(); ++i) ASSERT_EQ(qp.data[i], qs.data[i]);
+  EXPECT_EQ(portable.saturations(), simd.saturations());
+}
+
+TEST(SessionDispatch, Int8DenseBatchedBitwiseAcrossLevels) {
+  const Shape in_shape{4, 16};
+  Graph g = deploy_ready_q(zoo::micro_mlp("m", 4, 16, {24, 12}, 4), 13, in_shape);
+  const Tensor in(in_shape, rand_f32(64, 80));
+  QuantizedExecutor portable(g);
+  portable.set_simd(util::SimdLevel::kPortable);
+  QuantizedExecutor simd(g);
+  simd.set_simd(util::SimdLevel::kAuto);
+  const QTensor qp = portable.run_single(in);
+  const QTensor qs = simd.run_single(in);
+  for (std::size_t i = 0; i < qp.data.size(); ++i) ASSERT_EQ(qp.data[i], qs.data[i]);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-vs-serial and batch-lane determinism at the SIMD level
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, ParallelVsSerialBitwiseAtSimdLevel) {
+  Graph g = conv_variants_graph();
+  Rng rng(21);
+  g.materialize_weights(rng);
+  const Tensor in(Shape{1, 4, 10, 10}, rand_f32(400, 90));
+  const Tensor serial = run_at_level(g, in, util::SimdLevel::kAuto, 1);
+  const Tensor parallel = run_at_level(g, in, util::SimdLevel::kAuto, 4);
+  EXPECT_FLOAT_EQ(max_abs_diff(serial, parallel), 0.0f);
+
+  const Tensor pserial = run_at_level(g, in, util::SimdLevel::kPortable, 1);
+  const Tensor pparallel = run_at_level(g, in, util::SimdLevel::kPortable, 4);
+  EXPECT_FLOAT_EQ(max_abs_diff(pserial, pparallel), 0.0f);
+}
+
+TEST(Determinism, Int8ParallelVsSerialBitwiseAtSimdLevel) {
+  const Shape in_shape{1, 4, 10, 10};
+  Graph g = deploy_ready_q(conv_variants_graph(), 31, in_shape);
+  const Tensor in(in_shape, rand_f32(400, 91));
+  QuantizedExecutor serial(g);
+  serial.set_simd(util::SimdLevel::kAuto);
+  serial.set_threads(1);
+  QuantizedExecutor parallel(g);
+  parallel.set_simd(util::SimdLevel::kAuto);
+  parallel.set_threads(4);
+  const QTensor a = serial.run_single(in);
+  const QTensor b = parallel.run_single(in);
+  for (std::size_t i = 0; i < a.data.size(); ++i) ASSERT_EQ(a.data[i], b.data[i]);
+  EXPECT_EQ(serial.saturations(), parallel.saturations());
+}
+
+/// Two independent conv branches joined by an add: the shape inter-op wave
+/// scheduling parallelizes.
+Graph branchy_graph(std::int64_t batch = 1) {
+  Graph g("branchy");
+  const NodeId in = g.add_input("x", Shape{batch, 4, 8, 8});
+  auto conv = [](std::int64_t oc) {
+    AttrMap a;
+    a.set_int("out_channels", oc);
+    a.set_int("kernel", 3);
+    a.set_int("stride", 1);
+    a.set_int("pad", 1);
+    a.set_int("groups", 1);
+    a.set_int("bias", 1);
+    return a;
+  };
+  const NodeId left = g.add(OpKind::kConv2d, "left", {in}, conv(8));
+  const NodeId right = g.add(OpKind::kConv2d, "right", {in}, conv(8));
+  const NodeId sum = g.add(OpKind::kAdd, "sum", {left, right});
+  const NodeId relu = g.add(OpKind::kRelu, "relu", {sum});
+  const NodeId flat = g.add(OpKind::kFlatten, "flat", {relu});
+  AttrMap d;
+  d.set_int("units", 6);
+  d.set_int("bias", 1);
+  g.add(OpKind::kDense, "head", {flat}, std::move(d));
+  return g;
+}
+
+TEST(Determinism, InterOpWavesBitwiseVsSerial) {
+  Graph g = branchy_graph();
+  Rng rng(41);
+  g.materialize_weights(rng);
+  const Tensor in(Shape{1, 4, 8, 8}, rand_f32(256, 92));
+  for (auto level : {util::SimdLevel::kPortable, util::SimdLevel::kAuto}) {
+    Executor serial(g);
+    serial.set_simd(level);
+    const Tensor a = testutil::exec_single(serial, g, in);
+    Executor waves(g);
+    waves.set_simd(level);
+    waves.set_inter_op(2);
+    const Tensor b = testutil::exec_single(waves, g, in);
+    EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.0f) << util::simd_level_name(level);
+  }
+}
+
+TEST(Determinism, BatchLanesBitwiseEqualAtSimdLevel) {
+  // Zero-padded panel tails mean every lane of a batched dense executes the
+  // identical FMA sequence: 8 copies of one sample must produce 8 bitwise
+  // identical output rows (the fleet CRC contract at SIMD dispatch).
+  Graph g = zoo::micro_mlp("m", 8, 16, {24, 12}, 4);
+  Rng rng(51);
+  g.materialize_weights(rng);
+  const auto one = rand_f32(16, 93);
+  std::vector<float> stacked;
+  for (int i = 0; i < 8; ++i) stacked.insert(stacked.end(), one.begin(), one.end());
+  Executor exec(g);
+  exec.set_simd(util::SimdLevel::kAuto);
+  const Tensor out = testutil::exec_single(exec, g, Tensor(Shape{8, 16}, stacked));
+  const auto d = out.data();
+  const std::size_t row = static_cast<std::size_t>(out.shape().dim(1));
+  for (std::size_t lane = 1; lane < 8; ++lane) {
+    for (std::size_t j = 0; j < row; ++j) {
+      ASSERT_EQ(std::bit_cast<std::uint32_t>(d[lane * row + j]),
+                std::bit_cast<std::uint32_t>(d[j]))
+          << "lane=" << lane << " j=" << j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Packed-weight cache lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(PackedWeightCache, SteadyStateReusesAndInvalidatesOnVersionOrTile) {
+  runtime_kernels::PackedWeightCache cache;
+  const MicrokernelTile tile{6, 16};
+  std::size_t fills = 0;
+  auto pack = [&](std::vector<float>& buf) {
+    buf.assign(8, static_cast<float>(++fills));
+  };
+  (void)cache.get_f32(3, 0, /*graph_version=*/1, tile, pack);
+  (void)cache.get_f32(3, 0, 1, tile, pack);  // steady state: no repack
+  EXPECT_EQ(cache.packs(), 1u);
+  (void)cache.get_f32(3, 1, 1, tile, pack);  // different group: own entry
+  EXPECT_EQ(cache.packs(), 2u);
+  (void)cache.get_f32(3, 0, /*graph_version=*/2, tile, pack);  // touch() moved
+  EXPECT_EQ(cache.packs(), 3u);
+  const MicrokernelTile other{4, 8};
+  (void)cache.get_f32(3, 0, 2, other, pack);  // dispatch-level change
+  EXPECT_EQ(cache.packs(), 4u);
+  (void)cache.get_f32(3, 0, 2, other, pack);
+  EXPECT_EQ(cache.packs(), 4u);
+  cache.clear();
+  (void)cache.get_f32(3, 0, 2, other, pack);
+  EXPECT_EQ(cache.packs(), 5u);
+}
+
+TEST(PackedWeightCache, ExecutorReusesPacksAcrossRuns) {
+  const auto* t = resolved_table();
+  if (t == nullptr) GTEST_SKIP() << "no SIMD microkernels at the resolved level";
+  Graph g = conv_variants_graph();
+  Rng rng(61);
+  g.materialize_weights(rng);
+  const Tensor in(Shape{1, 4, 10, 10}, rand_f32(400, 94));
+  Executor exec(g);
+  (void)testutil::exec_single(exec, g, in);
+  const std::size_t after_first = exec.weight_packs();
+  EXPECT_GT(after_first, 0u);
+  (void)testutil::exec_single(exec, g, in);
+  (void)testutil::exec_single(exec, g, in);
+  EXPECT_EQ(exec.weight_packs(), after_first);  // steady state: cache hits only
+}
+
+// ---------------------------------------------------------------------------
+// OTA-repair self-heal: corrupt → scrub → repair → bitwise-clean rerun
+// ---------------------------------------------------------------------------
+
+/// Flip one mantissa bit of the first parametric node's first weight tensor.
+void flip_weight_bit(Graph& g) {
+  for (NodeId id : g.topo_order()) {
+    Node& n = g.node(id);
+    if (n.weights.empty()) continue;
+    float& w = n.weights.front().at(0);
+    w = std::bit_cast<float>(std::bit_cast<std::uint32_t>(w) ^ (1u << 22));
+    g.touch();
+    return;
+  }
+  FAIL() << "graph has no parametric node";
+}
+
+TEST(SelfHeal, F32RepairInvalidatesPackedPanels) {
+  const auto* t = resolved_table();
+  if (t == nullptr) GTEST_SKIP() << "no SIMD microkernels at the resolved level";
+  Graph live = conv_variants_graph();
+  Rng rng(71);
+  live.materialize_weights(rng);
+  safety::ModelStore store;
+  store.install("net", live);
+  const Tensor in(Shape{1, 4, 10, 10}, rand_f32(400, 95));
+
+  Executor exec(live);
+  const Tensor clean = testutil::exec_single(exec, live, in);
+  const std::size_t packs0 = exec.weight_packs();
+
+  safety::WeightScrubber scrub(live, {64});  // baselines the clean bits
+  flip_weight_bit(live);
+  (void)testutil::exec_single(exec, live, in);  // runs on corrupt weights
+  EXPECT_GT(exec.weight_packs(), packs0);       // version bump → repack
+
+  const auto hits = scrub.full_scan();
+  ASSERT_FALSE(hits.empty());
+  EXPECT_GE(store.repair("net", live, hits), 1u);
+
+  const Tensor healed = testutil::exec_single(exec, live, in);
+  // Healed weights + invalidated panels: output is bitwise the clean run.
+  EXPECT_FLOAT_EQ(max_abs_diff(healed, clean), 0.0f);
+}
+
+TEST(SelfHeal, Int8RepairTriggersRepreparationAndBitwiseCleanRerun) {
+  const Shape in_shape{1, 4, 10, 10};
+  Graph live = deploy_ready_q(conv_variants_graph(), 81, in_shape);
+  safety::ModelStore store;
+  store.install("net", live);
+  const Tensor in(in_shape, rand_f32(400, 96));
+
+  QuantizedExecutor exec(live);
+  EXPECT_EQ(exec.preparations(), 1u);
+  const QTensor clean = exec.run_single(in);
+
+  safety::WeightScrubber scrub(live, {64});  // baselines the clean bits
+  flip_weight_bit(live);
+  (void)exec.run_single(in);  // self-heal re-quantizes from the corrupt bits
+  EXPECT_EQ(exec.preparations(), 2u);
+
+  const auto hits = scrub.full_scan();
+  ASSERT_FALSE(hits.empty());
+  EXPECT_GE(store.repair("net", live, hits), 1u);
+
+  const QTensor healed = exec.run_single(in);
+  EXPECT_EQ(exec.preparations(), 3u);  // repair touched the graph again
+  ASSERT_EQ(healed.data.size(), clean.data.size());
+  for (std::size_t i = 0; i < clean.data.size(); ++i) {
+    ASSERT_EQ(healed.data[i], clean.data[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Roofline probes
+// ---------------------------------------------------------------------------
+
+TEST(Roofline, ProbesMeasurePositiveRoofs) {
+  const auto roof = hw::measure_host_roofline(util::SimdLevel::kPortable, 0.005);
+  EXPECT_EQ(roof.level, util::SimdLevel::kPortable);
+  EXPECT_GT(roof.f32_gflops, 0.0);
+  EXPECT_GT(roof.s8_gops, 0.0);
+}
+
+TEST(Roofline, FractionClampsAndDivides) {
+  EXPECT_DOUBLE_EQ(hw::fraction_of_roofline(5.0, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(hw::fraction_of_roofline(0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(hw::fraction_of_roofline(5.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace vedliot

@@ -235,8 +235,9 @@ TEST(ResourceManager, RespectsUtilizationCapacity) {
   std::vector<Workload> many;
   const Graph heavy = zoo::resnet50();
   for (int i = 0; i < 40; ++i) {
-    many.push_back(
-        Workload::from_graph("p" + std::to_string(i), heavy, DType::kINT8, 20.0, 0.5));
+    std::string name = "p";
+    name += std::to_string(i);
+    many.push_back(Workload::from_graph(name, heavy, DType::kINT8, 20.0, 0.5));
   }
   EXPECT_THROW((void)rm.place(many), PlatformError);
 }

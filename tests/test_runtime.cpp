@@ -370,7 +370,9 @@ TEST(Planner, ResidualLifetimesDontOverlapInArena) {
   const NodeId in = g.add_input("x", Shape{1, 8, 8, 8});
   NodeId cur = in;
   for (int i = 0; i < 4; ++i) {
-    cur = g.add(OpKind::kRelu, "r" + std::to_string(i), {cur});
+    std::string name = "r";
+    name += std::to_string(i);
+    cur = g.add(OpKind::kRelu, name, {cur});
   }
   g.add(OpKind::kAdd, "res", {cur, in});  // input alive until the end
   const MemoryPlan plan = plan_memory(g, DType::kFP32);

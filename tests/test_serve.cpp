@@ -388,7 +388,9 @@ ServeReport run_crash_cycle(obs::Tracer* trace = nullptr,
   cfg.metrics = metrics;
   Server server(sim, cfg);
   for (int i = 0; i < 300; ++i) {
-    server.submit(req(1e-3 * (i + 1), 50e-3, 0, "c" + std::to_string(i % 3)));
+    std::string client = "c";
+    client += std::to_string(i % 3);
+    server.submit(req(1e-3 * (i + 1), 50e-3, 0, client));
   }
   return server.run(0.4);
 }
