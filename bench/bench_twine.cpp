@@ -73,8 +73,17 @@ struct EnclaveResult {
   CostLedger ledger;
 };
 
+// Benches measure transition/interpreter overheads, not the admission gate:
+// opt out of require_verified explicitly (the KV module's loops have no
+// static fuel bound anyway; see vedliot-lint --wasm --wmod kv).
+EnclaveConfig bench_config() {
+  EnclaveConfig c;
+  c.require_verified = false;
+  return c;
+}
+
 EnclaveResult run_enclave(int ops_per_ecall) {
-  Enclave enc(EnclaveConfig{}, build_kv_module(kCapacity), Key{});
+  Enclave enc(bench_config(), build_kv_module(kCapacity), Key{});
   enc.vm().set_fuel_limit(1'000'000'000);
   Rng rng(99);
   const auto t0 = std::chrono::steady_clock::now();
@@ -163,7 +172,7 @@ static void BM_VmKvOp(benchmark::State& state) {
 BENCHMARK(BM_VmKvOp);
 
 static void BM_SealUnseal4k(benchmark::State& state) {
-  Enclave enc(EnclaveConfig{}, build_kv_module(16), Key{});
+  Enclave enc(bench_config(), build_kv_module(16), Key{});
   std::vector<std::uint8_t> data(4096, 0x5A);
   for (auto _ : state) {
     auto blob = enc.seal(data);

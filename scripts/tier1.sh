@@ -39,6 +39,15 @@ build/src/apps/vedliot-lint --model build/resnet50.vmdl
 scripts/lint.sh
 
 echo
+echo "== tier-1: wasm bytecode verifier (vedliot-lint --wasm) =="
+build/src/apps/vedliot-lint --wasm --selftest
+# The bundled example/bench modules: add is fully accepted; kv and spin are
+# runnable (exit 0) but carry expected warnings (loops, unproven indexing).
+build/src/apps/vedliot-lint --wasm --wmod add > /dev/null
+build/src/apps/vedliot-lint --wasm --wmod kv > /dev/null
+build/src/apps/vedliot-lint --wasm --wmod spin > /dev/null
+
+echo
 echo "== tier-1: serving-layer chaos soak (seeded, short) =="
 build/bench/soak_serve --quick > /dev/null
 
@@ -53,9 +62,9 @@ scripts/soak_integrity.sh --quick > /dev/null
 echo
 echo "== tier-1: ASan+UBSan on the resilience/platform/observability/runtime/analysis/serve/safety tests =="
 cmake -B build-asan -S . -DVEDLIOT_SANITIZE=ON > /dev/null
-cmake --build build-asan "${JOBS}" --target test_resilience test_platform test_distributed test_util test_obs test_runtime test_qruntime test_microkernel test_analysis test_serve test_fleet test_safety test_package > /dev/null
+cmake --build build-asan "${JOBS}" --target test_resilience test_platform test_distributed test_util test_obs test_runtime test_qruntime test_microkernel test_analysis test_wasm_verifier test_serve test_fleet test_safety test_package > /dev/null
 ctest --test-dir build-asan --output-on-failure "${JOBS}" \
-  -R 'test_resilience|test_platform|test_distributed|test_util|test_obs|test_runtime|test_qruntime|test_microkernel|test_analysis|test_serve|test_fleet|test_safety|test_package'
+  -R 'test_resilience|test_platform|test_distributed|test_util|test_obs|test_runtime|test_qruntime|test_microkernel|test_analysis|test_wasm_verifier|test_serve|test_fleet|test_safety|test_package'
 
 echo
 echo "== tier-1: TSan on the parallel execution-engine + serve tests =="

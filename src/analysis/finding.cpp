@@ -38,6 +38,17 @@ void Report::add(Severity severity, std::string check_id, const Node& node,
   findings_.push_back(std::move(f));
 }
 
+void Report::add(Severity severity, std::string check_id, std::int32_t site,
+                 std::string site_name, const std::string& message) {
+  Finding f;
+  f.severity = severity;
+  f.check_id = std::move(check_id);
+  f.node = site;
+  f.node_name = std::move(site_name);
+  f.message = message;
+  findings_.push_back(std::move(f));
+}
+
 void Report::merge(Report other) {
   findings_.insert(findings_.end(), std::make_move_iterator(other.findings_.begin()),
                    std::make_move_iterator(other.findings_.end()));

@@ -38,6 +38,10 @@ class Report {
  public:
   void add(Severity severity, std::string check_id, const std::string& message);
   void add(Severity severity, std::string check_id, const Node& node, const std::string& message);
+  /// Generic site-addressed finding (e.g. a bytecode pc instead of a graph
+  /// node); \p site lands in Finding::node and \p site_name in node_name.
+  void add(Severity severity, std::string check_id, std::int32_t site, std::string site_name,
+           const std::string& message);
   void merge(Report other);
 
   const std::vector<Finding>& findings() const { return findings_; }

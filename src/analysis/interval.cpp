@@ -1,0 +1,117 @@
+#include "analysis/interval.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace vedliot::analysis {
+
+namespace {
+
+/// True when [lo, hi] fits the i32 range — the "no wrap possible" test.
+bool fits_i32(std::int64_t lo, std::int64_t hi) {
+  return lo >= Interval::kMin && hi <= Interval::kMax;
+}
+
+Interval exact_or_top(std::int64_t lo, std::int64_t hi) {
+  return fits_i32(lo, hi) ? Interval{lo, hi} : Interval::top();
+}
+
+/// Smallest (2^k - 1) covering every value in [0, v].
+std::int64_t pow2_mask_cover(std::int64_t v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  const std::uint64_t ceil = std::bit_ceil(u + 1);
+  return static_cast<std::int64_t>(ceil - 1);
+}
+
+}  // namespace
+
+Interval Interval::range(std::int64_t lo, std::int64_t hi) {
+  return {std::max(lo, kMin), std::min(hi, kMax)};
+}
+
+Interval interval_join(Interval a, Interval b) {
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval interval_widen(Interval older, Interval newer) {
+  return {newer.lo < older.lo ? Interval::kMin : newer.lo,
+          newer.hi > older.hi ? Interval::kMax : newer.hi};
+}
+
+Interval interval_add(Interval a, Interval b) { return exact_or_top(a.lo + b.lo, a.hi + b.hi); }
+
+Interval interval_sub(Interval a, Interval b) { return exact_or_top(a.lo - b.hi, a.hi - b.lo); }
+
+Interval interval_mul(Interval a, Interval b) {
+  const std::int64_t p[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi};
+  const std::int64_t lo = *std::min_element(p, p + 4);
+  const std::int64_t hi = *std::max_element(p, p + 4);
+  return exact_or_top(lo, hi);
+}
+
+Interval interval_div_s(Interval a, Interval b) {
+  // Precondition: 0 not in b and the INT32_MIN / -1 corner excluded, so b is
+  // strictly one-signed and truncating division is corner-monotone: the
+  // extreme quotients occur at interval corners.
+  const std::int64_t q[4] = {a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi};
+  const std::int64_t lo = *std::min_element(q, q + 4);
+  const std::int64_t hi = *std::max_element(q, q + 4);
+  return exact_or_top(lo, hi);
+}
+
+Interval interval_rem_s(Interval a, Interval b) {
+  // Precondition: 0 not in b. |a % b| < max|b| and the result takes the
+  // dividend's sign (C++ truncating semantics, matching the VM).
+  const std::int64_t bmax = std::max(std::abs(b.lo), std::abs(b.hi));
+  std::int64_t lo = -(bmax - 1), hi = bmax - 1;
+  if (a.lo >= 0) lo = 0;
+  if (a.hi <= 0) hi = 0;
+  // The remainder magnitude also never exceeds the dividend magnitude.
+  lo = std::max(lo, std::min<std::int64_t>(a.lo, 0));
+  hi = std::min(hi, std::max<std::int64_t>(a.hi, 0));
+  return {lo, hi};
+}
+
+Interval interval_and(Interval a, Interval b) {
+  // x & y <= y for y >= 0 (and result is non-negative): masking with a
+  // non-negative operand bounds the result regardless of the other side.
+  if (a.lo >= 0 && b.lo >= 0) return {0, std::min(a.hi, b.hi)};
+  if (b.lo >= 0) return {0, b.hi};
+  if (a.lo >= 0) return {0, a.hi};
+  return Interval::top();
+}
+
+Interval interval_or(Interval a, Interval b) {
+  if (a.lo >= 0 && b.lo >= 0) {
+    // x | y >= max(x, y) and stays under the covering power-of-two mask.
+    return {std::max(a.lo, b.lo), pow2_mask_cover(std::max(a.hi, b.hi))};
+  }
+  return Interval::top();
+}
+
+Interval interval_xor(Interval a, Interval b) {
+  if (a.lo >= 0 && b.lo >= 0) return {0, pow2_mask_cover(std::max(a.hi, b.hi))};
+  return Interval::top();
+}
+
+Interval interval_shl(Interval a, Interval b) {
+  // The VM masks the shift amount to [0, 31].
+  if (b.is_constant()) {
+    const std::int64_t c = static_cast<std::uint32_t>(b.lo) & 31u;
+    if (a.lo >= 0 && (a.hi << c) <= Interval::kMax) return {a.lo << c, a.hi << c};
+  }
+  return Interval::top();
+}
+
+Interval interval_shr_s(Interval a, Interval b) {
+  if (b.is_constant()) {
+    const std::int64_t c = static_cast<std::uint32_t>(b.lo) & 31u;
+    return {a.lo >> c, a.hi >> c};  // arithmetic shift is monotone
+  }
+  if (a.lo >= 0) return {0, a.hi};  // any masked shift only shrinks it
+  return Interval::top();
+}
+
+Interval interval_bool() { return {0, 1}; }
+
+}  // namespace vedliot::analysis

@@ -1,0 +1,66 @@
+#pragma once
+/// \file interval.hpp
+/// \brief Signed-interval abstract domain over i32 values.
+///
+/// The value domain of the WASM bytecode verifier (wasm_verifier.hpp): each
+/// abstract value is a closed interval [lo, hi] of possible i32 values,
+/// tracked in 64-bit so transfer functions can detect i32 wrap-around and
+/// widen to top instead of producing an unsound tighter range. The VM's
+/// arithmetic wraps (it computes in uint32), so every transfer function
+/// returns the exact interval only when no operand combination can leave
+/// the i32 range; otherwise it returns top. That keeps the domain sound:
+/// the concrete result of any operation is always contained in the abstract
+/// result, which is what the memory-bounds and division proofs rely on.
+
+#include <cstdint>
+
+namespace vedliot::analysis {
+
+struct Interval {
+  // Bounds are carried as int64 but always lie within [kMin, kMax].
+  static constexpr std::int64_t kMin = INT32_MIN;
+  static constexpr std::int64_t kMax = INT32_MAX;
+
+  std::int64_t lo = kMin;
+  std::int64_t hi = kMax;
+
+  static Interval top() { return {kMin, kMax}; }
+  static Interval constant(std::int32_t v) { return {v, v}; }
+  /// Clamp-constructed range; swaps nothing — callers must pass lo <= hi.
+  static Interval range(std::int64_t lo, std::int64_t hi);
+
+  bool is_top() const { return lo == kMin && hi == kMax; }
+  bool is_constant() const { return lo == hi; }
+  bool contains(std::int64_t v) const { return lo <= v && v <= hi; }
+  /// True when every value of *this is inside [l, h].
+  bool within(std::int64_t l, std::int64_t h) const { return l <= lo && hi <= h; }
+
+  bool operator==(const Interval&) const = default;
+};
+
+/// Least upper bound (interval hull).
+Interval interval_join(Interval a, Interval b);
+
+/// Widening: any bound that moved since \p older jumps straight to the i32
+/// extreme, so fixpoint iteration terminates in O(2) widenings per slot.
+Interval interval_widen(Interval older, Interval newer);
+
+// Transfer functions mirroring the WasmVm operational semantics (wrapping
+// i32 arithmetic; see wasm.cpp). Each returns a sound over-approximation.
+Interval interval_add(Interval a, Interval b);
+Interval interval_sub(Interval a, Interval b);
+Interval interval_mul(Interval a, Interval b);
+/// Quotient interval; callers must have excluded divisor 0 and the
+/// INT32_MIN / -1 overflow corner before asking for the result.
+Interval interval_div_s(Interval a, Interval b);
+/// Remainder interval; callers must have excluded divisor 0.
+Interval interval_rem_s(Interval a, Interval b);
+Interval interval_and(Interval a, Interval b);
+Interval interval_or(Interval a, Interval b);
+Interval interval_xor(Interval a, Interval b);
+Interval interval_shl(Interval a, Interval b);
+Interval interval_shr_s(Interval a, Interval b);
+/// Comparison results are always {0, 1}.
+Interval interval_bool();
+
+}  // namespace vedliot::analysis

@@ -1,0 +1,699 @@
+#include "analysis/wasm_verifier.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+
+namespace vedliot::analysis {
+
+namespace {
+
+using security::WFunction;
+using security::WInstr;
+using security::WModule;
+using security::WOp;
+
+constexpr std::uint8_t kMaxOpcode = static_cast<std::uint8_t>(WOp::kHalt);
+
+bool decodable(const WInstr& ins) {
+  return static_cast<std::uint8_t>(ins.op) <= kMaxOpcode;
+}
+
+/// Abstract machine state at one program point: the operand stack (depth is
+/// exact — the VM is depth-deterministic or the module is rejected) and the
+/// function's locals, both over the signed-interval domain.
+struct AbsState {
+  std::vector<Interval> stack;
+  std::vector<Interval> locals;
+};
+
+/// Everything one function's fixpoint run leaves behind for the cost layer.
+struct FnFlow {
+  std::map<std::uint32_t, std::vector<std::uint32_t>> succs;  ///< intra-fn CFG
+  std::set<std::uint32_t> reachable;
+  std::set<std::uint32_t> callees;
+  bool has_exit = false;   ///< a kRet/kHalt is reachable
+  bool aborted = false;    ///< step budget exceeded; all proofs void
+};
+
+enum class CostStatus { kPending, kBounded, kUnbounded };
+
+class Verifier {
+ public:
+  Verifier(const WModule& m, std::span<const WasmHostSig> hosts, const WasmVerifyOptions& opts)
+      : m_(m), hosts_(hosts), opts_(opts) {}
+
+  WasmVerifyResult run() {
+    structural_pass();
+    flows_.resize(m_.functions.size());
+    for (std::uint32_t f = 0; f < m_.functions.size(); ++f) analyze_function(f);
+    cost_pass();
+    finish_flags();
+    return std::move(result_);
+  }
+
+ private:
+  // -- reporting ------------------------------------------------------------
+
+  std::string site(std::uint32_t fn, std::uint32_t pc) const {
+    return m_.functions[fn].name + "@" + std::to_string(pc);
+  }
+
+  void add(Severity sev, const char* check, std::uint32_t pc, std::string site_name,
+           const std::string& message) {
+    result_.report.add(sev, check, static_cast<std::int32_t>(pc), std::move(site_name), message);
+  }
+
+  /// Per-(pc, check) dedup: a fixpoint visits program points many times.
+  bool emit_once(Severity sev, const char* check, std::uint32_t fn, std::uint32_t pc,
+                 const std::string& message) {
+    if (!emitted_.insert({pc, check}).second) return false;
+    add(sev, check, pc, site(fn, pc), message);
+    return true;
+  }
+
+  // -- layer 1: structural validation --------------------------------------
+
+  void structural_pass() {
+    const auto code_size = static_cast<std::int64_t>(m_.code.size());
+    if (m_.data.size() > m_.memory_bytes) {
+      result_.report.add(Severity::kError, "wasm.struct.data.overflow",
+                         "data segment (" + std::to_string(m_.data.size()) +
+                             " bytes) exceeds linear memory (" +
+                             std::to_string(m_.memory_bytes) + " bytes)");
+    }
+    std::set<std::string> names;
+    for (const WFunction& f : m_.functions) {
+      if (!names.insert(f.name).second) {
+        result_.report.add(Severity::kWarning, "wasm.struct.fn.dup",
+                           "duplicate function name '" + f.name +
+                               "': find_function resolves to the first");
+      }
+      if (f.entry >= m_.code.size()) {
+        result_.report.add(Severity::kError, "wasm.struct.entry",
+                           "function '" + f.name + "' entry " + std::to_string(f.entry) +
+                               " is outside the code (" + std::to_string(code_size) +
+                               " instructions)");
+      }
+      if (f.nargs > f.nlocals) {
+        result_.report.add(Severity::kWarning, "wasm.struct.local.count",
+                           "function '" + f.name + "' declares nlocals " +
+                               std::to_string(f.nlocals) + " < nargs " +
+                               std::to_string(f.nargs));
+      }
+    }
+    for (std::uint32_t pc = 0; pc < m_.code.size(); ++pc) {
+      const WInstr& ins = m_.code[pc];
+      const std::string at = "code@" + std::to_string(pc);
+      if (!decodable(ins)) {
+        add(Severity::kError, "wasm.struct.opcode", pc, at,
+            "undecodable opcode " + std::to_string(static_cast<int>(ins.op)));
+        continue;
+      }
+      switch (ins.op) {
+        case WOp::kJmp:
+        case WOp::kJmpIfZ:
+          if (ins.imm < 0 || ins.imm >= code_size) {
+            add(Severity::kError, "wasm.struct.jump.target", pc, at,
+                "jump target " + std::to_string(ins.imm) + " is outside the code");
+          }
+          break;
+        case WOp::kCall:
+          if (ins.imm < 0 || ins.imm >= static_cast<std::int64_t>(m_.functions.size())) {
+            add(Severity::kError, "wasm.struct.call.target", pc, at,
+                "call target " + std::to_string(ins.imm) + " is not a function index");
+          }
+          break;
+        case WOp::kHostCall:
+          if (ins.imm < 0 || ins.imm >= static_cast<std::int64_t>(hosts_.size())) {
+            add(Severity::kError, "wasm.struct.host.target", pc, at,
+                "host import " + std::to_string(ins.imm) + " is not registered (" +
+                    std::to_string(hosts_.size()) + " imports)");
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // -- layer 2: abstract interpretation ------------------------------------
+
+  bool jump_target_ok(const WInstr& ins) const {
+    return ins.imm >= 0 && ins.imm < static_cast<std::int64_t>(m_.code.size());
+  }
+
+  /// Propagate \p state along an edge from \p from to \p to. Returns false
+  /// when the edge leaves the code (fallthrough off the end).
+  void propagate(std::uint32_t fn, std::uint32_t from, std::uint32_t to, AbsState state,
+                 std::map<std::uint32_t, AbsState>& states,
+                 std::map<std::uint32_t, std::size_t>& joins,
+                 std::deque<std::uint32_t>& work) {
+    FnFlow& flow = flows_[fn];
+    if (to >= m_.code.size()) {
+      emit_once(Severity::kError, "wasm.flow.fallthrough", fn, from,
+                "execution can run off the end of the code (VM traps 'pc out of range')");
+      return;
+    }
+    auto& edge = flow.succs[from];
+    if (std::find(edge.begin(), edge.end(), to) == edge.end()) edge.push_back(to);
+
+    auto it = states.find(to);
+    if (it == states.end()) {
+      states.emplace(to, std::move(state));
+      work.push_back(to);
+      return;
+    }
+    AbsState& have = it->second;
+    if (have.stack.size() != state.stack.size()) {
+      emit_once(Severity::kError, "wasm.stack.depth.mismatch", fn, to,
+                "operand stack depth differs at merge point: " +
+                    std::to_string(have.stack.size()) + " vs " +
+                    std::to_string(state.stack.size()));
+      return;  // keep the first depth; the module is rejected anyway
+    }
+    const bool widen = joins[to] >= opts_.widen_after;
+    bool changed = false;
+    auto merge = [&](Interval& old_iv, const Interval& new_iv) {
+      Interval j = interval_join(old_iv, new_iv);
+      // Bounds still moving after widen_after joins (a loop counter creeping
+      // toward an extreme): jump the moved bound straight to the i32 extreme
+      // so the fixpoint terminates instead of iterating 2^31 times.
+      if (widen) j = interval_widen(old_iv, j);
+      if (!(j == old_iv)) {
+        old_iv = j;
+        changed = true;
+      }
+    };
+    for (std::size_t i = 0; i < have.stack.size(); ++i) merge(have.stack[i], state.stack[i]);
+    for (std::size_t i = 0; i < have.locals.size(); ++i) merge(have.locals[i], state.locals[i]);
+    if (!changed) return;
+    ++joins[to];
+    work.push_back(to);
+  }
+
+  void analyze_function(std::uint32_t fn_index) {
+    const WFunction& fn = m_.functions[fn_index];
+    FnFlow& flow = flows_[fn_index];
+    WasmFunctionSummary summary;
+    summary.index = fn_index;
+    summary.name = fn.name;
+
+    if (fn.entry >= m_.code.size()) {
+      // wasm.struct.entry already reported; nothing to interpret.
+      result_.functions.push_back(std::move(summary));
+      return;
+    }
+
+    const std::size_t nlocals = std::max<std::size_t>(fn.nlocals, fn.nargs);
+    AbsState entry;
+    entry.locals.assign(nlocals, Interval{0, 0});  // VM zero-initializes locals
+    for (std::size_t i = 0; i < fn.nargs && i < nlocals; ++i) {
+      entry.locals[i] = Interval::top();  // arguments are attacker-controlled
+    }
+
+    std::map<std::uint32_t, AbsState> states;
+    std::map<std::uint32_t, std::size_t> joins;
+    std::deque<std::uint32_t> work;
+    states.emplace(fn.entry, std::move(entry));
+    work.push_back(fn.entry);
+
+    std::size_t steps = 0;
+    while (!work.empty()) {
+      if (++steps > opts_.max_steps) {
+        flow.aborted = true;
+        emit_once(Severity::kWarning, "wasm.verify.budget", fn_index, fn.entry,
+                  "fixpoint step budget exceeded; function left unproven");
+        break;
+      }
+      const std::uint32_t pc = work.front();
+      work.pop_front();
+      step(fn_index, pc, states, joins, work);
+    }
+
+    flow.has_exit = has_exit_.count(fn_index) != 0;
+    for (const auto& [pc, st] : states) {
+      flow.reachable.insert(pc);
+      summary.max_stack_depth = std::max(summary.max_stack_depth, st.stack.size());
+    }
+    summary.reachable_instrs = flow.reachable.size();
+    summary.mem_accesses = mem_accesses_;
+    summary.mem_proven = mem_proven_;
+    mem_accesses_ = mem_proven_ = 0;
+
+    if (!flow.has_exit && !flow.aborted) {
+      emit_once(Severity::kWarning, "wasm.flow.no_exit", fn_index, fn.entry,
+                "no reachable kRet/kHalt: the function can only loop or trap");
+    }
+    for (std::uint32_t other = 0; other < m_.functions.size(); ++other) {
+      if (other == fn_index) continue;
+      if (m_.functions[other].entry != m_.functions[fn_index].entry &&
+          flow.reachable.count(m_.functions[other].entry) != 0) {
+        emit_once(Severity::kWarning, "wasm.flow.cross_function", fn_index,
+                  m_.functions[other].entry,
+                  "control flow of '" + fn.name + "' reaches the entry of '" +
+                      m_.functions[other].name + "'");
+      }
+    }
+    report_unreachable(fn_index, flow);
+    result_.functions.push_back(std::move(summary));
+  }
+
+  /// Dead code inside the function's own code segment (entry up to the next
+  /// function entry) is worth a note: tenants do not ship dead bytes.
+  void report_unreachable(std::uint32_t fn_index, const FnFlow& flow) {
+    if (flow.aborted || flow.reachable.empty()) return;
+    std::uint32_t end = static_cast<std::uint32_t>(m_.code.size());
+    const std::uint32_t entry = m_.functions[fn_index].entry;
+    for (const WFunction& other : m_.functions) {
+      if (other.entry > entry) end = std::min(end, other.entry);
+    }
+    std::size_t dead = 0;
+    for (std::uint32_t pc = entry; pc < end; ++pc) {
+      if (flow.reachable.count(pc) == 0) ++dead;
+    }
+    if (dead > 0) {
+      emit_once(Severity::kNote, "wasm.flow.unreachable", fn_index, entry,
+                std::to_string(dead) + " unreachable instruction(s) in segment of '" +
+                    m_.functions[fn_index].name + "'");
+    }
+  }
+
+  void step(std::uint32_t fn_index, std::uint32_t pc, std::map<std::uint32_t, AbsState>& states,
+            std::map<std::uint32_t, std::size_t>& joins, std::deque<std::uint32_t>& work) {
+    const WFunction& fn = m_.functions[fn_index];
+    AbsState st = states.at(pc);  // copy: transfer mutates
+    const WInstr ins = m_.code[pc];
+
+    if (!decodable(ins)) return;  // wasm.struct.opcode reported; path traps here
+
+    auto pop = [&]() {
+      const Interval v = st.stack.back();
+      st.stack.pop_back();
+      return v;
+    };
+    auto underflow = [&](std::size_t need, const char* check, const std::string& what) {
+      if (st.stack.size() >= need) return false;
+      emit_once(Severity::kError, check, fn_index, pc,
+                what + ": needs " + std::to_string(need) + " value(s), stack has " +
+                    std::to_string(st.stack.size()));
+      return true;  // the VM traps here; the path ends
+    };
+    auto fallthrough = [&]() {
+      propagate(fn_index, pc, pc + 1, std::move(st), states, joins, work);
+    };
+
+    switch (ins.op) {
+      case WOp::kConst:
+        st.stack.push_back(Interval::constant(ins.imm));
+        fallthrough();
+        break;
+      case WOp::kLocalGet:
+      case WOp::kLocalSet: {
+        const bool is_set = ins.op == WOp::kLocalSet;
+        if (ins.imm < 0 || static_cast<std::size_t>(ins.imm) >= st.locals.size()) {
+          emit_once(Severity::kError, "wasm.struct.local.index", fn_index, pc,
+                    "local index " + std::to_string(ins.imm) + " out of range (" +
+                        std::to_string(st.locals.size()) + " locals in '" + fn.name + "')");
+          break;
+        }
+        if (is_set) {
+          if (underflow(1, "wasm.stack.underflow", "kLocalSet")) break;
+          st.locals[static_cast<std::size_t>(ins.imm)] = pop();
+        } else {
+          st.stack.push_back(st.locals[static_cast<std::size_t>(ins.imm)]);
+        }
+        fallthrough();
+        break;
+      }
+      case WOp::kDivS:
+      case WOp::kRemS: {
+        const bool is_div = ins.op == WOp::kDivS;
+        if (underflow(2, "wasm.stack.underflow", is_div ? "kDivS" : "kRemS")) break;
+        Interval b = pop();
+        const Interval a = pop();
+        if (b.is_constant() && b.lo == 0) {
+          emit_once(Severity::kError, is_div ? "wasm.div.zero" : "wasm.rem.zero", fn_index, pc,
+                    "divisor is provably zero");
+          break;
+        }
+        if (b.contains(0)) {
+          emit_once(Severity::kWarning, is_div ? "wasm.div.maybe_zero" : "wasm.rem.maybe_zero",
+                    fn_index, pc, "divisor may be zero (interval [" + std::to_string(b.lo) +
+                                      ", " + std::to_string(b.hi) + "])");
+          // Continue under the non-trapping assumption; shave 0 off an
+          // endpoint when it sits there so the result stays precise.
+          if (b.lo == 0) b.lo = 1;
+          else if (b.hi == 0) b.hi = -1;
+        }
+        if (is_div && a.contains(Interval::kMin) && b.contains(-1)) {
+          if (a.is_constant() && b.is_constant()) {
+            emit_once(Severity::kError, "wasm.div.overflow", fn_index, pc,
+                      "INT32_MIN / -1 overflows (VM traps)");
+            break;
+          }
+          emit_once(Severity::kWarning, "wasm.div.maybe_overflow", fn_index, pc,
+                    "INT32_MIN / -1 overflow is possible");
+        }
+        if (is_div) {
+          if (b.lo > 0 || b.hi < 0) {
+            st.stack.push_back(interval_div_s(a, b));
+          } else {
+            // Mixed-sign divisor we could not refine: |q| <= |a| since |b| >= 1.
+            const std::int64_t amax = std::max(std::abs(a.lo), std::abs(a.hi));
+            st.stack.push_back(Interval::range(-amax, amax));
+          }
+        } else {
+          st.stack.push_back(interval_rem_s(a, b));
+        }
+        fallthrough();
+        break;
+      }
+      case WOp::kAdd: case WOp::kSub: case WOp::kMul:
+      case WOp::kAnd: case WOp::kOr: case WOp::kXor:
+      case WOp::kShl: case WOp::kShrS:
+      case WOp::kEq: case WOp::kNe: case WOp::kLtS:
+      case WOp::kGtS: case WOp::kLeS: case WOp::kGeS: {
+        if (underflow(2, "wasm.stack.underflow", "binary operator")) break;
+        const Interval b = pop();
+        const Interval a = pop();
+        Interval r = interval_bool();
+        switch (ins.op) {
+          case WOp::kAdd: r = interval_add(a, b); break;
+          case WOp::kSub: r = interval_sub(a, b); break;
+          case WOp::kMul: r = interval_mul(a, b); break;
+          case WOp::kAnd: r = interval_and(a, b); break;
+          case WOp::kOr: r = interval_or(a, b); break;
+          case WOp::kXor: r = interval_xor(a, b); break;
+          case WOp::kShl: r = interval_shl(a, b); break;
+          case WOp::kShrS: r = interval_shr_s(a, b); break;
+          default: break;  // comparisons: {0, 1}
+        }
+        st.stack.push_back(r);
+        fallthrough();
+        break;
+      }
+      case WOp::kLoad:
+      case WOp::kStore: {
+        const bool is_store = ins.op == WOp::kStore;
+        if (underflow(is_store ? 2 : 1, "wasm.stack.underflow", is_store ? "kStore" : "kLoad")) {
+          break;
+        }
+        if (is_store) pop();  // value
+        const Interval addr = pop();
+        const std::int64_t lo = addr.lo + ins.imm;
+        const std::int64_t hi = addr.hi + ins.imm;
+        const auto mem = static_cast<std::int64_t>(m_.memory_bytes);
+        ++mem_accesses_;
+        if (lo >= 0 && hi + 4 <= mem) {
+          ++mem_proven_;
+        } else if (hi < 0 || lo + 4 > mem) {
+          emit_once(Severity::kError, "wasm.mem.oob", fn_index, pc,
+                    "effective address [" + std::to_string(lo) + ", " + std::to_string(hi) +
+                        "] is provably outside linear memory (" + std::to_string(mem) +
+                        " bytes)");
+          break;  // every execution reaching here traps
+        } else {
+          emit_once(Severity::kWarning, "wasm.mem.unproven", fn_index, pc,
+                    "effective address [" + std::to_string(lo) + ", " + std::to_string(hi) +
+                        "] cannot be proven inside linear memory (" + std::to_string(mem) +
+                        " bytes)");
+        }
+        if (!is_store) st.stack.push_back(Interval::top());
+        fallthrough();
+        break;
+      }
+      case WOp::kJmp:
+        if (!jump_target_ok(ins)) break;  // wasm.struct.jump.target reported
+        propagate(fn_index, pc, static_cast<std::uint32_t>(ins.imm), std::move(st), states,
+                  joins, work);
+        break;
+      case WOp::kJmpIfZ: {
+        if (underflow(1, "wasm.stack.underflow", "kJmpIfZ")) break;
+        const Interval cond = pop();
+        if (!jump_target_ok(ins)) break;
+        const bool can_be_zero = cond.contains(0);
+        const bool can_be_nonzero = !(cond.is_constant() && cond.lo == 0);
+        if (can_be_zero) {
+          propagate(fn_index, pc, static_cast<std::uint32_t>(ins.imm), st, states, joins, work);
+        }
+        if (can_be_nonzero) {
+          propagate(fn_index, pc, pc + 1, std::move(st), states, joins, work);
+        }
+        break;
+      }
+      case WOp::kCall: {
+        if (ins.imm < 0 || static_cast<std::size_t>(ins.imm) >= m_.functions.size()) break;
+        const WFunction& callee = m_.functions[static_cast<std::size_t>(ins.imm)];
+        if (underflow(callee.nargs, "wasm.stack.underflow",
+                      "kCall '" + callee.name + "'")) {
+          break;
+        }
+        for (std::uint32_t i = 0; i < callee.nargs; ++i) pop();
+        if (callee.returns_value) st.stack.push_back(Interval::top());
+        flows_[fn_index].callees.insert(static_cast<std::uint32_t>(ins.imm));
+        fallthrough();
+        break;
+      }
+      case WOp::kHostCall: {
+        if (ins.imm < 0 || static_cast<std::size_t>(ins.imm) >= hosts_.size()) break;
+        const WasmHostSig& sig = hosts_[static_cast<std::size_t>(ins.imm)];
+        if (st.stack.size() < sig.nargs) {
+          emit_once(Severity::kError, "wasm.host.arity", fn_index, pc,
+                    "host import '" + sig.name + "' pops " + std::to_string(sig.nargs) +
+                        " arg(s), stack has " + std::to_string(st.stack.size()));
+          break;
+        }
+        for (std::uint32_t i = 0; i < sig.nargs; ++i) pop();
+        st.stack.push_back(Interval::top());
+        fallthrough();
+        break;
+      }
+      case WOp::kRet: {
+        if (fn.returns_value && st.stack.empty()) {
+          emit_once(Severity::kError, "wasm.stack.ret.missing", fn_index, pc,
+                    "'" + fn.name + "' returns a value but the stack is empty at kRet");
+          break;
+        }
+        const std::size_t expected = fn.returns_value ? 1 : 0;
+        if (st.stack.size() > expected) {
+          emit_once(Severity::kWarning, "wasm.stack.ret.extra", fn_index, pc,
+                    "kRet discards " + std::to_string(st.stack.size() - expected) +
+                        " leftover stack value(s)");
+        }
+        has_exit_.insert(fn_index);
+        break;
+      }
+      case WOp::kDrop:
+        if (underflow(1, "wasm.stack.underflow", "kDrop")) break;
+        pop();
+        fallthrough();
+        break;
+      case WOp::kHalt:
+        has_exit_.insert(fn_index);
+        break;
+    }
+  }
+
+  // -- layer 3: static cost bounds ------------------------------------------
+
+  bool has_cycle(const FnFlow& flow, std::uint32_t entry) const {
+    // Iterative DFS with colors; any back edge within the reachable CFG.
+    std::map<std::uint32_t, int> color;  // 0 white, 1 grey, 2 black
+    std::vector<std::pair<std::uint32_t, std::size_t>> stack{{entry, 0}};
+    if (flow.reachable.count(entry) == 0) return false;
+    color[entry] = 1;
+    while (!stack.empty()) {
+      auto& [pc, next] = stack.back();
+      const auto it = flow.succs.find(pc);
+      const auto& succs =
+          it == flow.succs.end() ? std::vector<std::uint32_t>{} : it->second;
+      if (next < succs.size()) {
+        const std::uint32_t s = succs[next++];
+        const int c = color[s];
+        if (c == 1) return true;
+        if (c == 0) {
+          color[s] = 1;
+          stack.emplace_back(s, 0);
+        }
+      } else {
+        color[pc] = 2;
+        stack.pop_back();
+      }
+    }
+    return false;
+  }
+
+  /// Longest path (in retired instructions) from entry through the acyclic
+  /// reachable CFG; call sites are charged 1 + the callee's bound.
+  std::uint64_t longest_path(const FnFlow& flow, std::uint32_t entry,
+                             const std::vector<std::uint64_t>& fn_bounds) const {
+    // Kahn topological order over the reachable subgraph.
+    std::map<std::uint32_t, std::size_t> indeg;
+    for (const std::uint32_t pc : flow.reachable) indeg[pc];
+    for (const auto& [from, succs] : flow.succs) {
+      for (const std::uint32_t to : succs) ++indeg[to];
+    }
+    // The entry can carry incoming back... no: acyclic, but entry may have
+    // incoming forward edges only if something jumps back to it — that would
+    // be a cycle. Seed with all zero-indegree nodes (entry included).
+    std::deque<std::uint32_t> queue;
+    for (const auto& [pc, d] : indeg) {
+      if (d == 0) queue.push_back(pc);
+    }
+    std::vector<std::uint32_t> order;
+    std::map<std::uint32_t, std::size_t> deg = indeg;
+    while (!queue.empty()) {
+      const std::uint32_t pc = queue.front();
+      queue.pop_front();
+      order.push_back(pc);
+      const auto it = flow.succs.find(pc);
+      if (it == flow.succs.end()) continue;
+      for (const std::uint32_t to : it->second) {
+        if (--deg[to] == 0) queue.push_back(to);
+      }
+    }
+    // DP in reverse topological order: cost(pc) = w(pc) + max over succs.
+    std::map<std::uint32_t, std::uint64_t> cost;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const std::uint32_t pc = *it;
+      std::uint64_t w = 1;
+      const WInstr& ins = m_.code[pc];
+      if (decodable(ins) && ins.op == WOp::kCall && ins.imm >= 0 &&
+          static_cast<std::size_t>(ins.imm) < fn_bounds.size()) {
+        w += fn_bounds[static_cast<std::size_t>(ins.imm)];
+      }
+      std::uint64_t best_succ = 0;
+      const auto sit = flow.succs.find(pc);
+      if (sit != flow.succs.end()) {
+        for (const std::uint32_t to : sit->second) {
+          best_succ = std::max(best_succ, cost.count(to) ? cost[to] : 0);
+        }
+      }
+      cost[pc] = w + best_succ;
+    }
+    return cost.count(entry) ? cost[entry] : 0;
+  }
+
+  void cost_pass() {
+    const std::size_t n = m_.functions.size();
+    std::vector<CostStatus> status(n, CostStatus::kPending);
+    std::vector<std::uint64_t> bounds(n, 0);
+    std::vector<std::string> reasons(n);
+
+    for (std::uint32_t f = 0; f < n; ++f) {
+      WasmFunctionSummary& s = result_.functions[f];
+      if (m_.functions[f].entry >= m_.code.size()) {
+        status[f] = CostStatus::kUnbounded;
+        reasons[f] = "entry out of code";
+        continue;
+      }
+      s.has_loop = has_cycle(flows_[f], m_.functions[f].entry);
+      if (s.has_loop) {
+        status[f] = CostStatus::kUnbounded;
+        reasons[f] = "loop back-edge";
+      } else if (flows_[f].aborted) {
+        status[f] = CostStatus::kUnbounded;
+        reasons[f] = "verification budget exceeded";
+      }
+    }
+
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::uint32_t f = 0; f < n; ++f) {
+        if (status[f] != CostStatus::kPending) continue;
+        bool all_bounded = true, any_unbounded = false;
+        for (const std::uint32_t c : flows_[f].callees) {
+          if (status[c] == CostStatus::kUnbounded) any_unbounded = true;
+          if (status[c] != CostStatus::kBounded) all_bounded = false;
+        }
+        if (any_unbounded) {
+          status[f] = CostStatus::kUnbounded;
+          reasons[f] = "calls a cost-unbounded function";
+          changed = true;
+        } else if (all_bounded) {
+          bounds[f] = longest_path(flows_[f], m_.functions[f].entry, bounds);
+          status[f] = CostStatus::kBounded;
+          changed = true;
+        }
+      }
+    }
+    for (std::uint32_t f = 0; f < n; ++f) {
+      if (status[f] == CostStatus::kPending) {
+        status[f] = CostStatus::kUnbounded;
+        reasons[f] = "recursive (call-graph cycle)";
+        result_.functions[f].recursive = true;
+        result_.recursion_free = false;
+      }
+    }
+
+    for (std::uint32_t f = 0; f < n; ++f) {
+      WasmFunctionSummary& s = result_.functions[f];
+      const std::uint32_t entry = m_.functions[f].entry;
+      if (status[f] == CostStatus::kBounded) {
+        s.fuel_bound = bounds[f];
+        emit_once(Severity::kNote, "wasm.cost.bound", f,
+                  entry < m_.code.size() ? entry : 0,
+                  "'" + s.name + "' static fuel bound: " + std::to_string(bounds[f]) +
+                      " instructions per invoke");
+        result_.module_fuel_bound = std::max(result_.module_fuel_bound, bounds[f]);
+      } else {
+        result_.cost_bounded = false;
+        emit_once(Severity::kWarning, "wasm.cost.unbounded", f,
+                  entry < m_.code.size() ? entry : 0,
+                  "'" + s.name + "' has no static fuel bound (" + reasons[f] +
+                      "): runtime fuel metering required");
+      }
+    }
+  }
+
+  void finish_flags() {
+    const Report& rep = result_.report;
+    const bool aborted =
+        std::any_of(flows_.begin(), flows_.end(), [](const FnFlow& f) { return f.aborted; });
+    result_.memory_proven = !aborted && !rep.has("wasm.mem.unproven") && !rep.has("wasm.mem.oob");
+    result_.arithmetic_proven = !aborted;
+    for (const char* check : {"wasm.div.zero", "wasm.div.maybe_zero", "wasm.div.overflow",
+                              "wasm.div.maybe_overflow", "wasm.rem.zero",
+                              "wasm.rem.maybe_zero"}) {
+      if (rep.has(check)) result_.arithmetic_proven = false;
+    }
+    if (!result_.cost_bounded) result_.module_fuel_bound = 0;
+  }
+
+  const WModule& m_;
+  std::span<const WasmHostSig> hosts_;
+  WasmVerifyOptions opts_;
+
+  WasmVerifyResult result_;
+  std::vector<FnFlow> flows_;
+  std::set<std::pair<std::uint32_t, std::string>> emitted_;
+  std::set<std::uint32_t> has_exit_;
+  std::size_t mem_accesses_ = 0;
+  std::size_t mem_proven_ = 0;
+};
+
+}  // namespace
+
+WasmVerifyResult verify_module(const security::WModule& module,
+                               std::span<const WasmHostSig> hosts,
+                               const WasmVerifyOptions& options) {
+  return Verifier(module, hosts, options).run();
+}
+
+security::ModuleAdmission make_admission(const security::WModule& module,
+                                         const WasmVerifyResult& result) {
+  security::ModuleAdmission adm;
+  adm.module_digest = security::sha256(module.serialize());
+  adm.verified = result.ok();
+  adm.memory_proven = result.memory_proven;
+  adm.arithmetic_proven = result.arithmetic_proven;
+  adm.cost_bounded = result.cost_bounded;
+  adm.fuel_bound = result.cost_bounded ? result.module_fuel_bound : 0;
+  return adm;
+}
+
+}  // namespace vedliot::analysis

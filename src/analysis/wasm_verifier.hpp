@@ -1,0 +1,115 @@
+#pragma once
+/// \file wasm_verifier.hpp
+/// \brief Static bytecode verifier + abstract interpreter for the WASM-like
+/// VM (security/wasm.hpp) — the admission gate in front of multi-tenant
+/// enclave execution.
+///
+/// Today the VM discovers stack underflow, wild jumps, out-of-bounds memory
+/// and runaway loops only by trapping at runtime, mid-tenant-invoke. This
+/// pass proves those properties *before* the module runs, the same way the
+/// PR 4 IR verifier made graphs verified-before-execute, and reuses its
+/// Finding/Report machinery with stable dotted `wasm.*` check ids:
+///
+///  1. **Structural validation** — decodable opcodes, in-bounds
+///     jump/call/host-call targets, local indices vs the function's declared
+///     locals, data segment vs linear memory, entry points inside the code.
+///  2. **Abstract interpretation** — a worklist fixpoint over per-program-
+///     point abstract states (exact stack depth + a signed-interval value
+///     domain, interval.hpp, joined at merge points with widening) proving
+///     stack discipline and classifying every kLoad/kStore as provably-safe,
+///     provably-trapping (wasm.mem.oob) or unprovable (wasm.mem.unproven),
+///     and every kDivS/kRemS divisor as nonzero / zero / possibly-zero.
+///  3. **Static cost bounds** — a call-graph + back-edge analysis producing
+///     a worst-case fuel bound per function (longest path through the
+///     acyclic CFG, call sites charged the callee's bound), or an explicit
+///     wasm.cost.unbounded finding (loop or recursion) that forces runtime
+///     fuel metering and marks the tenant infeasible for static admission
+///     estimates in the serve layer.
+///
+/// Severity policy: anything the VM would trap on deterministically (or
+/// that makes behaviour undefined relative to the declared signature) is an
+/// error; anything the verifier merely cannot *prove* safe is a warning so
+/// the module stays runnable behind runtime checks. "Accepted" for the
+/// soundness contract — a module that can never trap (fuel exhaustion
+/// excepted) — means ok() && memory_proven && arithmetic_proven.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/finding.hpp"
+#include "analysis/interval.hpp"
+#include "security/admission.hpp"
+#include "security/wasm.hpp"
+
+namespace vedliot::analysis {
+
+/// Host import signature the module will be run against (the verifier
+/// checks kHostCall targets and arities against this table; an empty table
+/// means "no imports registered", under which any kHostCall is an error —
+/// exactly what the VM would trap on).
+struct WasmHostSig {
+  std::string name;
+  std::uint32_t nargs = 0;
+};
+
+struct WasmVerifyOptions {
+  /// Joins at one program point before bounds are widened to the i32
+  /// extremes (termination knob; higher = more precision on diamonds).
+  std::size_t widen_after = 4;
+  /// Worklist-step safety valve per function; exceeding it abandons the
+  /// function with wasm.verify.budget and conservative (unproven) flags.
+  std::size_t max_steps = 100000;
+};
+
+struct WasmFunctionSummary {
+  std::uint32_t index = 0;
+  std::string name;
+  std::size_t reachable_instrs = 0;
+  std::size_t max_stack_depth = 0;   ///< max abstract operand-stack depth
+  std::size_t mem_accesses = 0;      ///< reachable kLoad/kStore sites
+  std::size_t mem_proven = 0;        ///< of which proven in-bounds
+  bool has_loop = false;             ///< CFG back-edge
+  bool recursive = false;            ///< on a call-graph cycle
+  /// Worst-case instructions retired by one invoke (covers callees);
+  /// nullopt when a loop or recursion makes the cost unbounded.
+  std::optional<std::uint64_t> fuel_bound;
+};
+
+struct WasmVerifyResult {
+  Report report;
+  std::vector<WasmFunctionSummary> functions;
+
+  bool memory_proven = true;      ///< no wasm.mem.unproven / wasm.mem.oob
+  bool arithmetic_proven = true;  ///< no wasm.div.* / wasm.rem.* finding
+  bool cost_bounded = true;       ///< every function has a fuel bound
+  /// No call-graph cycle: call depth is bounded by the function count, so
+  /// the VM's depth limit cannot fire (for any realistic module size).
+  /// Recursion would make "call stack exhausted" reachable, which the
+  /// acceptance contract below must exclude.
+  bool recursion_free = true;
+  std::uint64_t module_fuel_bound = 0;  ///< max over functions when bounded
+
+  /// No error-severity finding: structurally well-formed + stack-sound.
+  bool ok() const { return report.ok(); }
+
+  /// The soundness contract: an accepted module cannot trap on WasmVm
+  /// (fuel exhaustion excepted), for any arguments and any host behaviour.
+  bool accepted() const {
+    return ok() && memory_proven && arithmetic_proven && recursion_free;
+  }
+};
+
+/// Run all three verification layers over \p module.
+WasmVerifyResult verify_module(const security::WModule& module,
+                               std::span<const WasmHostSig> hosts = {},
+                               const WasmVerifyOptions& options = {});
+
+/// Bind a verification result to the module it was computed for: the
+/// admission ticket the security layer (Enclave, attest_and_admit) checks.
+security::ModuleAdmission make_admission(const security::WModule& module,
+                                         const WasmVerifyResult& result);
+
+}  // namespace vedliot::analysis

@@ -16,11 +16,13 @@
 #include <vector>
 
 #include "analysis/verifier.hpp"
+#include "analysis/wasm_verifier.hpp"
 #include "graph/package.hpp"
 #include "graph/serialize.hpp"
 #include "graph/zoo.hpp"
 #include "opt/quantize.hpp"
 #include "runtime/memory_planner.hpp"
+#include "security/kvstore.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -39,6 +41,10 @@ int usage(const char* argv0) {
       << "  --materialize       materialize weights before linting\n"
       << "  --save <path>       write the loaded/built model as a package and exit\n"
       << "  --selftest          seed corrupt graphs, assert expected check ids\n"
+      << "  --wasm              verify a WASM tenant module instead of a graph\n"
+      << "  --wmod <name>       builtin module: kv, kvbench, add, spin\n"
+      << "                      (--wasm --selftest seeds one defect module per\n"
+      << "                       wasm.* check class and asserts each id fires)\n"
       << "exit: 0 clean, 1 error findings, 2 usage/load failure\n";
   return 2;
 }
@@ -167,12 +173,216 @@ int run_selftest() {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// WASM mode: static bytecode verification of tenant modules
+// ---------------------------------------------------------------------------
+
+using security::WModule;
+using security::WOp;
+
+WModule wasm_add_module() {
+  WModule m;
+  m.code = {{WOp::kLocalGet, 0}, {WOp::kLocalGet, 1}, {WOp::kAdd, 0}, {WOp::kRet, 0}};
+  m.functions = {{"add", 0, 2, 2, true}};
+  return m;
+}
+
+WModule wasm_spin_module() {
+  WModule m;
+  m.code = {{WOp::kJmp, 0}};
+  m.functions = {{"spin", 0, 0, 0, false}};
+  return m;
+}
+
+WModule wasm_builtin(const std::string& name) {
+  if (name == "kv") return security::build_kv_module(64);
+  if (name == "kvbench") return security::build_kv_module(8192);
+  if (name == "add") return wasm_add_module();
+  if (name == "spin") return wasm_spin_module();
+  throw NotFound("unknown builtin wasm module: " + name + " (kv, kvbench, add, spin)");
+}
+
+struct WasmSelftestCase {
+  const char* name;
+  const char* expected_check;
+  WModule (*make)();
+};
+
+int run_wasm_selftest() {
+  // One seeded defect module per wasm.* check class. Warning-class defects
+  // (unproven memory, possible division traps, unbounded cost) leave the
+  // module runnable, so the assertion is on the check id, not on ok().
+  const WasmSelftestCase cases[] = {
+      {"bad-opcode", "wasm.struct.opcode",
+       [] {
+         WModule m;
+         m.code = {{static_cast<WOp>(200), 0}};
+         m.functions = {{"f", 0, 0, 0, false}};
+         return m;
+       }},
+      {"wild-jump", "wasm.struct.jump.target",
+       [] {
+         WModule m;
+         m.code = {{WOp::kJmp, 99}};
+         m.functions = {{"f", 0, 0, 0, false}};
+         return m;
+       }},
+      {"call-out-of-range", "wasm.struct.call.target",
+       [] {
+         WModule m;
+         m.code = {{WOp::kCall, 9}, {WOp::kHalt, 0}};
+         m.functions = {{"f", 0, 0, 0, false}};
+         return m;
+       }},
+      {"unregistered-host", "wasm.struct.host.target",
+       [] {
+         WModule m;
+         m.code = {{WOp::kHostCall, 0}, {WOp::kHalt, 0}};
+         m.functions = {{"f", 0, 0, 0, false}};
+         return m;
+       }},
+      {"local-out-of-range", "wasm.struct.local.index",
+       [] {
+         WModule m;
+         m.code = {{WOp::kLocalGet, 5}, {WOp::kRet, 0}};
+         m.functions = {{"f", 0, 1, 1, true}};
+         return m;
+       }},
+      {"data-overflow", "wasm.struct.data.overflow",
+       [] {
+         WModule m = wasm_add_module();
+         m.memory_bytes = 8;
+         m.data.assign(16, 0xAB);
+         return m;
+       }},
+      {"stack-underflow", "wasm.stack.underflow",
+       [] {
+         WModule m;
+         m.code = {{WOp::kAdd, 0}, {WOp::kHalt, 0}};
+         m.functions = {{"f", 0, 0, 0, false}};
+         return m;
+       }},
+      {"depth-mismatch", "wasm.stack.depth.mismatch",
+       [] {
+         WModule m;
+         m.code = {{WOp::kLocalGet, 0},
+                   {WOp::kJmpIfZ, 3},
+                   {WOp::kConst, 1},
+                   {WOp::kRet, 0}};
+         m.functions = {{"f", 0, 1, 1, true}};
+         return m;
+       }},
+      {"missing-return-value", "wasm.stack.ret.missing",
+       [] {
+         WModule m;
+         m.code = {{WOp::kRet, 0}};
+         m.functions = {{"f", 0, 0, 0, true}};
+         return m;
+       }},
+      {"fallthrough-off-end", "wasm.flow.fallthrough",
+       [] {
+         WModule m;
+         m.code = {{WOp::kConst, 1}, {WOp::kDrop, 0}};
+         m.functions = {{"f", 0, 0, 0, false}};
+         return m;
+       }},
+      {"provable-oob-store", "wasm.mem.oob",
+       [] {
+         WModule m;
+         m.code = {{WOp::kConst, 70000}, {WOp::kConst, 1}, {WOp::kStore, 0}, {WOp::kHalt, 0}};
+         m.functions = {{"f", 0, 0, 0, false}};
+         return m;
+       }},
+      {"unproven-load", "wasm.mem.unproven",
+       [] {
+         WModule m;
+         m.code = {{WOp::kLocalGet, 0}, {WOp::kLoad, 0}, {WOp::kRet, 0}};
+         m.functions = {{"f", 0, 1, 1, true}};
+         return m;
+       }},
+      {"divide-by-zero", "wasm.div.zero",
+       [] {
+         WModule m;
+         m.code = {{WOp::kConst, 1}, {WOp::kConst, 0}, {WOp::kDivS, 0}, {WOp::kRet, 0}};
+         m.functions = {{"f", 0, 0, 0, true}};
+         return m;
+       }},
+      {"maybe-divide-by-zero", "wasm.div.maybe_zero",
+       [] {
+         WModule m;
+         m.code = {{WOp::kConst, 10}, {WOp::kLocalGet, 0}, {WOp::kDivS, 0}, {WOp::kRet, 0}};
+         m.functions = {{"f", 0, 1, 1, true}};
+         return m;
+       }},
+      {"int-min-div-minus-one", "wasm.div.overflow",
+       [] {
+         WModule m;
+         m.code = {{WOp::kConst, INT32_MIN}, {WOp::kConst, -1}, {WOp::kDivS, 0}, {WOp::kRet, 0}};
+         m.functions = {{"f", 0, 0, 0, true}};
+         return m;
+       }},
+      {"infinite-loop", "wasm.cost.unbounded", wasm_spin_module},
+      {"recursion", "wasm.cost.unbounded",
+       [] {
+         WModule m;
+         m.code = {{WOp::kCall, 0}, {WOp::kRet, 0}};
+         m.functions = {{"f", 0, 0, 0, false}};
+         return m;
+       }},
+  };
+  int failures = 0;
+  for (const auto& c : cases) {
+    const auto res = analysis::verify_module(c.make());
+    const bool hit = res.report.has(c.expected_check);
+    std::cout << (hit ? "PASS" : "FAIL") << "  " << c.name << "  expects " << c.expected_check
+              << "  (" << res.report.summary() << ")\n";
+    if (!hit) ++failures;
+  }
+  // A clean straight-line module must come out fully accepted with an exact
+  // static fuel bound (4 retired instructions per invoke of add).
+  const auto clean = analysis::verify_module(wasm_add_module());
+  const bool clean_ok =
+      clean.accepted() && clean.cost_bounded && clean.module_fuel_bound == 4;
+  std::cout << (clean_ok ? "PASS" : "FAIL")
+            << "  clean-module  expects accepted + fuel bound 4  (bound "
+            << clean.module_fuel_bound << ")\n";
+  if (!clean_ok) ++failures;
+  if (failures != 0) {
+    std::cerr << failures << " wasm selftest case(s) did not report the expected check id\n";
+    return 1;
+  }
+  std::cout << "wasm selftest: all defect classes detected\n";
+  return 0;
+}
+
+int run_wasm(const std::string& wmod, const std::string& format) {
+  const WModule module = wasm_builtin(wmod);
+  const auto res = analysis::verify_module(module);
+  if (format == "jsonl") {
+    std::cout << res.report.to_json_lines();
+  } else {
+    if (!res.report.empty()) std::cout << res.report.to_table();
+    std::cout << wmod << ": " << res.report.summary() << "\n";
+    std::cout << wmod << ": verified=" << (res.ok() ? "yes" : "no")
+              << " accepted=" << (res.accepted() ? "yes" : "no")
+              << " memory=" << (res.memory_proven ? "proven" : "unproven")
+              << " arithmetic=" << (res.arithmetic_proven ? "proven" : "unproven");
+    if (res.cost_bounded) {
+      std::cout << " fuel_bound=" << res.module_fuel_bound;
+    } else {
+      std::cout << " fuel_bound=unbounded";
+    }
+    std::cout << "\n";
+  }
+  return res.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string model_path, zoo_name, save_path;
+  std::string model_path, zoo_name, save_path, wmod;
   std::string checks = "all", format = "table";
-  bool materialize = false, selftest = false;
+  bool materialize = false, selftest = false, wasm = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -192,6 +402,10 @@ int main(int argc, char** argv) {
         format = value("--format");
       } else if (arg.rfind("--save", 0) == 0) {
         save_path = value("--save");
+      } else if (arg.rfind("--wmod", 0) == 0) {
+        wmod = value("--wmod");
+      } else if (arg == "--wasm") {
+        wasm = true;
       } else if (arg == "--materialize") {
         materialize = true;
       } else if (arg == "--selftest") {
@@ -206,13 +420,26 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (format != "table" && format != "jsonl") {
+    std::cerr << "unknown format: " << format << "\n";
+    return usage(argv[0]);
+  }
+  if (wasm) {
+    if (selftest) return run_wasm_selftest();
+    if (wmod.empty()) {
+      std::cerr << "--wasm needs --wmod <name> (or --selftest)\n";
+      return usage(argv[0]);
+    }
+    try {
+      return run_wasm(wmod, format);
+    } catch (const Error& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+  }
   if (selftest) return run_selftest();
   if (model_path.empty() == zoo_name.empty()) {
     std::cerr << "exactly one of --model or --zoo is required\n";
-    return usage(argv[0]);
-  }
-  if (format != "table" && format != "jsonl") {
-    std::cerr << "unknown format: " << format << "\n";
     return usage(argv[0]);
   }
 

@@ -226,8 +226,11 @@ void Executor::run_waves(const std::map<std::string, Tensor>& feeds) {
 std::map<std::string, Tensor> Executor::run(const std::map<std::string, Tensor>& feeds) {
   values_.clear();
   nodes_executed_ = 0;
-  gemm_flops_ = 0;
-  gemm_seconds_ = 0;
+  {
+    std::lock_guard<std::mutex> lock(gemm_stats_mutex_);
+    gemm_flops_ = 0;
+    gemm_seconds_ = 0;
+  }
   // Dispatch level resolved per run (env overrides are live) — the whole
   // run executes at one level.
   active_simd_ = util::resolve_simd_level(simd_req_);
@@ -270,8 +273,11 @@ std::map<std::string, Tensor> Executor::run(const std::map<std::string, Tensor>&
     metrics_->counter(runtime_detail::kRunsCounter).inc();
     metrics_->counter(runtime_detail::kNodesCounter).inc(nodes_executed_);
     metrics_->gauge(runtime_detail::kThreadsGauge).set(static_cast<double>(threads_));
-    if (gemm_seconds_ > 0) {
-      metrics_->gauge(runtime_detail::kGemmGflopsGauge).set(gemm_flops_ / gemm_seconds_ / 1e9);
+    {
+      std::lock_guard<std::mutex> lock(gemm_stats_mutex_);
+      if (gemm_seconds_ > 0) {
+        metrics_->gauge(runtime_detail::kGemmGflopsGauge).set(gemm_flops_ / gemm_seconds_ / 1e9);
+      }
     }
     if (arena_stats_.active) {
       metrics_->gauge(runtime_detail::kArenaBytesGauge)

@@ -29,6 +29,7 @@
 #include "obs/trace.hpp"
 #include "runtime/kernels.hpp"
 #include "runtime/microkernel.hpp"
+#include "util/thread_safety.hpp"
 #include "runtime/packed_cache.hpp"
 #include "tensor/tensor.hpp"
 #include "util/cpu.hpp"
@@ -197,9 +198,9 @@ class Executor {
 
   // Per-run GEMM accounting feeding the GFLOP/s gauge; the mutex serializes
   // updates from concurrent wave nodes.
-  double gemm_flops_ = 0;
-  double gemm_seconds_ = 0;
   std::mutex gemm_stats_mutex_;
+  double gemm_flops_ VEDLIOT_GUARDED_BY(gemm_stats_mutex_) = 0;
+  double gemm_seconds_ VEDLIOT_GUARDED_BY(gemm_stats_mutex_) = 0;
 
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -7,7 +7,6 @@ const std::vector<T>& PackedWeightCache::get(std::map<Key, Entry<T>>& table, Nod
                                              std::int64_t group, std::uint64_t graph_version,
                                              const MicrokernelTile& tile,
                                              const std::function<void(std::vector<T>&)>& pack) {
-  std::lock_guard<std::mutex> lock(mutex_);
   Entry<T>& e = table[{node, group}];
   if (e.version != graph_version || e.mr != tile.mr || e.nr != tile.nr || e.data.empty()) {
     e.data.clear();
@@ -23,12 +22,14 @@ const std::vector<T>& PackedWeightCache::get(std::map<Key, Entry<T>>& table, Nod
 const std::vector<float>& PackedWeightCache::get_f32(
     NodeId node, std::int64_t group, std::uint64_t graph_version, const MicrokernelTile& tile,
     const std::function<void(std::vector<float>&)>& pack) {
+  std::lock_guard<std::mutex> lock(mutex_);
   return get(f32_, node, group, graph_version, tile, pack);
 }
 
 const std::vector<std::int32_t>& PackedWeightCache::get_s8(
     NodeId node, std::int64_t group, std::uint64_t graph_version, const MicrokernelTile& tile,
     const std::function<void(std::vector<std::int32_t>&)>& pack) {
+  std::lock_guard<std::mutex> lock(mutex_);
   return get(s8_, node, group, graph_version, tile, pack);
 }
 

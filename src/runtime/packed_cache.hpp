@@ -26,6 +26,7 @@
 
 #include "graph/graph.hpp"
 #include "runtime/microkernel.hpp"
+#include "util/thread_safety.hpp"
 
 namespace vedliot::runtime_kernels {
 
@@ -63,12 +64,13 @@ class PackedWeightCache {
   template <typename T>
   const std::vector<T>& get(std::map<Key, Entry<T>>& table, NodeId node, std::int64_t group,
                             std::uint64_t graph_version, const MicrokernelTile& tile,
-                            const std::function<void(std::vector<T>&)>& pack);
+                            const std::function<void(std::vector<T>&)>& pack)
+      VEDLIOT_REQUIRES(mutex_);
 
-  std::map<Key, Entry<float>> f32_;
-  std::map<Key, Entry<std::int32_t>> s8_;
   mutable std::mutex mutex_;
-  std::size_t packs_ = 0;
+  std::map<Key, Entry<float>> f32_ VEDLIOT_GUARDED_BY(mutex_);
+  std::map<Key, Entry<std::int32_t>> s8_ VEDLIOT_GUARDED_BY(mutex_);
+  std::size_t packs_ VEDLIOT_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace vedliot::runtime_kernels

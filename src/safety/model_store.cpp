@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <mutex>
 
 #include "runtime/session.hpp"
 #include "util/error.hpp"
@@ -72,6 +73,7 @@ const ModelStore::Slot& ModelStore::slot(const std::string& name) const {
 }
 
 std::uint32_t ModelStore::install(const std::string& name, const Graph& g) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (slots_.count(name)) throw InvalidArgument("model '" + name + "' already installed");
   VEDLIOT_CHECK(g.weights_materialized(), "the golden model needs materialized weights");
   Slot s;
@@ -82,22 +84,35 @@ std::uint32_t ModelStore::install(const std::string& name, const Graph& g) {
   return 1;
 }
 
-bool ModelStore::has(const std::string& name) const { return slots_.count(name) > 0; }
+bool ModelStore::has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.count(name) > 0;
+}
 
 const ModelStore::Version& ModelStore::current(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return slot(name).current;
 }
 
 std::uint32_t ModelStore::version(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return slot(name).current.version;
 }
 
 bool ModelStore::can_rollback(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return slot(name).previous.has_value();
 }
 
 Graph ModelStore::materialize(const std::string& name) const {
-  return unpack_model(slot(name).current.package);
+  // Snapshot the package bytes under the lock, unpack (digest checks, IR
+  // verification, tensor materialization) outside it.
+  std::vector<std::uint8_t> package;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    package = slot(name).current.package;
+  }
+  return unpack_model(package);
 }
 
 std::size_t ModelStore::repair(const std::string& name, Graph& live,
@@ -148,6 +163,7 @@ std::size_t ModelStore::restore(const std::string& name, Graph& live) const {
 }
 
 ModelStore::OtaReport ModelStore::push(const std::string& name, const OtaPackage& update) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = slots_.find(name);
   if (it == slots_.end()) throw NotFound("model store has no entry '" + name + "'");
   Slot& s = it->second;
@@ -211,6 +227,7 @@ ModelStore::OtaReport ModelStore::push(const std::string& name, const OtaPackage
 }
 
 ModelStore::OtaReport ModelStore::rollback(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = slots_.find(name);
   if (it == slots_.end()) throw NotFound("model store has no entry '" + name + "'");
   Slot& s = it->second;

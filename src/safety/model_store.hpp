@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -32,6 +33,7 @@
 #include "graph/graph.hpp"
 #include "graph/package.hpp"
 #include "safety/scrub.hpp"
+#include "util/thread_safety.hpp"
 
 namespace vedliot::safety {
 
@@ -128,10 +130,16 @@ class ModelStore {
     std::uint32_t next_version = 2;
   };
 
-  const Slot& slot(const std::string& name) const;
+  const Slot& slot(const std::string& name) const VEDLIOT_REQUIRES(mutex_);
 
   Config cfg_;
-  std::map<std::string, Slot> slots_;
+  // One store may back several serving surfaces at once (a Server's scrub
+  // ticks plus an out-of-band OTA push); the mutex serializes the version
+  // map. The reference current() returns is only stable until the next
+  // push()/rollback() for that name — callers snapshot what they need
+  // rather than holding it across updates.
+  mutable std::mutex mutex_;
+  std::map<std::string, Slot> slots_ VEDLIOT_GUARDED_BY(mutex_);
 };
 
 }  // namespace vedliot::safety

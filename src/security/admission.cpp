@@ -1,0 +1,17 @@
+#include "security/admission.hpp"
+
+namespace vedliot::security {
+
+double tenant_cost_s(const ModuleAdmission& admission, double vm_ns_per_instr) {
+  if (!admission.cost_bounded) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(admission.fuel_bound) * vm_ns_per_instr * 1e-9;
+}
+
+bool attest_and_admit(const AttestationAuthority& authority, const Quote& quote,
+                      std::uint64_t expected_nonce, const ModuleAdmission& admission) {
+  if (!admission.verified) return false;
+  if (!digest_equal(quote.measurement, admission.module_digest)) return false;
+  return authority.verify(quote, expected_nonce);
+}
+
+}  // namespace vedliot::security

@@ -1,0 +1,61 @@
+#pragma once
+/// \file admission.hpp
+/// \brief Verifier-backed module admission: the record a static bytecode
+/// verification pass produces, bound to a module measurement, that the
+/// enclave / attestation path checks before agreeing to run (or unseal
+/// anything for) an untrusted tenant module.
+///
+/// The record itself is deliberately dumb — a digest plus proof flags — so
+/// `vedliot_security` does not depend on `vedliot_analysis`: the verifier
+/// (analysis/wasm_verifier.hpp) fills one in via `make_admission`, and the
+/// enclave only has to compare the digest against its own MRENCLAVE-style
+/// measurement and consult the flags. Forging a ticket for a different
+/// module fails the digest comparison; re-using a genuine ticket after
+/// patching the module changes the measurement and fails it too.
+
+#include <cstdint>
+#include <limits>
+
+#include "security/attestation.hpp"
+#include "security/crypto.hpp"
+
+namespace vedliot::security {
+
+/// What the static verifier proved about one module. Produced by
+/// analysis::make_admission; consumed by Enclave and attest_and_admit.
+struct ModuleAdmission {
+  /// SHA-256 over WModule::serialize() — must equal the enclave measurement.
+  Digest module_digest{};
+
+  /// No error-severity wasm.* finding: well-formed bytecode with sound stack
+  /// discipline. The baseline admission requirement.
+  bool verified = false;
+
+  /// Every reachable load/store proven in-bounds (no wasm.mem.unproven).
+  bool memory_proven = false;
+
+  /// No possible division trap left unproven (no wasm.div.* / wasm.rem.*).
+  bool arithmetic_proven = false;
+
+  /// Every function has a static worst-case fuel bound (no
+  /// wasm.cost.unbounded); fuel_bound is meaningful only when set.
+  bool cost_bounded = false;
+
+  /// Worst-case instructions retired by any single exported-function invoke.
+  std::uint64_t fuel_bound = 0;
+};
+
+/// Worst-case single-invoke service time implied by a static fuel bound at
+/// the enclave's interpreter rate. Returns +infinity for a cost-unbounded
+/// admission — the serve layer treats such tenants as infeasible at
+/// admission unless they carry explicit runtime fuel metering headroom.
+double tenant_cost_s(const ModuleAdmission& admission, double vm_ns_per_instr);
+
+/// End-to-end remote gate: true only when the quote's MAC and nonce verify
+/// AND the attested measurement equals the digest of a verifier-approved
+/// admission. A genuine quote over an unverified module — or a verified
+/// admission for a different module than the one attested — is refused.
+bool attest_and_admit(const AttestationAuthority& authority, const Quote& quote,
+                      std::uint64_t expected_nonce, const ModuleAdmission& admission);
+
+}  // namespace vedliot::security

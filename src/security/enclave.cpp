@@ -4,11 +4,26 @@
 
 namespace vedliot::security {
 
-Enclave::Enclave(EnclaveConfig config, WModule module, Key platform_root)
+Enclave::Enclave(EnclaveConfig config, WModule module, Key platform_root,
+                 ModuleAdmission admission)
     : config_(config),
       measurement_(sha256(module.serialize())),
+      admission_(admission),
       platform_root_(platform_root),
-      vm_(std::move(module)) {}
+      vm_(std::move(module)) {
+  if (config_.require_verified) {
+    if (!admission_.verified) {
+      throw EnclaveError("enclave refuses unverified module: no verifier admission");
+    }
+    if (!digest_equal(admission_.module_digest, measurement_)) {
+      throw EnclaveError(
+          "enclave refuses module: admission digest does not match measurement");
+    }
+  }
+  if (config_.require_cost_bound && !admission_.cost_bounded) {
+    throw EnclaveError("enclave refuses module without a static fuel bound");
+  }
+}
 
 void Enclave::add_host(HostImport import) {
   // Wrap the import so every invocation is accounted as an OCALL.
@@ -25,6 +40,12 @@ std::int32_t Enclave::ecall(const std::string& fn, const std::vector<std::int32_
   ++ledger_.ecalls;
   ledger_.simulated_ns += config_.ecall_ns;
   const std::uint64_t before = vm_.instructions_retired();
+  if (config_.require_cost_bound && admission_.cost_bounded) {
+    // The static worst-case bound doubles as a per-invoke fuel cap: a module
+    // that exceeds its own proof is misbehaving and traps immediately.
+    // Fuel accounting is cumulative across invokes, so re-anchor each ecall.
+    vm_.set_fuel_limit(before + admission_.fuel_bound);
+  }
   const std::int32_t result = vm_.invoke(fn, args);
   const std::uint64_t executed = vm_.instructions_retired() - before;
   ledger_.vm_instructions += executed;

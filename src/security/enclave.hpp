@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "security/admission.hpp"
 #include "security/crypto.hpp"
 #include "security/wasm.hpp"
 
@@ -23,6 +24,13 @@ struct EnclaveConfig {
   double epc_kib = 93 * 1024;      ///< usable EPC before paging
   double paging_ns_per_kib = 3500; ///< EPC eviction cost
   double vm_ns_per_instr = 2.0;    ///< interpreter cost inside the enclave
+
+  /// Refuse to load a module without a verifier admission whose digest
+  /// matches the measurement (default-on gate; benches that deliberately
+  /// run unverified modules opt out explicitly).
+  bool require_verified = true;
+  /// Additionally refuse modules without a static worst-case fuel bound.
+  bool require_cost_bound = false;
 };
 
 struct CostLedger {
@@ -47,7 +55,14 @@ class EnclaveError : public Error {
 class Enclave {
  public:
   /// \param platform_root the device's hardware root key (fused).
-  Enclave(EnclaveConfig config, WModule module, Key platform_root);
+  /// \param admission the static verifier's ticket for this exact module
+  ///        (analysis::make_admission). With config.require_verified the
+  ///        constructor throws EnclaveError unless the ticket is verified
+  ///        and its digest equals the enclave measurement; with
+  ///        config.require_cost_bound it additionally demands a static fuel
+  ///        bound, which every ecall then enforces as a per-invoke fuel cap.
+  Enclave(EnclaveConfig config, WModule module, Key platform_root,
+          ModuleAdmission admission = {});
 
   /// MRENCLAVE: SHA-256 over the module image.
   const Digest& measurement() const { return measurement_; }
@@ -68,6 +83,7 @@ class Enclave {
   std::vector<std::uint8_t> unseal(const SealedBlob& blob);
 
   const CostLedger& ledger() const { return ledger_; }
+  const ModuleAdmission& admission() const { return admission_; }
   WasmVm& vm() { return vm_; }
 
  private:
@@ -75,6 +91,7 @@ class Enclave {
 
   EnclaveConfig config_;
   Digest measurement_;
+  ModuleAdmission admission_;
   Key platform_root_;
   WasmVm vm_;
   CostLedger ledger_;

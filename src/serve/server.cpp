@@ -252,6 +252,11 @@ double Server::service_time(const std::string& slot, std::int64_t batch) const {
   return it->second * static_cast<double>(batch) / std::max(scale, 1e-9);
 }
 
+double Server::tenant_overhead(const std::string& client) const {
+  const auto it = cfg_.tenant_cost_s.find(client);
+  return it == cfg_.tenant_cost_s.end() ? 0.0 : it->second;
+}
+
 std::optional<std::pair<double, double>> Server::service_bounds(std::int64_t batch) const {
   double fast = kInf, slow = 0;
   for (const auto& slot : cfg_.backends) {
@@ -272,6 +277,17 @@ void Server::admit(const Request& r) {
   double& tokens = retry_tokens_[r.client];
   tokens = std::min(cfg_.retry_token_cap, tokens + cfg_.retry_tokens_per_request);
   const std::string subject = "request " + std::to_string(r.id);
+
+  // Tenant sandbox surcharge from the static verifier's fuel bound. No
+  // bound means the cost model cannot promise anything about this client's
+  // module: its requests are infeasible by construction.
+  const double tenant = tenant_overhead(r.client);
+  if (!std::isfinite(tenant)) {
+    ++report_.shed;
+    log(t, ServeEventKind::kShed, subject,
+        "tenant module has no static cost bound (wasm.cost.unbounded)");
+    return;
+  }
 
   const BrownoutStep& step = rung();
   if (step.exec.max_batch > 0 && r.batch > step.exec.max_batch) {
@@ -301,7 +317,7 @@ void Server::admit(const Request& r) {
                           (static_cast<double>(queue_.depth()) /
                            static_cast<double>(allowed)) *
                               bounds->first +
-                          bounds->second;
+                          bounds->second + tenant;
   if (est_done > r.deadline_s) {
     ++report_.shed;
     log(t, ServeEventKind::kShed, subject,
@@ -421,6 +437,9 @@ void Server::try_dispatch(double t) {
         best_svc = svc;
       }
     }
+    // The tenant surcharge is backend-independent, so it never changes the
+    // choice of slot — only feasibility and the modeled finish time.
+    best_svc += tenant_overhead(r.client);
 
     if (t + best_svc > ticket->deadline_s) {
       ++report_.cancelled;

@@ -161,6 +161,14 @@ struct ServerConfig {
   /// attributed to the push itself (the freshly-written image is bad):
   /// roll back instead of repairing.
   std::size_t ota_probation_sweeps = 1;
+
+  /// Per-client worst-case sandbox surcharge in seconds, derived from each
+  /// tenant module's static fuel bound (security::tenant_cost_s over a
+  /// verifier ModuleAdmission). Added to admission estimates and dispatch
+  /// feasibility for that client's requests. +infinity — the verifier found
+  /// no static bound (wasm.cost.unbounded) — sheds the tenant's requests at
+  /// admission. Clients not in the map pay no surcharge.
+  std::map<std::string, double> tenant_cost_s;
 };
 
 struct ServeReport {
@@ -250,6 +258,9 @@ class Server {
   void log_transition(double t, const std::string& slot, const BreakerTransition& tr);
   const BrownoutStep& rung() const { return cfg_.ladder[static_cast<std::size_t>(level_)]; }
   double service_time(const std::string& slot, std::int64_t batch) const;
+  /// Static-fuel-bound surcharge for this client (0 when unconfigured,
+  /// +inf for cost-unbounded tenants).
+  double tenant_overhead(const std::string& client) const;
   /// Fastest/slowest healthy-rate service time over allowed backends; empty
   /// when every breaker is open.
   std::optional<std::pair<double, double>> service_bounds(std::int64_t batch) const;

@@ -27,6 +27,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/thread_safety.hpp"
+
 namespace vedliot::util {
 
 class ThreadPool {
@@ -60,7 +62,12 @@ class ThreadPool {
 
  private:
   void worker_loop();
-  void run_chunks(const ChunkFn& fn);
+  // Reads the dispatch geometry without the lock: those fields are frozen
+  // for the whole epoch (written under mutex_ before the epoch bump that
+  // releases the workers, next read only after the wake-up acquires the
+  // same mutex), and the chunk cursor is the atomic. The analysis cannot
+  // see the epoch protocol, hence the opt-out.
+  void run_chunks(const ChunkFn& fn) VEDLIOT_NO_THREAD_SAFETY_ANALYSIS;
 
   const unsigned threads_;
   std::vector<std::thread> workers_;
@@ -68,18 +75,20 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  bool stop_ = false;
-  std::uint64_t epoch_ = 0;  ///< bumped per dispatch; workers wake on change
+  bool stop_ VEDLIOT_GUARDED_BY(mutex_) = false;
+  /// Bumped per dispatch; workers wake on change.
+  std::uint64_t epoch_ VEDLIOT_GUARDED_BY(mutex_) = 0;
 
-  // Dispatch state, valid while a parallel_for is in flight.
-  const ChunkFn* fn_ = nullptr;
-  std::int64_t begin_ = 0;
-  std::int64_t end_ = 0;
-  std::int64_t chunk_len_ = 0;
-  std::size_t chunk_count_ = 0;
+  // Dispatch state, valid while a parallel_for is in flight (frozen per
+  // epoch — see run_chunks).
+  const ChunkFn* fn_ VEDLIOT_GUARDED_BY(mutex_) = nullptr;
+  std::int64_t begin_ VEDLIOT_GUARDED_BY(mutex_) = 0;
+  std::int64_t end_ VEDLIOT_GUARDED_BY(mutex_) = 0;
+  std::int64_t chunk_len_ VEDLIOT_GUARDED_BY(mutex_) = 0;
+  std::size_t chunk_count_ VEDLIOT_GUARDED_BY(mutex_) = 0;
   std::atomic<std::size_t> next_chunk_{0};
-  std::size_t workers_done_ = 0;
-  std::exception_ptr first_error_;
+  std::size_t workers_done_ VEDLIOT_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr first_error_ VEDLIOT_GUARDED_BY(mutex_);
 };
 
 }  // namespace vedliot::util

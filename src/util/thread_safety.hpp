@@ -1,0 +1,49 @@
+#pragma once
+/// \file thread_safety.hpp
+/// \brief Clang Thread Safety Analysis annotations, compiled away elsewhere.
+///
+/// The project's concurrency protocol is lock-per-object and deliberately
+/// small: a handful of classes own one mutex each and everything else is
+/// single-threaded or immutable. These macros let those classes *state* the
+/// protocol (which fields a mutex guards, which private helpers expect the
+/// lock held) so `clang -Wthread-safety` proves it at compile time —
+/// scripts/lint.sh runs that pass when clang is on PATH. Under gcc (the
+/// default CI toolchain) every macro expands to nothing.
+///
+/// Only the attributes the codebase actually uses are wrapped; add more from
+/// clang's thread-safety attribute set as callers need them.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define VEDLIOT_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef VEDLIOT_THREAD_ANNOTATION
+#define VEDLIOT_THREAD_ANNOTATION(x)
+#endif
+
+/// Field is protected by the given mutex: reads and writes require it held.
+#define VEDLIOT_GUARDED_BY(x) VEDLIOT_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the given mutex.
+#define VEDLIOT_PT_GUARDED_BY(x) VEDLIOT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function must be called with the mutex(es) already held.
+#define VEDLIOT_REQUIRES(...) \
+  VEDLIOT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires / releases the mutex(es) (lock-wrapper helpers).
+#define VEDLIOT_ACQUIRE(...) \
+  VEDLIOT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define VEDLIOT_RELEASE(...) \
+  VEDLIOT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the mutex(es) held (deadlock guard for
+/// public entry points of self-locking classes).
+#define VEDLIOT_EXCLUDES(...) VEDLIOT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch for code whose synchronization the analysis cannot see
+/// (epoch protocols, atomics standing in for a lock). Use with a comment
+/// explaining the actual protocol.
+#define VEDLIOT_NO_THREAD_SAFETY_ANALYSIS \
+  VEDLIOT_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "exec_single.hpp"
+#include "analysis/wasm_verifier.hpp"
 #include "core/designflow.hpp"
 #include "graph/cost.hpp"
 #include "graph/serialize.hpp"
@@ -81,18 +82,25 @@ TEST(Integration, SerializeShipAndReEstimate) {
 }
 
 TEST(Integration, AttestedEnclaveRunsSecureInference) {
-  // A KV workload inside the enclave, attested end-to-end: device quote
-  // covering the enclave measurement, verified by the authority, then the
-  // verifier trusts the enclave's computation results.
+  // A KV workload inside the enclave, attested end-to-end: static bytecode
+  // verification produces the admission ticket the enclave demands, a device
+  // quote covers the enclave measurement, the authority verifies it, and
+  // attest_and_admit combines both before the results are trusted.
   security::Key root{};
   root[7] = 0xAB;
   security::AttestationAuthority authority(root);
 
-  security::Enclave enclave(security::EnclaveConfig{}, security::build_kv_module(64), root);
+  const auto module = security::build_kv_module(64);
+  const auto verdict = analysis::verify_module(module);
+  ASSERT_TRUE(verdict.ok()) << verdict.report.to_table();
+  const auto admission = analysis::make_admission(module, verdict);
+
+  security::Enclave enclave(security::EnclaveConfig{}, module, root, admission);
   security::DeviceAgent device("edge-node-3", authority.provision("edge-node-3"));
 
   const auto quote = device.quote(enclave.measurement(), 424242);
   ASSERT_TRUE(authority.verify(quote, 424242));
+  ASSERT_TRUE(security::attest_and_admit(authority, quote, 424242, admission));
 
   EXPECT_EQ(enclave.ecall("kv_put", {7, 1000}), 1);
   EXPECT_EQ(enclave.ecall("kv_get", {7}), 1000);

@@ -297,6 +297,75 @@ TEST(Wasm, SerializeDeterministic) {
   EXPECT_NE(other.serialize(), add_module().serialize());
 }
 
+// Exact trap-message pins: the static verifier's check-id table
+// (analysis/wasm_verifier.hpp, DESIGN.md §13) cross-references these
+// strings, and test_wasm_verifier's defect-class companions match on
+// substrings of them — a reworded trap must show up here first.
+std::string trap_what(WModule m, const std::string& fn,
+                      const std::vector<std::int32_t>& args,
+                      std::uint64_t fuel = 100'000'000) {
+  WasmVm vm(std::move(m));
+  vm.set_fuel_limit(fuel);
+  try {
+    (void)vm.invoke(fn, args);
+  } catch (const WasmTrap& t) {
+    return t.what();
+  }
+  return "<no trap>";
+}
+
+TEST(Wasm, TrapMessagesAreStable) {
+  auto fn = [](std::vector<WInstr> code, std::uint32_t nargs, std::uint32_t nlocals,
+               bool returns_value) {
+    WModule m;
+    m.code = std::move(code);
+    m.functions = {{"f", 0, nargs, nlocals, returns_value}};
+    return m;
+  };
+
+  EXPECT_EQ(trap_what(add_module(), "add", {1}), "function add expects 2 args");
+  EXPECT_EQ(trap_what(fn({{WOp::kAdd, 0}, {WOp::kHalt, 0}}, 0, 0, false), "f", {}),
+            "value stack underflow in f");
+  EXPECT_EQ(trap_what(fn({{WOp::kJmp, 99}}, 0, 0, false), "f", {}),
+            "pc out of range in f");
+  EXPECT_EQ(trap_what(fn({{WOp::kConst, 70000}, {WOp::kLoad, 0}, {WOp::kHalt, 0}},
+                         0, 0, false),
+                      "f", {}),
+            "out-of-bounds linear memory access at 70000");
+  EXPECT_EQ(trap_what(fn({{WOp::kLocalGet, 9}, {WOp::kHalt, 0}}, 0, 1, false), "f", {}),
+            "local index out of range");
+  EXPECT_EQ(trap_what(fn({{WOp::kConst, 1}, {WOp::kConst, 0}, {WOp::kDivS, 0},
+                          {WOp::kHalt, 0}},
+                         0, 0, false),
+                      "f", {}),
+            "integer division by zero");
+  EXPECT_EQ(trap_what(fn({{WOp::kConst, INT32_MIN}, {WOp::kConst, -1}, {WOp::kDivS, 0},
+                          {WOp::kHalt, 0}},
+                         0, 0, false),
+                      "f", {}),
+            "integer overflow in division");
+  EXPECT_EQ(trap_what(fn({{WOp::kConst, 1}, {WOp::kConst, 0}, {WOp::kRemS, 0},
+                          {WOp::kHalt, 0}},
+                         0, 0, false),
+                      "f", {}),
+            "integer remainder by zero");
+  EXPECT_EQ(trap_what(fn({{WOp::kCall, 7}, {WOp::kHalt, 0}}, 0, 0, false), "f", {}),
+            "call target out of range");
+  EXPECT_EQ(trap_what(fn({{WOp::kHostCall, 0}, {WOp::kHalt, 0}}, 0, 0, false), "f", {}),
+            "host import out of range");
+  EXPECT_EQ(trap_what(fn({{WOp::kCall, 0}, {WOp::kHalt, 0}}, 0, 0, false), "f", {}),
+            "call stack exhausted");
+  EXPECT_EQ(trap_what(fn({{WOp::kJmp, 0}}, 0, 0, false), "f", {}, 100),
+            "fuel exhausted");
+  // INT32_MIN % -1 is defined (0) on this VM — it must NOT trap, and the
+  // verifier agrees by not flagging kRemS for overflow.
+  EXPECT_EQ(trap_what(fn({{WOp::kConst, INT32_MIN}, {WOp::kConst, -1}, {WOp::kRemS, 0},
+                          {WOp::kRet, 0}},
+                         0, 0, true),
+                      "f", {}),
+            "<no trap>");
+}
+
 // ---------------------------------------------------------------------------
 // KV store: native vs bytecode equivalence
 // ---------------------------------------------------------------------------
@@ -352,8 +421,17 @@ Key test_root() {
   return k;
 }
 
+// These enclave unit tests exercise sealing / cost-accounting mechanics, not
+// the verifier admission gate (covered in test_wasm_verifier.cpp), so they
+// opt out of the default-on require_verified explicitly.
+EnclaveConfig permissive() {
+  EnclaveConfig c;
+  c.require_verified = false;
+  return c;
+}
+
 TEST(Enclave, EcallRunsModuleAndAccounts) {
-  Enclave enc(EnclaveConfig{}, add_module(), test_root());
+  Enclave enc(permissive(), add_module(), test_root());
   EXPECT_EQ(enc.ecall("add", {20, 22}), 42);
   EXPECT_EQ(enc.ledger().ecalls, 1u);
   EXPECT_GT(enc.ledger().vm_instructions, 0u);
@@ -364,22 +442,22 @@ TEST(Enclave, OcallsAccountedViaHostImports) {
   WModule m;
   m.code = {{WOp::kHostCall, 0}, {WOp::kHostCall, 0}, {WOp::kAdd, 0}, {WOp::kRet, 0}};
   m.functions = {{"two_ocalls", 0, 0, 0, true}};
-  Enclave enc(EnclaveConfig{}, std::move(m), test_root());
+  Enclave enc(permissive(), std::move(m), test_root());
   enc.add_host({"time", 0, [](HostContext&, const std::vector<std::int32_t>&) { return 21; }});
   EXPECT_EQ(enc.ecall("two_ocalls", {}), 42);
   EXPECT_EQ(enc.ledger().ocalls, 2u);
 }
 
 TEST(Enclave, MeasurementBindsCode) {
-  Enclave a(EnclaveConfig{}, add_module(), test_root());
+  Enclave a(permissive(), add_module(), test_root());
   auto tampered = add_module();
   tampered.code[1].imm = 99;
-  Enclave b(EnclaveConfig{}, std::move(tampered), test_root());
+  Enclave b(permissive(), std::move(tampered), test_root());
   EXPECT_FALSE(digest_equal(a.measurement(), b.measurement()));
 }
 
 TEST(Enclave, SealUnsealRoundTrip) {
-  Enclave enc(EnclaveConfig{}, add_module(), test_root());
+  Enclave enc(permissive(), add_module(), test_root());
   const auto secret = bytes_of("api-key-123");
   const auto blob = enc.seal(secret);
   EXPECT_NE(blob.ciphertext, secret);  // actually encrypted
@@ -387,7 +465,7 @@ TEST(Enclave, SealUnsealRoundTrip) {
 }
 
 TEST(Enclave, UnsealRejectsTamperAndWrongIdentity) {
-  Enclave enc(EnclaveConfig{}, add_module(), test_root());
+  Enclave enc(permissive(), add_module(), test_root());
   auto blob = enc.seal(bytes_of("secret"));
   auto tampered = blob;
   tampered.ciphertext[0] ^= 1;
@@ -396,22 +474,22 @@ TEST(Enclave, UnsealRejectsTamperAndWrongIdentity) {
   // Different code -> different measurement -> cannot unseal.
   auto other_module = add_module();
   other_module.code[1].imm = 7;
-  Enclave other(EnclaveConfig{}, std::move(other_module), test_root());
+  Enclave other(permissive(), std::move(other_module), test_root());
   EXPECT_THROW((void)other.unseal(blob), EnclaveError);
 
   // Same code, different platform root -> cannot unseal.
   Key other_root{};
-  Enclave other_platform(EnclaveConfig{}, add_module(), other_root);
+  Enclave other_platform(permissive(), add_module(), other_root);
   EXPECT_THROW((void)other_platform.unseal(blob), EnclaveError);
 }
 
 TEST(Enclave, PagingPenaltyWhenExceedingEpc) {
-  EnclaveConfig small;
+  EnclaveConfig small = permissive();
   small.epc_kib = 1.0;  // absurdly small EPC
   auto m = add_module();
   m.memory_bytes = 256 * 1024;
   Enclave enc(small, std::move(m), test_root());
-  EnclaveConfig big;
+  EnclaveConfig big = permissive();
   Enclave enc_big(big, add_module(), test_root());
   enc.ecall("add", {1, 2});
   enc_big.ecall("add", {1, 2});
