@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Fleet-rollout soak of the OTA transport + staged-canary controller: the
+# seeded sweep over fabric fault rates {0, 0.05, 0.2} (transient chunk
+# damage, ambient packet duplication/reordering, episodic partitions and
+# crashes) plus the bad-package halt-and-rollback scenario, with the
+# JSON-lines records captured into BENCH_ota.json (one "soak-ota" object
+# per scenario; the human summary table stays on stderr). Exit status is
+# soak_ota's: non-zero when any of the five rollout invariants is violated
+# or bitwise determinism breaks.
+#
+# Usage: scripts/soak_ota.sh [--quick] [--seed N] [--duration S]
+#                            [--devices N]
+#   (defaults: seed 0x5EED, duration 4.0 s, 12 devices;
+#    --quick: duration 2.0 s, 6 devices)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_ota.json"
+
+cmake -B build -S . > /dev/null
+cmake --build build -j"$(nproc)" --target soak_ota > /dev/null
+
+build/bench/soak_ota "$@" > "${OUT}"
+echo "ota rollout soak records written to ${OUT}" >&2

@@ -60,11 +60,21 @@ echo "== tier-1: memory-fault integrity soak (seeded, short) =="
 scripts/soak_integrity.sh --quick > /dev/null
 
 echo
+echo "== tier-1: fleet OTA rollout soak (seeded, short) =="
+scripts/soak_ota.sh --quick > /dev/null
+for field in '"converged":true' '"no_torn_install":true'; do
+  grep -q "$field" BENCH_ota.json || {
+    echo "BENCH_ota.json is missing $field (regenerate with scripts/soak_ota.sh)" >&2
+    exit 1
+  }
+done
+
+echo
 echo "== tier-1: ASan+UBSan on the resilience/platform/observability/runtime/analysis/serve/safety tests =="
 cmake -B build-asan -S . -DVEDLIOT_SANITIZE=ON > /dev/null
-cmake --build build-asan "${JOBS}" --target test_resilience test_platform test_distributed test_util test_obs test_runtime test_qruntime test_microkernel test_analysis test_wasm_verifier test_serve test_fleet test_safety test_package > /dev/null
+cmake --build build-asan "${JOBS}" --target test_resilience test_platform test_distributed test_util test_obs test_runtime test_qruntime test_microkernel test_analysis test_wasm_verifier test_serve test_fleet test_safety test_package test_rollout > /dev/null
 ctest --test-dir build-asan --output-on-failure "${JOBS}" \
-  -R 'test_resilience|test_platform|test_distributed|test_util|test_obs|test_runtime|test_qruntime|test_microkernel|test_analysis|test_wasm_verifier|test_serve|test_fleet|test_safety|test_package'
+  -R 'test_resilience|test_platform|test_distributed|test_util|test_obs|test_runtime|test_qruntime|test_microkernel|test_analysis|test_wasm_verifier|test_serve|test_fleet|test_safety|test_package|test_rollout'
 
 echo
 echo "== tier-1: TSan on the parallel execution-engine + serve tests =="

@@ -73,6 +73,10 @@ class Fabric {
   std::size_t reconfiguration_count() const { return reconfigs_; }
   std::size_t link_count() const { return links_.size(); }
 
+  /// All current links (fault injectors snapshot these to partition a node
+  /// — removing every link that touches it — and heal it back later).
+  const std::vector<Link>& links() const { return links_; }
+
  private:
   const Link* find_link(const std::string& a, const std::string& b) const;
   Link* find_link(const std::string& a, const std::string& b);

@@ -16,6 +16,10 @@ std::string_view fault_kind_name(FaultKind kind) {
     case FaultKind::kThermalRecover: return "thermal-recover";
     case FaultKind::kMemoryFault: return "memory-fault";
     case FaultKind::kOtaCorrupt: return "ota-corrupt";
+    case FaultKind::kLinkPartition: return "link-partition";
+    case FaultKind::kLinkHeal: return "link-heal";
+    case FaultKind::kPacketDup: return "packet-dup";
+    case FaultKind::kPacketReorder: return "packet-reorder";
   }
   throw InvalidArgument("unknown fault kind");
 }
@@ -27,6 +31,8 @@ std::string FaultEvent::subject() const {
     case FaultKind::kThermalThrottle:
     case FaultKind::kThermalRecover:
     case FaultKind::kMemoryFault:
+    case FaultKind::kLinkPartition:
+    case FaultKind::kLinkHeal:
       return "slot " + slot;
     case FaultKind::kOtaCorrupt:
       return "ota channel";
@@ -78,6 +84,54 @@ FaultTimeline FaultTimeline::random_campaign(const std::vector<std::string>& slo
     }
     t.push(inject);
     t.push(recover);
+  }
+  return t;
+}
+
+FaultTimeline FaultTimeline::lossy_fabric_campaign(const std::vector<std::string>& slots,
+                                                   std::size_t n_faults, double duration_s,
+                                                   double intensity, Rng& rng) {
+  VEDLIOT_CHECK(!slots.empty(), "lossy campaign needs at least one slot");
+  VEDLIOT_CHECK(duration_s > 0, "lossy campaign needs a positive duration");
+  VEDLIOT_CHECK(intensity > 0 && intensity < 1, "lossy intensity must be in (0, 1)");
+  FaultTimeline t;
+  for (std::size_t i = 0; i < n_faults; ++i) {
+    FaultEvent inject;
+    inject.time_s = rng.uniform(0.0, duration_s * 0.6);
+    const std::string slot =
+        slots[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(slots.size()) - 1))];
+    FaultEvent heal;
+    heal.time_s = inject.time_s + rng.uniform(0.05, 0.25) * duration_s;
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        inject.kind = FaultKind::kLinkPartition;
+        heal.kind = FaultKind::kLinkHeal;
+        inject.slot = heal.slot = slot;
+        break;
+      case 1:
+        inject.kind = FaultKind::kModuleCrash;
+        heal.kind = FaultKind::kModuleRestart;
+        inject.slot = heal.slot = slot;
+        break;
+      case 2:
+        inject.kind = FaultKind::kPacketDup;
+        inject.magnitude = intensity;
+        heal.kind = FaultKind::kPacketDup;
+        heal.magnitude = 0.0;
+        inject.a = heal.a = "switch0";
+        inject.b = heal.b = slot;
+        break;
+      default:
+        inject.kind = FaultKind::kPacketReorder;
+        inject.magnitude = intensity;
+        heal.kind = FaultKind::kPacketReorder;
+        heal.magnitude = 0.0;
+        inject.a = heal.a = "switch0";
+        inject.b = heal.b = slot;
+        break;
+    }
+    t.push(inject);
+    t.push(heal);
   }
   return t;
 }
@@ -180,8 +234,60 @@ bool PlatformSimulator::apply(const FaultEvent& e) {
     case FaultKind::kOtaCorrupt: {
       return true;  // marker event: driver corrupts its next staged payload
     }
+    case FaultKind::kLinkPartition: {
+      if (partitioned_.count(e.slot)) return false;
+      std::vector<Link> severed;
+      for (const Link& l : fabric_.links()) {
+        if (l.a == e.slot || l.b == e.slot) severed.push_back(l);
+      }
+      if (severed.empty()) return false;
+      for (const Link& l : severed) fabric_.remove_link(l.a, l.b);
+      partitioned_.emplace(e.slot, std::move(severed));
+      return true;
+    }
+    case FaultKind::kLinkHeal: {
+      const auto it = partitioned_.find(e.slot);
+      if (it == partitioned_.end()) return false;
+      for (Link l : it->second) {
+        // A link the partition severed may have been re-added meanwhile
+        // (e.g. a kLinkRestore racing the heal); only reinstate gaps.
+        if (!fabric_.link_between(l.a, l.b)) fabric_.add_link(std::move(l));
+      }
+      partitioned_.erase(it);
+      return true;
+    }
+    case FaultKind::kPacketDup: {
+      VEDLIOT_CHECK(e.magnitude >= 0.0 && e.magnitude < 1.0,
+                    "packet duplication probability must be in [0, 1)");
+      const std::string key = link_key(e.a, e.b);
+      if (e.magnitude <= 0.0) return dup_.erase(key) > 0;
+      dup_[key] = e.magnitude;
+      return true;
+    }
+    case FaultKind::kPacketReorder: {
+      VEDLIOT_CHECK(e.magnitude >= 0.0 && e.magnitude < 1.0,
+                    "packet reordering probability must be in [0, 1)");
+      const std::string key = link_key(e.a, e.b);
+      if (e.magnitude <= 0.0) return reorder_.erase(key) > 0;
+      reorder_[key] = e.magnitude;
+      return true;
+    }
   }
   throw InvalidArgument("unknown fault kind");
+}
+
+std::string PlatformSimulator::link_key(const std::string& a, const std::string& b) {
+  return a < b ? a + "|" + b : b + "|" + a;
+}
+
+double PlatformSimulator::dup_prob(const std::string& a, const std::string& b) const {
+  const auto it = dup_.find(link_key(a, b));
+  return it == dup_.end() ? 0.0 : it->second;
+}
+
+double PlatformSimulator::reorder_prob(const std::string& a, const std::string& b) const {
+  const auto it = reorder_.find(link_key(a, b));
+  return it == reorder_.end() ? 0.0 : it->second;
 }
 
 bool PlatformSimulator::alive(const std::string& slot) const {
@@ -208,18 +314,35 @@ bool PlatformSimulator::try_transfer(const std::string& from, const std::string&
   return !rng_.chance(cfg_.transient_transfer_prob);
 }
 
+PlatformSimulator::ChannelDraw PlatformSimulator::draw_channel(const std::string& from,
+                                                               const std::string& to) {
+  const std::vector<std::string> path = fabric_.route(from, to);  // NotFound on partition
+  double p_dup = 0.0, p_reorder = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    p_dup = std::max(p_dup, dup_prob(path[i], path[i + 1]));
+    p_reorder = std::max(p_reorder, reorder_prob(path[i], path[i + 1]));
+  }
+  ChannelDraw draw;
+  draw.intact = !rng_.chance(cfg_.transient_transfer_prob);
+  if (p_dup > 0.0) draw.duplicated = rng_.chance(p_dup);
+  if (p_reorder > 0.0) draw.reordered = rng_.chance(p_reorder);
+  return draw;
+}
+
 std::optional<double> PlatformSimulator::next_fault_time() const {
   if (next_ >= pending_.size()) return std::nullopt;
   return pending_[next_].time_s;
 }
 
 std::string PlatformSimulator::describe() const {
-  char buf[160];
+  char buf[224];
   std::snprintf(buf, sizeof(buf),
                 "PlatformSimulator{seed=0x%llx, now=%.4fs, faults applied=%zu skipped=%zu "
-                "pending=%zu, transient_prob=%g}",
+                "pending=%zu, transient_prob=%g, partitioned=%zu dup_links=%zu "
+                "reorder_links=%zu}",
                 static_cast<unsigned long long>(cfg_.seed), now_, applied_, skipped_,
-                pending_.size() - next_, cfg_.transient_transfer_prob);
+                pending_.size() - next_, cfg_.transient_transfer_prob, partitioned_.size(),
+                dup_.size(), reorder_.size());
   return std::string(buf);
 }
 

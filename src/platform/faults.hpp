@@ -40,6 +40,10 @@ enum class FaultKind {
   kThermalRecover,   ///< throttle on `slot` cleared
   kMemoryFault,      ///< SEU: `magnitude` weight bits flip on `slot`'s model
   kOtaCorrupt,       ///< next OTA payload arrives corrupted in transit
+  kLinkPartition,    ///< `slot` isolated: every link touching it removed
+  kLinkHeal,         ///< previously partitioned `slot` reconnected
+  kPacketDup,        ///< link a<->b duplicates packets with prob `magnitude`
+  kPacketReorder,    ///< link a<->b reorders packets with prob `magnitude`
 };
 
 std::string_view fault_kind_name(FaultKind kind);
@@ -73,6 +77,18 @@ class FaultTimeline {
   /// oscillating between healthy and degraded states.
   static FaultTimeline random_campaign(const std::vector<std::string>& slots,
                                        std::size_t n_faults, double duration_s, Rng& rng);
+
+  /// Seeded lossy-fabric campaign: the transport-layer adversary. Draws
+  /// \p n_faults inject/heal pairs over [0, duration_s * 0.6) alternating
+  /// node partitions (kLinkPartition/kLinkHeal on "switch0"<->slot stars),
+  /// device crash/restart, packet duplication and packet reordering
+  /// (kPacketDup/kPacketReorder set to `intensity`, cleared by the pair's
+  /// second event). `intensity` in (0, 1) scales the dup/reorder
+  /// probabilities. Every draw comes from \p rng, so the campaign is
+  /// reproducible from the seed a PlatformSimulator::describe() line names.
+  static FaultTimeline lossy_fabric_campaign(const std::vector<std::string>& slots,
+                                             std::size_t n_faults, double duration_s,
+                                             double intensity, Rng& rng);
 
  private:
   std::vector<FaultEvent> events_;
@@ -121,8 +137,28 @@ class PlatformSimulator {
   /// (partition). Deterministic given the construction seed and call order.
   bool try_transfer(const std::string& from, const std::string& to);
 
+  /// One packet's fate over the route from -> to, folding in the per-link
+  /// duplication / reordering state kPacketDup / kPacketReorder installed.
+  struct ChannelDraw {
+    bool intact = true;      ///< false: damaged in flight (CRC will fail)
+    bool duplicated = false; ///< delivered twice (receiver must dedupe)
+    bool reordered = false;  ///< delivered out of order vs its window peer
+  };
+
+  /// Draw the fate of one packet over the current fabric. Throws NotFound
+  /// when no route exists (partitioned). Consumes rng draws only for the
+  /// hazards that are actually armed (the transient probability, plus
+  /// dup/reorder when a link on the route carries a non-zero setting), so
+  /// a clean channel replays identically to try_transfer.
+  ChannelDraw draw_channel(const std::string& from, const std::string& to);
+
   std::size_t faults_applied() const { return applied_; }
   std::size_t faults_skipped() const { return skipped_; }
+
+  /// Current channel-fault state (tests + repro tooling).
+  bool partitioned(const std::string& slot) const { return partitioned_.count(slot) > 0; }
+  double dup_prob(const std::string& a, const std::string& b) const;
+  double reorder_prob(const std::string& a, const std::string& b) const;
 
   /// Time of the earliest scheduled-but-not-yet-applied fault, if any.
   /// Discrete-event drivers (the serving layer) include it in their
@@ -142,6 +178,7 @@ class PlatformSimulator {
 
  private:
   bool apply(const FaultEvent& e);
+  static std::string link_key(const std::string& a, const std::string& b);
 
   Chassis chassis_;
   Fabric fabric_;
@@ -153,6 +190,9 @@ class PlatformSimulator {
   std::map<std::string, MicroserverModule> crashed_;
   std::map<std::string, double> throttle_;
   std::vector<Link> dropped_;
+  std::map<std::string, std::vector<Link>> partitioned_;  ///< slot -> severed links
+  std::map<std::string, double> dup_;      ///< "a|b" (sorted) -> probability
+  std::map<std::string, double> reorder_;  ///< "a|b" (sorted) -> probability
   std::size_t applied_ = 0;
   std::size_t skipped_ = 0;
 };

@@ -179,10 +179,23 @@ void ResilienceController::note_injected(double t, const std::vector<FaultEvent>
         need_replan_ = true;
         replan_reason_ = "capacity restored: " + e.subject();
         break;
+      case FaultKind::kLinkPartition:
+        // A partition severs every link on the slot at once: silent, like a
+        // link drop — heartbeats / failing transfers reveal it.
+        undetected_.emplace(e.subject(), e.time_s);
+        break;
+      case FaultKind::kLinkHeal:
+        undetected_.erase(e.subject());
+        need_replan_ = true;
+        replan_reason_ = "capacity restored: " + e.subject();
+        break;
       case FaultKind::kMemoryFault:
       case FaultKind::kOtaCorrupt:
-        // Model-integrity markers owned by the serving layer (server.hpp);
-        // platform capacity is unchanged, nothing to replan around.
+      case FaultKind::kPacketDup:
+      case FaultKind::kPacketReorder:
+        // Model-integrity / transport-layer markers owned by the serving
+        // and OTA layers; platform capacity is unchanged, nothing to
+        // replan around.
         break;
     }
   }

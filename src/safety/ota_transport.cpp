@@ -1,0 +1,122 @@
+#include "safety/ota_transport.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace vedliot::safety {
+
+OtaChunker::OtaChunker(std::span<const std::uint8_t> package, std::size_t chunk_bytes)
+    : package_(package.begin(), package.end()), chunk_bytes_(chunk_bytes) {
+  VEDLIOT_CHECK(!package_.empty(), "cannot chunk an empty package");
+  VEDLIOT_CHECK(chunk_bytes_ >= 64, "OTA chunks need at least 64 bytes of payload");
+  chunk_count_ = (package_.size() + chunk_bytes_ - 1) / chunk_bytes_;
+  package_crc_ = util::crc32(std::span<const std::uint8_t>(package_));
+}
+
+OtaChunk OtaChunker::chunk(std::uint32_t seq) const {
+  VEDLIOT_CHECK(seq < chunk_count_, "chunk seq " + std::to_string(seq) +
+                                        " out of range (count " +
+                                        std::to_string(chunk_count_) + ")");
+  OtaChunk c;
+  c.seq = seq;
+  c.offset = static_cast<std::uint64_t>(seq) * chunk_bytes_;
+  const std::size_t end =
+      std::min(package_.size(), static_cast<std::size_t>(c.offset) + chunk_bytes_);
+  c.payload.assign(package_.begin() + static_cast<std::ptrdiff_t>(c.offset),
+                   package_.begin() + static_cast<std::ptrdiff_t>(end));
+  c.crc = util::crc32(std::span<const std::uint8_t>(c.payload));
+  return c;
+}
+
+OtaReceiver::OtaReceiver(std::uint64_t total_bytes, std::size_t chunk_bytes,
+                         std::uint32_t package_crc)
+    : buffer_(static_cast<std::size_t>(total_bytes)),
+      chunk_bytes_(chunk_bytes),
+      package_crc_(package_crc) {
+  VEDLIOT_CHECK(total_bytes > 0, "an OTA transfer announces a non-empty package");
+  VEDLIOT_CHECK(chunk_bytes_ >= 64, "OTA chunks need at least 64 bytes of payload");
+  chunk_count_ = (buffer_.size() + chunk_bytes_ - 1) / chunk_bytes_;
+  have_.assign(chunk_count_, false);
+}
+
+OtaReceiver::Accept OtaReceiver::accept(const OtaChunk& chunk) {
+  if (chunk.seq >= chunk_count_) return Accept::kBogus;
+  const std::uint64_t expect_offset = static_cast<std::uint64_t>(chunk.seq) * chunk_bytes_;
+  if (chunk.offset != expect_offset) return Accept::kBogus;
+  const std::size_t expect_len =
+      std::min(buffer_.size() - static_cast<std::size_t>(expect_offset), chunk_bytes_);
+  if (chunk.payload.size() != expect_len) return Accept::kBogus;
+  if (util::crc32(std::span<const std::uint8_t>(chunk.payload)) != chunk.crc) {
+    return Accept::kCorrupt;
+  }
+  if (have_[chunk.seq]) return Accept::kDuplicate;
+  std::copy(chunk.payload.begin(), chunk.payload.end(),
+            buffer_.begin() + static_cast<std::ptrdiff_t>(expect_offset));
+  have_[chunk.seq] = true;
+  ++received_;
+  received_bytes_ += chunk.payload.size();
+  return Accept::kAccepted;
+}
+
+std::uint32_t OtaReceiver::next_needed() const {
+  for (std::size_t i = 0; i < have_.size(); ++i) {
+    if (!have_[i]) return static_cast<std::uint32_t>(i);
+  }
+  return static_cast<std::uint32_t>(chunk_count_);
+}
+
+bool OtaReceiver::has(std::uint32_t seq) const {
+  return seq < chunk_count_ && have_[seq];
+}
+
+const std::vector<std::uint8_t>& OtaReceiver::assemble() const {
+  VEDLIOT_CHECK(complete(), "cannot assemble: " + std::to_string(chunk_count_ - received_) +
+                                " of " + std::to_string(chunk_count_) +
+                                " chunks still missing");
+  VEDLIOT_CHECK(util::crc32(std::span<const std::uint8_t>(buffer_)) == package_crc_,
+                "assembled package fails its whole-package CRC");
+  return buffer_;
+}
+
+OtaSender::OtaSender(Config config, std::uint64_t seed) : cfg_(config), rng_(seed) {
+  VEDLIOT_CHECK(cfg_.window >= 1, "sender window must be >= 1");
+  VEDLIOT_CHECK(cfg_.max_chunk_attempts >= 1, "chunk attempt cap must be >= 1");
+  VEDLIOT_CHECK(cfg_.backoff_base_s > 0 && cfg_.backoff_cap_s > 0,
+                "backoff base and cap must be positive");
+  VEDLIOT_CHECK(cfg_.backoff_floor_s >= 0, "backoff floor must be >= 0");
+}
+
+std::vector<std::uint32_t> OtaSender::select(const OtaReceiver& receiver) const {
+  std::vector<std::uint32_t> out;
+  const std::size_t count = receiver.chunk_count();
+  for (std::uint32_t seq = receiver.next_needed();
+       seq < count && out.size() < cfg_.window; ++seq) {
+    if (!receiver.has(seq)) out.push_back(seq);
+  }
+  return out;
+}
+
+double OtaSender::on_result(std::uint32_t seq, bool accepted) {
+  if (attempts_.size() <= seq) attempts_.resize(seq + 1, 0);
+  ++sent_;
+  ++attempts_[seq];
+  if (accepted) return 0.0;
+  ++retries_;
+  if (attempts_[seq] >= cfg_.max_chunk_attempts) exhausted_ = true;
+  return rng_.backoff_s(cfg_.backoff_base_s, cfg_.backoff_cap_s, attempts_[seq] - 1,
+                        cfg_.backoff_floor_s);
+}
+
+std::string_view ota_accept_name(OtaReceiver::Accept a) {
+  switch (a) {
+    case OtaReceiver::Accept::kAccepted: return "accepted";
+    case OtaReceiver::Accept::kDuplicate: return "duplicate";
+    case OtaReceiver::Accept::kCorrupt: return "corrupt";
+    case OtaReceiver::Accept::kBogus: return "bogus";
+  }
+  throw InvalidArgument("unknown accept result");
+}
+
+}  // namespace vedliot::safety

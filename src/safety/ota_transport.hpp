@@ -1,0 +1,152 @@
+#pragma once
+/// \file ota_transport.hpp
+/// \brief Chunked, CRC-checked, resumable transport for v2 model packages
+/// over a lossy fabric.
+///
+/// safety::ModelStore (model_store.hpp) verifies and swaps a package that
+/// has already arrived; this file is the missing wire half (ROADMAP item 2:
+/// "driving [ModelStore OTA] over the sealed-package transport from
+/// simulated devices"). A package is split into fixed-size chunks, each
+/// carrying its sequence number, byte offset and a CRC-32 of its payload:
+///
+///  * OtaChunker — sender side: deterministic chunking plus the
+///    whole-package CRC the receiver pins reassembly against;
+///  * OtaReceiver — receiver side: offset-addressed reassembly that
+///    tolerates duplicated and reordered deliveries, rejects damaged
+///    chunks by CRC, and survives device crash/restart (the bitmap IS the
+///    journal: re-accepting an already-held chunk is a no-op), so an
+///    interrupted transfer resumes from the last good chunk instead of
+///    restarting;
+///  * OtaSender — retry policy: window of in-flight chunks, per-chunk
+///    attempt caps, and full-jitter exponential backoff with a non-zero
+///    floor (Rng::backoff_s) so loss cannot collapse into a hot loop.
+///
+/// assemble() refuses to produce bytes unless every chunk landed and the
+/// whole-package CRC matches — a torn or corrupted image can never reach
+/// ModelStore::push, which re-verifies per-tensor digests anyway. The
+/// transport owns bytes, not meaning: sealed and plain packages ship the
+/// same way.
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vedliot::safety {
+
+/// One wire message: a contiguous slice of the package plus its integrity
+/// digest. The final chunk may be short.
+struct OtaChunk {
+  std::uint32_t seq = 0;        ///< chunk index in [0, chunk_count)
+  std::uint64_t offset = 0;     ///< byte offset of payload[0] in the package
+  std::vector<std::uint8_t> payload;
+  std::uint32_t crc = 0;        ///< CRC-32 of payload
+};
+
+/// Sender-side chunking of one package snapshot.
+class OtaChunker {
+ public:
+  /// \p chunk_bytes >= 64; the package must be non-empty.
+  OtaChunker(std::span<const std::uint8_t> package, std::size_t chunk_bytes);
+
+  std::size_t chunk_count() const { return chunk_count_; }
+  std::size_t chunk_bytes() const { return chunk_bytes_; }
+  std::uint64_t total_bytes() const { return package_.size(); }
+  std::uint32_t package_crc() const { return package_crc_; }
+
+  /// Materialize the wire message for chunk \p seq (throws on range).
+  OtaChunk chunk(std::uint32_t seq) const;
+
+ private:
+  std::vector<std::uint8_t> package_;
+  std::size_t chunk_bytes_;
+  std::size_t chunk_count_;
+  std::uint32_t package_crc_;
+};
+
+/// Receiver-side reassembly state. Construction parameters come from the
+/// transfer announcement (total size, chunk size, whole-package CRC); the
+/// object is the device's journaled staging area — it persists across
+/// simulated crashes, which is exactly what makes transfers resumable.
+class OtaReceiver {
+ public:
+  OtaReceiver(std::uint64_t total_bytes, std::size_t chunk_bytes, std::uint32_t package_crc);
+
+  enum class Accept {
+    kAccepted,   ///< new chunk, CRC verified, written at its offset
+    kDuplicate,  ///< already held (idempotent re-delivery)
+    kCorrupt,    ///< payload CRC mismatch — damaged in flight, discarded
+    kBogus,      ///< seq/offset/length inconsistent with the announcement
+  };
+
+  /// Offer one delivered chunk. Order-independent and idempotent.
+  Accept accept(const OtaChunk& chunk);
+
+  bool complete() const { return received_ == chunk_count_; }
+  std::size_t chunk_count() const { return chunk_count_; }
+  std::size_t received_chunks() const { return received_; }
+  std::uint64_t received_bytes() const { return received_bytes_; }
+
+  /// Lowest not-yet-received chunk index (== chunk_count when complete):
+  /// the resume point after an interruption.
+  std::uint32_t next_needed() const;
+
+  /// Has chunk \p seq landed?
+  bool has(std::uint32_t seq) const;
+
+  /// The reassembled package. Throws vedliot::Error unless complete() and
+  /// the whole-package CRC matches the announcement — a torn image is
+  /// unrepresentable as a return value.
+  const std::vector<std::uint8_t>& assemble() const;
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::vector<bool> have_;
+  std::size_t chunk_bytes_;
+  std::size_t chunk_count_;
+  std::size_t received_ = 0;
+  std::uint64_t received_bytes_ = 0;
+  std::uint32_t package_crc_;
+};
+
+/// Sender-side retry policy: which chunks to put on the wire, how often to
+/// give each one another chance, and how long to wait after a failure.
+class OtaSender {
+ public:
+  struct Config {
+    std::size_t window = 2;          ///< chunks in flight per step (>= 1)
+    int max_chunk_attempts = 64;     ///< per-chunk send cap before kExhausted
+    double backoff_base_s = 1e-3;
+    double backoff_cap_s = 64e-3;
+    double backoff_floor_s = 0.25e-3;  ///< jitter floor (hot-loop guard)
+  };
+
+  OtaSender(Config config, std::uint64_t seed);
+
+  /// Up to `window` lowest not-yet-received chunk indices to send now.
+  std::vector<std::uint32_t> select(const OtaReceiver& receiver) const;
+
+  /// Record one wire outcome for chunk \p seq. Returns the full-jitter
+  /// backoff to wait before the next attempt (0 when the chunk landed).
+  double on_result(std::uint32_t seq, bool accepted);
+
+  /// True once any chunk burned through max_chunk_attempts.
+  bool exhausted() const { return exhausted_; }
+
+  std::size_t sent() const { return sent_; }
+  std::size_t retries() const { return retries_; }
+
+ private:
+  Config cfg_;
+  Rng rng_;
+  std::vector<int> attempts_;  ///< grown on demand, indexed by seq
+  std::size_t sent_ = 0;
+  std::size_t retries_ = 0;
+  bool exhausted_ = false;
+};
+
+std::string_view ota_accept_name(OtaReceiver::Accept a);
+
+}  // namespace vedliot::safety

@@ -8,11 +8,19 @@ ResponseCache::ResponseCache(std::size_t capacity) : capacity_(capacity) {
   VEDLIOT_CHECK(capacity_ >= 1, "response cache capacity must be >= 1");
 }
 
-std::optional<Response> ResponseCache::get(const std::string& key) {
+std::optional<Response> ResponseCache::get(const std::string& key, std::uint32_t model_version) {
   if (key.empty()) return std::nullopt;
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
+    return std::nullopt;
+  }
+  if (it->second.model_version != model_version) {
+    // Skew: the cached answer came from a different serving version. The
+    // entry stays (peers on its version still hit it); this request must
+    // recompute against its own version.
+    ++misses_;
+    ++version_misses_;
     return std::nullopt;
   }
   ++hits_;
@@ -20,11 +28,13 @@ std::optional<Response> ResponseCache::get(const std::string& key) {
   return it->second.response;
 }
 
-void ResponseCache::put(const std::string& key, const Response& response) {
+void ResponseCache::put(const std::string& key, const Response& response,
+                        std::uint32_t model_version) {
   if (key.empty()) return;
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
     it->second.response = response;
+    it->second.model_version = model_version;
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     return;
   }
@@ -34,7 +44,7 @@ void ResponseCache::put(const std::string& key, const Response& response) {
     ++evictions_;
   }
   lru_.push_front(key);
-  entries_.emplace(key, Entry{response, lru_.begin()});
+  entries_.emplace(key, Entry{response, model_version, lru_.begin()});
 }
 
 }  // namespace vedliot::serve

@@ -28,21 +28,34 @@ class ResponseCache {
 
   /// Look up an idempotency key; a hit refreshes its recency. Empty keys
   /// never hit (non-idempotent work must not be coalesced).
-  std::optional<Response> get(const std::string& key);
+  ///
+  /// \p model_version pins version-skew honesty during an OTA rollout: an
+  /// entry cached while the responder served version N must not answer a
+  /// retry that will be served by version M != N — mid-rollout fleets are
+  /// split across versions and a stale hit would silently time-travel the
+  /// output. A mismatched entry counts as a miss (and as a version_miss)
+  /// without being evicted: devices still on the old version keep hitting
+  /// it. Version 0 (the default) keeps the pre-rollout version-agnostic
+  /// behavior for single-version fleets.
+  std::optional<Response> get(const std::string& key, std::uint32_t model_version = 0);
 
   /// Insert (or refresh) the response for a key; evicts the LRU entry at
-  /// capacity. Empty keys are ignored.
-  void put(const std::string& key, const Response& response);
+  /// capacity. Empty keys are ignored. \p model_version tags the entry
+  /// with the serving version that produced it.
+  void put(const std::string& key, const Response& response, std::uint32_t model_version = 0);
 
   std::size_t size() const { return entries_.size(); }
   std::size_t capacity() const { return capacity_; }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   std::uint64_t evictions() const { return evictions_; }
+  /// Misses caused purely by a version-skew mismatch on a present key.
+  std::uint64_t version_misses() const { return version_misses_; }
 
  private:
   struct Entry {
     Response response;
+    std::uint32_t model_version = 0;
     std::list<std::string>::iterator lru_pos;
   };
 
@@ -52,6 +65,7 @@ class ResponseCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t version_misses_ = 0;
 };
 
 }  // namespace vedliot::serve

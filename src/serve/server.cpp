@@ -56,6 +56,14 @@ std::string_view serve_event_name(ServeEventKind kind) {
     case ServeEventKind::kCacheHit: return "cache-hit";
     case ServeEventKind::kScaleUp: return "scale-up";
     case ServeEventKind::kScaleDown: return "scale-down";
+    case ServeEventKind::kOtaChunk: return "ota-chunk";
+    case ServeEventKind::kOtaChunkRetry: return "ota-chunk-retry";
+    case ServeEventKind::kOtaResumed: return "ota-resumed";
+    case ServeEventKind::kWaveStarted: return "wave-started";
+    case ServeEventKind::kWavePassed: return "wave-passed";
+    case ServeEventKind::kRolloutHalted: return "rollout-halted";
+    case ServeEventKind::kRollbackPaced: return "rollback-paced";
+    case ServeEventKind::kRolloutDone: return "rollout-done";
   }
   throw InvalidArgument("unknown serve event kind");
 }
@@ -487,7 +495,8 @@ void Server::retry_or_fail(double t, Ticket ticket, const std::string& reason) {
         reason + "; client " + r.client + " retry budget empty");
     return;
   }
-  const double backoff = rng_.backoff_s(cfg_.backoff_base_s, cfg_.backoff_cap_s, attempt - 1);
+  const double backoff = rng_.backoff_s(cfg_.backoff_base_s, cfg_.backoff_cap_s, attempt - 1,
+                                        cfg_.backoff_floor_s);
   const double ready = t + backoff;
   if (ready >= r.deadline_s) {
     ++report_.failed;

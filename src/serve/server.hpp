@@ -93,6 +93,14 @@ enum class ServeEventKind {
   kCacheHit,        ///< fleet: idempotent request answered from the cache
   kScaleUp,         ///< fleet: replica added (value = new replica count)
   kScaleDown,       ///< fleet: replica drained (value = new replica count)
+  kOtaChunk,        ///< rollout: device accepted a transfer chunk (value = seq)
+  kOtaChunkRetry,   ///< rollout: chunk resend scheduled (value = backoff s)
+  kOtaResumed,      ///< rollout: interrupted transfer resumed (value = next seq)
+  kWaveStarted,     ///< rollout: wave opened (value = wave index)
+  kWavePassed,      ///< rollout: wave health gate passed (value = wave index)
+  kRolloutHalted,   ///< rollout: failure fraction tripped (value = fraction)
+  kRollbackPaced,   ///< rollout: rollback delayed by token bucket (value = wait s)
+  kRolloutDone,     ///< rollout: terminal state reached (value = final version)
 };
 
 std::string_view serve_event_name(ServeEventKind kind);
@@ -129,6 +137,10 @@ struct ServerConfig {
   double retry_token_cap = 8.0;           ///< per-client bucket ceiling
   double backoff_base_s = 2e-3;
   double backoff_cap_s = 20e-3;
+  /// Full-jitter backoff floor (Rng::backoff_s): 0 keeps the classic
+  /// [0, ceiling) draw; a positive floor stops retries from landing ~0 s
+  /// apart under loss. Default 0 preserves pre-floor event schedules.
+  double backoff_floor_s = 0.0;
 
   std::uint64_t seed = 0x5EEDu;        ///< backoff jitter + execute inputs
 

@@ -5,10 +5,11 @@
 
 namespace vedliot {
 
-double Rng::backoff_s(double base_s, double cap_s, int attempt) {
+double Rng::backoff_s(double base_s, double cap_s, int attempt, double floor_s) {
   const int exponent = std::clamp(attempt, 0, kMaxBackoffExponent);
   const double ceiling = std::min(cap_s, base_s * std::exp2(static_cast<double>(exponent)));
-  return uniform(0.0, ceiling);
+  const double lo = std::clamp(floor_s, 0.0, ceiling);
+  return uniform(lo, ceiling);
 }
 
 double Rng::jittered(double value, double frac) {

@@ -41,11 +41,18 @@ class Rng {
   static constexpr int kMaxBackoffExponent = 63;
 
   /// Exponential backoff with full jitter (the classic retry policy):
-  /// uniform in [0, min(cap_s, base_s * 2^attempt)]. \p attempt counts
+  /// uniform in [floor, min(cap_s, base_s * 2^attempt)]. \p attempt counts
   /// from 0 for the first retry; it is clamped to
   /// [0, kMaxBackoffExponent] so arbitrarily large (or negative) attempt
   /// counts still produce a well-defined, capped wait.
-  double backoff_s(double base_s, double cap_s, int attempt);
+  ///
+  /// \p floor_s is the configurable minimum wait: pure full jitter can
+  /// draw ~0 s, which collapses the backoff into a hot retry loop exactly
+  /// when a congested link needs breathing room. The floor is clamped to
+  /// the current ceiling, so a floor above the cap degenerates to a fixed
+  /// cap-length wait rather than an inverted interval. The default (0)
+  /// preserves the classic policy for callers that want it.
+  double backoff_s(double base_s, double cap_s, int attempt, double floor_s = 0.0);
 
   /// \p value scaled by a uniform factor in [1 - frac, 1 + frac].
   double jittered(double value, double frac);

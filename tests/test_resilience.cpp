@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <set>
 
 #include "graph/zoo.hpp"
@@ -170,6 +171,119 @@ TEST(PlatformSimulator, TransientTransferErrorsAreSeededAndDeterministic) {
   EXPECT_LT(failures, 56);
 }
 
+TEST(PlatformSimulator, LinkPartitionSeversEveryLinkAndHealReinstates) {
+  TestRig s = recs_box_with_modules(3);
+  PlatformSimulator sim(s.chassis, s.fabric);
+  FaultEvent cut;
+  cut.time_s = 0.01;
+  cut.kind = FaultKind::kLinkPartition;
+  cut.slot = "come1";
+  sim.schedule(cut);
+  FaultEvent heal = cut;
+  heal.time_s = 0.02;
+  heal.kind = FaultKind::kLinkHeal;
+  sim.schedule(heal);
+  // healing an unpartitioned slot later is a skip, not an error
+  FaultEvent spurious = heal;
+  spurious.time_s = 0.03;
+  sim.schedule(spurious);
+
+  sim.advance_to(0.015);
+  EXPECT_TRUE(sim.partitioned("come1"));
+  EXPECT_THROW((void)sim.try_transfer("come0", "come1"), NotFound);
+  EXPECT_THROW((void)sim.draw_channel("switch0", "come1"), NotFound);
+  EXPECT_TRUE(sim.try_transfer("come0", "come2"));  // others unaffected
+
+  sim.advance_to(0.025);
+  EXPECT_FALSE(sim.partitioned("come1"));
+  EXPECT_TRUE(sim.try_transfer("come0", "come1"));
+
+  sim.advance_to(0.04);
+  EXPECT_EQ(sim.faults_applied(), 2u);
+  EXPECT_EQ(sim.faults_skipped(), 1u);
+}
+
+TEST(PlatformSimulator, PacketDupAndReorderArmPerLinkHazards) {
+  TestRig s = recs_box_with_modules(2);
+  PlatformSimulator::Config cfg;
+  cfg.seed = 21;
+  PlatformSimulator sim(s.chassis, s.fabric, cfg);
+
+  FaultEvent dup;
+  dup.time_s = 0.01;
+  dup.kind = FaultKind::kPacketDup;
+  dup.a = "switch0";
+  dup.b = "come1";
+  dup.magnitude = 0.9;
+  sim.schedule(dup);
+  FaultEvent reorder = dup;
+  reorder.kind = FaultKind::kPacketReorder;
+  sim.schedule(reorder);
+  sim.advance_to(0.02);
+
+  EXPECT_DOUBLE_EQ(sim.dup_prob("switch0", "come1"), 0.9);
+  EXPECT_DOUBLE_EQ(sim.reorder_prob("come1", "switch0"), 0.9);  // undirected
+  EXPECT_DOUBLE_EQ(sim.dup_prob("switch0", "come0"), 0.0);      // other links clean
+
+  int dups = 0, reorders = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto d = sim.draw_channel("switch0", "come1");
+    if (d.duplicated) ++dups;
+    if (d.reordered) ++reorders;
+  }
+  EXPECT_GT(dups, 60);  // p = 0.9 over 100 draws
+  EXPECT_GT(reorders, 60);
+  // the clean link consumes no hazard draws
+  const auto clean = sim.draw_channel("switch0", "come0");
+  EXPECT_TRUE(clean.intact);
+  EXPECT_FALSE(clean.duplicated);
+  EXPECT_FALSE(clean.reordered);
+
+  // magnitude 0 disarms the hazard (the heal convention)
+  FaultEvent disarm = dup;
+  disarm.time_s = 0.03;
+  disarm.magnitude = 0.0;
+  sim.schedule(disarm);
+  sim.advance_to(0.04);
+  EXPECT_DOUBLE_EQ(sim.dup_prob("switch0", "come1"), 0.0);
+}
+
+TEST(PlatformSimulator, DescribeNamesChannelFaultState) {
+  TestRig s = recs_box_with_modules(2);
+  PlatformSimulator sim(s.chassis, s.fabric);
+  FaultEvent cut;
+  cut.time_s = 0.01;
+  cut.kind = FaultKind::kLinkPartition;
+  cut.slot = "come1";
+  sim.schedule(cut);
+  FaultEvent dup;
+  dup.time_s = 0.01;
+  dup.kind = FaultKind::kPacketDup;
+  dup.a = "switch0";
+  dup.b = "come0";
+  dup.magnitude = 0.5;
+  sim.schedule(dup);
+  sim.advance_to(0.02);
+  const std::string d = sim.describe();
+  EXPECT_NE(d.find("partitioned=1"), std::string::npos) << d;
+  EXPECT_NE(d.find("dup_links=1"), std::string::npos) << d;
+  EXPECT_NE(d.find("reorder_links=0"), std::string::npos) << d;
+}
+
+TEST(PlatformSimulator, NextFaultTimeDrivesEventLoops) {
+  TestRig s = recs_box_with_modules(2);
+  PlatformSimulator sim(s.chassis, s.fabric);
+  EXPECT_FALSE(sim.next_fault_time().has_value());
+  sim.schedule(crash(0.05, "come1"));
+  sim.schedule(restart(0.10, "come1"));
+  ASSERT_TRUE(sim.next_fault_time().has_value());
+  EXPECT_DOUBLE_EQ(*sim.next_fault_time(), 0.05);
+  sim.advance_to(0.06);
+  EXPECT_DOUBLE_EQ(*sim.next_fault_time(), 0.10);
+  sim.advance_to(0.2);
+  EXPECT_FALSE(sim.next_fault_time().has_value());
+}
+
 TEST(FaultTimeline, PushKeepsEventsSorted) {
   FaultTimeline t;
   t.push(crash(0.3, "come0"));
@@ -195,6 +309,55 @@ TEST(FaultTimeline, RandomCampaignIsDeterministicAndSorted) {
     if (i > 0) {
       EXPECT_GE(a.events()[i].time_s, a.events()[i - 1].time_s);
     }
+  }
+}
+
+TEST(FaultTimeline, LossyFabricCampaignIsDeterministicAndSelfHealing) {
+  const std::vector<std::string> slots{"come0", "come1", "come2"};
+  Rng ra(7), rb(7);
+  const FaultTimeline a = FaultTimeline::lossy_fabric_campaign(slots, 10, 1.0, 0.4, ra);
+  const FaultTimeline b = FaultTimeline::lossy_fabric_campaign(slots, 10, 1.0, 0.4, rb);
+  ASSERT_EQ(a.size(), 20u);  // inject + heal per fault
+  ASSERT_EQ(a.size(), b.size());
+  std::size_t channel_faults = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.events()[i].time_s, b.events()[i].time_s);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].subject(), b.events()[i].subject());
+    if (i > 0) {
+      EXPECT_GE(a.events()[i].time_s, a.events()[i - 1].time_s);
+    }
+    switch (a.events()[i].kind) {
+      case FaultKind::kLinkPartition:
+      case FaultKind::kPacketDup:
+      case FaultKind::kPacketReorder:
+        ++channel_faults;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_GT(channel_faults, 0u);  // the campaign actually exercises the fabric
+  // every injection heals inside the window: count balance per kind
+  std::map<FaultKind, int> balance;
+  for (const FaultEvent& e : a.events()) {
+    switch (e.kind) {
+      case FaultKind::kLinkPartition: ++balance[FaultKind::kLinkPartition]; break;
+      case FaultKind::kLinkHeal: --balance[FaultKind::kLinkPartition]; break;
+      case FaultKind::kModuleCrash: ++balance[FaultKind::kModuleCrash]; break;
+      case FaultKind::kModuleRestart: --balance[FaultKind::kModuleCrash]; break;
+      case FaultKind::kPacketDup:
+        balance[FaultKind::kPacketDup] += e.magnitude > 0 ? 1 : -1;
+        break;
+      case FaultKind::kPacketReorder:
+        balance[FaultKind::kPacketReorder] += e.magnitude > 0 ? 1 : -1;
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& [kind, n] : balance) {
+    EXPECT_EQ(n, 0) << "unbalanced fault kind " << static_cast<int>(kind);
   }
 }
 

@@ -331,6 +331,32 @@ TEST(Rng, BackoffClampsExtremeAttemptCounts) {
   }
 }
 
+TEST(Rng, BackoffRespectsJitterFloor) {
+  Rng rng(15);
+  // Pure full jitter can draw ~0 s and collapse a congested retry loop
+  // into a hot spin; the floor pins the minimum wait.
+  const double floor = 0.25e-3;
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    for (int i = 0; i < 200; ++i) {
+      const double w = rng.backoff_s(1e-3, 32e-3, attempt, floor);
+      EXPECT_GE(w, floor);
+      EXPECT_LE(w, std::min(32e-3, 1e-3 * std::exp2(attempt)));
+    }
+  }
+  // A floor above the current ceiling degenerates to a fixed ceiling-length
+  // wait — never an inverted interval or a sub-floor draw.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(rng.backoff_s(1e-3, 32e-3, 0, 5e-3), 1e-3);
+  }
+  // The default (no floor) preserves the classic policy: draws below any
+  // positive floor do occur.
+  double lowest = 1.0;
+  for (int i = 0; i < 2000; ++i) {
+    lowest = std::min(lowest, rng.backoff_s(1e-3, 32e-3, 0));
+  }
+  EXPECT_LT(lowest, 0.25e-3);
+}
+
 TEST(Rng, JitteredStaysWithinFraction) {
   Rng rng(13);
   for (int i = 0; i < 500; ++i) {
